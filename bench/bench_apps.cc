@@ -1,0 +1,128 @@
+// Experiment E11 (DESIGN.md): the paper's Section 1 applications, end to
+// end. Part A: unlabeled-row binary database reconciliation (d flipped
+// bits) through each SSR protocol. Part B: shingled document collections
+// with a mix of exact duplicates, near-duplicates and fresh documents —
+// the classification workload sketched after Theorem 3.5.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "apps/binary_database.h"
+#include "apps/shingles.h"
+#include "bench/bench_util.h"
+#include "core/cascading_protocol.h"
+#include "core/iblt_of_iblts.h"
+#include "core/multiround_protocol.h"
+#include "core/naive_protocol.h"
+
+namespace setrec {
+namespace {
+
+void PartA() {
+  std::printf("\nPart A: binary database (rows x cols, d flipped bits)\n");
+  std::printf("%-12s %6s %6s %4s %10s %10s %6s\n", "protocol", "rows",
+              "cols", "d", "bytes", "ms", "ok");
+  struct Case {
+    size_t rows, cols, d;
+  };
+  const Case cases[] = {{128, 128, 8}, {512, 128, 16}, {512, 128, 64}};
+  for (const Case& c : cases) {
+    Rng rng(c.rows + c.d);
+    BinaryDatabase bob = BinaryDatabase::Random(c.rows, c.cols, 0.5, &rng);
+    BinaryDatabase alice = bob;
+    alice.FlipRandom(c.d, &rng);
+    SsrParams params;
+    params.max_child_size = c.cols + 2;
+    params.seed = c.rows * 3 + c.d;
+    std::unique_ptr<SetsOfSetsProtocol> protocols[4] = {
+        std::make_unique<NaiveProtocol>(params),
+        std::make_unique<IbltOfIbltsProtocol>(params),
+        std::make_unique<CascadingProtocol>(params),
+        std::make_unique<MultiRoundProtocol>(params)};
+    for (auto& protocol : protocols) {
+      Channel ch;
+      Result<DatabaseReconcileOutcome> out(
+          Status(StatusCode::kExhausted, "x"));
+      double ms = 1e3 * bench::TimeSeconds([&] {
+        out = ReconcileDatabases(alice, bob, *protocol, c.d, &ch);
+      });
+      bool ok = out.ok() && out.value().recovered.SameRowsAs(alice);
+      std::printf("%-12s %6zu %6zu %4zu %10zu %10.1f %6s\n",
+                  protocol->Name().c_str(), c.rows, c.cols, c.d,
+                  ch.total_bytes(), ms, ok ? "yes" : "NO");
+    }
+  }
+}
+
+std::string SyntheticDoc(uint64_t id, int words, Rng* rng) {
+  std::string text;
+  for (int w = 0; w < words; ++w) {
+    text += "word" + std::to_string(rng->NextU64() % 5000 + id * 0) + " ";
+  }
+  return text;
+}
+
+void PartB() {
+  std::printf(
+      "\nPart B: shingled document collections "
+      "(exact / near / fresh mix)\n");
+  std::printf("%6s %6s %6s %8s %10s %24s\n", "docs", "near", "fresh",
+              "ok", "bytes", "classified e/n/f");
+  for (size_t docs : {50, 200}) {
+    Rng rng(docs);
+    SetOfSets bob_docs, alice_docs;
+    for (size_t i = 0; i < docs; ++i) {
+      std::string text = SyntheticDoc(i, 40, &rng);
+      bob_docs.push_back(ShingleSet(text, 3, 77));
+      alice_docs.push_back(bob_docs.back());
+    }
+    // 5% near-duplicates: drop two shingles, add two new.
+    size_t near = docs / 20;
+    for (size_t i = 0; i < near; ++i) {
+      auto& doc = alice_docs[i];
+      doc.erase(doc.begin(), doc.begin() + 2);
+      doc.push_back(0x1234560 + i);
+      doc.push_back(0x7654320 + i);
+      std::sort(doc.begin(), doc.end());
+    }
+    // 2 fresh documents on Alice's side.
+    size_t fresh = 2;
+    for (size_t i = 0; i < fresh; ++i) {
+      alice_docs.push_back(
+          ShingleSet(SyntheticDoc(900 + i, 60, &rng), 3, 78 + i));
+    }
+    SetOfSets alice = Canonicalize(alice_docs);
+    SetOfSets bob = Canonicalize(bob_docs);
+    SsrParams params;
+    params.seed = docs;
+    params.max_child_size = 64;
+    Channel ch;
+    Result<CollectionReconcileOutcome> out =
+        ReconcileCollections(alice, bob, /*per_doc_diff=*/8, params, &ch);
+    if (!out.ok()) {
+      std::printf("%6zu %6zu %6zu %8s\n", docs, near, fresh, "NO");
+      continue;
+    }
+    bool ok = out.value().collection == alice;
+    std::printf("%6zu %6zu %6zu %8s %10zu %10zu/%zu/%zu\n", docs, near,
+                fresh, ok ? "yes" : "NO", ch.total_bytes(),
+                out.value().exact_duplicates, out.value().near_duplicates,
+                out.value().fresh_documents);
+  }
+}
+
+}  // namespace
+}  // namespace setrec
+
+int main() {
+  setrec::bench::Header("E11 / Section 1 applications",
+                        "databases and document collections");
+  setrec::PartA();
+  setrec::PartB();
+  std::printf(
+      "\nExpected shapes: database bytes track d, not rows*cols; document\n"
+      "classification finds exactly the planted near/fresh mix with bytes\n"
+      "proportional to changed documents.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Experiment E5 (DESIGN.md): Theorem 3.1's l0 set-difference estimator vs
+// the strata estimator of [14]. The theorem claims an O(log u) space factor
+// and O(log n) query/merge factor improvement; we measure serialized size,
+// update/merge/query wall time, and estimate accuracy across true
+// differences.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "estimator/l0_estimator.h"
+#include "estimator/strata_estimator.h"
+#include "hashing/random.h"
+
+namespace setrec {
+namespace {
+
+template <typename Estimator>
+struct Measured {
+  double med_ratio;
+  double update_ns;
+  double merge_us;
+  double query_us;
+};
+
+template <typename Estimator>
+Measured<Estimator> Measure(const typename Estimator::Params& params,
+                            size_t n, size_t d) {
+  std::vector<double> ratios;
+  double update_s = 0, merge_s = 0, query_s = 0;
+  size_t updates = 0;
+  for (uint64_t trial = 0; trial < 7; ++trial) {
+    Rng rng(trial * 101 + d);
+    Estimator alice(params), bob(params);
+    std::vector<uint64_t> shared(n), extra(d);
+    for (auto& e : shared) e = rng.NextU64();
+    for (auto& e : extra) e = rng.NextU64();
+    update_s += bench::TimeSeconds([&] {
+      for (uint64_t e : shared) {
+        alice.Update(e, 1);
+        bob.Update(e, 2);
+      }
+      for (size_t i = 0; i < extra.size(); ++i) {
+        (i % 2 == 0 ? alice : bob).Update(extra[i], 1 + (i % 2));
+      }
+    });
+    updates += 2 * n + d;
+    merge_s += bench::TimeSeconds([&] { (void)alice.Merge(bob); });
+    uint64_t est = 0;
+    query_s += bench::TimeSeconds([&] { est = alice.Estimate(); });
+    ratios.push_back(d == 0 ? (est == 0 ? 1.0 : 99.0)
+                            : static_cast<double>(est) / d);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  return {ratios[ratios.size() / 2], update_s / updates * 1e9,
+          merge_s / 7 * 1e6, query_s / 7 * 1e6};
+}
+
+}  // namespace
+}  // namespace setrec
+
+int main() {
+  using namespace setrec;
+  bench::Header("E5 / Theorem 3.1 vs [14]", "l0 vs strata estimators");
+
+  L0Estimator::Params l0_params;
+  l0_params.seed = 1;
+  StrataEstimator::Params strata_params;
+  strata_params.seed = 1;
+  std::printf("sketch sizes: l0 = %zu bytes, strata = %zu bytes (%.1fx)\n",
+              L0Estimator(l0_params).SerializedSize(),
+              StrataEstimator(strata_params).SerializedSize(),
+              static_cast<double>(
+                  StrataEstimator(strata_params).SerializedSize()) /
+                  L0Estimator(l0_params).SerializedSize());
+
+  std::printf("\n%10s %6s | %10s %10s %10s | %10s %10s %10s\n", "est", "d",
+              "med(est/d)", "update_ns", "merge_us", "query_us", "", "");
+  const size_t n = 20000;
+  for (size_t d : {4, 16, 64, 256, 1024, 4096}) {
+    auto l0 = Measure<L0Estimator>(l0_params, n, d);
+    std::printf("%10s %6zu | %10.2f %10.1f %10.2f | %10.2f\n", "l0", d,
+                l0.med_ratio, l0.update_ns, l0.merge_us, l0.query_us);
+    auto st = Measure<StrataEstimator>(strata_params, n, d);
+    std::printf("%10s %6zu | %10.2f %10.1f %10.2f | %10.2f\n", "strata", d,
+                st.med_ratio, st.update_ns, st.merge_us, st.query_us);
+  }
+  std::printf(
+      "\nExpected shape (Thm 3.1): both estimators land within a constant\n"
+      "factor of the true d; the l0 sketch is ~an order of magnitude\n"
+      "smaller and merges in O(words) (word-add + mask) instead of\n"
+      "cell-wise IBLT addition.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Experiment E10 (DESIGN.md): Theorem 6.1 — rooted-forest reconciliation.
+// Sweeps d and the depth bound sigma: communication should track d * sigma
+// (each update dirties at most sigma ancestor signatures) and stay nearly
+// flat in n, decisively beating whole-forest transfer (~8B/vertex).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "forest/ahu.h"
+#include "forest/forest_reconciler.h"
+
+namespace setrec {
+namespace {
+
+void Run(size_t n, size_t depth, size_t d) {
+  int success = 0;
+  size_t bytes = 0;
+  double ms = 0;
+  size_t sigma_seen = 0;
+  const int trials = 3;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(n + depth * 7 + d * 3 + t);
+    RootedForest base = RootedForest::Random(n, depth, 0.15, &rng);
+    RootedForest alice = base, bob = base;
+    size_t applied = alice.Perturb(d - d / 2, depth, &rng) +
+                     bob.Perturb(d / 2, depth, &rng);
+    size_t sigma = std::max(alice.MaxDepth(), bob.MaxDepth());
+    sigma_seen = std::max(sigma_seen, sigma);
+    Channel ch;
+    Result<ForestReconcileOutcome> rec(Status(StatusCode::kExhausted, "x"));
+    ms += 1e3 * bench::TimeSeconds([&] {
+      rec = ForestReconcile(alice, bob, std::max<size_t>(applied, 1), sigma,
+                            5000 + t, &ch);
+    });
+    HashFamily fam(5000 + t, 0x61687530ull);
+    if (rec.ok() &&
+        AreForestsIsomorphic(rec.value().recovered, alice, fam)) {
+      ++success;
+      bytes += ch.total_bytes();
+    }
+  }
+  std::printf("%7zu %6zu %4zu %8d%% %10zu %10.1f %12zu\n", n, sigma_seen, d,
+              success * 100 / trials, success ? bytes / success : 0,
+              ms / trials, n * 8);
+}
+
+}  // namespace
+}  // namespace setrec
+
+int main() {
+  setrec::bench::Header("E10 / Theorem 6.1", "rooted-forest reconciliation");
+  std::printf("%7s %6s %4s %9s %10s %10s %12s\n", "n", "sigma", "d",
+              "success", "bytes", "ms", "raw_B");
+  // Sweep d at fixed n, depth.
+  for (size_t d : {1, 2, 4, 8, 16}) {
+    setrec::Run(2000, 5, d);
+  }
+  // Sweep sigma at fixed n, d.
+  for (size_t depth : {3, 6, 10, 16}) {
+    setrec::Run(2000, depth, 4);
+  }
+  // Sweep n at fixed depth, d.
+  for (size_t n : {500, 2000, 8000}) {
+    setrec::Run(n, 5, 4);
+  }
+  std::printf(
+      "\nExpected shapes (Thm 6.1: O(d sigma log(d sigma) log n) bits):\n"
+      "bytes grow with d and with sigma, stay nearly flat in n, and sit\n"
+      "well below the raw whole-forest transfer column for d*sigma << n.\n");
+  return 0;
+}

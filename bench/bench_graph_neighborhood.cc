@@ -1,0 +1,98 @@
+// Experiment E8 (DESIGN.md): Theorem 5.5 + Theorem 5.6 — degree-
+// neighborhood random graph reconciliation.
+//  Part A: (pn, 4d+1)-disjointness rate of raw G(n,p) (Definition 5.4):
+//          unlike Definition 5.1, this DOES hold at laptop scale for dense
+//          enough p — the "works for much larger ranges of p and d" claim.
+//  Part B: end-to-end reconciliation on raw G(n,p): success, bytes, time.
+//          The ~O(pn) communication premium over the degree-ordering
+//          scheme (Section 5.2's closing comparison) is visible directly.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "graph/degree_neighborhood.h"
+
+namespace setrec {
+namespace {
+
+void PartA() {
+  std::printf(
+      "\nPart A: raw G(n,p) disjointness rate (Definition 5.4) at the\n"
+      "paper's 4d+1 and at the 8d+1 the implementation's greedy matching\n"
+      "needs (dense graphs move a signature by up to 4 per edge change)\n");
+  std::printf("%6s %6s %4s %10s %10s\n", "n", "p", "d", "k=4d+1", "k=8d+1");
+  struct Case {
+    size_t n;
+    double p;
+    size_t d;
+  };
+  const Case cases[] = {{400, 0.25, 1}, {600, 0.25, 1}, {800, 0.25, 1},
+                        {800, 0.25, 2}, {800, 0.15, 1}, {1200, 0.25, 2}};
+  for (const Case& c : cases) {
+    int disjoint4 = 0, disjoint8 = 0;
+    const int trials = 5;
+    for (int t = 0; t < trials; ++t) {
+      Rng rng(c.n * 3 + c.d + t);
+      Graph g = Graph::RandomGnp(c.n, c.p, &rng);
+      const uint64_t m = static_cast<uint64_t>(c.p * c.n);
+      disjoint4 += AreNeighborhoodsDisjoint(g, m, 4 * c.d + 1);
+      disjoint8 += AreNeighborhoodsDisjoint(g, m, 8 * c.d + 1);
+    }
+    std::printf("%6zu %6.2f %4zu %9d%% %9d%%\n", c.n, c.p, c.d,
+                disjoint4 * 100 / trials, disjoint8 * 100 / trials);
+  }
+}
+
+void PartB() {
+  std::printf("\nPart B: end-to-end on raw G(n,p) (Theorem 5.6)\n");
+  std::printf("%6s %6s %4s %8s %12s %10s\n", "n", "p", "d", "success",
+              "bytes", "ms");
+  struct Case {
+    size_t n;
+    double p;
+    size_t d;
+  };
+  const Case cases[] = {{400, 0.25, 1}, {800, 0.25, 1}, {800, 0.25, 2}};
+  for (const Case& c : cases) {
+    int success = 0;
+    size_t bytes = 0;
+    double ms = 0;
+    const int trials = 3;
+    for (int t = 0; t < trials; ++t) {
+      Rng rng(7000 + c.n + t);
+      Graph base = Graph::RandomGnp(c.n, c.p, &rng);
+      Graph alice = base, bob = base;
+      alice.Perturb(c.d - c.d / 2, &rng);
+      bob.Perturb(c.d / 2, &rng);
+      Channel ch;
+      Result<GraphReconcileOutcome> rec(Status(StatusCode::kExhausted, "x"));
+      ms += 1e3 * bench::TimeSeconds([&] {
+        rec = DegreeNeighborhoodReconcile(
+            alice, bob, c.d, static_cast<uint64_t>(c.p * c.n), 7100 + t,
+            &ch);
+      });
+      if (rec.ok()) {
+        ++success;
+        bytes += ch.total_bytes();
+      }
+    }
+    std::printf("%6zu %6.2f %4zu %7d%% %12zu %10.1f\n", c.n, c.p, c.d,
+                success * 100 / trials, success ? bytes / success : 0,
+                ms / trials);
+  }
+}
+
+}  // namespace
+}  // namespace setrec
+
+int main() {
+  setrec::bench::Header("E8 / Thm 5.5 + 5.6", "degree-neighborhood scheme");
+  setrec::PartA();
+  setrec::PartB();
+  std::printf(
+      "\nExpected shapes: disjointness holds on raw G(n,p) at moderate n\n"
+      "(vs Definition 5.1, which does not) — the scheme's robustness; but\n"
+      "communication is ~O(pn) times the degree-ordering scheme's (compare\n"
+      "bench_graph_ordering Part B at matched n), Section 5.2's trade-off.\n");
+  return 0;
+}

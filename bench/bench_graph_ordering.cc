@@ -1,0 +1,101 @@
+// Experiment E7 (DESIGN.md): Theorem 5.2 + Theorem 5.3 — degree-ordering
+// random graph reconciliation.
+//  Part A: separation rates of raw G(n,p) per Definition 5.1, sweeping n
+//          and h: at laptop scale the (h, d+1, 2d+1) property essentially
+//          never holds for d >= 2 (Theorem 5.3's h formula is < 1 here —
+//          printed for reference), which motivates Part B.
+//  Part B: end-to-end reconciliation on planted separated instances
+//          (the theorem's premise realized constructively): success rate,
+//          bytes, and the O(d(log d log h + log n)) shape vs d and n.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "graph/degree_ordering.h"
+#include "graph/separated_instance.h"
+
+namespace setrec {
+namespace {
+
+void PartA() {
+  std::printf("\nPart A: raw G(n,p) separation rate (Definition 5.1)\n");
+  std::printf("%6s %6s %4s %4s %14s %10s\n", "n", "p", "d", "h", "thm5.3_h",
+              "separated");
+  for (size_t n : {500, 1000, 2000}) {
+    const double p = 0.5;
+    for (size_t d : {1, 2}) {
+      for (size_t h : {4, 8, 16}) {
+        int separated = 0;
+        const int trials = 10;
+        for (int t = 0; t < trials; ++t) {
+          Rng rng(n * 17 + d * 3 + h + t);
+          Graph g = Graph::RandomGnp(n, p, &rng);
+          separated += IsSeparated(g, h, d + 1, 2 * d + 1);
+        }
+        std::printf("%6zu %6.2f %4zu %4zu %14.3f %9d%%\n", n, p, d, h,
+                    TheoremFiveThreeH(n, p, d, 0.5),
+                    separated * 100 / trials);
+      }
+    }
+  }
+}
+
+void PartB() {
+  std::printf(
+      "\nPart B: planted separated instances, end-to-end (Theorem 5.2)\n");
+  std::printf("%6s %4s %4s %8s %10s %10s %8s\n", "n", "h", "d", "success",
+              "bytes", "ms", "rounds");
+  struct Case {
+    size_t n, h, d;
+  };
+  const Case cases[] = {{1000, 28, 1}, {2000, 28, 1}, {4000, 28, 1},
+                        {2000, 36, 2}, {4000, 36, 2}, {4000, 44, 3}};
+  for (const Case& c : cases) {
+    int success = 0;
+    size_t bytes = 0, rounds = 0;
+    double ms = 0;
+    const int trials = 5;
+    for (int t = 0; t < trials; ++t) {
+      SeparatedInstanceSpec spec;
+      spec.n = c.n;
+      spec.h = c.h;
+      spec.d = c.d;
+      spec.seed = 900 + t;
+      Result<Graph> base = MakeSeparatedGraph(spec);
+      if (!base.ok()) continue;
+      Rng rng(1000 + t);
+      Graph alice = base.value(), bob = base.value();
+      alice.Perturb(c.d - c.d / 2, &rng);
+      bob.Perturb(c.d / 2, &rng);
+      Channel ch;
+      Result<GraphReconcileOutcome> rec(Status(StatusCode::kExhausted, "x"));
+      ms += 1e3 * bench::TimeSeconds([&] {
+        rec = DegreeOrderingReconcile(alice, bob, c.d, c.h, 1100 + t, &ch);
+      });
+      if (rec.ok()) {
+        ++success;
+        bytes += ch.total_bytes();
+        rounds += ch.rounds();
+      }
+    }
+    std::printf("%6zu %4zu %4zu %7d%% %10zu %10.1f %8zu\n", c.n, c.h, c.d,
+                success * 100 / trials,
+                success ? bytes / success : 0, ms / trials,
+                success ? rounds / success : 0);
+  }
+}
+
+}  // namespace
+}  // namespace setrec
+
+int main() {
+  setrec::bench::Header("E7 / Thm 5.2 + 5.3", "degree-ordering scheme");
+  setrec::PartA();
+  setrec::PartB();
+  std::printf(
+      "\nExpected shapes: raw G(n,p) separation is rare at laptop n (the\n"
+      "Thm 5.3 h column is ~1: the theorem needs astronomically large n);\n"
+      "on separated instances the protocol succeeds in 1 round with bytes\n"
+      "growing in d but nearly flat in n (Theorem 5.2's O(d log n) term).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Experiment E4 (DESIGN.md): Corollary 2.2 (IBLT) vs Theorem 2.3
+// (characteristic polynomial) set reconciliation. Communication is nearly
+// identical (O(d log u)); decode time separates them: IBLT decoding is
+// O(n), char-poly pays O(n d) evaluation + O(d^3) interpolation, so a
+// crossover appears as d grows — "this approach is fairly inefficient
+// computationally" (Section 1) made concrete.
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "hashing/random.h"
+#include "setrec/set_reconciler.h"
+
+namespace setrec {
+namespace {
+
+struct Instance {
+  std::vector<uint64_t> alice, bob;
+};
+
+Instance MakeInstance(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::set<uint64_t> pool;
+  while (pool.size() < n + d) pool.insert(rng.NextU64() % (1ull << 55));
+  Instance inst;
+  size_t i = 0;
+  for (uint64_t e : pool) {
+    if (i < n) {
+      inst.alice.push_back(e);
+      inst.bob.push_back(e);
+    } else if (i < n + d / 2) {
+      inst.alice.push_back(e);
+    } else {
+      inst.bob.push_back(e);
+    }
+    ++i;
+  }
+  return inst;
+}
+
+void Run(size_t n, size_t d) {
+  Instance inst = MakeInstance(n, d, n * 31 + d);
+  SetReconcilerOptions opt;
+  opt.seed = n + d;
+
+  Channel ch_iblt, ch_poly;
+  Result<SetReconcileOutcome> iblt_out(Status(StatusCode::kExhausted, "x"));
+  Result<SetReconcileOutcome> poly_out(Status(StatusCode::kExhausted, "x"));
+  double iblt_s = bench::TimeSeconds([&] {
+    iblt_out = IbltReconcileKnown(inst.alice, inst.bob, d, opt, &ch_iblt);
+  });
+  double poly_s = bench::TimeSeconds([&] {
+    poly_out = CharPolyReconcile(inst.alice, inst.bob, d, opt, &ch_poly);
+  });
+  bool ok = iblt_out.ok() && poly_out.ok() &&
+            iblt_out.value().recovered == poly_out.value().recovered;
+  std::printf("%8zu %6zu %12zu %12zu %12.2f %12.2f %6s\n", n, d,
+              ch_iblt.total_bytes(), ch_poly.total_bytes(), iblt_s * 1e3,
+              poly_s * 1e3, ok ? "yes" : "NO");
+}
+
+}  // namespace
+}  // namespace setrec
+
+int main() {
+  setrec::bench::Header("E4 / Cor 2.2 vs Thm 2.3",
+                        "IBLT vs characteristic polynomial");
+  std::printf("%8s %6s %12s %12s %12s %12s %6s\n", "n", "d", "iblt_B",
+              "poly_B", "iblt_ms", "poly_ms", "agree");
+  for (size_t d : {2, 8, 32, 128, 256}) {
+    setrec::Run(20000, d);
+  }
+  for (size_t n : {1000, 10000, 100000}) {
+    setrec::Run(n, 32);
+  }
+  std::printf(
+      "\nExpected shape: poly uses slightly fewer bytes (exactly d+1\n"
+      "words); poly time grows superlinearly in d (O(nd + d^3)) while IBLT\n"
+      "stays near-linear -> IBLT wins computationally for moderate d.\n");
+  return 0;
+}

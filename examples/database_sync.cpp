@@ -1,0 +1,48 @@
+// Database sync: the paper's introductory application. Two replicas of a
+// binary relational database (labeled columns, unlabeled rows) have drifted
+// by d flipped bits; reconciling the row multiset is exactly sets-of-sets
+// reconciliation. We sync a 1024x256 database that drifted by 24 bits and
+// compare the bytes moved against shipping the table.
+//
+// Build & run:  ./build/examples/database_sync
+
+#include <cstdio>
+
+#include "apps/binary_database.h"
+#include "core/multiround_protocol.h"
+#include "hashing/random.h"
+
+int main() {
+  using namespace setrec;
+
+  Rng rng(2024);
+  const size_t kRows = 1024, kCols = 256, kFlips = 24;
+  BinaryDatabase bob = BinaryDatabase::Random(kRows, kCols, 0.5, &rng);
+  BinaryDatabase alice = bob;  // Replicate...
+  auto flips = alice.FlipRandom(kFlips, &rng);  // ...then drift.
+  std::printf("replicas drifted by %zu bit flips across %zu x %zu bits\n",
+              flips.size(), kRows, kCols);
+
+  SsrParams params;
+  params.max_child_size = kCols + 2;  // Rows can hold up to kCols ones.
+  params.seed = 7;
+
+  // The multi-round protocol (Section 3.3) is the most communication-
+  // efficient choice when a few extra round trips are acceptable.
+  MultiRoundProtocol protocol(params);
+  Channel channel;
+  Result<DatabaseReconcileOutcome> outcome =
+      ReconcileDatabases(alice, bob, protocol, kFlips, &channel);
+  if (!outcome.ok()) {
+    std::printf("sync failed: %s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+  const size_t raw = kRows * kCols / 8;
+  std::printf("synced in %zu rounds, %zu bytes (raw table: %zu bytes, "
+              "%.1fx saving)\n",
+              channel.rounds(), channel.total_bytes(), raw,
+              static_cast<double>(raw) / channel.total_bytes());
+  std::printf("row multisets equal: %s\n",
+              outcome.value().recovered.SameRowsAs(alice) ? "yes" : "NO");
+  return 0;
+}

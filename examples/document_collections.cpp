@@ -1,0 +1,69 @@
+// Document collections: mirror two shingled document stores and classify
+// each of Alice's documents as an exact duplicate, a near-duplicate, or
+// fresh — the Broder-shingles application from the paper's introduction,
+// including the direct-transfer fallback for fresh documents (the remark
+// after Theorem 3.5).
+//
+// Build & run:  ./build/examples/document_collections
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/shingles.h"
+#include "core/protocol.h"
+
+int main() {
+  using namespace setrec;
+  const uint64_t kShingleSeed = 99;
+  const size_t kWindow = 3;  // 3-word shingles.
+
+  std::vector<std::string> bob_texts = {
+      "the quick brown fox jumps over the lazy dog on a sunny day",
+      "reconciliation protocols move only the difference between replicas",
+      "invertible bloom lookup tables support insertion deletion and "
+      "listing of entries with linear time peeling",
+      "characteristic polynomials give deterministic set reconciliation "
+      "at higher computational cost",
+  };
+  SetOfSets bob;
+  for (const auto& text : bob_texts) {
+    bob.push_back(ShingleSet(text, kWindow, kShingleSeed));
+  }
+
+  // Alice's store: doc 0 lightly edited (near-duplicate), doc 3 deleted,
+  // and one brand-new document (fresh).
+  SetOfSets alice = bob;
+  alice[0] = ShingleSet(
+      "the quick brown fox jumps over the lazy cat on a sunny day", kWindow,
+      kShingleSeed);
+  alice.pop_back();
+  alice.push_back(ShingleSet(
+      "a completely new report about the performance of set of sets "
+      "reconciliation on document stores with many duplicate entries and "
+      "a few fresh arrivals every day in production settings worldwide",
+      kWindow, kShingleSeed));
+  alice = Canonicalize(alice);
+  bob = Canonicalize(bob);
+
+  SsrParams params;
+  params.seed = 31337;
+  params.max_child_size = 64;
+  Channel channel;
+  Result<CollectionReconcileOutcome> outcome = ReconcileCollections(
+      alice, bob, /*per_doc_diff=*/8, params, &channel);
+  if (!outcome.ok()) {
+    std::printf("failed: %s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Bob mirrored Alice's %zu documents in %zu bytes:\n",
+              outcome.value().collection.size(), channel.total_bytes());
+  std::printf("  exact duplicates: %zu\n", outcome.value().exact_duplicates);
+  std::printf("  near duplicates:  %zu (patched via child IBLT pairing)\n",
+              outcome.value().near_duplicates);
+  std::printf("  fresh documents:  %zu (direct transfer fallback)\n",
+              outcome.value().fresh_documents);
+  std::printf("collection matches Alice: %s\n",
+              outcome.value().collection == alice ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Graph sync: one-way reconciliation of unlabeled random graphs via the
+// degree-ordering signature scheme (Section 5.1). A 2000-vertex base graph
+// satisfying the (h, d+1, 2d+1)-separation premise of Theorem 5.2 drifts by
+// d = 2 edges on each side's copy; Bob ends with a graph isomorphic to
+// Alice's for a few kilobytes — against megabytes for the raw edge list.
+//
+// Build & run:  ./build/examples/graph_sync
+
+#include <cstdio>
+
+#include "graph/degree_ordering.h"
+#include "graph/separated_instance.h"
+#include "hashing/random.h"
+
+int main() {
+  using namespace setrec;
+
+  SeparatedInstanceSpec spec;  // Defaults: n=2000, h=36, d=2.
+  spec.seed = 5;
+  Result<Graph> base = MakeSeparatedGraph(spec);
+  if (!base.ok()) {
+    std::printf("instance generation failed: %s\n",
+                base.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("base graph: n=%zu, %zu edges, (h=%zu, d+1, 2d+1)-separated\n",
+              base.value().num_vertices(), base.value().num_edges(), spec.h);
+
+  Rng rng(77);
+  Graph alice = base.value(), bob = base.value();
+  alice.Perturb(1, &rng);  // One edge change on each side: d = 2 total.
+  bob.Perturb(1, &rng);
+
+  Channel channel;
+  Result<GraphReconcileOutcome> outcome =
+      DegreeOrderingReconcile(alice, bob, spec.d, spec.h, /*seed=*/9,
+                              &channel);
+  if (!outcome.ok()) {
+    std::printf("reconciliation failed: %s\n",
+                outcome.status().ToString().c_str());
+    return 1;
+  }
+  const size_t raw_edges_bytes = alice.num_edges() * 8;
+  std::printf("reconciled in %zu round, %zu bytes "
+              "(raw edge list: %zu bytes, %.0fx saving)\n",
+              channel.rounds(), channel.total_bytes(), raw_edges_bytes,
+              static_cast<double>(raw_edges_bytes) / channel.total_bytes());
+  std::printf("recovered graph: %zu edges (Alice has %zu)\n",
+              outcome.value().recovered.num_edges(), alice.num_edges());
+  return 0;
+}

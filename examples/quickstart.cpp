@@ -1,0 +1,65 @@
+// Quickstart: reconcile two sets of sets with one message.
+//
+// Alice and Bob each hold a parent set of child sets that differ by a
+// handful of element changes. At the end of the protocol Bob holds an exact
+// copy of Alice's data, having exchanged communication proportional to the
+// difference — not to the data size.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/cascading_protocol.h"
+#include "core/protocol.h"
+#include "transport/channel.h"
+
+int main() {
+  using namespace setrec;
+
+  // Alice's collection: three child sets over a 64-bit universe.
+  SetOfSets alice = {
+      {10, 20, 30, 40},
+      {7, 77, 777},
+      {1000, 2000, 3000, 4000, 5000},
+  };
+  // Bob's copy has drifted: one element changed in the first child, one
+  // deleted from the third (total difference d = 3).
+  SetOfSets bob = {
+      {10, 20, 31, 40},
+      {7, 77, 777},
+      {1000, 2000, 4000, 5000},
+  };
+
+  // Shared, public-coin parameters (Section 2 of the paper): both parties
+  // agree on h (max child size) and a random seed out of band.
+  SsrParams params;
+  params.max_child_size = 8;
+  params.seed = 0xC0FFEE;
+
+  // Algorithm 2 of the paper: one round, O(d log min(d,h) log u) bits.
+  CascadingProtocol protocol(params);
+  Channel channel;  // In-memory channel with exact byte/round accounting.
+  Result<SsrOutcome> outcome =
+      protocol.Reconcile(alice, bob, /*known_d=*/3, &channel);
+  if (!outcome.ok()) {
+    std::printf("reconciliation failed: %s\n",
+                outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Bob recovered Alice's collection (%zu child sets):\n",
+              outcome.value().recovered.size());
+  for (const ChildSet& child : outcome.value().recovered) {
+    std::printf("  {");
+    for (size_t i = 0; i < child.size(); ++i) {
+      std::printf("%s%llu", i ? ", " : "", (unsigned long long)child[i]);
+    }
+    std::printf("}\n");
+  }
+  std::printf("cost: %zu bytes in %zu round(s)\n", channel.total_bytes(),
+              channel.rounds());
+  std::printf("match: %s\n",
+              outcome.value().recovered == Canonicalize(alice) ? "exact"
+                                                               : "NO");
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "apps/binary_database.h"
+
+#include <algorithm>
+#include <set>
+
+#include "setrec/multiset_codec.h"
+
+namespace setrec {
+
+BinaryDatabase::BinaryDatabase(size_t num_columns)
+    : num_columns_(num_columns) {}
+
+Status BinaryDatabase::AddRow(std::vector<uint32_t> one_columns) {
+  std::vector<uint64_t> row;
+  row.reserve(one_columns.size());
+  std::sort(one_columns.begin(), one_columns.end());
+  for (size_t i = 0; i < one_columns.size(); ++i) {
+    if (one_columns[i] >= num_columns_) {
+      return InvalidArgument("row references column out of range");
+    }
+    if (i > 0 && one_columns[i] == one_columns[i - 1]) {
+      return InvalidArgument("duplicate column in row");
+    }
+    row.push_back(one_columns[i]);
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+bool BinaryDatabase::Get(size_t row, uint32_t column) const {
+  const std::vector<uint64_t>& r = rows_[row];
+  return std::binary_search(r.begin(), r.end(), column);
+}
+
+Status BinaryDatabase::Flip(size_t row, uint32_t column) {
+  if (row >= rows_.size() || column >= num_columns_) {
+    return InvalidArgument("flip out of range");
+  }
+  std::vector<uint64_t>& r = rows_[row];
+  auto it = std::lower_bound(r.begin(), r.end(), column);
+  if (it != r.end() && *it == column) {
+    r.erase(it);
+  } else {
+    r.insert(it, column);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::pair<size_t, uint32_t>> BinaryDatabase::FlipRandom(
+    size_t count, Rng* rng) {
+  std::vector<std::pair<size_t, uint32_t>> flipped;
+  if (rows_.empty() || num_columns_ == 0) return flipped;
+  std::set<std::pair<size_t, uint32_t>> used;
+  size_t guard = count * 64 + 64;
+  while (flipped.size() < count && guard-- > 0) {
+    size_t row = rng->UniformU64(rows_.size());
+    uint32_t col = static_cast<uint32_t>(rng->UniformU64(num_columns_));
+    if (!used.insert({row, col}).second) continue;
+    (void)Flip(row, col);
+    flipped.emplace_back(row, col);
+  }
+  return flipped;
+}
+
+BinaryDatabase BinaryDatabase::Random(size_t rows, size_t columns,
+                                      double density, Rng* rng) {
+  BinaryDatabase db(columns);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<uint32_t> ones;
+    for (uint32_t c = 0; c < columns; ++c) {
+      if (rng->Bernoulli(density)) ones.push_back(c);
+    }
+    (void)db.AddRow(std::move(ones));
+  }
+  return db;
+}
+
+bool BinaryDatabase::SameRowsAs(const BinaryDatabase& other) const {
+  if (num_columns_ != other.num_columns_) return false;
+  std::vector<std::vector<uint64_t>> a = rows_;
+  std::vector<std::vector<uint64_t>> b = other.rows_;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+Result<DatabaseReconcileOutcome> ReconcileDatabases(
+    const BinaryDatabase& alice, const BinaryDatabase& bob,
+    const SetsOfSetsProtocol& protocol, std::optional<size_t> d,
+    Channel* channel) {
+  if (alice.num_columns() != bob.num_columns()) {
+    return InvalidArgument("databases have different schemas");
+  }
+  SetOfSets alice_parent = NormalizeParentMultiset(alice.rows());
+  SetOfSets bob_parent = NormalizeParentMultiset(bob.rows());
+  // A flipped bit in a duplicated row changes at most 3 elements of the
+  // normalized form (the bit, plus count-marker churn).
+  std::optional<size_t> ssr_d;
+  if (d.has_value()) ssr_d = 3 * *d + 2;
+  Result<SsrOutcome> ssr =
+      protocol.Reconcile(alice_parent, bob_parent, ssr_d, channel);
+  if (!ssr.ok()) return ssr.status();
+  Result<SetOfSets> expanded =
+      ExpandParentMultiset(std::move(ssr).value().recovered);
+  if (!expanded.ok()) return expanded.status();
+
+  BinaryDatabase recovered(alice.num_columns());
+  for (const ChildSet& row : expanded.value()) {
+    std::vector<uint32_t> ones;
+    ones.reserve(row.size());
+    for (uint64_t c : row) ones.push_back(static_cast<uint32_t>(c));
+    if (Status s = recovered.AddRow(std::move(ones)); !s.ok()) return s;
+  }
+  DatabaseReconcileOutcome outcome{
+      std::move(recovered),
+      SsrStats{channel->rounds(), channel->total_bytes(), 1}};
+  return outcome;
+}
+
+}  // namespace setrec

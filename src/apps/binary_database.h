@@ -1,0 +1,71 @@
+#ifndef SETREC_APPS_BINARY_DATABASE_H_
+#define SETREC_APPS_BINARY_DATABASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.h"
+#include "hashing/random.h"
+#include "transport/channel.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// The paper's introductory database application: a relational database of
+/// binary data whose columns are labeled but whose rows are not. A row is
+/// equivalently the set of column indices holding a 1, so "reconcile two
+/// databases in which a total of d bits have been flipped" is exactly the
+/// sets-of-sets problem. Duplicate rows are legal (databases are bags), so
+/// the parent collection is a multiset of sets, normalized with
+/// duplicate-count markers (Section 3.4).
+class BinaryDatabase {
+ public:
+  /// An empty database with `num_columns` labeled columns.
+  explicit BinaryDatabase(size_t num_columns);
+
+  size_t num_columns() const { return num_columns_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row given the set of columns holding a 1 (any order).
+  Status AddRow(std::vector<uint32_t> one_columns);
+
+  bool Get(size_t row, uint32_t column) const;
+  /// Flips one bit.
+  Status Flip(size_t row, uint32_t column);
+
+  /// Flips `count` random bits (distinct positions). Returns positions.
+  std::vector<std::pair<size_t, uint32_t>> FlipRandom(size_t count, Rng* rng);
+
+  /// Random database: each bit is 1 with probability `density` (the dense
+  /// h = Theta(u) regime of Table 1 uses density around 1/2).
+  static BinaryDatabase Random(size_t rows, size_t columns, double density,
+                               Rng* rng);
+
+  /// The rows as a (row-order-insensitive) multiset of column sets.
+  const std::vector<std::vector<uint64_t>>& rows() const { return rows_; }
+
+  /// Content equality up to row order.
+  bool SameRowsAs(const BinaryDatabase& other) const;
+
+ private:
+  size_t num_columns_;
+  std::vector<std::vector<uint64_t>> rows_;  // Sorted column indices.
+};
+
+/// Outcome of a database reconciliation.
+struct DatabaseReconcileOutcome {
+  BinaryDatabase recovered;
+  SsrStats stats;
+};
+
+/// One-way database reconciliation: Bob ends with a database whose row
+/// multiset equals Alice's. `protocol` is any SetsOfSetsProtocol; d is the
+/// total number of flipped bits (pass nullopt for the unknown-d variants).
+Result<DatabaseReconcileOutcome> ReconcileDatabases(
+    const BinaryDatabase& alice, const BinaryDatabase& bob,
+    const SetsOfSetsProtocol& protocol, std::optional<size_t> d,
+    Channel* channel);
+
+}  // namespace setrec
+
+#endif  // SETREC_APPS_BINARY_DATABASE_H_

@@ -1,0 +1,58 @@
+#ifndef SETREC_APPS_SHINGLES_H_
+#define SETREC_APPS_SHINGLES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/protocol.h"
+#include "transport/channel.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// The paper's document-collection application: documents are represented
+/// by shingle sets (hashes of consecutive k-word blocks, Broder [9]);
+/// a collection of documents is then a set of sets. Reconciling two
+/// collections classifies each of Alice's documents as an exact duplicate,
+/// a near-duplicate (small shingle difference), or fresh (no similar
+/// document on Bob's side) — fresh documents fail to pair with any child
+/// IBLT, exactly the remark after Theorem 3.5, and are transmitted
+/// directly as a fallback.
+
+/// A document's shingle set: hashes of each window of `k` whitespace-
+/// separated words, truncated to the library element space. Deterministic
+/// given (text, k, seed).
+std::vector<uint64_t> ShingleSet(const std::string& text, size_t k,
+                                 uint64_t seed);
+
+/// One of Alice's documents as classified by the reconciliation.
+struct DocumentMatch {
+  enum class Kind { kExact, kNear, kFresh };
+  Kind kind;
+  /// The recovered shingle set of Alice's document.
+  std::vector<uint64_t> shingles;
+};
+
+struct CollectionReconcileOutcome {
+  /// Bob's recovered copy of Alice's collection (canonical order).
+  SetOfSets collection;
+  /// Classification parallel to `collection`.
+  std::vector<DocumentMatch::Kind> kinds;
+  size_t fresh_documents = 0;
+  size_t near_duplicates = 0;
+  size_t exact_duplicates = 0;
+  SsrStats stats;
+};
+
+/// Reconciles two shingle-set collections one-way (Bob recovers Alice's)
+/// using Algorithm 1 with a per-child difference bound `per_doc_diff`;
+/// children that cannot be decoded against any of Bob's documents are
+/// transmitted directly and reported as fresh.
+Result<CollectionReconcileOutcome> ReconcileCollections(
+    const SetOfSets& alice, const SetOfSets& bob, size_t per_doc_diff,
+    const SsrParams& params, Channel* channel);
+
+}  // namespace setrec
+
+#endif  // SETREC_APPS_SHINGLES_H_

@@ -1,0 +1,62 @@
+#ifndef SETREC_CHARPOLY_CHARPOLY_RECONCILER_H_
+#define SETREC_CHARPOLY_CHARPOLY_RECONCILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/serialization.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// The two sides of a decoded set difference, from the decoder's (Bob's)
+/// perspective: `remote_only` are elements Alice has and Bob lacks,
+/// `local_only` the reverse.
+struct SetDifference {
+  std::vector<uint64_t> remote_only;
+  std::vector<uint64_t> local_only;
+};
+
+/// Characteristic-polynomial set reconciliation (Minsky–Trachtenberg–Zippel;
+/// Theorem 2.3). One message of d evaluations of the sender's characteristic
+/// polynomial over GF(2^61-1), decoded by rational interpolation (Gaussian
+/// elimination, O(d^3)) followed by root extraction. Unlike the IBLT route
+/// it cannot silently fail: an underestimated `max_diff` is detected because
+/// the recovered polynomials do not split into distinct linear factors.
+///
+/// Elements must be < 2^60 (gf::kMaxElement); evaluation points live above
+/// that range so denominators never vanish.
+class CharPolyReconciler {
+ public:
+  /// `max_diff` bounds |S_A ⊕ S_B|; `seed` is the shared public-coin seed
+  /// (selects evaluation points and the root-splitting randomness).
+  CharPolyReconciler(size_t max_diff, uint64_t seed);
+
+  /// Alice's message: her set size and max_diff evaluations.
+  /// Fails with kInvalidArgument if any element is out of range.
+  Result<std::vector<uint8_t>> BuildMessage(
+      const std::vector<uint64_t>& set) const;
+
+  /// Bob decodes the difference between Alice's set (behind `message`) and
+  /// his `local_set`.
+  Result<SetDifference> DecodeDifference(
+      const std::vector<uint8_t>& message,
+      const std::vector<uint64_t>& local_set) const;
+
+  /// Exact message size: 8 bytes size + 8 bytes per evaluation.
+  size_t MessageSize() const { return 8 + 8 * max_diff_; }
+
+  size_t max_diff() const { return max_diff_; }
+
+ private:
+  /// The i-th shared evaluation point.
+  uint64_t Point(size_t i) const;
+
+  size_t max_diff_;
+  uint64_t seed_;
+  uint64_t point_base_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_CHARPOLY_CHARPOLY_RECONCILER_H_

@@ -1,0 +1,56 @@
+#ifndef SETREC_CHARPOLY_GF_H_
+#define SETREC_CHARPOLY_GF_H_
+
+#include <cstdint>
+
+#include "hashing/hash.h"
+
+namespace setrec {
+
+/// Arithmetic in GF(p) with p = 2^61 - 1 (Mersenne, so reduction is two
+/// shifts and an add). This is the field for characteristic-polynomial set
+/// reconciliation (Theorem 2.3) and the polynomial graph signatures of
+/// Section 4. Set elements must lie in [0, p); the library reserves the top
+/// of the field for evaluation points, so protocol-visible elements are
+/// required to be < 2^60.
+namespace gf {
+
+inline constexpr uint64_t kP = kMersenne61;
+
+/// Largest value usable as a set element under the char-poly reconciler;
+/// evaluation points are drawn from [2^60, p).
+inline constexpr uint64_t kMaxElement = (1ull << 60) - 1;
+
+inline uint64_t Add(uint64_t a, uint64_t b) {
+  uint64_t r = a + b;
+  if (r >= kP) r -= kP;
+  return r;
+}
+
+inline uint64_t Sub(uint64_t a, uint64_t b) { return a >= b ? a - b : a + kP - b; }
+
+inline uint64_t Neg(uint64_t a) { return a == 0 ? 0 : kP - a; }
+
+inline uint64_t Mul(uint64_t a, uint64_t b) {
+  return Mod61(static_cast<__uint128_t>(a) * b);
+}
+
+/// a^e by square-and-multiply.
+inline uint64_t Pow(uint64_t a, uint64_t e) {
+  uint64_t result = 1;
+  uint64_t base = a % kP;
+  while (e > 0) {
+    if (e & 1) result = Mul(result, base);
+    base = Mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+/// Multiplicative inverse via Fermat (a != 0).
+inline uint64_t Inv(uint64_t a) { return Pow(a, kP - 2); }
+
+}  // namespace gf
+}  // namespace setrec
+
+#endif  // SETREC_CHARPOLY_GF_H_

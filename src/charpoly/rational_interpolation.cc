@@ -1,0 +1,111 @@
+#include "charpoly/rational_interpolation.h"
+
+#include <cassert>
+
+#include "charpoly/gf.h"
+
+namespace setrec {
+
+Result<std::vector<uint64_t>> SolveLinearSystem(
+    std::vector<std::vector<uint64_t>> a, std::vector<uint64_t> b) {
+  // Gauss-Jordan with free variables set to zero, so singular-but-consistent
+  // systems (which arise when the degree bound overestimates the true set
+  // difference and P, Q share a common factor) still yield a solution.
+  const size_t n = a.size();
+  assert(b.size() == n);
+  const size_t cols = n;
+  std::vector<size_t> pivot_col_of_row(n, SIZE_MAX);
+  size_t row = 0;
+  for (size_t col = 0; col < cols && row < n; ++col) {
+    size_t pivot = row;
+    while (pivot < n && a[pivot][col] == 0) ++pivot;
+    if (pivot == n) continue;  // Free column.
+    std::swap(a[pivot], a[row]);
+    std::swap(b[pivot], b[row]);
+    uint64_t inv = gf::Inv(a[row][col]);
+    for (size_t j = col; j < cols; ++j) a[row][j] = gf::Mul(a[row][j], inv);
+    b[row] = gf::Mul(b[row], inv);
+    for (size_t r = 0; r < n; ++r) {
+      if (r == row || a[r][col] == 0) continue;
+      uint64_t factor = a[r][col];
+      for (size_t j = col; j < cols; ++j) {
+        a[r][j] = gf::Sub(a[r][j], gf::Mul(factor, a[row][j]));
+      }
+      b[r] = gf::Sub(b[r], gf::Mul(factor, b[row]));
+    }
+    pivot_col_of_row[row] = col;
+    ++row;
+  }
+  // Rows below `row` are all-zero in A; consistency requires b == 0 there.
+  for (size_t r = row; r < n; ++r) {
+    if (b[r] != 0) return DecodeFailure("inconsistent linear system");
+  }
+  std::vector<uint64_t> x(cols, 0);  // Free variables take 0.
+  for (size_t r = 0; r < row; ++r) x[pivot_col_of_row[r]] = b[r];
+  return x;
+}
+
+Result<RationalFunction> InterpolateRational(
+    const std::vector<uint64_t>& points, const std::vector<uint64_t>& values,
+    int deg_num, int deg_den) {
+  assert(points.size() == values.size());
+  const int unknowns = deg_num + deg_den;
+  if (static_cast<int>(points.size()) < unknowns) {
+    return InvalidArgument("rational interpolation: not enough evaluations");
+  }
+  if (unknowns == 0) {
+    // Both sides monic constants: P = Q = 1.
+    RationalFunction rf{Poly::Constant(1), Poly::Constant(1)};
+    return rf;
+  }
+
+  // Unknowns: p_0..p_{deg_num-1} (P monic of degree deg_num) then
+  // q_0..q_{deg_den-1} (Q monic of degree deg_den). Equation at z_i:
+  //   sum_j p_j z^j - f_i sum_j q_j z^j = f_i z^deg_den - z^deg_num.
+  std::vector<std::vector<uint64_t>> a(
+      unknowns, std::vector<uint64_t>(unknowns, 0));
+  std::vector<uint64_t> b(unknowns, 0);
+  for (int i = 0; i < unknowns; ++i) {
+    uint64_t z = points[i] % gf::kP;
+    uint64_t f = values[i] % gf::kP;
+    uint64_t zp = 1;
+    for (int j = 0; j < deg_num; ++j) {
+      a[i][j] = zp;
+      zp = gf::Mul(zp, z);
+    }
+    uint64_t z_num = zp;  // z^deg_num.
+    zp = 1;
+    for (int j = 0; j < deg_den; ++j) {
+      a[i][deg_num + j] = gf::Neg(gf::Mul(f, zp));
+      zp = gf::Mul(zp, z);
+    }
+    uint64_t z_den = zp;  // z^deg_den.
+    b[i] = gf::Sub(gf::Mul(f, z_den), z_num);
+  }
+
+  Result<std::vector<uint64_t>> solved = SolveLinearSystem(std::move(a),
+                                                           std::move(b));
+  if (!solved.ok()) return solved.status();
+  const std::vector<uint64_t>& x = solved.value();
+
+  std::vector<uint64_t> pc(x.begin(), x.begin() + deg_num);
+  pc.push_back(1);
+  std::vector<uint64_t> qc(x.begin() + deg_num, x.end());
+  qc.push_back(1);
+  Poly p(std::move(pc));
+  Poly q(std::move(qc));
+
+  // Overestimated degrees manifest as a common factor; strip it.
+  Poly g = PolyGcd(p, q);
+  if (g.Degree() > 0) {
+    Poly quotient, remainder;
+    p.DivMod(g, &quotient, &remainder);
+    p = quotient.Monic();
+    q.DivMod(g, &quotient, &remainder);
+    q = quotient.Monic();
+  }
+  RationalFunction rf{std::move(p), std::move(q)};
+  return rf;
+}
+
+}  // namespace setrec

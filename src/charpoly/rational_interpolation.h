@@ -1,0 +1,40 @@
+#ifndef SETREC_CHARPOLY_RATIONAL_INTERPOLATION_H_
+#define SETREC_CHARPOLY_RATIONAL_INTERPOLATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "charpoly/poly.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// A recovered rational function P/Q in lowest terms (gcd divided out),
+/// both monic. In set reconciliation, P = char poly of S_A \ S_B and
+/// Q = char poly of S_B \ S_A.
+struct RationalFunction {
+  Poly numerator;
+  Poly denominator;
+};
+
+/// Recovers the monic rational function P/Q of numerator degree `deg_num`
+/// and denominator degree `deg_den` from evaluations f_i = P(z_i)/Q(z_i).
+/// Requires points.size() >= deg_num + deg_den (+1 evaluations determine the
+/// monic pair). Solves the homogeneous-free linear system
+///   P(z_i) - f_i * Q(z_i) = 0
+/// by Gaussian elimination over GF(2^61-1) — the O(d^3) route the paper
+/// describes for Theorem 2.3. Degrees may be overestimates as long as
+/// deg_num - deg_den equals the true difference; the spurious common factor
+/// is removed via polynomial gcd.
+Result<RationalFunction> InterpolateRational(
+    const std::vector<uint64_t>& points, const std::vector<uint64_t>& values,
+    int deg_num, int deg_den);
+
+/// Solves the square linear system A x = b over GF(2^61-1) in place.
+/// Returns kDecodeFailure if A is singular. Exposed for tests.
+Result<std::vector<uint64_t>> SolveLinearSystem(
+    std::vector<std::vector<uint64_t>> a, std::vector<uint64_t> b);
+
+}  // namespace setrec
+
+#endif  // SETREC_CHARPOLY_RATIONAL_INTERPOLATION_H_

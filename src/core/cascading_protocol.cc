@@ -1,0 +1,298 @@
+#include "core/cascading_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "core/encoding.h"
+#include "hashing/random.h"
+#include "iblt/iblt.h"
+#include "setrec/set_reconciler.h"
+#include "util/serialization.h"
+
+namespace setrec {
+
+namespace {
+
+constexpr uint64_t kAttemptTag = 0x63736364ull;  // "cscd"
+
+size_t CeilLog2(size_t x) {
+  size_t level = 0;
+  size_t value = 1;
+  while (value < x) {
+    value *= 2;
+    ++level;
+  }
+  return level;
+}
+
+/// Child-IBLT config for level i: O(2^i) cells sized to decode child
+/// differences of up to 2^i elements. A child's difference from its match
+/// never exceeds d, so cells are capped at ~2.2(d+1) even at deep levels.
+IbltConfig LevelChildConfig(size_t level, size_t d, uint64_t seed) {
+  IbltConfig config;
+  const double target =
+      static_cast<double>(std::min<uint64_t>(1ull << level, d + 1));
+  config.cells = std::max<size_t>(6, static_cast<size_t>(2.2 * target));
+  config.num_hashes = 4;
+  config.key_width = 8;
+  config.seed = DeriveSeed(seed, 0x6c63686cull + level);  // "lchl"
+  return config;
+}
+
+/// Outer table T_i config: sized for the expected number of undecoded child
+/// encodings at level i (<= 2 d-hat at level 1, ~(9/4) d / 2^i deeper).
+/// Deep levels hold very few (large) encodings, so the floor is kept low —
+/// the paper's O(d / 2^i) cells.
+IbltConfig LevelOuterConfig(size_t level, size_t d, size_t d_hat,
+                            size_t blob_width, uint64_t seed) {
+  size_t expected_keys;
+  if (level == 1) {
+    expected_keys = 2 * d_hat;
+  } else {
+    double deep = 2.5 * static_cast<double>(d) /
+                  static_cast<double>(1ull << (level - 1));
+    expected_keys = std::min<size_t>(2 * d_hat,
+                                     static_cast<size_t>(std::ceil(deep)));
+  }
+  IbltConfig config;
+  config.cells = std::max<size_t>(
+      8, static_cast<size_t>(2.0 * static_cast<double>(expected_keys)) + 4);
+  config.num_hashes = 4;
+  config.key_width = blob_width;
+  config.seed = DeriveSeed(seed, 0x6c6f7472ull + level);
+  return config;
+}
+
+Iblt BuildChildSketch(const ChildSet& child, const IbltConfig& config) {
+  Iblt sketch(config);
+  for (uint64_t e : child) sketch.InsertU64(e);
+  return sketch;
+}
+
+}  // namespace
+
+Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
+                                             const SetOfSets& bob, size_t d,
+                                             size_t d_hat, uint64_t seed,
+                                             Channel* channel) const {
+  const size_t h = params_.max_child_size;
+  HashFamily fp_family(seed, /*tag=*/0x66706373ull);
+
+  const size_t dm = std::min(d, h);
+  const size_t t = std::max<size_t>(1, CeilLog2(dm));
+  const bool has_star = h <= d;  // t == log2 h: append the direct table T*.
+
+  std::vector<IbltConfig> child_configs;
+  std::vector<IbltConfig> outer_configs;
+  for (size_t i = 1; i <= t; ++i) {
+    child_configs.push_back(LevelChildConfig(i, d, seed));
+    outer_configs.push_back(LevelOuterConfig(
+        i, d, d_hat, ChildIbltBlobWidth(child_configs.back()), seed));
+  }
+  IbltConfig star_config;
+  if (has_star) {
+    size_t star_keys = std::min<size_t>(
+        2 * d_hat, static_cast<size_t>(
+                       std::ceil(2.5 * static_cast<double>(d) /
+                                 static_cast<double>(std::max<size_t>(h, 1)))) +
+                       2);
+    star_config = IbltConfig::ForDifference(
+        std::max<size_t>(star_keys, 2),
+        DeriveSeed(seed, /*tag=*/0x73746172ull), ChildBlobWidth(h));  // "star"
+  }
+
+  // --- Alice: every child encoded into every level (and T*). ---
+  ByteWriter writer;
+  writer.PutU64(ParentFingerprint(alice, fp_family));
+  for (size_t level = 0; level < t; ++level) {
+    Iblt outer(outer_configs[level]);
+    for (const ChildSet& child : alice) {
+      outer.Insert(EncodeChildIbltBlob(child, child_configs[level],
+                                       ChildFingerprint(child, fp_family)));
+    }
+    outer.Serialize(&writer);
+  }
+  if (has_star) {
+    Iblt star(star_config);
+    for (const ChildSet& child : alice) {
+      star.Insert(EncodeChildBlob(child, h));
+    }
+    star.Serialize(&writer);
+  }
+  size_t msg = channel->Send(Party::kAlice, writer.Take(), "cascade");
+
+  // --- Bob ---
+  ByteReader reader(channel->Receive(msg).payload);
+  uint64_t alice_parent_fp = 0;
+  if (!reader.GetU64(&alice_parent_fp)) {
+    return ParseError("cascade message truncated");
+  }
+  std::vector<Iblt> outer_tables;
+  for (size_t level = 0; level < t; ++level) {
+    Result<Iblt> table = Iblt::Deserialize(&reader, outer_configs[level]);
+    if (!table.ok()) return table.status();
+    outer_tables.push_back(std::move(table).value());
+  }
+  Result<Iblt> star_table = has_star
+                                ? Iblt::Deserialize(&reader, star_config)
+                                : InvalidArgument("unused");
+  if (has_star && !star_table.ok()) return star_table.status();
+
+  std::vector<bool> in_db(bob.size(), false);   // Bob's differing children.
+  SetOfSets da;                                  // Alice's recovered children.
+  std::unordered_set<uint64_t> recovered_fps;    // Their fingerprints.
+
+  for (size_t level = 0; level < t; ++level) {
+    const IbltConfig& child_config = child_configs[level];
+    Iblt& outer = outer_tables[level];
+
+    // Delete Bob's children not yet known to differ (level 1: all of them),
+    // and every already-recovered child of Alice's.
+    std::map<std::vector<uint8_t>, size_t> blob_to_child;
+    for (size_t j = 0; j < bob.size(); ++j) {
+      std::vector<uint8_t> blob = EncodeChildIbltBlob(
+          bob[j], child_config, ChildFingerprint(bob[j], fp_family));
+      if (!in_db[j]) outer.Erase(blob);
+      blob_to_child.emplace(std::move(blob), j);
+    }
+    for (const ChildSet& child : da) {
+      outer.Erase(EncodeChildIbltBlob(child, child_config,
+                                      ChildFingerprint(child, fp_family)));
+    }
+
+    IbltPartialDecode decoded = outer.DecodePartial();
+
+    // Negative encodings expose Bob children that differ from Alice's.
+    for (const auto& blob : decoded.entries.negative) {
+      auto it = blob_to_child.find(blob);
+      if (it != blob_to_child.end()) in_db[it->second] = true;
+      // Unknown negatives are decode noise; later verification catches it.
+    }
+
+    // Partner sketches for this level: Bob's differing children (+ empty).
+    std::vector<std::pair<Iblt, const ChildSet*>> partners;
+    for (size_t j = 0; j < bob.size(); ++j) {
+      if (in_db[j]) {
+        partners.emplace_back(BuildChildSketch(bob[j], child_config),
+                              &bob[j]);
+      }
+    }
+    const ChildSet empty_set;
+    partners.emplace_back(Iblt(child_config), &empty_set);
+
+    for (const auto& blob : decoded.entries.positive) {
+      Result<ChildEncoding> enc_r = ParseChildIbltBlob(blob, child_config);
+      if (!enc_r.ok()) continue;  // Noise; later levels retry.
+      const ChildEncoding& enc = enc_r.value();
+      if (recovered_fps.count(enc.fingerprint) > 0) continue;
+      for (const auto& [partner_sketch, partner_set] : partners) {
+        Iblt diff = enc.sketch;
+        if (!diff.Subtract(partner_sketch).ok()) continue;
+        Result<IbltDecodeResult64> dd = diff.DecodeU64();
+        if (!dd.ok()) continue;
+        SetDifference sd;
+        sd.remote_only = std::move(dd.value().positive);
+        sd.local_only = std::move(dd.value().negative);
+        ChildSet candidate = ApplyDifference(*partner_set, sd);
+        if (ChildFingerprint(candidate, fp_family) == enc.fingerprint) {
+          recovered_fps.insert(enc.fingerprint);
+          da.push_back(std::move(candidate));
+          break;
+        }
+      }
+      // A miss here is fine: the child resurfaces at the next level with a
+      // larger sketch (that is the cascade's whole point).
+    }
+  }
+
+  if (has_star) {
+    Iblt star = std::move(star_table).value();
+    std::map<std::vector<uint8_t>, size_t> blob_to_child;
+    for (size_t j = 0; j < bob.size(); ++j) {
+      std::vector<uint8_t> blob = EncodeChildBlob(bob[j], h);
+      star.Erase(blob);
+      blob_to_child.emplace(std::move(blob), j);
+    }
+    for (const ChildSet& child : da) star.Erase(EncodeChildBlob(child, h));
+    IbltPartialDecode decoded = star.DecodePartial();
+    for (const auto& blob : decoded.entries.negative) {
+      auto it = blob_to_child.find(blob);
+      if (it != blob_to_child.end()) in_db[it->second] = true;
+    }
+    for (const auto& blob : decoded.entries.positive) {
+      Result<ChildSet> child = DecodeChildBlob(blob, h);
+      if (!child.ok()) continue;
+      uint64_t fp = ChildFingerprint(child.value(), fp_family);
+      if (recovered_fps.count(fp) > 0) continue;
+      recovered_fps.insert(fp);
+      da.push_back(std::move(child).value());
+    }
+  }
+
+  SetOfSets recovered;
+  recovered.reserve(bob.size() + da.size());
+  for (size_t j = 0; j < bob.size(); ++j) {
+    if (!in_db[j]) recovered.push_back(bob[j]);
+  }
+  for (ChildSet& child : da) recovered.push_back(std::move(child));
+  recovered = Canonicalize(std::move(recovered));
+  if (ParentFingerprint(recovered, fp_family) != alice_parent_fp) {
+    return VerificationFailure("cascade: parent fingerprint mismatch");
+  }
+  return recovered;
+}
+
+Result<SsrOutcome> CascadingProtocol::Reconcile(const SetOfSets& alice,
+                                                const SetOfSets& bob,
+                                                std::optional<size_t> known_d,
+                                                Channel* channel) const {
+  if (params_.max_child_size == 0) {
+    return InvalidArgument("cascading protocol requires max_child_size (h)");
+  }
+  if (Status s = ValidateSetOfSets(alice, params_); !s.ok()) return s;
+  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) return s;
+
+  Status last = DecodeFailure("no attempts made");
+  if (known_d.has_value()) {
+    size_t d = std::max<size_t>(*known_d, 1);
+    size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
+    for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
+      uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
+      Result<SetOfSets> recovered =
+          Attempt(alice, bob, d, d_hat, seed, channel);
+      if (recovered.ok()) {
+        SsrOutcome outcome;
+        outcome.recovered = std::move(recovered).value();
+        outcome.stats = {channel->rounds(), channel->total_bytes(),
+                         attempt + 1};
+        return outcome;
+      }
+      last = recovered.status();
+      if (last.code() == StatusCode::kParseError) return last;
+    }
+    return Exhausted("cascade (SSRK) failed: " + last.ToString());
+  }
+
+  // SSRU (Corollary 3.8): repeated doubling.
+  constexpr int kMaxDoublings = 40;
+  size_t d = 2;
+  for (int round = 0; round < kMaxDoublings; ++round, d *= 2) {
+    uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + 1000 + round);
+    size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
+    Result<SetOfSets> recovered = Attempt(alice, bob, d, d_hat, seed,
+                                          channel);
+    if (recovered.ok()) {
+      SsrOutcome outcome;
+      outcome.recovered = std::move(recovered).value();
+      outcome.stats = {channel->rounds(), channel->total_bytes(), round + 1};
+      return outcome;
+    }
+    last = recovered.status();
+    if (last.code() == StatusCode::kParseError) return last;
+  }
+  return Exhausted("cascade (SSRU) failed: " + last.ToString());
+}
+
+}  // namespace setrec

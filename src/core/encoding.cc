@@ -1,0 +1,71 @@
+#include "core/encoding.h"
+
+#include <cstring>
+
+#include "util/serialization.h"
+
+namespace setrec {
+
+size_t ChildBlobWidth(size_t h) { return 4 + 8 * h; }
+
+std::vector<uint8_t> EncodeChildBlob(const ChildSet& child, size_t h) {
+  std::vector<uint8_t> blob(ChildBlobWidth(h), 0);
+  uint32_t count = static_cast<uint32_t>(child.size());
+  std::memcpy(blob.data(), &count, 4);
+  for (size_t i = 0; i < child.size(); ++i) {
+    std::memcpy(blob.data() + 4 + 8 * i, &child[i], 8);
+  }
+  return blob;
+}
+
+Result<ChildSet> DecodeChildBlob(const std::vector<uint8_t>& blob, size_t h) {
+  if (blob.size() != ChildBlobWidth(h)) {
+    return ParseError("child blob has unexpected width");
+  }
+  uint32_t count = 0;
+  std::memcpy(&count, blob.data(), 4);
+  if (count > h) return ParseError("child blob count exceeds h");
+  ChildSet child(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::memcpy(&child[i], blob.data() + 4 + 8 * i, 8);
+    if (i > 0 && child[i] <= child[i - 1]) {
+      return ParseError("child blob not sorted/unique");
+    }
+  }
+  for (size_t i = 4 + 8 * static_cast<size_t>(count); i < blob.size(); ++i) {
+    if (blob[i] != 0) return ParseError("child blob has nonzero padding");
+  }
+  return child;
+}
+
+size_t ChildIbltBlobWidth(const IbltConfig& child_config) {
+  return child_config.FixedSerializedSize() + 8;
+}
+
+std::vector<uint8_t> EncodeChildIbltBlob(const ChildSet& child,
+                                         const IbltConfig& child_config,
+                                         uint64_t fingerprint) {
+  Iblt sketch(child_config);
+  for (uint64_t e : child) sketch.InsertU64(e);
+  ByteWriter writer;
+  sketch.SerializeFixed(&writer);
+  writer.PutU64(fingerprint);
+  return writer.Take();
+}
+
+Result<ChildEncoding> ParseChildIbltBlob(const std::vector<uint8_t>& blob,
+                                         const IbltConfig& child_config) {
+  if (blob.size() != ChildIbltBlobWidth(child_config)) {
+    return ParseError("child IBLT blob has unexpected width");
+  }
+  ByteReader reader(blob);
+  Result<Iblt> sketch = Iblt::DeserializeFixed(&reader, child_config);
+  if (!sketch.ok()) return sketch.status();
+  uint64_t fingerprint = 0;
+  if (!reader.GetU64(&fingerprint)) {
+    return ParseError("child IBLT blob truncated (fingerprint)");
+  }
+  return ChildEncoding{std::move(sketch).value(), fingerprint};
+}
+
+}  // namespace setrec

@@ -1,0 +1,51 @@
+#ifndef SETREC_CORE_ENCODING_H_
+#define SETREC_CORE_ENCODING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/protocol.h"
+#include "iblt/iblt.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// Fixed-width byte encodings of child sets and of (child IBLT, hash)
+/// pairs. Outer IBLTs treat these blobs as keys, so every child encoding
+/// under the same protocol parameters must have identical width.
+
+/// Width of a direct child-set blob for child sets of up to `h` elements:
+/// a u32 count, h little-endian u64 elements (zero padded).
+size_t ChildBlobWidth(size_t h);
+
+/// Encodes `child` (sorted, size <= h) into a ChildBlobWidth(h) blob.
+std::vector<uint8_t> EncodeChildBlob(const ChildSet& child, size_t h);
+
+/// Inverse of EncodeChildBlob; validates count, ordering and padding.
+Result<ChildSet> DecodeChildBlob(const std::vector<uint8_t>& blob, size_t h);
+
+/// Width of an (IBLT, fingerprint) encoding blob for the given child IBLT
+/// config: the fixed IBLT serialization plus 8 fingerprint bytes.
+size_t ChildIbltBlobWidth(const IbltConfig& child_config);
+
+/// A parsed child encoding: the child's IBLT sketch plus its fingerprint.
+struct ChildEncoding {
+  Iblt sketch;
+  uint64_t fingerprint;
+};
+
+/// Builds the (child IBLT, hash) encoding of Algorithms 1 and 2: the child's
+/// elements inserted into an IBLT with `child_config`, serialized fixed-
+/// width, followed by the child fingerprint.
+std::vector<uint8_t> EncodeChildIbltBlob(const ChildSet& child,
+                                         const IbltConfig& child_config,
+                                         uint64_t fingerprint);
+
+/// Parses a blob produced by EncodeChildIbltBlob.
+Result<ChildEncoding> ParseChildIbltBlob(const std::vector<uint8_t>& blob,
+                                         const IbltConfig& child_config);
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_ENCODING_H_

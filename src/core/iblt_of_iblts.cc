@@ -1,0 +1,200 @@
+#include "core/iblt_of_iblts.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/encoding.h"
+#include "hashing/random.h"
+#include "iblt/iblt.h"
+#include "setrec/set_reconciler.h"
+#include "util/serialization.h"
+
+namespace setrec {
+
+namespace {
+constexpr uint64_t kAttemptTag = 0x69626c32ull;  // "ibl2"
+
+/// Tries to recover Alice's child set behind `alice_enc` by decoding her
+/// child IBLT against `partner_sketch` (one of Bob's differing children, or
+/// an empty sketch) and applying the difference to `partner_set`.
+Result<ChildSet> TryRecoverChild(const ChildEncoding& alice_enc,
+                                 const Iblt& partner_sketch,
+                                 const ChildSet& partner_set,
+                                 const HashFamily& fp_family) {
+  Iblt diff = alice_enc.sketch;
+  if (Status s = diff.Subtract(partner_sketch); !s.ok()) return s;
+  Result<IbltDecodeResult64> decoded = diff.DecodeU64();
+  if (!decoded.ok()) return decoded.status();
+  SetDifference sd;
+  sd.remote_only = std::move(decoded.value().positive);
+  sd.local_only = std::move(decoded.value().negative);
+  std::sort(sd.local_only.begin(), sd.local_only.end());
+  ChildSet candidate = ApplyDifference(partner_set, sd);
+  if (ChildFingerprint(candidate, fp_family) != alice_enc.fingerprint) {
+    return VerificationFailure("child fingerprint mismatch");
+  }
+  return candidate;
+}
+
+}  // namespace
+
+Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
+                                               const SetOfSets& bob, size_t d,
+                                               size_t d_hat, uint64_t seed,
+                                               Channel* channel) const {
+  HashFamily fp_family(seed, /*tag=*/0x66703262ull);
+  IbltConfig child_config = IbltConfig::ForDifference(
+      d, DeriveSeed(seed, /*tag=*/0x63686c64ull), /*key_width=*/8);
+  IbltConfig outer_config = IbltConfig::ForDifference(
+      2 * d_hat, seed, ChildIbltBlobWidth(child_config));
+
+  // --- Alice: encode every child, insert encodings into the outer table ---
+  Iblt outer(outer_config);
+  for (const ChildSet& child : alice) {
+    outer.Insert(EncodeChildIbltBlob(child, child_config,
+                                     ChildFingerprint(child, fp_family)));
+  }
+  ByteWriter writer;
+  writer.PutU64(ParentFingerprint(alice, fp_family));
+  outer.Serialize(&writer);
+  size_t msg = channel->Send(Party::kAlice, writer.Take(), "iblt2-outer");
+
+  // --- Bob ---
+  ByteReader reader(channel->Receive(msg).payload);
+  uint64_t alice_parent_fp = 0;
+  if (!reader.GetU64(&alice_parent_fp)) {
+    return ParseError("iblt2 message truncated");
+  }
+  Result<Iblt> received = Iblt::Deserialize(&reader, outer_config);
+  if (!received.ok()) return received.status();
+  Iblt remote = std::move(received).value();
+
+  // Bob's own encodings, keyed by blob so decoded negatives map back to his
+  // concrete child sets.
+  std::map<std::vector<uint8_t>, size_t> blob_to_child;
+  for (size_t i = 0; i < bob.size(); ++i) {
+    std::vector<uint8_t> blob = EncodeChildIbltBlob(
+        bob[i], child_config, ChildFingerprint(bob[i], fp_family));
+    remote.Erase(blob);
+    blob_to_child.emplace(std::move(blob), i);
+  }
+
+  Result<IbltDecodeResult> decoded = remote.Decode();
+  if (!decoded.ok()) return decoded.status();
+
+  // D_B: Bob's children whose encodings differ from all of Alice's.
+  struct Partner {
+    ChildEncoding encoding;
+    const ChildSet* set;
+  };
+  std::vector<Partner> partners;
+  std::vector<bool> in_db(bob.size(), false);
+  for (const auto& blob : decoded.value().negative) {
+    auto it = blob_to_child.find(blob);
+    if (it == blob_to_child.end()) {
+      return VerificationFailure("iblt2: unknown negative encoding");
+    }
+    Result<ChildEncoding> enc = ParseChildIbltBlob(blob, child_config);
+    if (!enc.ok()) return enc.status();
+    in_db[it->second] = true;
+    partners.push_back(Partner{std::move(enc).value(), &bob[it->second]});
+  }
+  // A fresh child of Alice's may have no close partner; pairing against the
+  // empty set recovers it when it has at most ~d elements.
+  const ChildSet empty_set;
+  const Iblt empty_sketch(child_config);
+
+  // D_A: recover each of Alice's differing children.
+  SetOfSets recovered_children;
+  for (const auto& blob : decoded.value().positive) {
+    Result<ChildEncoding> enc_r = ParseChildIbltBlob(blob, child_config);
+    if (!enc_r.ok()) return enc_r.status();
+    const ChildEncoding& enc = enc_r.value();
+    bool ok = false;
+    for (const Partner& partner : partners) {
+      Result<ChildSet> child =
+          TryRecoverChild(enc, partner.encoding.sketch, *partner.set,
+                          fp_family);
+      if (child.ok()) {
+        recovered_children.push_back(std::move(child).value());
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      Result<ChildSet> child =
+          TryRecoverChild(enc, empty_sketch, empty_set, fp_family);
+      if (child.ok()) {
+        recovered_children.push_back(std::move(child).value());
+        ok = true;
+      }
+    }
+    if (!ok) {
+      return DecodeFailure("iblt2: a child IBLT decoded with no partner");
+    }
+  }
+
+  SetOfSets recovered;
+  recovered.reserve(bob.size() + recovered_children.size());
+  for (size_t i = 0; i < bob.size(); ++i) {
+    if (!in_db[i]) recovered.push_back(bob[i]);
+  }
+  for (ChildSet& child : recovered_children) {
+    recovered.push_back(std::move(child));
+  }
+  recovered = Canonicalize(std::move(recovered));
+  if (ParentFingerprint(recovered, fp_family) != alice_parent_fp) {
+    return VerificationFailure("iblt2: parent fingerprint mismatch");
+  }
+  return recovered;
+}
+
+Result<SsrOutcome> IbltOfIbltsProtocol::Reconcile(
+    const SetOfSets& alice, const SetOfSets& bob,
+    std::optional<size_t> known_d, Channel* channel) const {
+  if (Status s = ValidateSetOfSets(alice, params_); !s.ok()) return s;
+  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) return s;
+
+  Status last = DecodeFailure("no attempts made");
+  if (known_d.has_value()) {
+    size_t d = std::max<size_t>(*known_d, 1);
+    size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
+    for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
+      uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
+      Result<SetOfSets> recovered =
+          Attempt(alice, bob, d, d_hat, seed, channel);
+      if (recovered.ok()) {
+        SsrOutcome outcome;
+        outcome.recovered = std::move(recovered).value();
+        outcome.stats = {channel->rounds(), channel->total_bytes(),
+                         attempt + 1};
+        return outcome;
+      }
+      last = recovered.status();
+      if (last.code() == StatusCode::kParseError) return last;
+    }
+    return Exhausted("iblt2 (SSRK) failed: " + last.ToString());
+  }
+
+  // SSRU (Corollary 3.6): repeated doubling d = 1, 2, 4, ... Each trial is
+  // one one-round attempt; success is certified by the fingerprints.
+  constexpr int kMaxDoublings = 40;
+  size_t d = 1;
+  for (int round = 0; round < kMaxDoublings; ++round, d *= 2) {
+    uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + 1000 + round);
+    size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
+    Result<SetOfSets> recovered = Attempt(alice, bob, d, d_hat, seed,
+                                          channel);
+    if (recovered.ok()) {
+      SsrOutcome outcome;
+      outcome.recovered = std::move(recovered).value();
+      outcome.stats = {channel->rounds(), channel->total_bytes(), round + 1};
+      return outcome;
+    }
+    last = recovered.status();
+    if (last.code() == StatusCode::kParseError) return last;
+  }
+  return Exhausted("iblt2 (SSRU) failed: " + last.ToString());
+}
+
+}  // namespace setrec

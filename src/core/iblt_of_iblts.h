@@ -1,0 +1,39 @@
+#ifndef SETREC_CORE_IBLT_OF_IBLTS_H_
+#define SETREC_CORE_IBLT_OF_IBLTS_H_
+
+#include "core/protocol.h"
+
+namespace setrec {
+
+/// Algorithm 1 of the paper ("IBLTs of IBLTs", Theorem 3.5 / Corollary
+/// 3.6). Each child set is encoded as an O(d)-cell child IBLT plus a child
+/// fingerprint; the encodings are reconciled through an O(d-hat)-cell outer
+/// IBLT. Bob decodes the outer table, then recovers each of Alice's
+/// differing children by pairing her child IBLT with each of his own
+/// differing children's IBLTs until one decodes and fingerprint-verifies
+/// (O(d-hat^2) pairings of O(d) work each).
+///
+///   SSRK: 1 round,       O(d-hat * d log u + d-hat log s) bits,
+///                        O(n + d-hat^2 d) time.
+///   SSRU: O(log d) rounds by repeated doubling of d (Corollary 3.6).
+class IbltOfIbltsProtocol : public SetsOfSetsProtocol {
+ public:
+  explicit IbltOfIbltsProtocol(const SsrParams& params) : params_(params) {}
+
+  std::string Name() const override { return "iblt2"; }
+
+  Result<SsrOutcome> Reconcile(const SetOfSets& alice, const SetOfSets& bob,
+                               std::optional<size_t> known_d,
+                               Channel* channel) const override;
+
+ private:
+  Result<SetOfSets> Attempt(const SetOfSets& alice, const SetOfSets& bob,
+                            size_t d, size_t d_hat, uint64_t seed,
+                            Channel* channel) const;
+
+  SsrParams params_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_IBLT_OF_IBLTS_H_

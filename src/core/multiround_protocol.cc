@@ -1,0 +1,342 @@
+#include "core/multiround_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "charpoly/charpoly_reconciler.h"
+#include "estimator/l0_estimator.h"
+#include "hashing/random.h"
+#include "iblt/iblt.h"
+#include "setrec/set_reconciler.h"
+#include "util/serialization.h"
+
+namespace setrec {
+
+namespace {
+
+constexpr uint64_t kAttemptTag = 0x6d726e64ull;  // "mrnd"
+constexpr uint64_t kNoPartner = ~0ull;
+
+enum class PayloadMode : uint8_t { kDirect = 0, kIblt = 1, kCharPoly = 2 };
+
+/// Per-child element-difference estimator: one word per level keeps the
+/// message at O(log h) words per differing child, as Theorem 3.9 budgets.
+L0Estimator::Params ChildEstimatorParams(uint64_t seed) {
+  L0Estimator::Params params;
+  params.buckets_per_level = 21;  // Exactly one 64-bit word per level.
+  params.num_levels = 12;  // Child differences are at most 2h ~ 2^13.
+  params.replicas = 5;
+  params.seed = DeriveSeed(seed, /*tag=*/0x63686573ull);  // "ches"
+  return params;
+}
+
+IbltConfig ChildPayloadConfig(size_t d_i, uint64_t seed, uint64_t child_fp) {
+  return IbltConfig::ForDifference(d_i, DeriveSeed(seed, Mix64(child_fp)));
+}
+
+}  // namespace
+
+Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
+                                              const SetOfSets& bob,
+                                              std::optional<size_t> known_d,
+                                              size_t d_hat, uint64_t seed,
+                                              Channel* channel) const {
+  HashFamily fp_family(seed, /*tag=*/0x66706d72ull);
+  const L0Estimator::Params est_params = ChildEstimatorParams(seed);
+
+  // ---- Round 1: Alice sends the fingerprint IBLT. ----
+  IbltConfig fp_config =
+      IbltConfig::ForDifference(2 * d_hat, DeriveSeed(seed, 0x66706962ull));
+  std::vector<uint64_t> alice_fps(alice.size());
+  Iblt ta(fp_config);
+  for (size_t i = 0; i < alice.size(); ++i) {
+    alice_fps[i] = ChildFingerprint(alice[i], fp_family);
+    ta.InsertU64(alice_fps[i]);
+  }
+  ByteWriter w1;
+  w1.PutU64(ParentFingerprint(alice, fp_family));
+  ta.Serialize(&w1);
+  size_t msg1 = channel->Send(Party::kAlice, w1.Take(), "mr-hashes");
+
+  // ---- Bob decodes the differing fingerprints. ----
+  ByteReader r1(channel->Receive(msg1).payload);
+  uint64_t alice_parent_fp = 0;
+  if (!r1.GetU64(&alice_parent_fp)) return ParseError("mr msg1 truncated");
+  Result<Iblt> ta_received = Iblt::Deserialize(&r1, fp_config);
+  if (!ta_received.ok()) return ta_received.status();
+  Iblt fp_diff = std::move(ta_received).value();
+
+  std::unordered_map<uint64_t, size_t> bob_fp_to_child;
+  for (size_t j = 0; j < bob.size(); ++j) {
+    uint64_t fp = ChildFingerprint(bob[j], fp_family);
+    fp_diff.EraseU64(fp);
+    if (!bob_fp_to_child.emplace(fp, j).second) {
+      return VerificationFailure("mr: duplicate child fingerprint (Bob)");
+    }
+  }
+  Result<IbltDecodeResult64> fp_decoded = fp_diff.DecodeU64();
+  if (!fp_decoded.ok()) return fp_decoded.status();
+  std::vector<uint64_t> alice_diff_fps = fp_decoded.value().positive;
+  std::vector<uint64_t> bob_diff_fps = fp_decoded.value().negative;
+  std::sort(alice_diff_fps.begin(), alice_diff_fps.end());
+  std::sort(bob_diff_fps.begin(), bob_diff_fps.end());
+
+  // ---- Round 2: Bob sends both difference lists plus per-child element
+  // estimators for his differing children. ----
+  ByteWriter w2;
+  w2.PutU64Vector(alice_diff_fps);
+  w2.PutU64Vector(bob_diff_fps);
+  std::vector<size_t> bob_diff_children;
+  for (uint64_t fp : bob_diff_fps) {
+    auto it = bob_fp_to_child.find(fp);
+    if (it == bob_fp_to_child.end()) {
+      return VerificationFailure("mr: unknown Bob-side fingerprint");
+    }
+    bob_diff_children.push_back(it->second);
+    L0Estimator est(est_params);
+    for (uint64_t e : bob[it->second]) est.Update(e, 2);
+    est.Serialize(&w2);
+  }
+  size_t msg2 = channel->Send(Party::kBob, w2.Take(), "mr-estimators");
+
+  // ---- Alice matches children and builds payloads. ----
+  ByteReader r2(channel->Receive(msg2).payload);
+  std::vector<uint64_t> alice_diff_fps_rx, bob_diff_fps_rx;
+  if (!r2.GetU64Vector(&alice_diff_fps_rx) ||
+      !r2.GetU64Vector(&bob_diff_fps_rx)) {
+    return ParseError("mr msg2 truncated (fp lists)");
+  }
+  std::vector<L0Estimator> bob_estimators;
+  bob_estimators.reserve(bob_diff_fps_rx.size());
+  for (size_t j = 0; j < bob_diff_fps_rx.size(); ++j) {
+    Result<L0Estimator> est = L0Estimator::Deserialize(&r2, est_params);
+    if (!est.ok()) return est.status();
+    bob_estimators.push_back(std::move(est).value());
+  }
+
+  std::unordered_map<uint64_t, size_t> alice_fp_to_child;
+  for (size_t i = 0; i < alice.size(); ++i) {
+    if (!alice_fp_to_child.emplace(alice_fps[i], i).second) {
+      return VerificationFailure("mr: duplicate child fingerprint (Alice)");
+    }
+  }
+
+  struct Plan {
+    uint64_t fp;
+    size_t alice_child;
+    uint64_t partner;  // Index into bob_diff lists, or kNoPartner.
+    size_t d_i;
+  };
+  std::vector<Plan> plans;
+  size_t total_estimated = 0;
+  for (uint64_t fp : alice_diff_fps_rx) {
+    auto it = alice_fp_to_child.find(fp);
+    if (it == alice_fp_to_child.end()) {
+      return VerificationFailure("mr: unknown Alice-side fingerprint");
+    }
+    const ChildSet& child = alice[it->second];
+    L0Estimator mine(est_params);
+    for (uint64_t e : child) mine.Update(e, 1);
+    uint64_t best_partner = kNoPartner;
+    uint64_t best_estimate = ~0ull;
+    for (size_t j = 0; j < bob_estimators.size(); ++j) {
+      L0Estimator merged = bob_estimators[j];
+      if (!merged.Merge(mine).ok()) continue;
+      uint64_t estimate = merged.Estimate();
+      if (estimate < best_estimate) {
+        best_estimate = estimate;
+        best_partner = j;
+      }
+    }
+    size_t d_i =
+        best_partner == kNoPartner
+            ? child.size() + 1
+            : std::max<size_t>(
+                  4, static_cast<size_t>(params_.estimate_slack *
+                                         static_cast<double>(best_estimate)));
+    plans.push_back(Plan{fp, it->second, best_partner, d_i});
+    total_estimated += d_i;
+  }
+  // Char-poly below sqrt(d) (Theorem 3.9's split); IBLT above; raw child
+  // when the set itself is smaller than the sketch would be.
+  const double sqrt_d = std::sqrt(static_cast<double>(
+      known_d.has_value() ? std::max<size_t>(*known_d, 1)
+                          : std::max<size_t>(total_estimated, 1)));
+
+  ByteWriter w3;
+  w3.PutVarint(plans.size());
+  for (const Plan& plan : plans) {
+    const ChildSet& child = alice[plan.alice_child];
+    PayloadMode mode;
+    if (child.size() <= plan.d_i) {
+      mode = PayloadMode::kDirect;
+    } else if (static_cast<double>(plan.d_i) < sqrt_d) {
+      mode = PayloadMode::kCharPoly;
+    } else {
+      mode = PayloadMode::kIblt;
+    }
+    w3.PutU64(plan.fp);
+    w3.PutU64(plan.partner);
+    w3.PutU8(static_cast<uint8_t>(mode));
+    w3.PutVarint(plan.d_i);
+    switch (mode) {
+      case PayloadMode::kDirect:
+        w3.PutU64Vector(child);
+        break;
+      case PayloadMode::kIblt: {
+        Iblt sketch(ChildPayloadConfig(plan.d_i, seed, plan.fp));
+        for (uint64_t e : child) sketch.InsertU64(e);
+        sketch.Serialize(&w3);
+        break;
+      }
+      case PayloadMode::kCharPoly: {
+        CharPolyReconciler reconciler(plan.d_i,
+                                      DeriveSeed(seed, Mix64(plan.fp)));
+        Result<std::vector<uint8_t>> payload = reconciler.BuildMessage(child);
+        if (!payload.ok()) return payload.status();
+        w3.PutBytes(payload.value());
+        break;
+      }
+    }
+  }
+  size_t msg3 = channel->Send(Party::kAlice, w3.Take(), "mr-payloads");
+
+  // ---- Bob recovers each differing child. ----
+  ByteReader r3(channel->Receive(msg3).payload);
+  uint64_t num_entries = 0;
+  if (!r3.GetVarint(&num_entries)) return ParseError("mr msg3 truncated");
+  SetOfSets da;
+  const ChildSet empty_set;
+  for (uint64_t k = 0; k < num_entries; ++k) {
+    uint64_t fp = 0, partner = 0, d_i = 0;
+    uint8_t mode_raw = 0;
+    if (!r3.GetU64(&fp) || !r3.GetU64(&partner) || !r3.GetU8(&mode_raw) ||
+        !r3.GetVarint(&d_i)) {
+      return ParseError("mr msg3 truncated (entry header)");
+    }
+    const ChildSet* base = &empty_set;
+    if (partner != kNoPartner) {
+      if (partner >= bob_diff_children.size()) {
+        return ParseError("mr msg3: partner index out of range");
+      }
+      base = &bob[bob_diff_children[partner]];
+    }
+    ChildSet candidate;
+    switch (static_cast<PayloadMode>(mode_raw)) {
+      case PayloadMode::kDirect: {
+        if (!r3.GetU64Vector(&candidate)) {
+          return ParseError("mr msg3 truncated (direct)");
+        }
+        break;
+      }
+      case PayloadMode::kIblt: {
+        IbltConfig config = ChildPayloadConfig(d_i, seed, fp);
+        Result<Iblt> sketch = Iblt::Deserialize(&r3, config);
+        if (!sketch.ok()) return sketch.status();
+        Iblt diff = std::move(sketch).value();
+        for (uint64_t e : *base) diff.EraseU64(e);
+        Result<IbltDecodeResult64> dd = diff.DecodeU64();
+        if (!dd.ok()) return dd.status();
+        SetDifference sd;
+        sd.remote_only = std::move(dd.value().positive);
+        sd.local_only = std::move(dd.value().negative);
+        candidate = ApplyDifference(*base, sd);
+        break;
+      }
+      case PayloadMode::kCharPoly: {
+        CharPolyReconciler reconciler(d_i, DeriveSeed(seed, Mix64(fp)));
+        std::vector<uint8_t> payload;
+        if (!r3.GetBytes(reconciler.MessageSize(), &payload)) {
+          return ParseError("mr msg3 truncated (charpoly)");
+        }
+        Result<SetDifference> sd = reconciler.DecodeDifference(payload, *base);
+        if (!sd.ok()) return sd.status();
+        candidate = ApplyDifference(*base, sd.value());
+        break;
+      }
+      default:
+        return ParseError("mr msg3: unknown payload mode");
+    }
+    if (ChildFingerprint(candidate, fp_family) != fp) {
+      return VerificationFailure("mr: child fingerprint mismatch");
+    }
+    da.push_back(std::move(candidate));
+  }
+
+  std::vector<bool> in_db(bob.size(), false);
+  for (size_t j : bob_diff_children) in_db[j] = true;
+  SetOfSets recovered;
+  recovered.reserve(bob.size() + da.size());
+  for (size_t j = 0; j < bob.size(); ++j) {
+    if (!in_db[j]) recovered.push_back(bob[j]);
+  }
+  for (ChildSet& child : da) recovered.push_back(std::move(child));
+  recovered = Canonicalize(std::move(recovered));
+  if (ParentFingerprint(recovered, fp_family) != alice_parent_fp) {
+    return VerificationFailure("mr: parent fingerprint mismatch");
+  }
+  return recovered;
+}
+
+Result<SsrOutcome> MultiRoundProtocol::Reconcile(const SetOfSets& alice,
+                                                 const SetOfSets& bob,
+                                                 std::optional<size_t> known_d,
+                                                 Channel* channel) const {
+  if (Status s = ValidateSetOfSets(alice, params_); !s.ok()) return s;
+  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) return s;
+
+  size_t d_hat;
+  if (known_d.has_value()) {
+    d_hat = std::max<size_t>(DHat(std::max<size_t>(*known_d, 1), params_), 1);
+  } else {
+    // SSRU (Theorem 3.10): round 0, Bob sends an l0 estimator over his
+    // child fingerprints so Alice can size the fingerprint IBLT.
+    L0Estimator::Params est_params;
+    est_params.seed = DeriveSeed(params_.seed, /*tag=*/0x6d724553ull);
+    HashFamily fp_family(est_params.seed, /*tag=*/0x66706d32ull);
+    L0Estimator bob_est(est_params);
+    for (const ChildSet& child : bob) {
+      bob_est.Update(ChildFingerprint(child, fp_family), 2);
+    }
+    ByteWriter writer;
+    bob_est.Serialize(&writer);
+    size_t msg = channel->Send(Party::kBob, writer.Take(), "mr-d-estimator");
+
+    ByteReader reader(channel->Receive(msg).payload);
+    Result<L0Estimator> merged_r =
+        L0Estimator::Deserialize(&reader, est_params);
+    if (!merged_r.ok()) return merged_r.status();
+    L0Estimator merged = std::move(merged_r).value();
+    L0Estimator alice_est(est_params);
+    for (const ChildSet& child : alice) {
+      alice_est.Update(ChildFingerprint(child, fp_family), 1);
+    }
+    if (Status s = merged.Merge(alice_est); !s.ok()) return s;
+    d_hat = std::max<size_t>(
+        static_cast<size_t>(params_.estimate_slack *
+                            static_cast<double>(merged.Estimate())) /
+            2,
+        2);
+  }
+
+  Status last = DecodeFailure("no attempts made");
+  for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
+    uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
+    Result<SetOfSets> recovered =
+        Attempt(alice, bob, known_d, d_hat, seed, channel);
+    if (recovered.ok()) {
+      SsrOutcome outcome;
+      outcome.recovered = std::move(recovered).value();
+      outcome.stats = {channel->rounds(), channel->total_bytes(),
+                       attempt + 1};
+      return outcome;
+    }
+    last = recovered.status();
+    if (last.code() == StatusCode::kParseError) return last;
+    if (!known_d.has_value()) d_hat *= 2;
+  }
+  return Exhausted("multiround failed: " + last.ToString());
+}
+
+}  // namespace setrec

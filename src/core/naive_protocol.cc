@@ -1,0 +1,139 @@
+#include "core/naive_protocol.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/encoding.h"
+#include "estimator/l0_estimator.h"
+#include "hashing/random.h"
+#include "iblt/iblt.h"
+#include "util/serialization.h"
+
+namespace setrec {
+
+namespace {
+constexpr uint64_t kAttemptTag = 0x6e616976ull;  // "naiv"
+constexpr uint64_t kEstimatorTag = 0x6e764553ull;
+}  // namespace
+
+Result<SetOfSets> NaiveProtocol::Attempt(const SetOfSets& alice,
+                                         const SetOfSets& bob, size_t d_hat,
+                                         uint64_t seed,
+                                         Channel* channel) const {
+  const size_t h = params_.max_child_size;
+  const size_t width = ChildBlobWidth(h);
+  // The outer table must decode |E_A ⊕ E_B| <= 2 * d_hat blobs.
+  IbltConfig config = IbltConfig::ForDifference(2 * d_hat, seed, width);
+  HashFamily fp_family(seed, /*tag=*/0x70666e76ull);
+
+  // --- Alice ---
+  Iblt table(config);
+  for (const ChildSet& child : alice) table.Insert(EncodeChildBlob(child, h));
+  ByteWriter writer;
+  writer.PutU64(ParentFingerprint(alice, fp_family));
+  table.Serialize(&writer);
+  size_t msg = channel->Send(Party::kAlice, writer.Take(), "naive-iblt");
+
+  // --- Bob ---
+  ByteReader reader(channel->Receive(msg).payload);
+  uint64_t alice_fp = 0;
+  if (!reader.GetU64(&alice_fp)) return ParseError("naive message truncated");
+  Result<Iblt> received = Iblt::Deserialize(&reader, config);
+  if (!received.ok()) return received.status();
+  Iblt remote = std::move(received).value();
+  for (const ChildSet& child : bob) remote.Erase(EncodeChildBlob(child, h));
+
+  Result<IbltDecodeResult> decoded = remote.Decode();
+  if (!decoded.ok()) return decoded.status();
+
+  // Positive blobs are Alice-only children; negatives are Bob-only.
+  std::map<std::vector<uint8_t>, int> to_remove;
+  for (const auto& blob : decoded.value().negative) to_remove[blob] += 1;
+
+  SetOfSets recovered;
+  recovered.reserve(bob.size() + decoded.value().positive.size());
+  for (const ChildSet& child : bob) {
+    auto it = to_remove.find(EncodeChildBlob(child, h));
+    if (it != to_remove.end() && it->second > 0) {
+      it->second -= 1;
+      continue;
+    }
+    recovered.push_back(child);
+  }
+  for (const auto& blob : decoded.value().positive) {
+    Result<ChildSet> child = DecodeChildBlob(blob, h);
+    if (!child.ok()) return child.status();
+    recovered.push_back(std::move(child).value());
+  }
+  recovered = Canonicalize(std::move(recovered));
+  if (ParentFingerprint(recovered, fp_family) != alice_fp) {
+    return VerificationFailure("naive: recovered parent fingerprint mismatch");
+  }
+  return recovered;
+}
+
+Result<SsrOutcome> NaiveProtocol::Reconcile(const SetOfSets& alice,
+                                            const SetOfSets& bob,
+                                            std::optional<size_t> known_d,
+                                            Channel* channel) const {
+  if (params_.max_child_size == 0) {
+    return InvalidArgument("naive protocol requires max_child_size (h)");
+  }
+  if (Status s = ValidateSetOfSets(alice, params_); !s.ok()) return s;
+  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) return s;
+
+  size_t d_hat;
+  if (known_d.has_value()) {
+    d_hat = std::max<size_t>(DHat(*known_d, params_), 1);
+  } else {
+    // SSRU (Theorem 3.4): Bob sends an l0 estimator over his child
+    // fingerprints; the number of differing children is the fingerprint
+    // set difference (up to fingerprint collisions).
+    L0Estimator::Params est_params;
+    est_params.seed = DeriveSeed(params_.seed, kEstimatorTag);
+    HashFamily child_fp_family(est_params.seed, /*tag=*/0x63667076ull);
+    L0Estimator bob_est(est_params);
+    for (const ChildSet& child : bob) {
+      bob_est.Update(ChildFingerprint(child, child_fp_family), 2);
+    }
+    ByteWriter writer;
+    bob_est.Serialize(&writer);
+    size_t msg = channel->Send(Party::kBob, writer.Take(), "naive-estimator");
+
+    ByteReader reader(channel->Receive(msg).payload);
+    Result<L0Estimator> merged_r = L0Estimator::Deserialize(&reader,
+                                                            est_params);
+    if (!merged_r.ok()) return merged_r.status();
+    L0Estimator merged = std::move(merged_r).value();
+    L0Estimator alice_est(est_params);
+    for (const ChildSet& child : alice) {
+      alice_est.Update(ChildFingerprint(child, child_fp_family), 1);
+    }
+    if (Status s = merged.Merge(alice_est); !s.ok()) return s;
+    // The estimate covers both sides' differing children (~2 d-hat).
+    d_hat = std::max<size_t>(
+        static_cast<size_t>(params_.estimate_slack *
+                            static_cast<double>(merged.Estimate())) /
+            2,
+        2);
+  }
+
+  Status last = DecodeFailure("no attempts made");
+  for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
+    uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
+    Result<SetOfSets> recovered = Attempt(alice, bob, d_hat, seed, channel);
+    if (recovered.ok()) {
+      SsrOutcome outcome;
+      outcome.recovered = std::move(recovered).value();
+      outcome.stats = {channel->rounds(), channel->total_bytes(),
+                       attempt + 1};
+      return outcome;
+    }
+    last = recovered.status();
+    if (last.code() == StatusCode::kParseError) return last;
+    if (!known_d.has_value()) d_hat *= 2;  // Estimator may have been low.
+  }
+  return Exhausted("naive protocol failed: " + last.ToString());
+}
+
+}  // namespace setrec

@@ -1,0 +1,37 @@
+#ifndef SETREC_CORE_NAIVE_PROTOCOL_H_
+#define SETREC_CORE_NAIVE_PROTOCOL_H_
+
+#include "core/protocol.h"
+
+namespace setrec {
+
+/// The naive protocol of Section 3.1 (Theorems 3.3 and 3.4): ignore that
+/// items are sets and treat each child set as an atomic element of a huge
+/// universe. Each child is serialized into a fixed-width blob of
+/// O(h log u) bits and the blobs are reconciled with a single blob-keyed
+/// IBLT of O(d-hat) cells.
+///
+///   SSRK: 1 round,  O(d-hat * h log u) bits, O(n) time.
+///   SSRU: 2 rounds (an l0 difference estimator over child fingerprints
+///         first), same bits, O(n log d-hat) time.
+class NaiveProtocol : public SetsOfSetsProtocol {
+ public:
+  explicit NaiveProtocol(const SsrParams& params) : params_(params) {}
+
+  std::string Name() const override { return "naive"; }
+
+  Result<SsrOutcome> Reconcile(const SetOfSets& alice, const SetOfSets& bob,
+                               std::optional<size_t> known_d,
+                               Channel* channel) const override;
+
+ private:
+  Result<SetOfSets> Attempt(const SetOfSets& alice, const SetOfSets& bob,
+                            size_t d_hat, uint64_t seed,
+                            Channel* channel) const;
+
+  SsrParams params_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_NAIVE_PROTOCOL_H_

@@ -1,0 +1,67 @@
+#include "core/protocol.h"
+
+#include <algorithm>
+
+#include "setrec/multiset_codec.h"
+
+namespace setrec {
+
+SetOfSets Canonicalize(SetOfSets sets) {
+  for (ChildSet& child : sets) {
+    std::sort(child.begin(), child.end());
+    child.erase(std::unique(child.begin(), child.end()), child.end());
+  }
+  std::sort(sets.begin(), sets.end());
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  return sets;
+}
+
+uint64_t ChildFingerprint(const ChildSet& child, const HashFamily& family) {
+  return SetFingerprint(child, family);
+}
+
+uint64_t ParentFingerprint(const SetOfSets& sets, const HashFamily& family) {
+  std::vector<uint64_t> child_fps;
+  child_fps.reserve(sets.size());
+  for (const ChildSet& child : sets) {
+    child_fps.push_back(ChildFingerprint(child, family));
+  }
+  return SetFingerprint(child_fps, family);
+}
+
+size_t TotalElements(const SetOfSets& sets) {
+  size_t n = 0;
+  for (const ChildSet& child : sets) n += child.size();
+  return n;
+}
+
+Status ValidateSetOfSets(const SetOfSets& sets, const SsrParams& params) {
+  for (const ChildSet& child : sets) {
+    if (params.max_child_size > 0 && child.size() > params.max_child_size) {
+      return InvalidArgument("child set larger than max_child_size (h)");
+    }
+    for (size_t i = 0; i < child.size(); ++i) {
+      if (child[i] >= kParentMarkBase + (1ull << 48)) {
+        return InvalidArgument("element outside the library element space");
+      }
+      if (i > 0 && child[i] <= child[i - 1]) {
+        return InvalidArgument("child set not sorted/unique");
+      }
+    }
+  }
+  if (params.max_children > 0 && sets.size() > params.max_children) {
+    return InvalidArgument("more children than max_children (s)");
+  }
+  return Status::Ok();
+}
+
+size_t DHat(size_t d, const SsrParams& params) {
+  size_t d_hat = d;
+  if (params.max_children > 0) d_hat = std::min(d_hat, params.max_children);
+  if (params.max_differing_children > 0) {
+    d_hat = std::min(d_hat, params.max_differing_children);
+  }
+  return d_hat;
+}
+
+}  // namespace setrec

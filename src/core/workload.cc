@@ -1,0 +1,69 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "hashing/random.h"
+#include "setrec/multiset_codec.h"
+
+namespace setrec {
+
+SsrWorkload MakeSsrWorkload(const SsrWorkloadSpec& spec) {
+  Rng rng(DeriveSeed(spec.seed, /*tag=*/0x776b6c64ull));  // "wkld"
+  const uint64_t universe = std::min(spec.universe, kUserElementLimit);
+
+  SsrWorkload workload;
+  workload.bob.reserve(spec.num_children);
+  for (size_t c = 0; c < spec.num_children; ++c) {
+    std::set<uint64_t> child;
+    while (child.size() < spec.child_size) {
+      child.insert(rng.UniformU64(universe));
+    }
+    workload.bob.emplace_back(child.begin(), child.end());
+  }
+  workload.bob = Canonicalize(std::move(workload.bob));
+  workload.alice = workload.bob;
+
+  // Which children may be touched.
+  std::vector<size_t> touchable(workload.alice.size());
+  for (size_t i = 0; i < touchable.size(); ++i) touchable[i] = i;
+  if (spec.touched_children > 0 &&
+      spec.touched_children < touchable.size()) {
+    std::shuffle(touchable.begin(), touchable.end(), rng);
+    touchable.resize(spec.touched_children);
+  }
+  if (touchable.empty()) return workload;
+
+  // Track per-child inserted/deleted elements so changes never cancel.
+  std::vector<std::unordered_set<uint64_t>> inserted(workload.alice.size());
+  std::vector<std::unordered_set<uint64_t>> deleted(workload.alice.size());
+
+  size_t applied = 0;
+  size_t guard = spec.changes * 64 + 64;
+  while (applied < spec.changes && guard-- > 0) {
+    size_t child_idx = touchable[rng.UniformU64(touchable.size())];
+    ChildSet& child = workload.alice[child_idx];
+    bool do_insert = child.empty() || rng.Bernoulli(0.5);
+    if (do_insert) {
+      uint64_t e = rng.UniformU64(universe);
+      if (deleted[child_idx].count(e) > 0) continue;  // Would cancel.
+      auto it = std::lower_bound(child.begin(), child.end(), e);
+      if (it != child.end() && *it == e) continue;  // Already present.
+      child.insert(it, e);
+      inserted[child_idx].insert(e);
+    } else {
+      size_t pos = rng.UniformU64(child.size());
+      uint64_t e = child[pos];
+      if (inserted[child_idx].count(e) > 0) continue;  // Would cancel.
+      child.erase(child.begin() + pos);
+      deleted[child_idx].insert(e);
+    }
+    ++applied;
+  }
+  workload.applied_changes = applied;
+  workload.alice = Canonicalize(std::move(workload.alice));
+  return workload;
+}
+
+}  // namespace setrec

@@ -1,0 +1,44 @@
+#ifndef SETREC_CORE_WORKLOAD_H_
+#define SETREC_CORE_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "core/protocol.h"
+
+namespace setrec {
+
+/// A synthetic sets-of-sets reconciliation instance with a known difference
+/// bound, used by tests and by the benchmark harness (all of the paper's
+/// workloads are synthetic; Section 3.5 fixes s, u, h, d regimes).
+struct SsrWorkload {
+  SetOfSets alice;
+  SetOfSets bob;
+  /// The number of element insertions/deletions applied to derive Alice's
+  /// parent set from Bob's — an upper bound on the minimum-difference
+  /// matching cost d.
+  size_t applied_changes = 0;
+};
+
+struct SsrWorkloadSpec {
+  /// Number of child sets s.
+  size_t num_children = 16;
+  /// Elements per child set h (children are generated full).
+  size_t child_size = 32;
+  /// Elements are drawn from [0, universe).
+  uint64_t universe = 1ull << 32;
+  /// Total element changes to apply (the paper's d).
+  size_t changes = 4;
+  /// If > 0, changes are concentrated on at most this many child sets;
+  /// 0 spreads them uniformly at random.
+  size_t touched_children = 0;
+  uint64_t seed = 1;
+};
+
+/// Generates Bob's parent set, copies it to Alice, and applies
+/// spec.changes random single-element insertions/deletions to Alice's
+/// children (never cancelling each other, so applied_changes is tight).
+SsrWorkload MakeSsrWorkload(const SsrWorkloadSpec& spec);
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_WORKLOAD_H_

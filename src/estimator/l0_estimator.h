@@ -1,0 +1,77 @@
+#ifndef SETREC_ESTIMATOR_L0_ESTIMATOR_H_
+#define SETREC_ESTIMATOR_L0_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/serialization.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// The paper's set-difference estimator (Theorem 3.1 / Appendix A), built
+/// from streaming l0-norm estimation over {-1,0,1} vectors:
+///
+///  * Elements are assigned to level i with probability 2^-(i+1) via the
+///    least-significant set bit of a pairwise-independent hash.
+///  * Each level is a bank of 2-bit counters mod 4; an Update on side 1
+///    adds +1 to the element's bucket, side 2 adds -1 (== +3 mod 4).
+///  * Counters are stored as 3-bit fields (one always-zero padding bit), so
+///    Merge is word-parallel: add the raw words, then mask the padding bits
+///    — exactly the word-RAM trick described in Appendix A.
+///  * The estimate is derived from the deepest level whose count of nonzero
+///    buckets exceeds a threshold (8, as in Appendix A / KNW'10); when no
+///    level reaches the threshold, the levels partition the difference, so
+///    summing nonzero buckets across levels is (near) exact.
+///  * Replicated kReplicas times; Estimate() returns the median.
+///
+/// Versus the strata estimator this is ~an order of magnitude smaller (no
+/// O(log u)-bit keys, just 2-bit counters) with O(words) merge — the
+/// improvement Theorem 3.1 claims over [14].
+class L0Estimator {
+ public:
+  struct Params {
+    /// Buckets per level. Collisions (two difference elements in one
+    /// bucket) bias the estimate low; 64 keeps levels accurate up to the
+    /// activation threshold while staying a few words wide.
+    size_t buckets_per_level = 64;
+    /// Number of levels; level i receives a 2^-(i+1) sample.
+    int num_levels = 40;
+    /// Independent replicas; the estimate is their median.
+    int replicas = 7;
+    /// Shared public-coin seed.
+    uint64_t seed = 0;
+  };
+
+  explicit L0Estimator(const Params& params);
+
+  /// Adds x to side 1 or side 2.
+  void Update(uint64_t x, int side);
+
+  /// Merges a peer estimator built with identical Params (word add + mask).
+  Status Merge(const L0Estimator& other);
+
+  /// Median-of-replicas constant-factor estimate of |S1 ⊕ S2|.
+  uint64_t Estimate() const;
+
+  void Serialize(ByteWriter* writer) const;
+  static Result<L0Estimator> Deserialize(ByteReader* reader,
+                                         const Params& params);
+  size_t SerializedSize() const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  /// Raw storage words for (replica, level).
+  size_t LevelOffset(int replica, int level) const;
+  uint64_t EstimateReplica(int replica) const;
+
+  Params params_;
+  size_t words_per_level_;
+  std::vector<uint64_t> words_;
+  std::vector<uint64_t> replica_seeds_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_ESTIMATOR_L0_ESTIMATOR_H_

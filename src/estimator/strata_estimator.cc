@@ -1,0 +1,94 @@
+#include "estimator/strata_estimator.h"
+
+#include <bit>
+
+#include "hashing/random.h"
+
+namespace setrec {
+
+namespace {
+IbltConfig StratumConfig(const StrataEstimator::Params& params, int stratum) {
+  IbltConfig config;
+  config.cells = params.cells_per_stratum;
+  config.num_hashes = 3;
+  config.key_width = 8;
+  config.seed = DeriveSeed(params.seed, 0x73747261ull + stratum);  // "stra"
+  return config;
+}
+}  // namespace
+
+StrataEstimator::StrataEstimator(const Params& params)
+    : params_(params),
+      level_seed_(DeriveSeed(params.seed, /*tag=*/0x6c76736dull)) {  // "lvsm"
+  strata_.reserve(params_.num_strata);
+  for (int i = 0; i < params_.num_strata; ++i) {
+    strata_.emplace_back(StratumConfig(params_, i));
+  }
+}
+
+int StrataEstimator::StratumOf(uint64_t x) const {
+  uint64_t h = Mix64(x ^ level_seed_);
+  int level = std::countr_zero(h);
+  return level >= params_.num_strata ? params_.num_strata - 1 : level;
+}
+
+void StrataEstimator::Update(uint64_t x, int side) {
+  Iblt& stratum = strata_[StratumOf(x)];
+  if (side == 1) {
+    stratum.InsertU64(x);
+  } else {
+    stratum.EraseU64(x);
+  }
+}
+
+Status StrataEstimator::Merge(const StrataEstimator& other) {
+  if (other.params_.num_strata != params_.num_strata ||
+      other.params_.cells_per_stratum != params_.cells_per_stratum ||
+      other.params_.seed != params_.seed) {
+    return InvalidArgument("strata merge: mismatched params");
+  }
+  for (int i = 0; i < params_.num_strata; ++i) {
+    Status s = strata_[i].Add(other.strata_[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+uint64_t StrataEstimator::Estimate() const {
+  uint64_t count = 0;
+  for (int i = params_.num_strata - 1; i >= 0; --i) {
+    Result<IbltDecodeResult64> decoded = strata_[i].DecodeU64();
+    if (!decoded.ok()) {
+      // First undecodable stratum: scale what was recovered above it.
+      return count << (i + 1);
+    }
+    count += decoded.value().positive.size() + decoded.value().negative.size();
+  }
+  return count;  // Every stratum decoded: the count is (nearly) exact.
+}
+
+void StrataEstimator::Serialize(ByteWriter* writer) const {
+  for (const Iblt& stratum : strata_) stratum.SerializeFixed(writer);
+}
+
+Result<StrataEstimator> StrataEstimator::Deserialize(ByteReader* reader,
+                                                     const Params& params) {
+  StrataEstimator est(params);
+  for (int i = 0; i < params.num_strata; ++i) {
+    Result<Iblt> table =
+        Iblt::DeserializeFixed(reader, StratumConfig(params, i));
+    if (!table.ok()) return table.status();
+    est.strata_[i] = std::move(table).value();
+  }
+  return est;
+}
+
+size_t StrataEstimator::SerializedSize() const {
+  size_t total = 0;
+  for (const Iblt& stratum : strata_) {
+    total += stratum.config().FixedSerializedSize();
+  }
+  return total;
+}
+
+}  // namespace setrec

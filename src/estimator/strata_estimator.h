@@ -1,0 +1,62 @@
+#ifndef SETREC_ESTIMATOR_STRATA_ESTIMATOR_H_
+#define SETREC_ESTIMATOR_STRATA_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "iblt/iblt.h"
+#include "util/serialization.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// The strata estimator of Eppstein, Goodrich, Uyeda and Varghese ("What's
+/// the difference?", SIGCOMM 2011) — reference [14], the baseline that the
+/// paper's Appendix A estimator improves on. Elements are assigned to
+/// stratum i with probability 2^-(i+1) (trailing zeros of a hash); each
+/// stratum is a small IBLT. To estimate |S1 ⊕ S2|, decode strata from the
+/// top down and scale the count recovered above the first failure.
+class StrataEstimator {
+ public:
+  struct Params {
+    /// Number of strata (32 covers sets up to ~2^32 differences).
+    int num_strata = 32;
+    /// Cells per stratum IBLT.
+    size_t cells_per_stratum = 40;
+    /// Shared public-coin seed.
+    uint64_t seed = 0;
+  };
+
+  explicit StrataEstimator(const Params& params);
+
+  /// Adds x to side 1 (insert) or side 2 (delete); the structure then
+  /// represents the pair (S1, S2) whose difference is being estimated.
+  void Update(uint64_t x, int side);
+
+  /// Merges another estimator built with identical Params: afterwards this
+  /// represents (S1 ∪ S1', S2 ∪ S2').
+  Status Merge(const StrataEstimator& other);
+
+  /// Estimates |S1 ⊕ S2| (within a constant factor w.h.p.).
+  uint64_t Estimate() const;
+
+  void Serialize(ByteWriter* writer) const;
+  static Result<StrataEstimator> Deserialize(ByteReader* reader,
+                                             const Params& params);
+
+  /// Bytes of the fixed serialization (the message size a party pays).
+  size_t SerializedSize() const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  int StratumOf(uint64_t x) const;
+
+  Params params_;
+  std::vector<Iblt> strata_;
+  uint64_t level_seed_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_ESTIMATOR_STRATA_ESTIMATOR_H_

@@ -1,0 +1,55 @@
+#include "forest/ahu.h"
+
+#include <algorithm>
+
+#include "util/serialization.h"
+
+namespace setrec {
+
+namespace {
+constexpr uint64_t kSigMask = (1ull << kAhuSignatureBits) - 1;
+}  // namespace
+
+std::vector<uint64_t> AhuSignatures(const RootedForest& forest,
+                                    const HashFamily& family) {
+  const size_t n = forest.num_vertices();
+  // Process by decreasing depth so every child is finished before its
+  // parent.
+  std::vector<uint32_t> order(n);
+  std::vector<size_t> depth(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    order[v] = v;
+    depth[v] = forest.Depth(v);
+  }
+  std::sort(order.begin(), order.end(),
+            [&depth](uint32_t a, uint32_t b) { return depth[a] > depth[b]; });
+
+  std::vector<uint64_t> sig(n, 0);
+  for (uint32_t v : order) {
+    std::vector<uint64_t> child_sigs;
+    child_sigs.reserve(forest.Children(v).size());
+    for (uint32_t c : forest.Children(v)) child_sigs.push_back(sig[c]);
+    std::sort(child_sigs.begin(), child_sigs.end());
+    ByteWriter writer;
+    for (uint64_t s : child_sigs) writer.PutU64(s);
+    sig[v] = family.HashBytes(writer.bytes()) & kSigMask;
+  }
+  return sig;
+}
+
+uint64_t ForestIsomorphismClass(const RootedForest& forest,
+                                const HashFamily& family) {
+  std::vector<uint64_t> sigs = AhuSignatures(forest, family);
+  std::vector<uint64_t> root_sigs;
+  for (uint32_t r : forest.Roots()) root_sigs.push_back(sigs[r]);
+  return SetFingerprint(root_sigs, family);
+}
+
+bool AreForestsIsomorphic(const RootedForest& a, const RootedForest& b,
+                          const HashFamily& family) {
+  if (a.num_vertices() != b.num_vertices()) return false;
+  return ForestIsomorphismClass(a, family) ==
+         ForestIsomorphismClass(b, family);
+}
+
+}  // namespace setrec

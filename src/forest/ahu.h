@@ -1,0 +1,36 @@
+#ifndef SETREC_FOREST_AHU_H_
+#define SETREC_FOREST_AHU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/forest.h"
+#include "hashing/hash.h"
+
+namespace setrec {
+
+/// Width of a vertex signature: Section 6 uses Theta(log n)-bit hashes of
+/// AHU isomorphism-class labels; 48 bits keep collision probability below
+/// n^2 / 2^48 while leaving room for the parent marker in the element space.
+inline constexpr int kAhuSignatureBits = 48;
+
+/// Computes the hashed AHU label of every vertex: a leaf's signature is the
+/// hash of the empty list; an internal vertex's signature is the hash of
+/// the sorted signatures of its children (Aho–Hopcroft–Ullman [2]). Equal
+/// signatures <=> isomorphic rooted subtrees (up to hash collisions).
+/// O(n log n) time with per-vertex sorting of O(1)-word signatures.
+std::vector<uint64_t> AhuSignatures(const RootedForest& forest,
+                                    const HashFamily& family);
+
+/// A label for the whole forest's isomorphism class: the order-invariant
+/// fingerprint of the multiset of root signatures.
+uint64_t ForestIsomorphismClass(const RootedForest& forest,
+                                const HashFamily& family);
+
+/// Exact (up to hash collisions) rooted-forest isomorphism test.
+bool AreForestsIsomorphic(const RootedForest& a, const RootedForest& b,
+                          const HashFamily& family);
+
+}  // namespace setrec
+
+#endif  // SETREC_FOREST_AHU_H_

@@ -1,0 +1,111 @@
+#include "forest/forest.h"
+
+#include <algorithm>
+
+namespace setrec {
+
+RootedForest::RootedForest(size_t num_vertices)
+    : parent_(num_vertices, kNoParent), children_(num_vertices) {}
+
+std::vector<uint32_t> RootedForest::Roots() const {
+  std::vector<uint32_t> roots;
+  for (uint32_t v = 0; v < parent_.size(); ++v) {
+    if (IsRoot(v)) roots.push_back(v);
+  }
+  return roots;
+}
+
+uint32_t RootedForest::RootOf(uint32_t v) const {
+  while (!IsRoot(v)) v = parent_[v];
+  return v;
+}
+
+Status RootedForest::Attach(uint32_t child, uint32_t parent) {
+  if (child >= parent_.size() || parent >= parent_.size()) {
+    return InvalidArgument("attach: vertex out of range");
+  }
+  if (!IsRoot(child)) {
+    return InvalidArgument("attach: child must be a root (Section 6 model)");
+  }
+  if (RootOf(parent) == child) {
+    return InvalidArgument("attach: would create a cycle");
+  }
+  parent_[child] = parent;
+  children_[parent].push_back(child);
+  std::sort(children_[parent].begin(), children_[parent].end());
+  ++num_edges_;
+  return Status::Ok();
+}
+
+Status RootedForest::Detach(uint32_t v) {
+  if (v >= parent_.size()) return InvalidArgument("detach: out of range");
+  if (IsRoot(v)) return InvalidArgument("detach: v is already a root");
+  std::vector<uint32_t>& siblings = children_[parent_[v]];
+  siblings.erase(std::find(siblings.begin(), siblings.end(), v));
+  parent_[v] = kNoParent;
+  --num_edges_;
+  return Status::Ok();
+}
+
+size_t RootedForest::Depth(uint32_t v) const {
+  size_t depth = 1;
+  while (!IsRoot(v)) {
+    v = parent_[v];
+    ++depth;
+  }
+  return depth;
+}
+
+size_t RootedForest::MaxDepth() const {
+  size_t sigma = 0;
+  for (uint32_t v = 0; v < parent_.size(); ++v) {
+    // Only leaves can realize the maximum, but checking all is O(n * depth)
+    // and simpler.
+    sigma = std::max(sigma, Depth(v));
+  }
+  return sigma;
+}
+
+RootedForest RootedForest::Random(size_t n, size_t max_depth, double root_prob,
+                                  Rng* rng) {
+  RootedForest forest(n);
+  for (uint32_t v = 1; v < n; ++v) {
+    if (rng->Bernoulli(root_prob)) continue;  // Stay a root.
+    // A bounded number of tries to find a parent within the depth budget.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      uint32_t parent = static_cast<uint32_t>(rng->UniformU64(v));
+      if (forest.Depth(parent) < max_depth) {
+        (void)forest.Attach(v, parent);
+        break;
+      }
+    }
+  }
+  return forest;
+}
+
+size_t RootedForest::Perturb(size_t count, size_t max_depth, Rng* rng) {
+  const size_t n = num_vertices();
+  if (n < 2) return 0;
+  size_t applied = 0;
+  size_t guard = count * 64 + 64;
+  while (applied < count && guard-- > 0) {
+    if (rng->Bernoulli(0.5) && num_edges_ > 0) {
+      // Detach a random non-root.
+      uint32_t v = static_cast<uint32_t>(rng->UniformU64(n));
+      if (IsRoot(v)) continue;
+      (void)Detach(v);
+      ++applied;
+    } else {
+      uint32_t child = static_cast<uint32_t>(rng->UniformU64(n));
+      uint32_t parent = static_cast<uint32_t>(rng->UniformU64(n));
+      if (child == parent || !IsRoot(child)) continue;
+      if (RootOf(parent) == child) continue;
+      if (Depth(parent) >= max_depth) continue;
+      (void)Attach(child, parent);
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+}  // namespace setrec

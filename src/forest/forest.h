@@ -1,0 +1,69 @@
+#ifndef SETREC_FOREST_FOREST_H_
+#define SETREC_FOREST_FOREST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hashing/random.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// A forest of rooted trees on vertices 0..n-1, stored as a parent array
+/// (the paper's directed-forest view: edges point away from roots). The
+/// Section 6 update model is enforced: deleting an edge makes the child a
+/// new root; an inserted edge's child must currently be a root, and the
+/// insertion must not create a cycle.
+class RootedForest {
+ public:
+  static constexpr uint32_t kNoParent = ~0u;
+
+  /// n isolated roots.
+  explicit RootedForest(size_t num_vertices);
+
+  size_t num_vertices() const { return parent_.size(); }
+  /// Number of (directed) edges = n - #roots.
+  size_t num_edges() const { return num_edges_; }
+
+  uint32_t Parent(uint32_t v) const { return parent_[v]; }
+  const std::vector<uint32_t>& Children(uint32_t v) const {
+    return children_[v];
+  }
+  bool IsRoot(uint32_t v) const { return parent_[v] == kNoParent; }
+  std::vector<uint32_t> Roots() const;
+  uint32_t RootOf(uint32_t v) const;
+
+  /// Inserts the edge parent -> child. `child` must be a root and must not
+  /// be an ancestor of `parent` (Section 6's legal insertions).
+  Status Attach(uint32_t child, uint32_t parent);
+
+  /// Deletes the edge into v; v becomes a root.
+  Status Detach(uint32_t v);
+
+  /// Depth of v (root = 1).
+  size_t Depth(uint32_t v) const;
+  /// sigma: the maximum depth over all vertices.
+  size_t MaxDepth() const;
+
+  /// Random forest: vertices are attached to a uniformly random earlier
+  /// vertex whose depth is < max_depth, or stay roots with prob root_prob.
+  static RootedForest Random(size_t n, size_t max_depth, double root_prob,
+                             Rng* rng);
+
+  /// Applies `count` random forest-preserving edge updates (detach a random
+  /// non-root / attach a random root under a vertex of another tree, depth
+  /// permitting). Returns the number of updates applied.
+  size_t Perturb(size_t count, size_t max_depth, Rng* rng);
+
+  bool operator==(const RootedForest&) const = default;
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<std::vector<uint32_t>> children_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_FOREST_FOREST_H_

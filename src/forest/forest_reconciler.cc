@@ -1,0 +1,238 @@
+#include "forest/forest_reconciler.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "core/cascading_protocol.h"
+#include "core/protocol.h"
+#include "forest/ahu.h"
+#include "hashing/random.h"
+#include "setrec/multiset_codec.h"
+#include "util/serialization.h"
+
+namespace setrec {
+
+namespace {
+
+/// Child-signature multiplicities are capped at 2^8 identical subtrees
+/// under one parent; values (48-bit signatures) then exactly fit the codec
+/// range (48 + 8 = 56).
+constexpr int kChildCountBits = 8;
+
+/// The per-vertex child multiset, encoded as a sorted set:
+/// (child signature, count) pairs plus the parent-marked own signature.
+Result<ChildSet> VertexChildSet(const RootedForest& forest, uint32_t v,
+                                const std::vector<uint64_t>& sigs) {
+  std::vector<uint64_t> child_sigs;
+  child_sigs.reserve(forest.Children(v).size());
+  for (uint32_t c : forest.Children(v)) child_sigs.push_back(sigs[c]);
+  MultisetCodec codec{kChildCountBits};
+  Result<ChildSet> encoded = codec.Encode(child_sigs);
+  if (!encoded.ok()) return encoded.status();
+  ChildSet out = std::move(encoded).value();
+  out.push_back(kParentMarkBase + sigs[v]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Result<RootedForest> RebuildForest(
+    const std::map<uint64_t, size_t>& vertex_sigs,
+    const std::map<std::pair<uint64_t, uint64_t>, size_t>& edge_sigs) {
+  size_t n = 0;
+  for (const auto& [sig, count] : vertex_sigs) n += count;
+
+  // Per-parent-signature child slots: c_{S,C} = e_{S,C} / k_S.
+  std::map<uint64_t, std::vector<std::pair<uint64_t, size_t>>> slots;
+  std::map<uint64_t, size_t> consumed;  // Child-sig instances used as slots.
+  for (const auto& [edge, count] : edge_sigs) {
+    const auto& [parent_sig, child_sig] = edge;
+    auto it = vertex_sigs.find(parent_sig);
+    if (it == vertex_sigs.end()) {
+      return VerificationFailure("rebuild: edge from unknown signature");
+    }
+    size_t k = it->second;
+    if (count % k != 0) {
+      return VerificationFailure(
+          "rebuild: edge multiplicity not divisible by parent count");
+    }
+    slots[parent_sig].emplace_back(child_sig, count / k);
+    consumed[child_sig] += count;
+  }
+
+  // Root counts: instances not consumed as children.
+  std::map<uint64_t, size_t> roots;
+  for (const auto& [sig, count] : vertex_sigs) {
+    size_t used = consumed.count(sig) ? consumed[sig] : 0;
+    if (used > count) {
+      return VerificationFailure("rebuild: child signature over-consumed");
+    }
+    if (count - used > 0) roots[sig] = count - used;
+  }
+
+  RootedForest forest(n);
+  uint32_t next_vertex = 0;
+  // Recursive instantiation; the signature dependency relation is acyclic
+  // for honest inputs (a tree cannot contain a proper isomorphic copy of
+  // itself), but we guard with a depth cap anyway.
+  std::function<Result<uint32_t>(uint64_t, size_t)> build =
+      [&](uint64_t sig, size_t depth) -> Result<uint32_t> {
+    if (depth > n) {
+      return VerificationFailure("rebuild: cyclic signature dependency");
+    }
+    if (next_vertex >= n) {
+      return VerificationFailure("rebuild: too many vertices implied");
+    }
+    uint32_t v = next_vertex++;
+    auto it = slots.find(sig);
+    if (it != slots.end()) {
+      for (const auto& [child_sig, per_parent] : it->second) {
+        for (size_t k = 0; k < per_parent; ++k) {
+          Result<uint32_t> child = build(child_sig, depth + 1);
+          if (!child.ok()) return child.status();
+          if (Status s = forest.Attach(child.value(), v); !s.ok()) return s;
+        }
+      }
+    }
+    return v;
+  };
+  for (const auto& [sig, count] : roots) {
+    for (size_t k = 0; k < count; ++k) {
+      Result<uint32_t> root = build(sig, 1);
+      if (!root.ok()) return root.status();
+    }
+  }
+  if (next_vertex != n) {
+    return VerificationFailure("rebuild: vertex count mismatch");
+  }
+  return forest;
+}
+
+Result<ForestReconcileOutcome> ForestReconcile(const RootedForest& alice,
+                                               const RootedForest& bob,
+                                               size_t d, size_t sigma,
+                                               uint64_t seed,
+                                               Channel* channel) {
+  HashFamily sig_family(seed, /*tag=*/0x61687530ull);  // "ahu0"
+  std::vector<uint64_t> alice_sigs = AhuSignatures(alice, sig_family);
+  std::vector<uint64_t> bob_sigs = AhuSignatures(bob, sig_family);
+
+  auto build_parent = [&](const RootedForest& forest,
+                          const std::vector<uint64_t>& sigs)
+      -> Result<SetOfSets> {
+    SetOfSets children;
+    children.reserve(forest.num_vertices());
+    size_t max_child = 0;
+    for (uint32_t v = 0; v < forest.num_vertices(); ++v) {
+      Result<ChildSet> child = VertexChildSet(forest, v, sigs);
+      if (!child.ok()) return child.status();
+      max_child = std::max(max_child, child.value().size());
+      children.push_back(std::move(child).value());
+    }
+    return children;
+  };
+  Result<SetOfSets> alice_children_r = build_parent(alice, alice_sigs);
+  if (!alice_children_r.ok()) return alice_children_r.status();
+  Result<SetOfSets> bob_children_r = build_parent(bob, bob_sigs);
+  if (!bob_children_r.ok()) return bob_children_r.status();
+
+  // h for the SSR: the largest encoded child multiset (distinct child sigs
+  // + parent marker + dup marker). Both parties' forests bound it by their
+  // max out-degree, a model parameter.
+  size_t h = 2;
+  for (const ChildSet& c : alice_children_r.value()) {
+    h = std::max(h, c.size() + 1);
+  }
+  for (const ChildSet& c : bob_children_r.value()) {
+    h = std::max(h, c.size() + 1);
+  }
+
+  // Each edge update changes the signatures of at most sigma ancestors per
+  // side; each changed vertex signature perturbs its own child multiset
+  // (parent marker) and its parent's (one encoded pair), so O(d * sigma)
+  // total element changes.
+  const size_t ssr_d = 6 * d * std::max<size_t>(sigma, 1) + 8;
+  SsrParams ssr_params;
+  ssr_params.max_child_size = h;
+  // The changed elements are concentrated: per update at most sigma+2 child
+  // multisets change per side.
+  ssr_params.max_differing_children = 2 * d * (sigma + 2) + 4;
+  ssr_params.seed = DeriveSeed(seed, /*tag=*/0x66726563ull);  // "frec"
+  CascadingProtocol cascade(ssr_params);
+  SetOfSets alice_parent =
+      NormalizeParentMultiset(std::move(alice_children_r).value());
+  SetOfSets bob_parent =
+      NormalizeParentMultiset(std::move(bob_children_r).value());
+  Channel sub;
+  Result<SsrOutcome> ssr =
+      cascade.Reconcile(alice_parent, bob_parent, ssr_d, &sub);
+  if (!ssr.ok()) return ssr.status();
+
+  // One physical round: the SSR transcript plus Alice's forest-class
+  // fingerprint.
+  ByteWriter writer;
+  writer.PutBytes(PackTranscript(sub));
+  writer.PutU64(ForestIsomorphismClass(alice, sig_family));
+  size_t msg = channel->Send(Party::kAlice, writer.Take(), "forest");
+
+  // --- Bob: derive vertex/edge signature multisets and rebuild. ---
+  Result<SetOfSets> expanded =
+      ExpandParentMultiset(std::move(ssr).value().recovered);
+  if (!expanded.ok()) return expanded.status();
+
+  std::map<uint64_t, size_t> vertex_sigs;
+  std::map<std::pair<uint64_t, uint64_t>, size_t> edge_sigs;
+  MultisetCodec codec{kChildCountBits};
+  for (const ChildSet& child : expanded.value()) {
+    uint64_t parent_sig = 0;
+    bool have_parent = false;
+    std::vector<uint64_t> encoded_children;
+    for (uint64_t e : child) {
+      if (e >= kParentMarkBase) {
+        if (have_parent) {
+          return VerificationFailure("forest: two parent markers in a child");
+        }
+        parent_sig = e - kParentMarkBase;
+        have_parent = true;
+      } else {
+        encoded_children.push_back(e);
+      }
+    }
+    if (!have_parent) {
+      return VerificationFailure("forest: child multiset without marker");
+    }
+    vertex_sigs[parent_sig] += 1;
+    Result<std::vector<uint64_t>> child_sigs = codec.Decode(encoded_children);
+    if (!child_sigs.ok()) return child_sigs.status();
+    for (uint64_t c : child_sigs.value()) {
+      edge_sigs[{parent_sig, c}] += 1;
+    }
+  }
+
+  Result<RootedForest> rebuilt = RebuildForest(vertex_sigs, edge_sigs);
+  if (!rebuilt.ok()) return rebuilt.status();
+
+  // Verify against Alice's forest-class fingerprint from the message.
+  ByteReader reader(channel->Receive(msg).payload);
+  uint64_t sub_msgs = 0;
+  if (!reader.GetVarint(&sub_msgs)) return ParseError("forest: truncated");
+  for (uint64_t i = 0; i < sub_msgs; ++i) {
+    std::vector<uint8_t> skip;
+    if (!reader.GetLengthPrefixed(&skip)) {
+      return ParseError("forest: truncated");
+    }
+  }
+  uint64_t alice_class = 0;
+  if (!reader.GetU64(&alice_class)) {
+    return ParseError("forest: truncated (class)");
+  }
+  if (ForestIsomorphismClass(rebuilt.value(), sig_family) != alice_class) {
+    return VerificationFailure("forest: isomorphism class mismatch");
+  }
+  ForestReconcileOutcome outcome{std::move(rebuilt).value(),
+                                 channel->rounds(), channel->total_bytes()};
+  return outcome;
+}
+
+}  // namespace setrec

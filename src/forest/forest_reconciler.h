@@ -1,0 +1,54 @@
+#ifndef SETREC_FOREST_FOREST_RECONCILER_H_
+#define SETREC_FOREST_FOREST_RECONCILER_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "forest/forest.h"
+#include "transport/channel.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// Result of a one-way forest reconciliation: Bob's forest, isomorphic to
+/// Alice's (vertex numbering is the rebuild order, not Alice's).
+struct ForestReconcileOutcome {
+  RootedForest recovered;
+  size_t rounds = 0;
+  size_t bytes = 0;
+};
+
+/// Rebuilds a rooted forest from the multiset of vertex signatures and the
+/// multiset of edge signatures (ordered (parent sig, child sig) pairs) —
+/// the constructive argument of Section 6: a signature occurring k times
+/// must have its edge group exactly divisible into k identical groups;
+/// roots are the signatures left over after all child slots are consumed.
+/// Fails (kVerificationFailure) on any inconsistency: non-divisible edge
+/// multiplicities, over-consumed child signatures, or a cyclic
+/// signature-dependency (impossible for honest inputs).
+Result<RootedForest> RebuildForest(
+    const std::map<uint64_t, size_t>& vertex_sigs,
+    const std::map<std::pair<uint64_t, uint64_t>, size_t>& edge_sigs);
+
+/// Section 6 (Theorem 6.1): one-round rooted-forest reconciliation.
+/// Each vertex contributes a child multiset {parent-marked own signature}
+/// ∪ {signatures of its children} (signatures are hashed AHU labels); a
+/// single edge update changes at most sigma vertex signatures, so the
+/// collection undergoes O(d * sigma) element changes and is reconciled as a
+/// multiset of multisets with the cascading protocol. Bob then rebuilds
+/// Alice's forest from the recovered vertex/edge signature multisets and
+/// verifies its isomorphism class against Alice's fingerprint.
+///
+///   d: bound on forest edge updates; sigma: max tree depth on both sides.
+///   Communication O(d sigma log(d sigma) log n) bits, one round,
+///   probability >= 2/3 per attempt (amplified internally).
+Result<ForestReconcileOutcome> ForestReconcile(const RootedForest& alice,
+                                               const RootedForest& bob,
+                                               size_t d, size_t sigma,
+                                               uint64_t seed,
+                                               Channel* channel);
+
+}  // namespace setrec
+
+#endif  // SETREC_FOREST_FOREST_RECONCILER_H_

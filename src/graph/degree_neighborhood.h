@@ -1,0 +1,38 @@
+#ifndef SETREC_GRAPH_DEGREE_NEIGHBORHOOD_H_
+#define SETREC_GRAPH_DEGREE_NEIGHBORHOOD_H_
+
+#include <cstdint>
+
+#include "graph/degree_ordering.h"
+#include "graph/graph.h"
+#include "transport/channel.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// Definition 5.4: the multiset of degrees (at most `m`) of v's neighbors.
+std::vector<uint64_t> DegreeNeighborhood(const Graph& g, uint32_t v,
+                                         uint64_t m);
+
+/// Checks Definition 5.4 across all vertex pairs: every pair's degree
+/// neighborhoods (threshold m) differ in at least k elements. Theorem 5.5
+/// shows G(n,p) satisfies this for (pn, 4d+1) w.h.p. in its p, d regime.
+bool AreNeighborhoodsDisjoint(const Graph& g, uint64_t m, size_t k);
+
+/// Section 5.2 (Theorem 5.6): random-graph reconciliation via the
+/// degree-neighborhood signature scheme of Czajka–Pandurangan [11], which
+/// works for much sparser graphs than Theorem 5.2 at a ~O(pn) communication
+/// premium. A vertex's signature is the multiset of its neighbors' degrees
+/// capped at m (= pn); each edge change perturbs O(pn) signature elements,
+/// so the signatures are reconciled as a set of *multisets* (Section 3.4 +
+/// Theorem 3.7) with difference bound O(d * m). Bob matches differing
+/// signatures to Alice's by smallest multiset difference (conforming iff
+/// <= 2d, unique under (pn, 4d+1)-disjointness), then labeled edges are
+/// reconciled exactly as in the degree-ordering scheme. One round.
+Result<GraphReconcileOutcome> DegreeNeighborhoodReconcile(
+    const Graph& alice, const Graph& bob, size_t d, uint64_t m, uint64_t seed,
+    Channel* channel);
+
+}  // namespace setrec
+
+#endif  // SETREC_GRAPH_DEGREE_NEIGHBORHOOD_H_

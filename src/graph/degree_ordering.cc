@@ -1,0 +1,285 @@
+#include "graph/degree_ordering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "core/cascading_protocol.h"
+#include "core/protocol.h"
+#include "hashing/random.h"
+#include "iblt/iblt.h"
+#include "setrec/multiset_codec.h"
+#include "setrec/set_reconciler.h"
+#include "util/serialization.h"
+
+namespace setrec {
+
+namespace {
+
+/// Vertices sorted by (degree desc, id asc).
+std::vector<uint32_t> DegreeOrder(const Graph& g) {
+  std::vector<uint32_t> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&g](uint32_t a, uint32_t b) {
+    return g.Degree(a) > g.Degree(b);
+  });
+  return order;
+}
+
+/// Anchor-adjacency signature of vertex v: sorted indices (into the anchor
+/// list) of anchors adjacent to v.
+ChildSet Signature(const Graph& g, uint32_t v,
+                   const std::vector<int>& anchor_index) {
+  ChildSet sig;
+  for (uint32_t u : g.Neighbors(v)) {
+    if (anchor_index[u] >= 0) {
+      sig.push_back(static_cast<uint64_t>(anchor_index[u]));
+    }
+  }
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+/// Signature collection (per non-anchor vertex) plus per-vertex signatures.
+struct SignatureView {
+  std::vector<uint32_t> order;       // Degree order.
+  std::vector<int> anchor_index;     // Vertex -> anchor rank or -1.
+  std::vector<uint32_t> non_anchors; // In degree order.
+  std::vector<ChildSet> signatures;  // Parallel to non_anchors.
+};
+
+SignatureView BuildSignatures(const Graph& g, size_t h) {
+  SignatureView view;
+  view.order = DegreeOrder(g);
+  view.anchor_index.assign(g.num_vertices(), -1);
+  for (size_t i = 0; i < h && i < view.order.size(); ++i) {
+    view.anchor_index[view.order[i]] = static_cast<int>(i);
+  }
+  for (size_t i = h; i < view.order.size(); ++i) {
+    view.non_anchors.push_back(view.order[i]);
+    view.signatures.push_back(
+        Signature(g, view.order[i], view.anchor_index));
+  }
+  return view;
+}
+
+size_t SymDiffSize(const ChildSet& a, const ChildSet& b) {
+  size_t i = 0, j = 0, diff = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i] < b[j])) {
+      ++diff;
+      ++i;
+    } else if (i == a.size() || b[j] < a[i]) {
+      ++diff;
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return diff;
+}
+
+uint64_t EdgeId(uint64_t n, uint32_t a, uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return static_cast<uint64_t>(a) * n + b;
+}
+
+}  // namespace
+
+bool IsSeparated(const Graph& g, size_t h, size_t a, size_t b) {
+  SignatureView view = BuildSignatures(g, h);
+  for (size_t i = 0; i + 1 < h && i + 1 < view.order.size(); ++i) {
+    if (g.Degree(view.order[i]) < g.Degree(view.order[i + 1]) + a) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < view.signatures.size(); ++i) {
+    for (size_t j = i + 1; j < view.signatures.size(); ++j) {
+      if (SymDiffSize(view.signatures[i], view.signatures[j]) < b) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double TheoremFiveThreeH(size_t n, double p, size_t d, double delta) {
+  double inner = p * (1.0 - p) * static_cast<double>(n) /
+                 std::log(static_cast<double>(n));
+  return 0.25 * std::cbrt(delta / static_cast<double>(d + 1)) *
+         std::pow(inner, 1.0 / 6.0);
+}
+
+Result<GraphReconcileOutcome> DegreeOrderingReconcile(const Graph& alice,
+                                                      const Graph& bob,
+                                                      size_t d, size_t h,
+                                                      uint64_t seed,
+                                                      Channel* channel) {
+  const size_t n = alice.num_vertices();
+  if (bob.num_vertices() != n) {
+    return InvalidArgument("degree ordering: vertex counts differ");
+  }
+  if (h == 0 || h >= n) {
+    return InvalidArgument("degree ordering: need 0 < h < n");
+  }
+
+  SignatureView alice_view = BuildSignatures(alice, h);
+  SignatureView bob_view = BuildSignatures(bob, h);
+
+  // --- Signature sets-of-sets reconciliation (Theorem 3.7). Each edge
+  // change flips at most one signature bit, so total changes <= d; the
+  // duplicate-count markers of NormalizeParentMultiset add O(1) more. ---
+  SsrParams ssr_params;
+  ssr_params.max_child_size = h + 1;  // Signature (<= h) + dup marker.
+  // Each edge change flips at most one signature per side.
+  ssr_params.max_differing_children = 2 * d + 2;
+  ssr_params.seed = DeriveSeed(seed, /*tag=*/0x64676f72ull);  // "dgor"
+  CascadingProtocol cascade(ssr_params);
+  SetOfSets alice_parent = NormalizeParentMultiset(alice_view.signatures);
+  SetOfSets bob_parent = NormalizeParentMultiset(bob_view.signatures);
+  Channel sub;
+  Result<SsrOutcome> ssr = cascade.Reconcile(alice_parent, bob_parent,
+                                             2 * d + 2, &sub);
+  if (!ssr.ok()) return ssr.status();
+  Result<SetOfSets> expanded =
+      ExpandParentMultiset(std::move(ssr).value().recovered);
+  if (!expanded.ok()) return expanded.status();
+  std::vector<ChildSet> alice_sigs = std::move(expanded).value();
+  std::sort(alice_sigs.begin(), alice_sigs.end());
+  if (alice_sigs.size() != n - h) {
+    return VerificationFailure("degree ordering: wrong signature count");
+  }
+
+  // --- Labeled-edge reconciliation payload (Corollary 2.2), same round. ---
+  // Alice's labeling: anchors 0..h-1 by degree rank; the rest h..n-1 by the
+  // lexicographic rank of their signature.
+  std::vector<uint32_t> alice_label(n, 0);
+  for (size_t i = 0; i < h; ++i) {
+    alice_label[alice_view.order[i]] = static_cast<uint32_t>(i);
+  }
+  {
+    std::vector<size_t> idx(alice_view.non_anchors.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      return alice_view.signatures[a] < alice_view.signatures[b];
+    });
+    for (size_t rank = 0; rank < idx.size(); ++rank) {
+      alice_label[alice_view.non_anchors[idx[rank]]] =
+          static_cast<uint32_t>(h + rank);
+    }
+  }
+  std::vector<uint64_t> alice_edges;
+  for (const auto& [u, v] : alice.Edges()) {
+    alice_edges.push_back(EdgeId(n, alice_label[u], alice_label[v]));
+  }
+  std::sort(alice_edges.begin(), alice_edges.end());
+
+  uint64_t edge_seed = DeriveSeed(seed, /*tag=*/0x65646765ull);  // "edge"
+  HashFamily edge_fp_family(edge_seed, /*tag=*/0x65667032ull);
+  IbltConfig edge_config = IbltConfig::ForDifference(d + 2, edge_seed);
+  Iblt edge_table(edge_config);
+  for (uint64_t e : alice_edges) edge_table.InsertU64(e);
+
+  ByteWriter writer;
+  writer.PutBytes(PackTranscript(sub));
+  writer.PutU64(SetFingerprint(alice_edges, edge_fp_family));
+  edge_table.Serialize(&writer);
+  channel->Send(Party::kAlice, writer.Take(), "degree-ordering");
+
+  // --- Bob: conforming labeling from the recovered signatures. ---
+  // Exact matches first, then closest-signature for the perturbed ones.
+  std::map<ChildSet, std::vector<size_t>> alice_rank_by_sig;
+  for (size_t i = 0; i < alice_sigs.size(); ++i) {
+    alice_rank_by_sig[alice_sigs[i]].push_back(i);
+  }
+  std::vector<bool> rank_used(alice_sigs.size(), false);
+  std::vector<uint32_t> bob_label(n, 0);
+  for (size_t i = 0; i < h; ++i) {
+    bob_label[bob_view.order[i]] = static_cast<uint32_t>(i);
+  }
+  std::vector<size_t> deferred;
+  for (size_t k = 0; k < bob_view.non_anchors.size(); ++k) {
+    auto it = alice_rank_by_sig.find(bob_view.signatures[k]);
+    bool assigned = false;
+    if (it != alice_rank_by_sig.end()) {
+      for (size_t rank : it->second) {
+        if (!rank_used[rank]) {
+          rank_used[rank] = true;
+          bob_label[bob_view.non_anchors[k]] =
+              static_cast<uint32_t>(h + rank);
+          assigned = true;
+          break;
+        }
+      }
+    }
+    if (!assigned) deferred.push_back(k);
+  }
+  for (size_t k : deferred) {
+    size_t best_rank = alice_sigs.size();
+    size_t best_diff = ~size_t{0};
+    for (size_t rank = 0; rank < alice_sigs.size(); ++rank) {
+      if (rank_used[rank]) continue;
+      size_t diff = SymDiffSize(bob_view.signatures[k], alice_sigs[rank]);
+      if (diff < best_diff) {
+        best_diff = diff;
+        best_rank = rank;
+      }
+    }
+    if (best_rank == alice_sigs.size() || best_diff > d) {
+      return VerificationFailure(
+          "degree ordering: no conforming signature match (graph not "
+          "separated enough)");
+    }
+    rank_used[best_rank] = true;
+    bob_label[bob_view.non_anchors[k]] = static_cast<uint32_t>(h + best_rank);
+  }
+
+  // --- Bob: labeled edge recovery. ---
+  std::vector<uint64_t> bob_edges;
+  for (const auto& [u, v] : bob.Edges()) {
+    bob_edges.push_back(EdgeId(n, bob_label[u], bob_label[v]));
+  }
+  std::sort(bob_edges.begin(), bob_edges.end());
+
+  const Channel::Message& message = channel->Receive(channel->rounds() - 1);
+  ByteReader reader(message.payload);
+  // Skip the packed sub-transcript (Bob consumed it via the sub-protocol).
+  uint64_t sub_msgs = 0;
+  if (!reader.GetVarint(&sub_msgs)) return ParseError("dgo: truncated");
+  for (uint64_t i = 0; i < sub_msgs; ++i) {
+    std::vector<uint8_t> skip;
+    if (!reader.GetLengthPrefixed(&skip)) return ParseError("dgo: truncated");
+  }
+  uint64_t edge_fp = 0;
+  if (!reader.GetU64(&edge_fp)) return ParseError("dgo: truncated (edge fp)");
+  Result<Iblt> received = Iblt::Deserialize(&reader, edge_config);
+  if (!received.ok()) return received.status();
+  Iblt diff_table = std::move(received).value();
+  for (uint64_t e : bob_edges) diff_table.EraseU64(e);
+  Result<IbltDecodeResult64> decoded = diff_table.DecodeU64();
+  if (!decoded.ok()) return decoded.status();
+  SetDifference sd;
+  sd.remote_only = std::move(decoded.value().positive);
+  sd.local_only = std::move(decoded.value().negative);
+  std::vector<uint64_t> recovered_edges = ApplyDifference(bob_edges, sd);
+  if (SetFingerprint(recovered_edges, edge_fp_family) != edge_fp) {
+    return VerificationFailure("degree ordering: edge fingerprint mismatch");
+  }
+
+  Graph recovered(n);
+  for (uint64_t e : recovered_edges) {
+    uint32_t a = static_cast<uint32_t>(e / n);
+    uint32_t b = static_cast<uint32_t>(e % n);
+    if (a >= n || b >= n || a == b) {
+      return VerificationFailure("degree ordering: bad edge id recovered");
+    }
+    recovered.AddEdge(a, b);
+  }
+  GraphReconcileOutcome outcome{std::move(recovered), channel->rounds(),
+                                channel->total_bytes()};
+  return outcome;
+}
+
+}  // namespace setrec

@@ -1,0 +1,58 @@
+#ifndef SETREC_GRAPH_DEGREE_ORDERING_H_
+#define SETREC_GRAPH_DEGREE_ORDERING_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "transport/channel.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// Result of a one-way graph reconciliation: Bob's graph, now isomorphic to
+/// Alice's (vertex ids follow Alice's protocol labeling).
+struct GraphReconcileOutcome {
+  Graph recovered;
+  size_t rounds = 0;
+  size_t bytes = 0;
+};
+
+/// Definition 5.1: a graph is (h, a, b)-separated if, after sorting vertices
+/// by degree, consecutive degrees among the top h differ by at least `a`,
+/// and the anchor-adjacency signatures of all remaining vertices are
+/// pairwise at Hamming distance at least `b`.
+bool IsSeparated(const Graph& g, size_t h, size_t a, size_t b);
+
+/// The h prescribed by Theorem 5.3:
+///   h = (1/4) (delta/(d+1))^{1/3} (p(1-p) n / ln n)^{1/6}.
+/// Useful asymptotically; at laptop scales it is below 1, so callers pick h
+/// empirically (bench_graph_ordering sweeps it) — exactly the gap between
+/// the theorem's constants and practice that EXPERIMENTS.md discusses.
+double TheoremFiveThreeH(size_t n, double p, size_t d, double delta);
+
+/// Section 5.1 (Theorem 5.2): one-round random-graph reconciliation via the
+/// degree-ordering signature scheme of Babai–Erdős–Selkow [4].
+///
+///  * The h highest-degree vertices ("anchors") are identified by degree
+///    rank on each side (conforming when the graph is (h, d+1, *)-
+///    separated).
+///  * Every other vertex's signature is the set of anchors it neighbors —
+///    a child set over universe [h]; the signature collection undergoes at
+///    most d element changes, so it is reconciled with the cascading
+///    sets-of-sets protocol (Theorem 3.7).
+///  * Bob matches his signatures to Alice's (conforming iff Hamming
+///    distance <= d, unique when (h, *, 2d+1)-separated), yielding a
+///    conforming labeling; the labeled edge sets are then reconciled with a
+///    plain IBLT (Corollary 2.2) shipped in the same round.
+///
+/// Fails detectably (fingerprints) when the separation assumptions do not
+/// hold. Communication O(d(log d log h + log n)) bits, one round.
+Result<GraphReconcileOutcome> DegreeOrderingReconcile(const Graph& alice,
+                                                      const Graph& bob,
+                                                      size_t d, size_t h,
+                                                      uint64_t seed,
+                                                      Channel* channel);
+
+}  // namespace setrec
+
+#endif  // SETREC_GRAPH_DEGREE_ORDERING_H_

@@ -1,0 +1,124 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace setrec {
+
+Graph::Graph(size_t num_vertices) : adjacency_(num_vertices) {}
+
+bool Graph::HasEdge(uint32_t u, uint32_t v) const {
+  const std::vector<uint32_t>& adj = adjacency_[u];
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+bool Graph::AddEdge(uint32_t u, uint32_t v) {
+  if (u == v) return false;
+  std::vector<uint32_t>& adj_u = adjacency_[u];
+  auto it = std::lower_bound(adj_u.begin(), adj_u.end(), v);
+  if (it != adj_u.end() && *it == v) return false;
+  adj_u.insert(it, v);
+  std::vector<uint32_t>& adj_v = adjacency_[v];
+  adj_v.insert(std::lower_bound(adj_v.begin(), adj_v.end(), u), u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::RemoveEdge(uint32_t u, uint32_t v) {
+  std::vector<uint32_t>& adj_u = adjacency_[u];
+  auto it = std::lower_bound(adj_u.begin(), adj_u.end(), v);
+  if (it == adj_u.end() || *it != v) return false;
+  adj_u.erase(it);
+  std::vector<uint32_t>& adj_v = adjacency_[v];
+  adj_v.erase(std::lower_bound(adj_v.begin(), adj_v.end(), u));
+  --num_edges_;
+  return true;
+}
+
+void Graph::ToggleEdge(uint32_t u, uint32_t v) {
+  if (!AddEdge(u, v)) RemoveEdge(u, v);
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> Graph::Edges() const {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(num_edges_);
+  for (uint32_t u = 0; u < adjacency_.size(); ++u) {
+    for (uint32_t v : adjacency_[u]) {
+      if (v > u) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+Graph Graph::RandomGnp(size_t n, double p, Rng* rng) {
+  Graph g(n);
+  if (n < 2 || p <= 0.0) return g;
+  if (p >= 1.0) {
+    for (uint32_t u = 0; u < n; ++u) {
+      for (uint32_t v = u + 1; v < n; ++v) g.AddEdge(u, v);
+    }
+    return g;
+  }
+  // Skip-sampling over the linearized slot index.
+  const uint64_t slots = n * (n - 1) / 2;
+  uint64_t slot = rng->GeometricSkip(p);
+  while (slot < slots) {
+    // Invert slot -> (u, v): u is the largest row whose prefix fits.
+    // Row u (0-based) covers slots [u*n - u(u+1)/2, ...) of width n-1-u.
+    uint64_t remaining = slot;
+    uint32_t u = 0;
+    while (remaining >= n - 1 - u) {
+      remaining -= n - 1 - u;
+      ++u;
+    }
+    uint32_t v = u + 1 + static_cast<uint32_t>(remaining);
+    g.AddEdge(u, v);
+    slot += 1 + rng->GeometricSkip(p);
+  }
+  return g;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> Graph::Perturb(size_t count,
+                                                          Rng* rng) {
+  const size_t n = num_vertices();
+  std::vector<std::pair<uint32_t, uint32_t>> toggled;
+  if (n < 2) return toggled;
+  std::set<std::pair<uint32_t, uint32_t>> used;
+  size_t guard = count * 64 + 64;
+  while (toggled.size() < count && guard-- > 0) {
+    uint32_t u = static_cast<uint32_t>(rng->UniformU64(n));
+    uint32_t v = static_cast<uint32_t>(rng->UniformU64(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!used.insert({u, v}).second) continue;
+    ToggleEdge(u, v);
+    toggled.emplace_back(u, v);
+  }
+  return toggled;
+}
+
+size_t Graph::EdgeDifference(const Graph& a, const Graph& b) {
+  assert(a.num_vertices() == b.num_vertices());
+  size_t diff = 0;
+  for (uint32_t u = 0; u < a.num_vertices(); ++u) {
+    const auto& adj_a = a.adjacency_[u];
+    const auto& adj_b = b.adjacency_[u];
+    size_t i = 0, j = 0;
+    while (i < adj_a.size() || j < adj_b.size()) {
+      if (j == adj_b.size() || (i < adj_a.size() && adj_a[i] < adj_b[j])) {
+        if (adj_a[i] > u) ++diff;
+        ++i;
+      } else if (i == adj_a.size() || adj_b[j] < adj_a[i]) {
+        if (adj_b[j] > u) ++diff;
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return diff;
+}
+
+}  // namespace setrec

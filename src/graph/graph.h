@@ -1,0 +1,62 @@
+#ifndef SETREC_GRAPH_GRAPH_H_
+#define SETREC_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "hashing/random.h"
+
+namespace setrec {
+
+/// An undirected simple graph on vertices 0..n-1 with sorted adjacency
+/// lists. Vertex ids are an implementation artifact — the reconciliation
+/// protocols of Sections 4 and 5 treat graphs as unlabeled and only ever
+/// use label-invariant information (degrees, signatures).
+class Graph {
+ public:
+  explicit Graph(size_t num_vertices);
+
+  size_t num_vertices() const { return adjacency_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  bool HasEdge(uint32_t u, uint32_t v) const;
+  /// Adds {u,v}; no-op if present or u == v. Returns true if added.
+  bool AddEdge(uint32_t u, uint32_t v);
+  /// Removes {u,v}; returns true if it was present.
+  bool RemoveEdge(uint32_t u, uint32_t v);
+  /// Adds or removes {u,v}.
+  void ToggleEdge(uint32_t u, uint32_t v);
+
+  size_t Degree(uint32_t v) const { return adjacency_[v].size(); }
+  const std::vector<uint32_t>& Neighbors(uint32_t v) const {
+    return adjacency_[v];
+  }
+
+  /// All edges as (min, max) pairs, lexicographically sorted.
+  std::vector<std::pair<uint32_t, uint32_t>> Edges() const;
+
+  /// Erdős–Rényi G(n, p) sample in O(n + |E|) time via geometric skipping
+  /// over the C(n,2) edge slots.
+  static Graph RandomGnp(size_t n, double p, Rng* rng);
+
+  /// Toggles `count` distinct random edge slots (the paper's perturbation
+  /// model: Alice and Bob each apply <= d/2 edge changes to a base graph).
+  /// Returns the toggled slots.
+  std::vector<std::pair<uint32_t, uint32_t>> Perturb(size_t count, Rng* rng);
+
+  /// Number of edges in the symmetric difference of the edge sets (i.e.,
+  /// labeled-graph distance; used by tests where labelings are conforming).
+  static size_t EdgeDifference(const Graph& a, const Graph& b);
+
+  bool operator==(const Graph&) const = default;
+
+ private:
+  std::vector<std::vector<uint32_t>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_GRAPH_GRAPH_H_

@@ -1,0 +1,59 @@
+#include "graph/isomorphism.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace setrec {
+
+namespace {
+inline size_t PairBit(size_t n, uint32_t i, uint32_t j) {
+  // i < j required.
+  return static_cast<size_t>(i) * n - static_cast<size_t>(i) * (i + 1) / 2 +
+         (j - i - 1);
+}
+}  // namespace
+
+uint64_t AdjacencyBits(const Graph& g) {
+  const size_t n = g.num_vertices();
+  uint64_t bits = 0;
+  for (const auto& [u, v] : g.Edges()) {
+    bits |= 1ull << PairBit(n, u, v);
+  }
+  return bits;
+}
+
+Result<uint64_t> CanonicalForm(const Graph& g) {
+  const size_t n = g.num_vertices();
+  if (n > kMaxExactCanonicalVertices) {
+    return InvalidArgument("exact canonical form limited to small graphs");
+  }
+  if (n < 2) return 0ull;
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  const auto edges = g.Edges();
+  uint64_t best = ~0ull;
+  do {
+    uint64_t bits = 0;
+    for (const auto& [u, v] : edges) {
+      uint32_t pu = perm[u];
+      uint32_t pv = perm[v];
+      if (pu > pv) std::swap(pu, pv);
+      bits |= 1ull << PairBit(n, pu, pv);
+    }
+    best = std::min(best, bits);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+Result<bool> IsIsomorphic(const Graph& a, const Graph& b) {
+  if (a.num_vertices() != b.num_vertices()) return false;
+  if (a.num_edges() != b.num_edges()) return false;
+  Result<uint64_t> ca = CanonicalForm(a);
+  if (!ca.ok()) return ca.status();
+  Result<uint64_t> cb = CanonicalForm(b);
+  if (!cb.ok()) return cb.status();
+  return ca.value() == cb.value();
+}
+
+}  // namespace setrec

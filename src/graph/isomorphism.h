@@ -1,0 +1,33 @@
+#ifndef SETREC_GRAPH_ISOMORPHISM_H_
+#define SETREC_GRAPH_ISOMORPHISM_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// Largest vertex count supported by the exact canonical form (C(n,2) bits
+/// must fit in 64 and n! permutations must be enumerable).
+inline constexpr size_t kMaxExactCanonicalVertices = 10;
+
+/// The adjacency matrix of `g` packed into C(n,2) bits: bit index of pair
+/// (i < j) is i*n - i(i+1)/2 + (j - i - 1).
+uint64_t AdjacencyBits(const Graph& g);
+
+/// Exact canonical form of a small graph: the minimum of AdjacencyBits over
+/// all vertex permutations. Two graphs are isomorphic iff their canonical
+/// forms are equal. This realizes the paper's "index of the first graph in
+/// increasing lexicographical order which is isomorphic to G" (Section 4) —
+/// the protocols only need a canonical representative, and min-over-
+/// permutations of the bit encoding is exactly that. O(n! * n^2); requires
+/// n <= kMaxExactCanonicalVertices.
+Result<uint64_t> CanonicalForm(const Graph& g);
+
+/// Exact isomorphism test via canonical forms (same size bound).
+Result<bool> IsIsomorphic(const Graph& a, const Graph& b);
+
+}  // namespace setrec
+
+#endif  // SETREC_GRAPH_ISOMORPHISM_H_

@@ -1,0 +1,124 @@
+#include "graph/poly_signature.h"
+
+#include <vector>
+
+#include "charpoly/gf.h"
+#include "graph/isomorphism.h"
+#include "hashing/random.h"
+#include "util/serialization.h"
+
+namespace setrec {
+
+namespace {
+
+/// Evaluates the polynomial whose coefficients are the bits of `bits`
+/// (coefficient i = bit i) at point r over GF(2^61-1).
+uint64_t EvalBitPoly(uint64_t bits, uint64_t r) {
+  uint64_t acc = 0;
+  // Horner from the top bit down.
+  for (int i = 63; i >= 0; --i) {
+    acc = gf::Mul(acc, r);
+    if ((bits >> i) & 1) acc = gf::Add(acc, 1);
+  }
+  return acc;
+}
+
+uint64_t DrawPoint(uint64_t seed) {
+  return DeriveSeed(seed, /*tag=*/0x70736967ull) % gf::kP;  // "psig"
+}
+
+}  // namespace
+
+Result<bool> IsomorphismProtocol(const Graph& alice, const Graph& bob,
+                                 uint64_t seed, Channel* channel) {
+  if (alice.num_vertices() != bob.num_vertices()) {
+    return InvalidArgument("isomorphism protocol: vertex counts differ");
+  }
+  Result<uint64_t> canon_a = CanonicalForm(alice);
+  if (!canon_a.ok()) return canon_a.status();
+
+  uint64_t r = DrawPoint(seed);
+  ByteWriter writer;
+  writer.PutU64(r);
+  writer.PutU64(EvalBitPoly(canon_a.value(), r));
+  size_t msg = channel->Send(Party::kAlice, writer.Take(), "iso-poly");
+
+  ByteReader reader(channel->Receive(msg).payload);
+  uint64_t r_rx = 0, eval_rx = 0;
+  if (!reader.GetU64(&r_rx) || !reader.GetU64(&eval_rx)) {
+    return ParseError("isomorphism message truncated");
+  }
+  Result<uint64_t> canon_b = CanonicalForm(bob);
+  if (!canon_b.ok()) return canon_b.status();
+  return EvalBitPoly(canon_b.value(), r_rx) == eval_rx;
+}
+
+Result<Graph> PolyGraphReconcile(const Graph& alice, const Graph& bob,
+                                 size_t d, uint64_t seed, Channel* channel) {
+  const size_t n = bob.num_vertices();
+  if (alice.num_vertices() != n) {
+    return InvalidArgument("poly reconcile: vertex counts differ");
+  }
+  if (n > 8 || d > 3) {
+    return InvalidArgument(
+        "poly reconcile: exponential search limited to n <= 8, d <= 3");
+  }
+  Result<uint64_t> canon_a = CanonicalForm(alice);
+  if (!canon_a.ok()) return canon_a.status();
+
+  uint64_t r = DrawPoint(seed);
+  ByteWriter writer;
+  writer.PutU64(r);
+  writer.PutU64(EvalBitPoly(canon_a.value(), r));
+  size_t msg = channel->Send(Party::kAlice, writer.Take(), "poly-reconcile");
+
+  ByteReader reader(channel->Receive(msg).payload);
+  uint64_t r_rx = 0, eval_rx = 0;
+  if (!reader.GetU64(&r_rx) || !reader.GetU64(&eval_rx)) {
+    return ParseError("poly reconcile message truncated");
+  }
+
+  // Enumerate all subsets of <= d edge-slot toggles of Bob's graph.
+  std::vector<std::pair<uint32_t, uint32_t>> slots;
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) slots.emplace_back(u, v);
+  }
+  Graph candidate = bob;
+  std::vector<size_t> chosen;
+  // Recursive toggles: chosen indices strictly increasing.
+  struct Searcher {
+    const std::vector<std::pair<uint32_t, uint32_t>>& slots;
+    uint64_t r;
+    uint64_t target;
+    size_t max_d;
+    Graph* candidate;
+    bool found = false;
+
+    bool Check() {
+      Result<uint64_t> canon = CanonicalForm(*candidate);
+      if (!canon.ok()) return false;
+      return EvalBitPoly(canon.value(), r) == target;
+    }
+    void Search(size_t start, size_t depth) {
+      if (found) return;
+      if (Check()) {
+        found = true;
+        return;
+      }
+      if (depth == max_d) return;
+      for (size_t i = start; i < slots.size() && !found; ++i) {
+        candidate->ToggleEdge(slots[i].first, slots[i].second);
+        Search(i + 1, depth + 1);
+        if (!found) candidate->ToggleEdge(slots[i].first, slots[i].second);
+      }
+    }
+  };
+  Searcher searcher{slots, r_rx, eval_rx, d, &candidate};
+  searcher.Search(0, 0);
+  if (!searcher.found) {
+    return DecodeFailure("poly reconcile: no graph within d toggles matched");
+  }
+  return candidate;
+}
+
+}  // namespace setrec

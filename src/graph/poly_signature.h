@@ -1,0 +1,36 @@
+#ifndef SETREC_GRAPH_POLY_SIGNATURE_H_
+#define SETREC_GRAPH_POLY_SIGNATURE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "transport/channel.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// Section 4: information-theoretically optimal protocols for unlabeled
+/// graph isomorphism and reconciliation via polynomial fingerprints of the
+/// canonical form. Exact canonicalization is exponential in general (the
+/// paper assumes unlimited computation here), so these are restricted to
+/// small graphs — they serve as the reference point that the random-graph
+/// protocols of Section 5 beat computationally.
+
+/// Theorem 4.1 / Corollary 4.2: one-message isomorphism test. Alice sends
+/// (r, p_A(r)) where p_A has the bits of her canonical form as coefficients
+/// over GF(2^61-1); Bob compares against his own canonical polynomial.
+/// False positives occur with probability O(n^2 / 2^61) (Schwartz–Zippel).
+Result<bool> IsomorphismProtocol(const Graph& alice, const Graph& bob,
+                                 uint64_t seed, Channel* channel);
+
+/// Theorem 4.3: one-round graph reconciliation with O(d log n) bits. Bob
+/// tries every graph within `d` edge toggles of his own and adopts the
+/// first whose canonical polynomial matches Alice's evaluation. Exponential
+/// in d (O(n^{2d}) canonical forms), so n <= 8 and d <= 3 are enforced.
+/// Returns a graph isomorphic to Alice's.
+Result<Graph> PolyGraphReconcile(const Graph& alice, const Graph& bob,
+                                 size_t d, uint64_t seed, Channel* channel);
+
+}  // namespace setrec
+
+#endif  // SETREC_GRAPH_POLY_SIGNATURE_H_

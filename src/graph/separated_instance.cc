@@ -1,0 +1,120 @@
+#include "graph/separated_instance.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+namespace setrec {
+
+Result<Graph> MakeSeparatedGraph(const SeparatedInstanceSpec& spec) {
+  const size_t n = spec.n;
+  const size_t h = spec.h;
+  const size_t d = spec.d;
+  if (h == 0 || h > 64 || h + 8 > n) {
+    return InvalidArgument("separated instance: need 0 < h <= 64, h + 8 <= n");
+  }
+  const size_t min_hamming = 2 * d + 3;  // 2d+1 plus one fix-up flip each.
+  if (min_hamming > h) {
+    return InvalidArgument("separated instance: h too small for 2d+3 Hamming");
+  }
+  Rng rng(DeriveSeed(spec.seed, /*tag=*/0x73657061ull));  // "sepa"
+
+  // Random signatures with pairwise Hamming >= min_hamming.
+  const size_t core = n - h;
+  std::vector<uint64_t> sigs(core, 0);
+  const uint64_t sig_mask = h == 64 ? ~0ull : (1ull << h) - 1;
+  for (size_t v = 0; v < core; ++v) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 256 && !placed; ++attempt) {
+      uint64_t candidate = rng.NextU64() & sig_mask;
+      placed = true;
+      for (size_t u = 0; u < v; ++u) {
+        if (static_cast<size_t>(std::popcount(candidate ^ sigs[u])) <
+            min_hamming) {
+          placed = false;
+          break;
+        }
+      }
+      if (placed) sigs[v] = candidate;
+    }
+    if (!placed) {
+      return Exhausted(
+          "separated instance: could not sample separated signatures "
+          "(increase h or decrease n)");
+    }
+  }
+
+  Graph g(n);
+  // Anchors are vertices 0..h-1; core vertex k is vertex h + k.
+  for (size_t k = 0; k < core; ++k) {
+    for (size_t i = 0; i < h; ++i) {
+      if ((sigs[k] >> i) & 1) {
+        g.AddEdge(static_cast<uint32_t>(i), static_cast<uint32_t>(h + k));
+      }
+    }
+  }
+  // Core-core edges: G(core, core_p) via skip sampling over core pairs.
+  {
+    Rng core_rng(DeriveSeed(spec.seed, /*tag=*/0x636f7265ull));  // "core"
+    Graph core_graph = Graph::RandomGnp(core, spec.core_p, &core_rng);
+    for (const auto& [u, v] : core_graph.Edges()) {
+      g.AddEdge(static_cast<uint32_t>(h + u), static_cast<uint32_t>(h + v));
+    }
+  }
+
+  // Anchor degrees (~core/2 each) already dominate core degrees for any
+  // reasonable core_p; what random signatures do not give us is *gaps* of
+  // d+1 between consecutive anchor degrees. Sort anchors by realized degree
+  // and delete a few anchor-core edges (each deletion flips one distinct
+  // vertex's signature bit, which the 2d+3 sampling slack absorbs) so the
+  // sorted degrees step down by at least d+1.
+  const size_t gap = d + 1;
+  std::vector<size_t> anchor_order(h);
+  for (size_t i = 0; i < h; ++i) anchor_order[i] = i;
+  std::sort(anchor_order.begin(), anchor_order.end(),
+            [&g](size_t a, size_t b) { return g.Degree(a) > g.Degree(b); });
+  std::vector<bool> flipped(core, false);
+  size_t prev_degree = g.Degree(anchor_order[0]) + gap;
+  for (size_t rank = 0; rank < h; ++rank) {
+    const size_t anchor = anchor_order[rank];
+    const size_t current = g.Degree(anchor);
+    const size_t target = std::min(current, prev_degree - gap);
+    size_t to_delete = current - target;
+    for (size_t k = 0; k < core && to_delete > 0; ++k) {
+      if (flipped[k] || ((sigs[k] >> anchor) & 1) == 0) continue;
+      g.RemoveEdge(static_cast<uint32_t>(anchor),
+                   static_cast<uint32_t>(h + k));
+      sigs[k] &= ~(1ull << anchor);
+      flipped[k] = true;
+      --to_delete;
+    }
+    if (to_delete > 0) {
+      return Exhausted("separated instance: not enough deletion candidates");
+    }
+    prev_degree = target;
+  }
+
+  // Anchors must stay strictly above every core vertex even after d edge
+  // perturbations on each side.
+  size_t max_core_degree = 0;
+  for (size_t k = 0; k < core; ++k) {
+    max_core_degree = std::max(max_core_degree, g.Degree(h + k));
+  }
+  if (prev_degree <= max_core_degree + 2 * d + 2) {
+    return Exhausted(
+        "separated instance: anchor/core degree margin too small "
+        "(reduce h or core_p, or increase n)");
+  }
+
+  // Final certification.
+  for (size_t u = 0; u < core; ++u) {
+    for (size_t v = u + 1; v < core; ++v) {
+      if (static_cast<size_t>(std::popcount(sigs[u] ^ sigs[v])) < 2 * d + 1) {
+        return Exhausted("separated instance: fix-up broke Hamming slack");
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace setrec

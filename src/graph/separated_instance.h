@@ -1,0 +1,46 @@
+#ifndef SETREC_GRAPH_SEPARATED_INSTANCE_H_
+#define SETREC_GRAPH_SEPARATED_INSTANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// Generator of graphs that are (h, d+1, 2d+1)-separated *by construction*
+/// (Definition 5.1). Theorem 5.3 guarantees G(n,p) is separated only for
+/// very large n (its h formula is below 1 at laptop scales — see
+/// EXPERIMENTS.md); this planted family realizes the theorem's premise at
+/// test scale so the Theorem 5.2 protocol machinery can be exercised and
+/// measured, while bench_graph_ordering reports raw G(n,p) separation rates
+/// separately.
+///
+/// Construction: h "anchor" vertices; every other vertex gets a random
+/// h-bit anchor-adjacency signature (rejection-sampled to pairwise Hamming
+/// distance >= 2d+3, leaving slack for one fix-up flip per vertex); core
+/// vertices are wired among themselves as G(core, core_p); anchor degrees
+/// are then raised onto an exact ladder with gaps of d+1 above the maximum
+/// core degree + margin by flipping signature bits of distinct vertices.
+struct SeparatedInstanceSpec {
+  size_t n = 2000;
+  /// Number of anchors; must be <= 64 (signatures are packed in a word)
+  /// and large enough that random h-bit signatures stay 2d+3 apart. The
+  /// degree ladder consumes ~h^2 (d+1)/2 one-per-vertex edge deletions, so
+  /// n must comfortably exceed that.
+  size_t h = 36;
+  /// The edge-change budget the instance must tolerate.
+  size_t d = 2;
+  /// Density of the core (non-anchor) subgraph.
+  double core_p = 0.05;
+  uint64_t seed = 1;
+};
+
+/// Builds the instance; fails (kInvalidArgument / kExhausted) if the spec is
+/// infeasible (h too small for the Hamming requirement, etc.).
+Result<Graph> MakeSeparatedGraph(const SeparatedInstanceSpec& spec);
+
+}  // namespace setrec
+
+#endif  // SETREC_GRAPH_SEPARATED_INSTANCE_H_

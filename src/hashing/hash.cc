@@ -1,0 +1,55 @@
+#include "hashing/hash.h"
+
+#include <cstring>
+
+#include "hashing/random.h"
+
+namespace setrec {
+
+PairwiseHash::PairwiseHash(uint64_t seed) {
+  uint64_t state = DeriveSeed(seed, /*tag=*/0x70617772ull);  // "pawr"
+  do {
+    a_ = SplitMix64(&state) & kMersenne61;
+  } while (a_ == 0 || a_ >= kMersenne61);
+  b_ = SplitMix64(&state) & kMersenne61;
+  if (b_ >= kMersenne61) b_ -= kMersenne61;
+}
+
+HashFamily::HashFamily(uint64_t seed, uint64_t tag)
+    : seed_(DeriveSeed(seed, tag)) {}
+
+uint64_t HashFamily::HashU64(uint64_t x) const { return Mix64(x ^ seed_); }
+
+uint64_t HashFamily::HashU64Indexed(uint64_t x, uint64_t index) const {
+  return Mix64(x ^ Mix64(seed_ + 0x9e3779b97f4a7c15ull * (index + 1)));
+}
+
+uint64_t HashFamily::HashBytes(const uint8_t* data, size_t n) const {
+  // Multiply-rotate over 8-byte lanes with a SplitMix finalizer; seeded.
+  const uint64_t kPrime1 = 0x9e3779b185ebca87ull;
+  const uint64_t kPrime2 = 0xc2b2ae3d27d4eb4full;
+  uint64_t h = seed_ ^ (n * kPrime1);
+  size_t i = 0;
+  while (i + 8 <= n) {
+    uint64_t lane;
+    std::memcpy(&lane, data + i, 8);
+    h ^= Mix64(lane * kPrime2);
+    h = (h << 27) | (h >> 37);
+    h = h * kPrime1 + kPrime2;
+    i += 8;
+  }
+  uint64_t tail = 0;
+  int shift = 0;
+  for (; i < n; ++i, shift += 8) tail |= static_cast<uint64_t>(data[i]) << shift;
+  h ^= Mix64(tail + kPrime2);
+  return Mix64(h);
+}
+
+uint64_t SetFingerprint(const std::vector<uint64_t>& elements,
+                        const HashFamily& family) {
+  uint64_t sum = 0;
+  for (uint64_t e : elements) sum += family.HashU64(e);
+  return sum + Mix64(family.seed() ^ (elements.size() * 0x51ed2701eb0aa3ddull));
+}
+
+}  // namespace setrec

@@ -1,0 +1,94 @@
+#ifndef SETREC_HASHING_HASH_H_
+#define SETREC_HASHING_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace setrec {
+
+/// The Mersenne prime 2^61 - 1 used for pairwise-independent hashing and for
+/// the characteristic-polynomial field GF(p).
+inline constexpr uint64_t kMersenne61 = (1ull << 61) - 1;
+
+/// Reduces a 128-bit product modulo 2^61 - 1.
+inline uint64_t Mod61(__uint128_t x) {
+  uint64_t lo = static_cast<uint64_t>(x) & kMersenne61;
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kMersenne61) r -= kMersenne61;
+  // One more fold covers the largest possible inputs.
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+/// A pairwise-independent hash h(x) = (a*x + b) mod (2^61 - 1), with a != 0.
+/// This is the "O(log s)-bit pairwise independent hash" primitive the paper
+/// uses for child-set fingerprints and for the l0-estimator's level hash.
+class PairwiseHash {
+ public:
+  /// Draws (a, b) deterministically from `seed`.
+  explicit PairwiseHash(uint64_t seed);
+
+  /// Full 61-bit hash value in [0, 2^61 - 1).
+  uint64_t Hash(uint64_t x) const {
+    __uint128_t ax = static_cast<__uint128_t>(a_) * (x % kMersenne61);
+    uint64_t r = Mod61(ax) + b_;
+    if (r >= kMersenne61) r -= kMersenne61;
+    return r;
+  }
+
+  /// Hash reduced to [0, bound).
+  uint64_t HashRange(uint64_t x, uint64_t bound) const {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Hash(x)) * bound) >> 61);
+  }
+
+  uint64_t a() const { return a_; }
+  uint64_t b() const { return b_; }
+
+ private:
+  uint64_t a_;
+  uint64_t b_;
+};
+
+/// A seeded family of strong (well-mixed) hash functions over 64-bit words
+/// and byte strings. Not pairwise independent in the formal sense, but used
+/// where the paper needs "a hash function": IBLT bucket choice, checksums,
+/// set fingerprints. Both parties construct identical families from the
+/// shared public-coin seed.
+class HashFamily {
+ public:
+  /// `seed` selects the family; `tag` selects the member within a protocol.
+  HashFamily(uint64_t seed, uint64_t tag);
+
+  /// Hashes a 64-bit key.
+  uint64_t HashU64(uint64_t x) const;
+
+  /// Hashes a 64-bit key with an extra index, e.g. one per IBLT partition.
+  uint64_t HashU64Indexed(uint64_t x, uint64_t index) const;
+
+  /// Hashes a byte string (xxhash-style multiply-rotate over 8-byte lanes).
+  uint64_t HashBytes(const uint8_t* data, size_t n) const;
+  uint64_t HashBytes(const std::vector<uint8_t>& data) const {
+    return HashBytes(data.data(), data.size());
+  }
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+};
+
+/// Order-invariant 64-bit fingerprint of a multiset of 64-bit elements:
+/// sum of per-element mixes plus a mixed size term. Summation (rather than
+/// XOR) makes the fingerprint sensitive to element multiplicity, so the same
+/// function serves sets and multisets (Section 3.4). This is the "hash of
+/// each of the sets" the paper's protocols use to ward against checksum
+/// failures and to identify which child set an encoding belongs to.
+uint64_t SetFingerprint(const std::vector<uint64_t>& elements,
+                        const HashFamily& family);
+
+}  // namespace setrec
+
+#endif  // SETREC_HASHING_HASH_H_

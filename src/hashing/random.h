@@ -1,0 +1,64 @@
+#ifndef SETREC_HASHING_RANDOM_H_
+#define SETREC_HASHING_RANDOM_H_
+
+#include <cstdint>
+
+namespace setrec {
+
+/// SplitMix64 step: advances `state` and returns the next output. Used both
+/// as a standalone mixer/seeder and to derive sub-seeds for hash families.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Mixes a single 64-bit value (stateless SplitMix64 finalizer). This is the
+/// library's generic strong mixer.
+uint64_t Mix64(uint64_t x);
+
+/// xoshiro256** pseudo-random generator. All randomness in the library flows
+/// through explicit seeds, so both parties of a protocol can derive identical
+/// "public coins" (Section 2 of the paper) from one shared seed, and all
+/// tests are deterministic.
+class Rng {
+ public:
+  /// Seeds the four words of state via SplitMix64, per the xoshiro authors'
+  /// recommendation.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit output.
+  uint64_t NextU64();
+
+  /// Uniform value in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli(p) draw.
+  bool Bernoulli(double p);
+
+  /// Geometric skip length for sampling a Bernoulli(p) process: returns the
+  /// number of failures before the next success (>= 0). Used by the G(n,p)
+  /// sampler to generate random graphs in O(edges) time.
+  uint64_t GeometricSkip(double p);
+
+  // UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
+  using result_type = uint64_t;
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ull; }
+  uint64_t operator()() { return NextU64(); }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Derives a fresh, independent-looking seed from (seed, tag). Protocols use
+/// tags to give each hash family / retry attempt / protocol phase its own
+/// randomness while both parties stay in lockstep.
+uint64_t DeriveSeed(uint64_t seed, uint64_t tag);
+
+}  // namespace setrec
+
+#endif  // SETREC_HASHING_RANDOM_H_

@@ -1,0 +1,274 @@
+#include "iblt/iblt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <deque>
+
+#include "hashing/random.h"
+
+namespace setrec {
+
+namespace {
+
+// Sizing constant: cells per expected difference key. Theorem 2.1 promises
+// decode w.h.p. with m = O(d); k=4 peeling succeeds asymptotically above
+// ~1.3 cells/key, but small tables need slack, so we use 1.9 plus an
+// additive floor. bench_iblt (experiment E3) calibrates this empirically.
+constexpr double kCellsPerKey = 2.0;
+constexpr size_t kMinCells = 16;
+
+// Zigzag encoding for signed counts in the compact serialization.
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace
+
+IbltConfig IbltConfig::ForDifference(size_t diff, uint64_t seed,
+                                     size_t key_width, int num_hashes) {
+  IbltConfig config;
+  config.cells = std::max(
+      kMinCells, static_cast<size_t>(kCellsPerKey * static_cast<double>(diff)) +
+                     2 * static_cast<size_t>(num_hashes));
+  config.num_hashes = num_hashes;
+  config.key_width = key_width;
+  config.seed = seed;
+  return config;
+}
+
+size_t IbltConfig::PaddedCells() const {
+  size_t k = static_cast<size_t>(num_hashes);
+  return (cells + k - 1) / k * k;
+}
+
+size_t IbltConfig::FixedSerializedSize() const {
+  // Per cell: 4-byte count, 8-byte checksum, key_width key bytes.
+  return PaddedCells() * (4 + 8 + key_width);
+}
+
+Iblt::Iblt(const IbltConfig& config)
+    : config_(config),
+      cells_(config.PaddedCells()),
+      cells_per_hash_(cells_ / static_cast<size_t>(config.num_hashes)),
+      counts_(cells_, 0),
+      checks_(cells_, 0),
+      keys_(cells_ * config.key_width, 0),
+      bucket_family_(config.seed, /*tag=*/0x6275636bull),   // "buck"
+      check_family_(config.seed, /*tag=*/0x6368656bull) {}  // "chek"
+
+void Iblt::Insert(const uint8_t* key) { Update(key, +1); }
+void Iblt::Insert(const std::vector<uint8_t>& key) {
+  assert(key.size() == config_.key_width);
+  Update(key.data(), +1);
+}
+void Iblt::InsertU64(uint64_t key) {
+  assert(config_.key_width == 8);
+  uint8_t buf[8];
+  std::memcpy(buf, &key, 8);
+  Update(buf, +1);
+}
+
+void Iblt::Erase(const uint8_t* key) { Update(key, -1); }
+void Iblt::Erase(const std::vector<uint8_t>& key) {
+  assert(key.size() == config_.key_width);
+  Update(key.data(), -1);
+}
+void Iblt::EraseU64(uint64_t key) {
+  assert(config_.key_width == 8);
+  uint8_t buf[8];
+  std::memcpy(buf, &key, 8);
+  Update(buf, -1);
+}
+
+size_t Iblt::Bucket(const uint8_t* key, int index) const {
+  uint64_t h = bucket_family_.HashBytes(key, config_.key_width);
+  // Derive per-index bucket from one strong byte hash; partition `index`
+  // guarantees the k cells are distinct.
+  uint64_t sub = Mix64(h ^ (0x9e3779b97f4a7c15ull * (index + 1)));
+  return static_cast<size_t>(index) * cells_per_hash_ + (sub % cells_per_hash_);
+}
+
+void Iblt::Update(const uint8_t* key, int32_t delta) {
+  uint64_t check = check_family_.HashBytes(key, config_.key_width);
+  for (int i = 0; i < config_.num_hashes; ++i) {
+    size_t cell = Bucket(key, i);
+    counts_[cell] += delta;
+    checks_[cell] ^= check;
+    uint8_t* dst = keys_.data() + cell * config_.key_width;
+    for (size_t b = 0; b < config_.key_width; ++b) dst[b] ^= key[b];
+  }
+}
+
+Status Iblt::Subtract(const Iblt& other) {
+  if (!(config_ == other.config_)) {
+    return InvalidArgument("IBLT subtract: mismatched configs");
+  }
+  for (size_t i = 0; i < cells_; ++i) {
+    counts_[i] -= other.counts_[i];
+    checks_[i] ^= other.checks_[i];
+  }
+  for (size_t i = 0; i < keys_.size(); ++i) keys_[i] ^= other.keys_[i];
+  return Status::Ok();
+}
+
+Status Iblt::Add(const Iblt& other) {
+  if (!(config_ == other.config_)) {
+    return InvalidArgument("IBLT add: mismatched configs");
+  }
+  for (size_t i = 0; i < cells_; ++i) {
+    counts_[i] += other.counts_[i];
+    checks_[i] ^= other.checks_[i];
+  }
+  for (size_t i = 0; i < keys_.size(); ++i) keys_[i] ^= other.keys_[i];
+  return Status::Ok();
+}
+
+bool Iblt::CellIsPure(size_t cell) const {
+  if (counts_[cell] != 1 && counts_[cell] != -1) return false;
+  const uint8_t* key = keys_.data() + cell * config_.key_width;
+  return checks_[cell] == check_family_.HashBytes(key, config_.key_width);
+}
+
+bool Iblt::CellIsZero(size_t cell) const {
+  if (counts_[cell] != 0 || checks_[cell] != 0) return false;
+  const uint8_t* key = keys_.data() + cell * config_.key_width;
+  for (size_t b = 0; b < config_.key_width; ++b) {
+    if (key[b] != 0) return false;
+  }
+  return true;
+}
+
+IbltPartialDecode Iblt::DecodePartial() const {
+  Iblt work = *this;  // Peel a copy; the table remains reusable.
+  IbltPartialDecode out;
+
+  std::deque<size_t> queue;
+  for (size_t i = 0; i < cells_; ++i) {
+    if (work.CellIsPure(i)) queue.push_back(i);
+  }
+
+  // A correct drain extracts at most one key per (key, cell) incidence;
+  // cap iterations so checksum-collision cascades cannot loop forever.
+  size_t budget = 4 * cells_ + 64;
+  std::vector<uint8_t> key(config_.key_width);
+  while (!queue.empty() && budget-- > 0) {
+    size_t cell = queue.front();
+    queue.pop_front();
+    if (!work.CellIsPure(cell)) continue;  // Stale queue entry.
+    int32_t sign = work.counts_[cell] > 0 ? 1 : -1;
+    std::memcpy(key.data(), work.keys_.data() + cell * config_.key_width,
+                config_.key_width);
+    (sign > 0 ? out.entries.positive : out.entries.negative).push_back(key);
+    // Remove the key from all of its cells (including this one).
+    work.Update(key.data(), -sign);
+    for (int i = 0; i < config_.num_hashes; ++i) {
+      size_t touched = work.Bucket(key.data(), i);
+      if (work.CellIsPure(touched)) queue.push_back(touched);
+    }
+  }
+
+  out.complete = true;
+  for (size_t i = 0; i < cells_; ++i) {
+    if (!work.CellIsZero(i)) {
+      out.complete = false;
+      break;
+    }
+  }
+  return out;
+}
+
+Result<IbltDecodeResult> Iblt::Decode() const {
+  IbltPartialDecode partial = DecodePartial();
+  if (!partial.complete) {
+    return DecodeFailure("IBLT peeling incomplete (nonempty 2-core)");
+  }
+  return std::move(partial.entries);
+}
+
+Result<IbltDecodeResult64> Iblt::DecodeU64() const {
+  assert(config_.key_width == 8);
+  Result<IbltDecodeResult> raw = Decode();
+  if (!raw.ok()) return raw.status();
+  IbltDecodeResult64 out;
+  out.positive.reserve(raw.value().positive.size());
+  out.negative.reserve(raw.value().negative.size());
+  for (const auto& k : raw.value().positive) {
+    uint64_t v;
+    std::memcpy(&v, k.data(), 8);
+    out.positive.push_back(v);
+  }
+  for (const auto& k : raw.value().negative) {
+    uint64_t v;
+    std::memcpy(&v, k.data(), 8);
+    out.negative.push_back(v);
+  }
+  return out;
+}
+
+bool Iblt::IsZero() const {
+  for (size_t i = 0; i < cells_; ++i) {
+    if (!CellIsZero(i)) return false;
+  }
+  return true;
+}
+
+void Iblt::Serialize(ByteWriter* writer) const {
+  for (size_t i = 0; i < cells_; ++i) {
+    writer->PutVarint(ZigZag(counts_[i]));
+    writer->PutU64(checks_[i]);
+    writer->PutBytes(keys_.data() + i * config_.key_width, config_.key_width);
+  }
+}
+
+Result<Iblt> Iblt::Deserialize(ByteReader* reader, const IbltConfig& config) {
+  Iblt table(config);
+  for (size_t i = 0; i < table.cells_; ++i) {
+    uint64_t zz = 0;
+    if (!reader->GetVarint(&zz)) return ParseError("IBLT truncated (count)");
+    table.counts_[i] = static_cast<int32_t>(UnZigZag(zz));
+    if (!reader->GetU64(&table.checks_[i])) {
+      return ParseError("IBLT truncated (check)");
+    }
+    std::vector<uint8_t> key;
+    if (!reader->GetBytes(config.key_width, &key)) {
+      return ParseError("IBLT truncated (key)");
+    }
+    std::memcpy(table.keys_.data() + i * config.key_width, key.data(),
+                config.key_width);
+  }
+  return table;
+}
+
+void Iblt::SerializeFixed(ByteWriter* writer) const {
+  for (size_t i = 0; i < cells_; ++i) {
+    writer->PutU32(static_cast<uint32_t>(counts_[i]));
+    writer->PutU64(checks_[i]);
+    writer->PutBytes(keys_.data() + i * config_.key_width, config_.key_width);
+  }
+}
+
+Result<Iblt> Iblt::DeserializeFixed(ByteReader* reader,
+                                    const IbltConfig& config) {
+  Iblt table(config);
+  for (size_t i = 0; i < table.cells_; ++i) {
+    uint32_t count = 0;
+    if (!reader->GetU32(&count)) return ParseError("IBLT truncated (count)");
+    table.counts_[i] = static_cast<int32_t>(count);
+    if (!reader->GetU64(&table.checks_[i])) {
+      return ParseError("IBLT truncated (check)");
+    }
+    std::vector<uint8_t> key;
+    if (!reader->GetBytes(config.key_width, &key)) {
+      return ParseError("IBLT truncated (key)");
+    }
+    std::memcpy(table.keys_.data() + i * config.key_width, key.data(),
+                config.key_width);
+  }
+  return table;
+}
+
+}  // namespace setrec

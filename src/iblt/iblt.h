@@ -1,0 +1,144 @@
+#ifndef SETREC_IBLT_IBLT_H_
+#define SETREC_IBLT_IBLT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hashing/hash.h"
+#include "util/serialization.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// Sizing and hashing configuration for an Iblt. Both parties must build
+/// tables from identical configs (same cells, hash count, key width, seed)
+/// for subtraction to be meaningful; Subtract() enforces this.
+struct IbltConfig {
+  /// Total number of cells m (rounded up to a multiple of num_hashes so the
+  /// table partitions evenly; the paper's "partitioned hash table" variant,
+  /// which guarantees the k cells of a key are distinct).
+  size_t cells = 16;
+  /// Number of hash functions k.
+  int num_hashes = 4;
+  /// Bytes per key. 8 for 64-bit elements; larger for blob keys such as the
+  /// serialized child encodings of Algorithms 1 and 2.
+  size_t key_width = 8;
+  /// Seed for the bucket and checksum hash families (public coins).
+  uint64_t seed = 0;
+
+  /// Config sized to decode a set difference of up to `diff` keys with high
+  /// probability (Theorem 2.1's O(d) cells with an explicit constant).
+  static IbltConfig ForDifference(size_t diff, uint64_t seed,
+                                  size_t key_width = 8, int num_hashes = 4);
+
+  /// cells rounded up to a multiple of num_hashes.
+  size_t PaddedCells() const;
+
+  /// Bytes of the fixed-width serialization (count + checksum + key per
+  /// cell, plus no header); used to size blob keys that embed a child IBLT.
+  size_t FixedSerializedSize() const;
+
+  bool operator==(const IbltConfig&) const = default;
+};
+
+/// Result of peeling an IBLT (or a subtracted pair of IBLTs): the keys with
+/// positive counts and the keys with negative counts. For Alice's table
+/// minus Bob's, positives are S_A \ S_B and negatives are S_B \ S_A.
+struct IbltDecodeResult {
+  std::vector<std::vector<uint8_t>> positive;
+  std::vector<std::vector<uint8_t>> negative;
+};
+
+/// Same, for 64-bit keys.
+struct IbltDecodeResult64 {
+  std::vector<uint64_t> positive;
+  std::vector<uint64_t> negative;
+};
+
+/// Best-effort decode: whatever peeled out, plus whether the table drained
+/// completely. The cascading protocol (Algorithm 2) uses partial decodes —
+/// children missed at level i are caught at level i+1.
+struct IbltPartialDecode {
+  IbltDecodeResult entries;
+  bool complete = false;
+};
+
+/// Invertible Bloom Lookup Table (Goodrich & Mitzenmacher; Section 2 of the
+/// paper). Each cell holds a signed count, an XOR of keys, and an XOR of key
+/// checksums. Supports insertion, deletion (counts may go negative,
+/// representing two disjoint sets), cell-wise subtraction of a peer's table,
+/// and the peeling decoder with checksum-guarded pure-cell detection.
+///
+/// Keys are fixed-width byte strings (config().key_width bytes). The *_U64
+/// convenience methods treat 64-bit integers as 8-byte little-endian keys
+/// and require key_width == 8.
+class Iblt {
+ public:
+  explicit Iblt(const IbltConfig& config);
+
+  const IbltConfig& config() const { return config_; }
+
+  /// Adds a key (count +1 in each of its k cells). `key` must point at
+  /// key_width bytes.
+  void Insert(const uint8_t* key);
+  void Insert(const std::vector<uint8_t>& key);
+  void InsertU64(uint64_t key);
+
+  /// Deletes a key (count -1); the key need not be present.
+  void Erase(const uint8_t* key);
+  void Erase(const std::vector<uint8_t>& key);
+  void EraseU64(uint64_t key);
+
+  /// Cell-wise subtraction: this -= other. After Alice's table is
+  /// subtracted by Bob's, only the symmetric difference remains.
+  Status Subtract(const Iblt& other);
+
+  /// Cell-wise addition: this += other. Used to merge sketches built from
+  /// disjoint element streams (e.g., strata-estimator merge).
+  Status Add(const Iblt& other);
+
+  /// Runs the peeling decoder on a copy of the table. Returns the decoded
+  /// difference, or kDecodeFailure if a nonempty 2-core (or checksum
+  /// corruption) prevents complete extraction. Failure is detectable: the
+  /// table does not drain to all-zero cells.
+  Result<IbltDecodeResult> Decode() const;
+  Result<IbltDecodeResult64> DecodeU64() const;
+
+  /// Peels as far as possible and reports completeness instead of failing.
+  IbltPartialDecode DecodePartial() const;
+
+  /// True if every cell is zero (empty table or perfectly cancelled).
+  bool IsZero() const;
+
+  /// Compact serialization (varint counts) for direct transmission.
+  void Serialize(ByteWriter* writer) const;
+  static Result<Iblt> Deserialize(ByteReader* reader, const IbltConfig& config);
+
+  /// Fixed-width serialization: every table with the same config produces
+  /// the same number of bytes, so serialized tables can themselves be used
+  /// as (XOR-able) IBLT keys, as in the IBLT-of-IBLTs constructions.
+  void SerializeFixed(ByteWriter* writer) const;
+  static Result<Iblt> DeserializeFixed(ByteReader* reader,
+                                       const IbltConfig& config);
+
+ private:
+  void Update(const uint8_t* key, int32_t delta);
+  /// The cell index for `key` under hash function `index`.
+  size_t Bucket(const uint8_t* key, int index) const;
+  bool CellIsPure(size_t cell) const;
+  bool CellIsZero(size_t cell) const;
+
+  IbltConfig config_;
+  size_t cells_;           // Padded cell count.
+  size_t cells_per_hash_;  // Partition width.
+  std::vector<int32_t> counts_;
+  std::vector<uint64_t> checks_;
+  std::vector<uint8_t> keys_;  // cells_ * key_width bytes.
+  HashFamily bucket_family_;
+  HashFamily check_family_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_IBLT_IBLT_H_

@@ -1,0 +1,86 @@
+#include "setrec/multiset_codec.h"
+
+#include <algorithm>
+#include <map>
+
+namespace setrec {
+
+Result<std::vector<uint64_t>> MultisetCodec::Encode(
+    const std::vector<uint64_t>& multiset) const {
+  std::vector<uint64_t> sorted = multiset;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<uint64_t> out;
+  out.reserve(sorted.size());
+  for (size_t i = 0; i < sorted.size();) {
+    uint64_t value = sorted[i];
+    if (value > MaxValue()) {
+      return InvalidArgument("multiset value exceeds codec range");
+    }
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == value) ++j;
+    uint64_t count = j - i;
+    if (count > MaxCount()) {
+      return InvalidArgument("multiset multiplicity exceeds codec range");
+    }
+    out.push_back((value << count_bits) | (count - 1));
+    i = j;
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> MultisetCodec::Decode(
+    const std::vector<uint64_t>& encoded) const {
+  std::vector<uint64_t> out;
+  const uint64_t count_mask = (1ull << count_bits) - 1;
+  for (uint64_t packed : encoded) {
+    if (packed >= kUserElementLimit) {
+      return ParseError("packed multiset element out of range");
+    }
+    uint64_t value = packed >> count_bits;
+    uint64_t count = (packed & count_mask) + 1;
+    for (uint64_t k = 0; k < count; ++k) out.push_back(value);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<uint64_t>> NormalizeParentMultiset(
+    std::vector<std::vector<uint64_t>> children) {
+  std::map<std::vector<uint64_t>, uint64_t> counts;
+  for (auto& child : children) counts[std::move(child)] += 1;
+  std::vector<std::vector<uint64_t>> out;
+  out.reserve(counts.size());
+  for (auto& [child, count] : counts) {
+    std::vector<uint64_t> annotated = child;
+    if (count > 1) {
+      annotated.push_back(kDuplicateCountBase + count);
+      std::sort(annotated.begin(), annotated.end());
+    }
+    out.push_back(std::move(annotated));
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<uint64_t>>> ExpandParentMultiset(
+    std::vector<std::vector<uint64_t>> children) {
+  std::vector<std::vector<uint64_t>> out;
+  for (auto& child : children) {
+    uint64_t count = 1;
+    std::vector<uint64_t> stripped;
+    stripped.reserve(child.size());
+    for (uint64_t e : child) {
+      if (e >= kDuplicateCountBase && e < kParentMarkBase) {
+        if (count != 1) return ParseError("multiple duplicate-count markers");
+        count = e - kDuplicateCountBase;
+        if (count < 2) return ParseError("invalid duplicate-count marker");
+      } else {
+        stripped.push_back(e);
+      }
+    }
+    for (uint64_t k = 1; k < count; ++k) out.push_back(stripped);
+    out.push_back(std::move(stripped));
+  }
+  return out;
+}
+
+}  // namespace setrec

@@ -1,0 +1,63 @@
+#ifndef SETREC_SETREC_MULTISET_CODEC_H_
+#define SETREC_SETREC_MULTISET_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace setrec {
+
+/// Element-space layout shared by every protocol in the library. Reconciled
+/// elements must fit in 60 bits (so the characteristic-polynomial path over
+/// GF(2^61-1) can always be used); the region above 2^56 is reserved for
+/// library markers.
+///
+///   [0, 2^56)        user elements / encoded multiset pairs
+///   [2^56, 2^57)     duplicate-child-set count markers (multisets of sets)
+///   [2^57, 2^57+2^48) parent-marked vertex signatures (forest protocol)
+inline constexpr uint64_t kUserElementLimit = 1ull << 56;
+inline constexpr uint64_t kDuplicateCountBase = 1ull << 56;
+inline constexpr uint64_t kParentMarkBase = 1ull << 57;
+
+/// Multiset handling (Section 3.4 of the paper): a multiset is represented
+/// as the set of pairs (x, k) — "if an element x occurs in the multiset k
+/// times, then (x, k) is an element of the set". We pack the pair as
+/// (x << count_bits) | (k - 1). The bounds stay the same (d can only
+/// decrease) while the universe grows from u to u * n, exactly as Section
+/// 3.4 states.
+struct MultisetCodec {
+  /// Bits reserved for the count; values must be < 2^(56 - count_bits) and
+  /// multiplicities <= 2^count_bits.
+  int count_bits = 16;
+
+  uint64_t MaxValue() const { return (kUserElementLimit >> count_bits) - 1; }
+  uint64_t MaxCount() const { return 1ull << count_bits; }
+
+  /// Encodes a multiset (any order, repeats allowed) as a set of packed
+  /// (value, count) elements, sorted ascending.
+  Result<std::vector<uint64_t>> Encode(
+      const std::vector<uint64_t>& multiset) const;
+
+  /// Inverse of Encode: expands packed pairs to a sorted multiset.
+  Result<std::vector<uint64_t>> Decode(
+      const std::vector<uint64_t>& encoded) const;
+};
+
+/// Normalizes a parent *multiset* of child sets into a parent set: duplicate
+/// child sets are collapsed into one copy carrying a duplicate-count marker
+/// element (kDuplicateCountBase + count). A single logical update to one
+/// copy of a duplicated child set changes O(1) elements of the normalized
+/// form, so difference bounds are preserved up to constants. Child sets must
+/// be internally sorted; the result's children are sorted sets.
+std::vector<std::vector<uint64_t>> NormalizeParentMultiset(
+    std::vector<std::vector<uint64_t>> children);
+
+/// Inverse of NormalizeParentMultiset: expands duplicate-count markers back
+/// into repeated child sets. Children without a marker are passed through.
+Result<std::vector<std::vector<uint64_t>>> ExpandParentMultiset(
+    std::vector<std::vector<uint64_t>> children);
+
+}  // namespace setrec
+
+#endif  // SETREC_SETREC_MULTISET_CODEC_H_

@@ -1,0 +1,50 @@
+#include "transport/channel.h"
+
+#include <utility>
+
+namespace setrec {
+
+size_t Channel::Send(Party from, std::vector<uint8_t> payload,
+                     std::string label) {
+  total_bytes_ += payload.size();
+  if (from == Party::kAlice) {
+    bytes_alice_ += payload.size();
+  } else {
+    bytes_bob_ += payload.size();
+  }
+  messages_.push_back(Message{from, std::move(payload), std::move(label)});
+  return messages_.size() - 1;
+}
+
+void Channel::Reset() {
+  messages_.clear();
+  total_bytes_ = 0;
+  bytes_alice_ = 0;
+  bytes_bob_ = 0;
+}
+
+std::vector<uint8_t> PackTranscript(const Channel& sub) {
+  // Varint count then length-prefixed payloads (hand-rolled to avoid a
+  // dependency cycle with util/serialization).
+  std::vector<uint8_t> out;
+  auto put_varint = [&out](uint64_t v) {
+    while (v >= 0x80) {
+      out.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+  };
+  put_varint(sub.transcript().size());
+  for (const Channel::Message& m : sub.transcript()) {
+    put_varint(m.payload.size());
+    out.insert(out.end(), m.payload.begin(), m.payload.end());
+  }
+  return out;
+}
+
+size_t ForwardAsSingleMessage(const Channel& sub, Party from, Channel* main,
+                              std::string label) {
+  return main->Send(from, PackTranscript(sub), std::move(label));
+}
+
+}  // namespace setrec

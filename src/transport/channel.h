@@ -1,0 +1,81 @@
+#ifndef SETREC_TRANSPORT_CHANNEL_H_
+#define SETREC_TRANSPORT_CHANNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace setrec {
+
+/// The two parties of a reconciliation protocol.
+enum class Party : uint8_t { kAlice = 0, kBob = 1 };
+
+inline const char* PartyName(Party p) {
+  return p == Party::kAlice ? "Alice" : "Bob";
+}
+
+/// An in-memory simulated channel between Alice and Bob with exact
+/// accounting of the two costs the paper reports: total bits communicated
+/// and the number of rounds. Following Section 2, "the number of rounds of
+/// communication ... denotes the number of total messages sent", so
+/// rounds() == number of Send calls.
+class Channel {
+ public:
+  struct Message {
+    Party from;
+    std::vector<uint8_t> payload;
+    /// Free-form label ("T1", "estimator", ...) for transcript inspection.
+    std::string label;
+  };
+
+  Channel() = default;
+
+  /// Records a message from `from`; returns its index in the transcript.
+  size_t Send(Party from, std::vector<uint8_t> payload,
+              std::string label = "");
+
+  /// Retrieves message `index`; the caller (the other party) parses it.
+  const Message& Receive(size_t index) const { return messages_.at(index); }
+
+  /// Number of messages sent so far (== rounds, per the paper's convention).
+  size_t rounds() const { return messages_.size(); }
+
+  /// Total payload bytes across all messages.
+  size_t total_bytes() const { return total_bytes_; }
+
+  /// Total payload bytes sent by `party`.
+  size_t bytes_from(Party party) const {
+    return party == Party::kAlice ? bytes_alice_ : bytes_bob_;
+  }
+
+  const std::vector<Message>& transcript() const { return messages_; }
+
+  /// Forgets all traffic (used between retry attempts when the caller wants
+  /// per-attempt accounting; protocols normally keep cumulative totals since
+  /// retries are real communication).
+  void Reset();
+
+ private:
+  std::vector<Message> messages_;
+  size_t total_bytes_ = 0;
+  size_t bytes_alice_ = 0;
+  size_t bytes_bob_ = 0;
+};
+
+/// Bundles every message of `sub` (all must come from `from`) into one
+/// length-prefixed message on `main`. Composite protocols (graph and forest
+/// reconciliation) run a sets-of-sets sub-protocol whose transmissions are
+/// all in one direction, then ship the sub-transcript plus their own payload
+/// as a single round; this helper keeps the byte accounting exact.
+size_t ForwardAsSingleMessage(const Channel& sub, Party from, Channel* main,
+                              std::string label);
+
+/// Serializes a sub-transcript into a writer-friendly byte block (varint
+/// message count, then length-prefixed payloads). Used by composite
+/// protocols that append their own sections after the sub-transcript.
+std::vector<uint8_t> PackTranscript(const Channel& sub);
+
+}  // namespace setrec
+
+#endif  // SETREC_TRANSPORT_CHANNEL_H_

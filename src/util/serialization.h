@@ -1,0 +1,75 @@
+#ifndef SETREC_UTIL_SERIALIZATION_H_
+#define SETREC_UTIL_SERIALIZATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace setrec {
+
+/// Appends primitive values to a growable byte buffer. All fixed-width
+/// integers are little-endian. Used to build every protocol message, so the
+/// exact byte counts reported by Channel reflect what a real implementation
+/// would send.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// LEB128 variable-length encoding (1-10 bytes).
+  void PutVarint(uint64_t v);
+  /// Appends `n` raw bytes.
+  void PutBytes(const uint8_t* data, size_t n);
+  void PutBytes(const std::vector<uint8_t>& data) {
+    PutBytes(data.data(), data.size());
+  }
+  /// Varint length prefix followed by the raw bytes.
+  void PutLengthPrefixed(const std::vector<uint8_t>& data);
+  /// Varint count followed by varint-encoded elements.
+  void PutU64Vector(const std::vector<uint64_t>& values);
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  /// Moves the accumulated buffer out of the writer.
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a byte span. Every getter returns false (and
+/// leaves the output untouched) on truncated input; protocols surface that as
+/// StatusCode::kParseError.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t n) : data_(data), end_(data + n) {}
+  explicit ByteReader(const std::vector<uint8_t>& data)
+      : ByteReader(data.data(), data.size()) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU16(uint16_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetVarint(uint64_t* v);
+  bool GetBytes(size_t n, std::vector<uint8_t>* out);
+  bool GetLengthPrefixed(std::vector<uint8_t>* out);
+  bool GetU64Vector(std::vector<uint64_t>* out);
+
+  /// Number of unread bytes.
+  size_t remaining() const { return static_cast<size_t>(end_ - data_); }
+  bool empty() const { return data_ == end_; }
+
+ private:
+  const uint8_t* data_;
+  const uint8_t* end_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_UTIL_SERIALIZATION_H_

@@ -1,0 +1,144 @@
+#ifndef SETREC_UTIL_STATUS_H_
+#define SETREC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace setrec {
+
+/// Error categories used across the library. Reconciliation protocols are
+/// randomized and have real failure modes (Theorem 2.1's peeling failures,
+/// checksum failures, estimator misses); these codes let callers distinguish
+/// a *detected* protocol failure (retryable with fresh randomness) from a
+/// caller bug.
+enum class StatusCode {
+  kOk = 0,
+  /// A sketch failed to decode (e.g., IBLT peeling left a nonempty 2-core).
+  kDecodeFailure,
+  /// Decoding "succeeded" but the result failed hash verification, or a
+  /// recovered object is internally inconsistent.
+  kVerificationFailure,
+  /// The caller-supplied bound (d, d-hat, degree) was exceeded by the data.
+  kBoundExceeded,
+  /// Malformed arguments or configuration.
+  kInvalidArgument,
+  /// A received message could not be parsed.
+  kParseError,
+  /// Protocol ran out of retry attempts.
+  kExhausted,
+};
+
+/// Returns a human-readable name for `code`.
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. The library does not throw across
+/// public APIs; fallible operations return Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs an error status; `code` must not be kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status DecodeFailure(std::string msg) {
+  return Status(StatusCode::kDecodeFailure, std::move(msg));
+}
+inline Status VerificationFailure(std::string msg) {
+  return Status(StatusCode::kVerificationFailure, std::move(msg));
+}
+inline Status BoundExceeded(std::string msg) {
+  return Status(StatusCode::kBoundExceeded, std::move(msg));
+}
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status ParseError(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+inline Status Exhausted(std::string msg) {
+  return Status(StatusCode::kExhausted, std::move(msg));
+}
+
+/// A value or an error. Accessing value() on an error aborts (assert), so
+/// callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kDecodeFailure:
+      return "DECODE_FAILURE";
+    case StatusCode::kVerificationFailure:
+      return "VERIFICATION_FAILURE";
+    case StatusCode::kBoundExceeded:
+      return "BOUND_EXCEEDED";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kExhausted:
+      return "EXHAUSTED";
+  }
+  return "UNKNOWN";
+}
+
+inline std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace setrec
+
+#endif  // SETREC_UTIL_STATUS_H_

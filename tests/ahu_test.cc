@@ -1,0 +1,104 @@
+#include "forest/ahu.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace setrec {
+namespace {
+
+HashFamily Family() { return HashFamily(123, 456); }
+
+TEST(AhuTest, LeavesShareSignature) {
+  RootedForest f(3);
+  std::vector<uint64_t> sigs = AhuSignatures(f, Family());
+  EXPECT_EQ(sigs[0], sigs[1]);
+  EXPECT_EQ(sigs[1], sigs[2]);
+}
+
+TEST(AhuTest, SignatureWidthBounded) {
+  RootedForest f(10);
+  for (uint32_t v = 1; v < 10; ++v) ASSERT_TRUE(f.Attach(v, v - 1).ok());
+  for (uint64_t sig : AhuSignatures(f, Family())) {
+    EXPECT_LT(sig, 1ull << kAhuSignatureBits);
+  }
+}
+
+TEST(AhuTest, ChildOrderIrrelevant) {
+  // Root with children (leaf, path2) in either attach order.
+  RootedForest a(4), b(4);
+  ASSERT_TRUE(a.Attach(1, 0).ok());   // Leaf child first.
+  ASSERT_TRUE(a.Attach(2, 0).ok());
+  ASSERT_TRUE(a.Attach(3, 2).ok());   // Path under 2.
+  ASSERT_TRUE(b.Attach(2, 0).ok());   // Path child first.
+  ASSERT_TRUE(b.Attach(3, 2).ok());
+  ASSERT_TRUE(b.Attach(1, 0).ok());
+  EXPECT_EQ(AhuSignatures(a, Family())[0], AhuSignatures(b, Family())[0]);
+}
+
+TEST(AhuTest, DistinguishesShapes) {
+  // Path of 3 vs star of 3 (both rooted at 0, three vertices).
+  RootedForest path(3), star(3);
+  ASSERT_TRUE(path.Attach(1, 0).ok());
+  ASSERT_TRUE(path.Attach(2, 1).ok());
+  ASSERT_TRUE(star.Attach(1, 0).ok());
+  ASSERT_TRUE(star.Attach(2, 0).ok());
+  EXPECT_NE(AhuSignatures(path, Family())[0],
+            AhuSignatures(star, Family())[0]);
+}
+
+TEST(AhuTest, IsomorphicSubtreesShareSignature) {
+  RootedForest f(6);
+  // Two identical cherries: 0-(1,2) and 3-(4,5).
+  ASSERT_TRUE(f.Attach(1, 0).ok());
+  ASSERT_TRUE(f.Attach(2, 0).ok());
+  ASSERT_TRUE(f.Attach(4, 3).ok());
+  ASSERT_TRUE(f.Attach(5, 3).ok());
+  std::vector<uint64_t> sigs = AhuSignatures(f, Family());
+  EXPECT_EQ(sigs[0], sigs[3]);
+  EXPECT_NE(sigs[0], sigs[1]);
+}
+
+TEST(ForestIsomorphismClassTest, InvariantUnderRelabeling) {
+  Rng rng(7);
+  RootedForest f = RootedForest::Random(60, 5, 0.15, &rng);
+  // Relabel: mirror the attach structure in depth-sorted order (so every
+  // child is attached while still a root).
+  std::vector<uint32_t> order(60);
+  for (uint32_t v = 0; v < 60; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&f](uint32_t a, uint32_t b) {
+    return f.Depth(a) < f.Depth(b);
+  });
+  std::vector<uint32_t> relabel(60);
+  for (uint32_t i = 0; i < 60; ++i) relabel[order[i]] = (i + 13) % 60;
+  RootedForest h(60);
+  for (uint32_t v : order) {
+    if (!f.IsRoot(v)) {
+      ASSERT_TRUE(h.Attach(relabel[v], relabel[f.Parent(v)]).ok());
+    }
+  }
+  EXPECT_TRUE(AreForestsIsomorphic(f, h, Family()));
+}
+
+TEST(ForestIsomorphismClassTest, DistinguishesDifferentForests) {
+  Rng rng(8);
+  RootedForest f = RootedForest::Random(80, 5, 0.15, &rng);
+  RootedForest g = f;
+  ASSERT_EQ(g.Perturb(1, 6, &rng), 1u);
+  EXPECT_FALSE(AreForestsIsomorphic(f, g, Family()));
+}
+
+TEST(ForestIsomorphismClassTest, SizeMismatch) {
+  EXPECT_FALSE(AreForestsIsomorphic(RootedForest(3), RootedForest(4),
+                                    Family()));
+}
+
+TEST(ForestIsomorphismClassTest, DifferentFamiliesDifferentClasses) {
+  RootedForest f(5);
+  HashFamily f1(1, 1), f2(2, 2);
+  EXPECT_NE(ForestIsomorphismClass(f, f1), ForestIsomorphismClass(f, f2));
+}
+
+}  // namespace
+}  // namespace setrec

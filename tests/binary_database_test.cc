@@ -1,0 +1,150 @@
+#include "apps/binary_database.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cascading_protocol.h"
+#include "core/iblt_of_iblts.h"
+#include "core/multiround_protocol.h"
+#include "core/naive_protocol.h"
+
+namespace setrec {
+namespace {
+
+TEST(BinaryDatabaseTest, AddRowAndGet) {
+  BinaryDatabase db(8);
+  ASSERT_TRUE(db.AddRow({1, 3, 5}).ok());
+  EXPECT_TRUE(db.Get(0, 1));
+  EXPECT_TRUE(db.Get(0, 5));
+  EXPECT_FALSE(db.Get(0, 0));
+  EXPECT_EQ(db.num_rows(), 1u);
+}
+
+TEST(BinaryDatabaseTest, BadRowsRejected) {
+  BinaryDatabase db(4);
+  EXPECT_FALSE(db.AddRow({5}).ok());     // Column out of range.
+  EXPECT_FALSE(db.AddRow({1, 1}).ok());  // Duplicate column.
+}
+
+TEST(BinaryDatabaseTest, FlipToggles) {
+  BinaryDatabase db(4);
+  ASSERT_TRUE(db.AddRow({0}).ok());
+  ASSERT_TRUE(db.Flip(0, 2).ok());
+  EXPECT_TRUE(db.Get(0, 2));
+  ASSERT_TRUE(db.Flip(0, 2).ok());
+  EXPECT_FALSE(db.Get(0, 2));
+  EXPECT_FALSE(db.Flip(5, 0).ok());
+}
+
+TEST(BinaryDatabaseTest, FlipRandomDistinctPositions) {
+  Rng rng(1);
+  BinaryDatabase db = BinaryDatabase::Random(20, 30, 0.5, &rng);
+  BinaryDatabase before = db;
+  auto flips = db.FlipRandom(15, &rng);
+  EXPECT_EQ(flips.size(), 15u);
+  size_t changed = 0;
+  for (size_t r = 0; r < db.num_rows(); ++r) {
+    for (uint32_t c = 0; c < 30; ++c) {
+      if (db.Get(r, c) != before.Get(r, c)) ++changed;
+    }
+  }
+  EXPECT_EQ(changed, 15u);
+}
+
+TEST(BinaryDatabaseTest, RandomDensity) {
+  Rng rng(2);
+  BinaryDatabase db = BinaryDatabase::Random(50, 100, 0.3, &rng);
+  size_t ones = 0;
+  for (const auto& row : db.rows()) ones += row.size();
+  EXPECT_NEAR(static_cast<double>(ones) / (50 * 100), 0.3, 0.05);
+}
+
+TEST(BinaryDatabaseTest, SameRowsAsIgnoresOrder) {
+  BinaryDatabase a(4), b(4);
+  ASSERT_TRUE(a.AddRow({0}).ok());
+  ASSERT_TRUE(a.AddRow({1, 2}).ok());
+  ASSERT_TRUE(b.AddRow({1, 2}).ok());
+  ASSERT_TRUE(b.AddRow({0}).ok());
+  EXPECT_TRUE(a.SameRowsAs(b));
+  ASSERT_TRUE(b.Flip(0, 3).ok());
+  EXPECT_FALSE(a.SameRowsAs(b));
+}
+
+class DatabaseReconcileSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatabaseReconcileSweep, AllProtocolsRecover) {
+  const int kind = GetParam();
+  Rng rng(kind + 10);
+  BinaryDatabase bob = BinaryDatabase::Random(60, 48, 0.5, &rng);
+  BinaryDatabase alice = bob;
+  const size_t d = 8;
+  alice.FlipRandom(d, &rng);
+
+  SsrParams params;
+  params.max_child_size = 50;
+  params.seed = kind + 100;
+  std::unique_ptr<SetsOfSetsProtocol> protocol;
+  switch (kind) {
+    case 0: protocol = std::make_unique<NaiveProtocol>(params); break;
+    case 1: protocol = std::make_unique<IbltOfIbltsProtocol>(params); break;
+    case 2: protocol = std::make_unique<CascadingProtocol>(params); break;
+    default: protocol = std::make_unique<MultiRoundProtocol>(params); break;
+  }
+  Channel ch;
+  Result<DatabaseReconcileOutcome> out =
+      ReconcileDatabases(alice, bob, *protocol, d, &ch);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out.value().recovered.SameRowsAs(alice));
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, DatabaseReconcileSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(DatabaseReconcileTest, DuplicateRowsSurvive) {
+  // Databases are bags: two identical rows must reconcile correctly via
+  // the duplicate-count normalization.
+  BinaryDatabase bob(8);
+  ASSERT_TRUE(bob.AddRow({0, 1}).ok());
+  ASSERT_TRUE(bob.AddRow({0, 1}).ok());
+  ASSERT_TRUE(bob.AddRow({2}).ok());
+  BinaryDatabase alice = bob;
+  ASSERT_TRUE(alice.Flip(0, 5).ok());  // One copy diverges.
+
+  SsrParams params;
+  params.max_child_size = 10;
+  params.seed = 7;
+  IbltOfIbltsProtocol protocol(params);
+  Channel ch;
+  Result<DatabaseReconcileOutcome> out =
+      ReconcileDatabases(alice, bob, *&protocol, 1, &ch);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out.value().recovered.SameRowsAs(alice));
+  EXPECT_EQ(out.value().recovered.num_rows(), 3u);
+}
+
+TEST(DatabaseReconcileTest, UnknownDVariant) {
+  Rng rng(30);
+  BinaryDatabase bob = BinaryDatabase::Random(40, 32, 0.5, &rng);
+  BinaryDatabase alice = bob;
+  alice.FlipRandom(5, &rng);
+  SsrParams params;
+  params.max_child_size = 36;
+  params.seed = 31;
+  CascadingProtocol protocol(params);
+  Channel ch;
+  Result<DatabaseReconcileOutcome> out =
+      ReconcileDatabases(alice, bob, protocol, std::nullopt, &ch);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out.value().recovered.SameRowsAs(alice));
+}
+
+TEST(DatabaseReconcileTest, SchemaMismatchRejected) {
+  BinaryDatabase a(4), b(5);
+  SsrParams params;
+  params.max_child_size = 6;
+  NaiveProtocol protocol(params);
+  Channel ch;
+  EXPECT_FALSE(ReconcileDatabases(a, b, protocol, 1, &ch).ok());
+}
+
+}  // namespace
+}  // namespace setrec

@@ -1,0 +1,86 @@
+#include "transport/channel.h"
+
+#include <gtest/gtest.h>
+
+#include "util/serialization.h"
+
+namespace setrec {
+namespace {
+
+TEST(ChannelTest, CountsBytesAndRounds) {
+  Channel ch;
+  EXPECT_EQ(ch.rounds(), 0u);
+  ch.Send(Party::kAlice, {1, 2, 3}, "m1");
+  ch.Send(Party::kBob, {4, 5}, "m2");
+  EXPECT_EQ(ch.rounds(), 2u);
+  EXPECT_EQ(ch.total_bytes(), 5u);
+  EXPECT_EQ(ch.bytes_from(Party::kAlice), 3u);
+  EXPECT_EQ(ch.bytes_from(Party::kBob), 2u);
+}
+
+TEST(ChannelTest, ReceiveReturnsPayloadAndLabel) {
+  Channel ch;
+  size_t idx = ch.Send(Party::kAlice, {9, 8}, "hello");
+  const Channel::Message& m = ch.Receive(idx);
+  EXPECT_EQ(m.from, Party::kAlice);
+  EXPECT_EQ(m.payload, (std::vector<uint8_t>{9, 8}));
+  EXPECT_EQ(m.label, "hello");
+}
+
+TEST(ChannelTest, ResetClearsEverything) {
+  Channel ch;
+  ch.Send(Party::kAlice, {1}, "");
+  ch.Reset();
+  EXPECT_EQ(ch.rounds(), 0u);
+  EXPECT_EQ(ch.total_bytes(), 0u);
+  EXPECT_TRUE(ch.transcript().empty());
+}
+
+TEST(ChannelTest, EmptyPayloadCountsAsRound) {
+  // The paper counts messages, not bytes.
+  Channel ch;
+  ch.Send(Party::kBob, {}, "empty");
+  EXPECT_EQ(ch.rounds(), 1u);
+  EXPECT_EQ(ch.total_bytes(), 0u);
+}
+
+TEST(PackTranscriptTest, RoundTripsThroughByteReader) {
+  Channel sub;
+  sub.Send(Party::kAlice, {1, 2, 3}, "a");
+  sub.Send(Party::kAlice, {}, "b");
+  sub.Send(Party::kAlice, {7}, "c");
+  std::vector<uint8_t> packed = PackTranscript(sub);
+
+  ByteReader reader(packed);
+  uint64_t count = 0;
+  ASSERT_TRUE(reader.GetVarint(&count));
+  EXPECT_EQ(count, 3u);
+  std::vector<uint8_t> msg;
+  ASSERT_TRUE(reader.GetLengthPrefixed(&msg));
+  EXPECT_EQ(msg, (std::vector<uint8_t>{1, 2, 3}));
+  ASSERT_TRUE(reader.GetLengthPrefixed(&msg));
+  EXPECT_TRUE(msg.empty());
+  ASSERT_TRUE(reader.GetLengthPrefixed(&msg));
+  EXPECT_EQ(msg, (std::vector<uint8_t>{7}));
+  EXPECT_TRUE(reader.empty());
+}
+
+TEST(ForwardAsSingleMessageTest, AccountsSubBytesOnce) {
+  Channel sub;
+  sub.Send(Party::kAlice, std::vector<uint8_t>(100, 1), "big");
+  sub.Send(Party::kAlice, std::vector<uint8_t>(50, 2), "small");
+  Channel main;
+  ForwardAsSingleMessage(sub, Party::kAlice, &main, "bundle");
+  EXPECT_EQ(main.rounds(), 1u);
+  // Payloads plus a few framing bytes.
+  EXPECT_GE(main.total_bytes(), 150u);
+  EXPECT_LE(main.total_bytes(), 160u);
+}
+
+TEST(PartyTest, Names) {
+  EXPECT_STREQ(PartyName(Party::kAlice), "Alice");
+  EXPECT_STREQ(PartyName(Party::kBob), "Bob");
+}
+
+}  // namespace
+}  // namespace setrec

@@ -1,0 +1,107 @@
+#include "graph/degree_neighborhood.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace setrec {
+namespace {
+
+std::vector<size_t> SortedDegrees(const Graph& g) {
+  std::vector<size_t> degrees;
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    degrees.push_back(g.Degree(v));
+  }
+  std::sort(degrees.begin(), degrees.end());
+  return degrees;
+}
+
+TEST(DegreeNeighborhoodTest, SignatureContents) {
+  // Star: center sees three degree-1 leaves; leaves see the degree-3
+  // center (included only when m >= 3).
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  EXPECT_EQ(DegreeNeighborhood(g, 0, 5),
+            (std::vector<uint64_t>{1, 1, 1}));
+  EXPECT_EQ(DegreeNeighborhood(g, 1, 5), (std::vector<uint64_t>{3}));
+  EXPECT_TRUE(DegreeNeighborhood(g, 1, 2).empty());  // Threshold excludes.
+}
+
+TEST(AreNeighborhoodsDisjointTest, FailsOnSymmetricGraph) {
+  // In a 4-cycle every vertex has the same neighborhood multiset {2, 2}.
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  EXPECT_FALSE(AreNeighborhoodsDisjoint(g, 4, 1));
+}
+
+TEST(AreNeighborhoodsDisjointTest, HoldsOnDenseRandomGraph) {
+  // Theorem 5.5's regime, scaled to a laptop: G(800, 0.25) with m = pn and
+  // k = 4d+1 for d = 1.
+  Rng rng(44);
+  Graph g = Graph::RandomGnp(800, 0.25, &rng);
+  EXPECT_TRUE(AreNeighborhoodsDisjoint(g, 200, 5));
+}
+
+TEST(DegreeNeighborhoodReconcileTest, DisjointInstanceReconciles) {
+  Rng rng(44);
+  const size_t n = 800;
+  const double p = 0.25;
+  const size_t d = 1;
+  Graph base = Graph::RandomGnp(n, p, &rng);
+  const uint64_t m = static_cast<uint64_t>(p * n);
+  ASSERT_TRUE(AreNeighborhoodsDisjoint(base, m, 4 * d + 1));
+
+  Graph alice = base, bob = base;
+  alice.Perturb(1, &rng);
+  Channel ch;
+  Result<GraphReconcileOutcome> rec =
+      DegreeNeighborhoodReconcile(alice, bob, d, m, 55, &ch);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec.value().recovered.num_edges(), alice.num_edges());
+  EXPECT_EQ(SortedDegrees(rec.value().recovered), SortedDegrees(alice));
+  EXPECT_EQ(ch.rounds(), 1u);  // Theorem 5.6: one round.
+}
+
+TEST(DegreeNeighborhoodReconcileTest, BothSidesPerturbed) {
+  Rng rng(46);
+  const size_t n = 700;
+  const double p = 0.25;
+  const size_t d = 2;
+  Graph base = Graph::RandomGnp(n, p, &rng);
+  const uint64_t m = static_cast<uint64_t>(p * n);
+  if (!AreNeighborhoodsDisjoint(base, m, 4 * d + 1)) {
+    GTEST_SKIP() << "sampled base graph not (pn, 4d+1)-disjoint";
+  }
+  Graph alice = base, bob = base;
+  alice.Perturb(1, &rng);
+  bob.Perturb(1, &rng);
+  Channel ch;
+  Result<GraphReconcileOutcome> rec =
+      DegreeNeighborhoodReconcile(alice, bob, d, m, 57, &ch);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(SortedDegrees(rec.value().recovered), SortedDegrees(alice));
+}
+
+TEST(DegreeNeighborhoodReconcileTest, IdenticalGraphs) {
+  Rng rng(47);
+  Graph base = Graph::RandomGnp(300, 0.2, &rng);
+  Channel ch;
+  Result<GraphReconcileOutcome> rec =
+      DegreeNeighborhoodReconcile(base, base, 1, 60, 58, &ch);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec.value().recovered.num_edges(), base.num_edges());
+}
+
+TEST(DegreeNeighborhoodReconcileTest, MismatchedSizesRejected) {
+  Channel ch;
+  EXPECT_FALSE(
+      DegreeNeighborhoodReconcile(Graph(5), Graph(6), 1, 2, 1, &ch).ok());
+}
+
+}  // namespace
+}  // namespace setrec

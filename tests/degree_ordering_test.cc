@@ -1,0 +1,172 @@
+#include "graph/degree_ordering.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/separated_instance.h"
+
+namespace setrec {
+namespace {
+
+std::vector<size_t> SortedDegrees(const Graph& g) {
+  std::vector<size_t> degrees;
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    degrees.push_back(g.Degree(v));
+  }
+  std::sort(degrees.begin(), degrees.end());
+  return degrees;
+}
+
+TEST(SeparatedInstanceTest, SatisfiesDefinition51) {
+  SeparatedInstanceSpec spec;
+  spec.n = 1200;
+  spec.h = 28;
+  spec.d = 1;
+  spec.seed = 1;
+  Result<Graph> g = MakeSeparatedGraph(spec);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_TRUE(IsSeparated(g.value(), spec.h, spec.d + 1, 2 * spec.d + 1));
+}
+
+TEST(SeparatedInstanceTest, InfeasibleSpecsRejected) {
+  SeparatedInstanceSpec spec;
+  spec.h = 0;
+  EXPECT_FALSE(MakeSeparatedGraph(spec).ok());
+  spec.h = 65;
+  EXPECT_FALSE(MakeSeparatedGraph(spec).ok());
+  spec.h = 4;
+  spec.d = 5;  // 2d+3 = 13 > h.
+  EXPECT_FALSE(MakeSeparatedGraph(spec).ok());
+}
+
+TEST(IsSeparatedTest, DetectsDegreeTies) {
+  // A 4-cycle: all degrees equal, so no gap of 1 among the top 2.
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  EXPECT_FALSE(IsSeparated(g, 2, 1, 1));
+}
+
+TEST(TheoremFiveThreeHTest, TinyAtLaptopScale) {
+  // The theorem's h is below 1 for any laptop-scale n — this is exactly
+  // why benches plant separated instances (documented in EXPERIMENTS.md).
+  EXPECT_LT(TheoremFiveThreeH(100000, 0.3, 2, 0.5), 2.0);
+  // And grows with n.
+  EXPECT_GT(TheoremFiveThreeH(1ull << 40, 0.3, 2, 0.5),
+            TheoremFiveThreeH(1ull << 20, 0.3, 2, 0.5));
+}
+
+struct OrderingCase {
+  size_t n;
+  size_t h;
+  size_t d;
+  uint64_t seed;
+};
+
+class DegreeOrderingSweep : public ::testing::TestWithParam<OrderingCase> {};
+
+TEST_P(DegreeOrderingSweep, ReconcilesPerturbedPlantedInstances) {
+  const OrderingCase c = GetParam();
+  SeparatedInstanceSpec spec;
+  spec.n = c.n;
+  spec.h = c.h;
+  spec.d = c.d;
+  spec.seed = c.seed;
+  Result<Graph> base_r = MakeSeparatedGraph(spec);
+  ASSERT_TRUE(base_r.ok()) << base_r.status().ToString();
+  const Graph& base = base_r.value();
+
+  Rng rng(c.seed * 997 + c.n);
+  Graph alice = base, bob = base;
+  alice.Perturb(c.d - c.d / 2, &rng);
+  bob.Perturb(c.d / 2, &rng);
+
+  Channel ch;
+  Result<GraphReconcileOutcome> rec =
+      DegreeOrderingReconcile(alice, bob, c.d, c.h, c.seed + 5, &ch);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  // The recovered graph carries Alice's protocol labeling; degree sequence
+  // and edge count certify isomorphism-level agreement (exact isomorphism
+  // testing at n=1200 is out of scope for the exact canonicalizer).
+  EXPECT_EQ(rec.value().recovered.num_edges(), alice.num_edges());
+  EXPECT_EQ(SortedDegrees(rec.value().recovered), SortedDegrees(alice));
+  EXPECT_EQ(ch.rounds(), 1u);  // Theorem 5.2: one round.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DegreeOrderingSweep,
+    ::testing::Values(OrderingCase{800, 28, 1, 1}, OrderingCase{800, 28, 1, 2},
+                      OrderingCase{1200, 28, 1, 3},
+                      OrderingCase{2000, 36, 2, 4},
+                      OrderingCase{2000, 36, 2, 5},
+                      OrderingCase{4000, 44, 3, 6}));
+
+TEST(DegreeOrderingTest, ZeroPerturbationIdentity) {
+  SeparatedInstanceSpec spec;
+  spec.n = 800;
+  spec.h = 28;
+  spec.d = 1;
+  spec.seed = 9;
+  Result<Graph> base = MakeSeparatedGraph(spec);
+  ASSERT_TRUE(base.ok());
+  Channel ch;
+  Result<GraphReconcileOutcome> rec = DegreeOrderingReconcile(
+      base.value(), base.value(), 1, spec.h, 10, &ch);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec.value().recovered.num_edges(), base.value().num_edges());
+}
+
+TEST(DegreeOrderingTest, MismatchedSizesRejected) {
+  Channel ch;
+  EXPECT_FALSE(DegreeOrderingReconcile(Graph(5), Graph(6), 1, 2, 1, &ch).ok());
+}
+
+TEST(DegreeOrderingTest, BadHRejected) {
+  Channel ch;
+  EXPECT_FALSE(DegreeOrderingReconcile(Graph(5), Graph(5), 1, 0, 1, &ch).ok());
+  EXPECT_FALSE(DegreeOrderingReconcile(Graph(5), Graph(5), 1, 5, 1, &ch).ok());
+}
+
+TEST(DegreeOrderingTest, NonSeparatedGraphFailsDetectably) {
+  // A 4-regular-ish tiny random graph is nowhere near separated: the
+  // protocol must fail with an error, not return a wrong graph.
+  Rng rng(11);
+  Graph base = Graph::RandomGnp(60, 0.3, &rng);
+  Graph alice = base, bob = base;
+  alice.Perturb(2, &rng);
+  Channel ch;
+  Result<GraphReconcileOutcome> rec =
+      DegreeOrderingReconcile(alice, bob, 4, 6, 12, &ch);
+  EXPECT_FALSE(rec.ok());
+}
+
+TEST(DegreeOrderingTest, CommunicationScalesWithDNotN) {
+  // Theorem 5.2: O(d (log d log h + log n)) bits — reconciliation cost is
+  // driven by d, not by graph size.
+  auto run = [](size_t n, uint64_t seed) -> size_t {
+    SeparatedInstanceSpec spec;
+    spec.n = n;
+    spec.h = 28;
+    spec.d = 1;
+    spec.seed = seed;
+    Result<Graph> base = MakeSeparatedGraph(spec);
+    EXPECT_TRUE(base.ok());
+    Rng rng(seed);
+    Graph alice = base.value(), bob = base.value();
+    alice.Perturb(1, &rng);
+    Channel ch;
+    Result<GraphReconcileOutcome> rec =
+        DegreeOrderingReconcile(alice, bob, 1, 28, seed + 3, &ch);
+    EXPECT_TRUE(rec.ok()) << rec.status().ToString();
+    return ch.total_bytes();
+  };
+  size_t small = run(700, 21);
+  size_t large = run(2100, 22);
+  EXPECT_LT(large, 2 * small);  // 3x the graph, <2x the bytes.
+}
+
+}  // namespace
+}  // namespace setrec

@@ -1,0 +1,147 @@
+#include "forest/forest_reconciler.h"
+
+#include <gtest/gtest.h>
+
+#include "forest/ahu.h"
+
+namespace setrec {
+namespace {
+
+HashFamily SigFamily(uint64_t seed) {
+  return HashFamily(seed, /*tag=*/0x61687530ull);
+}
+
+TEST(RebuildForestTest, SingleChain) {
+  // Signatures A -> B -> C, one vertex each.
+  std::map<uint64_t, size_t> vertices = {{1, 1}, {2, 1}, {3, 1}};
+  std::map<std::pair<uint64_t, uint64_t>, size_t> edges = {{{1, 2}, 1},
+                                                           {{2, 3}, 1}};
+  Result<RootedForest> f = RebuildForest(vertices, edges);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ(f.value().num_vertices(), 3u);
+  EXPECT_EQ(f.value().Roots().size(), 1u);
+  EXPECT_EQ(f.value().MaxDepth(), 3u);
+}
+
+TEST(RebuildForestTest, DuplicateSubtreesGrouped) {
+  // Two parents of signature P, each with 2 children of signature C:
+  // edge (P, C) multiplicity 4 over parent count 2.
+  std::map<uint64_t, size_t> vertices = {{10, 2}, {20, 4}};
+  std::map<std::pair<uint64_t, uint64_t>, size_t> edges = {{{10, 20}, 4}};
+  Result<RootedForest> f = RebuildForest(vertices, edges);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value().num_vertices(), 6u);
+  EXPECT_EQ(f.value().Roots().size(), 2u);
+  for (uint32_t r : f.value().Roots()) {
+    EXPECT_EQ(f.value().Children(r).size(), 2u);
+  }
+}
+
+TEST(RebuildForestTest, NonDivisibleMultiplicityRejected) {
+  std::map<uint64_t, size_t> vertices = {{10, 2}, {20, 3}};
+  std::map<std::pair<uint64_t, uint64_t>, size_t> edges = {{{10, 20}, 3}};
+  EXPECT_FALSE(RebuildForest(vertices, edges).ok());
+}
+
+TEST(RebuildForestTest, OverconsumedChildRejected) {
+  std::map<uint64_t, size_t> vertices = {{10, 1}, {20, 1}};
+  std::map<std::pair<uint64_t, uint64_t>, size_t> edges = {{{10, 20}, 2}};
+  EXPECT_FALSE(RebuildForest(vertices, edges).ok());
+}
+
+TEST(RebuildForestTest, UnknownParentRejected) {
+  std::map<uint64_t, size_t> vertices = {{20, 1}};
+  std::map<std::pair<uint64_t, uint64_t>, size_t> edges = {{{10, 20}, 1}};
+  EXPECT_FALSE(RebuildForest(vertices, edges).ok());
+}
+
+TEST(RebuildForestTest, EmptyForest) {
+  Result<RootedForest> f = RebuildForest({}, {});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value().num_vertices(), 0u);
+}
+
+TEST(RebuildForestTest, RoundTripFromRealForest) {
+  // Compute a real forest's signature multisets and rebuild: must be
+  // isomorphic.
+  Rng rng(5);
+  RootedForest f = RootedForest::Random(300, 5, 0.15, &rng);
+  HashFamily family = SigFamily(99);
+  std::vector<uint64_t> sigs = AhuSignatures(f, family);
+  std::map<uint64_t, size_t> vertices;
+  std::map<std::pair<uint64_t, uint64_t>, size_t> edges;
+  for (uint32_t v = 0; v < f.num_vertices(); ++v) {
+    vertices[sigs[v]] += 1;
+    for (uint32_t c : f.Children(v)) edges[{sigs[v], sigs[c]}] += 1;
+  }
+  Result<RootedForest> rebuilt = RebuildForest(vertices, edges);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_TRUE(AreForestsIsomorphic(f, rebuilt.value(), family));
+}
+
+struct ForestCase {
+  size_t n;
+  size_t max_depth;
+  size_t d;
+  uint64_t seed;
+};
+
+class ForestReconcileSweep : public ::testing::TestWithParam<ForestCase> {};
+
+TEST_P(ForestReconcileSweep, RecoversIsomorphicForest) {
+  const ForestCase c = GetParam();
+  Rng rng(c.seed);
+  RootedForest base =
+      RootedForest::Random(c.n, c.max_depth, 0.15, &rng);
+  RootedForest alice = base, bob = base;
+  size_t applied = alice.Perturb(c.d - c.d / 2, c.max_depth, &rng) +
+                   bob.Perturb(c.d / 2, c.max_depth, &rng);
+  size_t sigma = std::max(alice.MaxDepth(), bob.MaxDepth());
+
+  Channel ch;
+  Result<ForestReconcileOutcome> rec =
+      ForestReconcile(alice, bob, std::max<size_t>(applied, 1), sigma,
+                      c.seed + 11, &ch);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(AreForestsIsomorphic(rec.value().recovered, alice,
+                                   SigFamily(c.seed + 11)));
+  EXPECT_EQ(ch.rounds(), 1u);  // Theorem 6.1: one round.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ForestReconcileSweep,
+    ::testing::Values(ForestCase{100, 4, 1, 1}, ForestCase{300, 5, 2, 2},
+                      ForestCase{500, 6, 4, 3}, ForestCase{500, 3, 4, 4},
+                      ForestCase{800, 8, 2, 5}, ForestCase{200, 12, 3, 6}));
+
+TEST(ForestReconcileTest, IdenticalForests) {
+  Rng rng(21);
+  RootedForest base = RootedForest::Random(200, 5, 0.2, &rng);
+  Channel ch;
+  Result<ForestReconcileOutcome> rec =
+      ForestReconcile(base, base, 1, base.MaxDepth(), 31, &ch);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(
+      AreForestsIsomorphic(rec.value().recovered, base, SigFamily(31)));
+}
+
+TEST(ForestReconcileTest, CommunicationScalesWithDSigmaNotN) {
+  // Theorem 6.1: O(d sigma log(d sigma) log n) bits.
+  auto run = [](size_t n, uint64_t seed) -> size_t {
+    Rng rng(seed);
+    RootedForest base = RootedForest::Random(n, 4, 0.15, &rng);
+    RootedForest alice = base;
+    alice.Perturb(2, 4, &rng);
+    Channel ch;
+    Result<ForestReconcileOutcome> rec =
+        ForestReconcile(alice, base, 2, 4, seed + 1, &ch);
+    EXPECT_TRUE(rec.ok()) << rec.status().ToString();
+    return ch.total_bytes();
+  };
+  size_t small = run(300, 41);
+  size_t large = run(3000, 42);
+  EXPECT_LT(large, 3 * small);  // 10x the forest, <3x the bytes.
+}
+
+}  // namespace
+}  // namespace setrec

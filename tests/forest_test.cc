@@ -1,0 +1,114 @@
+#include "forest/forest.h"
+
+#include <gtest/gtest.h>
+
+namespace setrec {
+namespace {
+
+TEST(RootedForestTest, StartsAllRoots) {
+  RootedForest f(5);
+  EXPECT_EQ(f.Roots().size(), 5u);
+  EXPECT_EQ(f.num_edges(), 0u);
+  for (uint32_t v = 0; v < 5; ++v) {
+    EXPECT_TRUE(f.IsRoot(v));
+    EXPECT_EQ(f.Depth(v), 1u);
+  }
+}
+
+TEST(RootedForestTest, AttachBuildsTree) {
+  RootedForest f(4);
+  ASSERT_TRUE(f.Attach(1, 0).ok());
+  ASSERT_TRUE(f.Attach(2, 1).ok());
+  ASSERT_TRUE(f.Attach(3, 1).ok());
+  EXPECT_EQ(f.Parent(2), 1u);
+  EXPECT_EQ(f.Children(1), (std::vector<uint32_t>{2, 3}));
+  EXPECT_EQ(f.Depth(2), 3u);
+  EXPECT_EQ(f.MaxDepth(), 3u);
+  EXPECT_EQ(f.RootOf(3), 0u);
+  EXPECT_EQ(f.Roots(), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(f.num_edges(), 3u);
+}
+
+TEST(RootedForestTest, AttachNonRootRejected) {
+  RootedForest f(3);
+  ASSERT_TRUE(f.Attach(1, 0).ok());
+  // 1 is no longer a root; Section 6: inserted edge's child must be a root.
+  EXPECT_FALSE(f.Attach(1, 2).ok());
+}
+
+TEST(RootedForestTest, CycleRejected) {
+  RootedForest f(3);
+  ASSERT_TRUE(f.Attach(1, 0).ok());
+  ASSERT_TRUE(f.Attach(2, 1).ok());
+  // 0 is the root of 2's tree; attaching 0 under 2 would create a cycle.
+  EXPECT_FALSE(f.Attach(0, 2).ok());
+}
+
+TEST(RootedForestTest, DetachMakesRoot) {
+  RootedForest f(3);
+  ASSERT_TRUE(f.Attach(1, 0).ok());
+  ASSERT_TRUE(f.Attach(2, 1).ok());
+  ASSERT_TRUE(f.Detach(1).ok());
+  EXPECT_TRUE(f.IsRoot(1));
+  EXPECT_EQ(f.RootOf(2), 1u);  // Subtree moved with it.
+  EXPECT_TRUE(f.Children(0).empty());
+  EXPECT_FALSE(f.Detach(1).ok());  // Already a root.
+}
+
+TEST(RootedForestTest, DetachThenReattachLegal) {
+  RootedForest f(4);
+  ASSERT_TRUE(f.Attach(1, 0).ok());
+  ASSERT_TRUE(f.Attach(2, 1).ok());
+  ASSERT_TRUE(f.Detach(1).ok());
+  ASSERT_TRUE(f.Attach(1, 3).ok());  // New tree.
+  EXPECT_EQ(f.RootOf(2), 3u);
+}
+
+TEST(RootedForestTest, OutOfRangeRejected) {
+  RootedForest f(2);
+  EXPECT_FALSE(f.Attach(5, 0).ok());
+  EXPECT_FALSE(f.Detach(5).ok());
+}
+
+TEST(RandomForestTest, RespectsDepthBound) {
+  Rng rng(1);
+  RootedForest f = RootedForest::Random(500, 4, 0.1, &rng);
+  EXPECT_LE(f.MaxDepth(), 4u);
+  EXPECT_GT(f.num_edges(), 300u);  // Most vertices attach.
+}
+
+TEST(RandomForestTest, RootProbOneIsEdgeless) {
+  Rng rng(2);
+  RootedForest f = RootedForest::Random(50, 4, 1.0, &rng);
+  EXPECT_EQ(f.num_edges(), 0u);
+}
+
+TEST(PerturbTest, PreservesForestInvariants) {
+  Rng rng(3);
+  RootedForest f = RootedForest::Random(200, 5, 0.2, &rng);
+  size_t applied = f.Perturb(20, 6, &rng);
+  EXPECT_EQ(applied, 20u);
+  EXPECT_LE(f.MaxDepth(), 6u);
+  // Parent/child arrays stay mutually consistent.
+  for (uint32_t v = 0; v < f.num_vertices(); ++v) {
+    for (uint32_t c : f.Children(v)) {
+      EXPECT_EQ(f.Parent(c), v);
+    }
+    if (!f.IsRoot(v)) {
+      const auto& siblings = f.Children(f.Parent(v));
+      EXPECT_NE(std::find(siblings.begin(), siblings.end(), v),
+                siblings.end());
+    }
+  }
+}
+
+TEST(PerturbTest, ChangesStructure) {
+  Rng rng(4);
+  RootedForest f = RootedForest::Random(100, 5, 0.2, &rng);
+  RootedForest before = f;
+  f.Perturb(5, 6, &rng);
+  EXPECT_NE(f, before);
+}
+
+}  // namespace
+}  // namespace setrec

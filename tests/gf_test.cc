@@ -1,0 +1,91 @@
+#include "charpoly/gf.h"
+
+#include <gtest/gtest.h>
+
+#include "hashing/random.h"
+
+namespace setrec {
+namespace {
+
+TEST(GfTest, AddWraps) {
+  EXPECT_EQ(gf::Add(gf::kP - 1, 1), 0u);
+  EXPECT_EQ(gf::Add(gf::kP - 1, 2), 1u);
+  EXPECT_EQ(gf::Add(0, 0), 0u);
+}
+
+TEST(GfTest, SubWraps) {
+  EXPECT_EQ(gf::Sub(0, 1), gf::kP - 1);
+  EXPECT_EQ(gf::Sub(5, 5), 0u);
+}
+
+TEST(GfTest, NegInverse) {
+  EXPECT_EQ(gf::Neg(0), 0u);
+  EXPECT_EQ(gf::Add(7, gf::Neg(7)), 0u);
+  EXPECT_EQ(gf::Add(gf::kP - 1, gf::Neg(gf::kP - 1)), 0u);
+}
+
+TEST(GfTest, MulIdentityAndZero) {
+  EXPECT_EQ(gf::Mul(1, 12345), 12345u);
+  EXPECT_EQ(gf::Mul(0, 12345), 0u);
+}
+
+TEST(GfTest, MulLargeOperands) {
+  // (p-1)*(p-1) = p^2 - 2p + 1 ≡ 1 (mod p).
+  EXPECT_EQ(gf::Mul(gf::kP - 1, gf::kP - 1), 1u);
+}
+
+TEST(GfTest, PowMatchesRepeatedMul) {
+  uint64_t base = 123456789;
+  uint64_t acc = 1;
+  for (int e = 0; e <= 16; ++e) {
+    EXPECT_EQ(gf::Pow(base, e), acc) << "e=" << e;
+    acc = gf::Mul(acc, base);
+  }
+}
+
+TEST(GfTest, FermatLittleTheorem) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    uint64_t a = rng.NextU64() % gf::kP;
+    if (a == 0) continue;
+    EXPECT_EQ(gf::Pow(a, gf::kP - 1), 1u);
+  }
+}
+
+TEST(GfTest, InvIsInverse) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    uint64_t a = rng.NextU64() % gf::kP;
+    if (a == 0) continue;
+    EXPECT_EQ(gf::Mul(a, gf::Inv(a)), 1u);
+  }
+}
+
+// Field axioms on random samples.
+class GfAxioms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GfAxioms, RingLaws) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng.NextU64() % gf::kP;
+    uint64_t b = rng.NextU64() % gf::kP;
+    uint64_t c = rng.NextU64() % gf::kP;
+    EXPECT_EQ(gf::Add(a, b), gf::Add(b, a));
+    EXPECT_EQ(gf::Mul(a, b), gf::Mul(b, a));
+    EXPECT_EQ(gf::Add(gf::Add(a, b), c), gf::Add(a, gf::Add(b, c)));
+    EXPECT_EQ(gf::Mul(gf::Mul(a, b), c), gf::Mul(a, gf::Mul(b, c)));
+    EXPECT_EQ(gf::Mul(a, gf::Add(b, c)),
+              gf::Add(gf::Mul(a, b), gf::Mul(a, c)));
+    EXPECT_EQ(gf::Sub(a, b), gf::Add(a, gf::Neg(b)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GfAxioms, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(GfTest, ElementRangeConstant) {
+  EXPECT_LT(gf::kMaxElement, 1ull << 60);
+  EXPECT_LT(gf::kMaxElement, gf::kP);
+}
+
+}  // namespace
+}  // namespace setrec

@@ -1,0 +1,135 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace setrec {
+namespace {
+
+TEST(GraphTest, AddRemoveHasEdge) {
+  Graph g(5);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));  // Undirected.
+  EXPECT_FALSE(g.AddEdge(1, 0));  // Duplicate.
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.RemoveEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.RemoveEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphTest, SelfLoopsRejected) {
+  Graph g(3);
+  EXPECT_FALSE(g.AddEdge(1, 1));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphTest, ToggleEdge) {
+  Graph g(3);
+  g.ToggleEdge(0, 2);
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  g.ToggleEdge(0, 2);
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, DegreesAndNeighbors) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.Neighbors(0), (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(GraphTest, EdgesSortedPairs) {
+  Graph g(4);
+  g.AddEdge(3, 1);
+  g.AddEdge(2, 0);
+  auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (std::pair<uint32_t, uint32_t>{0, 2}));
+  EXPECT_EQ(edges[1], (std::pair<uint32_t, uint32_t>{1, 3}));
+}
+
+TEST(GnpTest, EdgeCountConcentrates) {
+  Rng rng(1);
+  const size_t n = 500;
+  const double p = 0.1;
+  Graph g = Graph::RandomGnp(n, p, &rng);
+  const double expected = p * n * (n - 1) / 2;
+  const double sd = std::sqrt(expected * (1 - p));
+  EXPECT_GT(g.num_edges(), expected - 6 * sd);
+  EXPECT_LT(g.num_edges(), expected + 6 * sd);
+}
+
+TEST(GnpTest, ExtremeProbabilities) {
+  Rng rng(2);
+  Graph empty = Graph::RandomGnp(20, 0.0, &rng);
+  EXPECT_EQ(empty.num_edges(), 0u);
+  Graph full = Graph::RandomGnp(20, 1.0, &rng);
+  EXPECT_EQ(full.num_edges(), 20u * 19 / 2);
+}
+
+TEST(GnpTest, DeterministicPerSeed) {
+  Rng a(3), b(3);
+  EXPECT_EQ(Graph::RandomGnp(50, 0.3, &a), Graph::RandomGnp(50, 0.3, &b));
+}
+
+TEST(GnpTest, NoSelfLoopsOrDuplicates) {
+  Rng rng(4);
+  Graph g = Graph::RandomGnp(100, 0.5, &rng);
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (const auto& [u, v] : g.Edges()) {
+    EXPECT_LT(u, v);
+    EXPECT_TRUE(seen.insert({u, v}).second);
+  }
+}
+
+TEST(PerturbTest, TogglesExactCount) {
+  Rng rng(5);
+  Graph g = Graph::RandomGnp(50, 0.3, &rng);
+  Graph before = g;
+  auto toggled = g.Perturb(7, &rng);
+  EXPECT_EQ(toggled.size(), 7u);
+  EXPECT_EQ(Graph::EdgeDifference(before, g), 7u);
+}
+
+TEST(PerturbTest, DistinctSlots) {
+  Rng rng(6);
+  Graph g(30);
+  auto toggled = g.Perturb(20, &rng);
+  std::set<std::pair<uint32_t, uint32_t>> slots(toggled.begin(),
+                                                toggled.end());
+  EXPECT_EQ(slots.size(), toggled.size());
+}
+
+TEST(EdgeDifferenceTest, CountsSymmetricDifference) {
+  Graph a(4), b(4);
+  a.AddEdge(0, 1);
+  a.AddEdge(1, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  EXPECT_EQ(Graph::EdgeDifference(a, b), 2u);
+  EXPECT_EQ(Graph::EdgeDifference(a, a), 0u);
+}
+
+class GnpDegreeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GnpDegreeSweep, MeanDegreeMatches) {
+  const double p = GetParam();
+  Rng rng(static_cast<uint64_t>(p * 1000));
+  const size_t n = 400;
+  Graph g = Graph::RandomGnp(n, p, &rng);
+  double mean = 2.0 * g.num_edges() / n;
+  EXPECT_NEAR(mean, p * (n - 1), 5 * std::sqrt(p * n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, GnpDegreeSweep,
+                         ::testing::Values(0.01, 0.05, 0.2, 0.5, 0.9));
+
+}  // namespace
+}  // namespace setrec

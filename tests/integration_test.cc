@@ -1,0 +1,210 @@
+// Cross-module integration tests: full pipelines that exercise several
+// layers at once, plus end-to-end determinism and accounting checks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/binary_database.h"
+#include "apps/shingles.h"
+#include "core/cascading_protocol.h"
+#include "core/iblt_of_iblts.h"
+#include "core/multiround_protocol.h"
+#include "core/naive_protocol.h"
+#include "core/workload.h"
+#include "forest/ahu.h"
+#include "forest/forest_reconciler.h"
+#include "graph/degree_ordering.h"
+#include "graph/separated_instance.h"
+#include "setrec/set_reconciler.h"
+
+namespace setrec {
+namespace {
+
+TEST(IntegrationTest, ProtocolsAgreeOnRecoveredParent) {
+  SsrWorkloadSpec spec;
+  spec.num_children = 30;
+  spec.child_size = 40;
+  spec.changes = 9;
+  spec.seed = 1;
+  SsrWorkload w = MakeSsrWorkload(spec);
+  SsrParams params;
+  params.max_child_size = 60;
+  params.seed = 2;
+
+  NaiveProtocol naive(params);
+  IbltOfIbltsProtocol iblt2(params);
+  CascadingProtocol cascade(params);
+  MultiRoundProtocol multiround(params);
+  const SetsOfSetsProtocol* protocols[] = {&naive, &iblt2, &cascade,
+                                           &multiround};
+  SetOfSets want = Canonicalize(w.alice);
+  for (const SetsOfSetsProtocol* protocol : protocols) {
+    Channel ch;
+    Result<SsrOutcome> out =
+        protocol->Reconcile(w.alice, w.bob, w.applied_changes, &ch);
+    ASSERT_TRUE(out.ok()) << protocol->Name() << ": "
+                          << out.status().ToString();
+    EXPECT_EQ(out.value().recovered, want) << protocol->Name();
+  }
+}
+
+TEST(IntegrationTest, DeterministicTranscripts) {
+  // Identical seeds => byte-identical transcripts (public coins).
+  SsrWorkloadSpec spec;
+  spec.seed = 3;
+  spec.changes = 5;
+  SsrWorkload w = MakeSsrWorkload(spec);
+  SsrParams params;
+  params.max_child_size = 40;
+  params.seed = 4;
+  CascadingProtocol protocol(params);
+  Channel ch1, ch2;
+  ASSERT_TRUE(protocol.Reconcile(w.alice, w.bob, 5, &ch1).ok());
+  ASSERT_TRUE(protocol.Reconcile(w.alice, w.bob, 5, &ch2).ok());
+  ASSERT_EQ(ch1.rounds(), ch2.rounds());
+  for (size_t i = 0; i < ch1.rounds(); ++i) {
+    EXPECT_EQ(ch1.Receive(i).payload, ch2.Receive(i).payload);
+  }
+}
+
+TEST(IntegrationTest, SetReconciliationInsideGraphPipeline) {
+  // Degree-ordering graph reconciliation uses the cascading SSR and a
+  // labeled-edge IBLT; verify the whole stack at once and that the bytes
+  // reported by the outcome equal the channel's accounting.
+  SeparatedInstanceSpec spec;
+  spec.n = 800;
+  spec.h = 28;
+  spec.d = 1;
+  spec.seed = 5;
+  Result<Graph> base = MakeSeparatedGraph(spec);
+  ASSERT_TRUE(base.ok());
+  Rng rng(6);
+  Graph alice = base.value();
+  alice.Perturb(1, &rng);
+  Channel ch;
+  Result<GraphReconcileOutcome> rec =
+      DegreeOrderingReconcile(alice, base.value(), 1, spec.h, 7, &ch);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec.value().bytes, ch.total_bytes());
+  EXPECT_EQ(rec.value().rounds, ch.rounds());
+}
+
+TEST(IntegrationTest, ForestOfDatabases) {
+  // Stress the multiset normalization: a forest whose reconciliation runs
+  // through the same cascading protocol as a database reconciliation, with
+  // shared element-space markers, in the same process.
+  Rng rng(8);
+  RootedForest forest_base = RootedForest::Random(400, 5, 0.2, &rng);
+  RootedForest forest_alice = forest_base;
+  forest_alice.Perturb(3, 5, &rng);
+  Channel ch1;
+  Result<ForestReconcileOutcome> forest_rec = ForestReconcile(
+      forest_alice, forest_base, 3,
+      std::max(forest_alice.MaxDepth(), forest_base.MaxDepth()), 9, &ch1);
+  ASSERT_TRUE(forest_rec.ok()) << forest_rec.status().ToString();
+
+  BinaryDatabase db_bob = BinaryDatabase::Random(50, 40, 0.5, &rng);
+  BinaryDatabase db_alice = db_bob;
+  db_alice.FlipRandom(4, &rng);
+  SsrParams params;
+  params.max_child_size = 44;
+  params.seed = 10;
+  CascadingProtocol protocol(params);
+  Channel ch2;
+  Result<DatabaseReconcileOutcome> db_rec =
+      ReconcileDatabases(db_alice, db_bob, protocol, 4, &ch2);
+  ASSERT_TRUE(db_rec.ok()) << db_rec.status().ToString();
+  EXPECT_TRUE(db_rec.value().recovered.SameRowsAs(db_alice));
+}
+
+TEST(IntegrationTest, LargeScaleSSR) {
+  // n = s*h = 20k elements, d = 40: the regime the paper targets (d << n).
+  SsrWorkloadSpec spec;
+  spec.num_children = 200;
+  spec.child_size = 100;
+  spec.changes = 40;
+  spec.universe = 1ull << 48;
+  spec.seed = 11;
+  SsrWorkload w = MakeSsrWorkload(spec);
+  SsrParams params;
+  params.max_child_size = 120;
+  params.seed = 12;
+  const size_t raw_data_bytes = TotalElements(w.bob) * 8;  // ~160kB.
+
+  CascadingProtocol cascade(params);
+  Channel ch;
+  Result<SsrOutcome> out =
+      cascade.Reconcile(w.alice, w.bob, w.applied_changes, &ch);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().recovered, Canonicalize(w.alice));
+  // The cascade must beat shipping the raw data outright even with its
+  // constant factors (EXPERIMENTS.md discusses the constants).
+  EXPECT_LT(ch.total_bytes(), raw_data_bytes);
+
+  // The multi-round protocol is the communication-optimal one (Table 1):
+  // it must land well below the raw data.
+  MultiRoundProtocol multiround(params);
+  Channel ch_mr;
+  Result<SsrOutcome> out_mr =
+      multiround.Reconcile(w.alice, w.bob, w.applied_changes, &ch_mr);
+  ASSERT_TRUE(out_mr.ok()) << out_mr.status().ToString();
+  EXPECT_EQ(out_mr.value().recovered, Canonicalize(w.alice));
+  EXPECT_LT(ch_mr.total_bytes(), raw_data_bytes / 3);
+}
+
+TEST(IntegrationTest, EstimatedThenExactAgree) {
+  // SSRU (estimator path) and SSRK (exact d) must recover the same parent.
+  SsrWorkloadSpec spec;
+  spec.num_children = 25;
+  spec.child_size = 30;
+  spec.changes = 7;
+  spec.seed = 13;
+  SsrWorkload w = MakeSsrWorkload(spec);
+  SsrParams params;
+  params.max_child_size = 40;
+  params.seed = 14;
+  MultiRoundProtocol protocol(params);
+  Channel ch_known, ch_unknown;
+  Result<SsrOutcome> known =
+      protocol.Reconcile(w.alice, w.bob, w.applied_changes, &ch_known);
+  Result<SsrOutcome> unknown =
+      protocol.Reconcile(w.alice, w.bob, std::nullopt, &ch_unknown);
+  ASSERT_TRUE(known.ok()) << known.status().ToString();
+  ASSERT_TRUE(unknown.ok()) << unknown.status().ToString();
+  EXPECT_EQ(known.value().recovered, unknown.value().recovered);
+  EXPECT_GT(ch_unknown.rounds(), ch_known.rounds());  // Extra round 0.
+}
+
+TEST(IntegrationTest, ShinglePipelineOverSsrWorkload) {
+  // Build a collection from synthetic documents, push it through the
+  // collection reconciler, and confirm classification totals add up.
+  SetOfSets bob;
+  for (int i = 0; i < 8; ++i) {
+    std::string text;
+    for (int w2 = 0; w2 < 20; ++w2) {
+      text += "w" + std::to_string(i * 37 + w2) + " ";
+    }
+    bob.push_back(ShingleSet(text, 4, 15));
+  }
+  SetOfSets alice = bob;
+  alice.pop_back();
+  alice.push_back(ShingleSet("totally different document text here now ok",
+                             4, 15));
+  alice = Canonicalize(alice);
+  bob = Canonicalize(bob);
+  SsrParams params;
+  params.seed = 16;
+  params.max_child_size = 32;
+  Channel ch;
+  Result<CollectionReconcileOutcome> out =
+      ReconcileCollections(alice, bob, 6, params, &ch);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().collection, alice);
+  EXPECT_EQ(out.value().exact_duplicates + out.value().near_duplicates +
+                out.value().fresh_documents,
+            out.value().collection.size());
+}
+
+}  // namespace
+}  // namespace setrec

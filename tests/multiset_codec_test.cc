@@ -1,0 +1,146 @@
+#include "setrec/multiset_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace setrec {
+namespace {
+
+TEST(MultisetCodecTest, SimpleRoundTrip) {
+  MultisetCodec codec;
+  std::vector<uint64_t> multiset = {5, 5, 5, 9, 9, 100};
+  Result<std::vector<uint64_t>> encoded = codec.Encode(multiset);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded.value().size(), 3u);  // Three distinct values.
+  Result<std::vector<uint64_t>> decoded = codec.Decode(encoded.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), multiset);
+}
+
+TEST(MultisetCodecTest, UnsortedInputHandled) {
+  MultisetCodec codec;
+  Result<std::vector<uint64_t>> a = codec.Encode({3, 1, 3, 2});
+  Result<std::vector<uint64_t>> b = codec.Encode({1, 2, 3, 3});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(MultisetCodecTest, EmptyMultiset) {
+  MultisetCodec codec;
+  Result<std::vector<uint64_t>> encoded = codec.Encode({});
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_TRUE(encoded.value().empty());
+  Result<std::vector<uint64_t>> decoded = codec.Decode({});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(MultisetCodecTest, SingleChangePreservesLocality) {
+  // Section 3.4: one multiset change = one or two encoded-set changes.
+  MultisetCodec codec;
+  std::vector<uint64_t> before = {5, 5, 9};
+  std::vector<uint64_t> after = {5, 5, 5, 9};  // One insertion.
+  auto enc_before = codec.Encode(before).value();
+  auto enc_after = codec.Encode(after).value();
+  std::vector<uint64_t> sym;
+  std::set_symmetric_difference(enc_before.begin(), enc_before.end(),
+                                enc_after.begin(), enc_after.end(),
+                                std::back_inserter(sym));
+  EXPECT_EQ(sym.size(), 2u);  // (5,2) out, (5,3) in.
+}
+
+TEST(MultisetCodecTest, ValueRangeEnforced) {
+  MultisetCodec codec;  // count_bits 16 -> values < 2^40.
+  EXPECT_FALSE(codec.Encode({1ull << 40}).ok());
+  EXPECT_TRUE(codec.Encode({(1ull << 40) - 1}).ok());
+}
+
+TEST(MultisetCodecTest, CountRangeEnforced) {
+  MultisetCodec codec{/*count_bits=*/2};  // Counts up to 4.
+  std::vector<uint64_t> four(4, 7);
+  EXPECT_TRUE(codec.Encode(four).ok());
+  std::vector<uint64_t> five(5, 7);
+  EXPECT_FALSE(codec.Encode(five).ok());
+}
+
+TEST(MultisetCodecTest, DecodeRejectsOutOfRange) {
+  MultisetCodec codec;
+  EXPECT_FALSE(codec.Decode({kUserElementLimit}).ok());
+}
+
+TEST(MultisetCodecTest, CustomCountBits) {
+  MultisetCodec codec{/*count_bits=*/8};
+  std::vector<uint64_t> multiset(200, 42);  // Multiplicity 200 < 256.
+  Result<std::vector<uint64_t>> encoded = codec.Encode(multiset);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded.value().size(), 1u);
+  Result<std::vector<uint64_t>> decoded = codec.Decode(encoded.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), multiset);
+}
+
+TEST(NormalizeParentMultisetTest, UniqueChildrenUnchanged) {
+  std::vector<std::vector<uint64_t>> children = {{1, 2}, {3}, {4, 5, 6}};
+  auto normalized = NormalizeParentMultiset(children);
+  EXPECT_EQ(normalized.size(), 3u);
+  auto expanded = ExpandParentMultiset(normalized);
+  ASSERT_TRUE(expanded.ok());
+  std::sort(children.begin(), children.end());
+  auto out = expanded.value();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, children);
+}
+
+TEST(NormalizeParentMultisetTest, DuplicatesCollapsed) {
+  std::vector<std::vector<uint64_t>> children = {{1, 2}, {1, 2}, {1, 2}, {3}};
+  auto normalized = NormalizeParentMultiset(children);
+  EXPECT_EQ(normalized.size(), 2u);
+  // The duplicated child carries a count marker.
+  bool found_marker = false;
+  for (const auto& child : normalized) {
+    for (uint64_t e : child) {
+      if (e == kDuplicateCountBase + 3) found_marker = true;
+    }
+  }
+  EXPECT_TRUE(found_marker);
+}
+
+TEST(NormalizeParentMultisetTest, ExpandRestoresMultiplicity) {
+  std::vector<std::vector<uint64_t>> children = {{7}, {7}, {8, 9}};
+  auto expanded = ExpandParentMultiset(NormalizeParentMultiset(children));
+  ASSERT_TRUE(expanded.ok());
+  auto out = expanded.value();
+  std::sort(out.begin(), out.end());
+  std::sort(children.begin(), children.end());
+  EXPECT_EQ(out, children);
+}
+
+TEST(NormalizeParentMultisetTest, EmptyChildSupported) {
+  std::vector<std::vector<uint64_t>> children = {{}, {}, {1}};
+  auto expanded = ExpandParentMultiset(NormalizeParentMultiset(children));
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded.value().size(), 3u);
+}
+
+TEST(ExpandParentMultisetTest, BadMarkerRejected) {
+  // Count marker of 1 is never produced and must be rejected.
+  std::vector<std::vector<uint64_t>> bad = {{kDuplicateCountBase + 1}};
+  EXPECT_FALSE(ExpandParentMultiset(bad).ok());
+}
+
+TEST(ExpandParentMultisetTest, DoubleMarkerRejected) {
+  std::vector<std::vector<uint64_t>> bad = {
+      {kDuplicateCountBase + 2, kDuplicateCountBase + 3}};
+  EXPECT_FALSE(ExpandParentMultiset(bad).ok());
+}
+
+TEST(ElementSpaceTest, RegionsAreDisjoint) {
+  EXPECT_LT(kUserElementLimit, kDuplicateCountBase + 1);
+  EXPECT_LT(kDuplicateCountBase, kParentMarkBase);
+  EXPECT_LT(kParentMarkBase + (1ull << 48), 1ull << 60);
+}
+
+}  // namespace
+}  // namespace setrec

@@ -1,0 +1,96 @@
+#include "graph/poly_signature.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.h"
+#include "hashing/random.h"
+
+namespace setrec {
+namespace {
+
+TEST(IsomorphismProtocolTest, AcceptsIsomorphicPairs) {
+  Rng rng(1);
+  for (uint64_t trial = 0; trial < 10; ++trial) {
+    Graph g = Graph::RandomGnp(7, 0.4, &rng);
+    Graph relabeled(7);
+    for (const auto& [u, v] : g.Edges()) {
+      relabeled.AddEdge((u + 2) % 7, (v + 2) % 7);
+    }
+    Channel ch;
+    Result<bool> iso = IsomorphismProtocol(g, relabeled, trial, &ch);
+    ASSERT_TRUE(iso.ok());
+    EXPECT_TRUE(iso.value());
+    EXPECT_EQ(ch.total_bytes(), 16u);  // O(log n) bits: r and p_A(r).
+    EXPECT_EQ(ch.rounds(), 1u);
+  }
+}
+
+TEST(IsomorphismProtocolTest, RejectsNonIsomorphic) {
+  Rng rng(2);
+  int wrong = 0;
+  for (uint64_t trial = 0; trial < 10; ++trial) {
+    Graph g = Graph::RandomGnp(6, 0.5, &rng);
+    Graph h = g;
+    h.Perturb(1, &rng);  // Different edge count => never isomorphic.
+    Channel ch;
+    Result<bool> iso = IsomorphismProtocol(g, h, trial + 100, &ch);
+    ASSERT_TRUE(iso.ok());
+    if (iso.value()) ++wrong;  // Schwartz-Zippel false positive.
+  }
+  EXPECT_EQ(wrong, 0);
+}
+
+TEST(IsomorphismProtocolTest, SizeMismatchRejected) {
+  Channel ch;
+  EXPECT_FALSE(IsomorphismProtocol(Graph(3), Graph(4), 1, &ch).ok());
+}
+
+TEST(PolyGraphReconcileTest, RecoverIsomorphicGraph) {
+  Rng rng(3);
+  for (uint64_t trial = 0; trial < 5; ++trial) {
+    Graph base = Graph::RandomGnp(7, 0.4, &rng);
+    Graph alice = base, bob = base;
+    alice.Perturb(1, &rng);
+    bob.Perturb(1, &rng);
+    Channel ch;
+    Result<Graph> rec = PolyGraphReconcile(alice, bob, 2, trial + 50, &ch);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    Result<bool> iso = IsIsomorphic(rec.value(), alice);
+    ASSERT_TRUE(iso.ok());
+    EXPECT_TRUE(iso.value());
+    EXPECT_EQ(ch.total_bytes(), 16u);  // Theorem 4.3: O(d log n) bits.
+  }
+}
+
+TEST(PolyGraphReconcileTest, IdenticalGraphsZeroToggles) {
+  Rng rng(4);
+  Graph g = Graph::RandomGnp(6, 0.5, &rng);
+  Channel ch;
+  Result<Graph> rec = PolyGraphReconcile(g, g, 1, 9, &ch);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value(), g);
+}
+
+TEST(PolyGraphReconcileTest, BoundTooSmallFailsDetectably) {
+  Rng rng(5);
+  Graph base = Graph::RandomGnp(6, 0.5, &rng);
+  Graph alice = base;
+  alice.Perturb(3, &rng);  // 3 toggles; bound 1 cannot reach it (usually).
+  Channel ch;
+  Result<Graph> rec = PolyGraphReconcile(alice, base, 1, 10, &ch);
+  if (!rec.ok()) {
+    EXPECT_EQ(rec.status().code(), StatusCode::kDecodeFailure);
+  } else {
+    // A 1-toggle graph can occasionally be isomorphic to a 3-toggle one.
+    EXPECT_TRUE(IsIsomorphic(rec.value(), alice).value());
+  }
+}
+
+TEST(PolyGraphReconcileTest, LimitsEnforced) {
+  Channel ch;
+  EXPECT_FALSE(PolyGraphReconcile(Graph(9), Graph(9), 1, 1, &ch).ok());
+  EXPECT_FALSE(PolyGraphReconcile(Graph(5), Graph(5), 4, 1, &ch).ok());
+}
+
+}  // namespace
+}  // namespace setrec

@@ -1,0 +1,154 @@
+#include "charpoly/poly.h"
+
+#include <gtest/gtest.h>
+
+#include "charpoly/gf.h"
+#include "hashing/random.h"
+
+namespace setrec {
+namespace {
+
+Poly RandomPoly(Rng* rng, int degree) {
+  std::vector<uint64_t> coeffs(degree + 1);
+  for (auto& c : coeffs) c = rng->NextU64() % gf::kP;
+  if (coeffs.back() == 0) coeffs.back() = 1;
+  return Poly(std::move(coeffs));
+}
+
+TEST(PolyTest, ZeroAndConstant) {
+  Poly zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.Degree(), -1);
+  Poly c = Poly::Constant(5);
+  EXPECT_EQ(c.Degree(), 0);
+  EXPECT_EQ(c.Eval(12345), 5u);
+  EXPECT_TRUE(Poly::Constant(0).IsZero());
+}
+
+TEST(PolyTest, TrailingZerosTrimmed) {
+  Poly p({1, 2, 0, 0});
+  EXPECT_EQ(p.Degree(), 1);
+}
+
+TEST(PolyTest, EvalHorner) {
+  // p(x) = 3 + 2x + x^2 at x = 5 -> 3 + 10 + 25 = 38.
+  Poly p({3, 2, 1});
+  EXPECT_EQ(p.Eval(5), 38u);
+}
+
+TEST(PolyTest, FromRootsVanishesAtRoots) {
+  std::vector<uint64_t> roots = {2, 7, 100, 999};
+  Poly p = Poly::FromRoots(roots);
+  EXPECT_EQ(p.Degree(), 4);
+  EXPECT_EQ(p.LeadingCoeff(), 1u);  // Monic.
+  for (uint64_t r : roots) EXPECT_EQ(p.Eval(r), 0u);
+  EXPECT_NE(p.Eval(5), 0u);
+}
+
+TEST(PolyTest, AddSubInverse) {
+  Rng rng(1);
+  Poly a = RandomPoly(&rng, 7);
+  Poly b = RandomPoly(&rng, 4);
+  EXPECT_EQ(a.Add(b).Sub(b), a);
+  EXPECT_TRUE(a.Sub(a).IsZero());
+}
+
+TEST(PolyTest, MulDegreeAndEval) {
+  Rng rng(2);
+  Poly a = RandomPoly(&rng, 5);
+  Poly b = RandomPoly(&rng, 3);
+  Poly ab = a.Mul(b);
+  EXPECT_EQ(ab.Degree(), 8);
+  for (uint64_t x : {0ull, 1ull, 77777ull}) {
+    EXPECT_EQ(ab.Eval(x), gf::Mul(a.Eval(x), b.Eval(x)));
+  }
+}
+
+TEST(PolyTest, MulByZero) {
+  Poly a({1, 2, 3});
+  EXPECT_TRUE(a.Mul(Poly()).IsZero());
+}
+
+TEST(PolyTest, DivModIdentity) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Poly a = RandomPoly(&rng, 9);
+    Poly b = RandomPoly(&rng, 1 + trial % 5);
+    Poly q, r;
+    a.DivMod(b, &q, &r);
+    EXPECT_LT(r.Degree(), b.Degree());
+    EXPECT_EQ(q.Mul(b).Add(r), a);
+  }
+}
+
+TEST(PolyTest, ModOfSmallerIsIdentity) {
+  Poly a({5, 1});          // degree 1
+  Poly b({1, 2, 3, 4});    // degree 3
+  EXPECT_EQ(a.Mod(b), a);
+}
+
+TEST(PolyTest, MonicScalesLeading) {
+  Poly p({2, 4, 6});
+  Poly m = p.Monic();
+  EXPECT_EQ(m.LeadingCoeff(), 1u);
+  // Monic preserves roots: p and m vanish together.
+  EXPECT_EQ(gf::Mul(m.Eval(9), 6), p.Eval(9));
+}
+
+TEST(PolyTest, Derivative) {
+  // d/dx (3 + 2x + 5x^2) = 2 + 10x.
+  Poly p({3, 2, 5});
+  EXPECT_EQ(p.Derivative(), Poly({2, 10}));
+  EXPECT_TRUE(Poly::Constant(9).Derivative().IsZero());
+}
+
+TEST(PolyGcdTest, CommonFactorRecovered) {
+  Poly g = Poly::FromRoots({11, 22});
+  Poly a = g.Mul(Poly::FromRoots({33}));
+  Poly b = g.Mul(Poly::FromRoots({44, 55}));
+  EXPECT_EQ(PolyGcd(a, b), g);
+}
+
+TEST(PolyGcdTest, CoprimeGivesOne) {
+  Poly a = Poly::FromRoots({1, 2});
+  Poly b = Poly::FromRoots({3, 4});
+  EXPECT_EQ(PolyGcd(a, b), Poly::Constant(1));
+}
+
+TEST(PolyGcdTest, GcdWithZero) {
+  Poly a = Poly::FromRoots({5});
+  EXPECT_EQ(PolyGcd(a, Poly()), a.Monic());
+}
+
+TEST(PolyPowModTest, MatchesRepeatedMultiplication) {
+  Poly x = Poly::X();
+  Poly m = Poly::FromRoots({1, 2, 3});
+  Poly direct = Poly::Constant(1);
+  for (int e = 0; e <= 10; ++e) {
+    EXPECT_EQ(PolyPowMod(x, e, m), direct.Mod(m)) << "e=" << e;
+    direct = direct.Mul(x);
+  }
+}
+
+TEST(PolyPowModTest, FermatForLinearModulus) {
+  // x^p ≡ x (mod any squarefree product of linears); check against x - 5.
+  Poly m = Poly::FromRoots({5});
+  Poly xp = PolyPowMod(Poly::X(), gf::kP, m);
+  // Modulo (x - 5), x ≡ 5.
+  EXPECT_EQ(xp, Poly::Constant(5));
+}
+
+TEST(EvalCharPolyTest, MatchesFromRoots) {
+  std::vector<uint64_t> elements = {10, 20, 30, 40};
+  Poly p = Poly::FromRoots(elements);
+  for (uint64_t z : {0ull, 1ull, 10ull, 12345678ull}) {
+    EXPECT_EQ(EvalCharPoly(elements, z), p.Eval(z));
+  }
+}
+
+TEST(EvalCharPolyTest, EmptySetIsOne) {
+  EXPECT_EQ(EvalCharPoly({}, 12345), 1u);
+}
+
+}  // namespace
+}  // namespace setrec

@@ -1,0 +1,134 @@
+#include "hashing/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace setrec {
+namespace {
+
+TEST(SplitMix64Test, Deterministic) {
+  uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  uint64_t s = 42;
+  uint64_t a = SplitMix64(&s);
+  uint64_t b = SplitMix64(&s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Mix64Test, StatelessAndInjectiveOnSample) {
+  std::set<uint64_t> outputs;
+  for (uint64_t x = 0; x < 10000; ++x) outputs.insert(Mix64(x));
+  EXPECT_EQ(outputs.size(), 10000u);  // SplitMix64 finalizer is a bijection.
+  EXPECT_EQ(Mix64(123), Mix64(123));
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, UniformU64InRange) {
+  Rng rng(11);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformU64CoversSmallRange) {
+  Rng rng(12);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformU64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(14);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(15);
+  int count = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) count += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(count) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, GeometricSkipMean) {
+  // E[skip] = (1-p)/p.
+  Rng rng(16);
+  const double p = 0.1;
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(rng.GeometricSkip(p));
+  }
+  EXPECT_NEAR(sum / trials, (1 - p) / p, 0.5);
+}
+
+TEST(RngTest, GeometricSkipPOneIsZero) {
+  Rng rng(17);
+  EXPECT_EQ(rng.GeometricSkip(1.0), 0u);
+}
+
+TEST(DeriveSeedTest, DistinctTagsDistinctSeeds) {
+  std::set<uint64_t> seeds;
+  for (uint64_t tag = 0; tag < 1000; ++tag) {
+    seeds.insert(DeriveSeed(99, tag));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeedTest, Deterministic) {
+  EXPECT_EQ(DeriveSeed(5, 6), DeriveSeed(5, 6));
+  EXPECT_NE(DeriveSeed(5, 6), DeriveSeed(6, 5));
+}
+
+TEST(RngTest, ChiSquaredByteUniformity) {
+  // Crude uniformity check on the low byte of the generator.
+  Rng rng(18);
+  std::vector<int> counts(256, 0);
+  const int trials = 256 * 200;
+  for (int i = 0; i < trials; ++i) counts[rng.NextU64() & 0xff]++;
+  double chi2 = 0;
+  const double expected = trials / 256.0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 255 dof: mean 255, sd ~22.6; allow 6 sigma.
+  EXPECT_LT(chi2, 255 + 6 * 22.6);
+}
+
+}  // namespace
+}  // namespace setrec

@@ -1,0 +1,157 @@
+#include "util/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace setrec {
+namespace {
+
+TEST(ByteWriterTest, FixedWidthLittleEndian) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0102030405060708ull);
+  const std::vector<uint8_t>& b = w.bytes();
+  ASSERT_EQ(b.size(), 1 + 2 + 4 + 8u);
+  EXPECT_EQ(b[0], 0xab);
+  EXPECT_EQ(b[1], 0x34);
+  EXPECT_EQ(b[2], 0x12);
+  EXPECT_EQ(b[3], 0xef);
+  EXPECT_EQ(b[6], 0xde);
+  EXPECT_EQ(b[7], 0x08);
+  EXPECT_EQ(b[14], 0x01);
+}
+
+TEST(ByteWriterTest, RoundTripAllFixed) {
+  ByteWriter w;
+  w.PutU8(7);
+  w.PutU16(65535);
+  w.PutU32(0);
+  w.PutU64(std::numeric_limits<uint64_t>::max());
+  ByteReader r(w.bytes());
+  uint8_t a;
+  uint16_t b;
+  uint32_t c;
+  uint64_t d;
+  ASSERT_TRUE(r.GetU8(&a));
+  ASSERT_TRUE(r.GetU16(&b));
+  ASSERT_TRUE(r.GetU32(&c));
+  ASSERT_TRUE(r.GetU64(&d));
+  EXPECT_EQ(a, 7);
+  EXPECT_EQ(b, 65535);
+  EXPECT_EQ(c, 0u);
+  EXPECT_EQ(d, std::numeric_limits<uint64_t>::max());
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(VarintTest, SingleByteValues) {
+  for (uint64_t v : {0ull, 1ull, 127ull}) {
+    ByteWriter w;
+    w.PutVarint(v);
+    EXPECT_EQ(w.size(), 1u) << v;
+    ByteReader r(w.bytes());
+    uint64_t out = 0;
+    ASSERT_TRUE(r.GetVarint(&out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, RoundTrips) {
+  ByteWriter w;
+  w.PutVarint(GetParam());
+  ByteReader r(w.bytes());
+  uint64_t out = 0;
+  ASSERT_TRUE(r.GetVarint(&out));
+  EXPECT_EQ(out, GetParam());
+  EXPECT_TRUE(r.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                      (1ull << 32) - 1, 1ull << 32, (1ull << 56) + 123,
+                      std::numeric_limits<uint64_t>::max()));
+
+TEST(VarintTest, MaxValueTakesTenBytes) {
+  ByteWriter w;
+  w.PutVarint(std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(w.size(), 10u);
+}
+
+TEST(ByteReaderTest, TruncationDetected) {
+  ByteWriter w;
+  w.PutU32(42);
+  ByteReader r(w.bytes());
+  uint64_t out;
+  EXPECT_FALSE(r.GetU64(&out));  // Only 4 bytes available.
+}
+
+TEST(ByteReaderTest, TruncatedVarintDetected) {
+  std::vector<uint8_t> bad = {0x80, 0x80};  // Never-terminating varint.
+  ByteReader r(bad);
+  uint64_t out;
+  EXPECT_FALSE(r.GetVarint(&out));
+}
+
+TEST(ByteReaderTest, EmptyReads) {
+  ByteReader r(nullptr, 0);
+  uint8_t out;
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.GetU8(&out));
+}
+
+TEST(LengthPrefixedTest, RoundTrip) {
+  ByteWriter w;
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  w.PutLengthPrefixed(payload);
+  w.PutLengthPrefixed({});
+  ByteReader r(w.bytes());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(r.GetLengthPrefixed(&out));
+  EXPECT_EQ(out, payload);
+  ASSERT_TRUE(r.GetLengthPrefixed(&out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LengthPrefixedTest, LengthBeyondBufferRejected) {
+  ByteWriter w;
+  w.PutVarint(1000);  // Claims 1000 bytes, provides none.
+  ByteReader r(w.bytes());
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(r.GetLengthPrefixed(&out));
+}
+
+TEST(U64VectorTest, RoundTrip) {
+  std::vector<uint64_t> values = {0, 1, 1ull << 40, 77, 127, 128};
+  ByteWriter w;
+  w.PutU64Vector(values);
+  ByteReader r(w.bytes());
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(r.GetU64Vector(&out));
+  EXPECT_EQ(out, values);
+}
+
+TEST(U64VectorTest, HugeClaimedCountRejected) {
+  ByteWriter w;
+  w.PutVarint(uint64_t{1} << 40);
+  ByteReader r(w.bytes());
+  std::vector<uint64_t> out;
+  EXPECT_FALSE(r.GetU64Vector(&out));
+}
+
+TEST(ByteWriterTest, TakeMovesBuffer) {
+  ByteWriter w;
+  w.PutU32(5);
+  std::vector<uint8_t> taken = w.Take();
+  EXPECT_EQ(taken.size(), 4u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+}  // namespace
+}  // namespace setrec

@@ -1,0 +1,148 @@
+#include "apps/shingles.h"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.h"
+
+namespace setrec {
+namespace {
+
+constexpr uint64_t kShingleSeed = 77;
+
+std::vector<uint64_t> Doc(const std::string& text) {
+  return ShingleSet(text, 3, kShingleSeed);
+}
+
+TEST(ShingleSetTest, DeterministicAndSorted) {
+  auto a = Doc("one two three four five");
+  auto b = Doc("one two three four five");
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_EQ(a.size(), 3u);  // 5 words, k=3 -> 3 windows.
+}
+
+TEST(ShingleSetTest, ShortDocumentsSingleShingle) {
+  EXPECT_EQ(Doc("hi there").size(), 1u);
+  EXPECT_TRUE(Doc("").empty());
+}
+
+TEST(ShingleSetTest, SmallEditSmallDifference) {
+  auto a = Doc("the quick brown fox jumps over the lazy dog");
+  auto b = Doc("the quick brown fox leaps over the lazy dog");
+  // One word change affects at most k=3 windows.
+  size_t common = 0;
+  for (uint64_t s : a) {
+    common += std::binary_search(b.begin(), b.end(), s);
+  }
+  EXPECT_GE(common, a.size() - 3);
+  EXPECT_LT(common, a.size());
+}
+
+TEST(ShingleSetTest, ElementsInUserSpace) {
+  for (uint64_t s : Doc("alpha beta gamma delta epsilon zeta")) {
+    EXPECT_LT(s, 1ull << 56);
+  }
+}
+
+class CollectionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* texts[] = {
+        "the quick brown fox jumps over the lazy dog again and again today",
+        "pack my box with five dozen liquor jugs for the long trip home",
+        "sphinx of black quartz judge my vow said the old wise man slowly",
+        "how vexingly quick daft zebras jump over fences in the night air",
+        "a stitch in time saves nine but two stitches save eighteen maybe",
+    };
+    for (const char* t : texts) {
+      bob_.push_back(Doc(t));
+    }
+    alice_ = bob_;
+    bob_ = Canonicalize(bob_);
+    params_.seed = 61;
+    params_.max_child_size = 64;
+  }
+
+  SetOfSets alice_;
+  SetOfSets bob_;
+  SsrParams params_;
+};
+
+TEST_F(CollectionFixture, IdenticalCollectionsAllExact) {
+  Channel ch;
+  Result<CollectionReconcileOutcome> out = ReconcileCollections(
+      Canonicalize(alice_), bob_, /*per_doc_diff=*/8, params_, &ch);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().exact_duplicates, 5u);
+  EXPECT_EQ(out.value().near_duplicates, 0u);
+  EXPECT_EQ(out.value().fresh_documents, 0u);
+}
+
+TEST_F(CollectionFixture, NearDuplicateDetected) {
+  alice_[0] = Doc(
+      "the quick brown fox jumps over the lazy cat again and again today");
+  SetOfSets alice = Canonicalize(alice_);
+  Channel ch;
+  Result<CollectionReconcileOutcome> out =
+      ReconcileCollections(alice, bob_, 8, params_, &ch);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().collection, alice);
+  EXPECT_EQ(out.value().near_duplicates, 1u);
+  EXPECT_EQ(out.value().exact_duplicates, 4u);
+}
+
+TEST_F(CollectionFixture, FreshDocumentFallsBackToDirectTransfer) {
+  alice_.push_back(
+      Doc("completely new document with entirely different content words"));
+  SetOfSets alice = Canonicalize(alice_);
+  Channel ch;
+  Result<CollectionReconcileOutcome> out =
+      ReconcileCollections(alice, bob_, 4, params_, &ch);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().collection, alice);
+  EXPECT_EQ(out.value().fresh_documents, 1u);
+}
+
+TEST_F(CollectionFixture, DeletedDocumentRemoved) {
+  alice_.erase(alice_.begin() + 2);
+  SetOfSets alice = Canonicalize(alice_);
+  Channel ch;
+  Result<CollectionReconcileOutcome> out =
+      ReconcileCollections(alice, bob_, 8, params_, &ch);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().collection, alice);
+  EXPECT_EQ(out.value().collection.size(), 4u);
+}
+
+TEST_F(CollectionFixture, MixedWorkload) {
+  // One near-duplicate, one fresh, one deletion simultaneously. The fresh
+  // document must be large enough that its child IBLT cannot decode against
+  // any partner (small fresh documents legitimately decode and are then
+  // "near" — the classification is by decodability, per Section 3.2).
+  alice_[1] = Doc(
+      "pack my box with five dozen liquor jugs for the short trip home");
+  alice_.erase(alice_.begin() + 3);
+  std::string fresh_text;
+  for (int w = 0; w < 60; ++w) fresh_text += "fresh" + std::to_string(w) + " ";
+  alice_.push_back(Doc(fresh_text));
+  SetOfSets alice = Canonicalize(alice_);
+  Channel ch;
+  Result<CollectionReconcileOutcome> out =
+      ReconcileCollections(alice, bob_, 8, params_, &ch);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().collection, alice);
+  EXPECT_EQ(out.value().fresh_documents, 1u);
+  EXPECT_EQ(out.value().near_duplicates, 1u);
+  EXPECT_EQ(out.value().exact_duplicates, 3u);
+}
+
+TEST_F(CollectionFixture, KindsParallelToCollection) {
+  Channel ch;
+  Result<CollectionReconcileOutcome> out =
+      ReconcileCollections(Canonicalize(alice_), bob_, 8, params_, &ch);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().kinds.size(), out.value().collection.size());
+}
+
+}  // namespace
+}  // namespace setrec

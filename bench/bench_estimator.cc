@@ -37,10 +37,8 @@ Measured<Estimator> Measure(const typename Estimator::Params& params,
     for (auto& e : shared) e = rng.NextU64();
     for (auto& e : extra) e = rng.NextU64();
     update_s += bench::TimeSeconds([&] {
-      for (uint64_t e : shared) {
-        alice.Update(e, 1);
-        bob.Update(e, 2);
-      }
+      alice.UpdateBatch(shared.data(), shared.size(), 1);
+      bob.UpdateBatch(shared.data(), shared.size(), 2);
       for (size_t i = 0; i < extra.size(); ++i) {
         (i % 2 == 0 ? alice : bob).Update(extra[i], 1 + (i % 2));
       }

@@ -3,11 +3,22 @@
 // cells-per-key (the 2-core threshold for k=3,4 sits near 1.22/1.30
 // cells per key asymptotically; small tables need more). Part 2 uses
 // google-benchmark to confirm insert+decode throughput is linear in keys.
+//
+// `bench_iblt --json` instead runs the fixed throughput suite (insert
+// keys/sec, subtract cells/sec, decode keys/sec at d in {1e2, 1e4, 1e6})
+// and writes BENCH_iblt.json with both the recorded seed-implementation
+// baseline and the current numbers, so the perf trajectory is tracked
+// across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "hashing/random.h"
@@ -27,7 +38,9 @@ double SuccessRate(size_t keys, double cells_per_key, int num_hashes,
     config.seed = 7000 + t;
     Iblt table(config);
     Rng rng(t * 37 + keys);
-    for (size_t k = 0; k < keys; ++k) table.InsertU64(rng.NextU64());
+    std::vector<uint64_t> elements(keys);
+    for (auto& e : elements) e = rng.NextU64();
+    table.InsertBatch(elements);
     Result<IbltDecodeResult64> decoded = table.DecodeU64();
     if (decoded.ok() && decoded.value().positive.size() == keys) ++success;
   }
@@ -61,10 +74,11 @@ void BM_InsertAndDecode(benchmark::State& state) {
   Rng rng(keys);
   std::vector<uint64_t> elements(keys);
   for (auto& e : elements) e = rng.NextU64();
+  DecodeScratch scratch;
   for (auto _ : state) {
     Iblt table(config);
-    for (uint64_t e : elements) table.InsertU64(e);
-    auto decoded = table.DecodeU64();
+    table.InsertBatch(elements);
+    auto decoded = table.DecodeU64(&scratch);
     benchmark::DoNotOptimize(decoded);
   }
   state.SetItemsProcessed(state.iterations() * keys);
@@ -76,11 +90,10 @@ void BM_Subtract(benchmark::State& state) {
   IbltConfig config = IbltConfig::ForDifference(keys, 100);
   Iblt a(config), b(config);
   Rng rng(keys + 1);
-  for (size_t i = 0; i < keys; ++i) {
-    uint64_t e = rng.NextU64();
-    a.InsertU64(e);
-    b.InsertU64(e);
-  }
+  std::vector<uint64_t> shared(keys);
+  for (auto& e : shared) e = rng.NextU64();
+  a.InsertBatch(shared);
+  b.InsertBatch(shared);
   for (auto _ : state) {
     Iblt work = a;
     benchmark::DoNotOptimize(work.Subtract(b));
@@ -89,10 +102,153 @@ void BM_Subtract(benchmark::State& state) {
 }
 BENCHMARK(BM_Subtract)->RangeMultiplier(4)->Range(64, 16384);
 
+// ---------------------------------------------------------------------------
+// --json throughput suite
+// ---------------------------------------------------------------------------
+
+struct ThroughputRow {
+  size_t d = 0;
+  double insert_keys_per_sec = 0;
+  double subtract_cells_per_sec = 0;
+  double decode_keys_per_sec = 0;
+};
+
+// Seed-implementation baseline, measured on this machine (1-core Xeon
+// @2.1GHz) with the identical steady-state methodology below (best of 5
+// repetitions, per-key InsertU64/EraseU64 + scratch-free DecodeU64 — the
+// only APIs the seed had) immediately before the cell-engine rewrite.
+// Kept here so regenerated BENCH_iblt.json files preserve the comparison
+// point.
+constexpr ThroughputRow kSeedBaseline[] = {
+    {100, 1.682e7, 1.857e8, 5.779e6},
+    {10000, 1.376e7, 8.602e7, 3.215e6},
+    {1000000, 3.205e6, 7.243e7, 2.068e6},
+};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ThroughputRow MeasureThroughput(size_t d) {
+  const int kRepeats = 5;
+  ThroughputRow row;
+  row.d = d;
+  IbltConfig config = IbltConfig::ForDifference(d, 42);
+  Rng rng(d);
+  std::vector<uint64_t> keys(d);
+  for (auto& k : keys) k = rng.NextU64();
+  const int reps = d >= 1000000 ? 3 : static_cast<int>(3000000 / d);
+
+  // Insert: steady-state batched application into a persistent table.
+  Iblt table(config);
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    double t0 = NowSeconds();
+    for (int r = 0; r < reps; ++r) table.InsertBatch(keys);
+    double rate = static_cast<double>(d) * reps / (NowSeconds() - t0);
+    row.insert_keys_per_sec = std::max(row.insert_keys_per_sec, rate);
+  }
+
+  Iblt a(config), b(config);
+  a.InsertBatch(keys.data(), d / 2);
+  b.InsertBatch(keys.data() + d / 2, d - d / 2);
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    double t0 = NowSeconds();
+    for (int r = 0; r < reps; ++r) {
+      Iblt work = a;
+      benchmark::DoNotOptimize(work.Subtract(b));
+    }
+    double rate =
+        static_cast<double>(config.PaddedCells()) * reps / (NowSeconds() - t0);
+    row.subtract_cells_per_sec = std::max(row.subtract_cells_per_sec, rate);
+  }
+
+  Iblt diff = a;
+  (void)diff.Subtract(b);
+  const int dreps = d >= 1000000 ? 2 : static_cast<int>(1000000 / d);
+  DecodeScratch scratch;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    size_t decoded = 0;
+    double t0 = NowSeconds();
+    for (int r = 0; r < dreps; ++r) {
+      auto out = diff.DecodeU64(&scratch);
+      if (!out.ok()) {
+        std::fprintf(stderr, "bench_iblt: decode failed at d=%zu\n", d);
+        return row;
+      }
+      decoded = out.value().positive.size() + out.value().negative.size();
+    }
+    double rate = static_cast<double>(decoded) * dreps / (NowSeconds() - t0);
+    row.decode_keys_per_sec = std::max(row.decode_keys_per_sec, rate);
+  }
+  return row;
+}
+
+void AppendRow(std::string* out, const ThroughputRow& row, bool last) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "    \"d_%zu\": {\"insert_keys_per_sec\": %.4g, "
+                "\"subtract_cells_per_sec\": %.4g, "
+                "\"decode_keys_per_sec\": %.4g}%s\n",
+                row.d, row.insert_keys_per_sec, row.subtract_cells_per_sec,
+                row.decode_keys_per_sec, last ? "" : ",");
+  *out += buf;
+}
+
+int RunJsonSuite() {
+  bench::Header("IBLT throughput", "insert/subtract/decode vs seed baseline");
+  std::string json = "{\n  \"bench\": \"iblt\",\n";
+  json +=
+      "  \"units\": {\"insert\": \"keys/sec\", \"subtract\": \"cells/sec\", "
+      "\"decode\": \"keys/sec\"},\n";
+  json += "  \"seed\": {\n";
+  for (size_t i = 0; i < 3; ++i) {
+    AppendRow(&json, kSeedBaseline[i], i == 2);
+  }
+  json += "  },\n  \"current\": {\n";
+  ThroughputRow current[3];
+  for (size_t i = 0; i < 3; ++i) {
+    current[i] = MeasureThroughput(kSeedBaseline[i].d);
+    std::printf(
+        "d=%-8zu insert %.3g keys/s (seed %.3g, %.2fx)  decode %.3g keys/s "
+        "(seed %.3g, %.2fx)\n",
+        current[i].d, current[i].insert_keys_per_sec,
+        kSeedBaseline[i].insert_keys_per_sec,
+        current[i].insert_keys_per_sec / kSeedBaseline[i].insert_keys_per_sec,
+        current[i].decode_keys_per_sec, kSeedBaseline[i].decode_keys_per_sec,
+        current[i].decode_keys_per_sec / kSeedBaseline[i].decode_keys_per_sec);
+    AppendRow(&json, current[i], i == 2);
+  }
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "  },\n  \"speedup_at_d_10000\": {\"insert\": %.2f, "
+                "\"decode\": %.2f}\n}\n",
+                current[1].insert_keys_per_sec /
+                    kSeedBaseline[1].insert_keys_per_sec,
+                current[1].decode_keys_per_sec /
+                    kSeedBaseline[1].decode_keys_per_sec);
+  json += tail;
+  std::FILE* f = std::fopen("BENCH_iblt.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_iblt: cannot write BENCH_iblt.json\n");
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote BENCH_iblt.json\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace setrec
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return setrec::RunJsonSuite();
+    }
+  }
   setrec::DecodeThresholdTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -204,9 +204,12 @@ Result<CollectionReconcileOutcome> ReconcileCollections(
   est_params.seed = DeriveSeed(params.seed, /*tag=*/0x73684553ull);
   HashFamily fp_family(est_params.seed, /*tag=*/0x66707368ull);
   L0Estimator bob_est(est_params);
+  std::vector<uint64_t> bob_fps;
+  bob_fps.reserve(bob.size());
   for (const ChildSet& doc : bob) {
-    bob_est.Update(ChildFingerprint(doc, fp_family), 2);
+    bob_fps.push_back(ChildFingerprint(doc, fp_family));
   }
+  bob_est.UpdateBatch(bob_fps.data(), bob_fps.size(), 2);
   ByteWriter writer;
   bob_est.Serialize(&writer);
   size_t msg = channel->Send(Party::kBob, writer.Take(), "shingles-est");
@@ -215,9 +218,12 @@ Result<CollectionReconcileOutcome> ReconcileCollections(
   if (!merged_r.ok()) return merged_r.status();
   L0Estimator merged = std::move(merged_r).value();
   L0Estimator alice_est(est_params);
+  std::vector<uint64_t> alice_fps;
+  alice_fps.reserve(alice.size());
   for (const ChildSet& doc : alice) {
-    alice_est.Update(ChildFingerprint(doc, fp_family), 1);
+    alice_fps.push_back(ChildFingerprint(doc, fp_family));
   }
+  alice_est.UpdateBatch(alice_fps.data(), alice_fps.size(), 1);
   if (Status s = merged.Merge(alice_est); !s.ok()) return s;
   size_t d_hat = std::max<size_t>(
       static_cast<size_t>(params.estimate_slack *

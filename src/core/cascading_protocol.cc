@@ -67,7 +67,7 @@ IbltConfig LevelOuterConfig(size_t level, size_t d, size_t d_hat,
 
 Iblt BuildChildSketch(const ChildSet& child, const IbltConfig& config) {
   Iblt sketch(config);
-  for (uint64_t e : child) sketch.InsertU64(e);
+  sketch.InsertBatch(child);
   return sketch;
 }
 
@@ -143,6 +143,7 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
   std::vector<bool> in_db(bob.size(), false);   // Bob's differing children.
   SetOfSets da;                                  // Alice's recovered children.
   std::unordered_set<uint64_t> recovered_fps;    // Their fingerprints.
+  DecodeScratch scratch;  // Reused by every outer/child/star decode below.
 
   for (size_t level = 0; level < t; ++level) {
     const IbltConfig& child_config = child_configs[level];
@@ -162,7 +163,7 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
                                       ChildFingerprint(child, fp_family)));
     }
 
-    IbltPartialDecode decoded = outer.DecodePartial();
+    IbltPartialDecode decoded = outer.DecodePartial(&scratch);
 
     // Negative encodings expose Bob children that differ from Alice's.
     for (const auto& blob : decoded.entries.negative) {
@@ -190,7 +191,7 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
       for (const auto& [partner_sketch, partner_set] : partners) {
         Iblt diff = enc.sketch;
         if (!diff.Subtract(partner_sketch).ok()) continue;
-        Result<IbltDecodeResult64> dd = diff.DecodeU64();
+        Result<IbltDecodeResult64> dd = diff.DecodeU64(&scratch);
         if (!dd.ok()) continue;
         SetDifference sd;
         sd.remote_only = std::move(dd.value().positive);
@@ -216,7 +217,7 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
       blob_to_child.emplace(std::move(blob), j);
     }
     for (const ChildSet& child : da) star.Erase(EncodeChildBlob(child, h));
-    IbltPartialDecode decoded = star.DecodePartial();
+    IbltPartialDecode decoded = star.DecodePartial(&scratch);
     for (const auto& blob : decoded.entries.negative) {
       auto it = blob_to_child.find(blob);
       if (it != blob_to_child.end()) in_db[it->second] = true;

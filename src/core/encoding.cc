@@ -46,7 +46,7 @@ std::vector<uint8_t> EncodeChildIbltBlob(const ChildSet& child,
                                          const IbltConfig& child_config,
                                          uint64_t fingerprint) {
   Iblt sketch(child_config);
-  for (uint64_t e : child) sketch.InsertU64(e);
+  sketch.InsertBatch(child);
   ByteWriter writer;
   sketch.SerializeFixed(&writer);
   writer.PutU64(fingerprint);

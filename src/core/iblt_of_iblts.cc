@@ -20,10 +20,11 @@ constexpr uint64_t kAttemptTag = 0x69626c32ull;  // "ibl2"
 Result<ChildSet> TryRecoverChild(const ChildEncoding& alice_enc,
                                  const Iblt& partner_sketch,
                                  const ChildSet& partner_set,
-                                 const HashFamily& fp_family) {
+                                 const HashFamily& fp_family,
+                                 DecodeScratch* scratch) {
   Iblt diff = alice_enc.sketch;
   if (Status s = diff.Subtract(partner_sketch); !s.ok()) return s;
-  Result<IbltDecodeResult64> decoded = diff.DecodeU64();
+  Result<IbltDecodeResult64> decoded = diff.DecodeU64(scratch);
   if (!decoded.ok()) return decoded.status();
   SetDifference sd;
   sd.remote_only = std::move(decoded.value().positive);
@@ -68,6 +69,7 @@ Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
   Result<Iblt> received = Iblt::Deserialize(&reader, outer_config);
   if (!received.ok()) return received.status();
   Iblt remote = std::move(received).value();
+  DecodeScratch scratch;  // Shared by the outer and all child decodes.
 
   // Bob's own encodings, keyed by blob so decoded negatives map back to his
   // concrete child sets.
@@ -79,7 +81,7 @@ Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
     blob_to_child.emplace(std::move(blob), i);
   }
 
-  Result<IbltDecodeResult> decoded = remote.Decode();
+  Result<IbltDecodeResult> decoded = remote.Decode(&scratch);
   if (!decoded.ok()) return decoded.status();
 
   // D_B: Bob's children whose encodings differ from all of Alice's.
@@ -114,7 +116,7 @@ Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
     for (const Partner& partner : partners) {
       Result<ChildSet> child =
           TryRecoverChild(enc, partner.encoding.sketch, *partner.set,
-                          fp_family);
+                          fp_family, &scratch);
       if (child.ok()) {
         recovered_children.push_back(std::move(child).value());
         ok = true;
@@ -123,7 +125,7 @@ Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
     }
     if (!ok) {
       Result<ChildSet> child =
-          TryRecoverChild(enc, empty_sketch, empty_set, fp_family);
+          TryRecoverChild(enc, empty_sketch, empty_set, fp_family, &scratch);
       if (child.ok()) {
         recovered_children.push_back(std::move(child).value());
         ok = true;

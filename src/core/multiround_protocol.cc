@@ -52,8 +52,8 @@ Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
   Iblt ta(fp_config);
   for (size_t i = 0; i < alice.size(); ++i) {
     alice_fps[i] = ChildFingerprint(alice[i], fp_family);
-    ta.InsertU64(alice_fps[i]);
   }
+  ta.InsertBatch(alice_fps);
   ByteWriter w1;
   w1.PutU64(ParentFingerprint(alice, fp_family));
   ta.Serialize(&w1);
@@ -67,15 +67,19 @@ Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
   if (!ta_received.ok()) return ta_received.status();
   Iblt fp_diff = std::move(ta_received).value();
 
+  DecodeScratch scratch;  // Reused for the fingerprint and child decodes.
   std::unordered_map<uint64_t, size_t> bob_fp_to_child;
+  std::vector<uint64_t> bob_fps;
+  bob_fps.reserve(bob.size());
   for (size_t j = 0; j < bob.size(); ++j) {
     uint64_t fp = ChildFingerprint(bob[j], fp_family);
-    fp_diff.EraseU64(fp);
+    bob_fps.push_back(fp);
     if (!bob_fp_to_child.emplace(fp, j).second) {
       return VerificationFailure("mr: duplicate child fingerprint (Bob)");
     }
   }
-  Result<IbltDecodeResult64> fp_decoded = fp_diff.DecodeU64();
+  fp_diff.EraseBatch(bob_fps);
+  Result<IbltDecodeResult64> fp_decoded = fp_diff.DecodeU64(&scratch);
   if (!fp_decoded.ok()) return fp_decoded.status();
   std::vector<uint64_t> alice_diff_fps = fp_decoded.value().positive;
   std::vector<uint64_t> bob_diff_fps = fp_decoded.value().negative;
@@ -95,7 +99,8 @@ Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
     }
     bob_diff_children.push_back(it->second);
     L0Estimator est(est_params);
-    for (uint64_t e : bob[it->second]) est.Update(e, 2);
+    const ChildSet& bob_child = bob[it->second];
+    est.UpdateBatch(bob_child.data(), bob_child.size(), 2);
     est.Serialize(&w2);
   }
   size_t msg2 = channel->Send(Party::kBob, w2.Take(), "mr-estimators");
@@ -137,7 +142,7 @@ Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
     }
     const ChildSet& child = alice[it->second];
     L0Estimator mine(est_params);
-    for (uint64_t e : child) mine.Update(e, 1);
+    mine.UpdateBatch(child.data(), child.size(), 1);
     uint64_t best_partner = kNoPartner;
     uint64_t best_estimate = ~0ull;
     for (size_t j = 0; j < bob_estimators.size(); ++j) {
@@ -186,7 +191,7 @@ Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
         break;
       case PayloadMode::kIblt: {
         Iblt sketch(ChildPayloadConfig(plan.d_i, seed, plan.fp));
-        for (uint64_t e : child) sketch.InsertU64(e);
+        sketch.InsertBatch(child);
         sketch.Serialize(&w3);
         break;
       }
@@ -235,8 +240,8 @@ Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
         Result<Iblt> sketch = Iblt::Deserialize(&r3, config);
         if (!sketch.ok()) return sketch.status();
         Iblt diff = std::move(sketch).value();
-        for (uint64_t e : *base) diff.EraseU64(e);
-        Result<IbltDecodeResult64> dd = diff.DecodeU64();
+        diff.EraseBatch(*base);
+        Result<IbltDecodeResult64> dd = diff.DecodeU64(&scratch);
         if (!dd.ok()) return dd.status();
         SetDifference sd;
         sd.remote_only = std::move(dd.value().positive);
@@ -296,9 +301,12 @@ Result<SsrOutcome> MultiRoundProtocol::Reconcile(const SetOfSets& alice,
     est_params.seed = DeriveSeed(params_.seed, /*tag=*/0x6d724553ull);
     HashFamily fp_family(est_params.seed, /*tag=*/0x66706d32ull);
     L0Estimator bob_est(est_params);
+    std::vector<uint64_t> bob_fps0;
+    bob_fps0.reserve(bob.size());
     for (const ChildSet& child : bob) {
-      bob_est.Update(ChildFingerprint(child, fp_family), 2);
+      bob_fps0.push_back(ChildFingerprint(child, fp_family));
     }
+    bob_est.UpdateBatch(bob_fps0.data(), bob_fps0.size(), 2);
     ByteWriter writer;
     bob_est.Serialize(&writer);
     size_t msg = channel->Send(Party::kBob, writer.Take(), "mr-d-estimator");
@@ -309,9 +317,12 @@ Result<SsrOutcome> MultiRoundProtocol::Reconcile(const SetOfSets& alice,
     if (!merged_r.ok()) return merged_r.status();
     L0Estimator merged = std::move(merged_r).value();
     L0Estimator alice_est(est_params);
+    std::vector<uint64_t> alice_fps0;
+    alice_fps0.reserve(alice.size());
     for (const ChildSet& child : alice) {
-      alice_est.Update(ChildFingerprint(child, fp_family), 1);
+      alice_fps0.push_back(ChildFingerprint(child, fp_family));
     }
+    alice_est.UpdateBatch(alice_fps0.data(), alice_fps0.size(), 1);
     if (Status s = merged.Merge(alice_est); !s.ok()) return s;
     d_hat = std::max<size_t>(
         static_cast<size_t>(params_.estimate_slack *

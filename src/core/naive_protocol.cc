@@ -14,6 +14,20 @@ namespace setrec {
 namespace {
 constexpr uint64_t kAttemptTag = 0x6e616976ull;  // "naiv"
 constexpr uint64_t kEstimatorTag = 0x6e764553ull;
+
+/// Packs every child's fixed-width blob encoding into one contiguous
+/// buffer, the shape Iblt::InsertBatch/EraseBatch consume.
+std::vector<uint8_t> PackChildBlobs(const SetOfSets& children, size_t h) {
+  const size_t width = ChildBlobWidth(h);
+  std::vector<uint8_t> packed;
+  packed.reserve(children.size() * width);
+  for (const ChildSet& child : children) {
+    std::vector<uint8_t> blob = EncodeChildBlob(child, h);
+    packed.insert(packed.end(), blob.begin(), blob.end());
+  }
+  return packed;
+}
+
 }  // namespace
 
 Result<SetOfSets> NaiveProtocol::Attempt(const SetOfSets& alice,
@@ -28,7 +42,7 @@ Result<SetOfSets> NaiveProtocol::Attempt(const SetOfSets& alice,
 
   // --- Alice ---
   Iblt table(config);
-  for (const ChildSet& child : alice) table.Insert(EncodeChildBlob(child, h));
+  table.InsertBatch(PackChildBlobs(alice, h).data(), alice.size());
   ByteWriter writer;
   writer.PutU64(ParentFingerprint(alice, fp_family));
   table.Serialize(&writer);
@@ -41,9 +55,10 @@ Result<SetOfSets> NaiveProtocol::Attempt(const SetOfSets& alice,
   Result<Iblt> received = Iblt::Deserialize(&reader, config);
   if (!received.ok()) return received.status();
   Iblt remote = std::move(received).value();
-  for (const ChildSet& child : bob) remote.Erase(EncodeChildBlob(child, h));
+  remote.EraseBatch(PackChildBlobs(bob, h).data(), bob.size());
 
-  Result<IbltDecodeResult> decoded = remote.Decode();
+  DecodeScratch scratch;
+  Result<IbltDecodeResult> decoded = remote.Decode(&scratch);
   if (!decoded.ok()) return decoded.status();
 
   // Positive blobs are Alice-only children; negatives are Bob-only.
@@ -93,9 +108,12 @@ Result<SsrOutcome> NaiveProtocol::Reconcile(const SetOfSets& alice,
     est_params.seed = DeriveSeed(params_.seed, kEstimatorTag);
     HashFamily child_fp_family(est_params.seed, /*tag=*/0x63667076ull);
     L0Estimator bob_est(est_params);
+    std::vector<uint64_t> bob_fps;
+    bob_fps.reserve(bob.size());
     for (const ChildSet& child : bob) {
-      bob_est.Update(ChildFingerprint(child, child_fp_family), 2);
+      bob_fps.push_back(ChildFingerprint(child, child_fp_family));
     }
+    bob_est.UpdateBatch(bob_fps.data(), bob_fps.size(), 2);
     ByteWriter writer;
     bob_est.Serialize(&writer);
     size_t msg = channel->Send(Party::kBob, writer.Take(), "naive-estimator");
@@ -106,9 +124,12 @@ Result<SsrOutcome> NaiveProtocol::Reconcile(const SetOfSets& alice,
     if (!merged_r.ok()) return merged_r.status();
     L0Estimator merged = std::move(merged_r).value();
     L0Estimator alice_est(est_params);
+    std::vector<uint64_t> alice_fps;
+    alice_fps.reserve(alice.size());
     for (const ChildSet& child : alice) {
-      alice_est.Update(ChildFingerprint(child, child_fp_family), 1);
+      alice_fps.push_back(ChildFingerprint(child, child_fp_family));
     }
+    alice_est.UpdateBatch(alice_fps.data(), alice_fps.size(), 1);
     if (Status s = merged.Merge(alice_est); !s.ok()) return s;
     // The estimate covers both sides' differing children (~2 d-hat).
     d_hat = std::max<size_t>(

@@ -49,15 +49,29 @@ size_t L0Estimator::LevelOffset(int replica, int level) const {
 void L0Estimator::Update(uint64_t x, int side) {
   const uint64_t add = side == 1 ? 1 : 3;  // -1 mod 4.
   for (int r = 0; r < params_.replicas; ++r) {
-    uint64_t h = Mix64(x ^ replica_seeds_[r]);
-    int level = std::countr_zero(h | (1ull << (params_.num_levels - 1)));
-    uint64_t bucket =
-        Mix64(x ^ (replica_seeds_[r] + 0x9e3779b97f4a7c15ull)) %
-        params_.buckets_per_level;
-    size_t word = LevelOffset(r, level) + bucket / kFieldsPerWord;
-    size_t shift = 3 * (bucket % kFieldsPerWord);
-    words_[word] += add << shift;
-    words_[word] &= kFieldMask;
+    UpdateReplica(r, x, add);
+  }
+}
+
+void L0Estimator::UpdateReplica(int r, uint64_t x, uint64_t add) {
+  uint64_t h = Mix64(x ^ replica_seeds_[r]);
+  int level = std::countr_zero(h | (1ull << (params_.num_levels - 1)));
+  uint64_t bucket =
+      Mix64(x ^ (replica_seeds_[r] + 0x9e3779b97f4a7c15ull)) %
+      params_.buckets_per_level;
+  size_t word = LevelOffset(r, level) + bucket / kFieldsPerWord;
+  size_t shift = 3 * (bucket % kFieldsPerWord);
+  words_[word] += add << shift;
+  words_[word] &= kFieldMask;
+}
+
+void L0Estimator::UpdateBatch(const uint64_t* xs, size_t n, int side) {
+  const uint64_t add = side == 1 ? 1 : 3;  // -1 mod 4.
+  // Replica-outer order keeps each pass inside one replica's word block;
+  // updates commute (every write re-masks its word), so this matches n
+  // single-element Update calls exactly.
+  for (int r = 0; r < params_.replicas; ++r) {
+    for (size_t j = 0; j < n; ++j) UpdateReplica(r, xs[j], add);
   }
 }
 

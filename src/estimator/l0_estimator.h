@@ -48,6 +48,10 @@ class L0Estimator {
   /// Adds x to side 1 or side 2.
   void Update(uint64_t x, int side);
 
+  /// Adds a block of elements to one side; equivalent to n Update calls but
+  /// processed replica-by-replica for cache locality.
+  void UpdateBatch(const uint64_t* xs, size_t n, int side);
+
   /// Merges a peer estimator built with identical Params (word add + mask).
   Status Merge(const L0Estimator& other);
 
@@ -64,6 +68,7 @@ class L0Estimator {
  private:
   /// Raw storage words for (replica, level).
   size_t LevelOffset(int replica, int level) const;
+  void UpdateReplica(int replica, uint64_t x, uint64_t add);
   uint64_t EstimateReplica(int replica) const;
 
   Params params_;

@@ -41,6 +41,21 @@ void StrataEstimator::Update(uint64_t x, int side) {
   }
 }
 
+void StrataEstimator::UpdateBatch(const uint64_t* xs, size_t n, int side) {
+  // Partition the block by stratum, then hit each stratum IBLT once with a
+  // batched update (equivalent to n single-element Updates).
+  std::vector<std::vector<uint64_t>> by_stratum(params_.num_strata);
+  for (size_t j = 0; j < n; ++j) by_stratum[StratumOf(xs[j])].push_back(xs[j]);
+  for (int i = 0; i < params_.num_strata; ++i) {
+    if (by_stratum[i].empty()) continue;
+    if (side == 1) {
+      strata_[i].InsertBatch(by_stratum[i]);
+    } else {
+      strata_[i].EraseBatch(by_stratum[i]);
+    }
+  }
+}
+
 Status StrataEstimator::Merge(const StrataEstimator& other) {
   if (other.params_.num_strata != params_.num_strata ||
       other.params_.cells_per_stratum != params_.cells_per_stratum ||
@@ -56,8 +71,9 @@ Status StrataEstimator::Merge(const StrataEstimator& other) {
 
 uint64_t StrataEstimator::Estimate() const {
   uint64_t count = 0;
+  DecodeScratch scratch;  // One warm workspace for all per-stratum decodes.
   for (int i = params_.num_strata - 1; i >= 0; --i) {
-    Result<IbltDecodeResult64> decoded = strata_[i].DecodeU64();
+    Result<IbltDecodeResult64> decoded = strata_[i].DecodeU64(&scratch);
     if (!decoded.ok()) {
       // First undecodable stratum: scale what was recovered above it.
       return count << (i + 1);

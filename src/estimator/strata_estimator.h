@@ -33,6 +33,10 @@ class StrataEstimator {
   /// represents the pair (S1, S2) whose difference is being estimated.
   void Update(uint64_t x, int side);
 
+  /// Adds a block of elements to one side; equivalent to n Update calls but
+  /// grouped per stratum so each stratum IBLT sees one batched update.
+  void UpdateBatch(const uint64_t* xs, size_t n, int side);
+
   /// Merges another estimator built with identical Params: afterwards this
   /// represents (S1 ∪ S1', S2 ∪ S2').
   Status Merge(const StrataEstimator& other);

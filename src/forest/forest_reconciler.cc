@@ -21,13 +21,16 @@ constexpr int kChildCountBits = 8;
 
 /// The per-vertex child multiset, encoded as a sorted set:
 /// (child signature, count) pairs plus the parent-marked own signature.
+/// `child_sigs` is caller-owned scratch, reused across the whole forest so
+/// the per-vertex hot loop does not allocate.
 Result<ChildSet> VertexChildSet(const RootedForest& forest, uint32_t v,
-                                const std::vector<uint64_t>& sigs) {
-  std::vector<uint64_t> child_sigs;
-  child_sigs.reserve(forest.Children(v).size());
-  for (uint32_t c : forest.Children(v)) child_sigs.push_back(sigs[c]);
-  MultisetCodec codec{kChildCountBits};
-  Result<ChildSet> encoded = codec.Encode(child_sigs);
+                                const std::vector<uint64_t>& sigs,
+                                const MultisetCodec& codec,
+                                std::vector<uint64_t>* child_sigs) {
+  child_sigs->clear();
+  child_sigs->reserve(forest.Children(v).size());
+  for (uint32_t c : forest.Children(v)) child_sigs->push_back(sigs[c]);
+  Result<ChildSet> encoded = codec.Encode(*child_sigs);
   if (!encoded.ok()) return encoded.status();
   ChildSet out = std::move(encoded).value();
   out.push_back(kParentMarkBase + sigs[v]);
@@ -124,8 +127,11 @@ Result<ForestReconcileOutcome> ForestReconcile(const RootedForest& alice,
     SetOfSets children;
     children.reserve(forest.num_vertices());
     size_t max_child = 0;
+    MultisetCodec codec{kChildCountBits};
+    std::vector<uint64_t> child_sigs_scratch;
     for (uint32_t v = 0; v < forest.num_vertices(); ++v) {
-      Result<ChildSet> child = VertexChildSet(forest, v, sigs);
+      Result<ChildSet> child =
+          VertexChildSet(forest, v, sigs, codec, &child_sigs_scratch);
       if (!child.ok()) return child.status();
       max_child = std::max(max_child, child.value().size());
       children.push_back(std::move(child).value());

@@ -180,7 +180,7 @@ Result<GraphReconcileOutcome> DegreeOrderingReconcile(const Graph& alice,
   HashFamily edge_fp_family(edge_seed, /*tag=*/0x65667032ull);
   IbltConfig edge_config = IbltConfig::ForDifference(d + 2, edge_seed);
   Iblt edge_table(edge_config);
-  for (uint64_t e : alice_edges) edge_table.InsertU64(e);
+  edge_table.InsertBatch(alice_edges);
 
   ByteWriter writer;
   writer.PutBytes(PackTranscript(sub));
@@ -257,8 +257,9 @@ Result<GraphReconcileOutcome> DegreeOrderingReconcile(const Graph& alice,
   Result<Iblt> received = Iblt::Deserialize(&reader, edge_config);
   if (!received.ok()) return received.status();
   Iblt diff_table = std::move(received).value();
-  for (uint64_t e : bob_edges) diff_table.EraseU64(e);
-  Result<IbltDecodeResult64> decoded = diff_table.DecodeU64();
+  diff_table.EraseBatch(bob_edges);
+  DecodeScratch scratch;
+  Result<IbltDecodeResult64> decoded = diff_table.DecodeU64(&scratch);
   if (!decoded.ok()) return decoded.status();
   SetDifference sd;
   sd.remote_only = std::move(decoded.value().positive);

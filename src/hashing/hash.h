@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "hashing/random.h"
+
 namespace setrec {
 
 /// The Mersenne prime 2^61 - 1 used for pairwise-independent hashing and for
@@ -72,6 +74,33 @@ class HashFamily {
   uint64_t HashBytes(const uint8_t* data, size_t n) const;
   uint64_t HashBytes(const std::vector<uint8_t>& data) const {
     return HashBytes(data.data(), data.size());
+  }
+
+  /// Hashes one 64-bit word exactly as HashBytes would hash its 8
+  /// little-endian bytes (same value, no memory round-trip). This is the
+  /// IBLT hot path for 8-byte keys.
+  uint64_t HashWord8(uint64_t lane) const {
+    return HashWord8Premixed(MixLane8(lane));
+  }
+
+  /// The seed-independent first stage of HashWord8. When the same key is
+  /// hashed by several families (IBLT bucket + checksum), compute this once
+  /// and feed it to each family's HashWord8Premixed.
+  static uint64_t MixLane8(uint64_t lane) {
+    return Mix64(lane * 0xc2b2ae3d27d4eb4full);  // kPrime2
+  }
+
+  /// Completes HashWord8 from a MixLane8 result; HashWord8Premixed(
+  /// MixLane8(lane)) == HashBytes(little-endian bytes of lane, 8).
+  uint64_t HashWord8Premixed(uint64_t mixed_lane) const {
+    const uint64_t kPrime1 = 0x9e3779b185ebca87ull;
+    const uint64_t kPrime2 = 0xc2b2ae3d27d4eb4full;
+    uint64_t h = seed_ ^ (8 * kPrime1);
+    h ^= mixed_lane;
+    h = (h << 27) | (h >> 37);
+    h = h * kPrime1 + kPrime2;
+    h ^= Mix64(kPrime2);  // Empty tail word (compile-time constant).
+    return Mix64(h);
   }
 
   uint64_t seed() const { return seed_; }

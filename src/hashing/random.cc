@@ -5,18 +5,6 @@
 
 namespace setrec {
 
-uint64_t SplitMix64(uint64_t* state) {
-  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
-
-uint64_t Mix64(uint64_t x) {
-  uint64_t state = x;
-  return SplitMix64(&state);
-}
-
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : s_) word = SplitMix64(&sm);

@@ -7,11 +7,21 @@ namespace setrec {
 
 /// SplitMix64 step: advances `state` and returns the next output. Used both
 /// as a standalone mixer/seeder and to derive sub-seeds for hash families.
-uint64_t SplitMix64(uint64_t* state);
+/// Inline: this sits under every hash in the IBLT hot path, where an
+/// out-of-line call per mix dominates the arithmetic.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
 
 /// Mixes a single 64-bit value (stateless SplitMix64 finalizer). This is the
 /// library's generic strong mixer.
-uint64_t Mix64(uint64_t x);
+inline uint64_t Mix64(uint64_t x) {
+  uint64_t state = x;
+  return SplitMix64(&state);
+}
 
 /// xoshiro256** pseudo-random generator. All randomness in the library flows
 /// through explicit seeds, so both parties of a protocol can derive identical

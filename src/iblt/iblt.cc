@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
-#include <deque>
+#include <thread>
 
 #include "hashing/random.h"
 
@@ -26,7 +26,27 @@ int64_t UnZigZag(uint64_t v) {
   return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
 }
 
+// XORs `width` key bytes into a lane-aligned destination, word-wide. The
+// memcpy loads compile to single unaligned moves; the sub-word tail (if
+// any) lands in the zero-padded final lane.
+inline void XorKeyIntoLanes(uint64_t* dst, const uint8_t* key, size_t width) {
+  size_t full = width / 8;
+  size_t rem = width % 8;
+  for (size_t l = 0; l < full; ++l) {
+    uint64_t lane;
+    std::memcpy(&lane, key + 8 * l, 8);
+    dst[l] ^= lane;
+  }
+  if (rem != 0) {
+    uint64_t lane = 0;
+    std::memcpy(&lane, key + 8 * full, rem);
+    dst[full] ^= lane;
+  }
+}
+
 }  // namespace
+
+int Iblt::sharded_workers_for_test = 0;
 
 IbltConfig IbltConfig::ForDifference(size_t diff, uint64_t seed,
                                      size_t key_width, int num_hashes) {
@@ -54,9 +74,13 @@ Iblt::Iblt(const IbltConfig& config)
     : config_(config),
       cells_(config.PaddedCells()),
       cells_per_hash_(cells_ / static_cast<size_t>(config.num_hashes)),
-      counts_(cells_, 0),
-      checks_(cells_, 0),
-      keys_(cells_ * config.key_width, 0),
+      lanes_per_key_((config.key_width + 7) / 8),
+      mod_magic_(cells_per_hash_ > 1
+                     ? ~0ull / cells_per_hash_ +
+                           (~0ull % cells_per_hash_ == cells_per_hash_ - 1)
+                     : 0),
+      meta_(cells_),
+      key_lanes_(cells_ * lanes_per_key_, 0),
       bucket_family_(config.seed, /*tag=*/0x6275636bull),   // "buck"
       check_family_(config.seed, /*tag=*/0x6368656bull) {}  // "chek"
 
@@ -67,9 +91,7 @@ void Iblt::Insert(const std::vector<uint8_t>& key) {
 }
 void Iblt::InsertU64(uint64_t key) {
   assert(config_.key_width == 8);
-  uint8_t buf[8];
-  std::memcpy(buf, &key, 8);
-  Update(buf, +1);
+  Update(reinterpret_cast<const uint8_t*>(&key), +1);
 }
 
 void Iblt::Erase(const uint8_t* key) { Update(key, -1); }
@@ -79,28 +101,137 @@ void Iblt::Erase(const std::vector<uint8_t>& key) {
 }
 void Iblt::EraseU64(uint64_t key) {
   assert(config_.key_width == 8);
-  uint8_t buf[8];
-  std::memcpy(buf, &key, 8);
-  Update(buf, -1);
+  Update(reinterpret_cast<const uint8_t*>(&key), -1);
 }
 
-size_t Iblt::Bucket(const uint8_t* key, int index) const {
-  uint64_t h = bucket_family_.HashBytes(key, config_.key_width);
-  // Derive per-index bucket from one strong byte hash; partition `index`
-  // guarantees the k cells are distinct.
-  uint64_t sub = Mix64(h ^ (0x9e3779b97f4a7c15ull * (index + 1)));
-  return static_cast<size_t>(index) * cells_per_hash_ + (sub % cells_per_hash_);
+void Iblt::InsertBatch(const uint64_t* keys, size_t n) {
+  ApplyBatchU64(keys, n, +1);
+}
+void Iblt::InsertBatch(const std::vector<uint64_t>& keys) {
+  ApplyBatchU64(keys.data(), keys.size(), +1);
+}
+void Iblt::InsertBatch(const uint8_t* keys, size_t n) {
+  ApplyBatchBytes(keys, n, +1);
+}
+void Iblt::EraseBatch(const uint64_t* keys, size_t n) {
+  ApplyBatchU64(keys, n, -1);
+}
+void Iblt::EraseBatch(const std::vector<uint64_t>& keys) {
+  ApplyBatchU64(keys.data(), keys.size(), -1);
+}
+void Iblt::EraseBatch(const uint8_t* keys, size_t n) {
+  ApplyBatchBytes(keys, n, -1);
+}
+
+Iblt::KeyHashes Iblt::HashKeyU64(uint64_t key) const {
+  // The seed-independent lane mix is shared between the two families.
+  uint64_t mixed = HashFamily::MixLane8(key);
+  return {bucket_family_.HashWord8Premixed(mixed),
+          check_family_.HashWord8Premixed(mixed)};
+}
+
+Iblt::KeyHashes Iblt::HashKey(const uint8_t* key) const {
+  if (config_.key_width == 8) {
+    uint64_t lane;
+    std::memcpy(&lane, key, 8);
+    return HashKeyU64(lane);
+  }
+  return {bucket_family_.HashBytes(key, config_.key_width),
+          check_family_.HashBytes(key, config_.key_width)};
+}
+
+size_t Iblt::CellForIndex(uint64_t bucket_hash, int index) const {
+  uint64_t sub = Mix64(bucket_hash ^ (0x9e3779b97f4a7c15ull * (index + 1)));
+  // Exact `sub % cells_per_hash_` via the precomputed reciprocal: with
+  // M = floor(2^64 / d), q = mulhi(sub, M) is floor(sub/d) or one less, so
+  // one conditional subtract fixes the remainder. Replaces a hardware
+  // division on the hot path; bit-identical to the plain modulo.
+  uint64_t r = 0;
+  if (cells_per_hash_ > 1) {
+    uint64_t q = static_cast<uint64_t>(
+        (static_cast<__uint128_t>(sub) * mod_magic_) >> 64);
+    r = sub - q * cells_per_hash_;
+    if (r >= cells_per_hash_) r -= cells_per_hash_;
+  }
+  return static_cast<size_t>(index) * cells_per_hash_ + r;
 }
 
 void Iblt::Update(const uint8_t* key, int32_t delta) {
-  uint64_t check = check_family_.HashBytes(key, config_.key_width);
+  KeyHashes h = HashKey(key);
   for (int i = 0; i < config_.num_hashes; ++i) {
-    size_t cell = Bucket(key, i);
-    counts_[cell] += delta;
-    checks_[cell] ^= check;
-    uint8_t* dst = keys_.data() + cell * config_.key_width;
-    for (size_t b = 0; b < config_.key_width; ++b) dst[b] ^= key[b];
+    size_t cell = CellForIndex(h.bucket, i);
+    meta_[cell].count += delta;
+    meta_[cell].check ^= h.check;
+    XorKeyIntoLanes(CellLanes(cell), key, config_.key_width);
   }
+}
+
+void Iblt::ApplyPartitionRange(const KeyHashes* hashes,
+                               const uint64_t* u64_keys,
+                               const uint8_t* byte_keys, size_t n,
+                               int32_t delta, int first_index,
+                               int index_step) {
+  const size_t w = config_.key_width;
+  for (int i = first_index; i < config_.num_hashes; i += index_step) {
+    if (u64_keys != nullptr) {
+      for (size_t j = 0; j < n; ++j) {
+        size_t cell = CellForIndex(hashes[j].bucket, i);
+        meta_[cell].count += delta;
+        meta_[cell].check ^= hashes[j].check;
+        key_lanes_[cell] ^= u64_keys[j];
+      }
+    } else {
+      for (size_t j = 0; j < n; ++j) {
+        size_t cell = CellForIndex(hashes[j].bucket, i);
+        meta_[cell].count += delta;
+        meta_[cell].check ^= hashes[j].check;
+        XorKeyIntoLanes(CellLanes(cell), byte_keys + j * w, w);
+      }
+    }
+  }
+}
+
+void Iblt::ApplyHashedBatch(const KeyHashes* hashes, const uint64_t* u64_keys,
+                            const uint8_t* byte_keys, size_t n,
+                            int32_t delta) {
+  const int k = config_.num_hashes;
+  if (n >= kShardedBatchMinKeys && k > 1) {
+    // Partitions are disjoint cell ranges: shard them across threads with no
+    // synchronization. The result is identical to the serial order.
+    int workers = sharded_workers_for_test > 0
+                      ? std::min(k, sharded_workers_for_test)
+                      : std::min<int>(
+                            k, std::max<unsigned>(
+                                   1, std::thread::hardware_concurrency()));
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (int t = 1; t < workers; ++t) {
+      threads.emplace_back([=, this] {
+        ApplyPartitionRange(hashes, u64_keys, byte_keys, n, delta, t, workers);
+      });
+    }
+    ApplyPartitionRange(hashes, u64_keys, byte_keys, n, delta, 0, workers);
+    for (std::thread& t : threads) t.join();
+    return;
+  }
+  ApplyPartitionRange(hashes, u64_keys, byte_keys, n, delta, 0, 1);
+}
+
+void Iblt::ApplyBatchU64(const uint64_t* keys, size_t n, int32_t delta) {
+  assert(config_.key_width == 8);
+  if (n == 0) return;
+  std::vector<KeyHashes> hashes(n);
+  for (size_t j = 0; j < n; ++j) hashes[j] = HashKeyU64(keys[j]);
+  ApplyHashedBatch(hashes.data(), keys, nullptr, n, delta);
+}
+
+void Iblt::ApplyBatchBytes(const uint8_t* keys, size_t n, int32_t delta) {
+  if (n == 0) return;
+  std::vector<KeyHashes> hashes(n);
+  for (size_t j = 0; j < n; ++j) {
+    hashes[j] = HashKey(keys + j * config_.key_width);
+  }
+  ApplyHashedBatch(hashes.data(), nullptr, keys, n, delta);
 }
 
 Status Iblt::Subtract(const Iblt& other) {
@@ -108,10 +239,12 @@ Status Iblt::Subtract(const Iblt& other) {
     return InvalidArgument("IBLT subtract: mismatched configs");
   }
   for (size_t i = 0; i < cells_; ++i) {
-    counts_[i] -= other.counts_[i];
-    checks_[i] ^= other.checks_[i];
+    meta_[i].count -= other.meta_[i].count;
+    meta_[i].check ^= other.meta_[i].check;
   }
-  for (size_t i = 0; i < keys_.size(); ++i) keys_[i] ^= other.keys_[i];
+  for (size_t i = 0; i < key_lanes_.size(); ++i) {
+    key_lanes_[i] ^= other.key_lanes_[i];
+  }
   return Status::Ok();
 }
 
@@ -120,93 +253,158 @@ Status Iblt::Add(const Iblt& other) {
     return InvalidArgument("IBLT add: mismatched configs");
   }
   for (size_t i = 0; i < cells_; ++i) {
-    counts_[i] += other.counts_[i];
-    checks_[i] ^= other.checks_[i];
+    meta_[i].count += other.meta_[i].count;
+    meta_[i].check ^= other.meta_[i].check;
   }
-  for (size_t i = 0; i < keys_.size(); ++i) keys_[i] ^= other.keys_[i];
+  for (size_t i = 0; i < key_lanes_.size(); ++i) {
+    key_lanes_[i] ^= other.key_lanes_[i];
+  }
   return Status::Ok();
 }
 
-bool Iblt::CellIsPure(size_t cell) const {
-  if (counts_[cell] != 1 && counts_[cell] != -1) return false;
-  const uint8_t* key = keys_.data() + cell * config_.key_width;
-  return checks_[cell] == check_family_.HashBytes(key, config_.key_width);
-}
-
 bool Iblt::CellIsZero(size_t cell) const {
-  if (counts_[cell] != 0 || checks_[cell] != 0) return false;
-  const uint8_t* key = keys_.data() + cell * config_.key_width;
-  for (size_t b = 0; b < config_.key_width; ++b) {
-    if (key[b] != 0) return false;
+  if (meta_[cell].count != 0 || meta_[cell].check != 0) return false;
+  const uint64_t* lanes = CellLanes(cell);
+  for (size_t l = 0; l < lanes_per_key_; ++l) {
+    if (lanes[l] != 0) return false;
   }
   return true;
 }
 
-IbltPartialDecode Iblt::DecodePartial() const {
-  Iblt work = *this;  // Peel a copy; the table remains reusable.
-  IbltPartialDecode out;
+bool Iblt::PeelInto(DecodeScratch* scratch, IbltDecodeResult* out_bytes,
+                    IbltDecodeResult64* out_u64) const {
+  assert((out_bytes != nullptr) != (out_u64 != nullptr));
+  assert(out_u64 == nullptr || config_.key_width == 8);
+  const size_t w = config_.key_width;
+  const int k = config_.num_hashes;
 
-  std::deque<size_t> queue;
+  // Copy the table into the scratch; assign() reuses capacity, so a warm
+  // scratch makes the whole decode allocation-free (aside from the decoded
+  // keys themselves in the byte-key mode).
+  scratch->meta.assign(meta_.begin(), meta_.end());
+  scratch->key_lanes.assign(key_lanes_.begin(), key_lanes_.end());
+  scratch->queued.assign(cells_, 0);
+  scratch->queue.clear();
+  scratch->key_stage.resize(lanes_per_key_);
+  IbltCellMeta* meta = scratch->meta.data();
+  uint64_t* lanes = scratch->key_lanes.data();
+
+  // Seed the queue with pure-cell *candidates* (count == ±1). Checksum
+  // verification is deferred to pop time, where the key must be hashed
+  // anyway to derive its cells for removal — so each popped candidate costs
+  // exactly one (bucket, check) hash pair, shared between the purity check
+  // and the peel, and stale revisits of unchanged cells never rehash.
   for (size_t i = 0; i < cells_; ++i) {
-    if (work.CellIsPure(i)) queue.push_back(i);
+    if (meta[i].count == 1 || meta[i].count == -1) {
+      scratch->queue.push_back(static_cast<uint32_t>(i));
+      scratch->queued[i] = 1;
+    }
   }
 
   // A correct drain extracts at most one key per (key, cell) incidence;
   // cap iterations so checksum-collision cascades cannot loop forever.
   size_t budget = 4 * cells_ + 64;
-  std::vector<uint8_t> key(config_.key_width);
-  while (!queue.empty() && budget-- > 0) {
-    size_t cell = queue.front();
-    queue.pop_front();
-    if (!work.CellIsPure(cell)) continue;  // Stale queue entry.
-    int32_t sign = work.counts_[cell] > 0 ? 1 : -1;
-    std::memcpy(key.data(), work.keys_.data() + cell * config_.key_width,
-                config_.key_width);
-    (sign > 0 ? out.entries.positive : out.entries.negative).push_back(key);
-    // Remove the key from all of its cells (including this one).
-    work.Update(key.data(), -sign);
-    for (int i = 0; i < config_.num_hashes; ++i) {
-      size_t touched = work.Bucket(key.data(), i);
-      if (work.CellIsPure(touched)) queue.push_back(touched);
+  size_t head = 0;
+  while (head < scratch->queue.size() && budget-- > 0) {
+    const size_t cell = scratch->queue[head++];
+    scratch->queued[cell] = 0;
+    const int64_t count = meta[cell].count;
+    if (count != 1 && count != -1) continue;  // Stale queue entry.
+    const uint8_t* cell_key =
+        reinterpret_cast<const uint8_t*>(lanes + cell * lanes_per_key_);
+    const KeyHashes h = HashKey(cell_key);
+    if (meta[cell].check != h.check) continue;  // Count ±1 but not pure.
+    const int64_t sign = count;
+
+    if (out_u64 != nullptr) {
+      // 8-byte keys: the key is a single lane; no staging copy needed.
+      const uint64_t key64 = lanes[cell];
+      (sign > 0 ? out_u64->positive : out_u64->negative).push_back(key64);
+      for (int i = 0; i < k; ++i) {
+        const size_t t = CellForIndex(h.bucket, i);
+        meta[t].count -= sign;
+        meta[t].check ^= h.check;
+        lanes[t] ^= key64;
+        if ((meta[t].count == 1 || meta[t].count == -1) &&
+            !scratch->queued[t]) {
+          scratch->queue.push_back(static_cast<uint32_t>(t));
+          scratch->queued[t] = 1;
+        }
+      }
+      continue;
+    }
+
+    // Stage the key: its home cell's lanes are XORed during removal.
+    std::memcpy(scratch->key_stage.data(), lanes + cell * lanes_per_key_,
+                lanes_per_key_ * 8);
+    const uint8_t* key =
+        reinterpret_cast<const uint8_t*>(scratch->key_stage.data());
+    (sign > 0 ? out_bytes->positive : out_bytes->negative)
+        .emplace_back(key, key + w);
+
+    // Remove the key from all of its cells (including this one), queueing
+    // any cell the removal leaves as a fresh pure candidate.
+    for (int i = 0; i < k; ++i) {
+      const size_t t = CellForIndex(h.bucket, i);
+      meta[t].count -= sign;
+      meta[t].check ^= h.check;
+      uint64_t* dst = lanes + t * lanes_per_key_;
+      for (size_t l = 0; l < lanes_per_key_; ++l) {
+        dst[l] ^= scratch->key_stage[l];
+      }
+      if ((meta[t].count == 1 || meta[t].count == -1) && !scratch->queued[t]) {
+        scratch->queue.push_back(static_cast<uint32_t>(t));
+        scratch->queued[t] = 1;
+      }
     }
   }
 
-  out.complete = true;
+  // Complete iff the work table drained to all-zero cells.
   for (size_t i = 0; i < cells_; ++i) {
-    if (!work.CellIsZero(i)) {
-      out.complete = false;
-      break;
-    }
+    if (meta[i].count != 0 || meta[i].check != 0) return false;
   }
+  for (size_t i = 0; i < key_lanes_.size(); ++i) {
+    if (lanes[i] != 0) return false;
+  }
+  return true;
+}
+
+IbltPartialDecode Iblt::DecodePartial(DecodeScratch* scratch) const {
+  IbltPartialDecode out;
+  out.complete = PeelInto(scratch, &out.entries, nullptr);
   return out;
 }
 
-Result<IbltDecodeResult> Iblt::Decode() const {
-  IbltPartialDecode partial = DecodePartial();
+IbltPartialDecode Iblt::DecodePartial() const {
+  DecodeScratch scratch;
+  return DecodePartial(&scratch);
+}
+
+Result<IbltDecodeResult> Iblt::Decode(DecodeScratch* scratch) const {
+  IbltPartialDecode partial = DecodePartial(scratch);
   if (!partial.complete) {
     return DecodeFailure("IBLT peeling incomplete (nonempty 2-core)");
   }
   return std::move(partial.entries);
 }
 
-Result<IbltDecodeResult64> Iblt::DecodeU64() const {
+Result<IbltDecodeResult> Iblt::Decode() const {
+  DecodeScratch scratch;
+  return Decode(&scratch);
+}
+
+Result<IbltDecodeResult64> Iblt::DecodeU64(DecodeScratch* scratch) const {
   assert(config_.key_width == 8);
-  Result<IbltDecodeResult> raw = Decode();
-  if (!raw.ok()) return raw.status();
   IbltDecodeResult64 out;
-  out.positive.reserve(raw.value().positive.size());
-  out.negative.reserve(raw.value().negative.size());
-  for (const auto& k : raw.value().positive) {
-    uint64_t v;
-    std::memcpy(&v, k.data(), 8);
-    out.positive.push_back(v);
-  }
-  for (const auto& k : raw.value().negative) {
-    uint64_t v;
-    std::memcpy(&v, k.data(), 8);
-    out.negative.push_back(v);
+  if (!PeelInto(scratch, nullptr, &out)) {
+    return DecodeFailure("IBLT peeling incomplete (nonempty 2-core)");
   }
   return out;
+}
+
+Result<IbltDecodeResult64> Iblt::DecodeU64() const {
+  DecodeScratch scratch;
+  return DecodeU64(&scratch);
 }
 
 bool Iblt::IsZero() const {
@@ -218,9 +416,9 @@ bool Iblt::IsZero() const {
 
 void Iblt::Serialize(ByteWriter* writer) const {
   for (size_t i = 0; i < cells_; ++i) {
-    writer->PutVarint(ZigZag(counts_[i]));
-    writer->PutU64(checks_[i]);
-    writer->PutBytes(keys_.data() + i * config_.key_width, config_.key_width);
+    writer->PutVarint(ZigZag(meta_[i].count));
+    writer->PutU64(meta_[i].check);
+    writer->PutBytes(CellKeyBytes(i), config_.key_width);
   }
 }
 
@@ -229,25 +427,23 @@ Result<Iblt> Iblt::Deserialize(ByteReader* reader, const IbltConfig& config) {
   for (size_t i = 0; i < table.cells_; ++i) {
     uint64_t zz = 0;
     if (!reader->GetVarint(&zz)) return ParseError("IBLT truncated (count)");
-    table.counts_[i] = static_cast<int32_t>(UnZigZag(zz));
-    if (!reader->GetU64(&table.checks_[i])) {
+    table.meta_[i].count = UnZigZag(zz);  // Lossless: counts are int64 wide.
+    if (!reader->GetU64(&table.meta_[i].check)) {
       return ParseError("IBLT truncated (check)");
     }
-    std::vector<uint8_t> key;
-    if (!reader->GetBytes(config.key_width, &key)) {
+    // Key bytes land directly in the (zero-padded) lane arena.
+    if (!reader->GetRaw(config.key_width, table.CellKeyBytes(i))) {
       return ParseError("IBLT truncated (key)");
     }
-    std::memcpy(table.keys_.data() + i * config.key_width, key.data(),
-                config.key_width);
   }
   return table;
 }
 
 void Iblt::SerializeFixed(ByteWriter* writer) const {
   for (size_t i = 0; i < cells_; ++i) {
-    writer->PutU32(static_cast<uint32_t>(counts_[i]));
-    writer->PutU64(checks_[i]);
-    writer->PutBytes(keys_.data() + i * config_.key_width, config_.key_width);
+    writer->PutU32(static_cast<uint32_t>(meta_[i].count));
+    writer->PutU64(meta_[i].check);
+    writer->PutBytes(CellKeyBytes(i), config_.key_width);
   }
 }
 
@@ -257,16 +453,13 @@ Result<Iblt> Iblt::DeserializeFixed(ByteReader* reader,
   for (size_t i = 0; i < table.cells_; ++i) {
     uint32_t count = 0;
     if (!reader->GetU32(&count)) return ParseError("IBLT truncated (count)");
-    table.counts_[i] = static_cast<int32_t>(count);
-    if (!reader->GetU64(&table.checks_[i])) {
+    table.meta_[i].count = static_cast<int32_t>(count);
+    if (!reader->GetU64(&table.meta_[i].check)) {
       return ParseError("IBLT truncated (check)");
     }
-    std::vector<uint8_t> key;
-    if (!reader->GetBytes(config.key_width, &key)) {
+    if (!reader->GetRaw(config.key_width, table.CellKeyBytes(i))) {
       return ParseError("IBLT truncated (key)");
     }
-    std::memcpy(table.keys_.data() + i * config.key_width, key.data(),
-                config.key_width);
   }
   return table;
 }

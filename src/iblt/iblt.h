@@ -64,15 +64,58 @@ struct IbltPartialDecode {
   bool complete = false;
 };
 
+/// One cell's count + checksum, kept adjacent so a random cell touch costs
+/// one cache line for the header and one for the key lanes (16-byte record,
+/// never straddles a 64-byte line).
+struct IbltCellMeta {
+  int64_t count = 0;
+  uint64_t check = 0;
+};
+
+/// Reusable peeling workspace. Decoding copies the table (counts, checksums,
+/// key lanes) into this scratch and peels the copy; after the first decode
+/// warms the vectors up, subsequent decodes through the same scratch are
+/// allocation-free (vector::assign reuses capacity). One scratch may be
+/// shared across tables of *different* configs — each decode resizes it —
+/// which is exactly what the cascading protocol's many child-IBLT decodes
+/// and the strata estimator's per-stratum decodes need. A scratch carries no
+/// table state between decodes; it must not be used by two decodes
+/// concurrently.
+struct DecodeScratch {
+  std::vector<IbltCellMeta> meta;
+  std::vector<uint64_t> key_lanes;
+  std::vector<uint32_t> queue;     // Pure-cell FIFO (ring over a vector).
+  std::vector<uint8_t> queued;     // Per-cell in-queue flag (dedup).
+  std::vector<uint64_t> key_stage;  // Staging copy of the key being peeled.
+};
+
 /// Invertible Bloom Lookup Table (Goodrich & Mitzenmacher; Section 2 of the
-/// paper). Each cell holds a signed count, an XOR of keys, and an XOR of key
-/// checksums. Supports insertion, deletion (counts may go negative,
-/// representing two disjoint sets), cell-wise subtraction of a peer's table,
-/// and the peeling decoder with checksum-guarded pure-cell detection.
+/// paper). Supports insertion, deletion (counts may go negative, representing
+/// two disjoint sets), cell-wise subtraction of a peer's table, and the
+/// peeling decoder with checksum-guarded pure-cell detection.
 ///
-/// Keys are fixed-width byte strings (config().key_width bytes). The *_U64
-/// convenience methods treat 64-bit integers as 8-byte little-endian keys
-/// and require key_width == 8.
+/// Cell layout: cell i owns `meta_[i]` (a 16-byte {signed count, XOR of
+/// 64-bit key checksums} record — one cache line per random header touch)
+/// and `lanes_per_key_` consecutive uint64 words of `key_lanes_` (XOR of
+/// keys).
+/// Keys are fixed-width byte strings of config().key_width bytes, stored in
+/// the lane arena 8-byte aligned and zero-padded to a whole number of
+/// words, so all key XOR (Update / Subtract / Add / zero tests) runs
+/// word-wide instead of byte-wide. Key bytes are read back from the arena
+/// by address (little-endian layout assumed, as everywhere in the wire
+/// format).
+///
+/// One-hash cell derivation: each key is hashed ONCE per family —
+/// h = bucket_family.HashBytes(key) and c = check_family.HashBytes(key) —
+/// and the k cells are derived from the single 64-bit h as
+///   cell_i = i * (m/k) + Mix64(h ^ (GOLDEN * (i+1))) % (m/k),
+/// i.e. one strong hash plus k cheap mixes, instead of k full key hashes.
+/// The derivation is identical to the seed implementation's per-index
+/// Bucket(), so tables, wire bytes, and decode results are bit-identical
+/// for fixed seeds.
+///
+/// The *_U64 convenience methods treat 64-bit integers as 8-byte
+/// little-endian keys and require key_width == 8.
 class Iblt {
  public:
   explicit Iblt(const IbltConfig& config);
@@ -90,6 +133,23 @@ class Iblt {
   void Erase(const std::vector<uint8_t>& key);
   void EraseU64(uint64_t key);
 
+  /// Batched insertion/deletion. The whole block of keys is hashed first,
+  /// then cell updates are applied grouped by partition (all partition-0
+  /// cells, then partition-1, ...), which keeps each pass inside one
+  /// contiguous m/k-cell window of the arrays. Blocks of at least
+  /// kShardedBatchMinKeys keys on multi-hash tables are applied by
+  /// std::thread workers sharded over partitions (partitions are disjoint
+  /// cell ranges, so no synchronization is needed and the result is
+  /// deterministic). Requires key_width == 8 for the u64 overloads; the
+  /// byte overloads take `n` keys packed contiguously at key_width bytes
+  /// each. Result is identical to n single-key Insert/Erase calls.
+  void InsertBatch(const uint64_t* keys, size_t n);
+  void InsertBatch(const std::vector<uint64_t>& keys);
+  void InsertBatch(const uint8_t* keys, size_t n);
+  void EraseBatch(const uint64_t* keys, size_t n);
+  void EraseBatch(const std::vector<uint64_t>& keys);
+  void EraseBatch(const uint8_t* keys, size_t n);
+
   /// Cell-wise subtraction: this -= other. After Alice's table is
   /// subtracted by Bob's, only the symmetric difference remains.
   Status Subtract(const Iblt& other);
@@ -101,12 +161,17 @@ class Iblt {
   /// Runs the peeling decoder on a copy of the table. Returns the decoded
   /// difference, or kDecodeFailure if a nonempty 2-core (or checksum
   /// corruption) prevents complete extraction. Failure is detectable: the
-  /// table does not drain to all-zero cells.
+  /// table does not drain to all-zero cells. The scratch overloads reuse a
+  /// caller-provided workspace (see DecodeScratch); the scratch-free
+  /// overloads allocate a fresh one per call.
   Result<IbltDecodeResult> Decode() const;
+  Result<IbltDecodeResult> Decode(DecodeScratch* scratch) const;
   Result<IbltDecodeResult64> DecodeU64() const;
+  Result<IbltDecodeResult64> DecodeU64(DecodeScratch* scratch) const;
 
   /// Peels as far as possible and reports completeness instead of failing.
   IbltPartialDecode DecodePartial() const;
+  IbltPartialDecode DecodePartial(DecodeScratch* scratch) const;
 
   /// True if every cell is zero (empty table or perfectly cancelled).
   bool IsZero() const;
@@ -122,19 +187,62 @@ class Iblt {
   static Result<Iblt> DeserializeFixed(ByteReader* reader,
                                        const IbltConfig& config);
 
+  /// Batch size at which InsertBatch/EraseBatch shards cell updates across
+  /// std::thread workers (one or more partitions per thread).
+  static constexpr size_t kShardedBatchMinKeys = 1u << 16;
+
+  /// Test hook: when > 0, large batches use exactly this many workers
+  /// regardless of std::thread::hardware_concurrency(), so the sharded path
+  /// can be exercised deterministically on any machine.
+  static int sharded_workers_for_test;
+
  private:
+  /// Both per-key hashes, each computed exactly once per key.
+  struct KeyHashes {
+    uint64_t bucket;
+    uint64_t check;
+  };
+
   void Update(const uint8_t* key, int32_t delta);
-  /// The cell index for `key` under hash function `index`.
-  size_t Bucket(const uint8_t* key, int index) const;
-  bool CellIsPure(size_t cell) const;
+  KeyHashes HashKey(const uint8_t* key) const;
+  KeyHashes HashKeyU64(uint64_t key) const;
+  /// The cell index for a key with bucket hash `bucket_hash` under hash
+  /// function `index` (the one-hash derivation described above).
+  size_t CellForIndex(uint64_t bucket_hash, int index) const;
   bool CellIsZero(size_t cell) const;
+
+  uint64_t* CellLanes(size_t cell) {
+    return key_lanes_.data() + cell * lanes_per_key_;
+  }
+  const uint64_t* CellLanes(size_t cell) const {
+    return key_lanes_.data() + cell * lanes_per_key_;
+  }
+  uint8_t* CellKeyBytes(size_t cell) {
+    return reinterpret_cast<uint8_t*>(CellLanes(cell));
+  }
+  const uint8_t* CellKeyBytes(size_t cell) const {
+    return reinterpret_cast<const uint8_t*>(CellLanes(cell));
+  }
+
+  void ApplyBatchU64(const uint64_t* keys, size_t n, int32_t delta);
+  void ApplyBatchBytes(const uint8_t* keys, size_t n, int32_t delta);
+  void ApplyHashedBatch(const KeyHashes* hashes, const uint64_t* u64_keys,
+                        const uint8_t* byte_keys, size_t n, int32_t delta);
+  void ApplyPartitionRange(const KeyHashes* hashes, const uint64_t* u64_keys,
+                           const uint8_t* byte_keys, size_t n, int32_t delta,
+                           int first_index, int index_step);
+
+  /// Shared peeling core: exactly one of out_bytes / out_u64 is non-null.
+  bool PeelInto(DecodeScratch* scratch, IbltDecodeResult* out_bytes,
+                IbltDecodeResult64* out_u64) const;
 
   IbltConfig config_;
   size_t cells_;           // Padded cell count.
   size_t cells_per_hash_;  // Partition width.
-  std::vector<int32_t> counts_;
-  std::vector<uint64_t> checks_;
-  std::vector<uint8_t> keys_;  // cells_ * key_width bytes.
+  size_t lanes_per_key_;   // ceil(key_width / 8) uint64 words per cell.
+  uint64_t mod_magic_;     // floor(2^64 / cells_per_hash_), for CellForIndex.
+  std::vector<IbltCellMeta> meta_;   // Per-cell count + checksum.
+  std::vector<uint64_t> key_lanes_;  // cells_ * lanes_per_key_ words.
   HashFamily bucket_family_;
   HashFamily check_family_;
 };

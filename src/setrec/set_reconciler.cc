@@ -17,17 +17,19 @@ namespace {
 constexpr uint64_t kAttemptTag = 0x73657472ull;  // "setr"
 
 /// One IBLT exchange attempt. Alice sends (fingerprint, IBLT of her set);
-/// Bob subtracts his set and peels.
+/// Bob subtracts his set and peels. `scratch` is reused across retry
+/// attempts so repeated decodes do not churn the allocator.
 Result<SetReconcileOutcome> IbltAttempt(const std::vector<uint64_t>& alice,
                                         const std::vector<uint64_t>& bob,
                                         size_t d, uint64_t seed,
-                                        Channel* channel) {
+                                        Channel* channel,
+                                        DecodeScratch* scratch) {
   IbltConfig config = IbltConfig::ForDifference(d, seed);
   HashFamily fp_family(seed, /*tag=*/0x66707374ull);  // "fpst"
 
   // --- Alice's side ---
   Iblt alice_table(config);
-  for (uint64_t e : alice) alice_table.InsertU64(e);
+  alice_table.InsertBatch(alice);
   ByteWriter writer;
   writer.PutU64(SetFingerprint(alice, fp_family));
   alice_table.Serialize(&writer);
@@ -40,9 +42,9 @@ Result<SetReconcileOutcome> IbltAttempt(const std::vector<uint64_t>& alice,
   Result<Iblt> received = Iblt::Deserialize(&reader, config);
   if (!received.ok()) return received.status();
   Iblt table = std::move(received).value();
-  for (uint64_t e : bob) table.EraseU64(e);
+  table.EraseBatch(bob);
 
-  Result<IbltDecodeResult64> decoded = table.DecodeU64();
+  Result<IbltDecodeResult64> decoded = table.DecodeU64(scratch);
   if (!decoded.ok()) return decoded.status();
 
   SetReconcileOutcome outcome;
@@ -85,10 +87,11 @@ Result<SetReconcileOutcome> IbltReconcileKnown(
     const std::vector<uint64_t>& alice, const std::vector<uint64_t>& bob,
     size_t d, const SetReconcilerOptions& options, Channel* channel) {
   Status last = DecodeFailure("no attempts made");
+  DecodeScratch scratch;
   for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
     uint64_t seed = DeriveSeed(options.seed, kAttemptTag + attempt);
     Result<SetReconcileOutcome> outcome =
-        IbltAttempt(alice, bob, d, seed, channel);
+        IbltAttempt(alice, bob, d, seed, channel, &scratch);
     if (outcome.ok()) {
       outcome.value().attempts = attempt + 1;
       return outcome;
@@ -107,7 +110,7 @@ Result<SetReconcileOutcome> IbltReconcileUnknown(
   L0Estimator::Params est_params;
   est_params.seed = DeriveSeed(options.seed, /*tag=*/0x65737431ull);  // "est1"
   L0Estimator bob_estimator(est_params);
-  for (uint64_t e : bob) bob_estimator.Update(e, 2);
+  bob_estimator.UpdateBatch(bob.data(), bob.size(), 2);
   ByteWriter writer;
   bob_estimator.Serialize(&writer);
   size_t msg = channel->Send(Party::kBob, writer.Take(), "estimator");
@@ -118,7 +121,7 @@ Result<SetReconcileOutcome> IbltReconcileUnknown(
   if (!received.ok()) return received.status();
   L0Estimator merged = std::move(received).value();
   L0Estimator alice_estimator(est_params);
-  for (uint64_t e : alice) alice_estimator.Update(e, 1);
+  alice_estimator.UpdateBatch(alice.data(), alice.size(), 1);
   Status s = merged.Merge(alice_estimator);
   if (!s.ok()) return s;
   size_t d = static_cast<size_t>(
@@ -127,10 +130,11 @@ Result<SetReconcileOutcome> IbltReconcileUnknown(
 
   // Round 2: the known-d protocol; double d if an attempt fails outright.
   Status last = DecodeFailure("no attempts made");
+  DecodeScratch scratch;
   for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
     uint64_t seed = DeriveSeed(options.seed, kAttemptTag + 100 + attempt);
     Result<SetReconcileOutcome> outcome =
-        IbltAttempt(alice, bob, d, seed, channel);
+        IbltAttempt(alice, bob, d, seed, channel, &scratch);
     if (outcome.ok()) {
       outcome.value().attempts = attempt + 1;
       return outcome;

@@ -90,6 +90,13 @@ bool ByteReader::GetBytes(size_t n, std::vector<uint8_t>* out) {
   return true;
 }
 
+bool ByteReader::GetRaw(size_t n, uint8_t* dst) {
+  if (remaining() < n) return false;
+  std::memcpy(dst, data_, n);
+  data_ += n;
+  return true;
+}
+
 bool ByteReader::GetLengthPrefixed(std::vector<uint8_t>* out) {
   uint64_t n = 0;
   if (!GetVarint(&n)) return false;

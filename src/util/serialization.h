@@ -58,6 +58,9 @@ class ByteReader {
   bool GetU64(uint64_t* v);
   bool GetVarint(uint64_t* v);
   bool GetBytes(size_t n, std::vector<uint8_t>* out);
+  /// Copies `n` bytes straight into `dst` (no intermediate allocation);
+  /// false on truncation, leaving `dst` untouched.
+  bool GetRaw(size_t n, uint8_t* dst);
   bool GetLengthPrefixed(std::vector<uint8_t>* out);
   bool GetU64Vector(std::vector<uint64_t>* out);
 

@@ -39,6 +39,28 @@ uint64_t EstimateDifference(const typename Estimator::Params& params,
   return alice.Estimate();
 }
 
+// UpdateBatch must be exactly equivalent to n single-element Updates, for
+// both estimator types and both sides (compared via serialized bytes).
+template <typename Estimator>
+void ExpectBatchMatchesPerElement(const typename Estimator::Params& params) {
+  for (int side : {1, 2}) {
+    for (size_t n : {0ul, 1ul, 7ul, 500ul}) {
+      Rng rng(n * 3 + side);
+      std::vector<uint64_t> elements(n);
+      for (auto& e : elements) e = rng.NextU64();
+
+      Estimator per_element(params), batched(params);
+      for (uint64_t e : elements) per_element.Update(e, side);
+      batched.UpdateBatch(elements.data(), elements.size(), side);
+
+      ByteWriter a, b;
+      per_element.Serialize(&a);
+      batched.Serialize(&b);
+      EXPECT_EQ(a.bytes(), b.bytes()) << "side=" << side << " n=" << n;
+    }
+  }
+}
+
 TEST(L0EstimatorTest, ZeroDifferenceIsZero) {
   L0Estimator::Params params;
   params.seed = 1;
@@ -126,6 +148,18 @@ TEST_P(L0AccuracySweep, WithinConstantFactor) {
 
 INSTANTIATE_TEST_SUITE_P(Diffs, L0AccuracySweep,
                          ::testing::Values(4, 16, 64, 256, 1024, 4096));
+
+TEST(L0EstimatorTest, UpdateBatchMatchesPerElementUpdates) {
+  L0Estimator::Params params;
+  params.seed = 21;
+  ExpectBatchMatchesPerElement<L0Estimator>(params);
+}
+
+TEST(StrataEstimatorTest, UpdateBatchMatchesPerElementUpdates) {
+  StrataEstimator::Params params;
+  params.seed = 22;
+  ExpectBatchMatchesPerElement<StrataEstimator>(params);
+}
 
 TEST(StrataEstimatorTest, ZeroDifferenceIsZero) {
   StrataEstimator::Params params;

@@ -1,0 +1,63 @@
+#ifndef SETREC_BENCH_ALLOC_COUNTER_H_
+#define SETREC_BENCH_ALLOC_COUNTER_H_
+
+// Global-allocator replacement that counts heap allocations inside gated
+// windows. Backs both the `decode_allocs_warm` columns of bench_iblt --json
+// and the zero-allocation assertions in tests/iblt_view_test.cc, so the two
+// claims are always measured the same way.
+//
+// Replacement allocation functions are defined at most once per program:
+// include this header from exactly ONE translation unit of a binary.
+// Counting is single-threaded — gate flips and the measured region must not
+// race with allocating threads.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace setrec {
+namespace alloc_counter {
+inline std::atomic<size_t> count{0};
+inline bool counting = false;
+}  // namespace alloc_counter
+}  // namespace setrec
+
+void* operator new(std::size_t size) {
+  if (setrec::alloc_counter::counting) {
+    setrec::alloc_counter::count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace setrec {
+
+/// RAII window: zeroes the counter on entry, stops counting on exit.
+class AllocationWindow {
+ public:
+  AllocationWindow() {
+    alloc_counter::count.store(0, std::memory_order_relaxed);
+    alloc_counter::counting = true;
+  }
+  ~AllocationWindow() { alloc_counter::counting = false; }
+  size_t count() const {
+    return alloc_counter::count.load(std::memory_order_relaxed);
+  }
+};
+
+/// Heap allocations performed by `fn()`.
+template <typename Fn>
+size_t CountAllocs(Fn&& fn) {
+  AllocationWindow window;
+  fn();
+  return window.count();
+}
+
+}  // namespace setrec
+
+#endif  // SETREC_BENCH_ALLOC_COUNTER_H_

@@ -8,7 +8,11 @@
 // keys/sec, subtract cells/sec, decode keys/sec at d in {1e2, 1e4, 1e6})
 // and writes BENCH_iblt.json with both the recorded seed-implementation
 // baseline and the current numbers, so the perf trajectory is tracked
-// across PRs.
+// across PRs. The suite also measures byte-key (36-byte blob) decode
+// throughput through the view API vs a materializing decode, and counts
+// heap allocations of a warm-scratch decode via a global operator new
+// hook — BENCH_iblt.json carries the proof that warm blob decodes are
+// allocation-free.
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/alloc_counter.h"
 #include "bench/bench_util.h"
 #include "hashing/random.h"
 #include "iblt/iblt.h"
@@ -111,6 +116,17 @@ struct ThroughputRow {
   double insert_keys_per_sec = 0;
   double subtract_cells_per_sec = 0;
   double decode_keys_per_sec = 0;
+  // Byte-key (36-byte blob) decode through the view API, vs. the same
+  // decode followed by Materialize() — the owning shape every decode paid
+  // for before the arena-backed result. Zero for seed rows (no blob bench
+  // existed) and for d=1e6 (blob tables that large exceed the suite's
+  // time budget).
+  double blob_decode_keys_per_sec = 0;
+  double blob_materialize_keys_per_sec = 0;
+  // Heap allocations of one warm-scratch decode (global operator new
+  // count). The view API's contract is blob == 0.
+  size_t decode_allocs_warm_u64 = 0;
+  size_t decode_allocs_warm_blob = 0;
 };
 
 // Seed-implementation baseline, measured on this machine (1-core Xeon
@@ -182,17 +198,92 @@ ThroughputRow MeasureThroughput(size_t d) {
     double rate = static_cast<double>(decoded) * dreps / (NowSeconds() - t0);
     row.decode_keys_per_sec = std::max(row.decode_keys_per_sec, rate);
   }
+  row.decode_allocs_warm_u64 =
+      CountAllocs([&] { benchmark::DoNotOptimize(diff.DecodeU64(&scratch)); });
+
+  // Byte-key decode: 36-byte blobs (a child-encoding-ish width) through the
+  // view API, plus the materializing equivalent of the pre-arena result.
+  if (d <= 10000) {
+    const size_t width = 36;
+    IbltConfig blob_config = IbltConfig::ForDifference(d, 43, width);
+    Iblt blob_table(blob_config);
+    std::vector<uint8_t> packed(d * width);
+    for (auto& byte : packed) byte = static_cast<uint8_t>(rng.NextU64());
+    blob_table.InsertBatch(packed.data(), d);
+    DecodeScratch blob_scratch;
+    if (!blob_table.Decode(&blob_scratch).ok()) {  // Also the warm-up.
+      std::fprintf(stderr, "bench_iblt: blob decode failed at d=%zu\n", d);
+      return row;
+    }
+    const int breps = static_cast<int>(1000000 / d);
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      size_t decoded = 0;
+      double t0 = NowSeconds();
+      for (int r = 0; r < breps; ++r) {
+        auto out = blob_table.Decode(&blob_scratch);
+        decoded = out.value().positive.size() + out.value().negative.size();
+      }
+      double rate =
+          static_cast<double>(decoded) * breps / (NowSeconds() - t0);
+      row.blob_decode_keys_per_sec =
+          std::max(row.blob_decode_keys_per_sec, rate);
+    }
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      size_t decoded = 0;
+      double t0 = NowSeconds();
+      for (int r = 0; r < breps; ++r) {
+        auto out = blob_table.Decode(&blob_scratch);
+        IbltDecodeResult owned = out.value().Materialize();
+        benchmark::DoNotOptimize(owned);
+        decoded = owned.positive.size() + owned.negative.size();
+      }
+      double rate =
+          static_cast<double>(decoded) * breps / (NowSeconds() - t0);
+      row.blob_materialize_keys_per_sec =
+          std::max(row.blob_materialize_keys_per_sec, rate);
+    }
+    row.decode_allocs_warm_blob = CountAllocs(
+        [&] { benchmark::DoNotOptimize(blob_table.Decode(&blob_scratch)); });
+  }
   return row;
 }
 
-void AppendRow(std::string* out, const ThroughputRow& row, bool last) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "    \"d_%zu\": {\"insert_keys_per_sec\": %.4g, "
-                "\"subtract_cells_per_sec\": %.4g, "
-                "\"decode_keys_per_sec\": %.4g}%s\n",
-                row.d, row.insert_keys_per_sec, row.subtract_cells_per_sec,
-                row.decode_keys_per_sec, last ? "" : ",");
+void AppendRow(std::string* out, const ThroughputRow& row, bool last,
+               bool extended) {
+  char buf[512];
+  if (extended && row.blob_decode_keys_per_sec > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "    \"d_%zu\": {\"insert_keys_per_sec\": %.4g, "
+                  "\"subtract_cells_per_sec\": %.4g, "
+                  "\"decode_keys_per_sec\": %.4g, "
+                  "\"blob36_decode_keys_per_sec\": %.4g, "
+                  "\"blob36_materialize_keys_per_sec\": %.4g, "
+                  "\"decode_allocs_warm_u64\": %zu, "
+                  "\"decode_allocs_warm_blob36\": %zu}%s\n",
+                  row.d, row.insert_keys_per_sec, row.subtract_cells_per_sec,
+                  row.decode_keys_per_sec, row.blob_decode_keys_per_sec,
+                  row.blob_materialize_keys_per_sec,
+                  row.decode_allocs_warm_u64, row.decode_allocs_warm_blob,
+                  last ? "" : ",");
+  } else if (extended) {
+    // Blob columns are measured for d <= 1e4 only.
+    std::snprintf(buf, sizeof(buf),
+                  "    \"d_%zu\": {\"insert_keys_per_sec\": %.4g, "
+                  "\"subtract_cells_per_sec\": %.4g, "
+                  "\"decode_keys_per_sec\": %.4g, "
+                  "\"decode_allocs_warm_u64\": %zu}%s\n",
+                  row.d, row.insert_keys_per_sec, row.subtract_cells_per_sec,
+                  row.decode_keys_per_sec, row.decode_allocs_warm_u64,
+                  last ? "" : ",");
+  } else {
+    // Seed rows: the baseline predates the blob/allocation columns.
+    std::snprintf(buf, sizeof(buf),
+                  "    \"d_%zu\": {\"insert_keys_per_sec\": %.4g, "
+                  "\"subtract_cells_per_sec\": %.4g, "
+                  "\"decode_keys_per_sec\": %.4g}%s\n",
+                  row.d, row.insert_keys_per_sec, row.subtract_cells_per_sec,
+                  row.decode_keys_per_sec, last ? "" : ",");
+  }
   *out += buf;
 }
 
@@ -201,10 +292,11 @@ int RunJsonSuite() {
   std::string json = "{\n  \"bench\": \"iblt\",\n";
   json +=
       "  \"units\": {\"insert\": \"keys/sec\", \"subtract\": \"cells/sec\", "
-      "\"decode\": \"keys/sec\"},\n";
+      "\"decode\": \"keys/sec\", \"decode_allocs_warm\": "
+      "\"heap allocations per warm-scratch decode\"},\n";
   json += "  \"seed\": {\n";
   for (size_t i = 0; i < 3; ++i) {
-    AppendRow(&json, kSeedBaseline[i], i == 2);
+    AppendRow(&json, kSeedBaseline[i], i == 2, /*extended=*/false);
   }
   json += "  },\n  \"current\": {\n";
   ThroughputRow current[3];
@@ -218,17 +310,40 @@ int RunJsonSuite() {
         current[i].insert_keys_per_sec / kSeedBaseline[i].insert_keys_per_sec,
         current[i].decode_keys_per_sec, kSeedBaseline[i].decode_keys_per_sec,
         current[i].decode_keys_per_sec / kSeedBaseline[i].decode_keys_per_sec);
-    AppendRow(&json, current[i], i == 2);
+    if (current[i].blob_decode_keys_per_sec > 0) {
+      std::printf(
+          "           blob36 decode %.3g keys/s (materializing %.3g, %.2fx)  "
+          "warm allocs: u64 %zu, blob %zu\n",
+          current[i].blob_decode_keys_per_sec,
+          current[i].blob_materialize_keys_per_sec,
+          current[i].blob_decode_keys_per_sec /
+              current[i].blob_materialize_keys_per_sec,
+          current[i].decode_allocs_warm_u64,
+          current[i].decode_allocs_warm_blob);
+    }
+    AppendRow(&json, current[i], i == 2, /*extended=*/true);
   }
-  char tail[160];
+  char tail[320];
   std::snprintf(tail, sizeof(tail),
                 "  },\n  \"speedup_at_d_10000\": {\"insert\": %.2f, "
-                "\"decode\": %.2f}\n}\n",
+                "\"decode\": %.2f}",
                 current[1].insert_keys_per_sec /
                     kSeedBaseline[1].insert_keys_per_sec,
                 current[1].decode_keys_per_sec /
                     kSeedBaseline[1].decode_keys_per_sec);
   json += tail;
+  if (current[1].blob_materialize_keys_per_sec > 0) {
+    // Only claim blob numbers actually measured: a failed blob decode must
+    // not read as "0 allocations" (or divide into NaN).
+    std::snprintf(tail, sizeof(tail),
+                  ",\n  \"blob36_view_over_materialize_at_d_10000\": %.2f,\n"
+                  "  \"warm_blob_decode_allocs\": %zu",
+                  current[1].blob_decode_keys_per_sec /
+                      current[1].blob_materialize_keys_per_sec,
+                  current[1].decode_allocs_warm_blob);
+    json += tail;
+  }
+  json += "\n}\n";
   std::FILE* f = std::fopen("BENCH_iblt.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_iblt: cannot write BENCH_iblt.json\n");

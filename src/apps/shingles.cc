@@ -82,19 +82,23 @@ Result<AttemptResult> CollectionAttempt(const SetOfSets& alice,
   Result<Iblt> received = Iblt::Deserialize(&ra, outer_config);
   if (!received.ok()) return received.status();
   Iblt remote = std::move(received).value();
-  std::map<std::vector<uint8_t>, size_t> blob_to_doc;
+  std::map<std::vector<uint8_t>, size_t, KeyBytesLess> blob_to_doc;
   for (size_t j = 0; j < bob.size(); ++j) {
     std::vector<uint8_t> blob = EncodeChildIbltBlob(
         bob[j], child_config, ChildFingerprint(bob[j], fp_family));
     remote.Erase(blob);
     blob_to_doc.emplace(std::move(blob), j);
   }
-  Result<IbltDecodeResult> decoded = remote.Decode();
+  // Outer decode views (held across the pairing loop) and the nested
+  // per-document decodes need separate scratches; see DecodeScratch.
+  DecodeScratch outer_scratch;
+  DecodeScratch child_scratch;
+  Result<IbltDecodeView> decoded = remote.Decode(&outer_scratch);
   if (!decoded.ok()) return decoded.status();
 
   std::vector<std::pair<ChildEncoding, const ChildSet*>> partners;
   std::vector<bool> in_db(bob.size(), false);
-  for (const auto& blob : decoded.value().negative) {
+  for (const IbltKeyView& blob : decoded.value().negative) {
     auto it = blob_to_doc.find(blob);
     if (it == blob_to_doc.end()) {
       return VerificationFailure("shingles: unknown negative encoding");
@@ -109,7 +113,7 @@ Result<AttemptResult> CollectionAttempt(const SetOfSets& alice,
   SetOfSets recovered_children;
   std::vector<DocumentMatch::Kind> recovered_kinds;
   std::vector<uint64_t> fresh_fps;
-  for (const auto& blob : decoded.value().positive) {
+  for (const IbltKeyView& blob : decoded.value().positive) {
     Result<ChildEncoding> enc_r = ParseChildIbltBlob(blob, child_config);
     if (!enc_r.ok()) return enc_r.status();
     const ChildEncoding& enc = enc_r.value();
@@ -117,7 +121,7 @@ Result<AttemptResult> CollectionAttempt(const SetOfSets& alice,
     for (const auto& [partner_enc, partner_set] : partners) {
       Iblt diff = enc.sketch;
       if (!diff.Subtract(partner_enc.sketch).ok()) continue;
-      Result<IbltDecodeResult64> dd = diff.DecodeU64();
+      Result<IbltDecodeResult64> dd = diff.DecodeU64(&child_scratch);
       if (!dd.ok()) continue;
       SetDifference sd;
       sd.remote_only = std::move(dd.value().positive);

@@ -143,7 +143,12 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
   std::vector<bool> in_db(bob.size(), false);   // Bob's differing children.
   SetOfSets da;                                  // Alice's recovered children.
   std::unordered_set<uint64_t> recovered_fps;    // Their fingerprints.
-  DecodeScratch scratch;  // Reused by every outer/child/star decode below.
+  // Outer/star decode views live in `outer_scratch` and are iterated while
+  // the nested per-child decodes churn `child_scratch`; the split keeps the
+  // views valid (one scratch would be invalidated by the first child
+  // decode). Both warm up across levels and attempts.
+  DecodeScratch outer_scratch;
+  DecodeScratch child_scratch;
 
   for (size_t level = 0; level < t; ++level) {
     const IbltConfig& child_config = child_configs[level];
@@ -151,7 +156,7 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
 
     // Delete Bob's children not yet known to differ (level 1: all of them),
     // and every already-recovered child of Alice's.
-    std::map<std::vector<uint8_t>, size_t> blob_to_child;
+    std::map<std::vector<uint8_t>, size_t, KeyBytesLess> blob_to_child;
     for (size_t j = 0; j < bob.size(); ++j) {
       std::vector<uint8_t> blob = EncodeChildIbltBlob(
           bob[j], child_config, ChildFingerprint(bob[j], fp_family));
@@ -163,10 +168,10 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
                                       ChildFingerprint(child, fp_family)));
     }
 
-    IbltPartialDecode decoded = outer.DecodePartial(&scratch);
+    IbltPartialDecodeView decoded = outer.DecodePartial(&outer_scratch);
 
     // Negative encodings expose Bob children that differ from Alice's.
-    for (const auto& blob : decoded.entries.negative) {
+    for (const IbltKeyView& blob : decoded.entries.negative) {
       auto it = blob_to_child.find(blob);
       if (it != blob_to_child.end()) in_db[it->second] = true;
       // Unknown negatives are decode noise; later verification catches it.
@@ -183,7 +188,7 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
     const ChildSet empty_set;
     partners.emplace_back(Iblt(child_config), &empty_set);
 
-    for (const auto& blob : decoded.entries.positive) {
+    for (const IbltKeyView& blob : decoded.entries.positive) {
       Result<ChildEncoding> enc_r = ParseChildIbltBlob(blob, child_config);
       if (!enc_r.ok()) continue;  // Noise; later levels retry.
       const ChildEncoding& enc = enc_r.value();
@@ -191,7 +196,7 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
       for (const auto& [partner_sketch, partner_set] : partners) {
         Iblt diff = enc.sketch;
         if (!diff.Subtract(partner_sketch).ok()) continue;
-        Result<IbltDecodeResult64> dd = diff.DecodeU64(&scratch);
+        Result<IbltDecodeResult64> dd = diff.DecodeU64(&child_scratch);
         if (!dd.ok()) continue;
         SetDifference sd;
         sd.remote_only = std::move(dd.value().positive);
@@ -210,19 +215,19 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
 
   if (has_star) {
     Iblt star = std::move(star_table).value();
-    std::map<std::vector<uint8_t>, size_t> blob_to_child;
+    std::map<std::vector<uint8_t>, size_t, KeyBytesLess> blob_to_child;
     for (size_t j = 0; j < bob.size(); ++j) {
       std::vector<uint8_t> blob = EncodeChildBlob(bob[j], h);
       star.Erase(blob);
       blob_to_child.emplace(std::move(blob), j);
     }
     for (const ChildSet& child : da) star.Erase(EncodeChildBlob(child, h));
-    IbltPartialDecode decoded = star.DecodePartial(&scratch);
-    for (const auto& blob : decoded.entries.negative) {
+    IbltPartialDecodeView decoded = star.DecodePartial(&outer_scratch);
+    for (const IbltKeyView& blob : decoded.entries.negative) {
       auto it = blob_to_child.find(blob);
       if (it != blob_to_child.end()) in_db[it->second] = true;
     }
-    for (const auto& blob : decoded.entries.positive) {
+    for (const IbltKeyView& blob : decoded.entries.positive) {
       Result<ChildSet> child = DecodeChildBlob(blob, h);
       if (!child.ok()) continue;
       uint64_t fp = ChildFingerprint(child.value(), fp_family);

@@ -18,22 +18,22 @@ std::vector<uint8_t> EncodeChildBlob(const ChildSet& child, size_t h) {
   return blob;
 }
 
-Result<ChildSet> DecodeChildBlob(const std::vector<uint8_t>& blob, size_t h) {
-  if (blob.size() != ChildBlobWidth(h)) {
+Result<ChildSet> DecodeChildBlob(const uint8_t* data, size_t size, size_t h) {
+  if (size != ChildBlobWidth(h)) {
     return ParseError("child blob has unexpected width");
   }
   uint32_t count = 0;
-  std::memcpy(&count, blob.data(), 4);
+  std::memcpy(&count, data, 4);
   if (count > h) return ParseError("child blob count exceeds h");
   ChildSet child(count);
   for (uint32_t i = 0; i < count; ++i) {
-    std::memcpy(&child[i], blob.data() + 4 + 8 * i, 8);
+    std::memcpy(&child[i], data + 4 + 8 * i, 8);
     if (i > 0 && child[i] <= child[i - 1]) {
       return ParseError("child blob not sorted/unique");
     }
   }
-  for (size_t i = 4 + 8 * static_cast<size_t>(count); i < blob.size(); ++i) {
-    if (blob[i] != 0) return ParseError("child blob has nonzero padding");
+  for (size_t i = 4 + 8 * static_cast<size_t>(count); i < size; ++i) {
+    if (data[i] != 0) return ParseError("child blob has nonzero padding");
   }
   return child;
 }
@@ -53,12 +53,12 @@ std::vector<uint8_t> EncodeChildIbltBlob(const ChildSet& child,
   return writer.Take();
 }
 
-Result<ChildEncoding> ParseChildIbltBlob(const std::vector<uint8_t>& blob,
+Result<ChildEncoding> ParseChildIbltBlob(const uint8_t* data, size_t size,
                                          const IbltConfig& child_config) {
-  if (blob.size() != ChildIbltBlobWidth(child_config)) {
+  if (size != ChildIbltBlobWidth(child_config)) {
     return ParseError("child IBLT blob has unexpected width");
   }
-  ByteReader reader(blob);
+  ByteReader reader(data, size);
   Result<Iblt> sketch = Iblt::DeserializeFixed(&reader, child_config);
   if (!sketch.ok()) return sketch.status();
   uint64_t fingerprint = 0;

@@ -22,8 +22,17 @@ size_t ChildBlobWidth(size_t h);
 /// Encodes `child` (sorted, size <= h) into a ChildBlobWidth(h) blob.
 std::vector<uint8_t> EncodeChildBlob(const ChildSet& child, size_t h);
 
-/// Inverse of EncodeChildBlob; validates count, ordering and padding.
-Result<ChildSet> DecodeChildBlob(const std::vector<uint8_t>& blob, size_t h);
+/// Inverse of EncodeChildBlob; validates count, ordering and padding. The
+/// (data, size) form parses straight out of a decode-view arena without an
+/// owning copy; the convenience overloads delegate to it.
+Result<ChildSet> DecodeChildBlob(const uint8_t* data, size_t size, size_t h);
+inline Result<ChildSet> DecodeChildBlob(const std::vector<uint8_t>& blob,
+                                        size_t h) {
+  return DecodeChildBlob(blob.data(), blob.size(), h);
+}
+inline Result<ChildSet> DecodeChildBlob(const IbltKeyView& blob, size_t h) {
+  return DecodeChildBlob(blob.data, blob.size, h);
+}
 
 /// Width of an (IBLT, fingerprint) encoding blob for the given child IBLT
 /// config: the fixed IBLT serialization plus 8 fingerprint bytes.
@@ -42,9 +51,18 @@ std::vector<uint8_t> EncodeChildIbltBlob(const ChildSet& child,
                                          const IbltConfig& child_config,
                                          uint64_t fingerprint);
 
-/// Parses a blob produced by EncodeChildIbltBlob.
-Result<ChildEncoding> ParseChildIbltBlob(const std::vector<uint8_t>& blob,
+/// Parses a blob produced by EncodeChildIbltBlob. The (data, size) form
+/// reads straight out of a decode-view arena.
+Result<ChildEncoding> ParseChildIbltBlob(const uint8_t* data, size_t size,
                                          const IbltConfig& child_config);
+inline Result<ChildEncoding> ParseChildIbltBlob(
+    const std::vector<uint8_t>& blob, const IbltConfig& child_config) {
+  return ParseChildIbltBlob(blob.data(), blob.size(), child_config);
+}
+inline Result<ChildEncoding> ParseChildIbltBlob(
+    const IbltKeyView& blob, const IbltConfig& child_config) {
+  return ParseChildIbltBlob(blob.data, blob.size, child_config);
+}
 
 }  // namespace setrec
 

@@ -69,11 +69,16 @@ Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
   Result<Iblt> received = Iblt::Deserialize(&reader, outer_config);
   if (!received.ok()) return received.status();
   Iblt remote = std::move(received).value();
-  DecodeScratch scratch;  // Shared by the outer and all child decodes.
+  // Two scratches: `outer_scratch` owns the outer-table decode views, which
+  // must stay valid while the child decodes below reuse `child_scratch`
+  // (reusing one scratch would invalidate the views mid-iteration).
+  DecodeScratch outer_scratch;
+  DecodeScratch child_scratch;
 
   // Bob's own encodings, keyed by blob so decoded negatives map back to his
-  // concrete child sets.
-  std::map<std::vector<uint8_t>, size_t> blob_to_child;
+  // concrete child sets; probed with decode views via the transparent
+  // comparator.
+  std::map<std::vector<uint8_t>, size_t, KeyBytesLess> blob_to_child;
   for (size_t i = 0; i < bob.size(); ++i) {
     std::vector<uint8_t> blob = EncodeChildIbltBlob(
         bob[i], child_config, ChildFingerprint(bob[i], fp_family));
@@ -81,7 +86,7 @@ Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
     blob_to_child.emplace(std::move(blob), i);
   }
 
-  Result<IbltDecodeResult> decoded = remote.Decode(&scratch);
+  Result<IbltDecodeView> decoded = remote.Decode(&outer_scratch);
   if (!decoded.ok()) return decoded.status();
 
   // D_B: Bob's children whose encodings differ from all of Alice's.
@@ -91,7 +96,7 @@ Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
   };
   std::vector<Partner> partners;
   std::vector<bool> in_db(bob.size(), false);
-  for (const auto& blob : decoded.value().negative) {
+  for (const IbltKeyView& blob : decoded.value().negative) {
     auto it = blob_to_child.find(blob);
     if (it == blob_to_child.end()) {
       return VerificationFailure("iblt2: unknown negative encoding");
@@ -108,7 +113,7 @@ Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
 
   // D_A: recover each of Alice's differing children.
   SetOfSets recovered_children;
-  for (const auto& blob : decoded.value().positive) {
+  for (const IbltKeyView& blob : decoded.value().positive) {
     Result<ChildEncoding> enc_r = ParseChildIbltBlob(blob, child_config);
     if (!enc_r.ok()) return enc_r.status();
     const ChildEncoding& enc = enc_r.value();
@@ -116,7 +121,7 @@ Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
     for (const Partner& partner : partners) {
       Result<ChildSet> child =
           TryRecoverChild(enc, partner.encoding.sketch, *partner.set,
-                          fp_family, &scratch);
+                          fp_family, &child_scratch);
       if (child.ok()) {
         recovered_children.push_back(std::move(child).value());
         ok = true;
@@ -124,8 +129,8 @@ Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
       }
     }
     if (!ok) {
-      Result<ChildSet> child =
-          TryRecoverChild(enc, empty_sketch, empty_set, fp_family, &scratch);
+      Result<ChildSet> child = TryRecoverChild(enc, empty_sketch, empty_set,
+                                               fp_family, &child_scratch);
       if (child.ok()) {
         recovered_children.push_back(std::move(child).value());
         ok = true;

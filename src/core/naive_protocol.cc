@@ -57,13 +57,17 @@ Result<SetOfSets> NaiveProtocol::Attempt(const SetOfSets& alice,
   Iblt remote = std::move(received).value();
   remote.EraseBatch(PackChildBlobs(bob, h).data(), bob.size());
 
+  // The decoded entries are views into the scratch arena; they stay valid
+  // for the remainder of this attempt (no further decode uses `scratch`).
   DecodeScratch scratch;
-  Result<IbltDecodeResult> decoded = remote.Decode(&scratch);
+  Result<IbltDecodeView> decoded = remote.Decode(&scratch);
   if (!decoded.ok()) return decoded.status();
 
-  // Positive blobs are Alice-only children; negatives are Bob-only.
-  std::map<std::vector<uint8_t>, int> to_remove;
-  for (const auto& blob : decoded.value().negative) to_remove[blob] += 1;
+  // Positive blobs are Alice-only children; negatives are Bob-only. The
+  // multimap is keyed by views (no materialization) and probed with Bob's
+  // owned encodings via the transparent comparator.
+  std::map<IbltKeyView, int, KeyBytesLess> to_remove;
+  for (const IbltKeyView& blob : decoded.value().negative) to_remove[blob] += 1;
 
   SetOfSets recovered;
   recovered.reserve(bob.size() + decoded.value().positive.size());
@@ -75,7 +79,7 @@ Result<SetOfSets> NaiveProtocol::Attempt(const SetOfSets& alice,
     }
     recovered.push_back(child);
   }
-  for (const auto& blob : decoded.value().positive) {
+  for (const IbltKeyView& blob : decoded.value().positive) {
     Result<ChildSet> child = DecodeChildBlob(blob, h);
     if (!child.ok()) return child.status();
     recovered.push_back(std::move(child).value());

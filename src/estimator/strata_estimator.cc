@@ -43,15 +43,20 @@ void StrataEstimator::Update(uint64_t x, int side) {
 
 void StrataEstimator::UpdateBatch(const uint64_t* xs, size_t n, int side) {
   // Partition the block by stratum, then hit each stratum IBLT once with a
-  // batched update (equivalent to n single-element Updates).
-  std::vector<std::vector<uint64_t>> by_stratum(params_.num_strata);
-  for (size_t j = 0; j < n; ++j) by_stratum[StratumOf(xs[j])].push_back(xs[j]);
+  // batched update (equivalent to n single-element Updates). The partition
+  // buckets are members: clear() keeps their capacity, so every batch after
+  // the first runs without touching the allocator.
+  batch_scratch_.resize(params_.num_strata);
+  for (auto& bucket : batch_scratch_) bucket.clear();
+  for (size_t j = 0; j < n; ++j) {
+    batch_scratch_[StratumOf(xs[j])].push_back(xs[j]);
+  }
   for (int i = 0; i < params_.num_strata; ++i) {
-    if (by_stratum[i].empty()) continue;
+    if (batch_scratch_[i].empty()) continue;
     if (side == 1) {
-      strata_[i].InsertBatch(by_stratum[i]);
+      strata_[i].InsertBatch(batch_scratch_[i]);
     } else {
-      strata_[i].EraseBatch(by_stratum[i]);
+      strata_[i].EraseBatch(batch_scratch_[i]);
     }
   }
 }

@@ -34,7 +34,9 @@ class StrataEstimator {
   void Update(uint64_t x, int side);
 
   /// Adds a block of elements to one side; equivalent to n Update calls but
-  /// grouped per stratum so each stratum IBLT sees one batched update.
+  /// grouped per stratum so each stratum IBLT sees one batched update. The
+  /// partition buffers are estimator members that warm up on first use, so
+  /// repeated batch updates are allocation-free.
   void UpdateBatch(const uint64_t* xs, size_t n, int side);
 
   /// Merges another estimator built with identical Params: afterwards this
@@ -59,6 +61,9 @@ class StrataEstimator {
   Params params_;
   std::vector<Iblt> strata_;
   uint64_t level_seed_;
+  /// UpdateBatch partition scratch (one bucket per stratum). Cleared, never
+  /// shrunk, between calls; excluded from the serialized state.
+  std::vector<std::vector<uint64_t>> batch_scratch_;
 };
 
 }  // namespace setrec

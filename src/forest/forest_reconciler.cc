@@ -221,14 +221,8 @@ Result<ForestReconcileOutcome> ForestReconcile(const RootedForest& alice,
 
   // Verify against Alice's forest-class fingerprint from the message.
   ByteReader reader(channel->Receive(msg).payload);
-  uint64_t sub_msgs = 0;
-  if (!reader.GetVarint(&sub_msgs)) return ParseError("forest: truncated");
-  for (uint64_t i = 0; i < sub_msgs; ++i) {
-    std::vector<uint8_t> skip;
-    if (!reader.GetLengthPrefixed(&skip)) {
-      return ParseError("forest: truncated");
-    }
-  }
+  // Skip the packed sub-transcript (Bob consumed it via the sub-protocol).
+  if (!SkipPackedTranscript(&reader)) return ParseError("forest: truncated");
   uint64_t alice_class = 0;
   if (!reader.GetU64(&alice_class)) {
     return ParseError("forest: truncated (class)");

@@ -219,12 +219,8 @@ Result<GraphReconcileOutcome> DegreeNeighborhoodReconcile(
 
   const Channel::Message& message = channel->Receive(channel->rounds() - 1);
   ByteReader reader(message.payload);
-  uint64_t sub_msgs = 0;
-  if (!reader.GetVarint(&sub_msgs)) return ParseError("dgn: truncated");
-  for (uint64_t i = 0; i < sub_msgs; ++i) {
-    std::vector<uint8_t> skip;
-    if (!reader.GetLengthPrefixed(&skip)) return ParseError("dgn: truncated");
-  }
+  // Skip the packed sub-transcript (Bob consumed it via the sub-protocol).
+  if (!SkipPackedTranscript(&reader)) return ParseError("dgn: truncated");
   uint64_t edge_fp = 0;
   if (!reader.GetU64(&edge_fp)) return ParseError("dgn: truncated (edge fp)");
   Result<Iblt> received = Iblt::Deserialize(&reader, edge_config);

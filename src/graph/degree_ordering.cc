@@ -246,12 +246,7 @@ Result<GraphReconcileOutcome> DegreeOrderingReconcile(const Graph& alice,
   const Channel::Message& message = channel->Receive(channel->rounds() - 1);
   ByteReader reader(message.payload);
   // Skip the packed sub-transcript (Bob consumed it via the sub-protocol).
-  uint64_t sub_msgs = 0;
-  if (!reader.GetVarint(&sub_msgs)) return ParseError("dgo: truncated");
-  for (uint64_t i = 0; i < sub_msgs; ++i) {
-    std::vector<uint8_t> skip;
-    if (!reader.GetLengthPrefixed(&skip)) return ParseError("dgo: truncated");
-  }
+  if (!SkipPackedTranscript(&reader)) return ParseError("dgo: truncated");
   uint64_t edge_fp = 0;
   if (!reader.GetU64(&edge_fp)) return ParseError("dgo: truncated (edge fp)");
   Result<Iblt> received = Iblt::Deserialize(&reader, edge_config);

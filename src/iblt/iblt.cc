@@ -220,18 +220,26 @@ void Iblt::ApplyHashedBatch(const KeyHashes* hashes, const uint64_t* u64_keys,
 void Iblt::ApplyBatchU64(const uint64_t* keys, size_t n, int32_t delta) {
   assert(config_.key_width == 8);
   if (n == 0) return;
-  std::vector<KeyHashes> hashes(n);
+  // Small batches (the per-child sketches of the set-of-sets protocols)
+  // hash into a stack buffer so batched updates stay allocation-free.
+  KeyHashes stack_hashes[kSmallBatchMaxKeys];
+  std::vector<KeyHashes> heap_hashes(n <= kSmallBatchMaxKeys ? 0 : n);
+  KeyHashes* hashes = n <= kSmallBatchMaxKeys ? stack_hashes
+                                              : heap_hashes.data();
   for (size_t j = 0; j < n; ++j) hashes[j] = HashKeyU64(keys[j]);
-  ApplyHashedBatch(hashes.data(), keys, nullptr, n, delta);
+  ApplyHashedBatch(hashes, keys, nullptr, n, delta);
 }
 
 void Iblt::ApplyBatchBytes(const uint8_t* keys, size_t n, int32_t delta) {
   if (n == 0) return;
-  std::vector<KeyHashes> hashes(n);
+  KeyHashes stack_hashes[kSmallBatchMaxKeys];
+  std::vector<KeyHashes> heap_hashes(n <= kSmallBatchMaxKeys ? 0 : n);
+  KeyHashes* hashes = n <= kSmallBatchMaxKeys ? stack_hashes
+                                              : heap_hashes.data();
   for (size_t j = 0; j < n; ++j) {
     hashes[j] = HashKey(keys + j * config_.key_width);
   }
-  ApplyHashedBatch(hashes.data(), nullptr, keys, n, delta);
+  ApplyHashedBatch(hashes, nullptr, keys, n, delta);
 }
 
 Status Iblt::Subtract(const Iblt& other) {
@@ -271,21 +279,20 @@ bool Iblt::CellIsZero(size_t cell) const {
   return true;
 }
 
-bool Iblt::PeelInto(DecodeScratch* scratch, IbltDecodeResult* out_bytes,
-                    IbltDecodeResult64* out_u64) const {
-  assert((out_bytes != nullptr) != (out_u64 != nullptr));
+bool Iblt::PeelInto(DecodeScratch* scratch, IbltDecodeResult64* out_u64) const {
   assert(out_u64 == nullptr || config_.key_width == 8);
-  const size_t w = config_.key_width;
   const int k = config_.num_hashes;
 
-  // Copy the table into the scratch; assign() reuses capacity, so a warm
-  // scratch makes the whole decode allocation-free (aside from the decoded
-  // keys themselves in the byte-key mode).
+  // Copy the table into the scratch; assign() reuses capacity (as does the
+  // output arena below), so a warm scratch makes the whole decode — byte
+  // keys included — allocation-free.
   scratch->meta.assign(meta_.begin(), meta_.end());
   scratch->key_lanes.assign(key_lanes_.begin(), key_lanes_.end());
   scratch->queued.assign(cells_, 0);
   scratch->queue.clear();
-  scratch->key_stage.resize(lanes_per_key_);
+  scratch->out_lanes.clear();
+  scratch->pos_offsets.clear();
+  scratch->neg_offsets.clear();
   IbltCellMeta* meta = scratch->meta.data();
   uint64_t* lanes = scratch->key_lanes.data();
 
@@ -334,13 +341,18 @@ bool Iblt::PeelInto(DecodeScratch* scratch, IbltDecodeResult* out_bytes,
       continue;
     }
 
-    // Stage the key: its home cell's lanes are XORed during removal.
-    std::memcpy(scratch->key_stage.data(), lanes + cell * lanes_per_key_,
-                lanes_per_key_ * 8);
-    const uint8_t* key =
-        reinterpret_cast<const uint8_t*>(scratch->key_stage.data());
-    (sign > 0 ? out_bytes->positive : out_bytes->negative)
-        .emplace_back(key, key + w);
+    // Stage the key into the output arena: the copy both IS the decoded
+    // entry (the returned views point at it) and serves as the stable
+    // source for the removal XOR below (the home cell's own lanes change
+    // mid-removal). Appending may grow the arena, so take the pointer
+    // afterwards; earlier entries are only re-referenced by offset once the
+    // peel is done (BuildViews).
+    const size_t off = scratch->out_lanes.size();
+    scratch->out_lanes.insert(scratch->out_lanes.end(),
+                              lanes + cell * lanes_per_key_,
+                              lanes + (cell + 1) * lanes_per_key_);
+    (sign > 0 ? scratch->pos_offsets : scratch->neg_offsets).push_back(off);
+    const uint64_t* staged = scratch->out_lanes.data() + off;
 
     // Remove the key from all of its cells (including this one), queueing
     // any cell the removal leaves as a fresh pure candidate.
@@ -350,7 +362,7 @@ bool Iblt::PeelInto(DecodeScratch* scratch, IbltDecodeResult* out_bytes,
       meta[t].check ^= h.check;
       uint64_t* dst = lanes + t * lanes_per_key_;
       for (size_t l = 0; l < lanes_per_key_; ++l) {
-        dst[l] ^= scratch->key_stage[l];
+        dst[l] ^= staged[l];
       }
       if ((meta[t].count == 1 || meta[t].count == -1) && !scratch->queued[t]) {
         scratch->queue.push_back(static_cast<uint32_t>(t));
@@ -369,34 +381,64 @@ bool Iblt::PeelInto(DecodeScratch* scratch, IbltDecodeResult* out_bytes,
   return true;
 }
 
-IbltPartialDecode Iblt::DecodePartial(DecodeScratch* scratch) const {
-  IbltPartialDecode out;
-  out.complete = PeelInto(scratch, &out.entries, nullptr);
+IbltDecodeView Iblt::BuildViews(DecodeScratch* scratch) const {
+  const size_t w = config_.key_width;
+  const uint8_t* base =
+      reinterpret_cast<const uint8_t*>(scratch->out_lanes.data());
+  scratch->pos_views.clear();
+  scratch->neg_views.clear();
+  for (size_t off : scratch->pos_offsets) {
+    scratch->pos_views.push_back(IbltKeyView{base + off * 8, w});
+  }
+  for (size_t off : scratch->neg_offsets) {
+    scratch->neg_views.push_back(IbltKeyView{base + off * 8, w});
+  }
+  IbltDecodeView view;
+  view.positive = {scratch->pos_views.data(), scratch->pos_views.size()};
+  view.negative = {scratch->neg_views.data(), scratch->neg_views.size()};
+  return view;
+}
+
+IbltDecodeResult IbltDecodeView::Materialize() const {
+  IbltDecodeResult out;
+  out.positive.reserve(positive.size());
+  for (const IbltKeyView& v : positive) out.positive.push_back(v.ToVector());
+  out.negative.reserve(negative.size());
+  for (const IbltKeyView& v : negative) out.negative.push_back(v.ToVector());
+  return out;
+}
+
+IbltPartialDecodeView Iblt::DecodePartial(DecodeScratch* scratch) const {
+  IbltPartialDecodeView out;
+  out.complete = PeelInto(scratch, nullptr);
+  out.entries = BuildViews(scratch);
   return out;
 }
 
 IbltPartialDecode Iblt::DecodePartial() const {
   DecodeScratch scratch;
-  return DecodePartial(&scratch);
+  IbltPartialDecodeView view = DecodePartial(&scratch);
+  return IbltPartialDecode{view.entries.Materialize(), view.complete};
 }
 
-Result<IbltDecodeResult> Iblt::Decode(DecodeScratch* scratch) const {
-  IbltPartialDecode partial = DecodePartial(scratch);
-  if (!partial.complete) {
+Result<IbltDecodeView> Iblt::Decode(DecodeScratch* scratch) const {
+  if (!PeelInto(scratch, nullptr)) {
     return DecodeFailure("IBLT peeling incomplete (nonempty 2-core)");
   }
-  return std::move(partial.entries);
+  return BuildViews(scratch);
 }
 
 Result<IbltDecodeResult> Iblt::Decode() const {
   DecodeScratch scratch;
-  return Decode(&scratch);
+  Result<IbltDecodeView> view = Decode(&scratch);
+  if (!view.ok()) return view.status();
+  return view.value().Materialize();
 }
 
 Result<IbltDecodeResult64> Iblt::DecodeU64(DecodeScratch* scratch) const {
   assert(config_.key_width == 8);
   IbltDecodeResult64 out;
-  if (!PeelInto(scratch, nullptr, &out)) {
+  if (!PeelInto(scratch, &out)) {
     return DecodeFailure("IBLT peeling incomplete (nonempty 2-core)");
   }
   return out;

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <vector>
 
 #include "hashing/hash.h"
@@ -45,6 +47,8 @@ struct IbltConfig {
 /// Result of peeling an IBLT (or a subtracted pair of IBLTs): the keys with
 /// positive counts and the keys with negative counts. For Alice's table
 /// minus Bob's, positives are S_A \ S_B and negatives are S_B \ S_A.
+/// This is the OWNING form (one heap vector per key); the hot decode path
+/// returns IbltDecodeView instead and only materializes on request.
 struct IbltDecodeResult {
   std::vector<std::vector<uint8_t>> positive;
   std::vector<std::vector<uint8_t>> negative;
@@ -56,11 +60,86 @@ struct IbltDecodeResult64 {
   std::vector<uint64_t> negative;
 };
 
+/// A decoded key viewed in place: `size` bytes (the table's key_width) at
+/// `data`, pointing into the DecodeScratch output arena that produced it.
+///
+/// LIFETIME: a view is valid until its scratch is used for another decode
+/// (any Decode/DecodePartial/DecodeU64 overload) or destroyed. Callers that
+/// must hold keys past that point copy them out with ToVector() or
+/// IbltDecodeView::Materialize().
+struct IbltKeyView {
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+
+  std::vector<uint8_t> ToVector() const {
+    return std::vector<uint8_t>(data, data + size);
+  }
+  std::span<const uint8_t> bytes() const { return {data, size}; }
+};
+
+inline bool operator==(const IbltKeyView& a, const IbltKeyView& b) {
+  return a.size == b.size &&
+         (a.size == 0 || std::memcmp(a.data, b.data, a.size) == 0);
+}
+inline bool operator==(const IbltKeyView& a, const std::vector<uint8_t>& b) {
+  return a.size == b.size() &&
+         (a.size == 0 || std::memcmp(a.data, b.data(), a.size) == 0);
+}
+
+/// Transparent lexicographic comparator over byte-string keys, accepting
+/// both owned blobs (std::vector<uint8_t>) and IbltKeyView. Protocol maps
+/// keyed by owned encodings can be probed with decode views directly — no
+/// per-lookup materialization:
+///   std::map<std::vector<uint8_t>, T, KeyBytesLess> m;
+///   m.find(view);  // heterogeneous, allocation-free
+struct KeyBytesLess {
+  using is_transparent = void;
+
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    return Less(AsSpan(a), AsSpan(b));
+  }
+
+ private:
+  static std::span<const uint8_t> AsSpan(const IbltKeyView& v) {
+    return v.bytes();
+  }
+  static std::span<const uint8_t> AsSpan(const std::vector<uint8_t>& v) {
+    return {v.data(), v.size()};
+  }
+  static bool Less(std::span<const uint8_t> a, std::span<const uint8_t> b) {
+    const size_t n = a.size() < b.size() ? a.size() : b.size();
+    const int cmp = n == 0 ? 0 : std::memcmp(a.data(), b.data(), n);
+    if (cmp != 0) return cmp < 0;
+    return a.size() < b.size();
+  }
+};
+
+/// Non-owning decode result: spans of key views backed by the DecodeScratch
+/// passed to Decode()/DecodePartial(). Subject to the IbltKeyView lifetime
+/// rule above — reusing or destroying the scratch invalidates every view
+/// (and the spans themselves). With a warm scratch the whole decode is
+/// allocation-free; Materialize() is the escape hatch for callers that need
+/// owning copies.
+struct IbltDecodeView {
+  std::span<const IbltKeyView> positive;
+  std::span<const IbltKeyView> negative;
+
+  /// Deep owning copy (one vector per key), independent of the scratch.
+  IbltDecodeResult Materialize() const;
+};
+
 /// Best-effort decode: whatever peeled out, plus whether the table drained
 /// completely. The cascading protocol (Algorithm 2) uses partial decodes —
 /// children missed at level i are caught at level i+1.
 struct IbltPartialDecode {
   IbltDecodeResult entries;
+  bool complete = false;
+};
+
+/// View-based partial decode; same lifetime rules as IbltDecodeView.
+struct IbltPartialDecodeView {
+  IbltDecodeView entries;
   bool complete = false;
 };
 
@@ -75,18 +154,30 @@ struct IbltCellMeta {
 /// Reusable peeling workspace. Decoding copies the table (counts, checksums,
 /// key lanes) into this scratch and peels the copy; after the first decode
 /// warms the vectors up, subsequent decodes through the same scratch are
-/// allocation-free (vector::assign reuses capacity). One scratch may be
-/// shared across tables of *different* configs — each decode resizes it —
-/// which is exactly what the cascading protocol's many child-IBLT decodes
-/// and the strata estimator's per-stratum decodes need. A scratch carries no
-/// table state between decodes; it must not be used by two decodes
-/// concurrently.
+/// fully allocation-free (vector::assign and the output arena reuse
+/// capacity) — for byte keys as well as u64 keys. One scratch may be shared
+/// across tables of *different* configs — each decode resizes it — which is
+/// exactly what the cascading protocol's many child-IBLT decodes and the
+/// strata estimator's per-stratum decodes need. A scratch carries no table
+/// state between decodes; it must not be used by two decodes concurrently.
+///
+/// The scratch also OWNS the decoded keys of the view-returning overloads:
+/// peeled byte keys land lane-aligned in `out_lanes`, and the IbltKeyView
+/// entries handed back by Decode(scratch)/DecodePartial(scratch) point into
+/// that arena. Starting any new decode on the scratch overwrites the arena
+/// and invalidates all views from the previous decode. Holding views from
+/// decode A while running decode B therefore requires two scratches (the
+/// pattern used by the outer/child decodes of the set-of-sets protocols).
 struct DecodeScratch {
   std::vector<IbltCellMeta> meta;
   std::vector<uint64_t> key_lanes;
-  std::vector<uint32_t> queue;     // Pure-cell FIFO (ring over a vector).
-  std::vector<uint8_t> queued;     // Per-cell in-queue flag (dedup).
-  std::vector<uint64_t> key_stage;  // Staging copy of the key being peeled.
+  std::vector<uint32_t> queue;   // Pure-cell FIFO (ring over a vector).
+  std::vector<uint8_t> queued;   // Per-cell in-queue flag (dedup).
+  std::vector<uint64_t> out_lanes;    // Decoded-key arena (lane-padded).
+  std::vector<size_t> pos_offsets;    // Lane offset of each positive key.
+  std::vector<size_t> neg_offsets;    // Lane offset of each negative key.
+  std::vector<IbltKeyView> pos_views;  // Built over out_lanes post-peel.
+  std::vector<IbltKeyView> neg_views;
 };
 
 /// Invertible Bloom Lookup Table (Goodrich & Mitzenmacher; Section 2 of the
@@ -161,17 +252,22 @@ class Iblt {
   /// Runs the peeling decoder on a copy of the table. Returns the decoded
   /// difference, or kDecodeFailure if a nonempty 2-core (or checksum
   /// corruption) prevents complete extraction. Failure is detectable: the
-  /// table does not drain to all-zero cells. The scratch overloads reuse a
-  /// caller-provided workspace (see DecodeScratch); the scratch-free
-  /// overloads allocate a fresh one per call.
+  /// table does not drain to all-zero cells.
+  ///
+  /// The scratch overload returns VIEWS into the scratch's output arena
+  /// (see IbltKeyView for the lifetime rule: valid until the scratch's next
+  /// decode or destruction); with a warm scratch it performs zero heap
+  /// allocations. The scratch-free overload allocates a fresh workspace per
+  /// call and returns an owning, materialized result.
   Result<IbltDecodeResult> Decode() const;
-  Result<IbltDecodeResult> Decode(DecodeScratch* scratch) const;
+  Result<IbltDecodeView> Decode(DecodeScratch* scratch) const;
   Result<IbltDecodeResult64> DecodeU64() const;
   Result<IbltDecodeResult64> DecodeU64(DecodeScratch* scratch) const;
 
   /// Peels as far as possible and reports completeness instead of failing.
+  /// Same owning-vs-view split as Decode().
   IbltPartialDecode DecodePartial() const;
-  IbltPartialDecode DecodePartial(DecodeScratch* scratch) const;
+  IbltPartialDecodeView DecodePartial(DecodeScratch* scratch) const;
 
   /// True if every cell is zero (empty table or perfectly cancelled).
   bool IsZero() const;
@@ -190,6 +286,11 @@ class Iblt {
   /// Batch size at which InsertBatch/EraseBatch shards cell updates across
   /// std::thread workers (one or more partitions per thread).
   static constexpr size_t kShardedBatchMinKeys = 1u << 16;
+
+  /// Batches up to this size hash into a stack buffer (16 bytes per key)
+  /// instead of a heap vector, keeping small batched updates — the
+  /// per-child sketches of the set-of-sets protocols — allocation-free.
+  static constexpr size_t kSmallBatchMaxKeys = 128;
 
   /// Test hook: when > 0, large batches use exactly this many workers
   /// regardless of std::thread::hardware_concurrency(), so the sharded path
@@ -232,9 +333,13 @@ class Iblt {
                            const uint8_t* byte_keys, size_t n, int32_t delta,
                            int first_index, int index_step);
 
-  /// Shared peeling core: exactly one of out_bytes / out_u64 is non-null.
-  bool PeelInto(DecodeScratch* scratch, IbltDecodeResult* out_bytes,
-                IbltDecodeResult64* out_u64) const;
+  /// Shared peeling core. In u64 mode (out_u64 != nullptr) decoded keys go
+  /// to out_u64's vectors; in byte mode they are appended lane-aligned to
+  /// scratch->out_lanes with their offsets recorded in pos/neg_offsets.
+  bool PeelInto(DecodeScratch* scratch, IbltDecodeResult64* out_u64) const;
+  /// Builds the IbltKeyView arrays over scratch->out_lanes after a byte-mode
+  /// peel (deferred so arena growth during the peel cannot dangle views).
+  IbltDecodeView BuildViews(DecodeScratch* scratch) const;
 
   IbltConfig config_;
   size_t cells_;           // Padded cell count.

@@ -24,22 +24,62 @@ void Channel::Reset() {
 }
 
 std::vector<uint8_t> PackTranscript(const Channel& sub) {
-  // Varint count then length-prefixed payloads (hand-rolled to avoid a
-  // dependency cycle with util/serialization).
-  std::vector<uint8_t> out;
-  auto put_varint = [&out](uint64_t v) {
-    while (v >= 0x80) {
-      out.push_back(static_cast<uint8_t>(v) | 0x80);
-      v >>= 7;
-    }
-    out.push_back(static_cast<uint8_t>(v));
-  };
-  put_varint(sub.transcript().size());
+  ByteWriter writer;
+  writer.PutVarint(sub.transcript().size());
   for (const Channel::Message& m : sub.transcript()) {
-    put_varint(m.payload.size());
-    out.insert(out.end(), m.payload.begin(), m.payload.end());
+    writer.PutU8(static_cast<uint8_t>(m.from));
+    writer.PutVarint(m.label.size());
+    writer.PutBytes(reinterpret_cast<const uint8_t*>(m.label.data()),
+                    m.label.size());
+    writer.PutLengthPrefixed(m.payload);
   }
-  return out;
+  return writer.Take();
+}
+
+bool UnpackTranscript(ByteReader* reader,
+                      std::vector<Channel::Message>* messages) {
+  uint64_t count = 0;
+  if (!reader->GetVarint(&count)) return false;
+  // Each packed message costs at least 3 bytes (sender + two length
+  // prefixes); a tighter bound keeps the reserve below the input size
+  // instead of letting a hostile count amplify into a huge allocation.
+  if (count > reader->remaining() / 3) return false;
+  messages->clear();
+  messages->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t from = 0;
+    uint64_t label_len = 0;
+    if (!reader->GetU8(&from) || from > 1) return false;
+    if (!reader->GetVarint(&label_len) || label_len > reader->remaining()) {
+      return false;
+    }
+    Channel::Message m;
+    m.from = static_cast<Party>(from);
+    m.label.resize(static_cast<size_t>(label_len));
+    if (!reader->GetRaw(static_cast<size_t>(label_len),
+                        reinterpret_cast<uint8_t*>(m.label.data()))) {
+      return false;
+    }
+    if (!reader->GetLengthPrefixed(&m.payload)) return false;
+    messages->push_back(std::move(m));
+  }
+  return true;
+}
+
+bool SkipPackedTranscript(ByteReader* reader) {
+  uint64_t count = 0;
+  if (!reader->GetVarint(&count)) return false;
+  if (count > reader->remaining() / 3) return false;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t from = 0;
+    uint64_t len = 0;
+    if (!reader->GetU8(&from) || from > 1) return false;
+    // Advance past the label and payload without copying them (the payload
+    // can be a full serialized IBLT).
+    if (!reader->GetVarint(&len) || !reader->Skip(len)) return false;
+    if (!reader->GetVarint(&len) || !reader->Skip(len)) return false;
+  }
+  return true;
 }
 
 size_t ForwardAsSingleMessage(const Channel& sub, Party from, Channel* main,

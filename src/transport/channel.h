@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/serialization.h"
+
 namespace setrec {
 
 /// The two parties of a reconciliation protocol.
@@ -71,10 +73,24 @@ class Channel {
 size_t ForwardAsSingleMessage(const Channel& sub, Party from, Channel* main,
                               std::string label);
 
-/// Serializes a sub-transcript into a writer-friendly byte block (varint
-/// message count, then length-prefixed payloads). Used by composite
-/// protocols that append their own sections after the sub-transcript.
+/// Serializes a sub-transcript into a byte block: a varint message count,
+/// then per message a sender byte, the length-prefixed label, and the
+/// length-prefixed payload — the full Channel::Message, so a forwarded
+/// sub-transcript round-trips without losing sender attribution. Used by
+/// composite protocols that append their own sections after the
+/// sub-transcript.
 std::vector<uint8_t> PackTranscript(const Channel& sub);
+
+/// Inverse of PackTranscript: parses the packed block at the reader's
+/// current position into messages. Returns false (consuming an unspecified
+/// prefix) on truncated or malformed input.
+bool UnpackTranscript(ByteReader* reader,
+                      std::vector<Channel::Message>* messages);
+
+/// Advances `reader` past a packed sub-transcript without keeping the
+/// messages — the shape consumers need when the sub-protocol already ran
+/// locally and only the sections after the transcript matter.
+bool SkipPackedTranscript(ByteReader* reader);
 
 }  // namespace setrec
 

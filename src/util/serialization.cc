@@ -74,13 +74,17 @@ bool ByteReader::GetVarint(uint64_t* v) {
   for (int shift = 0; shift < 64; shift += 7) {
     if (empty()) return false;
     uint8_t byte = *data_++;
+    // The 10th byte (shift 63) contributes exactly one payload bit; any
+    // higher payload bit would shift past the 64-bit boundary and silently
+    // truncate, so reject it instead of decoding a wrong value.
+    if (shift == 63 && (byte & 0x7e) != 0) return false;
     out |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) {
       *v = out;
       return true;
     }
   }
-  return false;  // Overlong encoding.
+  return false;  // Overlong encoding (11+ bytes).
 }
 
 bool ByteReader::GetBytes(size_t n, std::vector<uint8_t>* out) {

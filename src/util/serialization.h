@@ -64,6 +64,14 @@ class ByteReader {
   bool GetLengthPrefixed(std::vector<uint8_t>* out);
   bool GetU64Vector(std::vector<uint64_t>* out);
 
+  /// Advances past `n` bytes without reading them; false on truncation,
+  /// leaving the position untouched.
+  bool Skip(size_t n) {
+    if (remaining() < n) return false;
+    data_ += n;
+    return true;
+  }
+
   /// Number of unread bytes.
   size_t remaining() const { return static_cast<size_t>(end_ - data_); }
   bool empty() const { return data_ == end_; }

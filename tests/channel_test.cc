@@ -44,25 +44,56 @@ TEST(ChannelTest, EmptyPayloadCountsAsRound) {
   EXPECT_EQ(ch.total_bytes(), 0u);
 }
 
-TEST(PackTranscriptTest, RoundTripsThroughByteReader) {
+TEST(PackTranscriptTest, RoundTripsFullMessages) {
+  // Mixed senders and labels: the packed form must preserve attribution.
   Channel sub;
   sub.Send(Party::kAlice, {1, 2, 3}, "a");
-  sub.Send(Party::kAlice, {}, "b");
-  sub.Send(Party::kAlice, {7}, "c");
+  sub.Send(Party::kBob, {}, "");
+  sub.Send(Party::kAlice, {7}, "final");
   std::vector<uint8_t> packed = PackTranscript(sub);
 
   ByteReader reader(packed);
-  uint64_t count = 0;
-  ASSERT_TRUE(reader.GetVarint(&count));
-  EXPECT_EQ(count, 3u);
-  std::vector<uint8_t> msg;
-  ASSERT_TRUE(reader.GetLengthPrefixed(&msg));
-  EXPECT_EQ(msg, (std::vector<uint8_t>{1, 2, 3}));
-  ASSERT_TRUE(reader.GetLengthPrefixed(&msg));
-  EXPECT_TRUE(msg.empty());
-  ASSERT_TRUE(reader.GetLengthPrefixed(&msg));
-  EXPECT_EQ(msg, (std::vector<uint8_t>{7}));
+  std::vector<Channel::Message> messages;
+  ASSERT_TRUE(UnpackTranscript(&reader, &messages));
   EXPECT_TRUE(reader.empty());
+  ASSERT_EQ(messages.size(), 3u);
+  EXPECT_EQ(messages[0].from, Party::kAlice);
+  EXPECT_EQ(messages[0].label, "a");
+  EXPECT_EQ(messages[0].payload, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(messages[1].from, Party::kBob);
+  EXPECT_EQ(messages[1].label, "");
+  EXPECT_TRUE(messages[1].payload.empty());
+  EXPECT_EQ(messages[2].from, Party::kAlice);
+  EXPECT_EQ(messages[2].label, "final");
+  EXPECT_EQ(messages[2].payload, (std::vector<uint8_t>{7}));
+}
+
+TEST(PackTranscriptTest, SkipAdvancesPastBlock) {
+  Channel sub;
+  sub.Send(Party::kAlice, {1, 2, 3}, "a");
+  sub.Send(Party::kBob, {4}, "b");
+  std::vector<uint8_t> packed = PackTranscript(sub);
+  packed.push_back(0x5a);  // Trailing section after the transcript.
+
+  ByteReader reader(packed);
+  ASSERT_TRUE(SkipPackedTranscript(&reader));
+  uint8_t tail = 0;
+  ASSERT_TRUE(reader.GetU8(&tail));
+  EXPECT_EQ(tail, 0x5a);
+  EXPECT_TRUE(reader.empty());
+}
+
+TEST(PackTranscriptTest, TruncatedBlockRejected) {
+  Channel sub;
+  sub.Send(Party::kAlice, std::vector<uint8_t>(40, 9), "label");
+  std::vector<uint8_t> packed = PackTranscript(sub);
+  for (size_t cut : {packed.size() - 1, packed.size() / 2, size_t{1}}) {
+    ByteReader reader(packed.data(), cut);
+    std::vector<Channel::Message> messages;
+    EXPECT_FALSE(UnpackTranscript(&reader, &messages)) << "cut=" << cut;
+    ByteReader skip_reader(packed.data(), cut);
+    EXPECT_FALSE(SkipPackedTranscript(&skip_reader)) << "cut=" << cut;
+  }
 }
 
 TEST(ForwardAsSingleMessageTest, AccountsSubBytesOnce) {
@@ -72,9 +103,10 @@ TEST(ForwardAsSingleMessageTest, AccountsSubBytesOnce) {
   Channel main;
   ForwardAsSingleMessage(sub, Party::kAlice, &main, "bundle");
   EXPECT_EQ(main.rounds(), 1u);
-  // Payloads plus a few framing bytes.
+  // Payloads plus per-message framing (count, sender bytes, labels "big"
+  // and "small" with their length prefixes, payload length prefixes).
   EXPECT_GE(main.total_bytes(), 150u);
-  EXPECT_LE(main.total_bytes(), 160u);
+  EXPECT_LE(main.total_bytes(), 175u);
 }
 
 TEST(PartyTest, Names) {

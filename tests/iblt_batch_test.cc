@@ -94,12 +94,13 @@ TEST(IbltBatchTest, ScratchDecodeMatchesFreshDecode) {
         table.EraseBatch(neg.data(), d / 2);
 
         IbltPartialDecode fresh = table.DecodePartial();
-        IbltPartialDecode reused = table.DecodePartial(&scratch);
+        IbltPartialDecodeView reused = table.DecodePartial(&scratch);
         EXPECT_EQ(fresh.complete, reused.complete);
+        IbltDecodeResult materialized = reused.entries.Materialize();
         EXPECT_EQ(Sorted(fresh.entries.positive),
-                  Sorted(reused.entries.positive));
+                  Sorted(materialized.positive));
         EXPECT_EQ(Sorted(fresh.entries.negative),
-                  Sorted(reused.entries.negative));
+                  Sorted(materialized.negative));
       }
     }
   }
@@ -138,7 +139,7 @@ TEST(IbltBatchTest, ScratchAdaptsAcrossConfigs) {
       std::vector<uint8_t> packed = RandomPackedKeys(d, width, d * 31 + width);
       Iblt table(config);
       table.InsertBatch(packed.data(), d);
-      IbltPartialDecode out = table.DecodePartial(&scratch);
+      IbltPartialDecodeView out = table.DecodePartial(&scratch);
       EXPECT_TRUE(out.complete);
       EXPECT_EQ(out.entries.positive.size(), d);
     }

@@ -1,0 +1,220 @@
+// Tests for the arena-backed view decode API: view/Materialize equivalence
+// on randomized blob keys, the zero-allocation guarantee of warm scratch
+// decodes, the transparent byte-key comparator, and adversarial (truncated)
+// IBLT serializations.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "bench/alloc_counter.h"
+#include "hashing/random.h"
+#include "iblt/iblt.h"
+#include "util/serialization.h"
+
+namespace setrec {
+namespace {
+
+std::vector<uint8_t> RandomKey(size_t width, Rng* rng) {
+  std::vector<uint8_t> key(width);
+  for (auto& b : key) b = static_cast<uint8_t>(rng->NextU64());
+  return key;
+}
+
+TEST(IbltViewTest, ViewsMatchMaterializeAndOwningDecode) {
+  for (size_t width : {8ul, 20ul, 36ul}) {
+    for (size_t d : {1ul, 10ul, 200ul}) {
+      IbltConfig config =
+          IbltConfig::ForDifference(d, 500 + d + width, width);
+      Iblt table(config);
+      Rng rng(d * 97 + width);
+      for (size_t i = 0; i < d; ++i) table.Insert(RandomKey(width, &rng));
+      for (size_t i = 0; i < d / 2; ++i) table.Erase(RandomKey(width, &rng));
+
+      DecodeScratch scratch;
+      Result<IbltDecodeView> view = table.Decode(&scratch);
+      Result<IbltDecodeResult> owning = table.Decode();
+      ASSERT_EQ(view.ok(), owning.ok()) << "width=" << width << " d=" << d;
+      if (!view.ok()) continue;  // Rare unlucky seed: both failed alike.
+
+      // The peel order is deterministic, so views, their materialization,
+      // and the owning decode must agree element for element.
+      IbltDecodeResult materialized = view.value().Materialize();
+      EXPECT_EQ(materialized.positive, owning.value().positive);
+      EXPECT_EQ(materialized.negative, owning.value().negative);
+      ASSERT_EQ(view.value().positive.size(), owning.value().positive.size());
+      for (size_t i = 0; i < view.value().positive.size(); ++i) {
+        EXPECT_TRUE(view.value().positive[i] == owning.value().positive[i]);
+        EXPECT_EQ(view.value().positive[i].size, width);
+      }
+      ASSERT_EQ(view.value().negative.size(), owning.value().negative.size());
+      for (size_t i = 0; i < view.value().negative.size(); ++i) {
+        EXPECT_TRUE(view.value().negative[i] == owning.value().negative[i]);
+      }
+    }
+  }
+}
+
+TEST(IbltViewTest, PartialDecodeViewsMatchOwning) {
+  // Overloaded table: the partial decode must report the same (incomplete)
+  // drain through both APIs.
+  IbltConfig config = IbltConfig::ForDifference(2, 11, /*key_width=*/20);
+  Iblt table(config);
+  Rng rng(321);
+  for (int i = 0; i < 300; ++i) table.Insert(RandomKey(20, &rng));
+
+  DecodeScratch scratch;
+  IbltPartialDecodeView view = table.DecodePartial(&scratch);
+  IbltPartialDecode owning = table.DecodePartial();
+  EXPECT_EQ(view.complete, owning.complete);
+  IbltDecodeResult materialized = view.entries.Materialize();
+  EXPECT_EQ(materialized.positive, owning.entries.positive);
+  EXPECT_EQ(materialized.negative, owning.entries.negative);
+}
+
+TEST(IbltViewTest, WarmBlobDecodeIsAllocationFree) {
+  const size_t width = 36;
+  IbltConfig config = IbltConfig::ForDifference(128, 77, width);
+  Iblt table(config);
+  Rng rng(42);
+  for (int i = 0; i < 128; ++i) table.Insert(RandomKey(width, &rng));
+  for (int i = 0; i < 64; ++i) table.Erase(RandomKey(width, &rng));
+
+  DecodeScratch scratch;
+  Result<IbltDecodeView> warmup = table.Decode(&scratch);
+  ASSERT_TRUE(warmup.ok()) << warmup.status().ToString();
+  const size_t expect_pos = warmup.value().positive.size();
+  const size_t expect_neg = warmup.value().negative.size();
+
+  size_t allocs;
+  {
+    AllocationWindow window;
+    Result<IbltDecodeView> decoded = table.Decode(&scratch);
+    allocs = window.count();
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().positive.size(), expect_pos);
+    EXPECT_EQ(decoded.value().negative.size(), expect_neg);
+  }
+  EXPECT_EQ(allocs, 0u) << "warm blob-key decode must not hit the allocator";
+}
+
+TEST(IbltViewTest, WarmPartialDecodeIsAllocationFree) {
+  // Even a failing (partial) decode stays allocation-free once warm — the
+  // cascading protocol's steady state is exactly this.
+  IbltConfig config = IbltConfig::ForDifference(4, 13, /*key_width=*/20);
+  Iblt table(config);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) table.Insert(RandomKey(20, &rng));
+
+  DecodeScratch scratch;
+  (void)table.DecodePartial(&scratch);  // Warm-up.
+  size_t allocs;
+  {
+    AllocationWindow window;
+    IbltPartialDecodeView out = table.DecodePartial(&scratch);
+    allocs = window.count();
+    EXPECT_FALSE(out.complete);
+  }
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(IbltViewTest, ScratchReuseAcrossConfigsKeepsViewsConsistent) {
+  // Decode table A, hold nothing; decode table B of a different config
+  // through the same scratch; B's views must describe B alone.
+  IbltConfig config_a = IbltConfig::ForDifference(32, 1, /*key_width=*/16);
+  IbltConfig config_b = IbltConfig::ForDifference(4, 2, /*key_width=*/40);
+  Iblt a(config_a), b(config_b);
+  Rng rng(5);
+  for (int i = 0; i < 32; ++i) a.Insert(RandomKey(16, &rng));
+  std::vector<uint8_t> b_key = RandomKey(40, &rng);
+  b.Insert(b_key);
+
+  DecodeScratch scratch;
+  ASSERT_TRUE(a.Decode(&scratch).ok());
+  Result<IbltDecodeView> decoded_b = b.Decode(&scratch);
+  ASSERT_TRUE(decoded_b.ok());
+  ASSERT_EQ(decoded_b.value().positive.size(), 1u);
+  EXPECT_TRUE(decoded_b.value().positive[0] == b_key);
+}
+
+TEST(IbltKeyViewTest, TransparentMapLookup) {
+  std::map<std::vector<uint8_t>, int, KeyBytesLess> m;
+  m[{1, 2, 3}] = 1;
+  m[{1, 2, 4}] = 2;
+  m[{1, 2}] = 3;
+
+  const uint8_t raw[3] = {1, 2, 4};
+  auto it = m.find(IbltKeyView{raw, 3});
+  ASSERT_NE(it, m.end());
+  EXPECT_EQ(it->second, 2);
+  EXPECT_NE(m.find(IbltKeyView{raw, 2}), m.end());  // Prefix is its own key.
+  const uint8_t missing[3] = {9, 9, 9};
+  EXPECT_EQ(m.find(IbltKeyView{missing, 3}), m.end());
+
+  // View-keyed maps probed with owned vectors (the naive protocol's shape).
+  std::map<IbltKeyView, int, KeyBytesLess> by_view;
+  by_view[IbltKeyView{raw, 3}] = 7;
+  EXPECT_NE(by_view.find(std::vector<uint8_t>{1, 2, 4}), by_view.end());
+  EXPECT_EQ(by_view.find(std::vector<uint8_t>{1, 2, 5}), by_view.end());
+}
+
+TEST(IbltAdversarialTest, TruncatedCompactCellsRejected) {
+  IbltConfig config = IbltConfig::ForDifference(6, 33, /*key_width=*/12);
+  Iblt table(config);
+  Rng rng(11);
+  for (int i = 0; i < 6; ++i) table.Insert(RandomKey(12, &rng));
+  ByteWriter writer;
+  table.Serialize(&writer);
+  const std::vector<uint8_t>& bytes = writer.bytes();
+
+  // Every proper prefix must fail cleanly with kParseError, whichever cell
+  // field (count varint, checksum, key bytes) the cut lands in.
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{5}, bytes.size() / 3,
+                     bytes.size() / 2, bytes.size() - 1}) {
+    ByteReader reader(bytes.data(), cut);
+    Result<Iblt> restored = Iblt::Deserialize(&reader, config);
+    ASSERT_FALSE(restored.ok()) << "cut=" << cut;
+    EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+  }
+  ByteReader full(bytes);
+  EXPECT_TRUE(Iblt::Deserialize(&full, config).ok());
+}
+
+TEST(IbltAdversarialTest, TruncatedFixedCellsRejected) {
+  IbltConfig config = IbltConfig::ForDifference(5, 44, /*key_width=*/10);
+  Iblt table(config);
+  Rng rng(17);
+  for (int i = 0; i < 5; ++i) table.Insert(RandomKey(10, &rng));
+  ByteWriter writer;
+  table.SerializeFixed(&writer);
+  const std::vector<uint8_t>& bytes = writer.bytes();
+  ASSERT_EQ(bytes.size(), config.FixedSerializedSize());
+
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{4}, size_t{11},
+                     bytes.size() - 1}) {
+    ByteReader reader(bytes.data(), cut);
+    Result<Iblt> restored = Iblt::DeserializeFixed(&reader, config);
+    ASSERT_FALSE(restored.ok()) << "cut=" << cut;
+    EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(IbltAdversarialTest, CorruptCountVarintRejected) {
+  // A cell count varint that overflows 64 bits must be a parse error, not
+  // a silently-wrong count.
+  IbltConfig config;
+  config.cells = 4;
+  config.num_hashes = 2;
+  config.key_width = 8;
+  config.seed = 3;
+  std::vector<uint8_t> bad(10, 0x80);
+  bad[9] = 0x7f;  // Ten-byte varint with payload past bit 63.
+  ByteReader reader(bad);
+  Result<Iblt> restored = Iblt::Deserialize(&reader, config);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace setrec

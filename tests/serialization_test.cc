@@ -99,11 +99,57 @@ TEST(ByteReaderTest, TruncatedVarintDetected) {
   EXPECT_FALSE(r.GetVarint(&out));
 }
 
+TEST(VarintTest, TenthByteOverflowRejected) {
+  // Nine continuation bytes put the tenth byte at shift 63, where only one
+  // payload bit remains. Any higher payload bit would silently shift off
+  // the 64-bit end; the reader must reject instead of truncating.
+  for (uint8_t last : {0x02, 0x40, 0x7e, 0x7f}) {
+    std::vector<uint8_t> bad(10, 0x80);
+    bad[9] = last;
+    ByteReader r(bad);
+    uint64_t out = 0;
+    EXPECT_FALSE(r.GetVarint(&out)) << "last=" << int{last};
+  }
+}
+
+TEST(VarintTest, TenthByteLastRepresentableBitAccepted) {
+  std::vector<uint8_t> max_enc(10, 0xff);
+  max_enc[9] = 0x01;  // Canonical encoding of 2^64 - 1.
+  ByteReader r(max_enc);
+  uint64_t out = 0;
+  ASSERT_TRUE(r.GetVarint(&out));
+  EXPECT_EQ(out, std::numeric_limits<uint64_t>::max());
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(VarintTest, ElevenByteOverlongRejected) {
+  // A continuation bit on the tenth byte claims an eleventh; no 64-bit
+  // value needs one.
+  std::vector<uint8_t> bad(11, 0x80);
+  bad[10] = 0x00;
+  ByteReader r(bad);
+  uint64_t out = 0;
+  EXPECT_FALSE(r.GetVarint(&out));
+}
+
 TEST(ByteReaderTest, EmptyReads) {
   ByteReader r(nullptr, 0);
   uint8_t out;
   EXPECT_TRUE(r.empty());
   EXPECT_FALSE(r.GetU8(&out));
+}
+
+TEST(ByteReaderTest, SkipAdvancesAndBoundsChecks) {
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  ByteReader r(data);
+  ASSERT_TRUE(r.Skip(3));
+  uint8_t out = 0;
+  ASSERT_TRUE(r.GetU8(&out));
+  EXPECT_EQ(out, 4);
+  EXPECT_FALSE(r.Skip(2));  // Only one byte left; position must not move.
+  ASSERT_TRUE(r.Skip(1));
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.Skip(0));
 }
 
 TEST(LengthPrefixedTest, RoundTrip) {
@@ -122,6 +168,25 @@ TEST(LengthPrefixedTest, RoundTrip) {
 TEST(LengthPrefixedTest, LengthBeyondBufferRejected) {
   ByteWriter w;
   w.PutVarint(1000);  // Claims 1000 bytes, provides none.
+  ByteReader r(w.bytes());
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(r.GetLengthPrefixed(&out));
+}
+
+TEST(LengthPrefixedTest, LengthOneBeyondRemainingRejected) {
+  ByteWriter w;
+  w.PutVarint(5);  // Claims 5 bytes...
+  w.PutU32(0);     // ...provides 4.
+  ByteReader r(w.bytes());
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(r.GetLengthPrefixed(&out));
+}
+
+TEST(LengthPrefixedTest, HugeLengthDoesNotReserve) {
+  // A hostile length just below 2^64 must be rejected by the remaining()
+  // bound before any allocation is attempted.
+  ByteWriter w;
+  w.PutVarint(std::numeric_limits<uint64_t>::max() - 1);
   ByteReader r(w.bytes());
   std::vector<uint8_t> out;
   EXPECT_FALSE(r.GetLengthPrefixed(&out));

@@ -1,0 +1,332 @@
+// SyncService throughput: many concurrent small reconciliation sessions
+// against one shared server set, driven (a) one-session-at-a-time through
+// blocking Reconcile calls — the pre-service status quo — and (b) through
+// the SyncService's stepped state machines with the cross-session batch
+// planner, Alice-message memoization and pooled decode scratches.
+//
+// The headline measurements (written to BENCH_service.json by `--json`):
+//   * sessions/sec for both drivers and their ratio (the service must win
+//     by coalescing + memoization alone; the box may be single-core),
+//   * batch-planner occupancy: keys per coalesced flush vs the sharded
+//     ApplyOps threshold — per-session batches are far below it, the
+//     cross-session flushes must cross it,
+//   * a sharding-threshold sweep over IbltBatchOptions::sharded_min_keys
+//     (the runtime knob) showing where sharded flushes engage.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/workload.h"
+#include "hashing/random.h"
+#include "service/sync_service.h"
+
+namespace setrec {
+namespace {
+
+struct Workload {
+  std::shared_ptr<const SetOfSets> server;
+  std::vector<std::shared_ptr<const SetOfSets>> clients;
+  SsrParams params;
+  size_t known_d = 0;
+  std::vector<SsrProtocolKind> kinds;
+};
+
+/// One shared server set; each client drifts from it by ~d element edits.
+/// `force` pins every session to one protocol (for per-protocol rows);
+/// by default the population is mixed, biased to the one-round families.
+Workload MakeWorkload(size_t sessions, size_t children, size_t child_size,
+                      size_t d, uint64_t seed,
+                      std::optional<SsrProtocolKind> force = std::nullopt) {
+  SsrWorkloadSpec spec;
+  spec.num_children = children;
+  spec.child_size = child_size;
+  spec.changes = d;
+  spec.seed = seed;
+  SsrWorkload base = MakeSsrWorkload(spec);
+
+  Workload w;
+  w.server = std::make_shared<SetOfSets>(base.alice);
+  w.params.max_child_size = child_size + d + 2;
+  w.params.max_children = children + d;
+  w.params.seed = seed * 77 + 1;
+  w.known_d = d + 2;
+  Rng rng(seed);
+  w.clients.reserve(sessions);
+  w.kinds.reserve(sessions);
+  for (size_t i = 0; i < sessions; ++i) {
+    SetOfSets bob = *w.server;
+    for (size_t edit = 0; edit < d; ++edit) {
+      size_t victim = rng.NextU64() % bob.size();
+      if (edit % 2 == 0 && bob[victim].size() > 1) {
+        bob[victim].erase(bob[victim].begin() +
+                          static_cast<ptrdiff_t>(rng.NextU64() %
+                                                 bob[victim].size()));
+      } else {
+        bob[victim].push_back((1ull << 42) + (rng.NextU64() & 0xfffff));
+      }
+    }
+    w.clients.push_back(std::make_shared<SetOfSets>(
+        Canonicalize(std::move(bob))));
+    const uint64_t pick = rng.NextU64() % 10;
+    w.kinds.push_back(force.has_value() ? *force
+                      : pick < 3        ? SsrProtocolKind::kNaive
+                      : pick < 7        ? SsrProtocolKind::kIblt2
+                      : pick < 9        ? SsrProtocolKind::kCascade
+                                        : SsrProtocolKind::kMultiRound);
+  }
+  return w;
+}
+
+struct DriverResult {
+  double seconds = 0;
+  size_t completed = 0;
+  size_t failed = 0;
+  size_t bytes = 0;
+  size_t rounds = 0;
+  ServiceStats service_stats;  // Service driver only.
+};
+
+DriverResult RunDirect(const Workload& w) {
+  DriverResult r;
+  r.seconds = bench::TimeSeconds([&] {
+    for (size_t i = 0; i < w.clients.size(); ++i) {
+      std::unique_ptr<SetsOfSetsProtocol> protocol =
+          MakeSsrProtocol(w.kinds[i], w.params);
+      Channel channel;
+      Result<SsrOutcome> outcome = protocol->Reconcile(
+          *w.server, *w.clients[i], w.known_d, &channel);
+      if (outcome.ok()) {
+        ++r.completed;
+        r.bytes += outcome.value().stats.bytes;
+        r.rounds += outcome.value().stats.rounds;
+      } else {
+        ++r.failed;
+      }
+    }
+  });
+  return r;
+}
+
+DriverResult RunService(const Workload& w, const IbltBatchOptions& batch,
+                        size_t max_inflight = 0) {
+  SyncServiceOptions options;
+  options.batch = batch;
+  options.max_inflight =
+      max_inflight == 0 ? w.clients.size() : max_inflight;
+  options.keep_recovered = false;
+  SyncService service(options);
+  service.RegisterSharedSet(w.server);
+  DriverResult r;
+  r.seconds = bench::TimeSeconds([&] {
+    for (size_t i = 0; i < w.clients.size(); ++i) {
+      SessionSpec session;
+      session.protocol = w.kinds[i];
+      session.params = w.params;
+      session.alice = w.server;
+      session.bob = w.clients[i];
+      session.known_d = w.known_d;
+      service.Submit(std::move(session));
+    }
+    service.RunToCompletion();
+  });
+  const ServiceStats& stats = service.stats();
+  r.completed = stats.sessions_completed;
+  r.failed = stats.sessions_failed;
+  r.bytes = stats.total_bytes;
+  r.rounds = stats.total_rounds;
+  r.service_stats = stats;
+  return r;
+}
+
+void PrintComparison(const char* name, const DriverResult& direct,
+                     const DriverResult& service, size_t sessions,
+                     const IbltBatchOptions& batch) {
+  const double direct_rate = static_cast<double>(sessions) / direct.seconds;
+  const double service_rate = static_cast<double>(sessions) / service.seconds;
+  std::printf("%-22s %10.0f %10.0f %7.2fx   occ mean %7.0f max %7zu "
+              "(thresh %zu, sharded %zu/%zu) cache %zu/%zu\n",
+              name, direct_rate, service_rate, service_rate / direct_rate,
+              service.service_stats.mean_flush_occupancy(),
+              service.service_stats.max_flush_keys, batch.sharded_min_keys,
+              service.service_stats.sharded_flushes,
+              service.service_stats.flushes,
+              service.service_stats.cache_hits,
+              service.service_stats.cache_hits +
+                  service.service_stats.cache_misses);
+}
+
+int RunJsonSuite() {
+  // The acceptance workload: 10k concurrent small sessions. Single-core
+  // noisy VM with bursty interference: interleave the drivers and take the
+  // MEDIAN of 5 reps each (a burst can land in either driver's rep; the
+  // median discards it symmetrically, unlike best-of).
+  const size_t kSessions = 10'000;
+  const size_t kWindow = 512;
+  const int kReps = 5;
+  Workload w = MakeWorkload(kSessions, /*children=*/64, /*child_size=*/8,
+                            /*d=*/2, /*seed=*/41);
+
+  IbltBatchOptions batch;  // Library default threshold (64k keys).
+  std::vector<DriverResult> direct_reps;
+  std::vector<DriverResult> service_reps;
+  for (int rep = 0; rep < kReps; ++rep) {
+    direct_reps.push_back(RunDirect(w));
+    service_reps.push_back(RunService(w, batch, kWindow));
+  }
+  auto by_seconds = [](const DriverResult& a, const DriverResult& b) {
+    return a.seconds < b.seconds;
+  };
+  std::sort(direct_reps.begin(), direct_reps.end(), by_seconds);
+  std::sort(service_reps.begin(), service_reps.end(), by_seconds);
+  DriverResult direct = direct_reps[kReps / 2];
+  DriverResult service = service_reps[kReps / 2];
+  if (direct.failed != 0 || service.failed != 0) {
+    std::fprintf(stderr, "bench_service: %zu direct / %zu service failures\n",
+                 direct.failed, service.failed);
+    return 1;
+  }
+  if (direct.bytes != service.bytes || direct.rounds != service.rounds) {
+    std::fprintf(stderr,
+                 "bench_service: transcript totals diverged "
+                 "(direct %zu B / %zu rounds, service %zu B / %zu rounds)\n",
+                 direct.bytes, direct.rounds, service.bytes, service.rounds);
+    return 1;
+  }
+  const double direct_rate = static_cast<double>(kSessions) / direct.seconds;
+  const double service_rate = static_cast<double>(kSessions) / service.seconds;
+
+  // Threshold sweep on a smaller population (the knob is runtime-tunable;
+  // occupancy is deterministic, timing is the noisy column).
+  struct SweepRow {
+    size_t threshold;
+    double seconds;
+    size_t sharded;
+    size_t flushes;
+    size_t max_keys;
+  };
+  std::vector<SweepRow> sweep;
+  Workload sw = MakeWorkload(2000, 64, 8, 2, 43);
+  for (size_t threshold : {size_t{4} << 10, size_t{16} << 10, size_t{64} << 10,
+                           size_t{256} << 10}) {
+    IbltBatchOptions sweep_batch;
+    sweep_batch.sharded_min_keys = threshold;
+    DriverResult row = RunService(sw, sweep_batch, kWindow);
+    sweep.push_back({threshold, row.seconds,
+                     row.service_stats.sharded_flushes,
+                     row.service_stats.flushes,
+                     row.service_stats.max_flush_keys});
+  }
+
+  char buf[512];
+  std::string json = "{\n  \"bench\": \"service\",\n";
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"workload\": {\"sessions\": %zu, \"children\": 64, "
+      "\"child_size\": 8, \"d\": 2, \"window\": %zu, \"protocol_mix\": "
+      "\"naive:3 iblt2:4 cascade:2 multiround:1\", \"median_of\": 5},\n",
+      kSessions, kWindow);
+  json += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"direct\": {\"sessions_per_sec\": %.0f, \"seconds\": %.3f, "
+      "\"bytes\": %zu, \"rounds\": %zu},\n",
+      direct_rate, direct.seconds, direct.bytes, direct.rounds);
+  json += buf;
+  const ServiceStats& stats = service.service_stats;
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"service\": {\"sessions_per_sec\": %.0f, \"seconds\": %.3f, "
+      "\"bytes\": %zu, \"rounds\": %zu, \"speedup\": %.2f,\n"
+      "    \"flushes\": %zu, \"mean_flush_keys\": %.0f, "
+      "\"max_flush_keys\": %zu,\n"
+      "    \"sharded_min_keys\": %zu, \"sharded_flushes\": %zu,\n"
+      "    \"cache_hits\": %zu, \"cache_misses\": %zu, "
+      "\"estimator_jobs\": %zu, \"resumes\": %zu, \"steps\": %zu},\n",
+      service_rate, service.seconds, service.bytes, service.rounds,
+      service_rate / direct_rate, stats.flushes,
+      stats.mean_flush_occupancy(), stats.max_flush_keys,
+      batch.sharded_min_keys, stats.sharded_flushes, stats.cache_hits,
+      stats.cache_misses, stats.estimator_jobs, stats.resumes, stats.steps);
+  json += buf;
+  json += "  \"threshold_sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"sharded_min_keys\": %zu, \"seconds\": %.3f, "
+        "\"sharded_flushes\": %zu, \"flushes\": %zu, "
+        "\"max_flush_keys\": %zu}%s\n",
+        sweep[i].threshold, sweep[i].seconds, sweep[i].sharded,
+        sweep[i].flushes, sweep[i].max_keys,
+        i + 1 < sweep.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen("BENCH_service.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_service: cannot write BENCH_service.json\n");
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("direct  %8.0f sessions/sec\nservice %8.0f sessions/sec "
+              "(%.2fx)\nmax flush occupancy %zu keys (threshold %zu, "
+              "%zu/%zu sharded flushes)\nwrote BENCH_service.json\n",
+              direct_rate, service_rate, service_rate / direct_rate,
+              stats.max_flush_keys, batch.sharded_min_keys,
+              stats.sharded_flushes, stats.flushes);
+  return 0;
+}
+
+void RunTableSuite() {
+  bench::Header("service", "sessions/sec: direct loop vs SyncService");
+  std::printf("%-22s %10s %10s %8s\n", "workload", "direct/s", "service/s",
+              "speedup");
+  IbltBatchOptions batch;
+  for (int kind = 0; kind < 4; ++kind) {
+    Workload w = MakeWorkload(2000, 48, 8, 2, 21 + kind,
+                              static_cast<SsrProtocolKind>(kind));
+    DriverResult direct = RunDirect(w);
+    DriverResult service = RunService(w, batch, 1024);
+    char name[64];
+    std::snprintf(name, sizeof name, "pure %s",
+                  SsrProtocolKindName(static_cast<SsrProtocolKind>(kind)));
+    PrintComparison(name, direct, service, 2000, batch);
+  }
+  for (size_t sessions : {size_t{2000}}) {
+    for (size_t children : {size_t{48}}) {
+      Workload w = MakeWorkload(sessions, children, 8, 2, 11 + sessions);
+      DriverResult direct = RunDirect(w);
+      for (size_t window : {size_t{256}, size_t{1024}, size_t{0}}) {
+        DriverResult service = RunService(w, batch, window);
+        char name[64];
+        std::snprintf(name, sizeof name, "k=%zu s=%zu w=%zu", sessions,
+                      children, window == 0 ? sessions : window);
+        PrintComparison(name, direct, service, sessions, batch);
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape: service >= 1.5x direct (Alice-message memoization\n"
+      "+ coalesced planner flushes + pooled scratches); max occupancy far\n"
+      "above any single session's per-batch key count.\n");
+}
+
+}  // namespace
+}  // namespace setrec
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return setrec::RunJsonSuite();
+    }
+  }
+  setrec::RunTableSuite();
+  return 0;
+}

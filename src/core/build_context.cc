@@ -1,0 +1,20 @@
+#include "core/build_context.h"
+
+namespace setrec {
+
+namespace {
+constexpr uint64_t kValidateTag = 0x76616c69ull;  // "vali"
+}  // namespace
+
+Status ValidateSetOfSetsMemo(const SetOfSets& set, const SsrParams& params,
+                             ProtocolContext* ctx) {
+  const uint64_t key = ProtocolCacheKey(
+      ctx->SetIdentity(&set),
+      {kValidateTag, params.max_child_size, params.max_children});
+  if (key != 0 && ctx->CheckValidated(key)) return Status::Ok();
+  Status status = ValidateSetOfSets(set, params);
+  if (status.ok() && key != 0) ctx->MarkValidated(key);
+  return status;
+}
+
+}  // namespace setrec

@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_set>
 
+#include "core/build_context.h"
 #include "core/encoding.h"
 #include "hashing/random.h"
 #include "iblt/iblt.h"
@@ -65,18 +66,28 @@ IbltConfig LevelOuterConfig(size_t level, size_t d, size_t d_hat,
   return config;
 }
 
-Iblt BuildChildSketch(const ChildSet& child, const IbltConfig& config) {
-  Iblt sketch(config);
-  sketch.InsertBatch(child);
-  return sketch;
+/// Builds one side's child sketches for a level through the deferred
+/// planner pass: one tiny batch per child, coalesced across children (and,
+/// under the service, across sessions). `sketches` is emptied and refilled.
+Task<Status> BuildLevelSketches(const SetOfSets& children,
+                                const IbltConfig& child_config,
+                                ProtocolContext* ctx,
+                                std::vector<Iblt>* sketches) {
+  sketches->clear();
+  sketches->reserve(children.size());
+  for (const ChildSet& child : children) {
+    sketches->emplace_back(child_config);
+    ctx->QueueInsertU64(&sketches->back(), child.data(), child.size());
+  }
+  co_await ctx->FlushBuilds();
+  co_return Status::Ok();
 }
 
 }  // namespace
 
-Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
-                                             const SetOfSets& bob, size_t d,
-                                             size_t d_hat, uint64_t seed,
-                                             Channel* channel) const {
+Task<Result<SetOfSets>> CascadingProtocol::Attempt(
+    const SetOfSets& alice, const SetOfSets& bob, size_t d, size_t d_hat,
+    uint64_t seed, Channel* channel, ProtocolContext* ctx) const {
   const size_t h = params_.max_child_size;
   HashFamily fp_family(seed, /*tag=*/0x66706373ull);
 
@@ -103,72 +114,132 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
         DeriveSeed(seed, /*tag=*/0x73746172ull), ChildBlobWidth(h));  // "star"
   }
 
-  // --- Alice: every child encoded into every level (and T*). ---
-  ByteWriter writer;
-  writer.PutU64(ParentFingerprint(alice, fp_family));
-  for (size_t level = 0; level < t; ++level) {
-    Iblt outer(outer_configs[level]);
-    for (const ChildSet& child : alice) {
-      outer.Insert(EncodeChildIbltBlob(child, child_configs[level],
-                                       ChildFingerprint(child, fp_family)));
+  // --- Alice: every child encoded into every level (and T*). One message,
+  // memoized across sessions sharing her set; per-level child sketches and
+  // outer-table updates run through the deferred planner passes. ---
+  uint64_t cache_key = ProtocolCacheKey(ctx->SetIdentity(&alice),
+                                        {kAttemptTag, d, d_hat, seed, h});
+  auto build = [&](ByteWriter* writer) -> Task<Status> {
+    writer->PutU64(ParentFingerprint(alice, fp_family));
+    std::vector<uint64_t> fps(alice.size());
+    for (size_t i = 0; i < alice.size(); ++i) {
+      fps[i] = ChildFingerprint(alice[i], fp_family);
     }
-    outer.Serialize(&writer);
-  }
-  if (has_star) {
-    Iblt star(star_config);
-    for (const ChildSet& child : alice) {
-      star.Insert(EncodeChildBlob(child, h));
+    std::vector<Iblt> sketches;
+    for (size_t level = 0; level < t; ++level) {
+      Status s = co_await BuildLevelSketches(alice, child_configs[level], ctx,
+                                             &sketches);
+      if (!s.ok()) co_return s;
+      ByteWriter packed;
+      for (size_t i = 0; i < alice.size(); ++i) {
+        AppendChildIbltBlob(sketches[i], fps[i], &packed);
+      }
+      Iblt outer(outer_configs[level]);
+      ctx->QueueInsertBytes(&outer, packed.bytes().data(), alice.size());
+      co_await ctx->FlushBuilds();
+      outer.Serialize(writer);
     }
-    star.Serialize(&writer);
-  }
-  size_t msg = channel->Send(Party::kAlice, writer.Take(), "cascade");
+    if (has_star) {
+      ByteWriter packed;
+      for (const ChildSet& child : alice) {
+        packed.PutBytes(EncodeChildBlob(child, h));
+      }
+      Iblt star(star_config);
+      ctx->QueueInsertBytes(&star, packed.bytes().data(), alice.size());
+      co_await ctx->FlushBuilds();
+      star.Serialize(writer);
+    }
+    co_return Status::Ok();
+  };
+  Result<size_t> sent =
+      co_await CachedAliceSend(ctx, channel, cache_key, "cascade", build);
+  if (!sent.ok()) co_return sent.status();
+  size_t msg = sent.value();
 
   // --- Bob ---
   ByteReader reader(channel->Receive(msg).payload);
   uint64_t alice_parent_fp = 0;
   if (!reader.GetU64(&alice_parent_fp)) {
-    return ParseError("cascade message truncated");
+    co_return ParseError("cascade message truncated");
   }
   std::vector<Iblt> outer_tables;
   for (size_t level = 0; level < t; ++level) {
-    Result<Iblt> table = Iblt::Deserialize(&reader, outer_configs[level]);
-    if (!table.ok()) return table.status();
+    Result<Iblt> table = ctx->ParseTableMemo(TableMemoKey(cache_key, level),
+                                             &reader, outer_configs[level]);
+    if (!table.ok()) co_return table.status();
     outer_tables.push_back(std::move(table).value());
   }
-  Result<Iblt> star_table = has_star
-                                ? Iblt::Deserialize(&reader, star_config)
-                                : InvalidArgument("unused");
-  if (has_star && !star_table.ok()) return star_table.status();
+  Result<Iblt> star_table =
+      has_star ? ctx->ParseTableMemo(TableMemoKey(cache_key, t), &reader,
+                                     star_config)
+               : InvalidArgument("unused");
+  if (has_star && !star_table.ok()) co_return star_table.status();
 
   std::vector<bool> in_db(bob.size(), false);   // Bob's differing children.
   SetOfSets da;                                  // Alice's recovered children.
   std::unordered_set<uint64_t> recovered_fps;    // Their fingerprints.
-  // Outer/star decode views live in `outer_scratch` and are iterated while
-  // the nested per-child decodes churn `child_scratch`; the split keeps the
-  // views valid (one scratch would be invalidated by the first child
-  // decode). Both warm up across levels and attempts.
-  DecodeScratch outer_scratch;
-  DecodeScratch child_scratch;
+  std::vector<uint64_t> bob_fps(bob.size());
+  for (size_t j = 0; j < bob.size(); ++j) {
+    bob_fps[j] = ChildFingerprint(bob[j], fp_family);
+  }
+  // Outer/star decode views live in the pooled slot-0 scratch and are
+  // iterated while the nested per-child decodes churn slot 1; the split
+  // keeps the views valid (one scratch would be invalidated by the first
+  // child decode). Within a level there is no suspension between the outer
+  // decode and the last view use; across levels the table is re-decoded.
+  DecodeScratch* outer_scratch = ctx->Scratch(0);
+  DecodeScratch* child_scratch = ctx->Scratch(1);
+  std::vector<Iblt> bob_sketches;
+  std::vector<Iblt> da_sketches;
 
   for (size_t level = 0; level < t; ++level) {
     const IbltConfig& child_config = child_configs[level];
+    const size_t blob_width = outer_configs[level].key_width;
     Iblt& outer = outer_tables[level];
 
+    // Bob's level-i encodings (all children, for the blob map) and the
+    // recovered-children encodings, built through deferred sketch passes.
+    if (Status s = co_await BuildLevelSketches(bob, child_config, ctx,
+                                               &bob_sketches);
+        !s.ok()) {
+      co_return s;
+    }
+    if (Status s = co_await BuildLevelSketches(da, child_config, ctx,
+                                               &da_sketches);
+        !s.ok()) {
+      co_return s;
+    }
+    ByteWriter bob_packed;
+    for (size_t j = 0; j < bob.size(); ++j) {
+      AppendChildIbltBlob(bob_sketches[j], bob_fps[j], &bob_packed);
+    }
     // Delete Bob's children not yet known to differ (level 1: all of them),
     // and every already-recovered child of Alice's.
-    std::map<std::vector<uint8_t>, size_t, KeyBytesLess> blob_to_child;
+    ByteWriter erase_packed;
+    size_t erase_count = 0;
     for (size_t j = 0; j < bob.size(); ++j) {
-      std::vector<uint8_t> blob = EncodeChildIbltBlob(
-          bob[j], child_config, ChildFingerprint(bob[j], fp_family));
-      if (!in_db[j]) outer.Erase(blob);
-      blob_to_child.emplace(std::move(blob), j);
+      if (!in_db[j]) {
+        erase_packed.PutBytes(bob_packed.bytes().data() + j * blob_width,
+                              blob_width);
+        ++erase_count;
+      }
     }
-    for (const ChildSet& child : da) {
-      outer.Erase(EncodeChildIbltBlob(child, child_config,
-                                      ChildFingerprint(child, fp_family)));
+    for (size_t i = 0; i < da.size(); ++i) {
+      AppendChildIbltBlob(da_sketches[i],
+                          ChildFingerprint(da[i], fp_family), &erase_packed);
+      ++erase_count;
+    }
+    ctx->QueueEraseBytes(&outer, erase_packed.bytes().data(), erase_count);
+    co_await ctx->FlushBuilds();
+
+    std::map<IbltKeyView, size_t, KeyBytesLess> blob_to_child;
+    for (size_t j = 0; j < bob.size(); ++j) {
+      blob_to_child.emplace(
+          IbltKeyView{bob_packed.bytes().data() + j * blob_width, blob_width},
+          j);
     }
 
-    IbltPartialDecodeView decoded = outer.DecodePartial(&outer_scratch);
+    IbltPartialDecodeView decoded = outer.DecodePartial(outer_scratch);
 
     // Negative encodings expose Bob children that differ from Alice's.
     for (const IbltKeyView& blob : decoded.entries.negative) {
@@ -178,15 +249,13 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
     }
 
     // Partner sketches for this level: Bob's differing children (+ empty).
-    std::vector<std::pair<Iblt, const ChildSet*>> partners;
+    std::vector<std::pair<const Iblt*, const ChildSet*>> partners;
     for (size_t j = 0; j < bob.size(); ++j) {
-      if (in_db[j]) {
-        partners.emplace_back(BuildChildSketch(bob[j], child_config),
-                              &bob[j]);
-      }
+      if (in_db[j]) partners.emplace_back(&bob_sketches[j], &bob[j]);
     }
     const ChildSet empty_set;
-    partners.emplace_back(Iblt(child_config), &empty_set);
+    const Iblt empty_sketch(child_config);
+    partners.emplace_back(&empty_sketch, &empty_set);
 
     for (const IbltKeyView& blob : decoded.entries.positive) {
       Result<ChildEncoding> enc_r = ParseChildIbltBlob(blob, child_config);
@@ -195,13 +264,12 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
       if (recovered_fps.count(enc.fingerprint) > 0) continue;
       for (const auto& [partner_sketch, partner_set] : partners) {
         Iblt diff = enc.sketch;
-        if (!diff.Subtract(partner_sketch).ok()) continue;
-        Result<IbltDecodeResult64> dd = diff.DecodeU64(&child_scratch);
+        if (!diff.Subtract(*partner_sketch).ok()) continue;
+        Result<IbltDecodeView64> dd = diff.DecodeU64View(child_scratch);
         if (!dd.ok()) continue;
-        SetDifference sd;
-        sd.remote_only = std::move(dd.value().positive);
-        sd.local_only = std::move(dd.value().negative);
-        ChildSet candidate = ApplyDifference(*partner_set, sd);
+        ChildSet candidate = ApplyDifference(*partner_set,
+                                             dd.value().positive,
+                                             dd.value().negative);
         if (ChildFingerprint(candidate, fp_family) == enc.fingerprint) {
           recovered_fps.insert(enc.fingerprint);
           da.push_back(std::move(candidate));
@@ -215,14 +283,24 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
 
   if (has_star) {
     Iblt star = std::move(star_table).value();
-    std::map<std::vector<uint8_t>, size_t, KeyBytesLess> blob_to_child;
-    for (size_t j = 0; j < bob.size(); ++j) {
-      std::vector<uint8_t> blob = EncodeChildBlob(bob[j], h);
-      star.Erase(blob);
-      blob_to_child.emplace(std::move(blob), j);
+    const size_t blob_width = star_config.key_width;
+    ByteWriter star_packed;
+    for (const ChildSet& child : bob) {
+      star_packed.PutBytes(EncodeChildBlob(child, h));
     }
-    for (const ChildSet& child : da) star.Erase(EncodeChildBlob(child, h));
-    IbltPartialDecodeView decoded = star.DecodePartial(&outer_scratch);
+    for (const ChildSet& child : da) {
+      star_packed.PutBytes(EncodeChildBlob(child, h));
+    }
+    ctx->QueueEraseBytes(&star, star_packed.bytes().data(),
+                         bob.size() + da.size());
+    co_await ctx->FlushBuilds();
+    std::map<IbltKeyView, size_t, KeyBytesLess> blob_to_child;
+    for (size_t j = 0; j < bob.size(); ++j) {
+      blob_to_child.emplace(
+          IbltKeyView{star_packed.bytes().data() + j * blob_width, blob_width},
+          j);
+    }
+    IbltPartialDecodeView decoded = star.DecodePartial(outer_scratch);
     for (const IbltKeyView& blob : decoded.entries.negative) {
       auto it = blob_to_child.find(blob);
       if (it != blob_to_child.end()) in_db[it->second] = true;
@@ -245,20 +323,22 @@ Result<SetOfSets> CascadingProtocol::Attempt(const SetOfSets& alice,
   for (ChildSet& child : da) recovered.push_back(std::move(child));
   recovered = Canonicalize(std::move(recovered));
   if (ParentFingerprint(recovered, fp_family) != alice_parent_fp) {
-    return VerificationFailure("cascade: parent fingerprint mismatch");
+    co_return VerificationFailure("cascade: parent fingerprint mismatch");
   }
-  return recovered;
+  co_return recovered;
 }
 
-Result<SsrOutcome> CascadingProtocol::Reconcile(const SetOfSets& alice,
-                                                const SetOfSets& bob,
-                                                std::optional<size_t> known_d,
-                                                Channel* channel) const {
+Task<Result<SsrOutcome>> CascadingProtocol::ReconcileAsync(
+    const SetOfSets& alice, const SetOfSets& bob,
+    std::optional<size_t> known_d, Channel* channel,
+    ProtocolContext* ctx) const {
   if (params_.max_child_size == 0) {
-    return InvalidArgument("cascading protocol requires max_child_size (h)");
+    co_return InvalidArgument("cascading protocol requires max_child_size (h)");
   }
-  if (Status s = ValidateSetOfSets(alice, params_); !s.ok()) return s;
-  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) return s;
+  if (Status s = ValidateSetOfSetsMemo(alice, params_, ctx); !s.ok()) {
+    co_return s;
+  }
+  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) co_return s;
 
   Status last = DecodeFailure("no attempts made");
   if (known_d.has_value()) {
@@ -267,18 +347,18 @@ Result<SsrOutcome> CascadingProtocol::Reconcile(const SetOfSets& alice,
     for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
       uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
       Result<SetOfSets> recovered =
-          Attempt(alice, bob, d, d_hat, seed, channel);
+          co_await Attempt(alice, bob, d, d_hat, seed, channel, ctx);
       if (recovered.ok()) {
         SsrOutcome outcome;
         outcome.recovered = std::move(recovered).value();
         outcome.stats = {channel->rounds(), channel->total_bytes(),
                          attempt + 1};
-        return outcome;
+        co_return outcome;
       }
       last = recovered.status();
-      if (last.code() == StatusCode::kParseError) return last;
+      if (last.code() == StatusCode::kParseError) co_return last;
     }
-    return Exhausted("cascade (SSRK) failed: " + last.ToString());
+    co_return Exhausted("cascade (SSRK) failed: " + last.ToString());
   }
 
   // SSRU (Corollary 3.8): repeated doubling.
@@ -287,18 +367,18 @@ Result<SsrOutcome> CascadingProtocol::Reconcile(const SetOfSets& alice,
   for (int round = 0; round < kMaxDoublings; ++round, d *= 2) {
     uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + 1000 + round);
     size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
-    Result<SetOfSets> recovered = Attempt(alice, bob, d, d_hat, seed,
-                                          channel);
+    Result<SetOfSets> recovered =
+        co_await Attempt(alice, bob, d, d_hat, seed, channel, ctx);
     if (recovered.ok()) {
       SsrOutcome outcome;
       outcome.recovered = std::move(recovered).value();
       outcome.stats = {channel->rounds(), channel->total_bytes(), round + 1};
-      return outcome;
+      co_return outcome;
     }
     last = recovered.status();
-    if (last.code() == StatusCode::kParseError) return last;
+    if (last.code() == StatusCode::kParseError) co_return last;
   }
-  return Exhausted("cascade (SSRU) failed: " + last.ToString());
+  co_return Exhausted("cascade (SSRU) failed: " + last.ToString());
 }
 
 }  // namespace setrec

@@ -48,9 +48,14 @@ std::vector<uint8_t> EncodeChildIbltBlob(const ChildSet& child,
   Iblt sketch(child_config);
   sketch.InsertBatch(child);
   ByteWriter writer;
-  sketch.SerializeFixed(&writer);
-  writer.PutU64(fingerprint);
+  AppendChildIbltBlob(sketch, fingerprint, &writer);
   return writer.Take();
+}
+
+void AppendChildIbltBlob(const Iblt& sketch, uint64_t fingerprint,
+                         ByteWriter* out) {
+  sketch.SerializeFixed(out);
+  out->PutU64(fingerprint);
 }
 
 Result<ChildEncoding> ParseChildIbltBlob(const uint8_t* data, size_t size,

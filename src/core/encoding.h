@@ -51,6 +51,14 @@ std::vector<uint8_t> EncodeChildIbltBlob(const ChildSet& child,
                                          const IbltConfig& child_config,
                                          uint64_t fingerprint);
 
+/// The split form: serializes an already-built child sketch plus its
+/// fingerprint, appending ChildIbltBlobWidth bytes to `out`. Protocols that
+/// defer child-sketch builds into coalesced planner passes build all
+/// sketches first, then pack the blobs contiguously for one outer-table
+/// batch update. Byte-identical to EncodeChildIbltBlob of the same child.
+void AppendChildIbltBlob(const Iblt& sketch, uint64_t fingerprint,
+                         ByteWriter* out);
+
 /// Parses a blob produced by EncodeChildIbltBlob. The (data, size) form
 /// reads straight out of a decode-view arena.
 Result<ChildEncoding> ParseChildIbltBlob(const uint8_t* data, size_t size,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "core/build_context.h"
 #include "core/encoding.h"
 #include "hashing/random.h"
 #include "iblt/iblt.h"
@@ -16,7 +17,9 @@ constexpr uint64_t kAttemptTag = 0x69626c32ull;  // "ibl2"
 
 /// Tries to recover Alice's child set behind `alice_enc` by decoding her
 /// child IBLT against `partner_sketch` (one of Bob's differing children, or
-/// an empty sketch) and applying the difference to `partner_set`.
+/// an empty sketch) and applying the difference to `partner_set`. The
+/// decode goes through the zero-allocation u64 view path; ApplyDifference
+/// sorts its own working copies, so the views are consumed as decoded.
 Result<ChildSet> TryRecoverChild(const ChildEncoding& alice_enc,
                                  const Iblt& partner_sketch,
                                  const ChildSet& partner_set,
@@ -24,13 +27,10 @@ Result<ChildSet> TryRecoverChild(const ChildEncoding& alice_enc,
                                  DecodeScratch* scratch) {
   Iblt diff = alice_enc.sketch;
   if (Status s = diff.Subtract(partner_sketch); !s.ok()) return s;
-  Result<IbltDecodeResult64> decoded = diff.DecodeU64(scratch);
+  Result<IbltDecodeView64> decoded = diff.DecodeU64View(scratch);
   if (!decoded.ok()) return decoded.status();
-  SetDifference sd;
-  sd.remote_only = std::move(decoded.value().positive);
-  sd.local_only = std::move(decoded.value().negative);
-  std::sort(sd.local_only.begin(), sd.local_only.end());
-  ChildSet candidate = ApplyDifference(partner_set, sd);
+  ChildSet candidate = ApplyDifference(partner_set, decoded.value().positive,
+                                       decoded.value().negative);
   if (ChildFingerprint(candidate, fp_family) != alice_enc.fingerprint) {
     return VerificationFailure("child fingerprint mismatch");
   }
@@ -39,55 +39,94 @@ Result<ChildSet> TryRecoverChild(const ChildEncoding& alice_enc,
 
 }  // namespace
 
-Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
-                                               const SetOfSets& bob, size_t d,
-                                               size_t d_hat, uint64_t seed,
-                                               Channel* channel) const {
+Task<Result<SetOfSets>> IbltOfIbltsProtocol::Attempt(
+    const SetOfSets& alice, const SetOfSets& bob, size_t d, size_t d_hat,
+    uint64_t seed, Channel* channel, ProtocolContext* ctx) const {
   HashFamily fp_family(seed, /*tag=*/0x66703262ull);
   IbltConfig child_config = IbltConfig::ForDifference(
       d, DeriveSeed(seed, /*tag=*/0x63686c64ull), /*key_width=*/8);
   IbltConfig outer_config = IbltConfig::ForDifference(
       2 * d_hat, seed, ChildIbltBlobWidth(child_config));
 
-  // --- Alice: encode every child, insert encodings into the outer table ---
-  Iblt outer(outer_config);
-  for (const ChildSet& child : alice) {
-    outer.Insert(EncodeChildIbltBlob(child, child_config,
-                                     ChildFingerprint(child, fp_family)));
-  }
-  ByteWriter writer;
-  writer.PutU64(ParentFingerprint(alice, fp_family));
-  outer.Serialize(&writer);
-  size_t msg = channel->Send(Party::kAlice, writer.Take(), "iblt2-outer");
+  // --- Alice: encode every child, insert encodings into the outer table.
+  // Child sketches are built through the deferred planner pass (one tiny
+  // batch per child, coalesced across children and sessions), then the
+  // packed blobs land in the outer table as one batch. The whole message is
+  // memoized across sessions sharing Alice's set.
+  uint64_t cache_key = ProtocolCacheKey(ctx->SetIdentity(&alice),
+                                        {kAttemptTag, d, d_hat, seed});
+  auto build = [&](ByteWriter* writer) -> Task<Status> {
+    std::vector<Iblt> sketches;
+    sketches.reserve(alice.size());
+    for (const ChildSet& child : alice) {
+      sketches.emplace_back(child_config);
+      ctx->QueueInsertU64(&sketches.back(), child.data(), child.size());
+    }
+    co_await ctx->FlushBuilds();
+    ByteWriter packed;
+    for (size_t i = 0; i < alice.size(); ++i) {
+      AppendChildIbltBlob(sketches[i],
+                          ChildFingerprint(alice[i], fp_family), &packed);
+    }
+    Iblt outer(outer_config);
+    ctx->QueueInsertBytes(&outer, packed.bytes().data(), alice.size());
+    co_await ctx->FlushBuilds();
+    writer->PutU64(ParentFingerprint(alice, fp_family));
+    outer.Serialize(writer);
+    co_return Status::Ok();
+  };
+  Result<size_t> sent =
+      co_await CachedAliceSend(ctx, channel, cache_key, "iblt2-outer", build);
+  if (!sent.ok()) co_return sent.status();
+  size_t msg = sent.value();
 
   // --- Bob ---
   ByteReader reader(channel->Receive(msg).payload);
   uint64_t alice_parent_fp = 0;
   if (!reader.GetU64(&alice_parent_fp)) {
-    return ParseError("iblt2 message truncated");
+    co_return ParseError("iblt2 message truncated");
   }
-  Result<Iblt> received = Iblt::Deserialize(&reader, outer_config);
-  if (!received.ok()) return received.status();
+  Result<Iblt> received =
+      ctx->ParseTableMemo(TableMemoKey(cache_key, 0), &reader, outer_config);
+  if (!received.ok()) co_return received.status();
   Iblt remote = std::move(received).value();
-  // Two scratches: `outer_scratch` owns the outer-table decode views, which
-  // must stay valid while the child decodes below reuse `child_scratch`
-  // (reusing one scratch would invalidate the views mid-iteration).
-  DecodeScratch outer_scratch;
-  DecodeScratch child_scratch;
 
-  // Bob's own encodings, keyed by blob so decoded negatives map back to his
+  // Bob's own encodings, built the same deferred way as Alice's, erased
+  // from the outer table as one batch.
+  const size_t blob_width = outer_config.key_width;
+  std::vector<Iblt> bob_sketches;
+  bob_sketches.reserve(bob.size());
+  for (const ChildSet& child : bob) {
+    bob_sketches.emplace_back(child_config);
+    ctx->QueueInsertU64(&bob_sketches.back(), child.data(), child.size());
+  }
+  co_await ctx->FlushBuilds();
+  ByteWriter bob_packed;
+  for (size_t i = 0; i < bob.size(); ++i) {
+    AppendChildIbltBlob(bob_sketches[i],
+                        ChildFingerprint(bob[i], fp_family), &bob_packed);
+  }
+  ctx->QueueEraseBytes(&remote, bob_packed.bytes().data(), bob.size());
+  co_await ctx->FlushBuilds();
+
+  // Bob's encodings keyed by blob so decoded negatives map back to his
   // concrete child sets; probed with decode views via the transparent
   // comparator.
-  std::map<std::vector<uint8_t>, size_t, KeyBytesLess> blob_to_child;
+  std::map<IbltKeyView, size_t, KeyBytesLess> blob_to_child;
   for (size_t i = 0; i < bob.size(); ++i) {
-    std::vector<uint8_t> blob = EncodeChildIbltBlob(
-        bob[i], child_config, ChildFingerprint(bob[i], fp_family));
-    remote.Erase(blob);
-    blob_to_child.emplace(std::move(blob), i);
+    blob_to_child.emplace(
+        IbltKeyView{bob_packed.bytes().data() + i * blob_width, blob_width},
+        i);
   }
 
-  Result<IbltDecodeView> decoded = remote.Decode(&outer_scratch);
-  if (!decoded.ok()) return decoded.status();
+  // Two pooled scratches: slot 0 owns the outer-table decode views, which
+  // must stay valid while the child decodes below churn slot 1 (one scratch
+  // would be invalidated by the first child decode). No suspension happens
+  // between this decode and the last view use.
+  DecodeScratch* outer_scratch = ctx->Scratch(0);
+  DecodeScratch* child_scratch = ctx->Scratch(1);
+  Result<IbltDecodeView> decoded = remote.Decode(outer_scratch);
+  if (!decoded.ok()) co_return decoded.status();
 
   // D_B: Bob's children whose encodings differ from all of Alice's.
   struct Partner {
@@ -99,10 +138,10 @@ Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
   for (const IbltKeyView& blob : decoded.value().negative) {
     auto it = blob_to_child.find(blob);
     if (it == blob_to_child.end()) {
-      return VerificationFailure("iblt2: unknown negative encoding");
+      co_return VerificationFailure("iblt2: unknown negative encoding");
     }
     Result<ChildEncoding> enc = ParseChildIbltBlob(blob, child_config);
-    if (!enc.ok()) return enc.status();
+    if (!enc.ok()) co_return enc.status();
     in_db[it->second] = true;
     partners.push_back(Partner{std::move(enc).value(), &bob[it->second]});
   }
@@ -115,13 +154,13 @@ Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
   SetOfSets recovered_children;
   for (const IbltKeyView& blob : decoded.value().positive) {
     Result<ChildEncoding> enc_r = ParseChildIbltBlob(blob, child_config);
-    if (!enc_r.ok()) return enc_r.status();
+    if (!enc_r.ok()) co_return enc_r.status();
     const ChildEncoding& enc = enc_r.value();
     bool ok = false;
     for (const Partner& partner : partners) {
       Result<ChildSet> child =
           TryRecoverChild(enc, partner.encoding.sketch, *partner.set,
-                          fp_family, &child_scratch);
+                          fp_family, child_scratch);
       if (child.ok()) {
         recovered_children.push_back(std::move(child).value());
         ok = true;
@@ -130,14 +169,14 @@ Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
     }
     if (!ok) {
       Result<ChildSet> child = TryRecoverChild(enc, empty_sketch, empty_set,
-                                               fp_family, &child_scratch);
+                                               fp_family, child_scratch);
       if (child.ok()) {
         recovered_children.push_back(std::move(child).value());
         ok = true;
       }
     }
     if (!ok) {
-      return DecodeFailure("iblt2: a child IBLT decoded with no partner");
+      co_return DecodeFailure("iblt2: a child IBLT decoded with no partner");
     }
   }
 
@@ -151,16 +190,19 @@ Result<SetOfSets> IbltOfIbltsProtocol::Attempt(const SetOfSets& alice,
   }
   recovered = Canonicalize(std::move(recovered));
   if (ParentFingerprint(recovered, fp_family) != alice_parent_fp) {
-    return VerificationFailure("iblt2: parent fingerprint mismatch");
+    co_return VerificationFailure("iblt2: parent fingerprint mismatch");
   }
-  return recovered;
+  co_return recovered;
 }
 
-Result<SsrOutcome> IbltOfIbltsProtocol::Reconcile(
+Task<Result<SsrOutcome>> IbltOfIbltsProtocol::ReconcileAsync(
     const SetOfSets& alice, const SetOfSets& bob,
-    std::optional<size_t> known_d, Channel* channel) const {
-  if (Status s = ValidateSetOfSets(alice, params_); !s.ok()) return s;
-  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) return s;
+    std::optional<size_t> known_d, Channel* channel,
+    ProtocolContext* ctx) const {
+  if (Status s = ValidateSetOfSetsMemo(alice, params_, ctx); !s.ok()) {
+    co_return s;
+  }
+  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) co_return s;
 
   Status last = DecodeFailure("no attempts made");
   if (known_d.has_value()) {
@@ -169,18 +211,18 @@ Result<SsrOutcome> IbltOfIbltsProtocol::Reconcile(
     for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
       uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
       Result<SetOfSets> recovered =
-          Attempt(alice, bob, d, d_hat, seed, channel);
+          co_await Attempt(alice, bob, d, d_hat, seed, channel, ctx);
       if (recovered.ok()) {
         SsrOutcome outcome;
         outcome.recovered = std::move(recovered).value();
         outcome.stats = {channel->rounds(), channel->total_bytes(),
                          attempt + 1};
-        return outcome;
+        co_return outcome;
       }
       last = recovered.status();
-      if (last.code() == StatusCode::kParseError) return last;
+      if (last.code() == StatusCode::kParseError) co_return last;
     }
-    return Exhausted("iblt2 (SSRK) failed: " + last.ToString());
+    co_return Exhausted("iblt2 (SSRK) failed: " + last.ToString());
   }
 
   // SSRU (Corollary 3.6): repeated doubling d = 1, 2, 4, ... Each trial is
@@ -190,18 +232,18 @@ Result<SsrOutcome> IbltOfIbltsProtocol::Reconcile(
   for (int round = 0; round < kMaxDoublings; ++round, d *= 2) {
     uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + 1000 + round);
     size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
-    Result<SetOfSets> recovered = Attempt(alice, bob, d, d_hat, seed,
-                                          channel);
+    Result<SetOfSets> recovered =
+        co_await Attempt(alice, bob, d, d_hat, seed, channel, ctx);
     if (recovered.ok()) {
       SsrOutcome outcome;
       outcome.recovered = std::move(recovered).value();
       outcome.stats = {channel->rounds(), channel->total_bytes(), round + 1};
-      return outcome;
+      co_return outcome;
     }
     last = recovered.status();
-    if (last.code() == StatusCode::kParseError) return last;
+    if (last.code() == StatusCode::kParseError) co_return last;
   }
-  return Exhausted("iblt2 (SSRU) failed: " + last.ToString());
+  co_return Exhausted("iblt2 (SSRU) failed: " + last.ToString());
 }
 
 }  // namespace setrec

@@ -22,14 +22,16 @@ class IbltOfIbltsProtocol : public SetsOfSetsProtocol {
 
   std::string Name() const override { return "iblt2"; }
 
-  Result<SsrOutcome> Reconcile(const SetOfSets& alice, const SetOfSets& bob,
-                               std::optional<size_t> known_d,
-                               Channel* channel) const override;
+  Task<Result<SsrOutcome>> ReconcileAsync(const SetOfSets& alice,
+                                          const SetOfSets& bob,
+                                          std::optional<size_t> known_d,
+                                          Channel* channel,
+                                          ProtocolContext* ctx) const override;
 
  private:
-  Result<SetOfSets> Attempt(const SetOfSets& alice, const SetOfSets& bob,
-                            size_t d, size_t d_hat, uint64_t seed,
-                            Channel* channel) const;
+  Task<Result<SetOfSets>> Attempt(const SetOfSets& alice, const SetOfSets& bob,
+                                  size_t d, size_t d_hat, uint64_t seed,
+                                  Channel* channel, ProtocolContext* ctx) const;
 
   SsrParams params_;
 };

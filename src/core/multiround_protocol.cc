@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "charpoly/charpoly_reconciler.h"
+#include "core/build_context.h"
 #include "estimator/l0_estimator.h"
 #include "hashing/random.h"
 #include "iblt/iblt.h"
@@ -37,37 +38,51 @@ IbltConfig ChildPayloadConfig(size_t d_i, uint64_t seed, uint64_t child_fp) {
 
 }  // namespace
 
-Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
-                                              const SetOfSets& bob,
-                                              std::optional<size_t> known_d,
-                                              size_t d_hat, uint64_t seed,
-                                              Channel* channel) const {
+Task<Result<SetOfSets>> MultiRoundProtocol::Attempt(
+    const SetOfSets& alice, const SetOfSets& bob,
+    std::optional<size_t> known_d, size_t d_hat, uint64_t seed,
+    Channel* channel, ProtocolContext* ctx) const {
   HashFamily fp_family(seed, /*tag=*/0x66706d72ull);
   const L0Estimator::Params est_params = ChildEstimatorParams(seed);
 
-  // ---- Round 1: Alice sends the fingerprint IBLT. ----
+  // ---- Round 1: Alice sends the fingerprint IBLT (memoized across
+  // sessions sharing her set). ----
   IbltConfig fp_config =
       IbltConfig::ForDifference(2 * d_hat, DeriveSeed(seed, 0x66706962ull));
+  uint64_t cache_key = ProtocolCacheKey(ctx->SetIdentity(&alice),
+                                        {kAttemptTag, d_hat, seed});
+  // Alice's child fingerprints are needed unconditionally (the msg2
+  // matching map below), so compute them once and share with the builder.
   std::vector<uint64_t> alice_fps(alice.size());
-  Iblt ta(fp_config);
   for (size_t i = 0; i < alice.size(); ++i) {
     alice_fps[i] = ChildFingerprint(alice[i], fp_family);
   }
-  ta.InsertBatch(alice_fps);
-  ByteWriter w1;
-  w1.PutU64(ParentFingerprint(alice, fp_family));
-  ta.Serialize(&w1);
-  size_t msg1 = channel->Send(Party::kAlice, w1.Take(), "mr-hashes");
+  auto build = [&](ByteWriter* writer) -> Task<Status> {
+    Iblt ta(fp_config);
+    ctx->QueueInsertU64(&ta, alice_fps.data(), alice_fps.size());
+    co_await ctx->FlushBuilds();
+    writer->PutU64(ParentFingerprint(alice, fp_family));
+    ta.Serialize(writer);
+    co_return Status::Ok();
+  };
+  Result<size_t> sent =
+      co_await CachedAliceSend(ctx, channel, cache_key, "mr-hashes", build);
+  if (!sent.ok()) co_return sent.status();
+  size_t msg1 = sent.value();
 
   // ---- Bob decodes the differing fingerprints. ----
   ByteReader r1(channel->Receive(msg1).payload);
   uint64_t alice_parent_fp = 0;
-  if (!r1.GetU64(&alice_parent_fp)) return ParseError("mr msg1 truncated");
-  Result<Iblt> ta_received = Iblt::Deserialize(&r1, fp_config);
-  if (!ta_received.ok()) return ta_received.status();
+  if (!r1.GetU64(&alice_parent_fp)) co_return ParseError("mr msg1 truncated");
+  Result<Iblt> ta_received =
+      ctx->ParseTableMemo(TableMemoKey(cache_key, 0), &r1, fp_config);
+  if (!ta_received.ok()) co_return ta_received.status();
   Iblt fp_diff = std::move(ta_received).value();
 
-  DecodeScratch scratch;  // Reused for the fingerprint and child decodes.
+  // Pooled scratch, reused for the fingerprint and child decodes (all u64
+  // decodes here return owning vectors, so holding it across round yields
+  // is safe — a scratch carries no state between decodes).
+  DecodeScratch* scratch = ctx->Scratch(0);
   std::unordered_map<uint64_t, size_t> bob_fp_to_child;
   std::vector<uint64_t> bob_fps;
   bob_fps.reserve(bob.size());
@@ -75,55 +90,61 @@ Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
     uint64_t fp = ChildFingerprint(bob[j], fp_family);
     bob_fps.push_back(fp);
     if (!bob_fp_to_child.emplace(fp, j).second) {
-      return VerificationFailure("mr: duplicate child fingerprint (Bob)");
+      co_return VerificationFailure("mr: duplicate child fingerprint (Bob)");
     }
   }
-  fp_diff.EraseBatch(bob_fps);
-  Result<IbltDecodeResult64> fp_decoded = fp_diff.DecodeU64(&scratch);
-  if (!fp_decoded.ok()) return fp_decoded.status();
+  ctx->QueueEraseU64(&fp_diff, bob_fps.data(), bob_fps.size());
+  co_await ctx->FlushBuilds();
+  Result<IbltDecodeResult64> fp_decoded = fp_diff.DecodeU64(scratch);
+  if (!fp_decoded.ok()) co_return fp_decoded.status();
   std::vector<uint64_t> alice_diff_fps = fp_decoded.value().positive;
   std::vector<uint64_t> bob_diff_fps = fp_decoded.value().negative;
   std::sort(alice_diff_fps.begin(), alice_diff_fps.end());
   std::sort(bob_diff_fps.begin(), bob_diff_fps.end());
 
   // ---- Round 2: Bob sends both difference lists plus per-child element
-  // estimators for his differing children. ----
-  ByteWriter w2;
-  w2.PutU64Vector(alice_diff_fps);
-  w2.PutU64Vector(bob_diff_fps);
+  // estimators for his differing children. The per-child updates run
+  // inline: they are O(d) tiny jobs, below any useful coalescing grain
+  // (unlike the O(s)-key table builds above). ----
   std::vector<size_t> bob_diff_children;
+  std::vector<L0Estimator> bob_diff_ests;
+  bob_diff_ests.reserve(bob_diff_fps.size());
   for (uint64_t fp : bob_diff_fps) {
     auto it = bob_fp_to_child.find(fp);
     if (it == bob_fp_to_child.end()) {
-      return VerificationFailure("mr: unknown Bob-side fingerprint");
+      co_return VerificationFailure("mr: unknown Bob-side fingerprint");
     }
     bob_diff_children.push_back(it->second);
-    L0Estimator est(est_params);
+    bob_diff_ests.emplace_back(est_params);
     const ChildSet& bob_child = bob[it->second];
-    est.UpdateBatch(bob_child.data(), bob_child.size(), 2);
-    est.Serialize(&w2);
+    bob_diff_ests.back().UpdateBatch(bob_child.data(), bob_child.size(), 2);
   }
-  size_t msg2 = channel->Send(Party::kBob, w2.Take(), "mr-estimators");
+  ByteWriter w2;
+  w2.PutU64Vector(alice_diff_fps);
+  w2.PutU64Vector(bob_diff_fps);
+  for (const L0Estimator& est : bob_diff_ests) est.Serialize(&w2);
+  size_t msg2 =
+      co_await ctx->Send(channel, Party::kBob, w2.Take(), "mr-estimators");
 
   // ---- Alice matches children and builds payloads. ----
   ByteReader r2(channel->Receive(msg2).payload);
   std::vector<uint64_t> alice_diff_fps_rx, bob_diff_fps_rx;
   if (!r2.GetU64Vector(&alice_diff_fps_rx) ||
       !r2.GetU64Vector(&bob_diff_fps_rx)) {
-    return ParseError("mr msg2 truncated (fp lists)");
+    co_return ParseError("mr msg2 truncated (fp lists)");
   }
   std::vector<L0Estimator> bob_estimators;
   bob_estimators.reserve(bob_diff_fps_rx.size());
   for (size_t j = 0; j < bob_diff_fps_rx.size(); ++j) {
     Result<L0Estimator> est = L0Estimator::Deserialize(&r2, est_params);
-    if (!est.ok()) return est.status();
+    if (!est.ok()) co_return est.status();
     bob_estimators.push_back(std::move(est).value());
   }
 
   std::unordered_map<uint64_t, size_t> alice_fp_to_child;
   for (size_t i = 0; i < alice.size(); ++i) {
     if (!alice_fp_to_child.emplace(alice_fps[i], i).second) {
-      return VerificationFailure("mr: duplicate child fingerprint (Alice)");
+      co_return VerificationFailure("mr: duplicate child fingerprint (Alice)");
     }
   }
 
@@ -132,22 +153,36 @@ Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
     size_t alice_child;
     uint64_t partner;  // Index into bob_diff lists, or kNoPartner.
     size_t d_i;
+    PayloadMode mode = PayloadMode::kDirect;
+    size_t sketch_index = 0;  // Into iblt_payloads when mode == kIblt.
   };
-  std::vector<Plan> plans;
-  size_t total_estimated = 0;
+  // Resolve Alice's differing children and their element estimators (O(d)
+  // tiny jobs; run inline) before the matching loop.
+  std::vector<size_t> alice_diff_children;
+  std::vector<L0Estimator> mine_ests;
+  alice_diff_children.reserve(alice_diff_fps_rx.size());
+  mine_ests.reserve(alice_diff_fps_rx.size());
   for (uint64_t fp : alice_diff_fps_rx) {
     auto it = alice_fp_to_child.find(fp);
     if (it == alice_fp_to_child.end()) {
-      return VerificationFailure("mr: unknown Alice-side fingerprint");
+      co_return VerificationFailure("mr: unknown Alice-side fingerprint");
     }
+    alice_diff_children.push_back(it->second);
+    mine_ests.emplace_back(est_params);
     const ChildSet& child = alice[it->second];
-    L0Estimator mine(est_params);
-    mine.UpdateBatch(child.data(), child.size(), 1);
+    mine_ests.back().UpdateBatch(child.data(), child.size(), 1);
+  }
+
+  std::vector<Plan> plans;
+  size_t total_estimated = 0;
+  for (size_t a = 0; a < alice_diff_fps_rx.size(); ++a) {
+    const uint64_t fp = alice_diff_fps_rx[a];
+    const ChildSet& child = alice[alice_diff_children[a]];
     uint64_t best_partner = kNoPartner;
     uint64_t best_estimate = ~0ull;
     for (size_t j = 0; j < bob_estimators.size(); ++j) {
       L0Estimator merged = bob_estimators[j];
-      if (!merged.Merge(mine).ok()) continue;
+      if (!merged.Merge(mine_ests[a]).ok()) continue;
       uint64_t estimate = merged.Estimate();
       if (estimate < best_estimate) {
         best_estimate = estimate;
@@ -160,7 +195,7 @@ Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
             : std::max<size_t>(
                   4, static_cast<size_t>(params_.estimate_slack *
                                          static_cast<double>(best_estimate)));
-    plans.push_back(Plan{fp, it->second, best_partner, d_i});
+    plans.push_back(Plan{fp, alice_diff_children[a], best_partner, d_i});
     total_estimated += d_i;
   }
   // Char-poly below sqrt(d) (Theorem 3.9's split); IBLT above; raw child
@@ -169,48 +204,57 @@ Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
       known_d.has_value() ? std::max<size_t>(*known_d, 1)
                           : std::max<size_t>(total_estimated, 1)));
 
+  // Phase 1: pick modes, build the O(d) IBLT payload sketches (inline —
+  // below the coalescing grain).
+  std::vector<Iblt> iblt_payloads;
+  iblt_payloads.reserve(plans.size());
+  for (Plan& plan : plans) {
+    const ChildSet& child = alice[plan.alice_child];
+    if (child.size() <= plan.d_i) {
+      plan.mode = PayloadMode::kDirect;
+    } else if (static_cast<double>(plan.d_i) < sqrt_d) {
+      plan.mode = PayloadMode::kCharPoly;
+    } else {
+      plan.mode = PayloadMode::kIblt;
+      plan.sketch_index = iblt_payloads.size();
+      iblt_payloads.emplace_back(ChildPayloadConfig(plan.d_i, seed, plan.fp));
+      iblt_payloads.back().InsertBatch(child);
+    }
+  }
+
+  // Phase 2: serialize every payload in plan order.
   ByteWriter w3;
   w3.PutVarint(plans.size());
   for (const Plan& plan : plans) {
     const ChildSet& child = alice[plan.alice_child];
-    PayloadMode mode;
-    if (child.size() <= plan.d_i) {
-      mode = PayloadMode::kDirect;
-    } else if (static_cast<double>(plan.d_i) < sqrt_d) {
-      mode = PayloadMode::kCharPoly;
-    } else {
-      mode = PayloadMode::kIblt;
-    }
     w3.PutU64(plan.fp);
     w3.PutU64(plan.partner);
-    w3.PutU8(static_cast<uint8_t>(mode));
+    w3.PutU8(static_cast<uint8_t>(plan.mode));
     w3.PutVarint(plan.d_i);
-    switch (mode) {
+    switch (plan.mode) {
       case PayloadMode::kDirect:
         w3.PutU64Vector(child);
         break;
-      case PayloadMode::kIblt: {
-        Iblt sketch(ChildPayloadConfig(plan.d_i, seed, plan.fp));
-        sketch.InsertBatch(child);
-        sketch.Serialize(&w3);
+      case PayloadMode::kIblt:
+        iblt_payloads[plan.sketch_index].Serialize(&w3);
         break;
-      }
       case PayloadMode::kCharPoly: {
         CharPolyReconciler reconciler(plan.d_i,
                                       DeriveSeed(seed, Mix64(plan.fp)));
         Result<std::vector<uint8_t>> payload = reconciler.BuildMessage(child);
-        if (!payload.ok()) return payload.status();
+        if (!payload.ok()) co_return payload.status();
         w3.PutBytes(payload.value());
         break;
       }
     }
   }
-  size_t msg3 = channel->Send(Party::kAlice, w3.Take(), "mr-payloads");
+  size_t msg3 =
+      co_await ctx->Send(channel, Party::kAlice, w3.Take(), "mr-payloads");
 
   // ---- Bob recovers each differing child. ----
   ByteReader r3(channel->Receive(msg3).payload);
   uint64_t num_entries = 0;
-  if (!r3.GetVarint(&num_entries)) return ParseError("mr msg3 truncated");
+  if (!r3.GetVarint(&num_entries)) co_return ParseError("mr msg3 truncated");
   SetOfSets da;
   const ChildSet empty_set;
   for (uint64_t k = 0; k < num_entries; ++k) {
@@ -218,12 +262,12 @@ Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
     uint8_t mode_raw = 0;
     if (!r3.GetU64(&fp) || !r3.GetU64(&partner) || !r3.GetU8(&mode_raw) ||
         !r3.GetVarint(&d_i)) {
-      return ParseError("mr msg3 truncated (entry header)");
+      co_return ParseError("mr msg3 truncated (entry header)");
     }
     const ChildSet* base = &empty_set;
     if (partner != kNoPartner) {
       if (partner >= bob_diff_children.size()) {
-        return ParseError("mr msg3: partner index out of range");
+        co_return ParseError("mr msg3: partner index out of range");
       }
       base = &bob[bob_diff_children[partner]];
     }
@@ -231,18 +275,18 @@ Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
     switch (static_cast<PayloadMode>(mode_raw)) {
       case PayloadMode::kDirect: {
         if (!r3.GetU64Vector(&candidate)) {
-          return ParseError("mr msg3 truncated (direct)");
+          co_return ParseError("mr msg3 truncated (direct)");
         }
         break;
       }
       case PayloadMode::kIblt: {
         IbltConfig config = ChildPayloadConfig(d_i, seed, fp);
         Result<Iblt> sketch = Iblt::Deserialize(&r3, config);
-        if (!sketch.ok()) return sketch.status();
+        if (!sketch.ok()) co_return sketch.status();
         Iblt diff = std::move(sketch).value();
         diff.EraseBatch(*base);
-        Result<IbltDecodeResult64> dd = diff.DecodeU64(&scratch);
-        if (!dd.ok()) return dd.status();
+        Result<IbltDecodeResult64> dd = diff.DecodeU64(scratch);
+        if (!dd.ok()) co_return dd.status();
         SetDifference sd;
         sd.remote_only = std::move(dd.value().positive);
         sd.local_only = std::move(dd.value().negative);
@@ -253,18 +297,18 @@ Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
         CharPolyReconciler reconciler(d_i, DeriveSeed(seed, Mix64(fp)));
         std::vector<uint8_t> payload;
         if (!r3.GetBytes(reconciler.MessageSize(), &payload)) {
-          return ParseError("mr msg3 truncated (charpoly)");
+          co_return ParseError("mr msg3 truncated (charpoly)");
         }
         Result<SetDifference> sd = reconciler.DecodeDifference(payload, *base);
-        if (!sd.ok()) return sd.status();
+        if (!sd.ok()) co_return sd.status();
         candidate = ApplyDifference(*base, sd.value());
         break;
       }
       default:
-        return ParseError("mr msg3: unknown payload mode");
+        co_return ParseError("mr msg3: unknown payload mode");
     }
     if (ChildFingerprint(candidate, fp_family) != fp) {
-      return VerificationFailure("mr: child fingerprint mismatch");
+      co_return VerificationFailure("mr: child fingerprint mismatch");
     }
     da.push_back(std::move(candidate));
   }
@@ -279,17 +323,19 @@ Result<SetOfSets> MultiRoundProtocol::Attempt(const SetOfSets& alice,
   for (ChildSet& child : da) recovered.push_back(std::move(child));
   recovered = Canonicalize(std::move(recovered));
   if (ParentFingerprint(recovered, fp_family) != alice_parent_fp) {
-    return VerificationFailure("mr: parent fingerprint mismatch");
+    co_return VerificationFailure("mr: parent fingerprint mismatch");
   }
-  return recovered;
+  co_return recovered;
 }
 
-Result<SsrOutcome> MultiRoundProtocol::Reconcile(const SetOfSets& alice,
-                                                 const SetOfSets& bob,
-                                                 std::optional<size_t> known_d,
-                                                 Channel* channel) const {
-  if (Status s = ValidateSetOfSets(alice, params_); !s.ok()) return s;
-  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) return s;
+Task<Result<SsrOutcome>> MultiRoundProtocol::ReconcileAsync(
+    const SetOfSets& alice, const SetOfSets& bob,
+    std::optional<size_t> known_d, Channel* channel,
+    ProtocolContext* ctx) const {
+  if (Status s = ValidateSetOfSetsMemo(alice, params_, ctx); !s.ok()) {
+    co_return s;
+  }
+  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) co_return s;
 
   size_t d_hat;
   if (known_d.has_value()) {
@@ -306,15 +352,17 @@ Result<SsrOutcome> MultiRoundProtocol::Reconcile(const SetOfSets& alice,
     for (const ChildSet& child : bob) {
       bob_fps0.push_back(ChildFingerprint(child, fp_family));
     }
-    bob_est.UpdateBatch(bob_fps0.data(), bob_fps0.size(), 2);
+    ctx->QueueL0Update(&bob_est, bob_fps0.data(), bob_fps0.size(), 2);
+    co_await ctx->FlushBuilds();
     ByteWriter writer;
     bob_est.Serialize(&writer);
-    size_t msg = channel->Send(Party::kBob, writer.Take(), "mr-d-estimator");
+    size_t msg = co_await ctx->Send(channel, Party::kBob, writer.Take(),
+                                    "mr-d-estimator");
 
     ByteReader reader(channel->Receive(msg).payload);
     Result<L0Estimator> merged_r =
         L0Estimator::Deserialize(&reader, est_params);
-    if (!merged_r.ok()) return merged_r.status();
+    if (!merged_r.ok()) co_return merged_r.status();
     L0Estimator merged = std::move(merged_r).value();
     L0Estimator alice_est(est_params);
     std::vector<uint64_t> alice_fps0;
@@ -322,8 +370,9 @@ Result<SsrOutcome> MultiRoundProtocol::Reconcile(const SetOfSets& alice,
     for (const ChildSet& child : alice) {
       alice_fps0.push_back(ChildFingerprint(child, fp_family));
     }
-    alice_est.UpdateBatch(alice_fps0.data(), alice_fps0.size(), 1);
-    if (Status s = merged.Merge(alice_est); !s.ok()) return s;
+    ctx->QueueL0Update(&alice_est, alice_fps0.data(), alice_fps0.size(), 1);
+    co_await ctx->FlushBuilds();
+    if (Status s = merged.Merge(alice_est); !s.ok()) co_return s;
     d_hat = std::max<size_t>(
         static_cast<size_t>(params_.estimate_slack *
                             static_cast<double>(merged.Estimate())) /
@@ -335,19 +384,19 @@ Result<SsrOutcome> MultiRoundProtocol::Reconcile(const SetOfSets& alice,
   for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
     uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
     Result<SetOfSets> recovered =
-        Attempt(alice, bob, known_d, d_hat, seed, channel);
+        co_await Attempt(alice, bob, known_d, d_hat, seed, channel, ctx);
     if (recovered.ok()) {
       SsrOutcome outcome;
       outcome.recovered = std::move(recovered).value();
       outcome.stats = {channel->rounds(), channel->total_bytes(),
                        attempt + 1};
-      return outcome;
+      co_return outcome;
     }
     last = recovered.status();
-    if (last.code() == StatusCode::kParseError) return last;
+    if (last.code() == StatusCode::kParseError) co_return last;
     if (!known_d.has_value()) d_hat *= 2;
   }
-  return Exhausted("multiround failed: " + last.ToString());
+  co_return Exhausted("multiround failed: " + last.ToString());
 }
 
 }  // namespace setrec

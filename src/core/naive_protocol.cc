@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "core/build_context.h"
 #include "core/encoding.h"
 #include "estimator/l0_estimator.h"
 #include "hashing/random.h"
@@ -30,38 +31,52 @@ std::vector<uint8_t> PackChildBlobs(const SetOfSets& children, size_t h) {
 
 }  // namespace
 
-Result<SetOfSets> NaiveProtocol::Attempt(const SetOfSets& alice,
-                                         const SetOfSets& bob, size_t d_hat,
-                                         uint64_t seed,
-                                         Channel* channel) const {
+Task<Result<SetOfSets>> NaiveProtocol::Attempt(const SetOfSets& alice,
+                                               const SetOfSets& bob,
+                                               size_t d_hat, uint64_t seed,
+                                               Channel* channel,
+                                               ProtocolContext* ctx) const {
   const size_t h = params_.max_child_size;
   const size_t width = ChildBlobWidth(h);
   // The outer table must decode |E_A ⊕ E_B| <= 2 * d_hat blobs.
   IbltConfig config = IbltConfig::ForDifference(2 * d_hat, seed, width);
   HashFamily fp_family(seed, /*tag=*/0x70666e76ull);
 
-  // --- Alice ---
-  Iblt table(config);
-  table.InsertBatch(PackChildBlobs(alice, h).data(), alice.size());
-  ByteWriter writer;
-  writer.PutU64(ParentFingerprint(alice, fp_family));
-  table.Serialize(&writer);
-  size_t msg = channel->Send(Party::kAlice, writer.Take(), "naive-iblt");
+  // --- Alice --- (message memoized across sessions sharing her set)
+  uint64_t cache_key = ProtocolCacheKey(
+      ctx->SetIdentity(&alice), {kAttemptTag, d_hat, seed, h});
+  auto build = [&](ByteWriter* writer) -> Task<Status> {
+    Iblt table(config);
+    std::vector<uint8_t> packed = PackChildBlobs(alice, h);
+    ctx->QueueInsertBytes(&table, packed.data(), alice.size());
+    co_await ctx->FlushBuilds();
+    writer->PutU64(ParentFingerprint(alice, fp_family));
+    table.Serialize(writer);
+    co_return Status::Ok();
+  };
+  Result<size_t> sent =
+      co_await CachedAliceSend(ctx, channel, cache_key, "naive-iblt", build);
+  if (!sent.ok()) co_return sent.status();
+  size_t msg = sent.value();
 
   // --- Bob ---
   ByteReader reader(channel->Receive(msg).payload);
   uint64_t alice_fp = 0;
-  if (!reader.GetU64(&alice_fp)) return ParseError("naive message truncated");
-  Result<Iblt> received = Iblt::Deserialize(&reader, config);
-  if (!received.ok()) return received.status();
+  if (!reader.GetU64(&alice_fp)) co_return ParseError("naive message truncated");
+  Result<Iblt> received =
+      ctx->ParseTableMemo(TableMemoKey(cache_key, 0), &reader, config);
+  if (!received.ok()) co_return received.status();
   Iblt remote = std::move(received).value();
-  remote.EraseBatch(PackChildBlobs(bob, h).data(), bob.size());
+  std::vector<uint8_t> bob_packed = PackChildBlobs(bob, h);
+  ctx->QueueEraseBytes(&remote, bob_packed.data(), bob.size());
+  co_await ctx->FlushBuilds();
 
-  // The decoded entries are views into the scratch arena; they stay valid
-  // for the remainder of this attempt (no further decode uses `scratch`).
-  DecodeScratch scratch;
-  Result<IbltDecodeView> decoded = remote.Decode(&scratch);
-  if (!decoded.ok()) return decoded.status();
+  // The decoded entries are views into the pooled scratch arena; they stay
+  // valid for the rest of this attempt (no suspension or further decode
+  // through this scratch before the last view use).
+  DecodeScratch* scratch = ctx->Scratch(0);
+  Result<IbltDecodeView> decoded = remote.Decode(scratch);
+  if (!decoded.ok()) co_return decoded.status();
 
   // Positive blobs are Alice-only children; negatives are Bob-only. The
   // multimap is keyed by views (no materialization) and probed with Bob's
@@ -71,35 +86,38 @@ Result<SetOfSets> NaiveProtocol::Attempt(const SetOfSets& alice,
 
   SetOfSets recovered;
   recovered.reserve(bob.size() + decoded.value().positive.size());
-  for (const ChildSet& child : bob) {
-    auto it = to_remove.find(EncodeChildBlob(child, h));
+  for (size_t i = 0; i < bob.size(); ++i) {
+    IbltKeyView blob{bob_packed.data() + i * width, width};
+    auto it = to_remove.find(blob);
     if (it != to_remove.end() && it->second > 0) {
       it->second -= 1;
       continue;
     }
-    recovered.push_back(child);
+    recovered.push_back(bob[i]);
   }
   for (const IbltKeyView& blob : decoded.value().positive) {
     Result<ChildSet> child = DecodeChildBlob(blob, h);
-    if (!child.ok()) return child.status();
+    if (!child.ok()) co_return child.status();
     recovered.push_back(std::move(child).value());
   }
   recovered = Canonicalize(std::move(recovered));
   if (ParentFingerprint(recovered, fp_family) != alice_fp) {
-    return VerificationFailure("naive: recovered parent fingerprint mismatch");
+    co_return VerificationFailure("naive: recovered parent fingerprint mismatch");
   }
-  return recovered;
+  co_return recovered;
 }
 
-Result<SsrOutcome> NaiveProtocol::Reconcile(const SetOfSets& alice,
-                                            const SetOfSets& bob,
-                                            std::optional<size_t> known_d,
-                                            Channel* channel) const {
+Task<Result<SsrOutcome>> NaiveProtocol::ReconcileAsync(
+    const SetOfSets& alice, const SetOfSets& bob,
+    std::optional<size_t> known_d, Channel* channel,
+    ProtocolContext* ctx) const {
   if (params_.max_child_size == 0) {
-    return InvalidArgument("naive protocol requires max_child_size (h)");
+    co_return InvalidArgument("naive protocol requires max_child_size (h)");
   }
-  if (Status s = ValidateSetOfSets(alice, params_); !s.ok()) return s;
-  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) return s;
+  if (Status s = ValidateSetOfSetsMemo(alice, params_, ctx); !s.ok()) {
+    co_return s;
+  }
+  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) co_return s;
 
   size_t d_hat;
   if (known_d.has_value()) {
@@ -117,15 +135,17 @@ Result<SsrOutcome> NaiveProtocol::Reconcile(const SetOfSets& alice,
     for (const ChildSet& child : bob) {
       bob_fps.push_back(ChildFingerprint(child, child_fp_family));
     }
-    bob_est.UpdateBatch(bob_fps.data(), bob_fps.size(), 2);
+    ctx->QueueL0Update(&bob_est, bob_fps.data(), bob_fps.size(), 2);
+    co_await ctx->FlushBuilds();
     ByteWriter writer;
     bob_est.Serialize(&writer);
-    size_t msg = channel->Send(Party::kBob, writer.Take(), "naive-estimator");
+    size_t msg = co_await ctx->Send(channel, Party::kBob, writer.Take(),
+                                    "naive-estimator");
 
     ByteReader reader(channel->Receive(msg).payload);
     Result<L0Estimator> merged_r = L0Estimator::Deserialize(&reader,
                                                             est_params);
-    if (!merged_r.ok()) return merged_r.status();
+    if (!merged_r.ok()) co_return merged_r.status();
     L0Estimator merged = std::move(merged_r).value();
     L0Estimator alice_est(est_params);
     std::vector<uint64_t> alice_fps;
@@ -133,8 +153,9 @@ Result<SsrOutcome> NaiveProtocol::Reconcile(const SetOfSets& alice,
     for (const ChildSet& child : alice) {
       alice_fps.push_back(ChildFingerprint(child, child_fp_family));
     }
-    alice_est.UpdateBatch(alice_fps.data(), alice_fps.size(), 1);
-    if (Status s = merged.Merge(alice_est); !s.ok()) return s;
+    ctx->QueueL0Update(&alice_est, alice_fps.data(), alice_fps.size(), 1);
+    co_await ctx->FlushBuilds();
+    if (Status s = merged.Merge(alice_est); !s.ok()) co_return s;
     // The estimate covers both sides' differing children (~2 d-hat).
     d_hat = std::max<size_t>(
         static_cast<size_t>(params_.estimate_slack *
@@ -146,19 +167,20 @@ Result<SsrOutcome> NaiveProtocol::Reconcile(const SetOfSets& alice,
   Status last = DecodeFailure("no attempts made");
   for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
     uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
-    Result<SetOfSets> recovered = Attempt(alice, bob, d_hat, seed, channel);
+    Result<SetOfSets> recovered =
+        co_await Attempt(alice, bob, d_hat, seed, channel, ctx);
     if (recovered.ok()) {
       SsrOutcome outcome;
       outcome.recovered = std::move(recovered).value();
       outcome.stats = {channel->rounds(), channel->total_bytes(),
                        attempt + 1};
-      return outcome;
+      co_return outcome;
     }
     last = recovered.status();
-    if (last.code() == StatusCode::kParseError) return last;
+    if (last.code() == StatusCode::kParseError) co_return last;
     if (!known_d.has_value()) d_hat *= 2;  // Estimator may have been low.
   }
-  return Exhausted("naive protocol failed: " + last.ToString());
+  co_return Exhausted("naive protocol failed: " + last.ToString());
 }
 
 }  // namespace setrec

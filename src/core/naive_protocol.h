@@ -20,14 +20,16 @@ class NaiveProtocol : public SetsOfSetsProtocol {
 
   std::string Name() const override { return "naive"; }
 
-  Result<SsrOutcome> Reconcile(const SetOfSets& alice, const SetOfSets& bob,
-                               std::optional<size_t> known_d,
-                               Channel* channel) const override;
+  Task<Result<SsrOutcome>> ReconcileAsync(const SetOfSets& alice,
+                                          const SetOfSets& bob,
+                                          std::optional<size_t> known_d,
+                                          Channel* channel,
+                                          ProtocolContext* ctx) const override;
 
  private:
-  Result<SetOfSets> Attempt(const SetOfSets& alice, const SetOfSets& bob,
-                            size_t d_hat, uint64_t seed,
-                            Channel* channel) const;
+  Task<Result<SetOfSets>> Attempt(const SetOfSets& alice, const SetOfSets& bob,
+                                  size_t d_hat, uint64_t seed, Channel* channel,
+                                  ProtocolContext* ctx) const;
 
   SsrParams params_;
 };

@@ -2,9 +2,18 @@
 
 #include <algorithm>
 
+#include "core/build_context.h"
 #include "setrec/multiset_codec.h"
 
 namespace setrec {
+
+Result<SsrOutcome> SetsOfSetsProtocol::Reconcile(const SetOfSets& alice,
+                                                 const SetOfSets& bob,
+                                                 std::optional<size_t> known_d,
+                                                 Channel* channel) const {
+  InlineContext ctx;
+  return RunSync(ReconcileAsync(alice, bob, known_d, channel, &ctx));
+}
 
 SetOfSets Canonicalize(SetOfSets sets) {
   for (ChildSet& child : sets) {

@@ -6,11 +6,14 @@
 #include <string>
 #include <vector>
 
+#include "core/task.h"
 #include "hashing/hash.h"
 #include "transport/channel.h"
 #include "util/status.h"
 
 namespace setrec {
+
+class ProtocolContext;
 
 /// A child set: sorted, duplicate-free 64-bit elements. Elements must be
 /// below kUserElementLimit (2^56) unless they are library markers (see
@@ -46,6 +49,8 @@ struct SsrParams {
   int max_attempts = 4;
   /// Safety factor applied to difference-estimator outputs (SSRU paths).
   double estimate_slack = 2.0;
+
+  bool operator==(const SsrParams&) const = default;
 };
 
 /// Statistics of a finished reconciliation, read off the Channel plus the
@@ -66,6 +71,13 @@ struct SsrOutcome {
 /// is one-way: at the end Bob can reproduce Alice's set of sets. Passing
 /// `known_d` runs the SSRK variant; nullopt runs SSRU (the protocol spends
 /// extra rounds estimating or doubling d).
+///
+/// The primitive is ReconcileAsync: a lazy coroutine that yields control at
+/// every round boundary and sketch-build barrier of `ctx` (see
+/// core/build_context.h). The blocking Reconcile below drives the exact
+/// same coroutine under an InlineContext (which never suspends), so direct
+/// calls and SyncService sessions execute identical code and produce
+/// bit-identical transcripts for fixed seeds.
 class SetsOfSetsProtocol {
  public:
   virtual ~SetsOfSetsProtocol() = default;
@@ -73,10 +85,22 @@ class SetsOfSetsProtocol {
   /// Short identifier ("naive", "iblt2", "cascade", "multiround").
   virtual std::string Name() const = 0;
 
-  virtual Result<SsrOutcome> Reconcile(const SetOfSets& alice,
-                                       const SetOfSets& bob,
-                                       std::optional<size_t> known_d,
-                                       Channel* channel) const = 0;
+  /// Resumable reconciliation: both parties simulated over `channel`, with
+  /// round yields, deferred sketch builds, Alice-message memoization and
+  /// decode-scratch pooling routed through `ctx`. The caller must keep
+  /// alice/bob/channel/ctx alive until the task completes.
+  virtual Task<Result<SsrOutcome>> ReconcileAsync(const SetOfSets& alice,
+                                                  const SetOfSets& bob,
+                                                  std::optional<size_t> known_d,
+                                                  Channel* channel,
+                                                  ProtocolContext* ctx)
+      const = 0;
+
+  /// Blocking form: runs ReconcileAsync to completion under a fresh
+  /// InlineContext.
+  Result<SsrOutcome> Reconcile(const SetOfSets& alice, const SetOfSets& bob,
+                               std::optional<size_t> known_d,
+                               Channel* channel) const;
 };
 
 /// Sorts each child and the parent; removes duplicate children. (Duplicate

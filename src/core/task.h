@@ -1,0 +1,114 @@
+#ifndef SETREC_CORE_TASK_H_
+#define SETREC_CORE_TASK_H_
+
+#include <cassert>
+#include <coroutine>
+#include <optional>
+#include <utility>
+
+namespace setrec {
+
+/// A minimal lazy coroutine task, the resumable form of the protocol entry
+/// points (SetsOfSetsProtocol::ReconcileAsync and its internal steps).
+///
+/// Semantics:
+///  * Lazy: the coroutine body does not run until the task is awaited (or
+///    Start()ed by a root driver such as RunSync or the SyncService).
+///  * `co_await task` starts the child and transfers control to it
+///    symmetrically; when the child finishes, its final suspend transfers
+///    straight back to the awaiting parent (no scheduler in between).
+///  * Ownership: the Task owns the coroutine frame and destroys it on
+///    destruction. A task must not be awaited twice.
+///
+/// Protocol coroutines only ever suspend inside ProtocolContext awaitables
+/// (round yields and build barriers). Under the InlineContext those
+/// awaitables are always ready, so a Start() runs the whole pipeline to
+/// completion synchronously — that is how the blocking Reconcile wrappers
+/// drive the exact same code path the SyncService steps incrementally.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::optional<T> value;
+    std::coroutine_handle<> continuation;
+
+    Task get_return_object() { return Task(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        std::coroutine_handle<> cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T v) { value.emplace(std::move(v)); }
+    /// The library is exception-free (Status/Result everywhere); an escape
+    /// here is a bug, and unwinding a half-run protocol would corrupt the
+    /// session, so fail fast.
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+
+  Task() = default;
+  explicit Task(Handle handle) : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  /// Awaiting a task starts it; the awaiter is resumed when it completes.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  T await_resume() { return std::move(*handle_.promise().value); }
+
+  /// Root-driver interface (RunSync, SyncService): kick the coroutine off.
+  /// It runs until its first genuine suspension (a parked awaitable) or to
+  /// completion. Parked coroutines are resumed via the handle the awaitable
+  /// captured, not through the Task.
+  void Start() {
+    assert(handle_ && !handle_.done());
+    handle_.resume();
+  }
+  bool Done() const { return !handle_ || handle_.done(); }
+  bool Valid() const { return static_cast<bool>(handle_); }
+  /// The result; only valid once Done().
+  T TakeResult() {
+    assert(Done() && handle_.promise().value.has_value());
+    return std::move(*handle_.promise().value);
+  }
+
+ private:
+  Handle handle_;
+};
+
+/// Runs a task that never genuinely suspends (all its awaitables are ready,
+/// the InlineContext case) to completion and returns its result.
+template <typename T>
+T RunSync(Task<T> task) {
+  task.Start();
+  assert(task.Done() &&
+         "RunSync task suspended; it was built against a deferring context");
+  return task.TakeResult();
+}
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_TASK_H_

@@ -44,6 +44,24 @@ struct IbltConfig {
   bool operator==(const IbltConfig&) const = default;
 };
 
+/// Compiled-in default for IbltBatchOptions::sharded_min_keys (also
+/// exposed as Iblt::kShardedBatchMinKeys).
+inline constexpr size_t kShardedBatchMinKeysDefault = 1u << 16;
+
+/// Runtime tuning for batched cell updates (InsertBatch/EraseBatch and the
+/// multi-table Iblt::ApplyOps pass). A process-wide default is held by
+/// Iblt::batch_options()/set_batch_options(); callers that want different
+/// behavior per pass (the service batch planner, threshold sweeps in
+/// benches) pass their own instance to ApplyOps.
+struct IbltBatchOptions {
+  /// Total keys in a pass at or above which cell updates are sharded across
+  /// std::thread workers (partitions are disjoint cell ranges, so sharding
+  /// is synchronization-free and deterministic).
+  size_t sharded_min_keys = kShardedBatchMinKeysDefault;
+  /// Worker cap for sharded passes; 0 = std::thread::hardware_concurrency().
+  int max_workers = 0;
+};
+
 /// Result of peeling an IBLT (or a subtracted pair of IBLTs): the keys with
 /// positive counts and the keys with negative counts. For Alice's table
 /// minus Bob's, positives are S_A \ S_B and negatives are S_B \ S_A.
@@ -58,6 +76,24 @@ struct IbltDecodeResult {
 struct IbltDecodeResult64 {
   std::vector<uint64_t> positive;
   std::vector<uint64_t> negative;
+};
+
+/// Non-owning 64-bit decode result: spans into DecodeScratch-owned vectors
+/// (the u64 mirror of IbltDecodeView, closing the last capacity-growth
+/// allocations of warm u64 decodes). Valid until the scratch's next decode
+/// or destruction. The spans are mutable on purpose: the backing storage
+/// belongs to the scratch, and callers commonly sort a side in place before
+/// consuming it.
+struct IbltDecodeView64 {
+  std::span<uint64_t> positive;
+  std::span<uint64_t> negative;
+
+  /// Deep owning copy, independent of the scratch.
+  IbltDecodeResult64 Materialize() const {
+    return IbltDecodeResult64{
+        std::vector<uint64_t>(positive.begin(), positive.end()),
+        std::vector<uint64_t>(negative.begin(), negative.end())};
+  }
 };
 
 /// A decoded key viewed in place: `size` bytes (the table's key_width) at
@@ -178,6 +214,8 @@ struct DecodeScratch {
   std::vector<size_t> neg_offsets;    // Lane offset of each negative key.
   std::vector<IbltKeyView> pos_views;  // Built over out_lanes post-peel.
   std::vector<IbltKeyView> neg_views;
+  std::vector<uint64_t> pos_u64;  // DecodeU64View outputs (gathered from
+  std::vector<uint64_t> neg_u64;  // out_lanes post-peel; capacity reused).
 };
 
 /// Invertible Bloom Lookup Table (Goodrich & Mitzenmacher; Section 2 of the
@@ -209,6 +247,14 @@ struct DecodeScratch {
 /// little-endian keys and require key_width == 8.
 class Iblt {
  public:
+  /// Both per-key hashes, each computed exactly once per key. Public so
+  /// multi-table batch passes (ApplyOps) can stage hashes in caller-owned
+  /// scratch buffers.
+  struct KeyHashes {
+    uint64_t bucket;
+    uint64_t check;
+  };
+
   explicit Iblt(const IbltConfig& config);
 
   const IbltConfig& config() const { return config_; }
@@ -263,6 +309,12 @@ class Iblt {
   Result<IbltDecodeView> Decode(DecodeScratch* scratch) const;
   Result<IbltDecodeResult64> DecodeU64() const;
   Result<IbltDecodeResult64> DecodeU64(DecodeScratch* scratch) const;
+  /// View-returning u64 decode: the result spans the scratch's pos_u64 /
+  /// neg_u64 vectors (IbltKeyView lifetime rule: valid until the scratch's
+  /// next decode or destruction). With a warm scratch the whole decode
+  /// performs zero heap allocations — the u64 counterpart of the byte-key
+  /// Decode(scratch) path. Requires key_width == 8.
+  Result<IbltDecodeView64> DecodeU64View(DecodeScratch* scratch) const;
 
   /// Peels as far as possible and reports completeness instead of failing.
   /// Same owning-vs-view split as Decode().
@@ -283,9 +335,50 @@ class Iblt {
   static Result<Iblt> DeserializeFixed(ByteReader* reader,
                                        const IbltConfig& config);
 
-  /// Batch size at which InsertBatch/EraseBatch shards cell updates across
-  /// std::thread workers (one or more partitions per thread).
-  static constexpr size_t kShardedBatchMinKeys = 1u << 16;
+  /// One deferred batch op of a multi-table pass: insert (delta=+1) or
+  /// erase (delta=-1) `n` keys into `table`. Exactly one of u64_keys /
+  /// byte_keys is set; byte keys are packed at table->config().key_width
+  /// bytes each.
+  struct ApplyOp {
+    Iblt* table = nullptr;
+    const uint64_t* u64_keys = nullptr;
+    const uint8_t* byte_keys = nullptr;
+    size_t n = 0;
+    int32_t delta = +1;
+  };
+
+  /// Reusable hash staging for ApplyOps; warms up like DecodeScratch.
+  struct ApplyScratch {
+    std::vector<KeyHashes> hashes;
+    std::vector<size_t> offsets;
+  };
+
+  /// Applies a block of batch ops — typically gathered from many
+  /// reconciliation sessions by the service batch planner — as one
+  /// coalesced pass. All keys are hashed first (into `scratch`), then cell
+  /// updates run grouped by partition across every op. When the TOTAL key
+  /// count across ops reaches options.sharded_min_keys, partitions are
+  /// sharded over std::thread workers: worker t applies partition indices
+  /// {t, t+W, ...} of every op, so each (table, partition) — a disjoint
+  /// cell range — is touched by exactly one worker, in op order. The result
+  /// is bit-identical to applying the ops sequentially, for any worker
+  /// count. This is how sub-threshold per-session batches cross the
+  /// sharding threshold when coalesced (the cross-session balls-into-bins
+  /// regime).
+  static void ApplyOps(const ApplyOp* ops, size_t count,
+                       const IbltBatchOptions& options, ApplyScratch* scratch);
+
+  /// Process-wide defaults consulted by InsertBatch/EraseBatch (and by
+  /// ApplyOps callers that do not carry their own options). Runtime-tunable
+  /// so benches and the service planner can sweep the sharding threshold
+  /// without recompiling. Not synchronized: set before spawning threads.
+  static const IbltBatchOptions& batch_options() { return batch_options_; }
+  static void set_batch_options(const IbltBatchOptions& options) {
+    batch_options_ = options;
+  }
+
+  /// Compiled-in default for IbltBatchOptions::sharded_min_keys.
+  static constexpr size_t kShardedBatchMinKeys = kShardedBatchMinKeysDefault;
 
   /// Batches up to this size hash into a stack buffer (16 bytes per key)
   /// instead of a heap vector, keeping small batched updates — the
@@ -298,12 +391,6 @@ class Iblt {
   static int sharded_workers_for_test;
 
  private:
-  /// Both per-key hashes, each computed exactly once per key.
-  struct KeyHashes {
-    uint64_t bucket;
-    uint64_t check;
-  };
-
   void Update(const uint8_t* key, int32_t delta);
   KeyHashes HashKey(const uint8_t* key) const;
   KeyHashes HashKeyU64(uint64_t key) const;
@@ -325,10 +412,16 @@ class Iblt {
     return reinterpret_cast<const uint8_t*>(CellLanes(cell));
   }
 
-  void ApplyBatchU64(const uint64_t* keys, size_t n, int32_t delta);
-  void ApplyBatchBytes(const uint8_t* keys, size_t n, int32_t delta);
+  /// The batch-apply internals take the options explicitly so a coalesced
+  /// multi-table pass (ApplyOps) governs its sub-batches with ITS options;
+  /// the public InsertBatch/EraseBatch entry points pass batch_options_.
+  void ApplyBatchU64(const uint64_t* keys, size_t n, int32_t delta,
+                     const IbltBatchOptions& options);
+  void ApplyBatchBytes(const uint8_t* keys, size_t n, int32_t delta,
+                       const IbltBatchOptions& options);
   void ApplyHashedBatch(const KeyHashes* hashes, const uint64_t* u64_keys,
-                        const uint8_t* byte_keys, size_t n, int32_t delta);
+                        const uint8_t* byte_keys, size_t n, int32_t delta,
+                        const IbltBatchOptions& options);
   void ApplyPartitionRange(const KeyHashes* hashes, const uint64_t* u64_keys,
                            const uint8_t* byte_keys, size_t n, int32_t delta,
                            int first_index, int index_step);
@@ -340,6 +433,8 @@ class Iblt {
   /// Builds the IbltKeyView arrays over scratch->out_lanes after a byte-mode
   /// peel (deferred so arena growth during the peel cannot dangle views).
   IbltDecodeView BuildViews(DecodeScratch* scratch) const;
+
+  static IbltBatchOptions batch_options_;
 
   IbltConfig config_;
   size_t cells_;           // Padded cell count.

@@ -1,0 +1,474 @@
+#include "service/sync_service.h"
+
+#include <cassert>
+#include <limits>
+#include <utility>
+
+#include "core/cascading_protocol.h"
+#include "core/iblt_of_iblts.h"
+#include "core/multiround_protocol.h"
+#include "core/naive_protocol.h"
+
+namespace setrec {
+
+const char* SsrProtocolKindName(SsrProtocolKind kind) {
+  switch (kind) {
+    case SsrProtocolKind::kNaive:
+      return "naive";
+    case SsrProtocolKind::kIblt2:
+      return "iblt2";
+    case SsrProtocolKind::kCascade:
+      return "cascade";
+    case SsrProtocolKind::kMultiRound:
+      return "multiround";
+  }
+  return "?";
+}
+
+std::unique_ptr<SetsOfSetsProtocol> MakeSsrProtocol(SsrProtocolKind kind,
+                                                    const SsrParams& params) {
+  switch (kind) {
+    case SsrProtocolKind::kNaive:
+      return std::make_unique<NaiveProtocol>(params);
+    case SsrProtocolKind::kIblt2:
+      return std::make_unique<IbltOfIbltsProtocol>(params);
+    case SsrProtocolKind::kCascade:
+      return std::make_unique<CascadingProtocol>(params);
+    case SsrProtocolKind::kMultiRound:
+      return std::make_unique<MultiRoundProtocol>(params);
+  }
+  return nullptr;
+}
+
+/// The per-session ProtocolContext: routes build ops into the service's
+/// planner queues, parks the session coroutine at barriers and round
+/// boundaries, and exposes the shared cache/scratch pools.
+class SyncService::SessionContext final : public ProtocolContext {
+ public:
+  SessionContext() = default;
+  void Bind(SyncService* service, Session* session) {
+    service_ = service;
+    session_ = session;
+  }
+
+  bool deferred() const override { return true; }
+
+  void QueueInsertU64(Iblt* table, const uint64_t* keys, size_t n) override {
+    QueueIbltOp({table, keys, nullptr, n, +1});
+  }
+  void QueueEraseU64(Iblt* table, const uint64_t* keys, size_t n) override {
+    QueueIbltOp({table, keys, nullptr, n, -1});
+  }
+  void QueueInsertBytes(Iblt* table, const uint8_t* keys, size_t n) override {
+    QueueIbltOp({table, nullptr, keys, n, +1});
+  }
+  void QueueEraseBytes(Iblt* table, const uint8_t* keys, size_t n) override {
+    QueueIbltOp({table, nullptr, keys, n, -1});
+  }
+  void QueueL0Update(L0Estimator* est, const uint64_t* xs, size_t n,
+                     int side) override;
+  void QueueStrataUpdate(StrataEstimator* est, const uint64_t* xs, size_t n,
+                         int side) override;
+
+  uint64_t SetIdentity(const void* parent_set) override {
+    return service_->IdentityOf(parent_set);
+  }
+  // Stats semantics: one hit per message replayed from the cache, one miss
+  // per message actually built (counted when the build lease is acquired).
+  // A lease waiter's first, empty lookup is counted by neither — it
+  // resolves as a hit (or a takeover miss) after waking.
+  const std::vector<uint8_t>* CacheLookup(uint64_t key) override {
+    auto it = service_->alice_cache_.find(key);
+    if (it == service_->alice_cache_.end()) return nullptr;
+    ++service_->stats_.cache_hits;
+    return &it->second;
+  }
+  void CacheStore(uint64_t key, const std::vector<uint8_t>& bytes) override {
+    if (service_->alice_cache_.size() <
+        service_->options_.alice_cache_max_entries) {
+      service_->alice_cache_.emplace(key, bytes);
+    }
+  }
+
+  DecodeScratch* Scratch(int slot) override {
+    return &service_->scratch_pool_[slot & 1];
+  }
+
+  bool CheckValidated(uint64_t key) override {
+    return service_->validated_.count(key) > 0;
+  }
+  void MarkValidated(uint64_t key) override {
+    service_->validated_.insert(key);
+  }
+
+  Result<Iblt> ParseTableMemo(uint64_t key, ByteReader* reader,
+                              const IbltConfig& config) override {
+    if (key == 0) return Iblt::Deserialize(reader, config);
+    auto it = service_->table_memo_.find(key);
+    if (it != service_->table_memo_.end()) {
+      // Replayed message: identical bytes, so skipping the recorded length
+      // lands the reader exactly where a re-parse would.
+      if (!reader->Skip(it->second.consumed)) {
+        return ParseError("memoized table: skip overran message");
+      }
+      return it->second.table;
+    }
+    const size_t before = reader->remaining();
+    Result<Iblt> parsed = Iblt::Deserialize(reader, config);
+    if (parsed.ok() && service_->table_memo_.size() <
+                           service_->options_.alice_cache_max_entries) {
+      service_->table_memo_.emplace(
+          key,
+          TableMemoEntry{parsed.value(), before - reader->remaining()});
+    }
+    return parsed;
+  }
+
+  bool HasPendingOps() const override;
+  void ParkOnFlush(std::coroutine_handle<> handle) override;
+  void ParkOnRound(std::coroutine_handle<> handle) override;
+  void OnSend(Channel* channel, size_t index) override;
+  bool TryAcquireBuildLease(uint64_t key) override;
+  void ReleaseBuildLease(uint64_t key) override;
+  void ParkOnLease(uint64_t key, std::coroutine_handle<> handle) override;
+
+ private:
+  void QueueIbltOp(Iblt::ApplyOp op);
+
+  SyncService* service_ = nullptr;
+  Session* session_ = nullptr;
+};
+
+/// One in-flight session: its spec, channel (the transcript), protocol
+/// coroutine and park state. `ctx` is declared before `task` so the
+/// coroutine frame is destroyed first.
+struct SyncService::Session {
+  uint64_t id = 0;
+  size_t slot = 0;  // Index in active_ (kept fresh by swap-removal).
+  SessionSpec spec;
+  Channel channel;
+  std::shared_ptr<const SetsOfSetsProtocol> protocol;
+  SessionContext ctx;
+  Task<Result<SsrOutcome>> task;
+  std::coroutine_handle<> parked;
+  bool started = false;
+  /// Planner ops queued by this session since the last flush.
+  size_t ops_pending = 0;
+
+  bool opaque() const { return spec.alice == nullptr; }
+};
+
+void SyncService::SessionContext::QueueIbltOp(Iblt::ApplyOp op) {
+  if (op.n == 0) return;
+  service_->iblt_ops_.push_back(op);
+  ++session_->ops_pending;
+}
+
+void SyncService::SessionContext::QueueL0Update(L0Estimator* est,
+                                                const uint64_t* xs, size_t n,
+                                                int side) {
+  if (n == 0) return;
+  service_->estimator_jobs_.push_back({est, nullptr, xs, n, side});
+  ++session_->ops_pending;
+}
+
+void SyncService::SessionContext::QueueStrataUpdate(StrataEstimator* est,
+                                                    const uint64_t* xs,
+                                                    size_t n, int side) {
+  if (n == 0) return;
+  service_->estimator_jobs_.push_back({nullptr, est, xs, n, side});
+  ++session_->ops_pending;
+}
+
+bool SyncService::SessionContext::HasPendingOps() const {
+  return session_->ops_pending > 0;
+}
+
+void SyncService::SessionContext::ParkOnFlush(std::coroutine_handle<> handle) {
+  session_->parked = handle;
+  service_->flush_waiters_.push_back(session_);
+}
+
+void SyncService::SessionContext::ParkOnRound(std::coroutine_handle<> handle) {
+  session_->parked = handle;
+  service_->round_waiters_.push_back(session_);
+}
+
+void SyncService::SessionContext::OnSend(Channel* channel, size_t index) {
+  if (session_->spec.mirror != nullptr) {
+    session_->spec.mirror->Send(channel->Receive(index));
+  }
+}
+
+bool SyncService::SessionContext::TryAcquireBuildLease(uint64_t key) {
+  const bool acquired = service_->held_leases_.insert(key).second;
+  if (acquired) ++service_->stats_.cache_misses;
+  return acquired;
+}
+
+void SyncService::SessionContext::ReleaseBuildLease(uint64_t key) {
+  service_->held_leases_.erase(key);
+  auto it = service_->lease_waiters_.find(key);
+  if (it == service_->lease_waiters_.end()) return;
+  // Wake the waiters through the scheduler's queue (not inline): they
+  // re-check the cache and either replay the stored message or contend for
+  // the freed lease, in park order.
+  for (Session* waiter : it->second) {
+    service_->lease_ready_.push_back(waiter);
+  }
+  service_->lease_waiters_.erase(it);
+}
+
+void SyncService::SessionContext::ParkOnLease(uint64_t key,
+                                              std::coroutine_handle<> handle) {
+  session_->parked = handle;
+  service_->lease_waiters_[key].push_back(session_);
+}
+
+SyncService::SyncService(SyncServiceOptions options)
+    : options_(std::move(options)) {}
+
+SyncService::~SyncService() = default;
+
+uint64_t SyncService::RegisterSharedSet(
+    std::shared_ptr<const SetOfSets> set) {
+  assert(set != nullptr);
+  auto it = set_identities_.find(set.get());
+  if (it != set_identities_.end()) return it->second;
+  uint64_t id = next_set_identity_++;
+  set_identities_.emplace(set.get(), id);
+  pinned_sets_.push_back(std::move(set));
+  return id;
+}
+
+uint64_t SyncService::IdentityOf(const void* set) const {
+  auto it = set_identities_.find(set);
+  return it == set_identities_.end() ? 0 : it->second;
+}
+
+uint64_t SyncService::Submit(SessionSpec spec) {
+  assert((spec.alice != nullptr && spec.bob != nullptr) ||
+         spec.opaque != nullptr);
+  ++stats_.sessions_submitted;
+  const uint64_t id = next_session_id_++;
+  backlog_.push_back(PendingSession{id, std::move(spec)});
+  return id;
+}
+
+std::shared_ptr<const SetsOfSetsProtocol> SyncService::ProtocolFor(
+    SsrProtocolKind kind, const SsrParams& params) {
+  for (const auto& [key, protocol] : protocol_cache_) {
+    if (key.first == kind && key.second == params) return protocol;
+  }
+  std::shared_ptr<const SetsOfSetsProtocol> protocol =
+      MakeSsrProtocol(kind, params);
+  if (protocol_cache_.size() < 64) {
+    protocol_cache_.emplace_back(std::make_pair(kind, params), protocol);
+  }
+  return protocol;
+}
+
+void SyncService::Admit() {
+  const size_t limit = options_.max_inflight == 0
+                           ? std::numeric_limits<size_t>::max()
+                           : options_.max_inflight;
+  while (!backlog_.empty() && active_.size() < limit) {
+    std::unique_ptr<Session> session;
+    if (!session_pool_.empty()) {
+      session = std::move(session_pool_.back());
+      session_pool_.pop_back();
+    } else {
+      session = std::make_unique<Session>();
+    }
+    session->id = backlog_.front().id;
+    session->spec = std::move(backlog_.front().spec);
+    backlog_.pop_front();
+    session->ctx.Bind(this, session.get());
+    if (!session->opaque()) {
+      session->protocol =
+          ProtocolFor(session->spec.protocol, session->spec.params);
+    }
+    Session* raw = session.get();
+    raw->slot = active_.size();
+    active_.push_back(std::move(session));
+    ready_.push_back(raw);
+  }
+}
+
+void SyncService::RunOpaqueSession(Session* session) {
+  Status status = session->spec.opaque(&session->channel);
+  SsrOutcome outcome;
+  outcome.stats = {session->channel.rounds(), session->channel.total_bytes(),
+                   0};
+  if (session->spec.mirror != nullptr) {
+    for (const Channel::Message& m : session->channel.transcript()) {
+      session->spec.mirror->Send(m);
+    }
+  }
+  if (status.ok()) {
+    FinalizeSession(session, std::move(outcome));
+  } else {
+    FinalizeSession(session, status);
+  }
+}
+
+void SyncService::ResumeSession(Session* session) {
+  ++stats_.resumes;
+  if (session->opaque()) {
+    RunOpaqueSession(session);
+    return;
+  }
+  if (!session->started) {
+    session->started = true;
+    session->task = session->protocol->ReconcileAsync(
+        *session->spec.alice, *session->spec.bob, session->spec.known_d,
+        &session->channel, &session->ctx);
+    session->task.Start();
+  } else {
+    std::coroutine_handle<> handle =
+        std::exchange(session->parked, std::coroutine_handle<>{});
+    assert(handle);
+    handle.resume();
+  }
+  if (session->task.Done()) {
+    FinalizeSession(session, session->task.TakeResult());
+  }
+}
+
+void SyncService::FinalizeSession(Session* session,
+                                  Result<SsrOutcome> outcome) {
+  SessionResult result;
+  result.id = session->id;
+  result.label = std::move(session->spec.label);
+  if (outcome.ok()) {
+    ++stats_.sessions_completed;
+    result.status = Status::Ok();
+    // For opaque sessions RunOpaqueSession already filled stats from the
+    // channel totals; protocol sessions report their own.
+    result.stats = outcome.value().stats;
+    if (options_.keep_recovered) {
+      result.recovered = std::move(outcome.value().recovered);
+    }
+  } else {
+    ++stats_.sessions_failed;
+    result.status = outcome.status();
+    result.stats = {session->channel.rounds(),
+                    session->channel.total_bytes(), 0};
+  }
+  stats_.total_rounds += session->channel.rounds();
+  stats_.total_bytes += session->channel.total_bytes();
+  results_.push_back(std::move(result));
+  // Swap-remove from the active list; recycle the shell (coroutine frame
+  // destroyed by the Task reset, transcript cleared, vector capacity kept).
+  const size_t slot = session->slot;
+  std::unique_ptr<Session> finished = std::move(active_[slot]);
+  if (slot + 1 != active_.size()) {
+    active_[slot] = std::move(active_.back());
+    active_[slot]->slot = slot;
+  }
+  active_.pop_back();
+  const size_t pool_cap =
+      options_.max_inflight == 0 ? 1024 : options_.max_inflight;
+  if (session_pool_.size() < pool_cap) {
+    finished->task = Task<Result<SsrOutcome>>();
+    finished->protocol = nullptr;
+    finished->spec = SessionSpec{};
+    finished->channel.Reset();
+    finished->parked = {};
+    finished->started = false;
+    finished->ops_pending = 0;
+    session_pool_.push_back(std::move(finished));
+  }
+}
+
+void SyncService::FlushPlanner() {
+  ++stats_.flushes;
+  size_t total_keys = 0;
+  for (const Iblt::ApplyOp& op : iblt_ops_) total_keys += op.n;
+  stats_.flushed_keys += total_keys;
+  if (total_keys > stats_.max_flush_keys) stats_.max_flush_keys = total_keys;
+  if (total_keys >= options_.batch.sharded_min_keys) ++stats_.sharded_flushes;
+
+  if (!iblt_ops_.empty()) {
+    Iblt::ApplyOps(iblt_ops_.data(), iblt_ops_.size(), options_.batch,
+                   &apply_scratch_);
+    iblt_ops_.clear();
+  }
+  for (const EstimatorJob& job : estimator_jobs_) {
+    if (job.l0 != nullptr) {
+      job.l0->UpdateBatch(job.xs, job.n, job.side);
+    } else {
+      job.strata->UpdateBatch(job.xs, job.n, job.side);
+    }
+  }
+  stats_.estimator_jobs += estimator_jobs_.size();
+  estimator_jobs_.clear();
+
+  // Scatter-back: every parked session's sketches are now built; resume
+  // them in park order. Resumed sessions may queue a next build phase
+  // (handled by the caller's flush loop) or park at a round boundary.
+  std::deque<Session*> waiters = std::move(flush_waiters_);
+  flush_waiters_.clear();
+  for (Session* session : waiters) {
+    session->ops_pending = 0;
+    ResumeSession(session);
+  }
+}
+
+bool SyncService::Step() {
+  Admit();
+  if (active_.empty()) return false;
+  ++stats_.steps;
+
+  // Round waiters first (FIFO fairness), then newly admitted sessions.
+  // Drain a snapshot: a session that parks at its next round boundary
+  // during the drain must wait for the NEXT tick (the one-round-per-tick
+  // contract of SendAwaiter), not be resumed again in this one.
+  std::deque<Session*> round_now = std::move(round_waiters_);
+  round_waiters_.clear();
+  while (!round_now.empty()) {
+    Session* session = round_now.front();
+    round_now.pop_front();
+    ResumeSession(session);
+  }
+
+  // Drain build phases: each flush applies every queued op across all
+  // sessions as one coalesced pass, then resumes the owners, who may queue
+  // the next phase; lease waiters wake as the builds they were parked on
+  // get stored. As completions free in-flight capacity, backlog sessions
+  // are admitted INTO the running tick, so a departing wave's late phases
+  // coalesce with the next wave's early ones (no pipeline bubble). When
+  // this loop exits, every live session sits at a round boundary.
+  for (;;) {
+    while (!ready_.empty()) {
+      Session* session = ready_.front();
+      ready_.pop_front();
+      ResumeSession(session);
+    }
+    while (!lease_ready_.empty()) {
+      Session* session = lease_ready_.front();
+      lease_ready_.pop_front();
+      ResumeSession(session);
+    }
+    if (!flush_waiters_.empty() || !iblt_ops_.empty() ||
+        !estimator_jobs_.empty()) {
+      FlushPlanner();
+      continue;
+    }
+    Admit();
+    if (ready_.empty() && lease_ready_.empty()) break;
+  }
+
+  return !active_.empty() || !backlog_.empty();
+}
+
+void SyncService::RunToCompletion() {
+  while (Step()) {
+  }
+}
+
+std::vector<SessionResult> SyncService::TakeResults() {
+  return std::move(results_);
+}
+
+}  // namespace setrec

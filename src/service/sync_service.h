@@ -1,0 +1,250 @@
+#ifndef SETREC_SERVICE_SYNC_SERVICE_H_
+#define SETREC_SERVICE_SYNC_SERVICE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/build_context.h"
+#include "core/protocol.h"
+#include "core/task.h"
+#include "iblt/iblt.h"
+#include "transport/channel.h"
+#include "transport/endpoint.h"
+
+namespace setrec {
+
+/// The four set-of-sets protocol families a session can run.
+enum class SsrProtocolKind { kNaive, kIblt2, kCascade, kMultiRound };
+
+const char* SsrProtocolKindName(SsrProtocolKind kind);
+
+/// Factory shared by the service, tests, and benches.
+std::unique_ptr<SetsOfSetsProtocol> MakeSsrProtocol(SsrProtocolKind kind,
+                                                    const SsrParams& params);
+
+/// One reconciliation job. Two shapes:
+///
+///  * Steppable set-of-sets session: `alice`/`bob` set, driven through the
+///    protocol coroutine round-by-round with sketch builds deferred into
+///    the cross-session batch planner.
+///  * Opaque session: any reconciliation expressible as a blocking run over
+///    a Channel (graph, forest, shingle-collection workloads). It executes
+///    in a single step; it shares the service's scheduling, stats and
+///    transport mirroring but not the batch planner.
+struct SessionSpec {
+  std::string label;
+
+  // --- steppable set-of-sets session ---
+  SsrProtocolKind protocol = SsrProtocolKind::kNaive;
+  SsrParams params;
+  /// Parent sets; alice benefits from RegisterSharedSet when many sessions
+  /// reconcile against the same server-side set.
+  std::shared_ptr<const SetOfSets> alice;
+  std::shared_ptr<const SetOfSets> bob;
+  std::optional<size_t> known_d;
+
+  // --- opaque session (set when alice/bob are null) ---
+  std::function<Status(Channel*)> opaque;
+
+  /// Optional transport mirror: every protocol message is forwarded as a
+  /// frame on this endpoint (the caller holds the peer half).
+  std::shared_ptr<Endpoint> mirror;
+};
+
+/// Outcome of a finished session.
+struct SessionResult {
+  uint64_t id = 0;
+  std::string label;
+  Status status;
+  /// rounds/bytes from the session channel; attempts from the protocol
+  /// (0 for opaque sessions).
+  SsrStats stats;
+  /// Bob's recovery (set sessions, when options.keep_recovered).
+  SetOfSets recovered;
+};
+
+/// Aggregate service counters. Batch occupancy is the planner's headline:
+/// per-session sketch batches rarely cross IbltBatchOptions::
+/// sharded_min_keys, coalesced cross-session flushes should.
+struct ServiceStats {
+  size_t sessions_submitted = 0;
+  size_t sessions_completed = 0;
+  size_t sessions_failed = 0;
+  size_t total_rounds = 0;
+  size_t total_bytes = 0;
+  /// Scheduler ticks (Step calls that found work).
+  size_t steps = 0;
+  /// Coroutine resumptions across all sessions.
+  size_t resumes = 0;
+  /// Batch planner flushes, and the IBLT keys they coalesced.
+  size_t flushes = 0;
+  size_t flushed_keys = 0;
+  size_t max_flush_keys = 0;
+  /// Flushes whose occupancy reached the sharded-batch threshold.
+  size_t sharded_flushes = 0;
+  /// Deferred estimator update jobs executed.
+  size_t estimator_jobs = 0;
+  /// Alice-message memoization (registered shared sets only): hits =
+  /// messages replayed from the cache, misses = messages actually built
+  /// (one per acquired build lease).
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+
+  double mean_flush_occupancy() const {
+    return flushes == 0 ? 0.0
+                        : static_cast<double>(flushed_keys) /
+                              static_cast<double>(flushes);
+  }
+};
+
+struct SyncServiceOptions {
+  /// Planner flush tuning (sharding threshold + worker cap).
+  IbltBatchOptions batch;
+  /// Admission window: sessions resident at once; the rest wait in the
+  /// backlog. Large windows maximize planner occupancy, small ones bound
+  /// memory (and, on one core, working-set thrash). 0 = unbounded.
+  size_t max_inflight = 8192;
+  /// Keep recovered sets in SessionResult (benches turn this off).
+  bool keep_recovered = true;
+  /// Cap on memoized Alice messages.
+  size_t alice_cache_max_entries = 4096;
+};
+
+/// Drives many concurrent reconciliation sessions as non-blocking state
+/// machines stepped round-by-round, instead of one blocking protocol call
+/// per client.
+///
+/// Scheduling model (single-threaded; only planner flushes fan out to
+/// worker threads): each Step() tick
+///   1. admits backlog sessions up to the in-flight window,
+///   2. resumes every runnable session until it parks at a round boundary
+///      (SendAwaiter) or a sketch-build barrier (BuildBarrier) or finishes,
+///   3. repeatedly FLUSHES the batch planner: all queued sketch-build ops —
+///      child-IBLT encodes, outer-table updates, estimator updates, from
+///      every parked session — are applied as one coalesced
+///      Iblt::ApplyOps / UpdateBatch pass, and the owning sessions are
+///      resumed with their sketches built (the scatter-back). The loop
+///      runs until every live session is parked at a round boundary.
+///
+/// Sessions whose `alice` set was registered via RegisterSharedSet share
+/// memoized Alice attempt messages, and all sessions share one pooled pair
+/// of decode scratches — per-session warm-decode behavior without
+/// per-session scratch churn. See src/service/README.md for the state
+/// machine, the planner, and the view-lifetime rules across steps.
+class SyncService {
+ public:
+  explicit SyncService(SyncServiceOptions options = {});
+  ~SyncService();
+
+  SyncService(const SyncService&) = delete;
+  SyncService& operator=(const SyncService&) = delete;
+
+  /// Pins `set` for the service's lifetime and enables Alice-message
+  /// memoization for sessions whose spec.alice is this exact object.
+  uint64_t RegisterSharedSet(std::shared_ptr<const SetOfSets> set);
+
+  /// Enqueues a session; returns its id. Sessions start in Step() order.
+  uint64_t Submit(SessionSpec spec);
+
+  /// One scheduler tick; returns true while sessions remain (in flight or
+  /// backlogged).
+  bool Step();
+
+  /// Steps until idle.
+  void RunToCompletion();
+
+  const ServiceStats& stats() const { return stats_; }
+  const SyncServiceOptions& options() const { return options_; }
+
+  /// Finished-session results in completion order; moves them out.
+  std::vector<SessionResult> TakeResults();
+
+ private:
+  struct Session;
+  class SessionContext;
+
+  struct EstimatorJob {
+    L0Estimator* l0 = nullptr;
+    StrataEstimator* strata = nullptr;
+    const uint64_t* xs = nullptr;
+    size_t n = 0;
+    int side = 0;
+  };
+
+  void Admit();
+  void ResumeSession(Session* session);
+  void FinalizeSession(Session* session, Result<SsrOutcome> outcome);
+  void RunOpaqueSession(Session* session);
+  std::shared_ptr<const SetsOfSetsProtocol> ProtocolFor(
+      SsrProtocolKind kind, const SsrParams& params);
+  /// Applies every queued planner op as one coalesced pass and resumes the
+  /// sessions that were parked on the barrier.
+  void FlushPlanner();
+  uint64_t IdentityOf(const void* set) const;
+
+  SyncServiceOptions options_;
+  ServiceStats stats_;
+
+  struct PendingSession {
+    uint64_t id;
+    SessionSpec spec;
+  };
+  std::deque<PendingSession> backlog_;
+  /// Active sessions, swap-removed on completion (slot order is not
+  /// meaningful; scheduling order lives in the queues below).
+  std::vector<std::unique_ptr<Session>> active_;
+  /// Finished Session shells kept for reuse (their channel/transcript
+  /// vectors stay warm), bounded by the in-flight window.
+  std::vector<std::unique_ptr<Session>> session_pool_;
+  /// Shared immutable protocol instances for identical (kind, params).
+  std::vector<std::pair<std::pair<SsrProtocolKind, SsrParams>,
+                        std::shared_ptr<const SetsOfSetsProtocol>>>
+      protocol_cache_;
+  std::deque<Session*> ready_;
+  std::deque<Session*> round_waiters_;
+  std::deque<Session*> flush_waiters_;
+  /// Anti-stampede build leases: sessions parked behind an in-flight Alice
+  /// message build, and the wake queue drained by the Step flush loop.
+  std::unordered_set<uint64_t> held_leases_;
+  std::unordered_map<uint64_t, std::deque<Session*>> lease_waiters_;
+  std::deque<Session*> lease_ready_;
+
+  // Batch planner state: deferred IBLT ops + estimator jobs of the current
+  // phase, and the reusable hash staging for ApplyOps.
+  std::vector<Iblt::ApplyOp> iblt_ops_;
+  std::vector<EstimatorJob> estimator_jobs_;
+  Iblt::ApplyScratch apply_scratch_;
+
+  // Shared decode scratch pool (slots 0/1; see ProtocolContext::Scratch).
+  DecodeScratch scratch_pool_[2];
+
+  // Alice-message memoization for registered shared sets.
+  std::vector<std::shared_ptr<const SetOfSets>> pinned_sets_;
+  std::unordered_map<const void*, uint64_t> set_identities_;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> alice_cache_;
+  /// Positive ValidateSetOfSets verdicts for registered sets, per bounds.
+  std::unordered_set<uint64_t> validated_;
+  /// Bob-side parsed-table memo (see ProtocolContext::ParseTableMemo):
+  /// the table plus the serialized length to skip on replay.
+  struct TableMemoEntry {
+    Iblt table;
+    size_t consumed;
+  };
+  std::unordered_map<uint64_t, TableMemoEntry> table_memo_;
+
+  std::vector<SessionResult> results_;
+  uint64_t next_session_id_ = 1;
+  uint64_t next_set_identity_ = 1;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_SERVICE_SYNC_SERVICE_H_

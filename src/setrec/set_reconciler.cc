@@ -63,10 +63,18 @@ Result<SetReconcileOutcome> IbltAttempt(const std::vector<uint64_t>& alice,
 
 std::vector<uint64_t> ApplyDifference(const std::vector<uint64_t>& base,
                                       const SetDifference& diff) {
-  std::vector<uint64_t> removed = diff.local_only;  // Sorted by contract.
+  return ApplyDifference(
+      base, std::span<const uint64_t>(diff.remote_only),
+      std::span<const uint64_t>(diff.local_only));
+}
+
+std::vector<uint64_t> ApplyDifference(const std::vector<uint64_t>& base,
+                                      std::span<const uint64_t> remote_only,
+                                      std::span<const uint64_t> local_only) {
+  std::vector<uint64_t> removed(local_only.begin(), local_only.end());
   std::sort(removed.begin(), removed.end());
   std::vector<uint64_t> out;
-  out.reserve(base.size() + diff.remote_only.size());
+  out.reserve(base.size() + remote_only.size());
   std::vector<uint64_t> sorted_base = base;
   std::sort(sorted_base.begin(), sorted_base.end());
   // Multiset semantics: remove one occurrence per local_only entry.
@@ -78,7 +86,7 @@ std::vector<uint64_t> ApplyDifference(const std::vector<uint64_t>& base,
     }
     out.push_back(e);
   }
-  out.insert(out.end(), diff.remote_only.begin(), diff.remote_only.end());
+  out.insert(out.end(), remote_only.begin(), remote_only.end());
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -2,6 +2,7 @@
 #define SETREC_SETREC_SET_RECONCILER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "charpoly/charpoly_reconciler.h"
@@ -59,6 +60,12 @@ Result<SetReconcileOutcome> MultisetReconcileKnown(
 /// local_only. Returns the sorted result.
 std::vector<uint64_t> ApplyDifference(const std::vector<uint64_t>& base,
                                       const SetDifference& diff);
+
+/// Span form, the shape IbltDecodeView64 hands back: identical semantics
+/// without materializing the difference into owned vectors first.
+std::vector<uint64_t> ApplyDifference(const std::vector<uint64_t>& base,
+                                      std::span<const uint64_t> remote_only,
+                                      std::span<const uint64_t> local_only);
 
 }  // namespace setrec
 

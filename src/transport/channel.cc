@@ -23,15 +23,35 @@ void Channel::Reset() {
   bytes_bob_ = 0;
 }
 
+void WriteMessageFrame(const Channel::Message& message, ByteWriter* writer) {
+  writer->PutU8(static_cast<uint8_t>(message.from));
+  writer->PutVarint(message.label.size());
+  writer->PutBytes(reinterpret_cast<const uint8_t*>(message.label.data()),
+                   message.label.size());
+  writer->PutLengthPrefixed(message.payload);
+}
+
+bool ReadMessageFrame(ByteReader* reader, Channel::Message* out) {
+  uint8_t from = 0;
+  uint64_t label_len = 0;
+  if (!reader->GetU8(&from) || from > 1) return false;
+  if (!reader->GetVarint(&label_len) || label_len > reader->remaining()) {
+    return false;
+  }
+  out->from = static_cast<Party>(from);
+  out->label.resize(static_cast<size_t>(label_len));
+  if (!reader->GetRaw(static_cast<size_t>(label_len),
+                      reinterpret_cast<uint8_t*>(out->label.data()))) {
+    return false;
+  }
+  return reader->GetLengthPrefixed(&out->payload);
+}
+
 std::vector<uint8_t> PackTranscript(const Channel& sub) {
   ByteWriter writer;
   writer.PutVarint(sub.transcript().size());
   for (const Channel::Message& m : sub.transcript()) {
-    writer.PutU8(static_cast<uint8_t>(m.from));
-    writer.PutVarint(m.label.size());
-    writer.PutBytes(reinterpret_cast<const uint8_t*>(m.label.data()),
-                    m.label.size());
-    writer.PutLengthPrefixed(m.payload);
+    WriteMessageFrame(m, &writer);
   }
   return writer.Take();
 }
@@ -47,20 +67,8 @@ bool UnpackTranscript(ByteReader* reader,
   messages->clear();
   messages->reserve(static_cast<size_t>(count));
   for (uint64_t i = 0; i < count; ++i) {
-    uint8_t from = 0;
-    uint64_t label_len = 0;
-    if (!reader->GetU8(&from) || from > 1) return false;
-    if (!reader->GetVarint(&label_len) || label_len > reader->remaining()) {
-      return false;
-    }
     Channel::Message m;
-    m.from = static_cast<Party>(from);
-    m.label.resize(static_cast<size_t>(label_len));
-    if (!reader->GetRaw(static_cast<size_t>(label_len),
-                        reinterpret_cast<uint8_t*>(m.label.data()))) {
-      return false;
-    }
-    if (!reader->GetLengthPrefixed(&m.payload)) return false;
+    if (!ReadMessageFrame(reader, &m)) return false;
     messages->push_back(std::move(m));
   }
   return true;

@@ -73,12 +73,22 @@ class Channel {
 size_t ForwardAsSingleMessage(const Channel& sub, Party from, Channel* main,
                               std::string label);
 
+/// Appends one message frame — a sender byte, the length-prefixed label,
+/// and the length-prefixed payload. This is the shared wire unit: a packed
+/// transcript is a varint count followed by frames, and the endpoint
+/// stream codec (transport/endpoint.h) is a plain sequence of frames, so
+/// both read/write messages through the same two functions.
+void WriteMessageFrame(const Channel::Message& message, ByteWriter* writer);
+
+/// Parses one message frame at the reader's position. Returns false
+/// (consuming an unspecified prefix) on truncated or malformed input.
+bool ReadMessageFrame(ByteReader* reader, Channel::Message* out);
+
 /// Serializes a sub-transcript into a byte block: a varint message count,
-/// then per message a sender byte, the length-prefixed label, and the
-/// length-prefixed payload — the full Channel::Message, so a forwarded
-/// sub-transcript round-trips without losing sender attribution. Used by
-/// composite protocols that append their own sections after the
-/// sub-transcript.
+/// then one WriteMessageFrame per message — the full Channel::Message, so
+/// a forwarded sub-transcript round-trips without losing sender
+/// attribution. Used by composite protocols that append their own sections
+/// after the sub-transcript.
 std::vector<uint8_t> PackTranscript(const Channel& sub);
 
 /// Inverse of PackTranscript: parses the packed block at the reader's

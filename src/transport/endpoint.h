@@ -1,0 +1,109 @@
+#ifndef SETREC_TRANSPORT_ENDPOINT_H_
+#define SETREC_TRANSPORT_ENDPOINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "transport/channel.h"
+#include "util/serialization.h"
+
+namespace setrec {
+
+/// A duplex in-process message port: one half of a loopback pair. Send()
+/// enqueues onto the peer's inbox, Poll() drains this half's inbox —
+/// non-blocking on both sides, which is what the SyncService needs to step
+/// thousands of sessions without a thread per connection. Messages are
+/// Channel::Message (sender + label + payload), so protocol traffic can be
+/// mirrored 1:1 onto an endpoint and transcripts keep exact byte/round
+/// accounting on both transports.
+///
+/// Like Channel, an Endpoint is not thread-safe; the service is a
+/// single-threaded step loop (only sketch-build flushes fan out to worker
+/// threads, and those never touch transports).
+class Endpoint {
+ public:
+  /// Two connected halves: whatever one sends, the other polls, in order.
+  static std::pair<Endpoint, Endpoint> LoopbackPair();
+
+  Endpoint() = default;
+
+  /// True when connected to a peer (made by LoopbackPair).
+  bool connected() const { return inbox_ != nullptr; }
+
+  /// Enqueues `message` for the peer. Returns the total messages this half
+  /// has sent. On an unconnected endpoint the message is dropped (and not
+  /// counted), mirroring Poll()'s idle behavior.
+  size_t Send(Channel::Message message);
+
+  /// Dequeues the oldest pending message into `out`; false when idle.
+  bool Poll(Channel::Message* out);
+
+  /// Messages waiting in this half's inbox.
+  size_t pending() const { return inbox_ ? inbox_->messages.size() : 0; }
+
+  size_t messages_sent() const { return messages_sent_; }
+  size_t bytes_sent() const { return bytes_sent_; }
+
+  /// Drains every pending inbox message into `writer` as wire frames (the
+  /// PackTranscript per-message format, transport/channel.h's
+  /// WriteMessageFrame) — the bridge from the in-process pair to a real
+  /// byte stream (socket, file, record log).
+  size_t DrainToStream(ByteWriter* writer);
+
+ private:
+  struct Queue {
+    std::deque<Channel::Message> messages;
+  };
+
+  std::shared_ptr<Queue> inbox_;
+  std::shared_ptr<Queue> peer_inbox_;
+  size_t messages_sent_ = 0;
+  size_t bytes_sent_ = 0;
+};
+
+/// Incremental decoder for a stream of wire frames (the exact per-message
+/// format of PackTranscript, minus the leading count): feed arbitrary byte
+/// chunks, pop whole messages as they complete. A packed transcript body
+/// therefore parses with this decoder too.
+class FrameDecoder {
+ public:
+  /// Ceiling on a single frame's label or payload length. A hostile length
+  /// prefix above it latches failed() instead of parking the decoder in
+  /// "need more bytes" while the caller feeds (and buffers) forever.
+  static constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
+
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends a chunk of stream bytes.
+  void Feed(const uint8_t* data, size_t n);
+  void Feed(const std::vector<uint8_t>& data) { Feed(data.data(), data.size()); }
+
+  /// Extracts the next complete frame. Returns false when the buffered
+  /// bytes do not (yet) contain a whole frame; feed more and retry. Once a
+  /// frame prefix proves malformed (bad sender byte, overlong varint, a
+  /// length above the frame-size bound) the decoder latches failed() and
+  /// returns false forever.
+  bool Next(Channel::Message* out);
+
+  /// True after a malformed frame was encountered; the stream cannot be
+  /// resynchronized.
+  bool failed() const { return failed_; }
+
+  /// Bytes buffered but not yet consumed by complete frames.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_TRANSPORT_ENDPOINT_H_

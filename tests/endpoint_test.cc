@@ -1,0 +1,175 @@
+// Tests for the duplex Endpoint transport and the framed stream codec:
+// loopback ordering, stream round-trips (including byte-at-a-time feeding),
+// wire compatibility with PackTranscript, and malformed-frame latching.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "transport/channel.h"
+#include "transport/endpoint.h"
+#include "util/serialization.h"
+
+namespace setrec {
+namespace {
+
+Channel::Message Msg(Party from, std::string label,
+                     std::vector<uint8_t> payload) {
+  return Channel::Message{from, std::move(payload), std::move(label)};
+}
+
+TEST(EndpointTest, LoopbackPairDeliversInOrderBothWays) {
+  auto [server, client] = Endpoint::LoopbackPair();
+  ASSERT_TRUE(server.connected());
+  ASSERT_TRUE(client.connected());
+
+  server.Send(Msg(Party::kAlice, "t1", {1, 2, 3}));
+  server.Send(Msg(Party::kAlice, "t2", {4}));
+  client.Send(Msg(Party::kBob, "ack", {9, 9}));
+
+  EXPECT_EQ(client.pending(), 2u);
+  EXPECT_EQ(server.pending(), 1u);
+  EXPECT_EQ(server.messages_sent(), 2u);
+  EXPECT_EQ(server.bytes_sent(), 4u);
+
+  Channel::Message m;
+  ASSERT_TRUE(client.Poll(&m));
+  EXPECT_EQ(m.label, "t1");
+  EXPECT_EQ(m.payload, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(m.from, Party::kAlice);
+  ASSERT_TRUE(client.Poll(&m));
+  EXPECT_EQ(m.label, "t2");
+  EXPECT_FALSE(client.Poll(&m));
+
+  ASSERT_TRUE(server.Poll(&m));
+  EXPECT_EQ(m.label, "ack");
+  EXPECT_EQ(m.from, Party::kBob);
+}
+
+TEST(EndpointTest, DrainToStreamRoundTripsThroughFrameDecoder) {
+  auto [server, client] = Endpoint::LoopbackPair();
+  std::vector<Channel::Message> sent;
+  for (int i = 0; i < 5; ++i) {
+    Channel::Message m = Msg(i % 2 == 0 ? Party::kAlice : Party::kBob,
+                             "label" + std::to_string(i),
+                             std::vector<uint8_t>(i * 7, uint8_t(i)));
+    sent.push_back(m);
+    server.Send(std::move(m));
+  }
+
+  ByteWriter stream;
+  EXPECT_EQ(client.DrainToStream(&stream), 5u);
+  EXPECT_EQ(client.pending(), 0u);
+
+  // Feed the stream one byte at a time: frames must pop exactly when
+  // complete and match what was sent, in order.
+  FrameDecoder decoder;
+  std::vector<Channel::Message> received;
+  for (uint8_t byte : stream.bytes()) {
+    decoder.Feed(&byte, 1);
+    Channel::Message m;
+    while (decoder.Next(&m)) received.push_back(std::move(m));
+  }
+  ASSERT_FALSE(decoder.failed());
+  EXPECT_EQ(decoder.buffered(), 0u);
+  ASSERT_EQ(received.size(), sent.size());
+  for (size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(received[i].from, sent[i].from);
+    EXPECT_EQ(received[i].label, sent[i].label);
+    EXPECT_EQ(received[i].payload, sent[i].payload);
+  }
+}
+
+TEST(EndpointTest, FrameStreamIsPackTranscriptCompatible) {
+  // A packed transcript is a varint count followed by the same frames the
+  // endpoint stream uses; after skipping the count, FrameDecoder must parse
+  // the body, and a frame stream must parse with ReadMessageFrame.
+  Channel channel;
+  channel.Send(Party::kAlice, {10, 20, 30}, "outer");
+  channel.Send(Party::kBob, {40}, "reply");
+  std::vector<uint8_t> packed = PackTranscript(channel);
+
+  ByteReader reader(packed);
+  uint64_t count = 0;
+  ASSERT_TRUE(reader.GetVarint(&count));
+  ASSERT_EQ(count, 2u);
+
+  FrameDecoder decoder;
+  decoder.Feed(packed.data() + (packed.size() - reader.remaining()),
+               reader.remaining());
+  Channel::Message m;
+  ASSERT_TRUE(decoder.Next(&m));
+  EXPECT_EQ(m.label, "outer");
+  EXPECT_EQ(m.from, Party::kAlice);
+  ASSERT_TRUE(decoder.Next(&m));
+  EXPECT_EQ(m.label, "reply");
+  EXPECT_FALSE(decoder.Next(&m));
+  EXPECT_FALSE(decoder.failed());
+
+  // And the reverse: frames written by WriteMessageFrame parse with
+  // ReadMessageFrame (the UnpackTranscript path exercises this too).
+  ByteWriter frames;
+  WriteMessageFrame(channel.transcript()[0], &frames);
+  WriteMessageFrame(channel.transcript()[1], &frames);
+  ByteReader frame_reader(frames.bytes());
+  Channel::Message a, b;
+  ASSERT_TRUE(ReadMessageFrame(&frame_reader, &a));
+  ASSERT_TRUE(ReadMessageFrame(&frame_reader, &b));
+  EXPECT_EQ(a.payload, (std::vector<uint8_t>{10, 20, 30}));
+  EXPECT_EQ(b.payload, (std::vector<uint8_t>{40}));
+  EXPECT_EQ(frame_reader.remaining(), 0u);
+}
+
+TEST(EndpointTest, MalformedFrameLatchesFailure) {
+  FrameDecoder decoder;
+  // Sender byte 7 is not a Party.
+  std::vector<uint8_t> bad = {7, 0, 0};
+  decoder.Feed(bad);
+  Channel::Message m;
+  EXPECT_FALSE(decoder.Next(&m));
+  EXPECT_TRUE(decoder.failed());
+  // Further feeding cannot resynchronize.
+  std::vector<uint8_t> good;
+  {
+    ByteWriter w;
+    WriteMessageFrame(Msg(Party::kAlice, "x", {1}), &w);
+    good = w.Take();
+  }
+  decoder.Feed(good);
+  EXPECT_FALSE(decoder.Next(&m));
+  EXPECT_TRUE(decoder.failed());
+}
+
+TEST(EndpointTest, OversizeFrameLengthLatchesFailure) {
+  // A hostile length prefix above the frame bound must fail fast, not park
+  // the decoder in "need more" while the caller buffers forever.
+  FrameDecoder decoder(/*max_frame_bytes=*/1024);
+  ByteWriter w;
+  w.PutU8(0);                // Valid sender.
+  w.PutVarint(1ull << 20);   // Label "length" far above the bound.
+  decoder.Feed(w.bytes());
+  Channel::Message m;
+  EXPECT_FALSE(decoder.Next(&m));
+  EXPECT_TRUE(decoder.failed());
+}
+
+TEST(EndpointTest, IncompleteFrameWaitsForMoreBytes) {
+  ByteWriter w;
+  WriteMessageFrame(Msg(Party::kBob, "partial", std::vector<uint8_t>(300, 5)),
+                    &w);
+  const std::vector<uint8_t>& bytes = w.bytes();
+
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size() / 2);
+  Channel::Message m;
+  EXPECT_FALSE(decoder.Next(&m));
+  EXPECT_FALSE(decoder.failed());
+  decoder.Feed(bytes.data() + bytes.size() / 2, bytes.size() - bytes.size() / 2);
+  ASSERT_TRUE(decoder.Next(&m));
+  EXPECT_EQ(m.label, "partial");
+  EXPECT_EQ(m.payload.size(), 300u);
+}
+
+}  // namespace
+}  // namespace setrec

@@ -138,6 +138,54 @@ TEST(IbltViewTest, ScratchReuseAcrossConfigsKeepsViewsConsistent) {
   EXPECT_TRUE(decoded_b.value().positive[0] == b_key);
 }
 
+TEST(IbltViewTest, U64ViewMatchesOwningDecode) {
+  for (size_t d : {1ul, 10ul, 300ul}) {
+    IbltConfig config = IbltConfig::ForDifference(d, 900 + d);
+    Iblt table(config);
+    Rng rng(d * 31 + 5);
+    for (size_t i = 0; i < d; ++i) table.InsertU64(rng.NextU64());
+    for (size_t i = 0; i < d / 3; ++i) table.EraseU64(rng.NextU64());
+
+    DecodeScratch scratch;
+    Result<IbltDecodeView64> view = table.DecodeU64View(&scratch);
+    Result<IbltDecodeResult64> owning = table.DecodeU64();
+    ASSERT_EQ(view.ok(), owning.ok()) << "d=" << d;
+    if (!view.ok()) continue;
+    // Both run the same deterministic peel; the byte-mode arena stages keys
+    // in the identical order, so the sides must agree element for element.
+    IbltDecodeResult64 materialized = view.value().Materialize();
+    EXPECT_EQ(materialized.positive, owning.value().positive);
+    EXPECT_EQ(materialized.negative, owning.value().negative);
+  }
+}
+
+TEST(IbltViewTest, WarmU64ViewDecodeIsAllocationFree) {
+  IbltConfig config = IbltConfig::ForDifference(256, 123);
+  Iblt table(config);
+  Rng rng(7);
+  for (int i = 0; i < 256; ++i) table.InsertU64(rng.NextU64());
+  for (int i = 0; i < 128; ++i) table.EraseU64(rng.NextU64());
+
+  DecodeScratch scratch;
+  Result<IbltDecodeView64> warmup = table.DecodeU64View(&scratch);
+  ASSERT_TRUE(warmup.ok()) << warmup.status().ToString();
+  const size_t expect_pos = warmup.value().positive.size();
+  const size_t expect_neg = warmup.value().negative.size();
+
+  // The owning DecodeU64 pays capacity-growth allocations per call (the
+  // ROADMAP item this API closes); the view path must be clean.
+  size_t allocs;
+  {
+    AllocationWindow window;
+    Result<IbltDecodeView64> decoded = table.DecodeU64View(&scratch);
+    allocs = window.count();
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().positive.size(), expect_pos);
+    EXPECT_EQ(decoded.value().negative.size(), expect_neg);
+  }
+  EXPECT_EQ(allocs, 0u) << "warm u64 view decode must not hit the allocator";
+}
+
 TEST(IbltKeyViewTest, TransparentMapLookup) {
   std::map<std::vector<uint8_t>, int, KeyBytesLess> m;
   m[{1, 2, 3}] = 1;

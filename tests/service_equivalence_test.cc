@@ -1,0 +1,241 @@
+// Service-vs-direct equivalence: a session driven through SyncService must
+// produce a BIT-IDENTICAL transcript (same messages, senders, labels,
+// bytes, rounds) and the same recovered set as the blocking Reconcile call
+// with the same seeds — including sessions whose Alice messages come out of
+// the shared-set memoization cache.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/workload.h"
+#include "service/sync_service.h"
+#include "transport/endpoint.h"
+
+namespace setrec {
+namespace {
+
+struct DirectRun {
+  Result<SsrOutcome> outcome;
+  std::vector<Channel::Message> transcript;
+};
+
+DirectRun RunDirect(SsrProtocolKind kind, const SsrParams& params,
+                    const SetOfSets& alice, const SetOfSets& bob,
+                    std::optional<size_t> known_d) {
+  std::unique_ptr<SetsOfSetsProtocol> protocol = MakeSsrProtocol(kind, params);
+  Channel channel;
+  DirectRun run{protocol->Reconcile(alice, bob, known_d, &channel),
+                channel.transcript()};
+  return run;
+}
+
+std::vector<Channel::Message> DrainMirror(Endpoint* peer) {
+  std::vector<Channel::Message> messages;
+  Channel::Message m;
+  while (peer->Poll(&m)) messages.push_back(std::move(m));
+  return messages;
+}
+
+void ExpectSameTranscript(const std::vector<Channel::Message>& direct,
+                          const std::vector<Channel::Message>& service,
+                          const char* what) {
+  ASSERT_EQ(direct.size(), service.size()) << what;
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(direct[i].from),
+              static_cast<int>(service[i].from))
+        << what << " message " << i;
+    EXPECT_EQ(direct[i].label, service[i].label) << what << " message " << i;
+    EXPECT_EQ(direct[i].payload, service[i].payload)
+        << what << " message " << i;
+  }
+}
+
+struct Case {
+  SsrProtocolKind kind;
+  bool known_d;
+};
+
+class ServiceEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ServiceEquivalence, TranscriptsAreBitIdentical) {
+  const Case& c = GetParam();
+  SsrWorkloadSpec spec;
+  spec.num_children = 24;
+  spec.child_size = 12;
+  spec.changes = 5;
+  spec.seed = 17 + static_cast<uint64_t>(c.kind) * 11 + (c.known_d ? 1 : 0);
+  SsrWorkload w = MakeSsrWorkload(spec);
+
+  SsrParams params;
+  params.max_child_size = spec.child_size + spec.changes + 2;
+  params.max_children = spec.num_children + spec.changes;
+  params.seed = spec.seed + 1000;
+  std::optional<size_t> known_d =
+      c.known_d ? std::optional<size_t>(w.applied_changes) : std::nullopt;
+
+  DirectRun direct = RunDirect(c.kind, params, w.alice, w.bob, known_d);
+  ASSERT_TRUE(direct.outcome.ok()) << direct.outcome.status().ToString();
+
+  SyncService service;
+  auto [server_end, client_end] = Endpoint::LoopbackPair();
+  SessionSpec session;
+  session.label = "equivalence";
+  session.protocol = c.kind;
+  session.params = params;
+  session.alice = std::make_shared<SetOfSets>(w.alice);
+  session.bob = std::make_shared<SetOfSets>(w.bob);
+  session.known_d = known_d;
+  session.mirror = std::make_shared<Endpoint>(std::move(server_end));
+  service.Submit(std::move(session));
+  service.RunToCompletion();
+
+  std::vector<SessionResult> results = service.TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+
+  // Same bits, same rounds, same attempts, same recovery.
+  EXPECT_EQ(results[0].stats.rounds, direct.outcome.value().stats.rounds);
+  EXPECT_EQ(results[0].stats.bytes, direct.outcome.value().stats.bytes);
+  EXPECT_EQ(results[0].stats.attempts, direct.outcome.value().stats.attempts);
+  EXPECT_EQ(results[0].recovered, direct.outcome.value().recovered);
+  EXPECT_EQ(results[0].recovered, Canonicalize(w.alice));
+
+  ExpectSameTranscript(direct.transcript, DrainMirror(&client_end),
+                       SsrProtocolKindName(c.kind));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ServiceEquivalence,
+    ::testing::Values(Case{SsrProtocolKind::kNaive, true},
+                      Case{SsrProtocolKind::kNaive, false},
+                      Case{SsrProtocolKind::kIblt2, true},
+                      Case{SsrProtocolKind::kIblt2, false},
+                      Case{SsrProtocolKind::kCascade, true},
+                      Case{SsrProtocolKind::kCascade, false},
+                      Case{SsrProtocolKind::kMultiRound, true},
+                      Case{SsrProtocolKind::kMultiRound, false}));
+
+TEST(ServiceCacheEquivalence, SharedAliceSessionsReplayIdenticalMessages) {
+  // Many clients against one registered server set: later sessions hit the
+  // Alice-message cache, and every one must still match its own direct run
+  // bit for bit.
+  SsrWorkloadSpec spec;
+  spec.num_children = 20;
+  spec.child_size = 10;
+  spec.changes = 3;
+  spec.seed = 99;
+  SsrWorkload base = MakeSsrWorkload(spec);
+
+  SsrParams params;
+  params.max_child_size = spec.child_size + spec.changes + 2;
+  params.max_children = spec.num_children + spec.changes;
+  params.seed = 4242;
+
+  SyncService service;
+  auto server_set = std::make_shared<SetOfSets>(base.alice);
+  service.RegisterSharedSet(server_set);
+
+  constexpr int kClients = 8;
+  std::vector<Endpoint> client_ends;
+  std::vector<SetOfSets> bobs;
+  for (int i = 0; i < kClients; ++i) {
+    // Each client drifts from the server set by one or two element edits.
+    SetOfSets bob = *server_set;
+    ChildSet& child = bob[static_cast<size_t>(i) % bob.size()];
+    if (child.size() > 1) {
+      child.erase(child.begin() + (i % static_cast<int>(child.size())));
+    }
+    bob[(static_cast<size_t>(i) + 3) % bob.size()].push_back(
+        (1ull << 40) + static_cast<uint64_t>(i));
+    bobs.push_back(Canonicalize(std::move(bob)));
+  }
+
+  for (int i = 0; i < kClients; ++i) {
+    auto [server_end, client_end] = Endpoint::LoopbackPair();
+    client_ends.push_back(std::move(client_end));
+    SessionSpec session;
+    session.label = "client" + std::to_string(i);
+    session.protocol = SsrProtocolKind::kIblt2;
+    session.params = params;
+    session.alice = server_set;
+    session.bob = std::make_shared<SetOfSets>(bobs[i]);
+    session.known_d = spec.changes + 4;
+    session.mirror = std::make_shared<Endpoint>(std::move(server_end));
+    service.Submit(std::move(session));
+  }
+  service.RunToCompletion();
+
+  std::vector<SessionResult> results = service.TakeResults();
+  ASSERT_EQ(results.size(), static_cast<size_t>(kClients));
+  EXPECT_GT(service.stats().cache_hits, 0u)
+      << "shared-alice sessions should replay memoized messages";
+
+  // Results arrive in completion order; map back to the submitted client
+  // by session id (1-based submission order, as Submit documents).
+  for (const SessionResult& result : results) {
+    ASSERT_GE(result.id, 1u);
+    ASSERT_LE(result.id, static_cast<uint64_t>(kClients));
+    const int i = static_cast<int>(result.id - 1);
+    ASSERT_TRUE(result.status.ok())
+        << "client " << i << ": " << result.status.ToString();
+    DirectRun direct =
+        RunDirect(SsrProtocolKind::kIblt2, params, *server_set, bobs[i],
+                  spec.changes + 4);
+    ASSERT_TRUE(direct.outcome.ok());
+    EXPECT_EQ(result.recovered, direct.outcome.value().recovered);
+    EXPECT_EQ(result.stats.bytes, direct.outcome.value().stats.bytes);
+    ExpectSameTranscript(direct.transcript, DrainMirror(&client_ends[i]),
+                         result.label.c_str());
+  }
+}
+
+TEST(ServiceOpaqueSessions, RunAlongsideSteppableOnes) {
+  SsrWorkloadSpec spec;
+  spec.num_children = 12;
+  spec.child_size = 8;
+  spec.changes = 2;
+  spec.seed = 7;
+  SsrWorkload w = MakeSsrWorkload(spec);
+
+  SsrParams params;
+  params.max_child_size = spec.child_size + spec.changes + 2;
+  params.seed = 77;
+
+  SyncService service;
+  SessionSpec steppable;
+  steppable.label = "sets";
+  steppable.protocol = SsrProtocolKind::kNaive;
+  steppable.params = params;
+  steppable.alice = std::make_shared<SetOfSets>(w.alice);
+  steppable.bob = std::make_shared<SetOfSets>(w.bob);
+  steppable.known_d = w.applied_changes;
+  service.Submit(std::move(steppable));
+
+  SessionSpec opaque;
+  opaque.label = "opaque";
+  opaque.opaque = [](Channel* channel) {
+    channel->Send(Party::kAlice, {1, 2, 3}, "blob");
+    channel->Send(Party::kBob, {4}, "ack");
+    return Status::Ok();
+  };
+  service.Submit(std::move(opaque));
+  service.RunToCompletion();
+
+  std::vector<SessionResult> results = service.TakeResults();
+  ASSERT_EQ(results.size(), 2u);
+  for (const SessionResult& r : results) {
+    EXPECT_TRUE(r.status.ok()) << r.label << ": " << r.status.ToString();
+    if (r.label == "opaque") {
+      EXPECT_EQ(r.stats.rounds, 2u);
+      EXPECT_EQ(r.stats.bytes, 4u);
+    } else {
+      EXPECT_EQ(r.recovered, Canonicalize(w.alice));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace setrec

@@ -1,0 +1,158 @@
+// Interleaving fuzz: 100+ concurrent sessions with randomized workloads,
+// protocols and d-knowledge, stepped through one SyncService so their build
+// phases interleave arbitrarily in the batch planner. Every session must
+// recover its own Alice exactly — no cross-session bleed through the
+// coalesced ApplyOps passes, the shared scratch pool, or the message cache.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "hashing/random.h"
+#include "service/sync_service.h"
+
+namespace setrec {
+namespace {
+
+struct Expected {
+  SetOfSets alice;
+};
+
+TEST(ServiceFuzzTest, HundredsOfInterleavedSessionsAllRecover) {
+  constexpr int kSessions = 128;
+  Rng rng(20260730);
+
+  SyncServiceOptions options;
+  // A tiny sharding threshold so coalesced flushes exercise the sharded
+  // ApplyOps path (deterministically, via the worker test hook) even at
+  // test-sized workloads.
+  options.batch.sharded_min_keys = 512;
+  options.batch.max_workers = 3;
+  SyncService service(options);
+
+  // A quarter of the sessions share one registered server set (cache-hit
+  // path); the rest get independent random workloads.
+  SsrWorkloadSpec shared_spec;
+  shared_spec.num_children = 16;
+  shared_spec.child_size = 8;
+  shared_spec.changes = 3;
+  shared_spec.seed = 555;
+  SsrWorkload shared = MakeSsrWorkload(shared_spec);
+  auto server_set = std::make_shared<SetOfSets>(shared.alice);
+  service.RegisterSharedSet(server_set);
+
+  std::vector<Expected> expected;
+  for (int i = 0; i < kSessions; ++i) {
+    SessionSpec session;
+    session.label = "fuzz" + std::to_string(i);
+    session.protocol = static_cast<SsrProtocolKind>(rng.NextU64() % 4);
+
+    if (i % 4 == 0) {
+      // Shared-server session: client drifts by a couple of edits.
+      SetOfSets bob = *server_set;
+      size_t victim = rng.NextU64() % bob.size();
+      if (bob[victim].size() > 1) bob[victim].pop_back();
+      bob[rng.NextU64() % bob.size()].push_back((1ull << 41) +
+                                                (rng.NextU64() & 0xffff));
+      bob = Canonicalize(std::move(bob));
+      session.params.max_child_size = shared_spec.child_size + 6;
+      session.params.max_children = shared_spec.num_children + 6;
+      session.params.seed = 9000;  // Shared coins: enables memoization.
+      session.alice = server_set;
+      session.bob = std::make_shared<SetOfSets>(std::move(bob));
+      session.known_d = 6;
+      expected.push_back({*server_set});
+    } else {
+      SsrWorkloadSpec spec;
+      spec.num_children = 8 + rng.NextU64() % 12;
+      spec.child_size = 4 + rng.NextU64() % 8;
+      spec.changes = 1 + rng.NextU64() % 4;
+      spec.touched_children = (i % 3 == 0) ? 2 : 0;
+      spec.seed = 10'000 + i;
+      SsrWorkload w = MakeSsrWorkload(spec);
+      session.params.max_child_size = spec.child_size + spec.changes + 2;
+      session.params.max_children = spec.num_children + spec.changes;
+      session.params.seed = 20'000 + i;
+      session.known_d = (i % 2 == 0)
+                            ? std::optional<size_t>(w.applied_changes)
+                            : std::nullopt;
+      session.alice = std::make_shared<SetOfSets>(w.alice);
+      session.bob = std::make_shared<SetOfSets>(w.bob);
+      expected.push_back({w.alice});
+    }
+    service.Submit(std::move(session));
+  }
+
+  Iblt::sharded_workers_for_test = 3;
+  service.RunToCompletion();
+  Iblt::sharded_workers_for_test = 0;
+
+  std::vector<SessionResult> results = service.TakeResults();
+  ASSERT_EQ(results.size(), static_cast<size_t>(kSessions));
+  // Results complete out of submission order (multi-round sessions park
+  // longer); match them back by id (1-based submission order).
+  for (const SessionResult& result : results) {
+    ASSERT_GE(result.id, 1u);
+    ASSERT_LE(result.id, static_cast<uint64_t>(kSessions));
+    const Expected& want = expected[result.id - 1];
+    ASSERT_TRUE(result.status.ok())
+        << result.label << ": " << result.status.ToString();
+    EXPECT_EQ(result.recovered, Canonicalize(want.alice)) << result.label;
+  }
+
+  const ServiceStats& stats = service.stats();
+  EXPECT_EQ(stats.sessions_completed, static_cast<size_t>(kSessions));
+  EXPECT_EQ(stats.sessions_failed, 0u);
+  EXPECT_GT(stats.flushes, 0u);
+  EXPECT_GT(stats.cache_hits, 0u);
+  // The coalesced flushes must actually cross the (test-sized) sharding
+  // threshold — the cross-session occupancy the planner exists for.
+  EXPECT_GT(stats.sharded_flushes, 0u);
+  EXPECT_GE(stats.max_flush_keys, options.batch.sharded_min_keys);
+}
+
+TEST(ServiceFuzzTest, BacklogWindowDrainsEverything) {
+  // A tiny in-flight window forces multi-wave admission; everything still
+  // completes and the planner keeps flushing per wave.
+  constexpr int kSessions = 40;
+  SyncServiceOptions options;
+  options.max_inflight = 7;
+  SyncService service(options);
+
+  std::vector<SetOfSets> alices;
+  for (int i = 0; i < kSessions; ++i) {
+    SsrWorkloadSpec spec;
+    spec.num_children = 6;
+    spec.child_size = 5;
+    spec.changes = 2;
+    spec.seed = 300 + i;
+    SsrWorkload w = MakeSsrWorkload(spec);
+    alices.push_back(w.alice);
+    SessionSpec session;
+    session.label = "windowed" + std::to_string(i);
+    session.protocol =
+        (i % 2 == 0) ? SsrProtocolKind::kNaive : SsrProtocolKind::kCascade;
+    session.params.max_child_size = spec.child_size + spec.changes + 2;
+    session.params.seed = 80 + i;
+    session.alice = std::make_shared<SetOfSets>(w.alice);
+    session.bob = std::make_shared<SetOfSets>(w.bob);
+    session.known_d = w.applied_changes;
+    service.Submit(std::move(session));
+  }
+  service.RunToCompletion();
+
+  std::vector<SessionResult> results = service.TakeResults();
+  ASSERT_EQ(results.size(), static_cast<size_t>(kSessions));
+  for (const SessionResult& result : results) {
+    ASSERT_TRUE(result.status.ok())
+        << result.label << ": " << result.status.ToString();
+    EXPECT_EQ(result.recovered, Canonicalize(alices[result.id - 1]));
+  }
+}
+
+}  // namespace
+}  // namespace setrec

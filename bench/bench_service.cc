@@ -13,17 +13,25 @@
 //   * a sharding-threshold sweep over IbltBatchOptions::sharded_min_keys
 //     (the runtime knob) showing where sharded flushes engage.
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/workload.h"
 #include "hashing/random.h"
+#include "net/net_pump.h"
+#include "net/stream_party.h"
+#include "net/wire.h"
 #include "service/sync_service.h"
 
 namespace setrec {
@@ -161,6 +169,101 @@ void PrintComparison(const char* name, const DriverResult& direct,
                   service.service_stats.cache_misses);
 }
 
+// ---------------------------------------------------------------------
+// --net: split-party sessions over real sockets. The service hosts Alice
+// halves behind a NetPump; a client thread drives Bob halves sequentially
+// over per-session socketpairs. Reported: socket round-trips/sec (frames
+// crossing the wire in either direction) and p50/p99 full-session latency
+// (hello sent → outcome decoded at the client).
+// ---------------------------------------------------------------------
+
+struct NetBenchResult {
+  size_t sessions = 0;
+  size_t failed = 0;
+  double seconds = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  size_t wire_frames = 0;
+  double round_trips_per_sec = 0;
+  double sessions_per_sec = 0;
+};
+
+NetBenchResult RunNetBench(size_t sessions) {
+  Workload w = MakeWorkload(sessions, /*children=*/48, /*child_size=*/8,
+                            /*d=*/2, /*seed=*/77);
+  SyncService service;
+  service.RegisterSharedSet(w.server);
+  NetPump pump(&service);
+
+  std::vector<int> client_fds(sessions);
+  for (size_t i = 0; i < sessions; ++i) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0 ||
+        !pump.AdoptConnection(sv[0]).ok()) {
+      std::fprintf(stderr, "bench_service --net: socketpair failed\n");
+      std::exit(1);
+    }
+    client_fds[i] = sv[1];
+    // Receive timeout so a wedged server session fails the client's read
+    // (and the bench) instead of blocking client.join() forever.
+    timeval timeout{30, 0};
+    ::setsockopt(client_fds[i], SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                 sizeof(timeout));
+  }
+
+  NetBenchResult r;
+  r.sessions = sessions;
+  std::vector<double> latencies_ms(sessions, 0.0);
+  size_t client_failed = 0;
+  r.seconds = bench::TimeSeconds([&] {
+    std::thread client([&] {
+      for (size_t i = 0; i < sessions; ++i) {
+        auto start = std::chrono::steady_clock::now();
+        HelloSpec hello;
+        hello.protocol = w.kinds[i];
+        hello.set_id = 1;
+        hello.params = w.params;
+        hello.known_d = w.known_d;
+        std::unique_ptr<SetsOfSetsProtocol> protocol =
+            MakeSsrProtocol(w.kinds[i], w.params);
+        Channel channel;
+        bool ok = SendHello(client_fds[i], hello).ok();
+        if (ok) {
+          Result<SsrOutcome> outcome = RunBobHalfOverFd(
+              *protocol, *w.clients[i], w.known_d, client_fds[i], &channel);
+          ok = outcome.ok();
+        }
+        ::close(client_fds[i]);
+        if (!ok) ++client_failed;
+        latencies_ms[i] =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+      }
+    });
+    // Bounded wait: a client that dies before its session is submitted
+    // produces no SessionResult, and the bench must fail, not hang.
+    size_t done = 0;
+    size_t idle_spins = 0;
+    while (done < sessions && idle_spins < 1200) {
+      const size_t events = pump.PumpOnce(50);
+      const size_t results = pump.TakeResults().size();
+      done += results;
+      idle_spins = (events == 0 && results == 0) ? idle_spins + 1 : 0;
+    }
+    client.join();
+    r.failed = client_failed + (sessions - done);
+  });
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  r.p50_ms = latencies_ms[sessions / 2];
+  r.p99_ms = latencies_ms[std::min(sessions - 1, sessions * 99 / 100)];
+  r.wire_frames = pump.stats().frames_in + pump.stats().frames_out;
+  r.round_trips_per_sec = static_cast<double>(r.wire_frames) / r.seconds;
+  r.sessions_per_sec = static_cast<double>(sessions) / r.seconds;
+  return r;
+}
+
 int RunJsonSuite() {
   // The acceptance workload: 10k concurrent small sessions. Single-core
   // noisy VM with bursty interference: interleave the drivers and take the
@@ -266,7 +369,25 @@ int RunJsonSuite() {
         i + 1 < sweep.size() ? "," : "");
     json += buf;
   }
-  json += "  ]\n}\n";
+  json += "  ],\n";
+
+  // Split-party sessions over real sockets (the src/net/ pump).
+  NetBenchResult net = RunNetBench(/*sessions=*/512);
+  if (net.failed != 0) {
+    std::fprintf(stderr, "bench_service: %zu net sessions failed\n",
+                 net.failed);
+    return 1;
+  }
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"net\": {\"sessions\": %zu, \"transport\": \"socketpair\", "
+      "\"seconds\": %.3f, \"sessions_per_sec\": %.0f,\n"
+      "    \"round_trips_per_sec\": %.0f, \"wire_frames\": %zu, "
+      "\"p50_session_ms\": %.3f, \"p99_session_ms\": %.3f}\n",
+      net.sessions, net.seconds, net.sessions_per_sec,
+      net.round_trips_per_sec, net.wire_frames, net.p50_ms, net.p99_ms);
+  json += buf;
+  json += "}\n";
 
   std::FILE* f = std::fopen("BENCH_service.json", "w");
   if (f == nullptr) {
@@ -277,11 +398,28 @@ int RunJsonSuite() {
   std::fclose(f);
   std::printf("direct  %8.0f sessions/sec\nservice %8.0f sessions/sec "
               "(%.2fx)\nmax flush occupancy %zu keys (threshold %zu, "
-              "%zu/%zu sharded flushes)\nwrote BENCH_service.json\n",
+              "%zu/%zu sharded flushes)\n"
+              "net     %8.0f sessions/sec over socketpair "
+              "(%.0f round-trips/sec, p50 %.2fms, p99 %.2fms)\n"
+              "wrote BENCH_service.json\n",
               direct_rate, service_rate, service_rate / direct_rate,
               stats.max_flush_keys, batch.sharded_min_keys,
-              stats.sharded_flushes, stats.flushes);
+              stats.sharded_flushes, stats.flushes, net.sessions_per_sec,
+              net.round_trips_per_sec, net.p50_ms, net.p99_ms);
   return 0;
+}
+
+int RunNetSuite() {
+  bench::Header("service --net",
+                "split-party sessions over real sockets (NetPump)");
+  NetBenchResult net = RunNetBench(/*sessions=*/512);
+  std::printf("sessions      %zu (%zu failed)\n", net.sessions, net.failed);
+  std::printf("sessions/sec  %.0f\n", net.sessions_per_sec);
+  std::printf("round-trips   %zu frames, %.0f round-trips/sec\n",
+              net.wire_frames, net.round_trips_per_sec);
+  std::printf("latency       p50 %.3f ms, p99 %.3f ms (hello -> outcome)\n",
+              net.p50_ms, net.p99_ms);
+  return net.failed == 0 ? 0 : 1;
 }
 
 void RunTableSuite() {
@@ -325,6 +463,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       return setrec::RunJsonSuite();
+    }
+    if (std::strcmp(argv[i], "--net") == 0) {
+      return setrec::RunNetSuite();
     }
   }
   setrec::RunTableSuite();

@@ -74,7 +74,9 @@ int main() {
   setrec::RunRegime(/*s=*/256, /*h=*/256, /*d=*/64, /*seed=*/4);
   std::printf(
       "\nExpected shape (Table 1): naive > iblt2 > cascade in bytes for\n"
-      "large h; multiround smallest in bytes but 3 rounds; all others 1\n"
-      "round per attempt.\n");
+      "large h; multiround smallest in bytes but the most rounds; the\n"
+      "one-way protocols pay 2 rounds per attempt (data message + the\n"
+      "split-party verdict frame; the paper counts 1 since its model\n"
+      "shares the success signal for free).\n");
   return 0;
 }

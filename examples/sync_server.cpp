@@ -1,30 +1,208 @@
-// Sync server: one SyncService instance driving 10,000 mixed-workload
-// reconciliation sessions the way a server facing a client fleet would —
-// set-of-sets sessions (all four protocol families) against one registered
-// server set, stepped round-by-round with sketch builds coalesced in the
-// cross-session batch planner, plus opaque graph / forest / shingle
-// sessions sharing the same scheduler. A sample of sessions is mirrored
-// onto loopback Endpoints and drained through the framed stream codec, the
-// wire a real deployment would speak.
+// Sync server, three modes:
+//
+//  (default)        One SyncService instance driving 10,000 mixed-workload
+//                   loopback sessions the way a server facing a client
+//                   fleet would — set-of-sets sessions (all four protocol
+//                   families) against one registered server set, stepped
+//                   round-by-round with sketch builds coalesced in the
+//                   cross-session batch planner, plus opaque graph /
+//                   forest / shingle sessions sharing the same scheduler.
+//
+//  --listen=tcp:PORT | --listen=unix:PATH  [--serve=N]
+//                   REAL remote clients: a src/net/ NetPump accepts
+//                   connections, decodes wire frames, and the service
+//                   hosts only the Alice half of each session against the
+//                   remote Bob half (see examples/sync_client.cpp).
+//                   Serves N sessions then exits (0 = forever).
+//
+//  --selftest-net   End-to-end loop-device check: listens on an ephemeral
+//                   TCP port, drives a real client (the sync_client code
+//                   path) through every protocol family over 127.0.0.1,
+//                   and verifies recoveries. Registered as ctest
+//                   `net_e2e_loopdevice`.
 //
 // Build & run:  ./build/example_sync_server
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "apps/shingles.h"
 #include "core/workload.h"
+#include "examples/net_demo.h"
 #include "forest/forest_reconciler.h"
 #include "graph/degree_ordering.h"
 #include "graph/separated_instance.h"
 #include "hashing/random.h"
+#include "net/net_pump.h"
+#include "net/stream_party.h"
+#include "net/wire.h"
 #include "service/sync_service.h"
 #include "transport/endpoint.h"
 
-int main() {
-  using namespace setrec;
+namespace {
+
+using namespace setrec;
+
+int RunListen(const std::string& target, size_t serve_count) {
+  SyncService service;
+  auto server_set = std::make_shared<SetOfSets>(net_demo::MakeServerSet());
+  uint64_t set_id = service.RegisterSharedSet(server_set);
+  NetPump pump(&service);
+
+  if (target.rfind("tcp:", 0) == 0) {
+    uint16_t want =
+        static_cast<uint16_t>(std::strtoul(target.c_str() + 4, nullptr, 10));
+    Result<uint16_t> port = pump.ListenTcp(want);
+    if (!port.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n",
+                   port.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("listening on tcp port %u (shared set id %llu, %zu "
+                "children)\n",
+                port.value(), static_cast<unsigned long long>(set_id),
+                server_set->size());
+  } else if (target.rfind("unix:", 0) == 0) {
+    Status s = pump.ListenUnix(target.substr(5));
+    if (!s.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("listening on unix socket %s (shared set id %llu)\n",
+                target.c_str() + 5, static_cast<unsigned long long>(set_id));
+  } else {
+    std::fprintf(stderr, "--listen needs tcp:PORT or unix:PATH\n");
+    return 2;
+  }
+  std::fflush(stdout);
+
+  size_t served = 0, failed = 0;
+  while (serve_count == 0 || served < serve_count) {
+    pump.PumpOnce(/*timeout_ms=*/200);
+    for (const SessionResult& r : pump.TakeResults()) {
+      ++served;
+      if (!r.status.ok()) {
+        ++failed;
+        std::printf("session %llu (%s): %s\n",
+                    static_cast<unsigned long long>(r.id), r.label.c_str(),
+                    r.status.ToString().c_str());
+      } else {
+        std::printf("session %llu (%s): ok, %zu rounds, %zu bytes\n",
+                    static_cast<unsigned long long>(r.id), r.label.c_str(),
+                    r.stats.rounds, r.stats.bytes);
+      }
+      std::fflush(stdout);
+    }
+  }
+  const ServiceStats& stats = service.stats();
+  std::printf("served %zu sessions (%zu failed); cache %zu hits / %zu "
+              "lookups; %zu remote frames in\n",
+              served, failed, stats.cache_hits,
+              stats.cache_hits + stats.cache_misses, stats.remote_messages);
+  return failed == 0 ? 0 : 1;
+}
+
+int RunNetSelftest() {
+  SyncService service;
+  auto server_set = std::make_shared<SetOfSets>(net_demo::MakeServerSet());
+  service.RegisterSharedSet(server_set);
+  NetPump pump(&service);
+  Result<uint16_t> port = pump.ListenTcp(0);
+  if (!port.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n",
+                 port.status().ToString().c_str());
+    return 1;
+  }
+
+  constexpr int kSessions = 4;  // One per protocol family.
+  std::vector<Status> client_status(kSessions, Status::Ok());
+  std::thread client([&] {
+    for (int i = 0; i < kSessions; ++i) {
+      Result<int> fd = ConnectTcp("127.0.0.1", port.value());
+      if (!fd.ok()) {
+        client_status[i] = fd.status();
+        continue;
+      }
+      // Receive timeout: a wedged server must fail the selftest, not hang
+      // the client thread (and the join) forever.
+      timeval timeout{30, 0};
+      ::setsockopt(fd.value(), SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                   sizeof(timeout));
+      Result<SsrOutcome> outcome = net_demo::RunDemoClientSession(
+          fd.value(), static_cast<SsrProtocolKind>(i),
+          static_cast<uint64_t>(i) + 1);
+      ::close(fd.value());
+      if (!outcome.ok()) {
+        client_status[i] = outcome.status();
+      } else if (outcome.value().recovered !=
+                 Canonicalize(*server_set)) {
+        client_status[i] =
+            VerificationFailure("client recovery does not match server set");
+      }
+    }
+  });
+
+  size_t done = 0, server_failed = 0;
+  for (int spins = 0; spins < 30000 && done < kSessions; ++spins) {
+    pump.PumpOnce(10);
+    for (const SessionResult& r : pump.TakeResults()) {
+      ++done;
+      if (!r.status.ok()) {
+        ++server_failed;
+        std::fprintf(stderr, "server session failed: %s\n",
+                     r.status.ToString().c_str());
+      }
+    }
+  }
+  client.join();
+
+  bool ok = done == kSessions && server_failed == 0;
+  for (int i = 0; i < kSessions; ++i) {
+    if (!client_status[i].ok()) {
+      ok = false;
+      std::fprintf(stderr, "client %s failed: %s\n",
+                   SsrProtocolKindName(static_cast<SsrProtocolKind>(i)),
+                   client_status[i].ToString().c_str());
+    }
+  }
+  std::printf("net selftest over 127.0.0.1: %zu/%d sessions ok — %s\n",
+              done - server_failed, kSessions, ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+int RunLoopbackDemo();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--selftest-net") return RunNetSelftest();
+    if (arg.rfind("--listen=", 0) == 0) {
+      size_t serve = 0;
+      for (int j = 1; j < argc; ++j) {
+        if (std::strncmp(argv[j], "--serve=", 8) == 0) {
+          serve = std::strtoull(argv[j] + 8, nullptr, 10);
+        }
+      }
+      return RunListen(arg.substr(9), serve);
+    }
+  }
+  return RunLoopbackDemo();
+}
+
+namespace {
+
+int RunLoopbackDemo() {
 
   // --- Server state: one parent set all set-sessions sync against. ---
   SsrWorkloadSpec spec;
@@ -163,3 +341,5 @@ int main() {
 
   return stats.sessions_failed == 0 ? 0 : 1;
 }
+
+}  // namespace

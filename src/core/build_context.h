@@ -60,6 +60,26 @@ struct SendAwaiter {
   size_t await_resume() const noexcept { return index; }
 };
 
+/// Awaitable returned by ProtocolContext::Receive(): completes once the
+/// transcript holds message `index`. A party coroutine awaiting its peer's
+/// next message parks here; the message arrives either from the peer half's
+/// Send (loopback composition — the context pumps parked receives on every
+/// send) or from a remote connection (the driver appends the decoded frame
+/// to the channel and pumps). Ready immediately when the message is already
+/// in the transcript, so the composed both-parties path never parks under
+/// the inline context beyond genuine turn-taking.
+struct RecvAwaiter {
+  ProtocolContext* ctx;
+  const Channel* channel;
+  size_t index;
+
+  bool await_ready() const noexcept;
+  void await_suspend(std::coroutine_handle<> handle) const;
+  const Channel::Message& await_resume() const noexcept {
+    return channel->Receive(index);
+  }
+};
+
 /// The step/resume hook the protocol coroutines run against. One context
 /// serves exactly one reconciliation (it may be reused sequentially).
 ///
@@ -119,6 +139,62 @@ class ProtocolContext {
     return SendAwaiter{this, index};
   }
 
+  /// Awaits message `index` of the transcript (see RecvAwaiter). The
+  /// returned reference is valid only until the NEXT message is appended
+  /// to the channel (the transcript vector may reallocate) — in practice,
+  /// until the receiving party's own next send. Copy out anything needed
+  /// longer; do not hold the reference across a Send.
+  RecvAwaiter Receive(const Channel* channel, size_t index) {
+    return RecvAwaiter{this, channel, index};
+  }
+
+  // --- Parked receives ------------------------------------------------
+  // The base class owns the waiter list for every context flavor; what
+  // differs is WHO resumes the handles. The inline context pumps them
+  // synchronously from OnSend (the loopback composition's ping-pong), the
+  // service moves ready handles onto its scheduler queues, and stream
+  // drivers pump after appending decoded frames to the transcript.
+
+  virtual void ParkOnRecv(const Channel* channel, size_t index,
+                          std::coroutine_handle<> handle) {
+    recv_waiters_.push_back(RecvWaiter{channel, index, handle});
+  }
+  /// Pops one parked receive whose message has arrived (null when none).
+  std::coroutine_handle<> TakeReadyReceive() {
+    for (size_t i = 0; i < recv_waiters_.size(); ++i) {
+      if (recv_waiters_[i].channel->rounds() > recv_waiters_[i].index) {
+        std::coroutine_handle<> handle = recv_waiters_[i].handle;
+        recv_waiters_.erase(recv_waiters_.begin() +
+                            static_cast<ptrdiff_t>(i));
+        return handle;
+      }
+    }
+    return {};
+  }
+  bool HasRecvWaiters() const { return !recv_waiters_.empty(); }
+  /// True when a receive is parked on `channel` exactly at `index` — the
+  /// local party is waiting for that transcript slot. The service gates
+  /// remote-frame injection with this: it is the remote's turn iff the
+  /// local half awaits the next slot (strict half-duplex).
+  bool HasRecvWaiterAt(const Channel* channel, size_t index) const {
+    for (const RecvWaiter& waiter : recv_waiters_) {
+      if (waiter.channel == channel && waiter.index == index) return true;
+    }
+    return false;
+  }
+  /// Resumes ready receives until none remain ready. Re-entrant: a resumed
+  /// party may Send, which calls OnSend, which may pump again — the waiter
+  /// is removed from the list before its resume, so each handle runs once.
+  void PumpReceives() {
+    while (std::coroutine_handle<> handle = TakeReadyReceive()) {
+      handle.resume();
+    }
+  }
+  /// Drops every parked receive without resuming. Call before destroying a
+  /// still-parked coroutine (peer disconnect, early error) so no dangling
+  /// handle survives in the waiter list.
+  void CancelReceives() { recv_waiters_.clear(); }
+
   // --- Alice-message memoization --------------------------------------
   // A server reconciling one parent set against many clients rebuilds the
   // identical sketch message per session; the service context caches the
@@ -130,6 +206,11 @@ class ProtocolContext {
     (void)parent_set;
     return 0;
   }
+  /// Identity of the PEER's parent set, for the Bob half: Bob derives the
+  /// same cache keys Alice used (ProtocolCacheKey feeds TableMemoKey) but
+  /// holds no pointer to her set. The service context returns the session's
+  /// registered Alice-set identity; remote clients get 0 (no memoization).
+  virtual uint64_t PeerSetIdentity() { return 0; }
   virtual const std::vector<uint8_t>* CacheLookup(uint64_t key) {
     (void)key;
     return nullptr;
@@ -191,12 +272,26 @@ class ProtocolContext {
   /// Only called when deferred(); the inline context never suspends.
   virtual void ParkOnFlush(std::coroutine_handle<> handle) { (void)handle; }
   virtual void ParkOnRound(std::coroutine_handle<> handle) { (void)handle; }
-  /// Observation hook for transports mirroring protocol messages (the
-  /// service forwards them as endpoint frames).
+  /// Hook on every ctx->Send: transports mirror the message (the service
+  /// forwards it as an endpoint frame) and parked receives are woken. The
+  /// base behavior pumps synchronously — under the inline context that IS
+  /// the loopback scheduler: Alice's send resumes Bob's parked receive
+  /// nested (depth ≤ one party switch), Bob runs to his next park or send,
+  /// and control unwinds back through the sender. Overrides that defer
+  /// resumption (the service) must still collect ready receives.
   virtual void OnSend(Channel* channel, size_t index) {
     (void)channel;
     (void)index;
+    PumpReceives();
   }
+
+ protected:
+  struct RecvWaiter {
+    const Channel* channel;
+    size_t index;
+    std::coroutine_handle<> handle;
+  };
+  std::vector<RecvWaiter> recv_waiters_;
 };
 
 inline bool BuildLeaseAwaiter::await_ready() noexcept {
@@ -218,6 +313,12 @@ inline bool SendAwaiter::await_ready() const noexcept {
 }
 inline void SendAwaiter::await_suspend(std::coroutine_handle<> handle) const {
   ctx->ParkOnRound(handle);
+}
+inline bool RecvAwaiter::await_ready() const noexcept {
+  return channel->rounds() > index;
+}
+inline void RecvAwaiter::await_suspend(std::coroutine_handle<> handle) const {
+  ctx->ParkOnRecv(channel, index, handle);
 }
 
 /// The default context for blocking Reconcile calls: the base-class inline

@@ -1,12 +1,14 @@
 #include "core/cascading_protocol.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <map>
 #include <unordered_set>
 
 #include "core/build_context.h"
 #include "core/encoding.h"
+#include "core/split_party.h"
 #include "hashing/random.h"
 #include "iblt/iblt.h"
 #include "setrec/set_reconciler.h"
@@ -17,6 +19,7 @@ namespace setrec {
 namespace {
 
 constexpr uint64_t kAttemptTag = 0x63736364ull;  // "cscd"
+constexpr int kMaxDoublings = 40;  // SSRU: d = 2, 4, 8, ... (Corollary 3.8).
 
 size_t CeilLog2(size_t x) {
   size_t level = 0;
@@ -66,6 +69,39 @@ IbltConfig LevelOuterConfig(size_t level, size_t d, size_t d_hat,
   return config;
 }
 
+/// The full per-attempt table plan — levels 1..t plus the optional direct
+/// table T*. Derived identically by both parties from shared knowledge.
+struct CascadePlan {
+  size_t t = 0;
+  bool has_star = false;
+  std::vector<IbltConfig> child_configs;
+  std::vector<IbltConfig> outer_configs;
+  IbltConfig star_config;
+};
+
+CascadePlan MakePlan(size_t h, size_t d, size_t d_hat, uint64_t seed) {
+  CascadePlan plan;
+  const size_t dm = std::min(d, h);
+  plan.t = std::max<size_t>(1, CeilLog2(dm));
+  plan.has_star = h <= d;  // t == log2 h: append the direct table T*.
+  for (size_t i = 1; i <= plan.t; ++i) {
+    plan.child_configs.push_back(LevelChildConfig(i, d, seed));
+    plan.outer_configs.push_back(LevelOuterConfig(
+        i, d, d_hat, ChildIbltBlobWidth(plan.child_configs.back()), seed));
+  }
+  if (plan.has_star) {
+    size_t star_keys = std::min<size_t>(
+        2 * d_hat, static_cast<size_t>(
+                       std::ceil(2.5 * static_cast<double>(d) /
+                                 static_cast<double>(std::max<size_t>(h, 1)))) +
+                       2);
+    plan.star_config = IbltConfig::ForDifference(
+        std::max<size_t>(star_keys, 2),
+        DeriveSeed(seed, /*tag=*/0x73746172ull), ChildBlobWidth(h));  // "star"
+  }
+  return plan;
+}
+
 /// Builds one side's child sketches for a level through the deferred
 /// planner pass: one tiny batch per child, coalesced across children (and,
 /// under the service, across sessions). `sketches` is emptied and refilled.
@@ -85,38 +121,17 @@ Task<Status> BuildLevelSketches(const SetOfSets& children,
 
 }  // namespace
 
-Task<Result<SetOfSets>> CascadingProtocol::Attempt(
-    const SetOfSets& alice, const SetOfSets& bob, size_t d, size_t d_hat,
-    uint64_t seed, Channel* channel, ProtocolContext* ctx) const {
+Task<Status> CascadingProtocol::AttemptAlice(const SetOfSets& alice, size_t d,
+                                             size_t d_hat, uint64_t seed,
+                                             size_t* next, Channel* channel,
+                                             ProtocolContext* ctx) const {
   const size_t h = params_.max_child_size;
   HashFamily fp_family(seed, /*tag=*/0x66706373ull);
+  const CascadePlan plan = MakePlan(h, d, d_hat, seed);
 
-  const size_t dm = std::min(d, h);
-  const size_t t = std::max<size_t>(1, CeilLog2(dm));
-  const bool has_star = h <= d;  // t == log2 h: append the direct table T*.
-
-  std::vector<IbltConfig> child_configs;
-  std::vector<IbltConfig> outer_configs;
-  for (size_t i = 1; i <= t; ++i) {
-    child_configs.push_back(LevelChildConfig(i, d, seed));
-    outer_configs.push_back(LevelOuterConfig(
-        i, d, d_hat, ChildIbltBlobWidth(child_configs.back()), seed));
-  }
-  IbltConfig star_config;
-  if (has_star) {
-    size_t star_keys = std::min<size_t>(
-        2 * d_hat, static_cast<size_t>(
-                       std::ceil(2.5 * static_cast<double>(d) /
-                                 static_cast<double>(std::max<size_t>(h, 1)))) +
-                       2);
-    star_config = IbltConfig::ForDifference(
-        std::max<size_t>(star_keys, 2),
-        DeriveSeed(seed, /*tag=*/0x73746172ull), ChildBlobWidth(h));  // "star"
-  }
-
-  // --- Alice: every child encoded into every level (and T*). One message,
-  // memoized across sessions sharing her set; per-level child sketches and
-  // outer-table updates run through the deferred planner passes. ---
+  // Every child encoded into every level (and T*). One message, memoized
+  // across sessions sharing Alice's set; per-level child sketches and
+  // outer-table updates run through the deferred planner passes.
   uint64_t cache_key = ProtocolCacheKey(ctx->SetIdentity(&alice),
                                         {kAttemptTag, d, d_hat, seed, h});
   auto build = [&](ByteWriter* writer) -> Task<Status> {
@@ -126,25 +141,25 @@ Task<Result<SetOfSets>> CascadingProtocol::Attempt(
       fps[i] = ChildFingerprint(alice[i], fp_family);
     }
     std::vector<Iblt> sketches;
-    for (size_t level = 0; level < t; ++level) {
-      Status s = co_await BuildLevelSketches(alice, child_configs[level], ctx,
-                                             &sketches);
+    for (size_t level = 0; level < plan.t; ++level) {
+      Status s = co_await BuildLevelSketches(alice, plan.child_configs[level],
+                                             ctx, &sketches);
       if (!s.ok()) co_return s;
       ByteWriter packed;
       for (size_t i = 0; i < alice.size(); ++i) {
         AppendChildIbltBlob(sketches[i], fps[i], &packed);
       }
-      Iblt outer(outer_configs[level]);
+      Iblt outer(plan.outer_configs[level]);
       ctx->QueueInsertBytes(&outer, packed.bytes().data(), alice.size());
       co_await ctx->FlushBuilds();
       outer.Serialize(writer);
     }
-    if (has_star) {
+    if (plan.has_star) {
       ByteWriter packed;
       for (const ChildSet& child : alice) {
         packed.PutBytes(EncodeChildBlob(child, h));
       }
-      Iblt star(star_config);
+      Iblt star(plan.star_config);
       ctx->QueueInsertBytes(&star, packed.bytes().data(), alice.size());
       co_await ctx->FlushBuilds();
       star.Serialize(writer);
@@ -154,26 +169,44 @@ Task<Result<SetOfSets>> CascadingProtocol::Attempt(
   Result<size_t> sent =
       co_await CachedAliceSend(ctx, channel, cache_key, "cascade", build);
   if (!sent.ok()) co_return sent.status();
-  size_t msg = sent.value();
+  assert(sent.value() == *next && "transcript index drifted (Alice)");
+  ++*next;
+  co_return Status::Ok();
+}
 
-  // --- Bob ---
-  ByteReader reader(channel->Receive(msg).payload);
+Task<Result<SetOfSets>> CascadingProtocol::AttemptBob(
+    const SetOfSets& bob, size_t d, size_t d_hat, uint64_t seed, size_t* next,
+    bool* peer_aborted, Channel* channel, ProtocolContext* ctx) const {
+  const size_t h = params_.max_child_size;
+  HashFamily fp_family(seed, /*tag=*/0x66706373ull);
+  const CascadePlan plan = MakePlan(h, d, d_hat, seed);
+  uint64_t cache_key = ProtocolCacheKey(ctx->PeerSetIdentity(),
+                                        {kAttemptTag, d, d_hat, seed, h});
+
+  const Channel::Message& m = co_await ctx->Receive(channel, *next);
+  ++*next;
+  if (std::optional<Status> abort = PeerAbort(m)) {
+    *peer_aborted = true;
+    co_return *abort;
+  }
+  ByteReader reader(m.payload);
   uint64_t alice_parent_fp = 0;
   if (!reader.GetU64(&alice_parent_fp)) {
     co_return ParseError("cascade message truncated");
   }
   std::vector<Iblt> outer_tables;
-  for (size_t level = 0; level < t; ++level) {
+  for (size_t level = 0; level < plan.t; ++level) {
     Result<Iblt> table = ctx->ParseTableMemo(TableMemoKey(cache_key, level),
-                                             &reader, outer_configs[level]);
+                                             &reader,
+                                             plan.outer_configs[level]);
     if (!table.ok()) co_return table.status();
     outer_tables.push_back(std::move(table).value());
   }
   Result<Iblt> star_table =
-      has_star ? ctx->ParseTableMemo(TableMemoKey(cache_key, t), &reader,
-                                     star_config)
-               : InvalidArgument("unused");
-  if (has_star && !star_table.ok()) co_return star_table.status();
+      plan.has_star ? ctx->ParseTableMemo(TableMemoKey(cache_key, plan.t),
+                                          &reader, plan.star_config)
+                    : InvalidArgument("unused");
+  if (plan.has_star && !star_table.ok()) co_return star_table.status();
 
   std::vector<bool> in_db(bob.size(), false);   // Bob's differing children.
   SetOfSets da;                                  // Alice's recovered children.
@@ -192,9 +225,9 @@ Task<Result<SetOfSets>> CascadingProtocol::Attempt(
   std::vector<Iblt> bob_sketches;
   std::vector<Iblt> da_sketches;
 
-  for (size_t level = 0; level < t; ++level) {
-    const IbltConfig& child_config = child_configs[level];
-    const size_t blob_width = outer_configs[level].key_width;
+  for (size_t level = 0; level < plan.t; ++level) {
+    const IbltConfig& child_config = plan.child_configs[level];
+    const size_t blob_width = plan.outer_configs[level].key_width;
     Iblt& outer = outer_tables[level];
 
     // Bob's level-i encodings (all children, for the blob map) and the
@@ -281,9 +314,9 @@ Task<Result<SetOfSets>> CascadingProtocol::Attempt(
     }
   }
 
-  if (has_star) {
+  if (plan.has_star) {
     Iblt star = std::move(star_table).value();
-    const size_t blob_width = star_config.key_width;
+    const size_t blob_width = plan.star_config.key_width;
     ByteWriter star_packed;
     for (const ChildSet& child : bob) {
       star_packed.PutBytes(EncodeChildBlob(child, h));
@@ -328,57 +361,96 @@ Task<Result<SetOfSets>> CascadingProtocol::Attempt(
   co_return recovered;
 }
 
-Task<Result<SsrOutcome>> CascadingProtocol::ReconcileAsync(
-    const SetOfSets& alice, const SetOfSets& bob,
-    std::optional<size_t> known_d, Channel* channel,
+Task<Status> CascadingProtocol::ReconcileAsyncAlice(
+    const SetOfSets& alice, std::optional<size_t> known_d, Channel* channel,
     ProtocolContext* ctx) const {
   if (params_.max_child_size == 0) {
     co_return InvalidArgument("cascading protocol requires max_child_size (h)");
   }
-  if (Status s = ValidateSetOfSetsMemo(alice, params_, ctx); !s.ok()) {
-    co_return s;
+  Status valid = ValidateSetOfSetsMemo(alice, params_, ctx);
+  if (!valid.ok()) {
+    co_return co_await SendAbort(ctx, channel, Party::kAlice, valid);
   }
-  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) co_return s;
+  size_t next = 0;
 
   Status last = DecodeFailure("no attempts made");
-  if (known_d.has_value()) {
-    size_t d = std::max<size_t>(*known_d, 1);
+  const int trials = known_d.has_value() ? params_.max_attempts
+                                         : kMaxDoublings;
+  size_t d = known_d.has_value() ? std::max<size_t>(*known_d, 1) : 2;
+  for (int trial = 0; trial < trials; ++trial) {
+    uint64_t seed = DeriveSeed(
+        params_.seed,
+        kAttemptTag + (known_d.has_value() ? trial : 1000 + trial));
     size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
-    for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
-      uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
-      Result<SetOfSets> recovered =
-          co_await Attempt(alice, bob, d, d_hat, seed, channel, ctx);
-      if (recovered.ok()) {
-        SsrOutcome outcome;
-        outcome.recovered = std::move(recovered).value();
-        outcome.stats = {channel->rounds(), channel->total_bytes(),
-                         attempt + 1};
-        co_return outcome;
-      }
-      last = recovered.status();
-      if (last.code() == StatusCode::kParseError) co_return last;
+    Status sent =
+        co_await AttemptAlice(alice, d, d_hat, seed, &next, channel, ctx);
+    if (!sent.ok()) {
+      co_return co_await SendAbort(ctx, channel, Party::kAlice, sent);
     }
-    co_return Exhausted("cascade (SSRK) failed: " + last.ToString());
+    Result<AttemptVerdict> verdict =
+        co_await ReceiveVerdict(ctx, channel, &next);
+    if (!verdict.ok()) co_return verdict.status();
+    if (verdict.value().ok) co_return Status::Ok();
+    last = verdict.value().status;
+    // Clamped identically in both halves: a remote peer's fail verdicts
+    // must not drive level counts / sketch sizes without bound.
+    if (!known_d.has_value()) {
+      d = std::min<size_t>(d * 2, MaxWireDHat(/*key_width=*/8));
+    }
+  }
+  co_return Exhausted(std::string("cascade (") +
+                      (known_d.has_value() ? "SSRK" : "SSRU") +
+                      ") failed: " + last.ToString());
+}
+
+Task<Result<SsrOutcome>> CascadingProtocol::ReconcileAsyncBob(
+    const SetOfSets& bob, std::optional<size_t> known_d, Channel* channel,
+    ProtocolContext* ctx) const {
+  if (params_.max_child_size == 0) {
+    co_return InvalidArgument("cascading protocol requires max_child_size (h)");
+  }
+  Status valid = ValidateSetOfSets(bob, params_);
+  size_t next = 0;
+  if (!valid.ok()) {
+    const Channel::Message& m = co_await ctx->Receive(channel, next);
+    ++next;
+    if (std::optional<Status> abort = PeerAbort(m)) co_return *abort;
+    co_return co_await SendAbort(ctx, channel, Party::kBob, valid);
   }
 
-  // SSRU (Corollary 3.8): repeated doubling.
-  constexpr int kMaxDoublings = 40;
-  size_t d = 2;
-  for (int round = 0; round < kMaxDoublings; ++round, d *= 2) {
-    uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + 1000 + round);
+  Status last = DecodeFailure("no attempts made");
+  const int trials = known_d.has_value() ? params_.max_attempts
+                                         : kMaxDoublings;
+  size_t d = known_d.has_value() ? std::max<size_t>(*known_d, 1) : 2;
+  for (int trial = 0; trial < trials; ++trial) {
+    uint64_t seed = DeriveSeed(
+        params_.seed,
+        kAttemptTag + (known_d.has_value() ? trial : 1000 + trial));
     size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
+    bool peer_aborted = false;
     Result<SetOfSets> recovered =
-        co_await Attempt(alice, bob, d, d_hat, seed, channel, ctx);
+        co_await AttemptBob(bob, d, d_hat, seed, &next, &peer_aborted,
+                            channel, ctx);
+    if (peer_aborted) co_return recovered.status();
     if (recovered.ok()) {
+      co_await SendVerdict(ctx, channel, Party::kBob, Status::Ok(), &next);
       SsrOutcome outcome;
       outcome.recovered = std::move(recovered).value();
-      outcome.stats = {channel->rounds(), channel->total_bytes(), round + 1};
+      outcome.stats = {channel->rounds(), channel->total_bytes(), trial + 1};
       co_return outcome;
     }
     last = recovered.status();
-    if (last.code() == StatusCode::kParseError) co_return last;
+    if (last.code() == StatusCode::kParseError) {
+      co_return co_await SendAbort(ctx, channel, Party::kBob, last);
+    }
+    co_await SendVerdict(ctx, channel, Party::kBob, last, &next);
+    if (!known_d.has_value()) {
+      d = std::min<size_t>(d * 2, MaxWireDHat(/*key_width=*/8));
+    }
   }
-  co_return Exhausted("cascade (SSRU) failed: " + last.ToString());
+  co_return Exhausted(std::string("cascade (") +
+                      (known_d.has_value() ? "SSRK" : "SSRU") +
+                      ") failed: " + last.ToString());
 }
 
 }  // namespace setrec

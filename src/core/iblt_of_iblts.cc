@@ -1,10 +1,12 @@
 #include "core/iblt_of_iblts.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 
 #include "core/build_context.h"
 #include "core/encoding.h"
+#include "core/split_party.h"
 #include "hashing/random.h"
 #include "iblt/iblt.h"
 #include "setrec/set_reconciler.h"
@@ -14,6 +16,23 @@ namespace setrec {
 
 namespace {
 constexpr uint64_t kAttemptTag = 0x69626c32ull;  // "ibl2"
+constexpr int kMaxDoublings = 40;  // SSRU: d = 1, 2, 4, ... (Corollary 3.6).
+
+/// Child/outer table configs for one attempt, derived identically by both
+/// parties from shared knowledge (params, d, d_hat, seed).
+struct AttemptConfigs {
+  IbltConfig child;
+  IbltConfig outer;
+};
+
+AttemptConfigs MakeConfigs(size_t d, size_t d_hat, uint64_t seed) {
+  AttemptConfigs configs;
+  configs.child = IbltConfig::ForDifference(
+      d, DeriveSeed(seed, /*tag=*/0x63686c64ull), /*key_width=*/8);
+  configs.outer = IbltConfig::ForDifference(
+      2 * d_hat, seed, ChildIbltBlobWidth(configs.child));
+  return configs;
+}
 
 /// Tries to recover Alice's child set behind `alice_enc` by decoding her
 /// child IBLT against `partner_sketch` (one of Bob's differing children, or
@@ -39,19 +58,18 @@ Result<ChildSet> TryRecoverChild(const ChildEncoding& alice_enc,
 
 }  // namespace
 
-Task<Result<SetOfSets>> IbltOfIbltsProtocol::Attempt(
-    const SetOfSets& alice, const SetOfSets& bob, size_t d, size_t d_hat,
-    uint64_t seed, Channel* channel, ProtocolContext* ctx) const {
+Task<Status> IbltOfIbltsProtocol::AttemptAlice(const SetOfSets& alice,
+                                               size_t d, size_t d_hat,
+                                               uint64_t seed, size_t* next,
+                                               Channel* channel,
+                                               ProtocolContext* ctx) const {
   HashFamily fp_family(seed, /*tag=*/0x66703262ull);
-  IbltConfig child_config = IbltConfig::ForDifference(
-      d, DeriveSeed(seed, /*tag=*/0x63686c64ull), /*key_width=*/8);
-  IbltConfig outer_config = IbltConfig::ForDifference(
-      2 * d_hat, seed, ChildIbltBlobWidth(child_config));
+  const AttemptConfigs configs = MakeConfigs(d, d_hat, seed);
 
-  // --- Alice: encode every child, insert encodings into the outer table.
-  // Child sketches are built through the deferred planner pass (one tiny
-  // batch per child, coalesced across children and sessions), then the
-  // packed blobs land in the outer table as one batch. The whole message is
+  // Encode every child, insert encodings into the outer table. Child
+  // sketches are built through the deferred planner pass (one tiny batch
+  // per child, coalesced across children and sessions), then the packed
+  // blobs land in the outer table as one batch. The whole message is
   // memoized across sessions sharing Alice's set.
   uint64_t cache_key = ProtocolCacheKey(ctx->SetIdentity(&alice),
                                         {kAttemptTag, d, d_hat, seed});
@@ -59,7 +77,7 @@ Task<Result<SetOfSets>> IbltOfIbltsProtocol::Attempt(
     std::vector<Iblt> sketches;
     sketches.reserve(alice.size());
     for (const ChildSet& child : alice) {
-      sketches.emplace_back(child_config);
+      sketches.emplace_back(configs.child);
       ctx->QueueInsertU64(&sketches.back(), child.data(), child.size());
     }
     co_await ctx->FlushBuilds();
@@ -68,7 +86,7 @@ Task<Result<SetOfSets>> IbltOfIbltsProtocol::Attempt(
       AppendChildIbltBlob(sketches[i],
                           ChildFingerprint(alice[i], fp_family), &packed);
     }
-    Iblt outer(outer_config);
+    Iblt outer(configs.outer);
     ctx->QueueInsertBytes(&outer, packed.bytes().data(), alice.size());
     co_await ctx->FlushBuilds();
     writer->PutU64(ParentFingerprint(alice, fp_family));
@@ -78,10 +96,28 @@ Task<Result<SetOfSets>> IbltOfIbltsProtocol::Attempt(
   Result<size_t> sent =
       co_await CachedAliceSend(ctx, channel, cache_key, "iblt2-outer", build);
   if (!sent.ok()) co_return sent.status();
-  size_t msg = sent.value();
+  assert(sent.value() == *next && "transcript index drifted (Alice)");
+  ++*next;
+  co_return Status::Ok();
+}
 
-  // --- Bob ---
-  ByteReader reader(channel->Receive(msg).payload);
+Task<Result<SetOfSets>> IbltOfIbltsProtocol::AttemptBob(
+    const SetOfSets& bob, size_t d, size_t d_hat, uint64_t seed, size_t* next,
+    bool* peer_aborted, Channel* channel, ProtocolContext* ctx) const {
+  HashFamily fp_family(seed, /*tag=*/0x66703262ull);
+  const AttemptConfigs configs = MakeConfigs(d, d_hat, seed);
+  const IbltConfig& child_config = configs.child;
+  const IbltConfig& outer_config = configs.outer;
+  uint64_t cache_key = ProtocolCacheKey(ctx->PeerSetIdentity(),
+                                        {kAttemptTag, d, d_hat, seed});
+
+  const Channel::Message& m = co_await ctx->Receive(channel, *next);
+  ++*next;
+  if (std::optional<Status> abort = PeerAbort(m)) {
+    *peer_aborted = true;
+    co_return *abort;
+  }
+  ByteReader reader(m.payload);
   uint64_t alice_parent_fp = 0;
   if (!reader.GetU64(&alice_parent_fp)) {
     co_return ParseError("iblt2 message truncated");
@@ -195,55 +231,93 @@ Task<Result<SetOfSets>> IbltOfIbltsProtocol::Attempt(
   co_return recovered;
 }
 
-Task<Result<SsrOutcome>> IbltOfIbltsProtocol::ReconcileAsync(
-    const SetOfSets& alice, const SetOfSets& bob,
-    std::optional<size_t> known_d, Channel* channel,
+Task<Status> IbltOfIbltsProtocol::ReconcileAsyncAlice(
+    const SetOfSets& alice, std::optional<size_t> known_d, Channel* channel,
     ProtocolContext* ctx) const {
-  if (Status s = ValidateSetOfSetsMemo(alice, params_, ctx); !s.ok()) {
-    co_return s;
+  Status valid = ValidateSetOfSetsMemo(alice, params_, ctx);
+  if (!valid.ok()) {
+    // Alice opens in both modes; abort in her first slot.
+    co_return co_await SendAbort(ctx, channel, Party::kAlice, valid);
   }
-  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) co_return s;
+  size_t next = 0;
 
   Status last = DecodeFailure("no attempts made");
-  if (known_d.has_value()) {
-    size_t d = std::max<size_t>(*known_d, 1);
+  const int trials = known_d.has_value() ? params_.max_attempts
+                                         : kMaxDoublings;
+  size_t d = known_d.has_value() ? std::max<size_t>(*known_d, 1) : 1;
+  for (int trial = 0; trial < trials; ++trial) {
+    uint64_t seed = DeriveSeed(
+        params_.seed,
+        kAttemptTag + (known_d.has_value() ? trial : 1000 + trial));
     size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
-    for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
-      uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
-      Result<SetOfSets> recovered =
-          co_await Attempt(alice, bob, d, d_hat, seed, channel, ctx);
-      if (recovered.ok()) {
-        SsrOutcome outcome;
-        outcome.recovered = std::move(recovered).value();
-        outcome.stats = {channel->rounds(), channel->total_bytes(),
-                         attempt + 1};
-        co_return outcome;
-      }
-      last = recovered.status();
-      if (last.code() == StatusCode::kParseError) co_return last;
+    Status sent =
+        co_await AttemptAlice(alice, d, d_hat, seed, &next, channel, ctx);
+    if (!sent.ok()) {
+      co_return co_await SendAbort(ctx, channel, Party::kAlice, sent);
     }
-    co_return Exhausted("iblt2 (SSRK) failed: " + last.ToString());
+    Result<AttemptVerdict> verdict =
+        co_await ReceiveVerdict(ctx, channel, &next);
+    if (!verdict.ok()) co_return verdict.status();
+    if (verdict.value().ok) co_return Status::Ok();
+    last = verdict.value().status;
+    // Doubling stays clamped (both halves identically, so configs keep
+    // matching): a remote peer's fail verdicts must not be able to drive
+    // sketch allocations without bound.
+    if (!known_d.has_value()) {
+      d = std::min<size_t>(d * 2, MaxWireDHat(/*key_width=*/8));
+    }
+  }
+  co_return Exhausted(std::string("iblt2 (") +
+                      (known_d.has_value() ? "SSRK" : "SSRU") +
+                      ") failed: " + last.ToString());
+}
+
+Task<Result<SsrOutcome>> IbltOfIbltsProtocol::ReconcileAsyncBob(
+    const SetOfSets& bob, std::optional<size_t> known_d, Channel* channel,
+    ProtocolContext* ctx) const {
+  Status valid = ValidateSetOfSets(bob, params_);
+  size_t next = 0;
+  if (!valid.ok()) {
+    // Bob's first slot is the verdict after Alice's opener.
+    const Channel::Message& m = co_await ctx->Receive(channel, next);
+    ++next;
+    if (std::optional<Status> abort = PeerAbort(m)) co_return *abort;
+    co_return co_await SendAbort(ctx, channel, Party::kBob, valid);
   }
 
-  // SSRU (Corollary 3.6): repeated doubling d = 1, 2, 4, ... Each trial is
-  // one one-round attempt; success is certified by the fingerprints.
-  constexpr int kMaxDoublings = 40;
-  size_t d = 1;
-  for (int round = 0; round < kMaxDoublings; ++round, d *= 2) {
-    uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + 1000 + round);
+  Status last = DecodeFailure("no attempts made");
+  const int trials = known_d.has_value() ? params_.max_attempts
+                                         : kMaxDoublings;
+  size_t d = known_d.has_value() ? std::max<size_t>(*known_d, 1) : 1;
+  for (int trial = 0; trial < trials; ++trial) {
+    uint64_t seed = DeriveSeed(
+        params_.seed,
+        kAttemptTag + (known_d.has_value() ? trial : 1000 + trial));
     size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
+    bool peer_aborted = false;
     Result<SetOfSets> recovered =
-        co_await Attempt(alice, bob, d, d_hat, seed, channel, ctx);
+        co_await AttemptBob(bob, d, d_hat, seed, &next, &peer_aborted,
+                            channel, ctx);
+    if (peer_aborted) co_return recovered.status();
     if (recovered.ok()) {
+      co_await SendVerdict(ctx, channel, Party::kBob, Status::Ok(), &next);
       SsrOutcome outcome;
       outcome.recovered = std::move(recovered).value();
-      outcome.stats = {channel->rounds(), channel->total_bytes(), round + 1};
+      outcome.stats = {channel->rounds(), channel->total_bytes(), trial + 1};
       co_return outcome;
     }
     last = recovered.status();
-    if (last.code() == StatusCode::kParseError) co_return last;
+    if (last.code() == StatusCode::kParseError) {
+      co_return co_await SendAbort(ctx, channel, Party::kBob, last);
+    }
+    co_await SendVerdict(ctx, channel, Party::kBob, last, &next);
+    if (!known_d.has_value()) {
+      d = std::min<size_t>(d * 2, MaxWireDHat(/*key_width=*/8));
+    }
   }
-  co_return Exhausted("iblt2 (SSRU) failed: " + last.ToString());
+  co_return Exhausted(std::string("iblt2 (") +
+                      (known_d.has_value() ? "SSRK" : "SSRU") +
+                      ") failed: " + last.ToString());
 }
 
 }  // namespace setrec

@@ -22,16 +22,29 @@ class IbltOfIbltsProtocol : public SetsOfSetsProtocol {
 
   std::string Name() const override { return "iblt2"; }
 
-  Task<Result<SsrOutcome>> ReconcileAsync(const SetOfSets& alice,
-                                          const SetOfSets& bob,
-                                          std::optional<size_t> known_d,
-                                          Channel* channel,
-                                          ProtocolContext* ctx) const override;
+  Task<Status> ReconcileAsyncAlice(const SetOfSets& alice,
+                                   std::optional<size_t> known_d,
+                                   Channel* channel,
+                                   ProtocolContext* ctx) const override;
+  Task<Result<SsrOutcome>> ReconcileAsyncBob(const SetOfSets& bob,
+                                             std::optional<size_t> known_d,
+                                             Channel* channel,
+                                             ProtocolContext* ctx)
+      const override;
 
  private:
-  Task<Result<SetOfSets>> Attempt(const SetOfSets& alice, const SetOfSets& bob,
-                                  size_t d, size_t d_hat, uint64_t seed,
-                                  Channel* channel, ProtocolContext* ctx) const;
+  /// Builds and sends one attempt's outer-table message; the verdict is
+  /// received by the caller. Both sides derive (d, d_hat, seed) from the
+  /// shared params and the lockstep attempt/doubling schedule, so nothing
+  /// extra crosses the wire.
+  Task<Status> AttemptAlice(const SetOfSets& alice, size_t d, size_t d_hat,
+                            uint64_t seed, size_t* next, Channel* channel,
+                            ProtocolContext* ctx) const;
+  Task<Result<SetOfSets>> AttemptBob(const SetOfSets& bob, size_t d,
+                                     size_t d_hat, uint64_t seed,
+                                     size_t* next, bool* peer_aborted,
+                                     Channel* channel,
+                                     ProtocolContext* ctx) const;
 
   SsrParams params_;
 };

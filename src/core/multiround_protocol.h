@@ -2,6 +2,7 @@
 #define SETREC_CORE_MULTIROUND_PROTOCOL_H_
 
 #include "core/protocol.h"
+#include "core/split_party.h"
 
 namespace setrec {
 
@@ -29,17 +30,34 @@ class MultiRoundProtocol : public SetsOfSetsProtocol {
 
   std::string Name() const override { return "multiround"; }
 
-  Task<Result<SsrOutcome>> ReconcileAsync(const SetOfSets& alice,
-                                          const SetOfSets& bob,
-                                          std::optional<size_t> known_d,
-                                          Channel* channel,
-                                          ProtocolContext* ctx) const override;
+  Task<Status> ReconcileAsyncAlice(const SetOfSets& alice,
+                                   std::optional<size_t> known_d,
+                                   Channel* channel,
+                                   ProtocolContext* ctx) const override;
+  Task<Result<SsrOutcome>> ReconcileAsyncBob(const SetOfSets& bob,
+                                             std::optional<size_t> known_d,
+                                             Channel* channel,
+                                             ProtocolContext* ctx)
+      const override;
 
  private:
-  Task<Result<SetOfSets>> Attempt(const SetOfSets& alice, const SetOfSets& bob,
-                                  std::optional<size_t> known_d, size_t d_hat,
-                                  uint64_t seed, Channel* channel,
-                                  ProtocolContext* ctx) const;
+  /// One full attempt of Alice's side (msg1 hashes, msg2 in, msg3 payloads,
+  /// msg4 verdict in). Mid-attempt retriable failures on either side travel
+  /// as verdict frames in the failing party's next slot, so both parties
+  /// fall through to the next attempt in lockstep; `*end` reports how the
+  /// attempt concluded (see split_party.h).
+  Task<Status> AttemptAlice(const SetOfSets& alice,
+                            std::optional<size_t> known_d, size_t d_hat,
+                            bool carry_d_hat, uint64_t seed, size_t* next,
+                            AttemptEnd* end, Channel* channel,
+                            ProtocolContext* ctx) const;
+  /// Bob's side of one attempt; `*d_hat` is updated from the msg1 prefix in
+  /// estimator mode. Sends the msg4 verdict itself (ok or fail).
+  Task<Result<SetOfSets>> AttemptBob(const SetOfSets& bob, size_t* d_hat,
+                                     bool carry_d_hat, uint64_t seed,
+                                     size_t* next, AttemptEnd* end,
+                                     Channel* channel,
+                                     ProtocolContext* ctx) const;
 
   SsrParams params_;
 };

@@ -1,10 +1,12 @@
 #include "core/naive_protocol.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 
 #include "core/build_context.h"
 #include "core/encoding.h"
+#include "core/split_party.h"
 #include "estimator/l0_estimator.h"
 #include "hashing/random.h"
 #include "iblt/iblt.h"
@@ -29,23 +31,33 @@ std::vector<uint8_t> PackChildBlobs(const SetOfSets& children, size_t h) {
   return packed;
 }
 
+L0Estimator::Params NaiveEstimatorParams(uint64_t protocol_seed) {
+  L0Estimator::Params est_params;
+  est_params.seed = DeriveSeed(protocol_seed, kEstimatorTag);
+  return est_params;
+}
+
 }  // namespace
 
-Task<Result<SetOfSets>> NaiveProtocol::Attempt(const SetOfSets& alice,
-                                               const SetOfSets& bob,
-                                               size_t d_hat, uint64_t seed,
-                                               Channel* channel,
-                                               ProtocolContext* ctx) const {
+Task<Status> NaiveProtocol::AttemptAlice(const SetOfSets& alice, size_t d_hat,
+                                         bool carry_d_hat, uint64_t seed,
+                                         size_t* next, Channel* channel,
+                                         ProtocolContext* ctx) const {
   const size_t h = params_.max_child_size;
-  const size_t width = ChildBlobWidth(h);
   // The outer table must decode |E_A ⊕ E_B| <= 2 * d_hat blobs.
-  IbltConfig config = IbltConfig::ForDifference(2 * d_hat, seed, width);
+  IbltConfig config =
+      IbltConfig::ForDifference(2 * d_hat, seed, ChildBlobWidth(h));
   HashFamily fp_family(seed, /*tag=*/0x70666e76ull);
 
-  // --- Alice --- (message memoized across sessions sharing her set)
-  uint64_t cache_key = ProtocolCacheKey(
-      ctx->SetIdentity(&alice), {kAttemptTag, d_hat, seed, h});
+  // Message memoized across sessions sharing Alice's set; the d-hat prefix
+  // (estimator mode) is part of the cached bytes, so the mode flag is part
+  // of the key — an SSRK session landing on the same (d_hat, seed) must
+  // not replay prefixed SSRU bytes.
+  uint64_t cache_key =
+      ProtocolCacheKey(ctx->SetIdentity(&alice),
+                       {kAttemptTag, d_hat, seed, h, carry_d_hat ? 1u : 0u});
   auto build = [&](ByteWriter* writer) -> Task<Status> {
+    if (carry_d_hat) writer->PutVarint(d_hat);
     Iblt table(config);
     std::vector<uint8_t> packed = PackChildBlobs(alice, h);
     ctx->QueueInsertBytes(&table, packed.data(), alice.size());
@@ -57,10 +69,38 @@ Task<Result<SetOfSets>> NaiveProtocol::Attempt(const SetOfSets& alice,
   Result<size_t> sent =
       co_await CachedAliceSend(ctx, channel, cache_key, "naive-iblt", build);
   if (!sent.ok()) co_return sent.status();
-  size_t msg = sent.value();
+  assert(sent.value() == *next && "transcript index drifted (Alice)");
+  ++*next;
+  co_return Status::Ok();
+}
 
-  // --- Bob ---
-  ByteReader reader(channel->Receive(msg).payload);
+Task<Result<SetOfSets>> NaiveProtocol::AttemptBob(
+    const SetOfSets& bob, size_t* d_hat, bool carry_d_hat, uint64_t seed,
+    size_t* next, bool* peer_aborted, Channel* channel,
+    ProtocolContext* ctx) const {
+  const size_t h = params_.max_child_size;
+  const size_t width = ChildBlobWidth(h);
+
+  const Channel::Message& m = co_await ctx->Receive(channel, *next);
+  ++*next;
+  if (std::optional<Status> abort = PeerAbort(m)) {
+    *peer_aborted = true;
+    co_return *abort;
+  }
+  ByteReader reader(m.payload);
+  if (carry_d_hat) {
+    uint64_t wire = 0;
+    if (!reader.GetVarint(&wire) || !WireDHatPlausible(wire, width)) {
+      co_return ParseError("naive message carries an invalid d-hat");
+    }
+    *d_hat = static_cast<size_t>(wire);
+  }
+  IbltConfig config = IbltConfig::ForDifference(2 * *d_hat, seed, width);
+  HashFamily fp_family(seed, /*tag=*/0x70666e76ull);
+  uint64_t cache_key = ProtocolCacheKey(
+      ctx->PeerSetIdentity(),
+      {kAttemptTag, *d_hat, seed, h, carry_d_hat ? 1u : 0u});
+
   uint64_t alice_fp = 0;
   if (!reader.GetU64(&alice_fp)) co_return ParseError("naive message truncated");
   Result<Iblt> received =
@@ -107,27 +147,116 @@ Task<Result<SetOfSets>> NaiveProtocol::Attempt(const SetOfSets& alice,
   co_return recovered;
 }
 
-Task<Result<SsrOutcome>> NaiveProtocol::ReconcileAsync(
-    const SetOfSets& alice, const SetOfSets& bob,
-    std::optional<size_t> known_d, Channel* channel,
+Task<Status> NaiveProtocol::ReconcileAsyncAlice(const SetOfSets& alice,
+                                                std::optional<size_t> known_d,
+                                                Channel* channel,
+                                                ProtocolContext* ctx) const {
+  if (params_.max_child_size == 0) {
+    co_return InvalidArgument("naive protocol requires max_child_size (h)");
+  }
+  Status valid = ValidateSetOfSetsMemo(alice, params_, ctx);
+  const bool estimated = !known_d.has_value();
+  size_t next = 0;  // Index of the next transcript message.
+
+  size_t d_hat = 0;
+  if (!estimated) {
+    // Alice opens; an invalid set aborts in her slot.
+    if (!valid.ok()) {
+      co_return co_await SendAbort(ctx, channel, Party::kAlice, valid);
+    }
+    d_hat = std::max<size_t>(DHat(*known_d, params_), 1);
+  } else {
+    // SSRU (Theorem 3.4): Bob opens with an l0 estimator over his child
+    // fingerprints; Alice merges her own and derives d-hat, which rides to
+    // Bob as the attempt-message prefix.
+    const Channel::Message& m = co_await ctx->Receive(channel, next);
+    ++next;
+    if (std::optional<Status> abort = PeerAbort(m)) co_return *abort;
+    if (!valid.ok()) {
+      co_return co_await SendAbort(ctx, channel, Party::kAlice, valid);
+    }
+    const L0Estimator::Params est_params = NaiveEstimatorParams(params_.seed);
+    HashFamily child_fp_family(est_params.seed, /*tag=*/0x63667076ull);
+    ByteReader reader(m.payload);
+    Result<L0Estimator> merged_r = L0Estimator::Deserialize(&reader,
+                                                            est_params);
+    if (!merged_r.ok()) {
+      co_return co_await SendAbort(ctx, channel, Party::kAlice,
+                                   merged_r.status());
+    }
+    L0Estimator merged = std::move(merged_r).value();
+    L0Estimator alice_est(est_params);
+    std::vector<uint64_t> alice_fps;
+    alice_fps.reserve(alice.size());
+    for (const ChildSet& child : alice) {
+      alice_fps.push_back(ChildFingerprint(child, child_fp_family));
+    }
+    ctx->QueueL0Update(&alice_est, alice_fps.data(), alice_fps.size(), 1);
+    co_await ctx->FlushBuilds();
+    if (Status s = merged.Merge(alice_est); !s.ok()) {
+      co_return co_await SendAbort(ctx, channel, Party::kAlice, s);
+    }
+    // The estimate covers both sides' differing children (~2 d-hat).
+    // Clamped to the wire bound Bob's side enforces (WireDHatPlausible).
+    d_hat = std::min<size_t>(
+        std::max<size_t>(
+            static_cast<size_t>(params_.estimate_slack *
+                                static_cast<double>(merged.Estimate())) /
+                2,
+            2),
+        MaxWireDHat(ChildBlobWidth(params_.max_child_size)));
+  }
+
+  Status last = DecodeFailure("no attempts made");
+  for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
+    uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
+    Status sent = co_await AttemptAlice(alice, d_hat, estimated, seed, &next,
+                                        channel, ctx);
+    if (!sent.ok()) {
+      co_return co_await SendAbort(ctx, channel, Party::kAlice, sent);
+    }
+    Result<AttemptVerdict> verdict =
+        co_await ReceiveVerdict(ctx, channel, &next);
+    if (!verdict.ok()) co_return verdict.status();
+    if (verdict.value().ok) co_return Status::Ok();
+    last = verdict.value().status;
+    if (estimated) {
+      // Estimator may have been low; doubling stays under the wire bound.
+      d_hat = std::min<size_t>(
+          d_hat * 2, MaxWireDHat(ChildBlobWidth(params_.max_child_size)));
+    }
+  }
+  co_return Exhausted("naive protocol failed: " + last.ToString());
+}
+
+Task<Result<SsrOutcome>> NaiveProtocol::ReconcileAsyncBob(
+    const SetOfSets& bob, std::optional<size_t> known_d, Channel* channel,
     ProtocolContext* ctx) const {
   if (params_.max_child_size == 0) {
     co_return InvalidArgument("naive protocol requires max_child_size (h)");
   }
-  if (Status s = ValidateSetOfSetsMemo(alice, params_, ctx); !s.ok()) {
-    co_return s;
-  }
-  if (Status s = ValidateSetOfSets(bob, params_); !s.ok()) co_return s;
+  Status valid = ValidateSetOfSets(bob, params_);
+  const bool estimated = !known_d.has_value();
+  size_t next = 0;
 
-  size_t d_hat;
-  if (known_d.has_value()) {
+  size_t d_hat = 0;
+  if (!estimated) {
     d_hat = std::max<size_t>(DHat(*known_d, params_), 1);
+    if (!valid.ok()) {
+      // Bob's first slot is the verdict after Alice's opener; abort there
+      // (her abort, if any, wins — matching the combined-path order of
+      // validation errors).
+      const Channel::Message& m = co_await ctx->Receive(channel, next);
+      ++next;
+      if (std::optional<Status> abort = PeerAbort(m)) co_return *abort;
+      co_return co_await SendAbort(ctx, channel, Party::kBob, valid);
+    }
   } else {
-    // SSRU (Theorem 3.4): Bob sends an l0 estimator over his child
-    // fingerprints; the number of differing children is the fingerprint
-    // set difference (up to fingerprint collisions).
-    L0Estimator::Params est_params;
-    est_params.seed = DeriveSeed(params_.seed, kEstimatorTag);
+    // Bob opens with the estimator (or aborts in that slot).
+    if (!valid.ok()) {
+      co_return co_await SendAbort(ctx, channel, Party::kBob, valid);
+    }
+    const L0Estimator::Params est_params = NaiveEstimatorParams(params_.seed);
     HashFamily child_fp_family(est_params.seed, /*tag=*/0x63667076ull);
     L0Estimator bob_est(est_params);
     std::vector<uint64_t> bob_fps;
@@ -139,37 +268,23 @@ Task<Result<SsrOutcome>> NaiveProtocol::ReconcileAsync(
     co_await ctx->FlushBuilds();
     ByteWriter writer;
     bob_est.Serialize(&writer);
-    size_t msg = co_await ctx->Send(channel, Party::kBob, writer.Take(),
-                                    "naive-estimator");
-
-    ByteReader reader(channel->Receive(msg).payload);
-    Result<L0Estimator> merged_r = L0Estimator::Deserialize(&reader,
-                                                            est_params);
-    if (!merged_r.ok()) co_return merged_r.status();
-    L0Estimator merged = std::move(merged_r).value();
-    L0Estimator alice_est(est_params);
-    std::vector<uint64_t> alice_fps;
-    alice_fps.reserve(alice.size());
-    for (const ChildSet& child : alice) {
-      alice_fps.push_back(ChildFingerprint(child, child_fp_family));
-    }
-    ctx->QueueL0Update(&alice_est, alice_fps.data(), alice_fps.size(), 1);
-    co_await ctx->FlushBuilds();
-    if (Status s = merged.Merge(alice_est); !s.ok()) co_return s;
-    // The estimate covers both sides' differing children (~2 d-hat).
-    d_hat = std::max<size_t>(
-        static_cast<size_t>(params_.estimate_slack *
-                            static_cast<double>(merged.Estimate())) /
-            2,
-        2);
+    size_t index = co_await ctx->Send(channel, Party::kBob, writer.Take(),
+                                      "naive-estimator");
+    assert(index == next && "transcript index drifted (Bob)");
+    (void)index;
+    ++next;
   }
 
   Status last = DecodeFailure("no attempts made");
   for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
     uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
+    bool peer_aborted = false;
     Result<SetOfSets> recovered =
-        co_await Attempt(alice, bob, d_hat, seed, channel, ctx);
+        co_await AttemptBob(bob, &d_hat, estimated, seed, &next,
+                            &peer_aborted, channel, ctx);
+    if (peer_aborted) co_return recovered.status();
     if (recovered.ok()) {
+      co_await SendVerdict(ctx, channel, Party::kBob, Status::Ok(), &next);
       SsrOutcome outcome;
       outcome.recovered = std::move(recovered).value();
       outcome.stats = {channel->rounds(), channel->total_bytes(),
@@ -177,8 +292,10 @@ Task<Result<SsrOutcome>> NaiveProtocol::ReconcileAsync(
       co_return outcome;
     }
     last = recovered.status();
-    if (last.code() == StatusCode::kParseError) co_return last;
-    if (!known_d.has_value()) d_hat *= 2;  // Estimator may have been low.
+    if (last.code() == StatusCode::kParseError) {
+      co_return co_await SendAbort(ctx, channel, Party::kBob, last);
+    }
+    co_await SendVerdict(ctx, channel, Party::kBob, last, &next);
   }
   co_return Exhausted("naive protocol failed: " + last.ToString());
 }

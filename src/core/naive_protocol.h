@@ -20,16 +20,30 @@ class NaiveProtocol : public SetsOfSetsProtocol {
 
   std::string Name() const override { return "naive"; }
 
-  Task<Result<SsrOutcome>> ReconcileAsync(const SetOfSets& alice,
-                                          const SetOfSets& bob,
-                                          std::optional<size_t> known_d,
-                                          Channel* channel,
-                                          ProtocolContext* ctx) const override;
+  Task<Status> ReconcileAsyncAlice(const SetOfSets& alice,
+                                   std::optional<size_t> known_d,
+                                   Channel* channel,
+                                   ProtocolContext* ctx) const override;
+  Task<Result<SsrOutcome>> ReconcileAsyncBob(const SetOfSets& bob,
+                                             std::optional<size_t> known_d,
+                                             Channel* channel,
+                                             ProtocolContext* ctx)
+      const override;
 
  private:
-  Task<Result<SetOfSets>> Attempt(const SetOfSets& alice, const SetOfSets& bob,
-                                  size_t d_hat, uint64_t seed, Channel* channel,
-                                  ProtocolContext* ctx) const;
+  /// Builds and sends one attempt message (d-hat prefix in estimator mode,
+  /// parent fingerprint, blob IBLT); the verdict is received by the caller.
+  Task<Status> AttemptAlice(const SetOfSets& alice, size_t d_hat,
+                            bool carry_d_hat, uint64_t seed, size_t* next,
+                            Channel* channel, ProtocolContext* ctx) const;
+  /// Receives one attempt message and tries to recover Alice's set.
+  /// `*d_hat` is updated from the message prefix in estimator mode. A peer
+  /// abort sets `*peer_aborted` and returns the carried status.
+  Task<Result<SetOfSets>> AttemptBob(const SetOfSets& bob, size_t* d_hat,
+                                     bool carry_d_hat, uint64_t seed,
+                                     size_t* next, bool* peer_aborted,
+                                     Channel* channel,
+                                     ProtocolContext* ctx) const;
 
   SsrParams params_;
 };

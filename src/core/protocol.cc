@@ -7,6 +7,31 @@
 
 namespace setrec {
 
+Task<Result<SsrOutcome>> SetsOfSetsProtocol::ReconcileAsync(
+    const SetOfSets& alice, const SetOfSets& bob,
+    std::optional<size_t> known_d, Channel* channel,
+    ProtocolContext* ctx) const {
+  Task<Status> alice_half = ReconcileAsyncAlice(alice, known_d, channel, ctx);
+  Task<Result<SsrOutcome>> bob_half =
+      ReconcileAsyncBob(bob, known_d, channel, ctx);
+  // Start both; turn-taking drives them from here. Under the inline context
+  // every send pumps the peer's parked receive synchronously, so these two
+  // calls run the whole ping-pong to completion; under the service context
+  // the halves park at round/build boundaries and the scheduler resumes
+  // them, so the joins below subscribe and wait. The abort/verdict
+  // discipline of split_party.h guarantees both halves terminate, on error
+  // paths included.
+  alice_half.Start();
+  bob_half.Start();
+  co_await TaskJoin<Status>{&alice_half};
+  co_await TaskJoin<Result<SsrOutcome>>{&bob_half};
+  Status alice_status = alice_half.TakeResult();
+  Result<SsrOutcome> outcome = bob_half.TakeResult();
+  if (!outcome.ok()) co_return outcome.status();
+  if (!alice_status.ok()) co_return alice_status;
+  co_return outcome;
+}
+
 Result<SsrOutcome> SetsOfSetsProtocol::Reconcile(const SetOfSets& alice,
                                                  const SetOfSets& bob,
                                                  std::optional<size_t> known_d,

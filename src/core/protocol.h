@@ -72,12 +72,23 @@ struct SsrOutcome {
 /// `known_d` runs the SSRK variant; nullopt runs SSRU (the protocol spends
 /// extra rounds estimating or doubling d).
 ///
-/// The primitive is ReconcileAsync: a lazy coroutine that yields control at
-/// every round boundary and sketch-build barrier of `ctx` (see
-/// core/build_context.h). The blocking Reconcile below drives the exact
-/// same coroutine under an InlineContext (which never suspends), so direct
-/// calls and SyncService sessions execute identical code and produce
-/// bit-identical transcripts for fixed seeds.
+/// The primitives are the PER-PARTY halves: ReconcileAsyncAlice and
+/// ReconcileAsyncBob are lazy coroutines that each run exactly one party.
+/// A half sends its own messages through ctx->Send and awaits the peer's
+/// through ctx->Receive (core/build_context.h); `channel` is that party's
+/// copy of the transcript, which converges to the same byte sequence on
+/// both sides because the protocols are strict half-duplex ping-pong. The
+/// halves are what let a server host only its own side of a session against
+/// a remote client (src/net/); knowledge the old single-coroutine
+/// simulation shared implicitly now crosses the wire explicitly — per-
+/// attempt verdict frames and estimator-mode d-hat prefixes
+/// (core/split_party.h).
+///
+/// ReconcileAsync is the thin composition of the two halves over one shared
+/// channel, and the blocking Reconcile drives it under an InlineContext —
+/// so direct calls, loopback service sessions, and split-party socket
+/// sessions execute the same per-party code and produce bit-identical
+/// transcripts for fixed seeds.
 class SetsOfSetsProtocol {
  public:
   virtual ~SetsOfSetsProtocol() = default;
@@ -85,16 +96,29 @@ class SetsOfSetsProtocol {
   /// Short identifier ("naive", "iblt2", "cascade", "multiround").
   virtual std::string Name() const = 0;
 
-  /// Resumable reconciliation: both parties simulated over `channel`, with
-  /// round yields, deferred sketch builds, Alice-message memoization and
-  /// decode-scratch pooling routed through `ctx`. The caller must keep
-  /// alice/bob/channel/ctx alive until the task completes.
-  virtual Task<Result<SsrOutcome>> ReconcileAsync(const SetOfSets& alice,
-                                                  const SetOfSets& bob,
-                                                  std::optional<size_t> known_d,
-                                                  Channel* channel,
-                                                  ProtocolContext* ctx)
-      const = 0;
+  /// Alice's half: the one-way source. Completes with OK once Bob's verdict
+  /// confirms recovery; Alice never learns Bob's set, so there is no
+  /// outcome payload. The caller must keep alice/channel/ctx alive until
+  /// the task completes.
+  virtual Task<Status> ReconcileAsyncAlice(const SetOfSets& alice,
+                                           std::optional<size_t> known_d,
+                                           Channel* channel,
+                                           ProtocolContext* ctx) const = 0;
+
+  /// Bob's half: the recovering party; produces the outcome.
+  virtual Task<Result<SsrOutcome>> ReconcileAsyncBob(
+      const SetOfSets& bob, std::optional<size_t> known_d, Channel* channel,
+      ProtocolContext* ctx) const = 0;
+
+  /// Both parties composed over one shared channel: starts the two halves
+  /// and joins them (each half's sends wake the other's parked receives
+  /// through the context). Same signature and semantics as the old
+  /// single-coroutine form.
+  Task<Result<SsrOutcome>> ReconcileAsync(const SetOfSets& alice,
+                                          const SetOfSets& bob,
+                                          std::optional<size_t> known_d,
+                                          Channel* channel,
+                                          ProtocolContext* ctx) const;
 
   /// Blocking form: runs ReconcileAsync to completion under a fresh
   /// InlineContext.

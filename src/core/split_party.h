@@ -1,0 +1,115 @@
+#ifndef SETREC_CORE_SPLIT_PARTY_H_
+#define SETREC_CORE_SPLIT_PARTY_H_
+
+#include <algorithm>
+#include <optional>
+
+#include "core/task.h"
+#include "transport/channel.h"
+#include "util/serialization.h"
+#include "util/status.h"
+
+namespace setrec {
+
+class ProtocolContext;
+
+// Control frames shared by the split-party halves of every set-of-sets
+// protocol. The one-coroutine simulation could share knowledge for free —
+// whether Bob's recovery verified, what d-hat Alice estimated — but two real
+// parties must put it on the wire. Two frame kinds cover all of it:
+//
+//  * Verdict ("ack"): ends an attempt. Bob reports ok (protocol done) or a
+//    retriable failure (both parties move to the next attempt in lockstep).
+//    Alice sends one in place of a data message when SHE hits a retriable
+//    failure mid-attempt (multiround payload matching), steering both sides
+//    to the next attempt without breaking turn-taking.
+//  * Abort ("!abort"): terminal. Carries the sender's exact Status; the
+//    receiver returns it verbatim, so both halves (and therefore the
+//    composed both-parties call) report identical errors.
+//
+// Turn-taking is strict half-duplex: a party sends only on its own turn,
+// and error exits happen only as a frame in the sender's own slot. That
+// keeps the transcript a deterministic function of (inputs, seeds) on every
+// execution path — direct call, loopback service session, or socket — which
+// is what the bit-identical-transcript guarantee rests on.
+
+inline constexpr const char kAbortLabel[] = "!abort";
+inline constexpr const char kVerdictLabel[] = "ack";
+
+/// Ceiling on a wire-carried d-hat (SSRU estimator modes prefix Alice's
+/// estimate to her attempt message so Bob can derive the same IBLT
+/// configs). A value above it is a parse error, not a huge table.
+inline constexpr uint64_t kMaxWireDHat = 1ull << 22;
+
+/// Largest d-hat a receiver accepts on the wire for tables of
+/// `key_width`-byte keys: the implied table must stay under a sane memory
+/// ceiling (ForDifference builds ~2.2 * (2 * d_hat) cells of
+/// (key_width + header) bytes). SENDERS must clamp what they put on the
+/// wire to this same bound (estimator-derived d-hats double on retry and
+/// would otherwise outgrow the gate on honest runs).
+inline uint64_t MaxWireDHat(size_t key_width) {
+  constexpr uint64_t kMaxTableBytes = 1ull << 30;
+  const uint64_t per_cell = static_cast<uint64_t>(key_width) + 16;
+  return std::min(kMaxWireDHat, kMaxTableBytes / (5 * per_cell));
+}
+
+/// Receiver-side gate: a corrupted or hostile size prefix must surface as
+/// kParseError, not as a bad_alloc thrown into a coroutine (whose
+/// unhandled_exception is std::terminate).
+inline bool WireDHatPlausible(uint64_t d_hat, size_t key_width) {
+  return d_hat != 0 && d_hat <= MaxWireDHat(key_width);
+}
+
+/// Serializes a Status (code byte + length-prefixed message text).
+void PutStatusPayload(const Status& status, ByteWriter* writer);
+/// Inverse; false on malformed input. Control frames only carry errors, so
+/// a payload encoding OK is also malformed.
+bool GetStatusPayload(ByteReader* reader, Status* out);
+
+inline bool IsAbortMessage(const Channel::Message& m) {
+  return m.label == kAbortLabel;
+}
+inline bool IsVerdictMessage(const Channel::Message& m) {
+  return m.label == kVerdictLabel;
+}
+
+/// The peer's carried status when `m` is an abort frame; nullopt otherwise.
+std::optional<Status> PeerAbort(const Channel::Message& m);
+
+/// Sends an abort frame in the caller's turn slot and returns `status` (so
+/// error exits read `co_return co_await SendAbort(...)`).
+Task<Status> SendAbort(ProtocolContext* ctx, Channel* channel, Party from,
+                       Status status);
+
+struct AttemptVerdict {
+  bool ok = false;
+  /// The retriable failure when !ok.
+  Status status;
+};
+
+/// Sends an attempt verdict in the caller's turn slot and advances the
+/// transcript cursor (asserting the index discipline); `attempt_status`
+/// OK means the attempt succeeded. Returns `attempt_status` unchanged.
+Task<Status> SendVerdict(ProtocolContext* ctx, Channel* channel, Party from,
+                         Status attempt_status, size_t* next);
+
+/// Receives the peer's verdict at `*next` and advances the cursor. Any
+/// terminal outcome — a peer abort (surfacing its carried status) or a
+/// malformed frame — is the error case; an OK result is the parsed
+/// verdict (ok, or a retriable failure both parties move past).
+Task<Result<AttemptVerdict>> ReceiveVerdict(ProtocolContext* ctx,
+                                            Channel* channel, size_t* next);
+
+/// Parses a verdict frame's payload; kParseError on malformed input.
+Result<AttemptVerdict> ParseVerdict(const Channel::Message& m);
+
+/// How one attempt of a multi-message protocol half ended. kRetry means the
+/// failure has already been communicated (a fail verdict was sent or
+/// received) and both parties proceed to the next attempt in lockstep;
+/// kTerminal means the protocol is over (an abort was sent or received, or
+/// the peer is broken) and the status should surface unchanged.
+enum class AttemptEnd { kOk, kRetry, kTerminal };
+
+}  // namespace setrec
+
+#endif  // SETREC_CORE_SPLIT_PARTY_H_

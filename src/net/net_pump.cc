@@ -1,0 +1,400 @@
+#include "net/net_pump.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "net/wire.h"
+#include "util/serialization.h"
+
+namespace setrec {
+
+namespace {
+
+/// See Connection::frames_since_step. 4 leaves generous slack over the
+/// honest maximum (one in-flight protocol message).
+constexpr size_t kMaxFramesPerStep = 4;
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Unavailable(std::string("fcntl(O_NONBLOCK): ") + strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+/// Per-connection state: the fd, the inbound frame decoder, the session's
+/// mirror peer (outbound frames queue here until serialized), and the
+/// outgoing byte buffer.
+struct NetPump::Connection {
+  int fd = -1;
+  FrameDecoder decoder;
+  /// The pump-held half of the session's mirror pair; null before hello.
+  std::shared_ptr<Endpoint> mirror_peer;
+  uint64_t session_id = 0;
+  bool session_done = false;
+  bool closing = false;
+  /// Peer sent EOF. Judged only after the service has consumed every frame
+  /// that arrived before it: an EOF behind the final verdict is a clean
+  /// goodbye, an EOF with the session still live is a disconnect.
+  bool eof = false;
+  std::vector<uint8_t> outbuf;
+  size_t outbuf_off = 0;
+  size_t frames_before_session = 0;
+  /// Protocol frames delivered since the service last stepped. Strict
+  /// half-duplex means an honest client has at most ONE protocol message
+  /// in flight (plus the hello); a client streaming frames faster than
+  /// the session consumes them is flooding, and gets dropped before its
+  /// transcript can grow without bound.
+  size_t frames_since_step = 0;
+
+  explicit Connection(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+  size_t outbuf_pending() const { return outbuf.size() - outbuf_off; }
+};
+
+NetPump::NetPump(SyncService* service, NetPumpOptions options)
+    : service_(service), options_(options) {}
+
+NetPump::~NetPump() {
+  for (const std::unique_ptr<Connection>& conn : connections_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  for (int fd : listeners_) ::close(fd);
+  for (const std::string& path : unix_paths_) ::unlink(path.c_str());
+}
+
+Result<uint16_t> NetPump::ListenTcp(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Unavailable(std::string("socket: ") + strerror(errno));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, options_.listen_backlog) < 0) {
+    Status err = Unavailable(std::string("bind/listen: ") + strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  if (Status s = SetNonBlocking(fd); !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    Status err = Unavailable(std::string("getsockname: ") + strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  listeners_.push_back(fd);
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Status NetPump::ListenUnix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return InvalidArgument("unix socket path too long");
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Unavailable(std::string("socket: ") + strerror(errno));
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, options_.listen_backlog) < 0) {
+    Status err = Unavailable(std::string("bind/listen: ") + strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  if (Status s = SetNonBlocking(fd); !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  listeners_.push_back(fd);
+  unix_paths_.push_back(path);
+  return Status::Ok();
+}
+
+Status NetPump::AdoptConnection(int fd) {
+  if (Status s = SetNonBlocking(fd); !s.ok()) return s;
+  auto conn = std::make_unique<Connection>(options_.max_frame_bytes);
+  conn->fd = fd;
+  connections_.push_back(std::move(conn));
+  ++stats_.accepted;
+  return Status::Ok();
+}
+
+void NetPump::StepService() {
+  // Step until the service settles: every live coroutine parked at a round
+  // boundary already resumed, remaining parks await remote input.
+  for (;;) {
+    const size_t before = service_->stats().resumes;
+    const bool more = service_->Step();
+    if (!more || service_->stats().resumes == before) break;
+  }
+  CollectResults();
+}
+
+void NetPump::CollectResults() {
+  for (SessionResult& result : service_->TakeResults()) {
+    auto it = by_session_.find(result.id);
+    if (it != by_session_.end()) {
+      it->second->session_done = true;
+      by_session_.erase(it);
+    }
+    results_.push_back(std::move(result));
+  }
+}
+
+void NetPump::HandleFrame(Connection* conn, Channel::Message message) {
+  ++stats_.frames_in;
+  if (conn->session_id == 0) {
+    if (++conn->frames_before_session >
+        options_.max_frames_before_session ||
+        !IsHelloMessage(message)) {
+      FailConnection(conn, /*protocol_error=*/true);
+      return;
+    }
+    Result<HelloSpec> hello = ParseHelloMessage(message);
+    if (!hello.ok()) {
+      FailConnection(conn, /*protocol_error=*/true);
+      return;
+    }
+    std::shared_ptr<const SetOfSets> set =
+        service_->SharedSetById(hello.value().set_id);
+    if (set == nullptr) {
+      FailConnection(conn, /*protocol_error=*/true);
+      return;
+    }
+    auto [server_end, client_end] = Endpoint::LoopbackPair();
+    SessionSpec spec;
+    spec.label = "net:" + std::to_string(conn->fd);
+    spec.role = SessionRole::kAliceHalf;
+    spec.protocol = hello.value().protocol;
+    spec.params = hello.value().params;
+    spec.alice = std::move(set);
+    spec.known_d = hello.value().known_d;
+    spec.mirror = std::make_shared<Endpoint>(std::move(server_end));
+    conn->mirror_peer = std::make_shared<Endpoint>(std::move(client_end));
+    conn->session_id = service_->Submit(std::move(spec));
+    by_session_.emplace(conn->session_id, conn);
+    return;
+  }
+  if (conn->session_done) {
+    // Traffic past the session's end is a protocol violation.
+    FailConnection(conn, /*protocol_error=*/true);
+    return;
+  }
+  if (++conn->frames_since_step > kMaxFramesPerStep) {
+    FailConnection(conn, /*protocol_error=*/true);
+    return;
+  }
+  if (!service_->DeliverRemote(conn->session_id, std::move(message))) {
+    FailConnection(conn, /*protocol_error=*/true);
+  }
+}
+
+void NetPump::HandleReadable(Connection* conn) {
+  // One reusable read buffer for the whole (single-threaded) pump — no
+  // per-wakeup allocation.
+  std::vector<uint8_t>& buf = read_buf_;
+  buf.resize(options_.read_chunk_bytes);
+  for (;;) {
+    ssize_t n = ::read(conn->fd, buf.data(), buf.size());
+    if (n > 0) {
+      stats_.bytes_in += static_cast<size_t>(n);
+      conn->decoder.Feed(buf.data(), static_cast<size_t>(n));
+      Channel::Message message;
+      while (!conn->closing && conn->decoder.Next(&message)) {
+        HandleFrame(conn, std::move(message));
+      }
+      if (conn->decoder.failed() && !conn->closing) {
+        FailConnection(conn, /*protocol_error=*/true);
+      }
+      if (conn->closing) return;
+      if (static_cast<size_t>(n) < buf.size()) return;  // Drained.
+      continue;
+    }
+    if (n == 0) {
+      // EOF: decided after the service digests the frames read above (the
+      // final verdict may be sitting in this very chunk).
+      conn->eof = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    FailConnection(conn, /*protocol_error=*/false);
+    return;
+  }
+}
+
+void NetPump::DrainMirror(Connection* conn) {
+  if (conn->mirror_peer == nullptr) return;
+  // Respect the backpressure cap: leave frames queued in the endpoint once
+  // the write buffer is full (the ping-pong protocols have at most one
+  // message in flight, so the queue stays tiny).
+  Channel::Message message;
+  while (conn->outbuf_pending() < options_.max_outbuf_bytes &&
+         conn->mirror_peer->Poll(&message)) {
+    ByteWriter writer;
+    WriteMessageFrame(message, &writer);
+    const std::vector<uint8_t>& bytes = writer.bytes();
+    conn->outbuf.insert(conn->outbuf.end(), bytes.begin(), bytes.end());
+    ++stats_.frames_out;
+  }
+}
+
+void NetPump::FlushWrites(Connection* conn) {
+  while (conn->outbuf_pending() > 0) {
+    ssize_t n = ::write(conn->fd, conn->outbuf.data() + conn->outbuf_off,
+                        conn->outbuf_pending());
+    if (n > 0) {
+      conn->outbuf_off += static_cast<size_t>(n);
+      stats_.bytes_out += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    FailConnection(conn, /*protocol_error=*/false);
+    return;
+  }
+  conn->outbuf.clear();
+  conn->outbuf_off = 0;
+}
+
+void NetPump::FailConnection(Connection* conn, bool protocol_error) {
+  if (conn->closing) return;
+  conn->closing = true;
+  if (protocol_error) ++stats_.protocol_errors;
+  if (conn->session_id != 0 && !conn->session_done) {
+    ++stats_.disconnects;
+    service_->CancelSession(
+        conn->session_id,
+        Unavailable(protocol_error ? "peer protocol violation"
+                                   : "peer disconnected"));
+    by_session_.erase(conn->session_id);
+    conn->session_done = true;
+  }
+  CollectResults();
+}
+
+void NetPump::CloseConnection(size_t index) {
+  Connection* conn = connections_[index].get();
+  if (conn->session_id != 0) by_session_.erase(conn->session_id);
+  if (conn->fd >= 0) ::close(conn->fd);
+  ++stats_.closed;
+  connections_.erase(connections_.begin() + static_cast<ptrdiff_t>(index));
+}
+
+size_t NetPump::PumpOnce(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(listeners_.size() + connections_.size());
+  for (int fd : listeners_) fds.push_back(pollfd{fd, POLLIN, 0});
+  for (const std::unique_ptr<Connection>& conn : connections_) {
+    short events = 0;
+    if (conn->outbuf_pending() >= options_.max_outbuf_bytes) {
+      ++stats_.backpressure_stalls;  // Input-gated until the client reads.
+    } else if (!conn->closing && !conn->eof) {
+      events |= POLLIN;
+    }
+    if (conn->outbuf_pending() > 0) events |= POLLOUT;
+    fds.push_back(pollfd{conn->fd, events, 0});
+  }
+  // Connections accepted below are appended to connections_ and must not
+  // be matched against this pass's pollfd array.
+  const size_t polled_connections = connections_.size();
+  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) return 0;  // EINTR et al.; the caller just pumps again.
+
+  size_t handled = 0;
+  // Accept new connections.
+  for (size_t i = 0; i < listeners_.size(); ++i) {
+    if ((fds[i].revents & POLLIN) == 0) continue;
+    ++handled;
+    for (;;) {
+      int fd = ::accept(listeners_[i], nullptr, nullptr);
+      if (fd < 0) break;
+      if (!AdoptConnection(fd).ok()) ::close(fd);
+    }
+  }
+  // Feed readable connections (index into connections_ is stable here:
+  // closes happen at the end of the pass).
+  for (size_t i = 0; i < polled_connections; ++i) {
+    const pollfd& pfd = fds[listeners_.size() + i];
+    Connection* conn = connections_[i].get();
+    if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+      ++handled;
+      // Drain whatever the peer wrote before hanging up; the EOF verdict
+      // is passed after the service digests it.
+      if (pfd.revents & POLLIN) HandleReadable(conn);
+      conn->eof = true;
+      continue;
+    }
+    if (pfd.revents & POLLIN) {
+      ++handled;
+      HandleReadable(conn);
+    }
+  }
+
+  // Advance the sessions fed above, then serialize their output.
+  StepService();
+  for (const std::unique_ptr<Connection>& conn : connections_) {
+    conn->frames_since_step = 0;
+  }
+  // Now judge EOFs: a peer that hung up while its session is still live
+  // disconnected mid-protocol.
+  for (const std::unique_ptr<Connection>& conn : connections_) {
+    if (conn->eof && !conn->closing && conn->session_id != 0 &&
+        !conn->session_done) {
+      FailConnection(conn.get(), /*protocol_error=*/false);
+    } else if (conn->eof && !conn->closing && conn->session_id == 0) {
+      // Connected and left without ever completing a hello.
+      FailConnection(conn.get(), /*protocol_error=*/false);
+    }
+  }
+  for (size_t i = 0; i < connections_.size(); ++i) {
+    Connection* conn = connections_[i].get();
+    if (!conn->closing) DrainMirror(conn);
+    FlushWrites(conn);
+  }
+  // Close finished connections whose output is fully flushed (or failed
+  // ones immediately).
+  for (size_t i = connections_.size(); i-- > 0;) {
+    Connection* conn = connections_[i].get();
+    const bool drained =
+        conn->outbuf_pending() == 0 &&
+        (conn->mirror_peer == nullptr || conn->mirror_peer->pending() == 0);
+    // An EOF'd-but-done connection still flushes: the peer may have
+    // half-closed (shutdown(SHUT_WR)) and be waiting to read the final
+    // frames; a dead peer fails the write and closes via `closing`.
+    if (conn->closing || (conn->session_done && drained)) {
+      CloseConnection(i);
+    }
+  }
+  return handled;
+}
+
+void NetPump::DrainConnections(int poll_timeout_ms) {
+  while (!connections_.empty()) {
+    PumpOnce(poll_timeout_ms);
+  }
+}
+
+std::vector<SessionResult> NetPump::TakeResults() {
+  return std::move(results_);
+}
+
+}  // namespace setrec

@@ -1,0 +1,121 @@
+#ifndef SETREC_NET_NET_PUMP_H_
+#define SETREC_NET_NET_PUMP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/sync_service.h"
+#include "transport/endpoint.h"
+#include "util/status.h"
+
+namespace setrec {
+
+struct NetPumpOptions {
+  /// Per-frame size ceiling fed to each connection's FrameDecoder.
+  size_t max_frame_bytes = 64u << 20;
+  /// Backpressure: once a connection's outgoing buffer holds this many
+  /// unwritten bytes, the pump stops reading from that fd (so the session
+  /// stops advancing) and stops draining the session's mirror endpoint
+  /// (frames queue there, bounded by the protocol's one-in-flight-message
+  /// ping-pong) until the client drains its socket.
+  size_t max_outbuf_bytes = 1u << 20;
+  /// Read granularity per POLLIN wakeup.
+  size_t read_chunk_bytes = 64u << 10;
+  int listen_backlog = 64;
+  /// Frames a connection may send before its hello completes a session —
+  /// anything above 1 pre-hello is a protocol violation.
+  size_t max_frames_before_session = 1;
+};
+
+struct NetPumpStats {
+  size_t accepted = 0;
+  size_t closed = 0;
+  /// Connections dropped for malformed traffic (bad frame, bad hello,
+  /// unknown set id, frames for a finished session).
+  size_t protocol_errors = 0;
+  /// Connections that disconnected with a live session (cancelled).
+  size_t disconnects = 0;
+  size_t frames_in = 0;
+  size_t frames_out = 0;
+  size_t bytes_in = 0;
+  size_t bytes_out = 0;
+  /// Poll iterations where a connection was input-gated by outbuf size.
+  size_t backpressure_stalls = 0;
+};
+
+/// A non-blocking poll(2) event loop that turns remote byte streams into
+/// SyncService half-sessions:
+///
+///   socket bytes → FrameDecoder → hello: Submit(kAliceHalf session)
+///                               → frames: DeliverRemote(session, message)
+///   session ctx->Send → mirror Endpoint → DrainToStream → socket bytes
+///
+/// One session per connection; the server side runs Alice's half of the
+/// chosen protocol against the registered shared set named by the client's
+/// hello. The pump and service are a single-threaded pair: PumpOnce feeds
+/// input, steps the service until it settles, then drains output. See
+/// src/net/README.md for the loop and backpressure model.
+class NetPump {
+ public:
+  explicit NetPump(SyncService* service, NetPumpOptions options = {});
+  ~NetPump();
+
+  NetPump(const NetPump&) = delete;
+  NetPump& operator=(const NetPump&) = delete;
+
+  /// Listens on 0.0.0.0:`port` (0 = ephemeral); returns the bound port.
+  Result<uint16_t> ListenTcp(uint16_t port);
+  /// Listens on a Unix-domain socket at `path` (unlinked first, and again
+  /// on destruction).
+  Status ListenUnix(const std::string& path);
+  /// Takes ownership of an already-connected stream fd (socketpair tests,
+  /// inherited sockets). The fd is switched to non-blocking.
+  Status AdoptConnection(int fd);
+
+  /// One poll + process pass; returns the number of fd events handled
+  /// (0 on timeout). `timeout_ms` < 0 blocks until an event.
+  size_t PumpOnce(int timeout_ms);
+
+  /// Pumps until no connections remain (listeners stay open; returns when
+  /// every accepted connection has finished). Meant for tests/examples
+  /// serving a known client count.
+  void DrainConnections(int poll_timeout_ms = 100);
+
+  size_t connection_count() const { return connections_.size(); }
+  size_t listener_count() const { return listeners_.size(); }
+  const NetPumpStats& stats() const { return stats_; }
+
+  /// Results drained from the service while pumping, in completion order
+  /// (includes any non-remote sessions the shared service finished).
+  std::vector<SessionResult> TakeResults();
+
+ private:
+  struct Connection;
+
+  void StepService();
+  void HandleReadable(Connection* conn);
+  void HandleFrame(Connection* conn, Channel::Message message);
+  void DrainMirror(Connection* conn);
+  void FlushWrites(Connection* conn);
+  void FailConnection(Connection* conn, bool protocol_error);
+  void CloseConnection(size_t index);
+  void CollectResults();
+
+  SyncService* service_;
+  NetPumpOptions options_;
+  NetPumpStats stats_;
+  std::vector<int> listeners_;
+  std::vector<std::string> unix_paths_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::unordered_map<uint64_t, Connection*> by_session_;
+  std::vector<SessionResult> results_;
+  /// Reusable read buffer (the pump is single-threaded).
+  std::vector<uint8_t> read_buf_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_NET_NET_PUMP_H_

@@ -1,0 +1,157 @@
+#include "net/stream_party.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/build_context.h"
+#include "core/task.h"
+#include "transport/endpoint.h"
+#include "util/serialization.h"
+
+namespace setrec {
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Unavailable(std::string("socket: ") + strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status err = Unavailable(std::string("connect: ") + strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  return fd;
+}
+
+Result<int> ConnectUnix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return InvalidArgument("unix socket path too long");
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Unavailable(std::string("socket: ") + strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status err = Unavailable(std::string("connect: ") + strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  return fd;
+}
+
+namespace {
+
+Status WriteAll(int fd, const uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, data + off, n - off);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return Unavailable(std::string("write: ") + strerror(errno));
+  }
+  return Status::Ok();
+}
+
+/// The client-side context: inline semantics (this thread runs exactly one
+/// party), with every local send framed straight onto the stream.
+class StreamPartyContext final : public InlineContext {
+ public:
+  StreamPartyContext(int fd, Party local) : fd_(fd), local_(local) {}
+
+  const Status& write_status() const { return write_status_; }
+
+  void OnSend(Channel* channel, size_t index) override {
+    const Channel::Message& message = channel->Receive(index);
+    if (message.from == local_ && write_status_.ok()) {
+      ByteWriter writer;
+      WriteMessageFrame(message, &writer);
+      write_status_ = WriteAll(fd_, writer.bytes().data(), writer.size());
+    }
+    ProtocolContext::OnSend(channel, index);
+  }
+
+ private:
+  int fd_;
+  Party local_;
+  Status write_status_;
+};
+
+}  // namespace
+
+Status WriteFrameToFd(int fd, const Channel::Message& message) {
+  ByteWriter writer;
+  WriteMessageFrame(message, &writer);
+  return WriteAll(fd, writer.bytes().data(), writer.size());
+}
+
+Status SendHello(int fd, const HelloSpec& spec) {
+  return WriteFrameToFd(fd, MakeHelloMessage(spec));
+}
+
+Result<SsrOutcome> RunBobHalfOverFd(const SetsOfSetsProtocol& protocol,
+                                    const SetOfSets& bob,
+                                    std::optional<size_t> known_d, int fd,
+                                    Channel* channel) {
+  StreamPartyContext ctx(fd, Party::kBob);
+  Task<Result<SsrOutcome>> task =
+      protocol.ReconcileAsyncBob(bob, known_d, channel, &ctx);
+  task.Start();
+  // The half runs until it parks on a peer message; we then block on the
+  // stream, decode arriving frames into the transcript, and pump the
+  // parked receive. Strict ping-pong means exactly one side has the turn,
+  // so blocking reads cannot deadlock against a live server.
+  FrameDecoder decoder;
+  std::vector<uint8_t> buf(64u << 10);
+  while (!task.Done()) {
+    if (!ctx.write_status().ok()) {
+      ctx.CancelReceives();
+      return ctx.write_status();
+    }
+    ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n == 0) {
+      ctx.CancelReceives();
+      return Unavailable("peer closed the connection mid-protocol");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ctx.CancelReceives();
+      return Unavailable(std::string("read: ") + strerror(errno));
+    }
+    decoder.Feed(buf.data(), static_cast<size_t>(n));
+    Channel::Message message;
+    bool delivered = false;
+    while (decoder.Next(&message)) {
+      channel->Send(message.from, std::move(message.payload),
+                    std::move(message.label));
+      delivered = true;
+    }
+    if (decoder.failed()) {
+      ctx.CancelReceives();
+      return ParseError("malformed frame from peer");
+    }
+    if (delivered) ctx.PumpReceives();
+  }
+  // The final send (typically Bob's ok verdict) may have failed after the
+  // task completed; success must mean the peer actually got it.
+  if (!ctx.write_status().ok()) return ctx.write_status();
+  return task.TakeResult();
+}
+
+}  // namespace setrec

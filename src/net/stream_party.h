@@ -1,0 +1,40 @@
+#ifndef SETREC_NET_STREAM_PARTY_H_
+#define SETREC_NET_STREAM_PARTY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/protocol.h"
+#include "net/wire.h"
+#include "transport/channel.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// Blocking connect helpers (client side / tests). The returned fd is
+/// owned by the caller.
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+Result<int> ConnectUnix(const std::string& path);
+
+/// Writes one message as a wire frame to `fd` (blocking, write-all).
+Status WriteFrameToFd(int fd, const Channel::Message& message);
+
+/// Sends the session hello (see net/wire.h) on a fresh connection.
+Status SendHello(int fd, const HelloSpec& spec);
+
+/// Runs Bob's half of `protocol` over a connected stream: local sends are
+/// framed onto `fd` as they happen, peer frames are read (blocking) and
+/// appended to `*channel`, which ends up holding the full transcript —
+/// byte-identical to a direct Reconcile's for the same inputs and seeds.
+/// Call SendHello first when the peer is a NetPump server. Blocks the
+/// calling thread until the protocol completes or the stream breaks
+/// (kUnavailable on EOF/error, kParseError on a malformed frame).
+Result<SsrOutcome> RunBobHalfOverFd(const SetsOfSetsProtocol& protocol,
+                                    const SetOfSets& bob,
+                                    std::optional<size_t> known_d, int fd,
+                                    Channel* channel);
+
+}  // namespace setrec
+
+#endif  // SETREC_NET_STREAM_PARTY_H_

@@ -1,0 +1,41 @@
+#ifndef SETREC_NET_WIRE_H_
+#define SETREC_NET_WIRE_H_
+
+#include <optional>
+
+#include "service/sync_service.h"
+#include "transport/channel.h"
+#include "util/status.h"
+
+namespace setrec {
+
+/// The first frame a remote client sends on a fresh connection: which
+/// registered server set to reconcile against and the full shared problem
+/// statement (SsrParams are public knowledge — both parties must hold
+/// identical values for the split-party halves to derive identical sketch
+/// configurations). Everything after the hello is protocol traffic:
+/// Channel::Message frames in the FrameDecoder wire format.
+struct HelloSpec {
+  SsrProtocolKind protocol = SsrProtocolKind::kNaive;
+  /// RegisterSharedSet id of the server-side (Alice) set.
+  uint64_t set_id = 0;
+  SsrParams params;
+  std::optional<size_t> known_d;
+};
+
+inline constexpr const char kHelloLabel[] = "hello";
+
+/// Encodes `spec` as a hello frame (label "hello", sender Bob — the client
+/// is the recovering party).
+Channel::Message MakeHelloMessage(const HelloSpec& spec);
+
+inline bool IsHelloMessage(const Channel::Message& m) {
+  return m.label == kHelloLabel;
+}
+
+/// Parses a hello frame; kParseError on malformed payload.
+Result<HelloSpec> ParseHelloMessage(const Channel::Message& m);
+
+}  // namespace setrec
+
+#endif  // SETREC_NET_WIRE_H_

@@ -1,5 +1,6 @@
 #include "service/sync_service.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <utility>
@@ -41,8 +42,9 @@ std::unique_ptr<SetsOfSetsProtocol> MakeSsrProtocol(SsrProtocolKind kind,
 }
 
 /// The per-session ProtocolContext: routes build ops into the service's
-/// planner queues, parks the session coroutine at barriers and round
-/// boundaries, and exposes the shared cache/scratch pools.
+/// planner queues, parks the session coroutines at barriers, round
+/// boundaries and peer receives, and exposes the shared cache/scratch
+/// pools.
 class SyncService::SessionContext final : public ProtocolContext {
  public:
   SessionContext() = default;
@@ -73,6 +75,7 @@ class SyncService::SessionContext final : public ProtocolContext {
   uint64_t SetIdentity(const void* parent_set) override {
     return service_->IdentityOf(parent_set);
   }
+  uint64_t PeerSetIdentity() override;
   // Stats semantics: one hit per message replayed from the cache, one miss
   // per message actually built (counted when the build lease is acquired).
   // A lease waiter's first, empty lookup is counted by neither — it
@@ -131,6 +134,9 @@ class SyncService::SessionContext final : public ProtocolContext {
   bool TryAcquireBuildLease(uint64_t key) override;
   void ReleaseBuildLease(uint64_t key) override;
   void ParkOnLease(uint64_t key, std::coroutine_handle<> handle) override;
+  // ParkOnRecv keeps the base behavior (store in the context's waiter
+  // list); the service moves ready waiters onto its scheduler queue from
+  // OnSend / DeliverRemote instead of resuming them nested.
 
  private:
   void QueueIbltOp(Iblt::ApplyOp op);
@@ -140,7 +146,7 @@ class SyncService::SessionContext final : public ProtocolContext {
 };
 
 /// One in-flight session: its spec, channel (the transcript), protocol
-/// coroutine and park state. `ctx` is declared before `task` so the
+/// coroutine(s) and park state. `ctx` is declared before `task` so the
 /// coroutine frame is destroyed first.
 struct SyncService::Session {
   uint64_t id = 0;
@@ -150,13 +156,33 @@ struct SyncService::Session {
   std::shared_ptr<const SetsOfSetsProtocol> protocol;
   SessionContext ctx;
   Task<Result<SsrOutcome>> task;
-  std::coroutine_handle<> parked;
   bool started = false;
   /// Planner ops queued by this session since the last flush.
   size_t ops_pending = 0;
 
-  bool opaque() const { return spec.alice == nullptr; }
+  bool opaque() const { return spec.alice == nullptr && spec.bob == nullptr; }
 };
+
+namespace {
+
+/// Adapts Alice's half to the session task shape: her half has no outcome
+/// payload (the recovery happens at the remote Bob), so a completed server
+/// half reports stats off the transcript and an empty recovered set.
+Task<Result<SsrOutcome>> RunAliceHalfSession(
+    std::shared_ptr<const SetsOfSetsProtocol> protocol, const SetOfSets* alice,
+    std::optional<size_t> known_d, Channel* channel, ProtocolContext* ctx) {
+  Task<Status> half =
+      protocol->ReconcileAsyncAlice(*alice, known_d, channel, ctx);
+  half.Start();
+  co_await TaskJoin<Status>{&half};
+  Status status = half.TakeResult();
+  if (!status.ok()) co_return status;
+  SsrOutcome outcome;
+  outcome.stats = {channel->rounds(), channel->total_bytes(), 0};
+  co_return outcome;
+}
+
+}  // namespace
 
 void SyncService::SessionContext::QueueIbltOp(Iblt::ApplyOp op) {
   if (op.n == 0) return;
@@ -180,24 +206,35 @@ void SyncService::SessionContext::QueueStrataUpdate(StrataEstimator* est,
   ++session_->ops_pending;
 }
 
+uint64_t SyncService::SessionContext::PeerSetIdentity() {
+  // The Bob-side cache keys mirror Alice's, which hash her set identity;
+  // only sessions that actually hold a registered Alice set resolve it.
+  if (session_->spec.alice == nullptr) return 0;
+  return service_->IdentityOf(session_->spec.alice.get());
+}
+
 bool SyncService::SessionContext::HasPendingOps() const {
   return session_->ops_pending > 0;
 }
 
 void SyncService::SessionContext::ParkOnFlush(std::coroutine_handle<> handle) {
-  session_->parked = handle;
-  service_->flush_waiters_.push_back(session_);
+  service_->flush_waiters_.push_back(ParkedCoro{session_, handle});
 }
 
 void SyncService::SessionContext::ParkOnRound(std::coroutine_handle<> handle) {
-  session_->parked = handle;
-  service_->round_waiters_.push_back(session_);
+  service_->round_waiters_.push_back(ParkedCoro{session_, handle});
 }
 
 void SyncService::SessionContext::OnSend(Channel* channel, size_t index) {
   if (session_->spec.mirror != nullptr) {
-    session_->spec.mirror->Send(channel->Receive(index));
+    if (!session_->spec.mirror->Send(channel->Receive(index))) {
+      ++service_->stats_.mirror_drops;
+    }
   }
+  // A send may complete the peer half's pending receive (loopback
+  // composition); schedule it instead of resuming nested so the Step loop
+  // keeps its round-by-round shape.
+  service_->CollectReadyReceives(session_);
 }
 
 bool SyncService::SessionContext::TryAcquireBuildLease(uint64_t key) {
@@ -213,7 +250,7 @@ void SyncService::SessionContext::ReleaseBuildLease(uint64_t key) {
   // Wake the waiters through the scheduler's queue (not inline): they
   // re-check the cache and either replay the stored message or contend for
   // the freed lease, in park order.
-  for (Session* waiter : it->second) {
+  for (const ParkedCoro& waiter : it->second) {
     service_->lease_ready_.push_back(waiter);
   }
   service_->lease_waiters_.erase(it);
@@ -221,8 +258,7 @@ void SyncService::SessionContext::ReleaseBuildLease(uint64_t key) {
 
 void SyncService::SessionContext::ParkOnLease(uint64_t key,
                                               std::coroutine_handle<> handle) {
-  session_->parked = handle;
-  service_->lease_waiters_[key].push_back(session_);
+  service_->lease_waiters_[key].push_back(ParkedCoro{session_, handle});
 }
 
 SyncService::SyncService(SyncServiceOptions options)
@@ -241,18 +277,135 @@ uint64_t SyncService::RegisterSharedSet(
   return id;
 }
 
+std::shared_ptr<const SetOfSets> SyncService::SharedSetById(
+    uint64_t id) const {
+  if (id == 0 || id > pinned_sets_.size()) return nullptr;
+  return pinned_sets_[id - 1];  // Ids are assigned densely from 1.
+}
+
 uint64_t SyncService::IdentityOf(const void* set) const {
   auto it = set_identities_.find(set);
   return it == set_identities_.end() ? 0 : it->second;
 }
 
 uint64_t SyncService::Submit(SessionSpec spec) {
-  assert((spec.alice != nullptr && spec.bob != nullptr) ||
-         spec.opaque != nullptr);
+  switch (spec.role) {
+    case SessionRole::kBoth:
+      assert((spec.alice != nullptr && spec.bob != nullptr) ||
+             spec.opaque != nullptr);
+      break;
+    case SessionRole::kAliceHalf:
+      assert(spec.alice != nullptr);
+      break;
+    case SessionRole::kBobHalf:
+      assert(spec.bob != nullptr);
+      break;
+  }
   ++stats_.sessions_submitted;
   const uint64_t id = next_session_id_++;
   backlog_.push_back(PendingSession{id, std::move(spec)});
   return id;
+}
+
+namespace {
+
+/// The wire party a half session's remote peer speaks as.
+Party RemotePartyOf(SessionRole role) {
+  return role == SessionRole::kAliceHalf ? Party::kBob : Party::kAlice;
+}
+
+/// Whether the REMOTE party sends the protocol's opening message (so one
+/// frame may legitimately arrive before the local half has run): Bob opens
+/// the SSRU estimator exchange of naive/multiround; Alice opens everything
+/// else.
+bool RemoteOpens(const SessionSpec& spec) {
+  const bool bob_opens =
+      !spec.known_d.has_value() &&
+      (spec.protocol == SsrProtocolKind::kNaive ||
+       spec.protocol == SsrProtocolKind::kMultiRound);
+  return spec.role == SessionRole::kAliceHalf ? bob_opens : !bob_opens;
+}
+
+}  // namespace
+
+bool SyncService::DeliverRemote(uint64_t id, Channel::Message message) {
+  ++stats_.remote_messages;
+  auto it = active_by_id_.find(id);
+  if (it == active_by_id_.end()) {
+    // Not yet admitted: buffer iff the id is still in the backlog. Strict
+    // half-duplex means at most ONE remote frame can legitimately precede
+    // the session's first resume, and only when the remote party opens
+    // the protocol.
+    for (const PendingSession& pending : backlog_) {
+      if (pending.id != id) continue;
+      if (pending.spec.role == SessionRole::kBoth ||
+          message.from != RemotePartyOf(pending.spec.role)) {
+        return false;
+      }
+      std::vector<Channel::Message>& buffered = pending_remote_[id];
+      if (!buffered.empty() || !RemoteOpens(pending.spec)) return false;
+      buffered.push_back(std::move(message));
+      return true;
+    }
+    return false;
+  }
+  // Started session: an injected frame in the wrong slot would shift every
+  // later transcript index and desync the halves, so accept a remote
+  // frame only when it is the remote's turn — i.e., the local half is
+  // parked on a receive of exactly the next slot. (Wrong CONTENT in the
+  // right slot is the protocols' own problem: it fails parsing and aborts
+  // only that session.)
+  Session* session = it->second;
+  if (session->spec.role == SessionRole::kBoth ||
+      message.from != RemotePartyOf(session->spec.role) ||
+      !session->ctx.HasRecvWaiterAt(&session->channel,
+                                    session->channel.rounds())) {
+    return false;
+  }
+  session->channel.Send(message.from, std::move(message.payload),
+                        std::move(message.label));
+  CollectReadyReceives(session);
+  return true;
+}
+
+bool SyncService::CancelSession(uint64_t id, Status reason) {
+  assert(!reason.ok());
+  auto it = active_by_id_.find(id);
+  if (it == active_by_id_.end()) {
+    // Possibly still in the backlog: drop it there.
+    for (auto pending = backlog_.begin(); pending != backlog_.end();
+         ++pending) {
+      if (pending->id != id) continue;
+      SessionResult result;
+      result.id = id;
+      result.label = std::move(pending->spec.label);
+      result.status = std::move(reason);
+      ++stats_.sessions_failed;
+      ++stats_.sessions_cancelled;
+      results_.push_back(std::move(result));
+      backlog_.erase(pending);
+      pending_remote_.erase(id);
+      return true;
+    }
+    return false;
+  }
+  Session* session = it->second;
+  // Between Steps a session's coroutines are parked only at round
+  // boundaries or receives; purge both so destroying the frames leaves no
+  // dangling handle behind. (Flush/lease queues are drained within Step.)
+  auto drop = [session](std::deque<ParkedCoro>* queue) {
+    queue->erase(std::remove_if(queue->begin(), queue->end(),
+                                [session](const ParkedCoro& parked) {
+                                  return parked.session == session;
+                                }),
+                 queue->end());
+  };
+  drop(&round_waiters_);
+  drop(&recv_ready_);
+  session->ctx.CancelReceives();
+  ++stats_.sessions_cancelled;
+  FinalizeSession(session, std::move(reason));
+  return true;
 }
 
 std::shared_ptr<const SetsOfSetsProtocol> SyncService::ProtocolFor(
@@ -291,6 +444,16 @@ void SyncService::Admit() {
     Session* raw = session.get();
     raw->slot = active_.size();
     active_.push_back(std::move(session));
+    active_by_id_.emplace(raw->id, raw);
+    // Remote messages that raced ahead of admission land in the transcript
+    // before the session's first resume.
+    if (auto pending = pending_remote_.find(raw->id);
+        pending != pending_remote_.end()) {
+      for (Channel::Message& m : pending->second) {
+        raw->channel.Send(m.from, std::move(m.payload), std::move(m.label));
+      }
+      pending_remote_.erase(pending);
+    }
     ready_.push_back(raw);
   }
 }
@@ -302,7 +465,7 @@ void SyncService::RunOpaqueSession(Session* session) {
                    0};
   if (session->spec.mirror != nullptr) {
     for (const Channel::Message& m : session->channel.transcript()) {
-      session->spec.mirror->Send(m);
+      if (!session->spec.mirror->Send(m)) ++stats_.mirror_drops;
     }
   }
   if (status.ok()) {
@@ -312,26 +475,49 @@ void SyncService::RunOpaqueSession(Session* session) {
   }
 }
 
-void SyncService::ResumeSession(Session* session) {
+void SyncService::StartSession(Session* session) {
   ++stats_.resumes;
   if (session->opaque()) {
     RunOpaqueSession(session);
     return;
   }
-  if (!session->started) {
-    session->started = true;
-    session->task = session->protocol->ReconcileAsync(
-        *session->spec.alice, *session->spec.bob, session->spec.known_d,
-        &session->channel, &session->ctx);
-    session->task.Start();
-  } else {
-    std::coroutine_handle<> handle =
-        std::exchange(session->parked, std::coroutine_handle<>{});
-    assert(handle);
-    handle.resume();
+  session->started = true;
+  switch (session->spec.role) {
+    case SessionRole::kBoth:
+      session->task = session->protocol->ReconcileAsync(
+          *session->spec.alice, *session->spec.bob, session->spec.known_d,
+          &session->channel, &session->ctx);
+      break;
+    case SessionRole::kAliceHalf:
+      session->task = RunAliceHalfSession(
+          session->protocol, session->spec.alice.get(),
+          session->spec.known_d, &session->channel, &session->ctx);
+      break;
+    case SessionRole::kBobHalf:
+      session->task = session->protocol->ReconcileAsyncBob(
+          *session->spec.bob, session->spec.known_d, &session->channel,
+          &session->ctx);
+      break;
   }
-  if (session->task.Done()) {
+  session->task.Start();
+  CheckDone(session);
+}
+
+void SyncService::ResumeParked(ParkedCoro parked) {
+  ++stats_.resumes;
+  parked.handle.resume();
+  CheckDone(parked.session);
+}
+
+void SyncService::CheckDone(Session* session) {
+  if (session->task.Valid() && session->task.Done()) {
     FinalizeSession(session, session->task.TakeResult());
+  }
+}
+
+void SyncService::CollectReadyReceives(Session* session) {
+  while (std::coroutine_handle<> handle = session->ctx.TakeReadyReceive()) {
+    recv_ready_.push_back(ParkedCoro{session, handle});
   }
 }
 
@@ -360,6 +546,7 @@ void SyncService::FinalizeSession(Session* session,
   results_.push_back(std::move(result));
   // Swap-remove from the active list; recycle the shell (coroutine frame
   // destroyed by the Task reset, transcript cleared, vector capacity kept).
+  active_by_id_.erase(session->id);
   const size_t slot = session->slot;
   std::unique_ptr<Session> finished = std::move(active_[slot]);
   if (slot + 1 != active_.size()) {
@@ -374,7 +561,6 @@ void SyncService::FinalizeSession(Session* session,
     finished->protocol = nullptr;
     finished->spec = SessionSpec{};
     finished->channel.Reset();
-    finished->parked = {};
     finished->started = false;
     finished->ops_pending = 0;
     session_pool_.push_back(std::move(finished));
@@ -404,14 +590,14 @@ void SyncService::FlushPlanner() {
   stats_.estimator_jobs += estimator_jobs_.size();
   estimator_jobs_.clear();
 
-  // Scatter-back: every parked session's sketches are now built; resume
-  // them in park order. Resumed sessions may queue a next build phase
+  // Scatter-back: every parked coroutine's sketches are now built; resume
+  // them in park order. Resumed coroutines may queue a next build phase
   // (handled by the caller's flush loop) or park at a round boundary.
-  std::deque<Session*> waiters = std::move(flush_waiters_);
+  std::deque<ParkedCoro> waiters = std::move(flush_waiters_);
   flush_waiters_.clear();
-  for (Session* session : waiters) {
-    session->ops_pending = 0;
-    ResumeSession(session);
+  for (const ParkedCoro& parked : waiters) {
+    parked.session->ops_pending = 0;
+    ResumeParked(parked);
   }
 }
 
@@ -421,34 +607,41 @@ bool SyncService::Step() {
   ++stats_.steps;
 
   // Round waiters first (FIFO fairness), then newly admitted sessions.
-  // Drain a snapshot: a session that parks at its next round boundary
+  // Drain a snapshot: a coroutine that parks at its next round boundary
   // during the drain must wait for the NEXT tick (the one-round-per-tick
   // contract of SendAwaiter), not be resumed again in this one.
-  std::deque<Session*> round_now = std::move(round_waiters_);
+  std::deque<ParkedCoro> round_now = std::move(round_waiters_);
   round_waiters_.clear();
   while (!round_now.empty()) {
-    Session* session = round_now.front();
+    ParkedCoro parked = round_now.front();
     round_now.pop_front();
-    ResumeSession(session);
+    ResumeParked(parked);
   }
 
   // Drain build phases: each flush applies every queued op across all
   // sessions as one coalesced pass, then resumes the owners, who may queue
   // the next phase; lease waiters wake as the builds they were parked on
-  // get stored. As completions free in-flight capacity, backlog sessions
-  // are admitted INTO the running tick, so a departing wave's late phases
+  // get stored, and split-party peers wake as the messages they await are
+  // sent. As completions free in-flight capacity, backlog sessions are
+  // admitted INTO the running tick, so a departing wave's late phases
   // coalesce with the next wave's early ones (no pipeline bubble). When
-  // this loop exits, every live session sits at a round boundary.
+  // this loop exits, every live coroutine sits at a round boundary or a
+  // not-yet-arrived remote receive.
   for (;;) {
     while (!ready_.empty()) {
       Session* session = ready_.front();
       ready_.pop_front();
-      ResumeSession(session);
+      StartSession(session);
+    }
+    while (!recv_ready_.empty()) {
+      ParkedCoro parked = recv_ready_.front();
+      recv_ready_.pop_front();
+      ResumeParked(parked);
     }
     while (!lease_ready_.empty()) {
-      Session* session = lease_ready_.front();
+      ParkedCoro parked = lease_ready_.front();
       lease_ready_.pop_front();
-      ResumeSession(session);
+      ResumeParked(parked);
     }
     if (!flush_waiters_.empty() || !iblt_ops_.empty() ||
         !estimator_jobs_.empty()) {
@@ -456,7 +649,7 @@ bool SyncService::Step() {
       continue;
     }
     Admit();
-    if (ready_.empty() && lease_ready_.empty()) break;
+    if (ready_.empty() && recv_ready_.empty() && lease_ready_.empty()) break;
   }
 
   return !active_.empty() || !backlog_.empty();

@@ -23,6 +23,8 @@ namespace setrec {
 
 /// The four set-of-sets protocol families a session can run.
 enum class SsrProtocolKind { kNaive, kIblt2, kCascade, kMultiRound };
+/// Number of SsrProtocolKind values (wire validation, kind sweeps).
+inline constexpr int kSsrProtocolKindCount = 4;
 
 const char* SsrProtocolKindName(SsrProtocolKind kind);
 
@@ -30,11 +32,22 @@ const char* SsrProtocolKindName(SsrProtocolKind kind);
 std::unique_ptr<SetsOfSetsProtocol> MakeSsrProtocol(SsrProtocolKind kind,
                                                     const SsrParams& params);
 
-/// One reconciliation job. Two shapes:
+/// Which side(s) of the protocol a session runs locally. kBoth is the
+/// loopback shape (both halves composed over one channel). The half roles
+/// host exactly one party: the peer's messages arrive from outside through
+/// SyncService::DeliverRemote (the src/net/ pump decodes them off a
+/// socket), and the local party's sends are observed on the mirror
+/// endpoint. kAliceHalf is the server side of a remote session (Alice is
+/// the one-way source); kBobHalf hosts the recovering side.
+enum class SessionRole { kBoth, kAliceHalf, kBobHalf };
+
+/// One reconciliation job. Three shapes:
 ///
 ///  * Steppable set-of-sets session: `alice`/`bob` set, driven through the
-///    protocol coroutine round-by-round with sketch builds deferred into
-///    the cross-session batch planner.
+///    per-party protocol coroutines round-by-round with sketch builds
+///    deferred into the cross-session batch planner.
+///  * Half session (role != kBoth): only one party's coroutine runs here,
+///    against a remote peer (see SessionRole).
 ///  * Opaque session: any reconciliation expressible as a blocking run over
 ///    a Channel (graph, forest, shingle-collection workloads). It executes
 ///    in a single step; it shares the service's scheduling, stats and
@@ -45,8 +58,10 @@ struct SessionSpec {
   // --- steppable set-of-sets session ---
   SsrProtocolKind protocol = SsrProtocolKind::kNaive;
   SsrParams params;
+  SessionRole role = SessionRole::kBoth;
   /// Parent sets; alice benefits from RegisterSharedSet when many sessions
-  /// reconcile against the same server-side set.
+  /// reconcile against the same server-side set. Half sessions need only
+  /// their own party's set (alice for kAliceHalf, bob for kBobHalf).
   std::shared_ptr<const SetOfSets> alice;
   std::shared_ptr<const SetOfSets> bob;
   std::optional<size_t> known_d;
@@ -54,8 +69,11 @@ struct SessionSpec {
   // --- opaque session (set when alice/bob are null) ---
   std::function<Status(Channel*)> opaque;
 
-  /// Optional transport mirror: every protocol message is forwarded as a
-  /// frame on this endpoint (the caller holds the peer half).
+  /// Optional transport mirror: every locally-sent protocol message is
+  /// forwarded as a frame on this endpoint (the caller holds the peer
+  /// half). kBoth sessions mirror the full transcript; half sessions
+  /// mirror only the local party's messages — exactly the bytes a remote
+  /// peer must be shown.
   std::shared_ptr<Endpoint> mirror;
 };
 
@@ -97,6 +115,13 @@ struct ServiceStats {
   /// (one per acquired build lease).
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// Messages dropped by an unconnected session mirror endpoint (a
+  /// disconnect the caller can now observe).
+  size_t mirror_drops = 0;
+  /// Remote-peer messages injected via DeliverRemote, and sessions
+  /// cancelled (peer disconnect) via CancelSession.
+  size_t remote_messages = 0;
+  size_t sessions_cancelled = 0;
 
   double mean_flush_occupancy() const {
     return flushes == 0 ? 0.0
@@ -150,9 +175,25 @@ class SyncService {
   /// Pins `set` for the service's lifetime and enables Alice-message
   /// memoization for sessions whose spec.alice is this exact object.
   uint64_t RegisterSharedSet(std::shared_ptr<const SetOfSets> set);
+  /// The set registered as id `id` (ids are dense from 1), or null. This is
+  /// how the net layer resolves a client hello's set id to server state.
+  std::shared_ptr<const SetOfSets> SharedSetById(uint64_t id) const;
 
   /// Enqueues a session; returns its id. Sessions start in Step() order.
   uint64_t Submit(SessionSpec spec);
+
+  /// Injects a message from the remote peer into session `id`'s transcript
+  /// (half sessions) and marks its waiting coroutine runnable; the message
+  /// is processed by the next Step(). Messages for a submitted-but-not-yet-
+  /// admitted session are buffered and delivered at admission. Returns
+  /// false for an unknown/finished session. Single-threaded with Step().
+  bool DeliverRemote(uint64_t id, Channel::Message message);
+
+  /// Fails a live session (peer disconnect) and reclaims it. Must be
+  /// called between Step() calls — sessions are then parked only at round
+  /// boundaries or remote receives, never mid-flush. Returns false for an
+  /// unknown session.
+  bool CancelSession(uint64_t id, Status reason);
 
   /// One scheduler tick; returns true while sessions remain (in flight or
   /// backlogged).
@@ -171,6 +212,15 @@ class SyncService {
   struct Session;
   class SessionContext;
 
+  /// One parked coroutine handle plus its owning session. A split-party
+  /// session can have BOTH half coroutines parked at once (Alice at a round
+  /// boundary, Bob at a receive), so the scheduler queues carry handles,
+  /// not sessions.
+  struct ParkedCoro {
+    Session* session;
+    std::coroutine_handle<> handle;
+  };
+
   struct EstimatorJob {
     L0Estimator* l0 = nullptr;
     StrataEstimator* strata = nullptr;
@@ -180,7 +230,12 @@ class SyncService {
   };
 
   void Admit();
-  void ResumeSession(Session* session);
+  void StartSession(Session* session);
+  void ResumeParked(ParkedCoro parked);
+  void CheckDone(Session* session);
+  /// Moves the session's ready receives (peer message arrived) onto the
+  /// scheduler queue.
+  void CollectReadyReceives(Session* session);
   void FinalizeSession(Session* session, Result<SsrOutcome> outcome);
   void RunOpaqueSession(Session* session);
   std::shared_ptr<const SetsOfSetsProtocol> ProtocolFor(
@@ -208,14 +263,24 @@ class SyncService {
   std::vector<std::pair<std::pair<SsrProtocolKind, SsrParams>,
                         std::shared_ptr<const SetsOfSetsProtocol>>>
       protocol_cache_;
+  /// Sessions admitted but not yet started.
   std::deque<Session*> ready_;
-  std::deque<Session*> round_waiters_;
-  std::deque<Session*> flush_waiters_;
-  /// Anti-stampede build leases: sessions parked behind an in-flight Alice
-  /// message build, and the wake queue drained by the Step flush loop.
+  std::deque<ParkedCoro> round_waiters_;
+  std::deque<ParkedCoro> flush_waiters_;
+  /// Coroutines whose awaited peer message has arrived (split-party wakes),
+  /// drained inside the Step flush loop.
+  std::deque<ParkedCoro> recv_ready_;
+  /// Anti-stampede build leases: coroutines parked behind an in-flight
+  /// Alice message build, and the wake queue drained by the Step flush
+  /// loop.
   std::unordered_set<uint64_t> held_leases_;
-  std::unordered_map<uint64_t, std::deque<Session*>> lease_waiters_;
-  std::deque<Session*> lease_ready_;
+  std::unordered_map<uint64_t, std::deque<ParkedCoro>> lease_waiters_;
+  std::deque<ParkedCoro> lease_ready_;
+  /// Live sessions by id (remote delivery / cancellation), plus messages
+  /// for sessions still in the backlog.
+  std::unordered_map<uint64_t, Session*> active_by_id_;
+  std::unordered_map<uint64_t, std::vector<Channel::Message>>
+      pending_remote_;
 
   // Batch planner state: deferred IBLT ops + estimator jobs of the current
   // phase, and the reusable hash staging for ApplyOps.

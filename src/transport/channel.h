@@ -65,11 +65,12 @@ class Channel {
   size_t bytes_bob_ = 0;
 };
 
-/// Bundles every message of `sub` (all must come from `from`) into one
-/// length-prefixed message on `main`. Composite protocols (graph and forest
-/// reconciliation) run a sets-of-sets sub-protocol whose transmissions are
-/// all in one direction, then ship the sub-transcript plus their own payload
-/// as a single round; this helper keeps the byte accounting exact.
+/// Bundles every message of `sub` into one length-prefixed message on
+/// `main`, attributed to `from`. Composite protocols (graph and forest
+/// reconciliation) run a sets-of-sets sub-protocol locally, then ship the
+/// full sub-transcript (frames keep per-message sender attribution —
+/// split-party verdict frames travel Bob→Alice) plus their own payload as
+/// a single round; this helper keeps the byte accounting exact.
 size_t ForwardAsSingleMessage(const Channel& sub, Party from, Channel* main,
                               std::string label);
 

@@ -16,12 +16,15 @@ std::pair<Endpoint, Endpoint> Endpoint::LoopbackPair() {
   return {std::move(a), std::move(b)};
 }
 
-size_t Endpoint::Send(Channel::Message message) {
-  if (peer_inbox_ == nullptr) return messages_sent_;  // Unconnected: drop.
+bool Endpoint::Send(Channel::Message message) {
+  if (peer_inbox_ == nullptr) {
+    ++dropped_;  // Unconnected: drop, but observably.
+    return false;
+  }
   bytes_sent_ += message.payload.size();
   ++messages_sent_;
   peer_inbox_->messages.push_back(std::move(message));
-  return messages_sent_;
+  return true;
 }
 
 bool Endpoint::Poll(Channel::Message* out) {

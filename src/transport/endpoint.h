@@ -34,10 +34,11 @@ class Endpoint {
   /// True when connected to a peer (made by LoopbackPair).
   bool connected() const { return inbox_ != nullptr; }
 
-  /// Enqueues `message` for the peer. Returns the total messages this half
-  /// has sent. On an unconnected endpoint the message is dropped (and not
-  /// counted), mirroring Poll()'s idle behavior.
-  size_t Send(Channel::Message message);
+  /// Enqueues `message` for the peer. Returns true when queued; false when
+  /// this endpoint is unconnected — the message is DROPPED, and the drop is
+  /// counted in dropped() so a net-layer disconnect is observable instead
+  /// of silent (the SyncService surfaces it as ServiceStats::mirror_drops).
+  bool Send(Channel::Message message);
 
   /// Dequeues the oldest pending message into `out`; false when idle.
   bool Poll(Channel::Message* out);
@@ -47,6 +48,8 @@ class Endpoint {
 
   size_t messages_sent() const { return messages_sent_; }
   size_t bytes_sent() const { return bytes_sent_; }
+  /// Messages dropped by Send on an unconnected endpoint.
+  size_t dropped() const { return dropped_; }
 
   /// Drains every pending inbox message into `writer` as wire frames (the
   /// PackTranscript per-message format, transport/channel.h's
@@ -63,6 +66,7 @@ class Endpoint {
   std::shared_ptr<Queue> peer_inbox_;
   size_t messages_sent_ = 0;
   size_t bytes_sent_ = 0;
+  size_t dropped_ = 0;
 };
 
 /// Incremental decoder for a stream of wire frames (the exact per-message

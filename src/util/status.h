@@ -28,7 +28,13 @@ enum class StatusCode {
   kParseError,
   /// Protocol ran out of retry attempts.
   kExhausted,
+  /// The communication peer went away mid-protocol (net layer).
+  kUnavailable,
 };
+
+/// Highest valid StatusCode — keep in step when appending codes (wire
+/// status payloads validate against it; see core/split_party.cc).
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kUnavailable;
 
 /// Returns a human-readable name for `code`.
 const char* StatusCodeName(StatusCode code);
@@ -76,6 +82,9 @@ inline Status ParseError(std::string msg) {
 }
 inline Status Exhausted(std::string msg) {
   return Status(StatusCode::kExhausted, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
 }
 
 /// A value or an error. Accessing value() on an error aborts (assert), so
@@ -127,6 +136,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "PARSE_ERROR";
     case StatusCode::kExhausted:
       return "EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

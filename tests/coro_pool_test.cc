@@ -1,0 +1,114 @@
+// Coroutine-frame pooling: warm protocol runs must create no fresh frames
+// (per-thread freelist reuse, CoroFramePool in core/task.h), and a warm
+// tiny coroutine must not touch the global allocator at all — asserted
+// with the same operator-new counter that backs the decode-allocation
+// guarantees (bench/alloc_counter.h; include from exactly one TU).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "bench/alloc_counter.h"
+#include "core/task.h"
+#include "core/workload.h"
+#include "service/sync_service.h"
+
+namespace setrec {
+namespace {
+
+Task<int> Tiny(int x) { co_return x + 1; }
+
+TEST(CoroFramePool, WarmTinyCoroutineIsAllocationFree) {
+  // Warm the size class.
+  EXPECT_EQ(RunSync(Tiny(1)), 2);
+  size_t allocs = CountAllocs([] {
+    for (int i = 0; i < 64; ++i) {
+      if (RunSync(Tiny(i)) != i + 1) std::abort();
+    }
+  });
+  EXPECT_EQ(allocs, 0u)
+      << "warm coroutine frames must come from the freelist";
+}
+
+TEST(CoroFramePool, FramesRecycleAcrossProtocolRuns) {
+  SsrWorkloadSpec spec;
+  spec.num_children = 12;
+  spec.child_size = 8;
+  spec.changes = 3;
+  spec.seed = 71;
+  SsrWorkload w = MakeSsrWorkload(spec);
+  SsrParams params;
+  params.max_child_size = spec.child_size + spec.changes + 2;
+  params.seed = 710;
+
+  auto run_once = [&](SsrProtocolKind kind) {
+    std::unique_ptr<SetsOfSetsProtocol> protocol =
+        MakeSsrProtocol(kind, params);
+    Channel channel;
+    Result<SsrOutcome> outcome =
+        protocol->Reconcile(w.alice, w.bob, w.applied_changes, &channel);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  };
+
+  const SsrProtocolKind kinds[] = {
+      SsrProtocolKind::kNaive, SsrProtocolKind::kIblt2,
+      SsrProtocolKind::kCascade, SsrProtocolKind::kMultiRound};
+  // Cold pass populates the freelists with every frame shape the four
+  // protocols use.
+  for (SsrProtocolKind kind : kinds) run_once(kind);
+  const CoroFramePool::Stats cold = CoroFramePool::ThreadStats();
+  EXPECT_GT(cold.fresh, 0u);
+
+  // Warm passes must reuse every frame.
+  for (int round = 0; round < 3; ++round) {
+    for (SsrProtocolKind kind : kinds) run_once(kind);
+  }
+  const CoroFramePool::Stats warm = CoroFramePool::ThreadStats();
+  EXPECT_EQ(warm.fresh, cold.fresh)
+      << "warm protocol runs allocated fresh coroutine frames";
+  EXPECT_EQ(warm.oversize, cold.oversize);
+  EXPECT_GT(warm.reuses, cold.reuses);
+}
+
+TEST(CoroFramePool, WarmServiceSessionsReuseFrames) {
+  SsrWorkloadSpec spec;
+  spec.num_children = 12;
+  spec.child_size = 8;
+  spec.changes = 2;
+  spec.seed = 72;
+  SsrWorkload w = MakeSsrWorkload(spec);
+  SsrParams params;
+  params.max_child_size = spec.child_size + spec.changes + 2;
+  params.seed = 720;
+
+  SyncService service;
+  auto alice = std::make_shared<SetOfSets>(w.alice);
+  auto bob = std::make_shared<SetOfSets>(w.bob);
+  auto submit = [&] {
+    for (int i = 0; i < 4; ++i) {
+      SessionSpec session;
+      session.protocol = static_cast<SsrProtocolKind>(i);
+      session.params = params;
+      session.alice = alice;
+      session.bob = bob;
+      session.known_d = w.applied_changes;
+      service.Submit(std::move(session));
+    }
+    service.RunToCompletion();
+    for (const SessionResult& r : service.TakeResults()) {
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    }
+  };
+
+  submit();  // Cold: allocates each protocol's frame shapes once.
+  const CoroFramePool::Stats cold = CoroFramePool::ThreadStats();
+  for (int round = 0; round < 3; ++round) submit();
+  const CoroFramePool::Stats warm = CoroFramePool::ThreadStats();
+  EXPECT_EQ(warm.fresh, cold.fresh)
+      << "warm service sessions allocated fresh coroutine frames";
+  EXPECT_GT(warm.reuses, cold.reuses);
+}
+
+}  // namespace
+}  // namespace setrec

@@ -171,5 +171,98 @@ TEST(EndpointTest, IncompleteFrameWaitsForMoreBytes) {
   EXPECT_EQ(m.payload.size(), 300u);
 }
 
+TEST(FrameDecoderAdversarial, TwoChunkSplitAtEverySplitPoint) {
+  // A multi-frame stream split into two feeds at EVERY byte position must
+  // decode to the identical message sequence — the exact situation a
+  // socket read boundary produces (partial varints, half labels, split
+  // payloads).
+  ByteWriter w;
+  std::vector<Channel::Message> sent;
+  sent.push_back(Msg(Party::kAlice, "", {}));
+  sent.push_back(Msg(Party::kBob, "ack", {1}));
+  sent.push_back(
+      Msg(Party::kAlice, std::string(130, 'L'),  // 2-byte label varint.
+          std::vector<uint8_t>(200, 9)));
+  for (const Channel::Message& m : sent) WriteMessageFrame(m, &w);
+  const std::vector<uint8_t>& bytes = w.bytes();
+
+  for (size_t split = 0; split <= bytes.size(); ++split) {
+    FrameDecoder decoder;
+    std::vector<Channel::Message> received;
+    Channel::Message m;
+    decoder.Feed(bytes.data(), split);
+    while (decoder.Next(&m)) received.push_back(std::move(m));
+    decoder.Feed(bytes.data() + split, bytes.size() - split);
+    while (decoder.Next(&m)) received.push_back(std::move(m));
+    ASSERT_FALSE(decoder.failed()) << "split at " << split;
+    ASSERT_EQ(received.size(), sent.size()) << "split at " << split;
+    for (size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(received[i].from, sent[i].from) << "split at " << split;
+      EXPECT_EQ(received[i].label, sent[i].label) << "split at " << split;
+      EXPECT_EQ(received[i].payload, sent[i].payload)
+          << "split at " << split;
+    }
+  }
+}
+
+TEST(FrameDecoderAdversarial, TruncationAtEveryPrefixNeitherYieldsNorFails) {
+  // Every proper prefix of a valid frame is "need more bytes": no message,
+  // no failure latch — the stream can always be completed later.
+  ByteWriter w;
+  WriteMessageFrame(Msg(Party::kBob, "trunc", std::vector<uint8_t>(50, 3)),
+                    &w);
+  const std::vector<uint8_t>& bytes = w.bytes();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    FrameDecoder decoder;
+    decoder.Feed(bytes.data(), len);
+    Channel::Message m;
+    EXPECT_FALSE(decoder.Next(&m)) << "prefix " << len;
+    EXPECT_FALSE(decoder.failed()) << "prefix " << len;
+    EXPECT_EQ(decoder.buffered(), len);
+  }
+}
+
+TEST(FrameDecoderAdversarial, PayloadLengthAboveBoundLatches) {
+  // The SECOND length prefix (payload) above the bound must latch too —
+  // not just the label length.
+  FrameDecoder decoder(/*max_frame_bytes=*/1024);
+  ByteWriter w;
+  w.PutU8(1);          // Valid sender.
+  w.PutVarint(2);      // Label length 2.
+  w.PutU8('h');
+  w.PutU8('i');
+  w.PutVarint(1ull << 30);  // Hostile payload length.
+  decoder.Feed(w.bytes());
+  Channel::Message m;
+  EXPECT_FALSE(decoder.Next(&m));
+  EXPECT_TRUE(decoder.failed());
+}
+
+TEST(FrameDecoderAdversarial, OverlongVarintLengthLatches) {
+  // An 11-byte varint encoding (or payload bits past bit 63) can never be
+  // a valid length; the decoder must latch instead of waiting forever.
+  FrameDecoder decoder;
+  std::vector<uint8_t> bad = {0};  // Valid sender byte.
+  for (int i = 0; i < 10; ++i) bad.push_back(0x80);
+  bad.push_back(0x01);
+  decoder.Feed(bad);
+  Channel::Message m;
+  EXPECT_FALSE(decoder.Next(&m));
+  EXPECT_TRUE(decoder.failed());
+}
+
+TEST(EndpointTest, UnconnectedSendReportsDrop) {
+  Endpoint endpoint;
+  EXPECT_FALSE(endpoint.connected());
+  EXPECT_FALSE(endpoint.Send(Msg(Party::kAlice, "lost", {1, 2})));
+  EXPECT_EQ(endpoint.dropped(), 1u);
+  EXPECT_EQ(endpoint.messages_sent(), 0u);
+  EXPECT_EQ(endpoint.bytes_sent(), 0u);
+
+  auto [a, b] = Endpoint::LoopbackPair();
+  EXPECT_TRUE(a.Send(Msg(Party::kAlice, "kept", {3})));
+  EXPECT_EQ(a.dropped(), 0u);
+}
+
 }  // namespace
 }  // namespace setrec

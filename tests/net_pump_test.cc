@@ -1,0 +1,299 @@
+// End-to-end split-party sessions over real sockets: a NetPump-fronted
+// SyncService hosts Alice halves; remote clients drive Bob halves over
+// socketpairs, TCP loopback and Unix-domain sockets. Transcripts must be
+// byte-identical to the direct Reconcile call for the same seeds, and
+// disconnects/garbage must cancel cleanly instead of wedging the pump.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/workload.h"
+#include "net/net_pump.h"
+#include "net/stream_party.h"
+#include "net/wire.h"
+#include "service/sync_service.h"
+
+namespace setrec {
+namespace {
+
+struct Fixture {
+  SsrParams params;
+  SetOfSets alice;
+  SetOfSets bob;
+  std::optional<size_t> known_d;
+};
+
+Fixture MakeFixture(SsrProtocolKind kind, bool known_d, uint64_t salt) {
+  SsrWorkloadSpec spec;
+  spec.num_children = 16;
+  spec.child_size = 8;
+  spec.changes = 3;
+  spec.seed = 4400 + static_cast<uint64_t>(kind) * 13 + salt;
+  SsrWorkload w = MakeSsrWorkload(spec);
+  Fixture f;
+  f.params.max_child_size = spec.child_size + spec.changes + 2;
+  f.params.max_children = spec.num_children + spec.changes;
+  f.params.seed = spec.seed + 9;
+  f.alice = std::move(w.alice);
+  f.bob = std::move(w.bob);
+  if (known_d) f.known_d = w.applied_changes;
+  return f;
+}
+
+struct ClientResult {
+  Result<SsrOutcome> outcome = Status::Ok();
+  std::vector<Channel::Message> transcript;
+};
+
+/// What examples/sync_client.cpp does, inlined: hello, then Bob's half.
+ClientResult RunClient(int fd, SsrProtocolKind kind, uint64_t set_id,
+                       const Fixture& f) {
+  ClientResult result;
+  HelloSpec hello;
+  hello.protocol = kind;
+  hello.set_id = set_id;
+  hello.params = f.params;
+  hello.known_d = f.known_d;
+  if (Status s = SendHello(fd, hello); !s.ok()) {
+    result.outcome = s;
+    return result;
+  }
+  std::unique_ptr<SetsOfSetsProtocol> protocol =
+      MakeSsrProtocol(kind, f.params);
+  Channel channel;
+  result.outcome =
+      RunBobHalfOverFd(*protocol, f.bob, f.known_d, fd, &channel);
+  result.transcript = channel.transcript();
+  return result;
+}
+
+void ExpectSameTranscript(const std::vector<Channel::Message>& want,
+                          const std::vector<Channel::Message>& got,
+                          const char* what) {
+  ASSERT_EQ(want.size(), got.size()) << what;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(want[i].from), static_cast<int>(got[i].from))
+        << what << " message " << i;
+    EXPECT_EQ(want[i].label, got[i].label) << what << " message " << i;
+    EXPECT_EQ(want[i].payload, got[i].payload) << what << " message " << i;
+  }
+}
+
+struct Case {
+  SsrProtocolKind kind;
+  bool known_d;
+
+  std::string Name() const {
+    return std::string(SsrProtocolKindName(kind)) +
+           (known_d ? "_SSRK" : "_SSRU");
+  }
+};
+
+class NetPumpSocketpair : public ::testing::TestWithParam<Case> {};
+
+TEST_P(NetPumpSocketpair, SessionTranscriptMatchesDirect) {
+  const Case& c = GetParam();
+  const Fixture f = MakeFixture(c.kind, c.known_d, 1);
+
+  std::unique_ptr<SetsOfSetsProtocol> protocol =
+      MakeSsrProtocol(c.kind, f.params);
+  Channel direct_channel;
+  Result<SsrOutcome> direct =
+      protocol->Reconcile(f.alice, f.bob, f.known_d, &direct_channel);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  SyncService service;
+  uint64_t set_id =
+      service.RegisterSharedSet(std::make_shared<SetOfSets>(f.alice));
+  NetPump pump(&service);
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ASSERT_TRUE(pump.AdoptConnection(sv[0]).ok());
+
+  ClientResult client;
+  std::thread client_thread([&] {
+    client = RunClient(sv[1], c.kind, set_id, f);
+    ::close(sv[1]);
+  });
+  pump.DrainConnections();
+  client_thread.join();
+
+  ASSERT_TRUE(client.outcome.ok()) << client.outcome.status().ToString();
+  EXPECT_EQ(client.outcome.value().recovered, Canonicalize(f.alice));
+  ExpectSameTranscript(direct_channel.transcript(), client.transcript,
+                       c.Name().c_str());
+
+  std::vector<SessionResult> results = pump.TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_EQ(results[0].stats.rounds, direct.value().stats.rounds);
+  EXPECT_EQ(results[0].stats.bytes, direct.value().stats.bytes);
+  EXPECT_EQ(pump.stats().protocol_errors, 0u);
+  EXPECT_EQ(pump.stats().disconnects, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, NetPumpSocketpair,
+    ::testing::Values(Case{SsrProtocolKind::kNaive, true},
+                      Case{SsrProtocolKind::kNaive, false},
+                      Case{SsrProtocolKind::kIblt2, true},
+                      Case{SsrProtocolKind::kIblt2, false},
+                      Case{SsrProtocolKind::kCascade, true},
+                      Case{SsrProtocolKind::kCascade, false},
+                      Case{SsrProtocolKind::kMultiRound, true},
+                      Case{SsrProtocolKind::kMultiRound, false}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return info.param.Name();
+    });
+
+TEST(NetPumpTcp, ConcurrentClientsOverLoopDevice) {
+  SyncService service;
+  // One registered server set shared by all clients (the memoization path).
+  const Fixture base = MakeFixture(SsrProtocolKind::kIblt2, true, 2);
+  uint64_t set_id =
+      service.RegisterSharedSet(std::make_shared<SetOfSets>(base.alice));
+  NetPump pump(&service);
+  Result<uint16_t> port = pump.ListenTcp(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  constexpr int kClients = 6;
+  const SsrProtocolKind kinds[] = {
+      SsrProtocolKind::kNaive, SsrProtocolKind::kIblt2,
+      SsrProtocolKind::kCascade, SsrProtocolKind::kMultiRound,
+      SsrProtocolKind::kIblt2, SsrProtocolKind::kCascade};
+  std::vector<ClientResult> client_results(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      Fixture f = base;
+      // Each client drifts independently from the shared server set.
+      f.bob[static_cast<size_t>(i) % f.bob.size()].push_back(
+          (1ull << 40) + static_cast<uint64_t>(i));
+      f.bob = Canonicalize(std::move(f.bob));
+      f.known_d = 6;
+      Result<int> fd = ConnectTcp("127.0.0.1", port.value());
+      if (!fd.ok()) {
+        client_results[i].outcome = fd.status();
+        return;
+      }
+      client_results[i] = RunClient(fd.value(), kinds[i], set_id, f);
+      ::close(fd.value());
+    });
+  }
+  // Serve until every client session finished (clients connect at their
+  // own pace, so the connection set can transiently be empty).
+  size_t done = 0;
+  for (int spins = 0; spins < 20000 && done < kClients; ++spins) {
+    pump.PumpOnce(10);
+    for (SessionResult& r : pump.TakeResults()) {
+      EXPECT_TRUE(r.status.ok()) << r.label << ": " << r.status.ToString();
+      ++done;
+    }
+  }
+  for (std::thread& t : clients) t.join();
+  ASSERT_EQ(done, static_cast<size_t>(kClients));
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(client_results[i].outcome.ok())
+        << "client " << i << ": "
+        << client_results[i].outcome.status().ToString();
+    EXPECT_EQ(client_results[i].outcome.value().recovered,
+              Canonicalize(base.alice))
+        << "client " << i;
+  }
+  EXPECT_EQ(pump.stats().protocol_errors, 0u);
+  EXPECT_GE(pump.stats().accepted, static_cast<size_t>(kClients));
+}
+
+TEST(NetPumpUnix, SessionOverUnixSocket) {
+  const Fixture f = MakeFixture(SsrProtocolKind::kCascade, true, 3);
+  SyncService service;
+  uint64_t set_id =
+      service.RegisterSharedSet(std::make_shared<SetOfSets>(f.alice));
+  NetPump pump(&service);
+  const std::string path =
+      "/tmp/setrec_net_test_" + std::to_string(::getpid()) + ".sock";
+  ASSERT_TRUE(pump.ListenUnix(path).ok());
+
+  ClientResult client;
+  std::thread client_thread([&] {
+    Result<int> fd = ConnectUnix(path);
+    if (!fd.ok()) {
+      client.outcome = fd.status();
+      return;
+    }
+    client = RunClient(fd.value(), SsrProtocolKind::kCascade, set_id, f);
+    ::close(fd.value());
+  });
+  size_t done = 0;
+  for (int spins = 0; spins < 20000 && done == 0; ++spins) {
+    pump.PumpOnce(10);
+    done += pump.TakeResults().size();
+  }
+  client_thread.join();
+  ASSERT_EQ(done, 1u);
+  ASSERT_TRUE(client.outcome.ok()) << client.outcome.status().ToString();
+  EXPECT_EQ(client.outcome.value().recovered, Canonicalize(f.alice));
+}
+
+TEST(NetPumpFailures, MidSessionDisconnectCancelsTheSession) {
+  const Fixture f = MakeFixture(SsrProtocolKind::kNaive, true, 4);
+  SyncService service;
+  uint64_t set_id =
+      service.RegisterSharedSet(std::make_shared<SetOfSets>(f.alice));
+  NetPump pump(&service);
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ASSERT_TRUE(pump.AdoptConnection(sv[0]).ok());
+
+  // Hello only, then hang up: the server's Alice half sends her opener and
+  // parks on the verdict that never comes.
+  HelloSpec hello;
+  hello.protocol = SsrProtocolKind::kNaive;
+  hello.set_id = set_id;
+  hello.params = f.params;
+  hello.known_d = f.known_d;
+  ASSERT_TRUE(SendHello(sv[1], hello).ok());
+  // Give the pump a chance to admit the session and write the opener.
+  for (int i = 0; i < 10; ++i) pump.PumpOnce(10);
+  ::close(sv[1]);
+  pump.DrainConnections();
+
+  std::vector<SessionResult> results = pump.TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].status.ok());
+  EXPECT_EQ(results[0].status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(pump.stats().disconnects, 1u);
+  EXPECT_EQ(service.stats().sessions_cancelled, 1u);
+  EXPECT_EQ(pump.connection_count(), 0u);
+}
+
+TEST(NetPumpFailures, GarbageHelloDropsConnectionWithoutSession) {
+  SyncService service;
+  NetPump pump(&service);
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ASSERT_TRUE(pump.AdoptConnection(sv[0]).ok());
+
+  // A syntactically valid frame that is not a hello.
+  Channel::Message bogus{Party::kBob, {1, 2, 3}, "not-hello"};
+  ASSERT_TRUE(WriteFrameToFd(sv[1], bogus).ok());
+  for (int i = 0; i < 10 && pump.connection_count() > 0; ++i) {
+    pump.PumpOnce(10);
+  }
+  ::close(sv[1]);
+  EXPECT_EQ(pump.connection_count(), 0u);
+  EXPECT_EQ(pump.stats().protocol_errors, 1u);
+  EXPECT_TRUE(pump.TakeResults().empty());
+  EXPECT_EQ(service.stats().sessions_submitted, 0u);
+}
+
+}  // namespace
+}  // namespace setrec

@@ -89,9 +89,12 @@ TEST_P(SsrProtocolSweep, RecoversAliceExactly) {
   EXPECT_EQ(outcome.value().recovered, Canonicalize(w.alice));
   EXPECT_GT(channel.total_bytes(), 0u);
   if (c.known_d && c.kind != ProtocolKind::kMultiRound) {
-    // One round per attempt for the one-way protocols.
+    // Two rounds per attempt for the one-way protocols: Alice's data
+    // message plus Bob's verdict frame (the split-party protocols put the
+    // per-attempt success/failure signal on the wire; see
+    // core/split_party.h).
     EXPECT_EQ(channel.rounds(),
-              static_cast<size_t>(outcome.value().stats.attempts));
+              2 * static_cast<size_t>(outcome.value().stats.attempts));
   }
 }
 

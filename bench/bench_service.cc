@@ -17,8 +17,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -29,9 +31,11 @@
 #include "bench/bench_util.h"
 #include "core/workload.h"
 #include "hashing/random.h"
+#include "net/multi_pump.h"
 #include "net/net_pump.h"
 #include "net/stream_party.h"
 #include "net/wire.h"
+#include "service/sharded_service.h"
 #include "service/sync_service.h"
 
 namespace setrec {
@@ -152,6 +156,41 @@ DriverResult RunService(const Workload& w, const IbltBatchOptions& batch,
   return r;
 }
 
+/// The multi-core path: the same loopback workload through a
+/// ShardedSyncService with `shards` driver threads.
+DriverResult RunShardedService(const Workload& w,
+                               const IbltBatchOptions& batch, size_t shards,
+                               size_t max_inflight = 0) {
+  ShardedSyncServiceOptions options;
+  options.shards = shards;
+  options.service.batch = batch;
+  options.service.max_inflight =
+      max_inflight == 0 ? w.clients.size() : max_inflight;
+  options.service.keep_recovered = false;
+  ShardedSyncService service(options);
+  service.RegisterSharedSet(w.server);
+  DriverResult r;
+  r.seconds = bench::TimeSeconds([&] {
+    for (size_t i = 0; i < w.clients.size(); ++i) {
+      SessionSpec session;
+      session.protocol = w.kinds[i];
+      session.params = w.params;
+      session.alice = w.server;
+      session.bob = w.clients[i];
+      session.known_d = w.known_d;
+      service.Submit(std::move(session));
+    }
+    service.RunToCompletion();
+  });
+  const ServiceStats stats = service.AggregateStats();
+  r.completed = stats.sessions_completed;
+  r.failed = stats.sessions_failed;
+  r.bytes = stats.total_bytes;
+  r.rounds = stats.total_rounds;
+  r.service_stats = stats;
+  return r;
+}
+
 void PrintComparison(const char* name, const DriverResult& direct,
                      const DriverResult& service, size_t sessions,
                      const IbltBatchOptions& batch) {
@@ -262,6 +301,116 @@ NetBenchResult RunNetBench(size_t sessions) {
   r.round_trips_per_sec = static_cast<double>(r.wire_frames) / r.seconds;
   r.sessions_per_sec = static_cast<double>(sessions) / r.seconds;
   return r;
+}
+
+/// --shards sweep unit: the socketpair net workload against a MultiNetPump
+/// (one pump thread per shard) with `shards` concurrent client threads, so
+/// wire concurrency scales with the shard count being measured.
+NetBenchResult RunShardedNetBench(size_t sessions, size_t shards) {
+  Workload w = MakeWorkload(sessions, /*children=*/48, /*child_size=*/8,
+                            /*d=*/2, /*seed=*/77);
+  ShardedSyncServiceOptions service_options;
+  service_options.shards = shards;
+  service_options.spawn_threads = false;  // Pump threads drive the shards.
+  ShardedSyncService service(service_options);
+  service.RegisterSharedSet(w.server);
+  MultiNetPumpOptions pump_options;
+  pump_options.poll_timeout_ms = 20;
+  MultiNetPump pump(&service, pump_options);
+
+  std::vector<int> client_fds(sessions);
+  for (size_t i = 0; i < sessions; ++i) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      std::fprintf(stderr, "bench_service --shards: socketpair failed\n");
+      std::exit(1);
+    }
+    pump.AdoptConnection(sv[0]);
+    client_fds[i] = sv[1];
+    timeval timeout{30, 0};
+    ::setsockopt(client_fds[i], SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                 sizeof(timeout));
+  }
+
+  NetBenchResult r;
+  r.sessions = sessions;
+  std::vector<double> latencies_ms(sessions, 0.0);
+  std::atomic<size_t> client_failed{0};
+  r.seconds = bench::TimeSeconds([&] {
+    pump.Start();
+    std::vector<std::thread> clients;
+    clients.reserve(shards);
+    for (size_t t = 0; t < shards; ++t) {
+      clients.emplace_back([&, t] {
+        for (size_t i = t; i < sessions; i += shards) {
+          auto start = std::chrono::steady_clock::now();
+          HelloSpec hello;
+          hello.protocol = w.kinds[i];
+          hello.set_id = 1;
+          hello.params = w.params;
+          hello.known_d = w.known_d;
+          std::unique_ptr<SetsOfSetsProtocol> protocol =
+              MakeSsrProtocol(w.kinds[i], w.params);
+          Channel channel;
+          bool ok = SendHello(client_fds[i], hello).ok();
+          if (ok) {
+            Result<SsrOutcome> outcome = RunBobHalfOverFd(
+                *protocol, *w.clients[i], w.known_d, client_fds[i],
+                &channel);
+            ok = outcome.ok();
+          }
+          ::close(client_fds[i]);
+          if (!ok) client_failed.fetch_add(1);
+          latencies_ms[i] =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+        }
+      });
+    }
+    for (std::thread& c : clients) c.join();
+    // Bounded wait for the last results to be harvested, then stop.
+    for (int spin = 0; spin < 500 && pump.results_seen() < sessions;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    pump.Stop();
+  });
+  r.failed =
+      client_failed.load() + (sessions - std::min(sessions,
+                                                  pump.results_seen()));
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  r.p50_ms = latencies_ms[sessions / 2];
+  r.p99_ms = latencies_ms[std::min(sessions - 1, sessions * 99 / 100)];
+  const NetPumpStats stats = pump.AggregateStats();
+  r.wire_frames = stats.frames_in + stats.frames_out;
+  r.round_trips_per_sec = static_cast<double>(r.wire_frames) / r.seconds;
+  r.sessions_per_sec = static_cast<double>(sessions) / r.seconds;
+  return r;
+}
+
+struct ShardSweepRow {
+  size_t shards;
+  double sessions_per_sec = 0;
+  double seconds = 0;
+  size_t failed = 0;
+  NetBenchResult net;
+};
+
+/// One --shards row: the 10k mixed loopback workload through the sharded
+/// service, plus the socketpair net workload through the multi-pump.
+ShardSweepRow MeasureShardRow(const Workload& w, size_t shards,
+                              size_t net_sessions) {
+  IbltBatchOptions batch;
+  ShardSweepRow row;
+  row.shards = shards;
+  DriverResult loopback = RunShardedService(w, batch, shards, 512);
+  row.seconds = loopback.seconds;
+  row.failed = loopback.failed;
+  row.sessions_per_sec =
+      static_cast<double>(w.clients.size()) / loopback.seconds;
+  row.net = RunShardedNetBench(net_sessions, shards);
+  return row;
 }
 
 int RunJsonSuite() {
@@ -383,9 +532,59 @@ int RunJsonSuite() {
       "  \"net\": {\"sessions\": %zu, \"transport\": \"socketpair\", "
       "\"seconds\": %.3f, \"sessions_per_sec\": %.0f,\n"
       "    \"round_trips_per_sec\": %.0f, \"wire_frames\": %zu, "
-      "\"p50_session_ms\": %.3f, \"p99_session_ms\": %.3f}\n",
+      "\"p50_session_ms\": %.3f, \"p99_session_ms\": %.3f},\n",
       net.sessions, net.seconds, net.sessions_per_sec,
       net.round_trips_per_sec, net.wire_frames, net.p50_ms, net.p99_ms);
+  json += buf;
+
+  // Shard-count sweep: the same 10k mixed workload through the
+  // ShardedSyncService at 1, 2, 4, ... shards (always through 4 so the
+  // row set is comparable across machines; hardware_concurrency says how
+  // many of those shard counts have real cores behind them on THIS box).
+  const unsigned hc = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<size_t> shard_counts{1, 2, 4};
+  for (size_t s = 8; s <= hc; s *= 2) shard_counts.push_back(s);
+  std::vector<ShardSweepRow> shard_rows;
+  for (size_t shards : shard_counts) {
+    shard_rows.push_back(MeasureShardRow(w, shards, /*net_sessions=*/512));
+    const ShardSweepRow& row = shard_rows.back();
+    if (row.failed != 0 || row.net.failed != 0) {
+      std::fprintf(stderr,
+                   "bench_service: shard sweep failures at shards=%zu "
+                   "(%zu loopback, %zu net)\n",
+                   shards, row.failed, row.net.failed);
+      return 1;
+    }
+    std::printf("shards=%zu  %8.0f sessions/sec  net %.0f round-trips/sec "
+                "p50 %.2fms p99 %.2fms\n",
+                row.shards, row.sessions_per_sec,
+                row.net.round_trips_per_sec, row.net.p50_ms, row.net.p99_ms);
+  }
+  std::snprintf(buf, sizeof buf,
+                "  \"sharded\": {\"hardware_concurrency\": %u, "
+                "\"workload_sessions\": %zu, \"net_sessions\": 512,\n"
+                "    \"sweep\": [\n",
+                hc, kSessions);
+  json += buf;
+  for (size_t i = 0; i < shard_rows.size(); ++i) {
+    const ShardSweepRow& row = shard_rows[i];
+    std::snprintf(
+        buf, sizeof buf,
+        "      {\"shards\": %zu, \"sessions_per_sec\": %.0f, "
+        "\"seconds\": %.3f,\n"
+        "       \"net\": {\"sessions_per_sec\": %.0f, "
+        "\"round_trips_per_sec\": %.0f, \"p50_session_ms\": %.3f, "
+        "\"p99_session_ms\": %.3f}}%s\n",
+        row.shards, row.sessions_per_sec, row.seconds,
+        row.net.sessions_per_sec, row.net.round_trips_per_sec,
+        row.net.p50_ms, row.net.p99_ms,
+        i + 1 < shard_rows.size() ? "," : "");
+    json += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "    ],\n    \"speedup_4_over_1\": %.2f}\n",
+                shard_rows[2].sessions_per_sec /
+                    shard_rows[0].sessions_per_sec);
   json += buf;
   json += "}\n";
 
@@ -407,6 +606,51 @@ int RunJsonSuite() {
               stats.sharded_flushes, stats.flushes, net.sessions_per_sec,
               net.round_trips_per_sec, net.p50_ms, net.p99_ms);
   return 0;
+}
+
+/// The headline 10k direct-vs-service comparison alone (median of 3,
+/// interleaved) — a fast signal for perf work, without the sweeps the
+/// full --json suite runs.
+int RunQuickSuite() {
+  const size_t kSessions = 10'000;
+  const int kReps = 3;
+  Workload w = MakeWorkload(kSessions, /*children=*/64, /*child_size=*/8,
+                            /*d=*/2, /*seed=*/41);
+  IbltBatchOptions batch;
+  std::vector<double> direct_secs, service_secs;
+  for (int rep = 0; rep < kReps; ++rep) {
+    direct_secs.push_back(RunDirect(w).seconds);
+    service_secs.push_back(RunService(w, batch, 512).seconds);
+  }
+  std::sort(direct_secs.begin(), direct_secs.end());
+  std::sort(service_secs.begin(), service_secs.end());
+  const double direct_rate =
+      static_cast<double>(kSessions) / direct_secs[kReps / 2];
+  const double service_rate =
+      static_cast<double>(kSessions) / service_secs[kReps / 2];
+  std::printf("direct  %8.0f sessions/sec\nservice %8.0f sessions/sec "
+              "(%.2fx)\n",
+              direct_rate, service_rate, service_rate / direct_rate);
+  return 0;
+}
+
+int RunShardsSuite(size_t shards) {
+  bench::Header("service --shards",
+                "10k mixed sessions through the sharded service");
+  const size_t kSessions = 10'000;
+  Workload w = MakeWorkload(kSessions, /*children=*/64, /*child_size=*/8,
+                            /*d=*/2, /*seed=*/41);
+  ShardSweepRow row = MeasureShardRow(w, shards, /*net_sessions=*/512);
+  std::printf("shards                %zu (hardware_concurrency %u)\n",
+              row.shards, std::thread::hardware_concurrency());
+  std::printf("loopback sessions/sec %.0f (%zu sessions, %zu failed)\n",
+              row.sessions_per_sec, kSessions, row.failed);
+  std::printf("net sessions/sec      %.0f (512 sessions, %zu failed)\n",
+              row.net.sessions_per_sec, row.net.failed);
+  std::printf("net round-trips/sec   %.0f\n", row.net.round_trips_per_sec);
+  std::printf("net latency           p50 %.3f ms, p99 %.3f ms\n",
+              row.net.p50_ms, row.net.p99_ms);
+  return (row.failed == 0 && row.net.failed == 0) ? 0 : 1;
 }
 
 int RunNetSuite() {
@@ -466,6 +710,17 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--net") == 0) {
       return setrec::RunNetSuite();
+    }
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      return setrec::RunQuickSuite();
+    }
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      const long shards = std::strtol(argv[i] + 9, nullptr, 10);
+      if (shards < 1 || shards > 256) {
+        std::fprintf(stderr, "bench_service: bad --shards value\n");
+        return 1;
+      }
+      return setrec::RunShardsSuite(static_cast<size_t>(shards));
     }
   }
   setrec::RunTableSuite();

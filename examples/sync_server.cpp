@@ -8,12 +8,15 @@
 //                   cross-session batch planner, plus opaque graph /
 //                   forest / shingle sessions sharing the same scheduler.
 //
-//  --listen=tcp:PORT | --listen=unix:PATH  [--serve=N]
+//  --listen=tcp:PORT | --listen=unix:PATH  [--serve=N] [--shards=K]
 //                   REAL remote clients: a src/net/ NetPump accepts
 //                   connections, decodes wire frames, and the service
 //                   hosts only the Alice half of each session against the
 //                   remote Bob half (see examples/sync_client.cpp).
 //                   Serves N sessions then exits (0 = forever).
+//                   --shards=K (TCP only) runs the multi-core shape: K
+//                   service shards, one pump thread each, all listening on
+//                   the same port with SO_REUSEPORT.
 //
 //  --selftest-net   End-to-end loop-device check: listens on an ephemeral
 //                   TCP port, drives a real client (the sync_client code
@@ -42,15 +45,68 @@
 #include "graph/degree_ordering.h"
 #include "graph/separated_instance.h"
 #include "hashing/random.h"
+#include "net/multi_pump.h"
 #include "net/net_pump.h"
 #include "net/stream_party.h"
 #include "net/wire.h"
+#include "service/sharded_service.h"
 #include "service/sync_service.h"
 #include "transport/endpoint.h"
 
 namespace {
 
 using namespace setrec;
+
+/// The multi-core server: K shards, one pump thread per shard, one
+/// SO_REUSEPORT TCP listener per pump.
+int RunListenSharded(uint16_t want_port, size_t serve_count, size_t shards) {
+  ShardedSyncServiceOptions service_options;
+  service_options.shards = shards;
+  service_options.spawn_threads = false;  // Pump threads drive the shards.
+  ShardedSyncService service(service_options);
+  auto server_set = std::make_shared<SetOfSets>(net_demo::MakeServerSet());
+  uint64_t set_id = service.RegisterSharedSet(server_set);
+
+  MultiNetPump pump(&service);
+  Result<uint16_t> port = pump.ListenTcp(want_port);
+  if (!port.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n",
+                 port.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on tcp port %u with %zu shard pumps "
+              "(SO_REUSEPORT; shared set id %llu, %zu children)\n",
+              port.value(), pump.pump_count(),
+              static_cast<unsigned long long>(set_id), server_set->size());
+  std::fflush(stdout);
+  pump.Start();
+
+  size_t served = 0, failed = 0;
+  while (serve_count == 0 || served < serve_count) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    for (const SessionResult& r : pump.TakeResults()) {
+      ++served;
+      if (!r.status.ok()) {
+        ++failed;
+        std::printf("session %llu (%s): %s\n",
+                    static_cast<unsigned long long>(r.id), r.label.c_str(),
+                    r.status.ToString().c_str());
+      } else {
+        std::printf("session %llu (%s): ok, %zu rounds, %zu bytes\n",
+                    static_cast<unsigned long long>(r.id), r.label.c_str(),
+                    r.stats.rounds, r.stats.bytes);
+      }
+      std::fflush(stdout);
+    }
+  }
+  pump.Stop();
+  const ServiceStats stats = service.AggregateStats();
+  std::printf("served %zu sessions (%zu failed) across %zu shards; cache "
+              "%zu hits / %zu lookups; %zu remote frames in\n",
+              served, failed, shards, stats.cache_hits,
+              stats.cache_hits + stats.cache_misses, stats.remote_messages);
+  return failed == 0 ? 0 : 1;
+}
 
 int RunListen(const std::string& target, size_t serve_count) {
   SyncService service;
@@ -189,12 +245,28 @@ int main(int argc, char** argv) {
     if (arg == "--selftest-net") return RunNetSelftest();
     if (arg.rfind("--listen=", 0) == 0) {
       size_t serve = 0;
+      size_t shards = 1;
       for (int j = 1; j < argc; ++j) {
         if (std::strncmp(argv[j], "--serve=", 8) == 0) {
           serve = std::strtoull(argv[j] + 8, nullptr, 10);
         }
+        if (std::strncmp(argv[j], "--shards=", 9) == 0) {
+          shards = std::strtoull(argv[j] + 9, nullptr, 10);
+        }
       }
-      return RunListen(arg.substr(9), serve);
+      const std::string target = arg.substr(9);
+      if (shards > 1) {
+        if (target.rfind("tcp:", 0) != 0) {
+          std::fprintf(stderr,
+                       "--shards needs --listen=tcp:PORT (SO_REUSEPORT)\n");
+          return 2;
+        }
+        return RunListenSharded(
+            static_cast<uint16_t>(
+                std::strtoul(target.c_str() + 4, nullptr, 10)),
+            serve, shards);
+      }
+      return RunListen(target, serve);
     }
   }
   return RunLoopbackDemo();

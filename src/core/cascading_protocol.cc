@@ -373,34 +373,30 @@ Task<Status> CascadingProtocol::ReconcileAsyncAlice(
   }
   size_t next = 0;
 
-  Status last = DecodeFailure("no attempts made");
   const int trials = known_d.has_value() ? params_.max_attempts
                                          : kMaxDoublings;
   size_t d = known_d.has_value() ? std::max<size_t>(*known_d, 1) : 2;
-  for (int trial = 0; trial < trials; ++trial) {
-    uint64_t seed = DeriveSeed(
-        params_.seed,
-        kAttemptTag + (known_d.has_value() ? trial : 1000 + trial));
-    size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
-    Status sent =
-        co_await AttemptAlice(alice, d, d_hat, seed, &next, channel, ctx);
-    if (!sent.ok()) {
-      co_return co_await SendAbort(ctx, channel, Party::kAlice, sent);
-    }
-    Result<AttemptVerdict> verdict =
-        co_await ReceiveVerdict(ctx, channel, &next);
-    if (!verdict.ok()) co_return verdict.status();
-    if (verdict.value().ok) co_return Status::Ok();
-    last = verdict.value().status;
-    // Clamped identically in both halves: a remote peer's fail verdicts
-    // must not drive level counts / sketch sizes without bound.
-    if (!known_d.has_value()) {
-      d = std::min<size_t>(d * 2, MaxWireDHat(/*key_width=*/8));
-    }
-  }
-  co_return Exhausted(std::string("cascade (") +
-                      (known_d.has_value() ? "SSRK" : "SSRU") +
-                      ") failed: " + last.ToString());
+  co_return co_await RunAliceTrials(
+      ctx, channel, &next, trials,
+      [&](int trial) {
+        return DeriveSeed(
+            params_.seed,
+            kAttemptTag + (known_d.has_value() ? trial : 1000 + trial));
+      },
+      [&](int, uint64_t seed) {
+        size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
+        return AttemptAlice(alice, d, d_hat, seed, &next, channel, ctx);
+      },
+      [&] {
+        // Clamped identically in both halves: a remote peer's fail
+        // verdicts must not drive level counts / sketch sizes without
+        // bound.
+        if (!known_d.has_value()) {
+          d = std::min<size_t>(d * 2, MaxWireDHat(/*key_width=*/8));
+        }
+      },
+      std::string("cascade (") + (known_d.has_value() ? "SSRK" : "SSRU") +
+          ") failed: ");
 }
 
 Task<Result<SsrOutcome>> CascadingProtocol::ReconcileAsyncBob(
@@ -418,39 +414,28 @@ Task<Result<SsrOutcome>> CascadingProtocol::ReconcileAsyncBob(
     co_return co_await SendAbort(ctx, channel, Party::kBob, valid);
   }
 
-  Status last = DecodeFailure("no attempts made");
   const int trials = known_d.has_value() ? params_.max_attempts
                                          : kMaxDoublings;
   size_t d = known_d.has_value() ? std::max<size_t>(*known_d, 1) : 2;
-  for (int trial = 0; trial < trials; ++trial) {
-    uint64_t seed = DeriveSeed(
-        params_.seed,
-        kAttemptTag + (known_d.has_value() ? trial : 1000 + trial));
-    size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
-    bool peer_aborted = false;
-    Result<SetOfSets> recovered =
-        co_await AttemptBob(bob, d, d_hat, seed, &next, &peer_aborted,
-                            channel, ctx);
-    if (peer_aborted) co_return recovered.status();
-    if (recovered.ok()) {
-      co_await SendVerdict(ctx, channel, Party::kBob, Status::Ok(), &next);
-      SsrOutcome outcome;
-      outcome.recovered = std::move(recovered).value();
-      outcome.stats = {channel->rounds(), channel->total_bytes(), trial + 1};
-      co_return outcome;
-    }
-    last = recovered.status();
-    if (last.code() == StatusCode::kParseError) {
-      co_return co_await SendAbort(ctx, channel, Party::kBob, last);
-    }
-    co_await SendVerdict(ctx, channel, Party::kBob, last, &next);
-    if (!known_d.has_value()) {
-      d = std::min<size_t>(d * 2, MaxWireDHat(/*key_width=*/8));
-    }
-  }
-  co_return Exhausted(std::string("cascade (") +
-                      (known_d.has_value() ? "SSRK" : "SSRU") +
-                      ") failed: " + last.ToString());
+  co_return co_await RunBobTrials(
+      ctx, channel, &next, trials,
+      [&](int trial) {
+        return DeriveSeed(
+            params_.seed,
+            kAttemptTag + (known_d.has_value() ? trial : 1000 + trial));
+      },
+      [&](int, uint64_t seed, bool* peer_aborted) {
+        size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
+        return AttemptBob(bob, d, d_hat, seed, &next, peer_aborted, channel,
+                          ctx);
+      },
+      [&] {
+        if (!known_d.has_value()) {
+          d = std::min<size_t>(d * 2, MaxWireDHat(/*key_width=*/8));
+        }
+      },
+      std::string("cascade (") + (known_d.has_value() ? "SSRK" : "SSRU") +
+          ") failed: ");
 }
 
 }  // namespace setrec

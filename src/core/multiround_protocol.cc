@@ -571,20 +571,21 @@ Task<Status> MultiRoundProtocol::ReconcileAsyncAlice(
         MaxWireDHat(/*key_width=*/8));
   }
 
-  Status last = DecodeFailure("no attempts made");
-  for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
-    uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
-    AttemptEnd end = AttemptEnd::kRetry;
-    Status s = co_await AttemptAlice(alice, known_d, d_hat, estimated, seed,
-                                     &next, &end, channel, ctx);
-    if (end == AttemptEnd::kOk) co_return Status::Ok();
-    if (end == AttemptEnd::kTerminal) co_return s;
-    last = s;
-    if (estimated) {
-      d_hat = std::min<size_t>(d_hat * 2, MaxWireDHat(/*key_width=*/8));
-    }
-  }
-  co_return Exhausted("multiround failed: " + last.ToString());
+  // Shared trial driver (AttemptEnd flavor: the verdict exchange is
+  // interleaved with the attempt's own four messages).
+  co_return co_await RunAliceEndTrials(
+      params_.max_attempts,
+      [&](int trial) { return DeriveSeed(params_.seed, kAttemptTag + trial); },
+      [&](int, uint64_t seed, AttemptEnd* end) {
+        return AttemptAlice(alice, known_d, d_hat, estimated, seed, &next,
+                            end, channel, ctx);
+      },
+      [&] {
+        if (estimated) {
+          d_hat = std::min<size_t>(d_hat * 2, MaxWireDHat(/*key_width=*/8));
+        }
+      },
+      "multiround failed: ");
 }
 
 Task<Result<SsrOutcome>> MultiRoundProtocol::ReconcileAsyncBob(
@@ -628,23 +629,15 @@ Task<Result<SsrOutcome>> MultiRoundProtocol::ReconcileAsyncBob(
     ++next;
   }
 
-  Status last = DecodeFailure("no attempts made");
-  for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
-    uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
-    AttemptEnd end = AttemptEnd::kRetry;
-    Result<SetOfSets> recovered = co_await AttemptBob(
-        bob, &d_hat, estimated, seed, &next, &end, channel, ctx);
-    if (end == AttemptEnd::kTerminal) co_return recovered.status();
-    if (end == AttemptEnd::kOk) {
-      SsrOutcome outcome;
-      outcome.recovered = std::move(recovered).value();
-      outcome.stats = {channel->rounds(), channel->total_bytes(),
-                       attempt + 1};
-      co_return outcome;
-    }
-    last = recovered.status();
-  }
-  co_return Exhausted("multiround failed: " + last.ToString());
+  // Bob's retry state (d_hat) rides on the wire; empty on_retry.
+  co_return co_await RunBobEndTrials(
+      channel, params_.max_attempts,
+      [&](int trial) { return DeriveSeed(params_.seed, kAttemptTag + trial); },
+      [&](int, uint64_t seed, AttemptEnd* end) {
+        return AttemptBob(bob, &d_hat, estimated, seed, &next, end, channel,
+                          ctx);
+      },
+      [] {}, "multiround failed: ");
 }
 
 }  // namespace setrec

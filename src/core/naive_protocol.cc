@@ -207,26 +207,25 @@ Task<Status> NaiveProtocol::ReconcileAsyncAlice(const SetOfSets& alice,
         MaxWireDHat(ChildBlobWidth(params_.max_child_size)));
   }
 
-  Status last = DecodeFailure("no attempts made");
-  for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
-    uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
-    Status sent = co_await AttemptAlice(alice, d_hat, estimated, seed, &next,
-                                        channel, ctx);
-    if (!sent.ok()) {
-      co_return co_await SendAbort(ctx, channel, Party::kAlice, sent);
-    }
-    Result<AttemptVerdict> verdict =
-        co_await ReceiveVerdict(ctx, channel, &next);
-    if (!verdict.ok()) co_return verdict.status();
-    if (verdict.value().ok) co_return Status::Ok();
-    last = verdict.value().status;
-    if (estimated) {
-      // Estimator may have been low; doubling stays under the wire bound.
-      d_hat = std::min<size_t>(
-          d_hat * 2, MaxWireDHat(ChildBlobWidth(params_.max_child_size)));
-    }
-  }
-  co_return Exhausted("naive protocol failed: " + last.ToString());
+  // Shared trial driver: the verdict exchange, abort slots and retry
+  // schedule are the same instantiation Bob's half runs (wire lockstep by
+  // construction).
+  co_return co_await RunAliceTrials(
+      ctx, channel, &next, params_.max_attempts,
+      [&](int trial) { return DeriveSeed(params_.seed, kAttemptTag + trial); },
+      [&](int, uint64_t seed) {
+        return AttemptAlice(alice, d_hat, estimated, seed, &next, channel,
+                            ctx);
+      },
+      [&] {
+        if (estimated) {
+          // Estimator may have been low; doubling stays under the wire
+          // bound.
+          d_hat = std::min<size_t>(
+              d_hat * 2, MaxWireDHat(ChildBlobWidth(params_.max_child_size)));
+        }
+      },
+      "naive protocol failed: ");
 }
 
 Task<Result<SsrOutcome>> NaiveProtocol::ReconcileAsyncBob(
@@ -275,29 +274,16 @@ Task<Result<SsrOutcome>> NaiveProtocol::ReconcileAsyncBob(
     ++next;
   }
 
-  Status last = DecodeFailure("no attempts made");
-  for (int attempt = 0; attempt < params_.max_attempts; ++attempt) {
-    uint64_t seed = DeriveSeed(params_.seed, kAttemptTag + attempt);
-    bool peer_aborted = false;
-    Result<SetOfSets> recovered =
-        co_await AttemptBob(bob, &d_hat, estimated, seed, &next,
-                            &peer_aborted, channel, ctx);
-    if (peer_aborted) co_return recovered.status();
-    if (recovered.ok()) {
-      co_await SendVerdict(ctx, channel, Party::kBob, Status::Ok(), &next);
-      SsrOutcome outcome;
-      outcome.recovered = std::move(recovered).value();
-      outcome.stats = {channel->rounds(), channel->total_bytes(),
-                       attempt + 1};
-      co_return outcome;
-    }
-    last = recovered.status();
-    if (last.code() == StatusCode::kParseError) {
-      co_return co_await SendAbort(ctx, channel, Party::kBob, last);
-    }
-    co_await SendVerdict(ctx, channel, Party::kBob, last, &next);
-  }
-  co_return Exhausted("naive protocol failed: " + last.ToString());
+  // Bob's retry state (d_hat) rides on the wire (AttemptBob parses the
+  // prefix), so his on_retry hook is empty.
+  co_return co_await RunBobTrials(
+      ctx, channel, &next, params_.max_attempts,
+      [&](int trial) { return DeriveSeed(params_.seed, kAttemptTag + trial); },
+      [&](int, uint64_t seed, bool* peer_aborted) {
+        return AttemptBob(bob, &d_hat, estimated, seed, &next, peer_aborted,
+                          channel, ctx);
+      },
+      [] {}, "naive protocol failed: ");
 }
 
 }  // namespace setrec

@@ -3,7 +3,10 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
+#include <utility>
 
+#include "core/protocol.h"
 #include "core/task.h"
 #include "transport/channel.h"
 #include "util/serialization.h"
@@ -109,6 +112,141 @@ Result<AttemptVerdict> ParseVerdict(const Channel::Message& m);
 /// kTerminal means the protocol is over (an abort was sent or received, or
 /// the peer is broken) and the status should surface unchanged.
 enum class AttemptEnd { kOk, kRetry, kTerminal };
+
+// --- Shared trial drivers -------------------------------------------------
+//
+// The per-protocol trial loops — seed formula, verdict exchange, doubling
+// schedule, "... failed:" Exhausted text — used to be duplicated between
+// each protocol's Alice and Bob halves, and the two copies had to stay in
+// wire lockstep by hand. The drivers below hoist that loop once; a protocol
+// half supplies only its per-attempt callable plus three small hooks:
+//
+//   seed_for(trial)  -> uint64_t   the protocol's historical seed formula,
+//                                  bit-exact (wire compatibility);
+//   attempt(...)     -> Task<...>  one attempt's data phase;
+//   on_retry()                     the doubling/clamping schedule applied
+//                                  after a retriable failure (no-op when
+//                                  retry state rides on the wire instead).
+//
+// Because Alice's and Bob's loops instantiate the SAME driver, the halves
+// cannot drift out of lockstep: the verdict slots, abort slots and retry
+// transitions are structurally shared. Two driver shapes exist:
+//
+//  * RunAliceTrials / RunBobTrials — the single-data-message protocols
+//    (naive, iblt2, cascade). The DRIVER owns the verdict exchange: Alice
+//    sends her attempt message then receives Bob's verdict; Bob runs his
+//    attempt then sends the verdict (aborting on parse errors, which a
+//    replay cannot fix).
+//  * RunAliceEndTrials / RunBobEndTrials — multi-message attempts
+//    (multiround) whose verdict exchange is interleaved with the attempt's
+//    own rounds; the attempt reports how it ended via AttemptEnd.
+//
+// The hook callables are copied into the driver's coroutine frame; their
+// reference captures point into the protocol half's own frame, which stays
+// alive (suspended, not destroyed) while it awaits the driver.
+
+/// Alice's trial loop for single-data-message protocols. `attempt(trial,
+/// seed)` sends Alice's attempt message (returning a failed Status only
+/// for local errors, which the driver converts into an abort in her slot).
+template <typename SeedFn, typename AttemptFn, typename RetryFn>
+Task<Status> RunAliceTrials(ProtocolContext* ctx, Channel* channel,
+                            size_t* next, int trials, SeedFn seed_for,
+                            AttemptFn attempt, RetryFn on_retry,
+                            std::string exhausted_prefix) {
+  Status last = DecodeFailure("no attempts made");
+  for (int trial = 0; trial < trials; ++trial) {
+    const uint64_t seed = seed_for(trial);
+    Status sent = co_await attempt(trial, seed);
+    if (!sent.ok()) {
+      co_return co_await SendAbort(ctx, channel, Party::kAlice, sent);
+    }
+    Result<AttemptVerdict> verdict =
+        co_await ReceiveVerdict(ctx, channel, next);
+    if (!verdict.ok()) co_return verdict.status();
+    if (verdict.value().ok) co_return Status::Ok();
+    last = verdict.value().status;
+    on_retry();
+  }
+  co_return Exhausted(exhausted_prefix + last.ToString());
+}
+
+/// Bob's trial loop for single-data-message protocols. `attempt(trial,
+/// seed, peer_aborted)` receives Alice's message and tries the recovery;
+/// the driver sends the verdict (ok / retriable failure), aborts on parse
+/// errors, and reports the outcome with per-trial attempt accounting.
+template <typename SeedFn, typename AttemptFn, typename RetryFn>
+Task<Result<SsrOutcome>> RunBobTrials(ProtocolContext* ctx, Channel* channel,
+                                      size_t* next, int trials,
+                                      SeedFn seed_for, AttemptFn attempt,
+                                      RetryFn on_retry,
+                                      std::string exhausted_prefix) {
+  Status last = DecodeFailure("no attempts made");
+  for (int trial = 0; trial < trials; ++trial) {
+    const uint64_t seed = seed_for(trial);
+    bool peer_aborted = false;
+    Result<SetOfSets> recovered = co_await attempt(trial, seed,
+                                                   &peer_aborted);
+    if (peer_aborted) co_return recovered.status();
+    if (recovered.ok()) {
+      co_await SendVerdict(ctx, channel, Party::kBob, Status::Ok(), next);
+      SsrOutcome outcome;
+      outcome.recovered = std::move(recovered).value();
+      outcome.stats = {channel->rounds(), channel->total_bytes(), trial + 1};
+      co_return outcome;
+    }
+    last = recovered.status();
+    if (last.code() == StatusCode::kParseError) {
+      co_return co_await SendAbort(ctx, channel, Party::kBob, last);
+    }
+    co_await SendVerdict(ctx, channel, Party::kBob, last, next);
+    on_retry();
+  }
+  co_return Exhausted(exhausted_prefix + last.ToString());
+}
+
+/// Alice's trial loop for protocols whose attempts exchange verdicts
+/// inside the attempt (multiround): `attempt(trial, seed, end)` reports
+/// how it ended; retriable failures have already crossed the wire.
+template <typename SeedFn, typename AttemptFn, typename RetryFn>
+Task<Status> RunAliceEndTrials(int trials, SeedFn seed_for, AttemptFn attempt,
+                               RetryFn on_retry,
+                               std::string exhausted_prefix) {
+  Status last = DecodeFailure("no attempts made");
+  for (int trial = 0; trial < trials; ++trial) {
+    const uint64_t seed = seed_for(trial);
+    AttemptEnd end = AttemptEnd::kRetry;
+    Status s = co_await attempt(trial, seed, &end);
+    if (end == AttemptEnd::kOk) co_return Status::Ok();
+    if (end == AttemptEnd::kTerminal) co_return s;
+    last = std::move(s);
+    on_retry();
+  }
+  co_return Exhausted(exhausted_prefix + last.ToString());
+}
+
+/// Bob-side counterpart of RunAliceEndTrials.
+template <typename SeedFn, typename AttemptFn, typename RetryFn>
+Task<Result<SsrOutcome>> RunBobEndTrials(Channel* channel, int trials,
+                                         SeedFn seed_for, AttemptFn attempt,
+                                         RetryFn on_retry,
+                                         std::string exhausted_prefix) {
+  Status last = DecodeFailure("no attempts made");
+  for (int trial = 0; trial < trials; ++trial) {
+    const uint64_t seed = seed_for(trial);
+    AttemptEnd end = AttemptEnd::kRetry;
+    Result<SetOfSets> recovered = co_await attempt(trial, seed, &end);
+    if (end == AttemptEnd::kTerminal) co_return recovered.status();
+    if (end == AttemptEnd::kOk) {
+      SsrOutcome outcome;
+      outcome.recovered = std::move(recovered).value();
+      outcome.stats = {channel->rounds(), channel->total_bytes(), trial + 1};
+      co_return outcome;
+    }
+    last = recovered.status();
+    on_retry();
+  }
+  co_return Exhausted(exhausted_prefix + last.ToString());
+}
 
 }  // namespace setrec
 

@@ -5,11 +5,108 @@
 #include <cstring>
 #include <thread>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SETREC_X86_SIMD 1
+#endif
+
 #include "hashing/random.h"
 
 namespace setrec {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Runtime-dispatched lane XOR. Two shapes cover every key XOR the table
+// does: dst[i] ^= src[i] over n lanes (Subtract/Add, peel removal), and
+// dst ^= `width` raw key bytes (cell updates). The AVX2 variants run
+// 4-lane (32-byte) steps — the win shows on wide blob keys (cascading
+// outer tables, child encodings); 8-byte keys stay on the single-lane
+// fast path. Results are bit-identical across backends, so tables, wire
+// bytes and decodes do not depend on the host's ISA.
+// ---------------------------------------------------------------------------
+
+void XorLanesScalar(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+void XorKeyScalar(uint64_t* dst, const uint8_t* key, size_t width) {
+  size_t full = width / 8;
+  size_t rem = width % 8;
+  for (size_t l = 0; l < full; ++l) {
+    uint64_t lane;
+    std::memcpy(&lane, key + 8 * l, 8);
+    dst[l] ^= lane;
+  }
+  if (rem != 0) {
+    uint64_t lane = 0;
+    std::memcpy(&lane, key + 8 * full, rem);
+    dst[full] ^= lane;
+  }
+}
+
+#ifdef SETREC_X86_SIMD
+__attribute__((target("avx2"))) void XorLanesAvx2(uint64_t* dst,
+                                                  const uint64_t* src,
+                                                  size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a, b));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+__attribute__((target("avx2"))) void XorKeyAvx2(uint64_t* dst,
+                                                const uint8_t* key,
+                                                size_t width) {
+  const size_t full = width / 8;
+  size_t i = 0;
+  for (; i + 4 <= full; i += 4) {
+    // Key bytes come from packed caller buffers (unaligned); lane arenas
+    // are 64-byte aligned but loadu costs nothing when they are.
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(key + 8 * i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a, b));
+  }
+  for (; i < full; ++i) {
+    uint64_t lane;
+    std::memcpy(&lane, key + 8 * i, 8);
+    dst[i] ^= lane;
+  }
+  if (const size_t rem = width % 8; rem != 0) {
+    uint64_t lane = 0;
+    std::memcpy(&lane, key + 8 * full, rem);
+    dst[full] ^= lane;
+  }
+}
+#endif  // SETREC_X86_SIMD
+
+using XorLanesFn = void (*)(uint64_t*, const uint64_t*, size_t);
+using XorKeyFn = void (*)(uint64_t*, const uint8_t*, size_t);
+
+bool HostHasAvx2() {
+#ifdef SETREC_X86_SIMD
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+#ifdef SETREC_X86_SIMD
+XorLanesFn g_xor_lanes = HostHasAvx2() ? &XorLanesAvx2 : &XorLanesScalar;
+XorKeyFn g_xor_key = HostHasAvx2() ? &XorKeyAvx2 : &XorKeyScalar;
+#else
+XorLanesFn g_xor_lanes = &XorLanesScalar;
+XorKeyFn g_xor_key = &XorKeyScalar;
+#endif
 
 // Sizing constant: cells per expected difference key. Theorem 2.1 promises
 // decode w.h.p. with m = O(d); k=4 peeling succeeds asymptotically above
@@ -26,25 +123,37 @@ int64_t UnZigZag(uint64_t v) {
   return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
 }
 
-// XORs `width` key bytes into a lane-aligned destination, word-wide. The
-// memcpy loads compile to single unaligned moves; the sub-word tail (if
-// any) lands in the zero-padded final lane.
+// XORs `width` key bytes into a lane-aligned destination. Keys of up to
+// three lanes inline word-wide (the memcpy loads compile to single
+// unaligned moves; the sub-word tail lands in the zero-padded final lane);
+// wider blob keys go through the dispatched 32-byte-lane backend.
 inline void XorKeyIntoLanes(uint64_t* dst, const uint8_t* key, size_t width) {
-  size_t full = width / 8;
-  size_t rem = width % 8;
-  for (size_t l = 0; l < full; ++l) {
-    uint64_t lane;
-    std::memcpy(&lane, key + 8 * l, 8);
-    dst[l] ^= lane;
+  if (width >= 32) {
+    g_xor_key(dst, key, width);
+    return;
   }
-  if (rem != 0) {
-    uint64_t lane = 0;
-    std::memcpy(&lane, key + 8 * full, rem);
-    dst[full] ^= lane;
-  }
+  XorKeyScalar(dst, key, width);
 }
 
 }  // namespace
+
+const char* Iblt::LaneXorBackend() {
+  return g_xor_lanes == &XorLanesScalar ? "scalar" : "avx2";
+}
+
+void Iblt::ForceScalarLaneXorForTest(bool force) {
+  if (force) {
+    g_xor_lanes = &XorLanesScalar;
+    g_xor_key = &XorKeyScalar;
+    return;
+  }
+#ifdef SETREC_X86_SIMD
+  if (HostHasAvx2()) {
+    g_xor_lanes = &XorLanesAvx2;
+    g_xor_key = &XorKeyAvx2;
+  }
+#endif
+}
 
 int Iblt::sharded_workers_for_test = 0;
 IbltBatchOptions Iblt::batch_options_;
@@ -342,9 +451,9 @@ Status Iblt::Subtract(const Iblt& other) {
     meta_[i].count -= other.meta_[i].count;
     meta_[i].check ^= other.meta_[i].check;
   }
-  for (size_t i = 0; i < key_lanes_.size(); ++i) {
-    key_lanes_[i] ^= other.key_lanes_[i];
-  }
+  // One contiguous arena XOR — the dispatched backend runs it 32 bytes at
+  // a time on AVX2 hosts.
+  g_xor_lanes(key_lanes_.data(), other.key_lanes_.data(), key_lanes_.size());
   return Status::Ok();
 }
 
@@ -356,9 +465,7 @@ Status Iblt::Add(const Iblt& other) {
     meta_[i].count += other.meta_[i].count;
     meta_[i].check ^= other.meta_[i].check;
   }
-  for (size_t i = 0; i < key_lanes_.size(); ++i) {
-    key_lanes_[i] ^= other.key_lanes_[i];
-  }
+  g_xor_lanes(key_lanes_.data(), other.key_lanes_.data(), key_lanes_.size());
   return Status::Ok();
 }
 
@@ -453,8 +560,12 @@ bool Iblt::PeelInto(DecodeScratch* scratch, IbltDecodeResult64* out_u64) const {
       meta[t].count -= sign;
       meta[t].check ^= h.check;
       uint64_t* dst = lanes + t * lanes_per_key_;
-      for (size_t l = 0; l < lanes_per_key_; ++l) {
-        dst[l] ^= staged[l];
+      if (lanes_per_key_ >= 4) {
+        g_xor_lanes(dst, staged, lanes_per_key_);
+      } else {
+        for (size_t l = 0; l < lanes_per_key_; ++l) {
+          dst[l] ^= staged[l];
+        }
       }
       if ((meta[t].count == 1 || meta[t].count == -1) && !scratch->queued[t]) {
         scratch->queue.push_back(static_cast<uint32_t>(t));

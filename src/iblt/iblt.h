@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "hashing/hash.h"
+#include "util/aligned.h"
 #include "util/serialization.h"
 #include "util/status.h"
 
@@ -206,10 +207,15 @@ struct IbltCellMeta {
 /// pattern used by the outer/child decodes of the set-of-sets protocols).
 struct DecodeScratch {
   std::vector<IbltCellMeta> meta;
-  std::vector<uint64_t> key_lanes;
+  /// The scratch lane arenas are cache-line aligned (util/aligned.h): a
+  /// scratch is allocated once and reused across decodes, so the aligned
+  /// allocation is amortized to zero while whole-arena SIMD passes start
+  /// on a cache line. (Per-TABLE arenas stay plain vectors — see
+  /// Iblt::key_lanes_ for why.)
+  AlignedLaneVector key_lanes;
   std::vector<uint32_t> queue;   // Pure-cell FIFO (ring over a vector).
   std::vector<uint8_t> queued;   // Per-cell in-queue flag (dedup).
-  std::vector<uint64_t> out_lanes;    // Decoded-key arena (lane-padded).
+  AlignedLaneVector out_lanes;        // Decoded-key arena (lane-padded).
   std::vector<size_t> pos_offsets;    // Lane offset of each positive key.
   std::vector<size_t> neg_offsets;    // Lane offset of each negative key.
   std::vector<IbltKeyView> pos_views;  // Built over out_lanes post-peel.
@@ -390,6 +396,14 @@ class Iblt {
   /// can be exercised deterministically on any machine.
   static int sharded_workers_for_test;
 
+  /// The wide-key lane-XOR backend the runtime dispatch selected ("avx2"
+  /// or "scalar"). Key XOR is bit-identical across backends; only the
+  /// instruction width differs.
+  static const char* LaneXorBackend();
+  /// Test/bench hook: forces the scalar backend (measuring the SIMD delta
+  /// on one machine). Not synchronized: flip before spawning threads.
+  static void ForceScalarLaneXorForTest(bool force);
+
  private:
   void Update(const uint8_t* key, int32_t delta);
   KeyHashes HashKey(const uint8_t* key) const;
@@ -442,7 +456,15 @@ class Iblt {
   size_t lanes_per_key_;   // ceil(key_width / 8) uint64 words per cell.
   uint64_t mod_magic_;     // floor(2^64 / cells_per_hash_), for CellForIndex.
   std::vector<IbltCellMeta> meta_;   // Per-cell count + checksum.
-  std::vector<uint64_t> key_lanes_;  // cells_ * lanes_per_key_ words.
+  /// cells_ * lanes_per_key_ words. Deliberately a PLAIN vector: tables
+  /// are allocated per session in the hot path and over-aligned operator
+  /// new bypasses the allocator's fast bins (measured ~25% service-level
+  /// regression when this arena was 64-byte aligned). Per-cell starts are
+  /// only 8-aligned regardless (lanes_per_key_ is arbitrary), so the SIMD
+  /// XOR paths use unaligned loads either way; the cache-line-aligned
+  /// arenas live in DecodeScratch, whose vectors are allocated once and
+  /// reused.
+  std::vector<uint64_t> key_lanes_;
   HashFamily bucket_family_;
   HashFamily check_family_;
 };

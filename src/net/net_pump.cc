@@ -64,7 +64,13 @@ struct NetPump::Connection {
 };
 
 NetPump::NetPump(SyncService* service, NetPumpOptions options)
-    : service_(service), options_(options) {}
+    : service_(service), options_(options) {
+  // Eager self-pipe: Wake()/AdoptConnectionAsync may be called from any
+  // thread, so the fds must exist before the pump is shared. On the
+  // (unlikely) pipe failure the pump still works — cross-thread wakes then
+  // ride on the caller's poll timeout.
+  (void)EnsureWakePipe();
+}
 
 NetPump::~NetPump() {
   for (const std::unique_ptr<Connection>& conn : connections_) {
@@ -72,6 +78,37 @@ NetPump::~NetPump() {
   }
   for (int fd : listeners_) ::close(fd);
   for (const std::string& path : unix_paths_) ::unlink(path.c_str());
+  adopt_queue_.DrainInto([](int&& fd) { ::close(fd); });
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+Status NetPump::EnsureWakePipe() {
+  if (wake_pipe_[0] >= 0) return Status::Ok();  // Constructor-only path.
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return Unavailable(std::string("pipe: ") + strerror(errno));
+  }
+  if (!SetNonBlocking(fds[0]).ok() || !SetNonBlocking(fds[1]).ok()) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return Unavailable("wake pipe: O_NONBLOCK failed");
+  }
+  wake_pipe_[0] = fds[0];
+  wake_pipe_[1] = fds[1];
+  return Status::Ok();
+}
+
+void NetPump::Wake() {
+  if (wake_pipe_[1] < 0) return;
+  const uint8_t token = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  (void)!::write(wake_pipe_[1], &token, 1);
+}
+
+void NetPump::AdoptConnectionAsync(int fd) {
+  adopt_queue_.Push(fd);
+  Wake();
 }
 
 Result<uint16_t> NetPump::ListenTcp(uint16_t port) {
@@ -79,6 +116,16 @@ Result<uint16_t> NetPump::ListenTcp(uint16_t port) {
   if (fd < 0) return Unavailable(std::string("socket: ") + strerror(errno));
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (options_.reuse_port) {
+    // Multi-pump listener distribution: every pump binds the same port and
+    // the kernel spreads incoming connections across the listeners.
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+      Status err =
+          Unavailable(std::string("SO_REUSEPORT: ") + strerror(errno));
+      ::close(fd);
+      return err;
+    }
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
@@ -300,8 +347,13 @@ void NetPump::CloseConnection(size_t index) {
 }
 
 size_t NetPump::PumpOnce(int timeout_ms) {
+  // Adopt fds handed off by other threads (multi-pump distribution) before
+  // building the poll set, so they are watched this very pass.
+  adopt_queue_.DrainInto([this](int&& fd) {
+    if (!AdoptConnection(fd).ok()) ::close(fd);
+  });
   std::vector<pollfd> fds;
-  fds.reserve(listeners_.size() + connections_.size());
+  fds.reserve(listeners_.size() + connections_.size() + 1);
   for (int fd : listeners_) fds.push_back(pollfd{fd, POLLIN, 0});
   for (const std::unique_ptr<Connection>& conn : connections_) {
     short events = 0;
@@ -316,10 +368,21 @@ size_t NetPump::PumpOnce(int timeout_ms) {
   // Connections accepted below are appended to connections_ and must not
   // be matched against this pass's pollfd array.
   const size_t polled_connections = connections_.size();
+  // The wake pipe rides last: a foreign thread's Wake() (shard mailbox
+  // push, adopted fd, shutdown) interrupts a long poll instead of waiting
+  // out the timeout.
+  size_t wake_index = fds.size();
+  if (wake_pipe_[0] >= 0) fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
   int ready = ::poll(fds.data(), fds.size(), timeout_ms);
   if (ready < 0) return 0;  // EINTR et al.; the caller just pumps again.
 
   size_t handled = 0;
+  if (wake_pipe_[0] >= 0 && (fds[wake_index].revents & POLLIN) != 0) {
+    ++handled;
+    uint8_t drain[64];
+    while (::read(wake_pipe_[0], drain, sizeof drain) > 0) {
+    }
+  }
   // Accept new connections.
   for (size_t i = 0; i < listeners_.size(); ++i) {
     if ((fds[i].revents & POLLIN) == 0) continue;

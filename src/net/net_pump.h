@@ -9,6 +9,7 @@
 
 #include "service/sync_service.h"
 #include "transport/endpoint.h"
+#include "util/mpsc_queue.h"
 #include "util/status.h"
 
 namespace setrec {
@@ -28,6 +29,10 @@ struct NetPumpOptions {
   /// Frames a connection may send before its hello completes a session —
   /// anything above 1 pre-hello is a protocol violation.
   size_t max_frames_before_session = 1;
+  /// Sets SO_REUSEPORT on TCP listeners, so N pumps (one per service
+  /// shard) can bind the same port and let the kernel spread accepted
+  /// connections across them (the multi-pump listener distribution).
+  bool reuse_port = false;
 };
 
 struct NetPumpStats {
@@ -72,8 +77,19 @@ class NetPump {
   /// on destruction).
   Status ListenUnix(const std::string& path);
   /// Takes ownership of an already-connected stream fd (socketpair tests,
-  /// inherited sockets). The fd is switched to non-blocking.
+  /// inherited sockets). The fd is switched to non-blocking. Pump thread
+  /// only.
   Status AdoptConnection(int fd);
+
+  /// Thread-safe adoption hand-off: queues the fd and interrupts the
+  /// pump's poll; the pump adopts it at the top of its next pass. This is
+  /// how a multi-pump distributes externally-accepted connections to the
+  /// pump that owns the target shard. Any thread.
+  void AdoptConnectionAsync(int fd);
+
+  /// Interrupts a blocking poll from another thread (mailbox pushed to the
+  /// shard, fd queued, shutdown requested). Any thread.
+  void Wake();
 
   /// One poll + process pass; returns the number of fd events handled
   /// (0 on timeout). `timeout_ms` < 0 blocks until an event.
@@ -104,9 +120,21 @@ class NetPump {
   void CloseConnection(size_t index);
   void CollectResults();
 
+  /// Creates the self-pipe poll interruptor (called once, from the
+  /// constructor — the fds must be immutable before the pump is shared
+  /// across threads, so creation is never deferred to a cross-thread
+  /// path).
+  Status EnsureWakePipe();
+
   SyncService* service_;
   NetPumpOptions options_;
   NetPumpStats stats_;
+  /// Self-pipe: [0] polled by the pump, [1] written by Wake(). Created
+  /// eagerly in the constructor; stays {-1, -1} only if pipe(2) failed
+  /// (wakes then degrade to the caller's poll timeout).
+  int wake_pipe_[2] = {-1, -1};
+  /// Fds handed off by other threads, adopted at the top of PumpOnce.
+  MpscQueue<int> adopt_queue_;
   std::vector<int> listeners_;
   std::vector<std::string> unix_paths_;
   std::vector<std::unique_ptr<Connection>> connections_;

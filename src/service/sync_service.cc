@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <limits>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "core/iblt_of_iblts.h"
 #include "core/multiround_protocol.h"
 #include "core/naive_protocol.h"
+#include "hashing/random.h"
 
 namespace setrec {
 
@@ -39,6 +41,48 @@ std::unique_ptr<SetsOfSetsProtocol> MakeSsrProtocol(SsrProtocolKind kind,
       return std::make_unique<MultiRoundProtocol>(params);
   }
   return nullptr;
+}
+
+void ServiceStats::Accumulate(const ServiceStats& other) {
+  sessions_submitted += other.sessions_submitted;
+  sessions_completed += other.sessions_completed;
+  sessions_failed += other.sessions_failed;
+  total_rounds += other.total_rounds;
+  total_bytes += other.total_bytes;
+  steps += other.steps;
+  resumes += other.resumes;
+  flushes += other.flushes;
+  flushed_keys += other.flushed_keys;
+  max_flush_keys = std::max(max_flush_keys, other.max_flush_keys);
+  sharded_flushes += other.sharded_flushes;
+  estimator_jobs += other.estimator_jobs;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  mirror_drops += other.mirror_drops;
+  remote_messages += other.remote_messages;
+  sessions_cancelled += other.sessions_cancelled;
+  remote_rejected += other.remote_rejected;
+  cross_shard_lease_wakes += other.cross_shard_lease_wakes;
+}
+
+uint64_t HashTranscript(const Channel& channel) {
+  // Order-sensitive chain over (sender, label, payload); nonzero even for
+  // the empty transcript so "hashed" is distinguishable from "disabled".
+  uint64_t h = Mix64(0x74727363726970ull);  // "trscrip"
+  for (const Channel::Message& m : channel.transcript()) {
+    h = Mix64(h ^ static_cast<uint64_t>(m.from));
+    h = Mix64(h ^ m.label.size());
+    for (char c : m.label) h = Mix64(h ^ static_cast<uint8_t>(c));
+    h = Mix64(h ^ m.payload.size());
+    size_t i = 0;
+    for (; i + 8 <= m.payload.size(); i += 8) {
+      uint64_t lane;
+      std::memcpy(&lane, m.payload.data() + i, 8);
+      h = Mix64(h ^ lane);
+    }
+    for (; i < m.payload.size(); ++i) h = Mix64(h ^ m.payload[i]);
+  }
+  return h;
 }
 
 /// The per-session ProtocolContext: routes build ops into the service's
@@ -81,16 +125,12 @@ class SyncService::SessionContext final : public ProtocolContext {
   // A lease waiter's first, empty lookup is counted by neither — it
   // resolves as a hit (or a takeover miss) after waking.
   const std::vector<uint8_t>* CacheLookup(uint64_t key) override {
-    auto it = service_->alice_cache_.find(key);
-    if (it == service_->alice_cache_.end()) return nullptr;
-    ++service_->stats_.cache_hits;
-    return &it->second;
+    const std::vector<uint8_t>* hit = service_->cache_->Lookup(key);
+    if (hit != nullptr) ++service_->stats_.cache_hits;
+    return hit;
   }
   void CacheStore(uint64_t key, const std::vector<uint8_t>& bytes) override {
-    if (service_->alice_cache_.size() <
-        service_->options_.alice_cache_max_entries) {
-      service_->alice_cache_.emplace(key, bytes);
-    }
+    service_->cache_->Store(key, bytes);
   }
 
   DecodeScratch* Scratch(int slot) override {
@@ -98,31 +138,30 @@ class SyncService::SessionContext final : public ProtocolContext {
   }
 
   bool CheckValidated(uint64_t key) override {
-    return service_->validated_.count(key) > 0;
+    return service_->cache_->CheckValidated(key);
   }
   void MarkValidated(uint64_t key) override {
-    service_->validated_.insert(key);
+    service_->cache_->MarkValidated(key);
   }
 
   Result<Iblt> ParseTableMemo(uint64_t key, ByteReader* reader,
                               const IbltConfig& config) override {
     if (key == 0) return Iblt::Deserialize(reader, config);
-    auto it = service_->table_memo_.find(key);
-    if (it != service_->table_memo_.end()) {
+    if (const SharedServiceCache::TableMemoEntry* memo =
+            service_->cache_->FindTableMemo(key)) {
       // Replayed message: identical bytes, so skipping the recorded length
-      // lands the reader exactly where a re-parse would.
-      if (!reader->Skip(it->second.consumed)) {
+      // lands the reader exactly where a re-parse would. The entry is
+      // immutable; the bulk copy happens outside the cache's stripe lock.
+      if (!reader->Skip(memo->consumed)) {
         return ParseError("memoized table: skip overran message");
       }
-      return it->second.table;
+      return memo->table;
     }
     const size_t before = reader->remaining();
     Result<Iblt> parsed = Iblt::Deserialize(reader, config);
-    if (parsed.ok() && service_->table_memo_.size() <
-                           service_->options_.alice_cache_max_entries) {
-      service_->table_memo_.emplace(
-          key,
-          TableMemoEntry{parsed.value(), before - reader->remaining()});
+    if (parsed.ok()) {
+      service_->cache_->StoreTableMemo(key, parsed.value(),
+                                       before - reader->remaining());
     }
     return parsed;
   }
@@ -238,57 +277,79 @@ void SyncService::SessionContext::OnSend(Channel* channel, size_t index) {
 }
 
 bool SyncService::SessionContext::TryAcquireBuildLease(uint64_t key) {
-  const bool acquired = service_->held_leases_.insert(key).second;
+  const bool acquired = service_->cache_->TryAcquireLease(key);
   if (acquired) ++service_->stats_.cache_misses;
   return acquired;
 }
 
 void SyncService::SessionContext::ReleaseBuildLease(uint64_t key) {
-  service_->held_leases_.erase(key);
-  auto it = service_->lease_waiters_.find(key);
-  if (it == service_->lease_waiters_.end()) return;
-  // Wake the waiters through the scheduler's queue (not inline): they
-  // re-check the cache and either replay the stored message or contend for
-  // the freed lease, in park order.
-  for (const ParkedCoro& waiter : it->second) {
-    service_->lease_ready_.push_back(waiter);
+  // Wake the waiters through each owning shard's scheduler queue (never
+  // inline, never cross-thread): they re-check the cache and either replay
+  // the stored message or contend for the freed lease, in park order.
+  for (int shard : service_->cache_->ReleaseLease(key)) {
+    if (shard == service_->shard_id_) {
+      service_->WakeLease(key);
+    } else if (service_->cross_shard_wake_) {
+      service_->cross_shard_wake_(shard, key);
+    }
   }
-  service_->lease_waiters_.erase(it);
 }
 
 void SyncService::SessionContext::ParkOnLease(uint64_t key,
                                               std::coroutine_handle<> handle) {
   service_->lease_waiters_[key].push_back(ParkedCoro{session_, handle});
+  if (!service_->cache_->AddLeaseWaiter(key, service_->shard_id_)) {
+    // The builder released between the failed acquire and this park; no
+    // wake will come. Self-wake so the coroutine re-checks the cache.
+    service_->WakeLease(key);
+  }
 }
 
-SyncService::SyncService(SyncServiceOptions options)
-    : options_(std::move(options)) {}
+SyncService::SyncService(SyncServiceOptions options,
+                         std::shared_ptr<SharedServiceCache> cache,
+                         int shard_id)
+    : options_(std::move(options)),
+      cache_(std::move(cache)),
+      shard_id_(shard_id) {
+  if (cache_ == nullptr) {
+    cache_ = std::make_shared<SharedServiceCache>(
+        SharedCacheOptions{options_.alice_cache_max_entries});
+  }
+}
 
 SyncService::~SyncService() = default;
 
 uint64_t SyncService::RegisterSharedSet(
     std::shared_ptr<const SetOfSets> set) {
-  assert(set != nullptr);
-  auto it = set_identities_.find(set.get());
-  if (it != set_identities_.end()) return it->second;
-  uint64_t id = next_set_identity_++;
-  set_identities_.emplace(set.get(), id);
-  pinned_sets_.push_back(std::move(set));
-  return id;
+  return cache_->RegisterSharedSet(std::move(set));
 }
 
 std::shared_ptr<const SetOfSets> SyncService::SharedSetById(
     uint64_t id) const {
-  if (id == 0 || id > pinned_sets_.size()) return nullptr;
-  return pinned_sets_[id - 1];  // Ids are assigned densely from 1.
+  return cache_->SharedSetById(id);
 }
 
 uint64_t SyncService::IdentityOf(const void* set) const {
-  auto it = set_identities_.find(set);
-  return it == set_identities_.end() ? 0 : it->second;
+  return cache_->IdentityOf(set);
+}
+
+void SyncService::ConfigureIds(uint64_t first, uint64_t stride) {
+  assert(stride > 0);
+  next_session_id_.store(first, std::memory_order_relaxed);
+  id_stride_ = stride;
+}
+
+uint64_t SyncService::AllocateSessionId() {
+  return next_session_id_.fetch_add(id_stride_, std::memory_order_relaxed);
 }
 
 uint64_t SyncService::Submit(SessionSpec spec) {
+  const uint64_t id = AllocateSessionId();
+  SubmitPreassigned(id, std::move(spec));
+  return id;
+}
+
+void SyncService::SubmitPreassigned(uint64_t id, SessionSpec spec) {
   switch (spec.role) {
     case SessionRole::kBoth:
       assert((spec.alice != nullptr && spec.bob != nullptr) ||
@@ -302,9 +363,96 @@ uint64_t SyncService::Submit(SessionSpec spec) {
       break;
   }
   ++stats_.sessions_submitted;
-  const uint64_t id = next_session_id_++;
   backlog_.push_back(PendingSession{id, std::move(spec)});
-  return id;
+}
+
+void SyncService::EnqueueSubmit(uint64_t id, SessionSpec spec) {
+  Command cmd;
+  cmd.kind = Command::Kind::kSubmit;
+  cmd.id = id;
+  cmd.spec = std::move(spec);
+  mailbox_.Push(std::move(cmd));
+}
+
+void SyncService::EnqueueRemote(uint64_t id, Channel::Message message) {
+  Command cmd;
+  cmd.kind = Command::Kind::kRemote;
+  cmd.id = id;
+  cmd.message = std::move(message);
+  mailbox_.Push(std::move(cmd));
+}
+
+void SyncService::EnqueueCancel(uint64_t id, Status reason) {
+  Command cmd;
+  cmd.kind = Command::Kind::kCancel;
+  cmd.id = id;
+  cmd.status = std::move(reason);
+  mailbox_.Push(std::move(cmd));
+}
+
+void SyncService::EnqueueLeaseWake(uint64_t key) {
+  Command cmd;
+  cmd.kind = Command::Kind::kLeaseWake;
+  cmd.id = key;
+  mailbox_.Push(std::move(cmd));
+}
+
+void SyncService::DrainMailbox() {
+  mailbox_.DrainInto([this](Command&& cmd) {
+    switch (cmd.kind) {
+      case Command::Kind::kSubmit:
+        SubmitPreassigned(cmd.id, std::move(cmd.spec));
+        break;
+      case Command::Kind::kRemote:
+        // A remote frame may race ahead of the receive park (the peer
+        // replied before this shard stepped the session to its next
+        // receive); keep it and retry once the step settles. TryDeliver
+        // consumes the message only on success — no payload copy either
+        // way.
+        if (!TryDeliverRemote(cmd.id, &cmd.message)) {
+          deferred_remote_.emplace_back(cmd.id, std::move(cmd.message));
+        }
+        break;
+      case Command::Kind::kCancel:
+        CancelSession(cmd.id, std::move(cmd.status));
+        break;
+      case Command::Kind::kLeaseWake:
+        ++stats_.cross_shard_lease_wakes;
+        WakeLease(cmd.id);
+        break;
+    }
+  });
+}
+
+bool SyncService::RetryDeferredRemote() {
+  if (deferred_remote_.empty()) return false;
+  bool delivered_any = false;
+  std::vector<std::pair<uint64_t, Channel::Message>> keep;
+  for (auto& [id, message] : deferred_remote_) {
+    // A session that finished or was cancelled while the frame waited is a
+    // rejection (the pump-side equivalent is a failed DeliverRemote).
+    if (active_by_id_.count(id) == 0 &&
+        pending_remote_.count(id) == 0) {
+      bool backlogged = false;
+      for (const PendingSession& pending : backlog_) {
+        if (pending.id == id) {
+          backlogged = true;
+          break;
+        }
+      }
+      if (!backlogged) {
+        ++stats_.remote_rejected;
+        continue;
+      }
+    }
+    if (TryDeliverRemote(id, &message)) {
+      delivered_any = true;
+    } else {
+      keep.emplace_back(id, std::move(message));
+    }
+  }
+  deferred_remote_ = std::move(keep);
+  return delivered_any;
 }
 
 namespace {
@@ -329,6 +477,10 @@ bool RemoteOpens(const SessionSpec& spec) {
 }  // namespace
 
 bool SyncService::DeliverRemote(uint64_t id, Channel::Message message) {
+  return TryDeliverRemote(id, &message);
+}
+
+bool SyncService::TryDeliverRemote(uint64_t id, Channel::Message* message) {
   ++stats_.remote_messages;
   auto it = active_by_id_.find(id);
   if (it == active_by_id_.end()) {
@@ -339,12 +491,12 @@ bool SyncService::DeliverRemote(uint64_t id, Channel::Message message) {
     for (const PendingSession& pending : backlog_) {
       if (pending.id != id) continue;
       if (pending.spec.role == SessionRole::kBoth ||
-          message.from != RemotePartyOf(pending.spec.role)) {
+          message->from != RemotePartyOf(pending.spec.role)) {
         return false;
       }
       std::vector<Channel::Message>& buffered = pending_remote_[id];
       if (!buffered.empty() || !RemoteOpens(pending.spec)) return false;
-      buffered.push_back(std::move(message));
+      buffered.push_back(std::move(*message));
       return true;
     }
     return false;
@@ -357,13 +509,13 @@ bool SyncService::DeliverRemote(uint64_t id, Channel::Message message) {
   // only that session.)
   Session* session = it->second;
   if (session->spec.role == SessionRole::kBoth ||
-      message.from != RemotePartyOf(session->spec.role) ||
+      message->from != RemotePartyOf(session->spec.role) ||
       !session->ctx.HasRecvWaiterAt(&session->channel,
                                     session->channel.rounds())) {
     return false;
   }
-  session->channel.Send(message.from, std::move(message.payload),
-                        std::move(message.label));
+  session->channel.Send(message->from, std::move(message->payload),
+                        std::move(message->label));
   CollectReadyReceives(session);
   return true;
 }
@@ -390,9 +542,12 @@ bool SyncService::CancelSession(uint64_t id, Status reason) {
     return false;
   }
   Session* session = it->second;
-  // Between Steps a session's coroutines are parked only at round
-  // boundaries or receives; purge both so destroying the frames leaves no
-  // dangling handle behind. (Flush/lease queues are drained within Step.)
+  // Between Steps a session's coroutines are parked at round boundaries,
+  // receives, or — since cross-shard build leases — a lease wait whose
+  // release comes from ANOTHER shard in a later Step. Purge all of them so
+  // destroying the frames leaves no dangling handle behind (flush queues
+  // are still drained within Step; a lease wake for a purged waiter then
+  // finds nothing and is a no-op).
   auto drop = [session](std::deque<ParkedCoro>* queue) {
     queue->erase(std::remove_if(queue->begin(), queue->end(),
                                 [session](const ParkedCoro& parked) {
@@ -402,6 +557,13 @@ bool SyncService::CancelSession(uint64_t id, Status reason) {
   };
   drop(&round_waiters_);
   drop(&recv_ready_);
+  drop(&lease_ready_);
+  for (auto waiters = lease_waiters_.begin();
+       waiters != lease_waiters_.end();) {
+    drop(&waiters->second);
+    waiters = waiters->second.empty() ? lease_waiters_.erase(waiters)
+                                      : std::next(waiters);
+  }
   session->ctx.CancelReceives();
   ++stats_.sessions_cancelled;
   FinalizeSession(session, std::move(reason));
@@ -521,6 +683,15 @@ void SyncService::CollectReadyReceives(Session* session) {
   }
 }
 
+void SyncService::WakeLease(uint64_t key) {
+  auto it = lease_waiters_.find(key);
+  if (it == lease_waiters_.end()) return;
+  for (const ParkedCoro& waiter : it->second) {
+    lease_ready_.push_back(waiter);
+  }
+  lease_waiters_.erase(it);
+}
+
 void SyncService::FinalizeSession(Session* session,
                                   Result<SsrOutcome> outcome) {
   SessionResult result;
@@ -540,6 +711,9 @@ void SyncService::FinalizeSession(Session* session,
     result.status = outcome.status();
     result.stats = {session->channel.rounds(),
                     session->channel.total_bytes(), 0};
+  }
+  if (options_.hash_transcripts) {
+    result.transcript_hash = HashTranscript(session->channel);
   }
   stats_.total_rounds += session->channel.rounds();
   stats_.total_bytes += session->channel.total_bytes();
@@ -602,8 +776,26 @@ void SyncService::FlushPlanner() {
 }
 
 bool SyncService::Step() {
+#ifndef NDEBUG
+  // One driving thread per service, forever: coroutine frames recycle
+  // through thread-local pools and must never resume on a foreign thread.
+  if (owner_thread_ == std::thread::id{}) {
+    owner_thread_ = std::this_thread::get_id();
+  }
+  assert(owner_thread_ == std::this_thread::get_id() &&
+         "SyncService stepped from a foreign thread");
+#endif
+  DrainMailbox();
   Admit();
-  if (active_.empty()) return false;
+  if (active_.empty()) {
+    // Idle shard: any still-deferred remote frames can never deliver.
+    for (auto& deferred : deferred_remote_) {
+      (void)deferred;
+      ++stats_.remote_rejected;
+    }
+    deferred_remote_.clear();
+    return !backlog_.empty();
+  }
   ++stats_.steps;
 
   // Round waiters first (FIFO fairness), then newly admitted sessions.
@@ -649,7 +841,12 @@ bool SyncService::Step() {
       continue;
     }
     Admit();
-    if (ready_.empty() && recv_ready_.empty() && lease_ready_.empty()) break;
+    if (ready_.empty() && recv_ready_.empty() && lease_ready_.empty()) {
+      // Settled: mailbox remote frames that raced ahead of a receive park
+      // may be deliverable now; a successful injection re-opens the loop.
+      if (RetryDeferredRemote()) continue;
+      break;
+    }
   }
 
   return !active_.empty() || !backlog_.empty();

@@ -1,6 +1,7 @@
 #ifndef SETREC_SERVICE_SYNC_SERVICE_H_
 #define SETREC_SERVICE_SYNC_SERVICE_H_
 
+#include <atomic>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
@@ -8,6 +9,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -16,8 +18,10 @@
 #include "core/protocol.h"
 #include "core/task.h"
 #include "iblt/iblt.h"
+#include "service/shared_cache.h"
 #include "transport/channel.h"
 #include "transport/endpoint.h"
+#include "util/mpsc_queue.h"
 
 namespace setrec {
 
@@ -73,7 +77,8 @@ struct SessionSpec {
   /// forwarded as a frame on this endpoint (the caller holds the peer
   /// half). kBoth sessions mirror the full transcript; half sessions
   /// mirror only the local party's messages — exactly the bytes a remote
-  /// peer must be shown.
+  /// peer must be shown. A mirror polled by ANOTHER shard's thread must be
+  /// an Endpoint::MailboxPair half (transport/endpoint.h).
   std::shared_ptr<Endpoint> mirror;
 };
 
@@ -87,11 +92,19 @@ struct SessionResult {
   SsrStats stats;
   /// Bob's recovery (set sessions, when options.keep_recovered).
   SetOfSets recovered;
+  /// Order-sensitive hash of the full transcript (sender, label, payload
+  /// per message) when options.hash_transcripts — the shard-count
+  /// invariance witness. 0 when disabled.
+  uint64_t transcript_hash = 0;
 };
 
 /// Aggregate service counters. Batch occupancy is the planner's headline:
 /// per-session sketch batches rarely cross IbltBatchOptions::
 /// sharded_min_keys, coalesced cross-session flushes should.
+///
+/// In a sharded deployment each shard keeps its own ServiceStats (written
+/// only by the shard's thread); ShardedSyncService::AggregateStats() sums
+/// them once the shards are quiescent.
 struct ServiceStats {
   size_t sessions_submitted = 0;
   size_t sessions_completed = 0;
@@ -122,12 +135,20 @@ struct ServiceStats {
   /// cancelled (peer disconnect) via CancelSession.
   size_t remote_messages = 0;
   size_t sessions_cancelled = 0;
+  /// Mailbox-delivered remote messages that could not be injected (wrong
+  /// turn / unknown session) even after the step settled.
+  size_t remote_rejected = 0;
+  /// Lease wakes received from OTHER shards through the mailbox.
+  size_t cross_shard_lease_wakes = 0;
 
   double mean_flush_occupancy() const {
     return flushes == 0 ? 0.0
                         : static_cast<double>(flushed_keys) /
                               static_cast<double>(flushes);
   }
+
+  /// Element-wise sum (sharded aggregation; max_flush_keys takes the max).
+  void Accumulate(const ServiceStats& other);
 };
 
 struct SyncServiceOptions {
@@ -139,9 +160,18 @@ struct SyncServiceOptions {
   size_t max_inflight = 8192;
   /// Keep recovered sets in SessionResult (benches turn this off).
   bool keep_recovered = true;
-  /// Cap on memoized Alice messages.
+  /// Cap on memoized Alice messages (applies to the service's PRIVATE
+  /// cache; a SharedServiceCache passed in carries its own cap).
   size_t alice_cache_max_entries = 4096;
+  /// Record SessionResult::transcript_hash (the shard-invariance witness;
+  /// costs one pass over each finished transcript).
+  bool hash_transcripts = false;
 };
+
+/// Order-sensitive 64-bit hash of a transcript (sender byte, label bytes,
+/// payload bytes per message) — equal iff the transcripts are bit-identical
+/// up to hash collision. Shared by the service and the invariance tests.
+uint64_t HashTranscript(const Channel& channel);
 
 /// Drives many concurrent reconciliation sessions as non-blocking state
 /// machines stepped round-by-round, instead of one blocking protocol call
@@ -149,15 +179,23 @@ struct SyncServiceOptions {
 ///
 /// Scheduling model (single-threaded; only planner flushes fan out to
 /// worker threads): each Step() tick
-///   1. admits backlog sessions up to the in-flight window,
-///   2. resumes every runnable session until it parks at a round boundary
+///   1. drains the cross-thread mailbox (shard-routed submissions, remote
+///      frames, cancels, lease wakes — see ShardedSyncService),
+///   2. admits backlog sessions up to the in-flight window,
+///   3. resumes every runnable session until it parks at a round boundary
 ///      (SendAwaiter) or a sketch-build barrier (BuildBarrier) or finishes,
-///   3. repeatedly FLUSHES the batch planner: all queued sketch-build ops —
+///   4. repeatedly FLUSHES the batch planner: all queued sketch-build ops —
 ///      child-IBLT encodes, outer-table updates, estimator updates, from
 ///      every parked session — are applied as one coalesced
-///      Iblt::ApplyOps / UpdateBatch pass, and the owning sessions are
-///      resumed with their sketches built (the scatter-back). The loop
-///      runs until every live session is parked at a round boundary.
+///      Iblt::ApplyOps pass, and the owning sessions are resumed with their
+///      sketches built (the scatter-back). The loop runs until every live
+///      session is parked at a round boundary.
+///
+/// THREAD MODEL: one SyncService is owned by exactly one driving thread
+/// (the thread that calls Step — asserted in debug builds). Everything a
+/// foreign thread may do goes through the lock-free mailbox (Enqueue*) or
+/// the SharedServiceCache. Coroutine frames never migrate between threads
+/// (CoroFramePool freelists are thread-local).
 ///
 /// Sessions whose `alice` set was registered via RegisterSharedSet share
 /// memoized Alice attempt messages, and all sessions share one pooled pair
@@ -166,11 +204,22 @@ struct SyncServiceOptions {
 /// machine, the planner, and the view-lifetime rules across steps.
 class SyncService {
  public:
-  explicit SyncService(SyncServiceOptions options = {});
+  /// `cache` is the cross-session memo state; null constructs a private
+  /// one (the standalone single-service shape). `shard_id` names this
+  /// service in a ShardedSyncService (0 for standalone).
+  explicit SyncService(SyncServiceOptions options = {},
+                       std::shared_ptr<SharedServiceCache> cache = nullptr,
+                       int shard_id = 0);
   ~SyncService();
 
   SyncService(const SyncService&) = delete;
   SyncService& operator=(const SyncService&) = delete;
+
+  /// Routes build-lease releases whose waiters live on OTHER shards; the
+  /// sharded service points this at the target shard's mailbox + wake.
+  void set_cross_shard_wake(std::function<void(int shard, uint64_t key)> fn) {
+    cross_shard_wake_ = std::move(fn);
+  }
 
   /// Pins `set` for the service's lifetime and enables Alice-message
   /// memoization for sessions whose spec.alice is this exact object.
@@ -179,21 +228,45 @@ class SyncService {
   /// how the net layer resolves a client hello's set id to server state.
   std::shared_ptr<const SetOfSets> SharedSetById(uint64_t id) const;
 
+  /// Configures the session-id sequence this service allocates from:
+  /// first, first + stride, ... Standalone services keep the default dense
+  /// 1, 2, 3, ...; ShardedSyncService gives shard i the residue class
+  /// (first = i + 1, stride = N) so ids allocated by any path — the
+  /// facade's Submit or a pump thread's direct shard Submit — are unique
+  /// across shards and route back via ShardOf. Call before any Submit.
+  void ConfigureIds(uint64_t first, uint64_t stride);
+  /// Draws the next id of this service's sequence (any thread).
+  uint64_t AllocateSessionId();
+
   /// Enqueues a session; returns its id. Sessions start in Step() order.
+  /// Driving thread only (foreign threads use EnqueueSubmit).
   uint64_t Submit(SessionSpec spec);
 
   /// Injects a message from the remote peer into session `id`'s transcript
   /// (half sessions) and marks its waiting coroutine runnable; the message
   /// is processed by the next Step(). Messages for a submitted-but-not-yet-
   /// admitted session are buffered and delivered at admission. Returns
-  /// false for an unknown/finished session. Single-threaded with Step().
+  /// false for an unknown/finished session. Driving thread only.
   bool DeliverRemote(uint64_t id, Channel::Message message);
 
   /// Fails a live session (peer disconnect) and reclaims it. Must be
   /// called between Step() calls — sessions are then parked only at round
   /// boundaries or remote receives, never mid-flush. Returns false for an
-  /// unknown session.
+  /// unknown session. Driving thread only.
   bool CancelSession(uint64_t id, Status reason);
+
+  // --- Cross-thread mailbox (any thread; drained at the top of Step) ----
+  // The lock-free handoff between shards: a foreign thread enqueues, then
+  // wakes the owning driver through ShardedSyncService. Ids for
+  // EnqueueSubmit come from the sharded service's global allocator so they
+  // are unique across shards.
+
+  void EnqueueSubmit(uint64_t id, SessionSpec spec);
+  void EnqueueRemote(uint64_t id, Channel::Message message);
+  void EnqueueCancel(uint64_t id, Status reason);
+  void EnqueueLeaseWake(uint64_t key);
+  /// True when the mailbox has queued commands (racy hint for drivers).
+  bool HasMailboxWork() const { return !mailbox_.Empty(); }
 
   /// One scheduler tick; returns true while sessions remain (in flight or
   /// backlogged).
@@ -204,8 +277,11 @@ class SyncService {
 
   const ServiceStats& stats() const { return stats_; }
   const SyncServiceOptions& options() const { return options_; }
+  const std::shared_ptr<SharedServiceCache>& cache() const { return cache_; }
+  int shard_id() const { return shard_id_; }
 
   /// Finished-session results in completion order; moves them out.
+  /// Driving thread only (ShardedSyncService harvests via its own loop).
   std::vector<SessionResult> TakeResults();
 
  private:
@@ -229,6 +305,22 @@ class SyncService {
     int side = 0;
   };
 
+  /// One mailbox command (see Enqueue*).
+  struct Command {
+    enum class Kind { kSubmit, kRemote, kCancel, kLeaseWake };
+    Kind kind;
+    uint64_t id = 0;  // Session id, or the lease key for kLeaseWake.
+    SessionSpec spec;
+    Channel::Message message;
+    Status status;
+  };
+
+  void DrainMailbox();
+  /// DeliverRemote's core: consumes *message only on success, so callers
+  /// that must retain undeliverable frames (the mailbox retry path) avoid
+  /// copying payloads.
+  bool TryDeliverRemote(uint64_t id, Channel::Message* message);
+  void SubmitPreassigned(uint64_t id, SessionSpec spec);
   void Admit();
   void StartSession(Session* session);
   void ResumeParked(ParkedCoro parked);
@@ -238,6 +330,11 @@ class SyncService {
   void CollectReadyReceives(Session* session);
   void FinalizeSession(Session* session, Result<SsrOutcome> outcome);
   void RunOpaqueSession(Session* session);
+  /// Moves local lease waiters for `key` onto the scheduler queue.
+  void WakeLease(uint64_t key);
+  /// Retries mailbox remote messages that raced ahead of the receive park;
+  /// returns true when any was delivered (the step loop must settle again).
+  bool RetryDeferredRemote();
   std::shared_ptr<const SetsOfSetsProtocol> ProtocolFor(
       SsrProtocolKind kind, const SsrParams& params);
   /// Applies every queued planner op as one coalesced pass and resumes the
@@ -247,6 +344,19 @@ class SyncService {
 
   SyncServiceOptions options_;
   ServiceStats stats_;
+  std::shared_ptr<SharedServiceCache> cache_;
+  int shard_id_ = 0;
+  std::function<void(int shard, uint64_t key)> cross_shard_wake_;
+
+  /// Cross-thread inbox (see Enqueue*). Single consumer: the driving
+  /// thread, at the top of Step.
+  MpscQueue<Command> mailbox_;
+  /// Mailbox remote messages not yet deliverable (the session has not
+  /// parked its receive at that slot yet); retried when the step settles.
+  std::vector<std::pair<uint64_t, Channel::Message>> deferred_remote_;
+#ifndef NDEBUG
+  std::thread::id owner_thread_{};
+#endif
 
   struct PendingSession {
     uint64_t id;
@@ -270,10 +380,10 @@ class SyncService {
   /// Coroutines whose awaited peer message has arrived (split-party wakes),
   /// drained inside the Step flush loop.
   std::deque<ParkedCoro> recv_ready_;
-  /// Anti-stampede build leases: coroutines parked behind an in-flight
-  /// Alice message build, and the wake queue drained by the Step flush
-  /// loop.
-  std::unordered_set<uint64_t> held_leases_;
+  /// Coroutines parked behind an in-flight Alice message build (the lease
+  /// lives in the SharedServiceCache; the parked handles stay shard-local
+  /// because frames never cross threads), and the wake queue drained by
+  /// the Step flush loop.
   std::unordered_map<uint64_t, std::deque<ParkedCoro>> lease_waiters_;
   std::deque<ParkedCoro> lease_ready_;
   /// Live sessions by id (remote delivery / cancellation), plus messages
@@ -289,25 +399,14 @@ class SyncService {
   Iblt::ApplyScratch apply_scratch_;
 
   // Shared decode scratch pool (slots 0/1; see ProtocolContext::Scratch).
+  // Per shard: sessions on one shard share it, threads never do.
   DecodeScratch scratch_pool_[2];
 
-  // Alice-message memoization for registered shared sets.
-  std::vector<std::shared_ptr<const SetOfSets>> pinned_sets_;
-  std::unordered_map<const void*, uint64_t> set_identities_;
-  std::unordered_map<uint64_t, std::vector<uint8_t>> alice_cache_;
-  /// Positive ValidateSetOfSets verdicts for registered sets, per bounds.
-  std::unordered_set<uint64_t> validated_;
-  /// Bob-side parsed-table memo (see ProtocolContext::ParseTableMemo):
-  /// the table plus the serialized length to skip on replay.
-  struct TableMemoEntry {
-    Iblt table;
-    size_t consumed;
-  };
-  std::unordered_map<uint64_t, TableMemoEntry> table_memo_;
-
   std::vector<SessionResult> results_;
-  uint64_t next_session_id_ = 1;
-  uint64_t next_set_identity_ = 1;
+  /// Strided id sequence (see ConfigureIds); atomic because pump/facade
+  /// threads may allocate concurrently.
+  std::atomic<uint64_t> next_session_id_{1};
+  uint64_t id_stride_ = 1;
 };
 
 }  // namespace setrec

@@ -4,6 +4,37 @@
 
 namespace setrec {
 
+void Endpoint::Queue::Push(Channel::Message message) {
+  if (mu != nullptr) {
+    std::lock_guard<std::mutex> lock(*mu);
+    messages.push_back(std::move(message));
+    return;
+  }
+  messages.push_back(std::move(message));
+}
+
+bool Endpoint::Queue::Pop(Channel::Message* out) {
+  if (mu != nullptr) {
+    std::lock_guard<std::mutex> lock(*mu);
+    if (messages.empty()) return false;
+    *out = std::move(messages.front());
+    messages.pop_front();
+    return true;
+  }
+  if (messages.empty()) return false;
+  *out = std::move(messages.front());
+  messages.pop_front();
+  return true;
+}
+
+size_t Endpoint::Queue::Pending() const {
+  if (mu != nullptr) {
+    std::lock_guard<std::mutex> lock(*mu);
+    return messages.size();
+  }
+  return messages.size();
+}
+
 std::pair<Endpoint, Endpoint> Endpoint::LoopbackPair() {
   auto a_inbox = std::make_shared<Queue>();
   auto b_inbox = std::make_shared<Queue>();
@@ -16,6 +47,13 @@ std::pair<Endpoint, Endpoint> Endpoint::LoopbackPair() {
   return {std::move(a), std::move(b)};
 }
 
+std::pair<Endpoint, Endpoint> Endpoint::MailboxPair() {
+  std::pair<Endpoint, Endpoint> pair = LoopbackPair();
+  pair.first.inbox_->mu = std::make_unique<std::mutex>();
+  pair.second.inbox_->mu = std::make_unique<std::mutex>();
+  return pair;
+}
+
 bool Endpoint::Send(Channel::Message message) {
   if (peer_inbox_ == nullptr) {
     ++dropped_;  // Unconnected: drop, but observably.
@@ -23,15 +61,13 @@ bool Endpoint::Send(Channel::Message message) {
   }
   bytes_sent_ += message.payload.size();
   ++messages_sent_;
-  peer_inbox_->messages.push_back(std::move(message));
+  peer_inbox_->Push(std::move(message));
   return true;
 }
 
 bool Endpoint::Poll(Channel::Message* out) {
-  if (!inbox_ || inbox_->messages.empty()) return false;
-  *out = std::move(inbox_->messages.front());
-  inbox_->messages.pop_front();
-  return true;
+  if (!inbox_) return false;
+  return inbox_->Pop(out);
 }
 
 size_t Endpoint::DrainToStream(ByteWriter* writer) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -21,13 +22,26 @@ namespace setrec {
 /// mirrored 1:1 onto an endpoint and transcripts keep exact byte/round
 /// accounting on both transports.
 ///
-/// Like Channel, an Endpoint is not thread-safe; the service is a
-/// single-threaded step loop (only sketch-build flushes fan out to worker
-/// threads, and those never touch transports).
+/// THREAD SAFETY: a LoopbackPair is not thread-safe — both halves must be
+/// used by one thread (each service shard is a single-threaded step loop,
+/// so intra-shard mirrors need no synchronization). When the two halves
+/// live on DIFFERENT shard threads (a cross-shard mirror: the session
+/// steps on shard A while shard B's pump serializes its frames), use a
+/// MailboxPair instead: same interface, each direction's queue guarded by
+/// a mutex. Channel and FrameDecoder stay single-thread objects in both
+/// cases.
 class Endpoint {
  public:
   /// Two connected halves: whatever one sends, the other polls, in order.
+  /// Single-thread use only.
   static std::pair<Endpoint, Endpoint> LoopbackPair();
+
+  /// Like LoopbackPair, but safe for the two halves to live on different
+  /// threads (each may also have multiple senders): every queue operation
+  /// takes that queue's mutex. This is the cross-shard mirror endpoint —
+  /// the lock is uncontended in the common case (one sender, one poller)
+  /// and each critical section is one deque operation.
+  static std::pair<Endpoint, Endpoint> MailboxPair();
 
   Endpoint() = default;
 
@@ -44,7 +58,7 @@ class Endpoint {
   bool Poll(Channel::Message* out);
 
   /// Messages waiting in this half's inbox.
-  size_t pending() const { return inbox_ ? inbox_->messages.size() : 0; }
+  size_t pending() const { return inbox_ ? inbox_->Pending() : 0; }
 
   size_t messages_sent() const { return messages_sent_; }
   size_t bytes_sent() const { return bytes_sent_; }
@@ -60,6 +74,13 @@ class Endpoint {
  private:
   struct Queue {
     std::deque<Channel::Message> messages;
+    /// Present only on MailboxPair queues; null means single-thread
+    /// (loopback) and every operation skips locking.
+    std::unique_ptr<std::mutex> mu;
+
+    void Push(Channel::Message message);
+    bool Pop(Channel::Message* out);
+    size_t Pending() const;
   };
 
   std::shared_ptr<Queue> inbox_;

@@ -1,0 +1,87 @@
+#ifndef SETREC_UTIL_MPSC_QUEUE_H_
+#define SETREC_UTIL_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <utility>
+
+namespace setrec {
+
+/// Lock-free multi-producer single-consumer queue: the cross-shard handoff
+/// primitive of the sharded service/net layers. Producers (any thread) push
+/// with one CAS loop onto a Treiber stack; the single consumer detaches the
+/// whole stack with one exchange and replays it in FIFO order.
+///
+/// Contract:
+///  * Push is safe from any number of threads concurrently.
+///  * DrainInto / Empty must only be called by the one consumer thread
+///    (the shard that owns the mailbox).
+///  * Everything pushed before the consumer's drain is observed by that
+///    drain or a later one (release/acquire on the head pointer).
+///
+/// This is deliberately unbounded: mailbox traffic is control-plane
+/// (session submissions, lease wakes, adopted fds), bounded by the
+/// producers' own pacing, never by per-element protocol data.
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() = default;
+  ~MpscQueue() {
+    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    while (node != nullptr) {
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Enqueues `value`. Any thread.
+  void Push(T value) {
+    Node* node = new Node{std::move(value), head_.load(std::memory_order_relaxed)};
+    while (!head_.compare_exchange_weak(node->next, node,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Detaches every queued element and invokes `sink(T&&)` on each in FIFO
+  /// (push) order. Consumer thread only. Returns the number drained.
+  template <typename Sink>
+  size_t DrainInto(Sink&& sink) {
+    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    // The stack is LIFO; reverse once to replay in arrival order.
+    Node* fifo = nullptr;
+    while (node != nullptr) {
+      Node* next = node->next;
+      node->next = fifo;
+      fifo = node;
+      node = next;
+    }
+    size_t n = 0;
+    while (fifo != nullptr) {
+      Node* next = fifo->next;
+      sink(std::move(fifo->value));
+      delete fifo;
+      fifo = next;
+      ++n;
+    }
+    return n;
+  }
+
+  /// True when nothing is queued (racy by nature; callers use it only as a
+  /// fast-path hint, never for correctness).
+  bool Empty() const { return head_.load(std::memory_order_acquire) == nullptr; }
+
+ private:
+  struct Node {
+    T value;
+    Node* next;
+  };
+  std::atomic<Node*> head_{nullptr};
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_UTIL_MPSC_QUEUE_H_

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "transport/channel.h"
@@ -249,6 +250,34 @@ TEST(FrameDecoderAdversarial, OverlongVarintLengthLatches) {
   Channel::Message m;
   EXPECT_FALSE(decoder.Next(&m));
   EXPECT_TRUE(decoder.failed());
+}
+
+TEST(EndpointTest, MailboxPairCrossThread) {
+  // The cross-shard mirror shape: one thread sends, another polls. Every
+  // message must arrive exactly once, in order.
+  auto [producer_end, consumer_end] = Endpoint::MailboxPair();
+  constexpr int kMessages = 500;
+  std::thread producer([&, sender = &producer_end] {
+    for (int i = 0; i < kMessages; ++i) {
+      ASSERT_TRUE(sender->Send(
+          Msg(Party::kAlice, "m" + std::to_string(i),
+              {static_cast<uint8_t>(i & 0xff)})));
+    }
+  });
+  int received = 0;
+  Channel::Message m;
+  while (received < kMessages) {
+    if (!consumer_end.Poll(&m)) {
+      std::this_thread::yield();
+      continue;
+    }
+    EXPECT_EQ(m.label, "m" + std::to_string(received));
+    EXPECT_EQ(m.payload[0], static_cast<uint8_t>(received & 0xff));
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(consumer_end.pending(), 0u);
+  EXPECT_EQ(producer_end.messages_sent(), static_cast<size_t>(kMessages));
 }
 
 TEST(EndpointTest, UnconnectedSendReportsDrop) {

@@ -9,10 +9,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/workload.h"
 #include "hashing/random.h"
+#include "service/sharded_service.h"
 #include "service/sync_service.h"
 
 namespace setrec {
@@ -113,6 +115,93 @@ TEST(ServiceFuzzTest, HundredsOfInterleavedSessionsAllRecover) {
   // threshold — the cross-session occupancy the planner exists for.
   EXPECT_GT(stats.sharded_flushes, 0u);
   EXPECT_GE(stats.max_flush_keys, options.batch.sharded_min_keys);
+}
+
+TEST(ServiceFuzzTest, ShardedInterleavedSessionsAllRecover) {
+  // The fuzz workload shape of the test above, but spread over 3 shard
+  // threads (an odd count, so round-robin routing never aligns with the
+  // i%4 shared-set stride): every session still recovers its own Alice —
+  // no cross-session or cross-SHARD bleed through the shared cache, the
+  // striped lease table, or the per-shard planners.
+  constexpr int kSessions = 120;
+  Rng rng(424242);
+
+  ShardedSyncServiceOptions options;
+  options.shards = 3;
+  options.service.batch.sharded_min_keys = 512;
+  options.service.batch.max_workers = 2;
+  ShardedSyncService service(options);
+
+  SsrWorkloadSpec shared_spec;
+  shared_spec.num_children = 16;
+  shared_spec.child_size = 8;
+  shared_spec.changes = 3;
+  shared_spec.seed = 556;
+  SsrWorkload shared = MakeSsrWorkload(shared_spec);
+  auto server_set = std::make_shared<SetOfSets>(shared.alice);
+  service.RegisterSharedSet(server_set);
+
+  std::vector<Expected> expected;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kSessions; ++i) {
+    SessionSpec session;
+    session.label = "shardfuzz" + std::to_string(i);
+    session.protocol = static_cast<SsrProtocolKind>(rng.NextU64() % 4);
+
+    if (i % 4 == 0) {
+      SetOfSets bob = *server_set;
+      size_t victim = rng.NextU64() % bob.size();
+      if (bob[victim].size() > 1) bob[victim].pop_back();
+      bob[rng.NextU64() % bob.size()].push_back((1ull << 41) +
+                                                (rng.NextU64() & 0xffff));
+      bob = Canonicalize(std::move(bob));
+      session.params.max_child_size = shared_spec.child_size + 6;
+      session.params.max_children = shared_spec.num_children + 6;
+      session.params.seed = 9100;
+      session.alice = server_set;
+      session.bob = std::make_shared<SetOfSets>(std::move(bob));
+      session.known_d = 6;
+      expected.push_back({*server_set});
+    } else {
+      SsrWorkloadSpec spec;
+      spec.num_children = 8 + rng.NextU64() % 12;
+      spec.child_size = 4 + rng.NextU64() % 8;
+      spec.changes = 1 + rng.NextU64() % 4;
+      spec.touched_children = (i % 3 == 0) ? 2 : 0;
+      spec.seed = 60'000 + i;
+      SsrWorkload w = MakeSsrWorkload(spec);
+      session.params.max_child_size = spec.child_size + spec.changes + 2;
+      session.params.max_children = spec.num_children + spec.changes;
+      session.params.seed = 70'000 + i;
+      session.known_d = (i % 2 == 0)
+                            ? std::optional<size_t>(w.applied_changes)
+                            : std::nullopt;
+      session.alice = std::make_shared<SetOfSets>(w.alice);
+      session.bob = std::make_shared<SetOfSets>(w.bob);
+      expected.push_back({w.alice});
+    }
+    ids.push_back(service.Submit(std::move(session)));
+  }
+  service.RunToCompletion();
+
+  std::vector<SessionResult> results = service.TakeResults();
+  ASSERT_EQ(results.size(), static_cast<size_t>(kSessions));
+  // Ids are per-shard residue classes; map back through submission order.
+  std::unordered_map<uint64_t, size_t> index_of;
+  for (size_t i = 0; i < ids.size(); ++i) index_of.emplace(ids[i], i);
+  for (const SessionResult& result : results) {
+    auto it = index_of.find(result.id);
+    ASSERT_NE(it, index_of.end()) << result.label;
+    ASSERT_TRUE(result.status.ok())
+        << result.label << ": " << result.status.ToString();
+    EXPECT_EQ(result.recovered, Canonicalize(expected[it->second].alice))
+        << result.label;
+  }
+
+  const ServiceStats stats = service.AggregateStats();
+  EXPECT_EQ(stats.sessions_completed, static_cast<size_t>(kSessions));
+  EXPECT_EQ(stats.sessions_failed, 0u);
+  EXPECT_GT(stats.cache_hits, 0u);
 }
 
 TEST(ServiceFuzzTest, BacklogWindowDrainsEverything) {

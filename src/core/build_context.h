@@ -232,11 +232,16 @@ class ProtocolContext {
   /// `reader`, memoizing the parsed table by `key` (0 = plain parse). A
   /// session receiving a replayed cached message gets a bulk copy of the
   /// memoized table instead of a per-cell re-parse of identical bytes; the
-  /// reader advances identically either way.
+  /// reader advances identically either way. `codec` selects the wire
+  /// decoding (SsrParams::wire_codec — the cache key must already encode
+  /// it) and `lineage` lets the doubling protocols parse delta frames
+  /// against their previous attempt's table.
   virtual Result<Iblt> ParseTableMemo(uint64_t key, ByteReader* reader,
-                                      const IbltConfig& config) {
+                                      const IbltConfig& config,
+                                      WireCodec codec = WireCodec::kDense,
+                                      const TableLineage& lineage = {}) {
     (void)key;
-    return Iblt::Deserialize(reader, config);
+    return Iblt::DeserializeWith(codec, reader, config, lineage);
   }
 
   /// Anti-stampede lease around a cache miss: true = caller is now the

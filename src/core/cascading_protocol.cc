@@ -123,23 +123,31 @@ Task<Status> BuildLevelSketches(const SetOfSets& children,
 
 Task<Status> CascadingProtocol::AttemptAlice(const SetOfSets& alice, size_t d,
                                              size_t d_hat, uint64_t seed,
-                                             size_t* next, Channel* channel,
+                                             size_t* next,
+                                             AttemptTables* lineage,
+                                             Channel* channel,
                                              ProtocolContext* ctx) const {
   const size_t h = params_.max_child_size;
+  const bool sparse = params_.wire_codec == WireCodec::kSparse;
   HashFamily fp_family(seed, /*tag=*/0x66706373ull);
   const CascadePlan plan = MakePlan(h, d, d_hat, seed);
 
   // Every child encoded into every level (and T*). One message, memoized
   // across sessions sharing Alice's set; per-level child sketches and
-  // outer-table updates run through the deferred planner passes.
-  uint64_t cache_key = ProtocolCacheKey(ctx->SetIdentity(&alice),
-                                        {kAttemptTag, d, d_hat, seed, h});
+  // outer-table updates run through the deferred planner passes. The wire
+  // codec is part of the key (dense/sparse sessions must not replay each
+  // other's bytes).
+  uint64_t cache_key = ProtocolCacheKey(
+      ctx->SetIdentity(&alice),
+      {kAttemptTag, d, d_hat, seed, h,
+       static_cast<uint64_t>(params_.wire_codec)});
   auto build = [&](ByteWriter* writer) -> Task<Status> {
     writer->PutU64(ParentFingerprint(alice, fp_family));
     std::vector<uint64_t> fps(alice.size());
     for (size_t i = 0; i < alice.size(); ++i) {
       fps[i] = ChildFingerprint(alice[i], fp_family);
     }
+    AttemptTables built;  // This attempt's tables, kept only when sparse.
     std::vector<Iblt> sketches;
     for (size_t level = 0; level < plan.t; ++level) {
       Status s = co_await BuildLevelSketches(alice, plan.child_configs[level],
@@ -152,7 +160,15 @@ Task<Status> CascadingProtocol::AttemptAlice(const SetOfSets& alice, size_t d,
       Iblt outer(plan.outer_configs[level]);
       ctx->QueueInsertBytes(&outer, packed.bytes().data(), alice.size());
       co_await ctx->FlushBuilds();
-      outer.Serialize(writer);
+      // Delta vs. the previous attempt's table at this level when the
+      // config repeats (a doubling retry changes the seed today, so this
+      // mostly degrades to a full sparse frame — the lineage hook is what
+      // makes any future same-config retransmission nearly free).
+      TableLineage parent{level < lineage->outers.size()
+                              ? &lineage->outers[level]
+                              : nullptr};
+      outer.SerializeWith(params_.wire_codec, writer, parent);
+      if (sparse) built.outers.push_back(std::move(outer));
     }
     if (plan.has_star) {
       ByteWriter packed;
@@ -162,8 +178,12 @@ Task<Status> CascadingProtocol::AttemptAlice(const SetOfSets& alice, size_t d,
       Iblt star(plan.star_config);
       ctx->QueueInsertBytes(&star, packed.bytes().data(), alice.size());
       co_await ctx->FlushBuilds();
-      star.Serialize(writer);
+      star.SerializeWith(
+          params_.wire_codec, writer,
+          TableLineage{lineage->star ? &*lineage->star : nullptr});
+      if (sparse) built.star = std::move(star);
     }
+    if (sparse) *lineage = std::move(built);
     co_return Status::Ok();
   };
   Result<size_t> sent =
@@ -176,12 +196,16 @@ Task<Status> CascadingProtocol::AttemptAlice(const SetOfSets& alice, size_t d,
 
 Task<Result<SetOfSets>> CascadingProtocol::AttemptBob(
     const SetOfSets& bob, size_t d, size_t d_hat, uint64_t seed, size_t* next,
-    bool* peer_aborted, Channel* channel, ProtocolContext* ctx) const {
+    AttemptTables* lineage, bool* peer_aborted, Channel* channel,
+    ProtocolContext* ctx) const {
   const size_t h = params_.max_child_size;
+  const bool sparse = params_.wire_codec == WireCodec::kSparse;
   HashFamily fp_family(seed, /*tag=*/0x66706373ull);
   const CascadePlan plan = MakePlan(h, d, d_hat, seed);
-  uint64_t cache_key = ProtocolCacheKey(ctx->PeerSetIdentity(),
-                                        {kAttemptTag, d, d_hat, seed, h});
+  uint64_t cache_key = ProtocolCacheKey(
+      ctx->PeerSetIdentity(),
+      {kAttemptTag, d, d_hat, seed, h,
+       static_cast<uint64_t>(params_.wire_codec)});
 
   const Channel::Message& m = co_await ctx->Receive(channel, *next);
   ++*next;
@@ -196,17 +220,31 @@ Task<Result<SetOfSets>> CascadingProtocol::AttemptBob(
   }
   std::vector<Iblt> outer_tables;
   for (size_t level = 0; level < plan.t; ++level) {
+    TableLineage parent{level < lineage->outers.size()
+                            ? &lineage->outers[level]
+                            : nullptr};
     Result<Iblt> table = ctx->ParseTableMemo(TableMemoKey(cache_key, level),
                                              &reader,
-                                             plan.outer_configs[level]);
+                                             plan.outer_configs[level],
+                                             params_.wire_codec, parent);
     if (!table.ok()) co_return table.status();
     outer_tables.push_back(std::move(table).value());
   }
   Result<Iblt> star_table =
-      plan.has_star ? ctx->ParseTableMemo(TableMemoKey(cache_key, plan.t),
-                                          &reader, plan.star_config)
-                    : InvalidArgument("unused");
+      plan.has_star
+          ? ctx->ParseTableMemo(
+                TableMemoKey(cache_key, plan.t), &reader, plan.star_config,
+                params_.wire_codec,
+                TableLineage{lineage->star ? &*lineage->star : nullptr})
+          : InvalidArgument("unused");
   if (plan.has_star && !star_table.ok()) co_return star_table.status();
+  if (sparse) {
+    // Retain pristine copies for the next attempt's delta frames before the
+    // decode below erases Bob's encodings out of the tables in place.
+    lineage->outers = outer_tables;
+    lineage->star.reset();
+    if (plan.has_star) lineage->star = star_table.value();
+  }
 
   std::vector<bool> in_db(bob.size(), false);   // Bob's differing children.
   SetOfSets da;                                  // Alice's recovered children.
@@ -376,6 +414,7 @@ Task<Status> CascadingProtocol::ReconcileAsyncAlice(
   const int trials = known_d.has_value() ? params_.max_attempts
                                          : kMaxDoublings;
   size_t d = known_d.has_value() ? std::max<size_t>(*known_d, 1) : 2;
+  AttemptTables lineage;  // Previous attempt's tables (sparse delta frames).
   co_return co_await RunAliceTrials(
       ctx, channel, &next, trials,
       [&](int trial) {
@@ -385,7 +424,8 @@ Task<Status> CascadingProtocol::ReconcileAsyncAlice(
       },
       [&](int, uint64_t seed) {
         size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
-        return AttemptAlice(alice, d, d_hat, seed, &next, channel, ctx);
+        return AttemptAlice(alice, d, d_hat, seed, &next, &lineage, channel,
+                            ctx);
       },
       [&] {
         // Clamped identically in both halves: a remote peer's fail
@@ -417,6 +457,7 @@ Task<Result<SsrOutcome>> CascadingProtocol::ReconcileAsyncBob(
   const int trials = known_d.has_value() ? params_.max_attempts
                                          : kMaxDoublings;
   size_t d = known_d.has_value() ? std::max<size_t>(*known_d, 1) : 2;
+  AttemptTables lineage;  // Previous attempt's tables (sparse delta frames).
   co_return co_await RunBobTrials(
       ctx, channel, &next, trials,
       [&](int trial) {
@@ -426,8 +467,8 @@ Task<Result<SsrOutcome>> CascadingProtocol::ReconcileAsyncBob(
       },
       [&](int, uint64_t seed, bool* peer_aborted) {
         size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
-        return AttemptBob(bob, d, d_hat, seed, &next, peer_aborted, channel,
-                          ctx);
+        return AttemptBob(bob, d, d_hat, seed, &next, &lineage, peer_aborted,
+                          channel, ctx);
       },
       [&] {
         if (!known_d.has_value()) {

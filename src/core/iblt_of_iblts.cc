@@ -71,8 +71,10 @@ Task<Status> IbltOfIbltsProtocol::AttemptAlice(const SetOfSets& alice,
   // per child, coalesced across children and sessions), then the packed
   // blobs land in the outer table as one batch. The whole message is
   // memoized across sessions sharing Alice's set.
-  uint64_t cache_key = ProtocolCacheKey(ctx->SetIdentity(&alice),
-                                        {kAttemptTag, d, d_hat, seed});
+  uint64_t cache_key = ProtocolCacheKey(
+      ctx->SetIdentity(&alice),
+      {kAttemptTag, d, d_hat, seed,
+       static_cast<uint64_t>(params_.wire_codec)});
   auto build = [&](ByteWriter* writer) -> Task<Status> {
     std::vector<Iblt> sketches;
     sketches.reserve(alice.size());
@@ -90,7 +92,7 @@ Task<Status> IbltOfIbltsProtocol::AttemptAlice(const SetOfSets& alice,
     ctx->QueueInsertBytes(&outer, packed.bytes().data(), alice.size());
     co_await ctx->FlushBuilds();
     writer->PutU64(ParentFingerprint(alice, fp_family));
-    outer.Serialize(writer);
+    outer.SerializeWith(params_.wire_codec, writer);
     co_return Status::Ok();
   };
   Result<size_t> sent =
@@ -108,8 +110,10 @@ Task<Result<SetOfSets>> IbltOfIbltsProtocol::AttemptBob(
   const AttemptConfigs configs = MakeConfigs(d, d_hat, seed);
   const IbltConfig& child_config = configs.child;
   const IbltConfig& outer_config = configs.outer;
-  uint64_t cache_key = ProtocolCacheKey(ctx->PeerSetIdentity(),
-                                        {kAttemptTag, d, d_hat, seed});
+  uint64_t cache_key = ProtocolCacheKey(
+      ctx->PeerSetIdentity(),
+      {kAttemptTag, d, d_hat, seed,
+       static_cast<uint64_t>(params_.wire_codec)});
 
   const Channel::Message& m = co_await ctx->Receive(channel, *next);
   ++*next;
@@ -122,8 +126,9 @@ Task<Result<SetOfSets>> IbltOfIbltsProtocol::AttemptBob(
   if (!reader.GetU64(&alice_parent_fp)) {
     co_return ParseError("iblt2 message truncated");
   }
-  Result<Iblt> received =
-      ctx->ParseTableMemo(TableMemoKey(cache_key, 0), &reader, outer_config);
+  Result<Iblt> received = ctx->ParseTableMemo(TableMemoKey(cache_key, 0),
+                                              &reader, outer_config,
+                                              params_.wire_codec);
   if (!received.ok()) co_return received.status();
   Iblt remote = std::move(received).value();
 

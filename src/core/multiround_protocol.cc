@@ -52,9 +52,11 @@ IbltConfig FingerprintConfig(size_t d_hat, uint64_t seed) {
 
 Task<Status> MultiRoundProtocol::AttemptAlice(
     const SetOfSets& alice, std::optional<size_t> known_d, size_t d_hat,
-    bool carry_d_hat, uint64_t seed, size_t* next, AttemptEnd* end,
-    Channel* channel, ProtocolContext* ctx) const {
+    bool carry_d_hat, uint64_t seed, size_t* next,
+    std::optional<Iblt>* fp_lineage, AttemptEnd* end, Channel* channel,
+    ProtocolContext* ctx) const {
   *end = AttemptEnd::kRetry;
+  const bool sparse = params_.wire_codec == WireCodec::kSparse;
   HashFamily fp_family(seed, /*tag=*/0x66706d72ull);
   const L0Estimator::Params est_params = ChildEstimatorParams(seed);
 
@@ -64,10 +66,11 @@ Task<Status> MultiRoundProtocol::AttemptAlice(
   IbltConfig fp_config = FingerprintConfig(d_hat, seed);
   // The mode flag is part of the key: estimator-mode messages carry a
   // d-hat prefix, and an SSRK session landing on the same (d_hat, seed)
-  // must not replay them.
+  // must not replay them. The wire codec is part of the key too.
   uint64_t cache_key =
       ProtocolCacheKey(ctx->SetIdentity(&alice),
-                       {kAttemptTag, d_hat, seed, carry_d_hat ? 1u : 0u});
+                       {kAttemptTag, d_hat, seed, carry_d_hat ? 1u : 0u,
+                        static_cast<uint64_t>(params_.wire_codec)});
   // Alice's child fingerprints are needed unconditionally (the msg2
   // matching map below), so compute them once and share with the builder.
   std::vector<uint64_t> alice_fps(alice.size());
@@ -80,7 +83,14 @@ Task<Status> MultiRoundProtocol::AttemptAlice(
     ctx->QueueInsertU64(&ta, alice_fps.data(), alice_fps.size());
     co_await ctx->FlushBuilds();
     writer->PutU64(ParentFingerprint(alice, fp_family));
-    ta.Serialize(writer);
+    // A retry whose fingerprint config repeats resends only changed cells
+    // (today each attempt folds the trial into the seed, so this mostly
+    // degrades to a full frame; the lineage hook makes any same-config
+    // retransmission a four-byte unchanged marker).
+    ta.SerializeWith(
+        params_.wire_codec, writer,
+        TableLineage{*fp_lineage ? &**fp_lineage : nullptr});
+    if (sparse) *fp_lineage = std::move(ta);
     co_return Status::Ok();
   };
   Result<size_t> sent =
@@ -230,7 +240,8 @@ Task<Status> MultiRoundProtocol::AttemptAlice(
         w3.PutU64Vector(child);
         break;
       case PayloadMode::kIblt:
-        iblt_payloads[plan.sketch_index].Serialize(&w3);
+        iblt_payloads[plan.sketch_index].SerializeWith(params_.wire_codec,
+                                                       &w3);
         break;
       case PayloadMode::kCharPoly: {
         CharPolyReconciler reconciler(plan.d_i,
@@ -268,9 +279,10 @@ Task<Status> MultiRoundProtocol::AttemptAlice(
 
 Task<Result<SetOfSets>> MultiRoundProtocol::AttemptBob(
     const SetOfSets& bob, size_t* d_hat, bool carry_d_hat, uint64_t seed,
-    size_t* next, AttemptEnd* end, Channel* channel,
-    ProtocolContext* ctx) const {
+    size_t* next, std::optional<Iblt>* fp_lineage, AttemptEnd* end,
+    Channel* channel, ProtocolContext* ctx) const {
   *end = AttemptEnd::kRetry;
+  const bool sparse = params_.wire_codec == WireCodec::kSparse;
   HashFamily fp_family(seed, /*tag=*/0x66706d72ull);
   const L0Estimator::Params est_params = ChildEstimatorParams(seed);
 
@@ -295,21 +307,26 @@ Task<Result<SetOfSets>> MultiRoundProtocol::AttemptBob(
   IbltConfig fp_config = FingerprintConfig(*d_hat, seed);
   uint64_t cache_key =
       ProtocolCacheKey(ctx->PeerSetIdentity(),
-                       {kAttemptTag, *d_hat, seed, carry_d_hat ? 1u : 0u});
+                       {kAttemptTag, *d_hat, seed, carry_d_hat ? 1u : 0u,
+                        static_cast<uint64_t>(params_.wire_codec)});
   uint64_t alice_parent_fp = 0;
   if (!r1.GetU64(&alice_parent_fp)) {
     *end = AttemptEnd::kTerminal;
     co_return co_await SendAbort(ctx, channel, Party::kBob,
                                  ParseError("mr msg1 truncated"));
   }
-  Result<Iblt> ta_received =
-      ctx->ParseTableMemo(TableMemoKey(cache_key, 0), &r1, fp_config);
+  Result<Iblt> ta_received = ctx->ParseTableMemo(
+      TableMemoKey(cache_key, 0), &r1, fp_config, params_.wire_codec,
+      TableLineage{*fp_lineage ? &**fp_lineage : nullptr});
   if (!ta_received.ok()) {
     *end = AttemptEnd::kTerminal;
     co_return co_await SendAbort(ctx, channel, Party::kBob,
                                  ta_received.status());
   }
   Iblt fp_diff = std::move(ta_received).value();
+  // Retain the pristine parse for the next attempt's delta frame before the
+  // erase below mutates the table in place.
+  if (sparse) *fp_lineage = fp_diff;
 
   // Pooled scratch, reused for the fingerprint and child decodes (all u64
   // decodes here return owning vectors, so holding it across round yields
@@ -440,7 +457,8 @@ Task<Result<SetOfSets>> MultiRoundProtocol::AttemptBob(
             break;
           }
           IbltConfig config = ChildPayloadConfig(d_i, seed, fp);
-          Result<Iblt> sketch = Iblt::Deserialize(&r3, config);
+          Result<Iblt> sketch =
+              Iblt::DeserializeWith(params_.wire_codec, &r3, config);
           if (!sketch.ok()) {
             fail = sketch.status();
             break;
@@ -573,12 +591,13 @@ Task<Status> MultiRoundProtocol::ReconcileAsyncAlice(
 
   // Shared trial driver (AttemptEnd flavor: the verdict exchange is
   // interleaved with the attempt's own four messages).
+  std::optional<Iblt> fp_lineage;  // Previous attempt's fingerprint table.
   co_return co_await RunAliceEndTrials(
       params_.max_attempts,
       [&](int trial) { return DeriveSeed(params_.seed, kAttemptTag + trial); },
       [&](int, uint64_t seed, AttemptEnd* end) {
         return AttemptAlice(alice, known_d, d_hat, estimated, seed, &next,
-                            end, channel, ctx);
+                            &fp_lineage, end, channel, ctx);
       },
       [&] {
         if (estimated) {
@@ -630,12 +649,13 @@ Task<Result<SsrOutcome>> MultiRoundProtocol::ReconcileAsyncBob(
   }
 
   // Bob's retry state (d_hat) rides on the wire; empty on_retry.
+  std::optional<Iblt> fp_lineage;  // Previous attempt's fingerprint table.
   co_return co_await RunBobEndTrials(
       channel, params_.max_attempts,
       [&](int trial) { return DeriveSeed(params_.seed, kAttemptTag + trial); },
       [&](int, uint64_t seed, AttemptEnd* end) {
-        return AttemptBob(bob, &d_hat, estimated, seed, &next, end, channel,
-                          ctx);
+        return AttemptBob(bob, &d_hat, estimated, seed, &next, &fp_lineage,
+                          end, channel, ctx);
       },
       [] {}, "multiround failed: ");
 }

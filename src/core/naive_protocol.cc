@@ -52,10 +52,13 @@ Task<Status> NaiveProtocol::AttemptAlice(const SetOfSets& alice, size_t d_hat,
   // Message memoized across sessions sharing Alice's set; the d-hat prefix
   // (estimator mode) is part of the cached bytes, so the mode flag is part
   // of the key — an SSRK session landing on the same (d_hat, seed) must
-  // not replay prefixed SSRU bytes.
+  // not replay prefixed SSRU bytes. The wire codec shapes the bytes too,
+  // so it is part of the key: dense and sparse sessions coexist in one
+  // service without replaying each other's encodings.
   uint64_t cache_key =
       ProtocolCacheKey(ctx->SetIdentity(&alice),
-                       {kAttemptTag, d_hat, seed, h, carry_d_hat ? 1u : 0u});
+                       {kAttemptTag, d_hat, seed, h, carry_d_hat ? 1u : 0u,
+                        static_cast<uint64_t>(params_.wire_codec)});
   auto build = [&](ByteWriter* writer) -> Task<Status> {
     if (carry_d_hat) writer->PutVarint(d_hat);
     Iblt table(config);
@@ -63,7 +66,7 @@ Task<Status> NaiveProtocol::AttemptAlice(const SetOfSets& alice, size_t d_hat,
     ctx->QueueInsertBytes(&table, packed.data(), alice.size());
     co_await ctx->FlushBuilds();
     writer->PutU64(ParentFingerprint(alice, fp_family));
-    table.Serialize(writer);
+    table.SerializeWith(params_.wire_codec, writer);
     co_return Status::Ok();
   };
   Result<size_t> sent =
@@ -99,12 +102,14 @@ Task<Result<SetOfSets>> NaiveProtocol::AttemptBob(
   HashFamily fp_family(seed, /*tag=*/0x70666e76ull);
   uint64_t cache_key = ProtocolCacheKey(
       ctx->PeerSetIdentity(),
-      {kAttemptTag, *d_hat, seed, h, carry_d_hat ? 1u : 0u});
+      {kAttemptTag, *d_hat, seed, h, carry_d_hat ? 1u : 0u,
+       static_cast<uint64_t>(params_.wire_codec)});
 
   uint64_t alice_fp = 0;
   if (!reader.GetU64(&alice_fp)) co_return ParseError("naive message truncated");
-  Result<Iblt> received =
-      ctx->ParseTableMemo(TableMemoKey(cache_key, 0), &reader, config);
+  Result<Iblt> received = ctx->ParseTableMemo(TableMemoKey(cache_key, 0),
+                                              &reader, config,
+                                              params_.wire_codec);
   if (!received.ok()) co_return received.status();
   Iblt remote = std::move(received).value();
   std::vector<uint8_t> bob_packed = PackChildBlobs(bob, h);

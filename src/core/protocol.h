@@ -8,6 +8,7 @@
 
 #include "core/task.h"
 #include "hashing/hash.h"
+#include "iblt/iblt.h"
 #include "transport/channel.h"
 #include "util/status.h"
 
@@ -49,6 +50,11 @@ struct SsrParams {
   int max_attempts = 4;
   /// Safety factor applied to difference-estimator outputs (SSRU paths).
   double estimate_slack = 2.0;
+  /// Wire encoding for the IBLT tables the protocols exchange (a transport
+  /// concern: tables and decode results are identical under every codec).
+  /// Both parties must agree; src/net negotiates it in the hello frame,
+  /// defaulting to kDense so old transcripts and peers stay compatible.
+  WireCodec wire_codec = WireCodec::kDense;
 
   bool operator==(const SsrParams&) const = default;
 };

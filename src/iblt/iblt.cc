@@ -20,10 +20,11 @@ namespace {
 // Runtime-dispatched lane XOR. Two shapes cover every key XOR the table
 // does: dst[i] ^= src[i] over n lanes (Subtract/Add, peel removal), and
 // dst ^= `width` raw key bytes (cell updates). The AVX2 variants run
-// 4-lane (32-byte) steps — the win shows on wide blob keys (cascading
-// outer tables, child encodings); 8-byte keys stay on the single-lane
-// fast path. Results are bit-identical across backends, so tables, wire
-// bytes and decodes do not depend on the host's ISA.
+// 4-lane (32-byte) steps and the AVX-512 variants 8-lane (64-byte) steps
+// with masked tails — the win shows on wide blob keys (cascading outer
+// tables, child encodings); 8-byte keys stay on the single-lane fast
+// path. Results are bit-identical across backends, so tables, wire bytes
+// and decodes do not depend on the host's ISA.
 // ---------------------------------------------------------------------------
 
 void XorLanesScalar(uint64_t* dst, const uint64_t* src, size_t n) {
@@ -87,6 +88,50 @@ __attribute__((target("avx2"))) void XorKeyAvx2(uint64_t* dst,
     dst[full] ^= lane;
   }
 }
+// AVX-512 variants: 8-lane (64-byte) strides with masked tails, so there
+// is no scalar cleanup loop — the final partial block is one maskz load /
+// mask store pair (masked-out lanes are architecturally not accessed).
+__attribute__((target("avx512f"))) void XorLanesAvx512(uint64_t* dst,
+                                                       const uint64_t* src,
+                                                       size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i a = _mm512_loadu_si512(dst + i);
+    const __m512i b = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i, _mm512_xor_si512(a, b));
+  }
+  if (const size_t rem = n - i; rem != 0) {
+    const __mmask8 m = static_cast<__mmask8>((1u << rem) - 1);
+    const __m512i a = _mm512_maskz_loadu_epi64(m, dst + i);
+    const __m512i b = _mm512_maskz_loadu_epi64(m, src + i);
+    _mm512_mask_storeu_epi64(dst + i, m, _mm512_xor_si512(a, b));
+  }
+}
+
+__attribute__((target("avx512f"))) void XorKeyAvx512(uint64_t* dst,
+                                                     const uint8_t* key,
+                                                     size_t width) {
+  const size_t full = width / 8;
+  size_t i = 0;
+  for (; i + 8 <= full; i += 8) {
+    const __m512i a = _mm512_loadu_si512(dst + i);
+    const __m512i b = _mm512_loadu_si512(key + 8 * i);
+    _mm512_storeu_si512(dst + i, _mm512_xor_si512(a, b));
+  }
+  if (const size_t rem_lanes = full - i; rem_lanes != 0) {
+    const __mmask8 m = static_cast<__mmask8>((1u << rem_lanes) - 1);
+    const __m512i a = _mm512_maskz_loadu_epi64(m, dst + i);
+    const __m512i b = _mm512_maskz_loadu_epi64(m, key + 8 * i);
+    _mm512_mask_storeu_epi64(dst + i, m, _mm512_xor_si512(a, b));
+  }
+  if (const size_t rem = width % 8; rem != 0) {
+    // Sub-word tail: the key buffer ends mid-lane, so a masked 64-bit load
+    // could touch bytes past the buffer. Stay scalar for the last < 8 bytes.
+    uint64_t lane = 0;
+    std::memcpy(&lane, key + 8 * full, rem);
+    dst[full] ^= lane;
+  }
+}
 #endif  // SETREC_X86_SIMD
 
 using XorLanesFn = void (*)(uint64_t*, const uint64_t*, size_t);
@@ -100,9 +145,21 @@ bool HostHasAvx2() {
 #endif
 }
 
+bool HostHasAvx512() {
 #ifdef SETREC_X86_SIMD
-XorLanesFn g_xor_lanes = HostHasAvx2() ? &XorLanesAvx2 : &XorLanesScalar;
-XorKeyFn g_xor_key = HostHasAvx2() ? &XorKeyAvx2 : &XorKeyScalar;
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+#ifdef SETREC_X86_SIMD
+XorLanesFn g_xor_lanes = HostHasAvx512() ? &XorLanesAvx512
+                         : HostHasAvx2() ? &XorLanesAvx2
+                                         : &XorLanesScalar;
+XorKeyFn g_xor_key = HostHasAvx512() ? &XorKeyAvx512
+                     : HostHasAvx2() ? &XorKeyAvx2
+                                     : &XorKeyScalar;
 #else
 XorLanesFn g_xor_lanes = &XorLanesScalar;
 XorKeyFn g_xor_key = &XorKeyScalar;
@@ -138,7 +195,11 @@ inline void XorKeyIntoLanes(uint64_t* dst, const uint8_t* key, size_t width) {
 }  // namespace
 
 const char* Iblt::LaneXorBackend() {
-  return g_xor_lanes == &XorLanesScalar ? "scalar" : "avx2";
+#ifdef SETREC_X86_SIMD
+  if (g_xor_lanes == &XorLanesAvx512) return "avx512";
+  if (g_xor_lanes == &XorLanesAvx2) return "avx2";
+#endif
+  return "scalar";
 }
 
 void Iblt::ForceScalarLaneXorForTest(bool force) {
@@ -148,7 +209,10 @@ void Iblt::ForceScalarLaneXorForTest(bool force) {
     return;
   }
 #ifdef SETREC_X86_SIMD
-  if (HostHasAvx2()) {
+  if (HostHasAvx512()) {
+    g_xor_lanes = &XorLanesAvx512;
+    g_xor_key = &XorKeyAvx512;
+  } else if (HostHasAvx2()) {
     g_xor_lanes = &XorLanesAvx2;
     g_xor_key = &XorKeyAvx2;
   }
@@ -729,6 +793,355 @@ Result<Iblt> Iblt::DeserializeFixed(ByteReader* reader,
     }
   }
   return table;
+}
+
+// ---------------------------------------------------------------------------
+// Sparse wire codec (WireCodec::kSparse). Frame = mode byte + body:
+//   mode 0 (raw)    — the exact dense cell stream of Serialize(); emitted
+//                     when the sparse body would not be smaller (saturated
+//                     tables of incompressible data, e.g. the fingerprint
+//                     tables whose cells are pure 64-bit hashes).
+//   mode 1 (sparse) — occupancy bitmap over !CellIsZero, packed 2-bit count
+//                     codes for occupied cells, escape list for counts
+//                     outside {-1, +1}, 8 raw check bytes per occupied
+//                     cell, group-masked key bytes per occupied cell.
+//   mode 2 (delta)  — changed-cell bitmap vs. a lineage parent of identical
+//                     config, then the same count/check/key sections for
+//                     the changed cells (new absolute values; zero allowed).
+// Every section is strictly validated; any malformed prefix yields
+// kParseError and no table. Byte-level layout: src/net/README.md.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint8_t kSparseModeRaw = 0;
+constexpr uint8_t kSparseModeBitmap = 1;
+constexpr uint8_t kSparseModeDelta = 2;
+
+// 2-bit count codes, four per byte, low crumbs first.
+constexpr uint8_t kCountPlusOne = 0;
+constexpr uint8_t kCountMinusOne = 1;
+constexpr uint8_t kCountZero = 2;
+constexpr uint8_t kCountEscape = 3;
+
+size_t VarintLen(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+// Group-mask key compression: each 8-byte group of the key is one mask
+// byte (bit j = byte j of the group is non-zero) followed by only the
+// non-zero bytes. Wire tables subtract away most structure, so key fields
+// are dominated by zero bytes; masks reclaim them at one byte per group.
+void PutMaskedKey(const uint8_t* key, size_t width, ByteWriter* writer) {
+  for (size_t g = 0; g < width; g += 8) {
+    const size_t len = std::min<size_t>(8, width - g);
+    uint8_t mask = 0;
+    for (size_t b = 0; b < len; ++b) {
+      mask |= static_cast<uint8_t>((key[g + b] != 0) << b);
+    }
+    writer->PutU8(mask);
+    for (size_t b = 0; b < len; ++b) {
+      if (key[g + b] != 0) writer->PutU8(key[g + b]);
+    }
+  }
+}
+
+size_t MaskedKeyLen(const uint8_t* key, size_t width) {
+  size_t n = 0;
+  for (size_t g = 0; g < width; g += 8) {
+    const size_t len = std::min<size_t>(8, width - g);
+    ++n;
+    for (size_t b = 0; b < len; ++b) n += (key[g + b] != 0);
+  }
+  return n;
+}
+
+// Reads a group-masked key into `out` (writes all `width` bytes, zeros
+// included). Fails on truncation or mask bits past a short tail group.
+bool GetMaskedKey(ByteReader* reader, size_t width, uint8_t* out) {
+  for (size_t g = 0; g < width; g += 8) {
+    const size_t len = std::min<size_t>(8, width - g);
+    uint8_t mask = 0;
+    if (!reader->GetU8(&mask)) return false;
+    if (len < 8 && (mask >> len) != 0) return false;
+    for (size_t b = 0; b < len; ++b) {
+      if (mask & (1u << b)) {
+        if (!reader->GetU8(&out[g + b])) return false;
+      } else {
+        out[g + b] = 0;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t Iblt::DenseSerializedSize() const {
+  size_t n = 0;
+  for (size_t i = 0; i < cells_; ++i) {
+    n += VarintLen(ZigZag(meta_[i].count)) + 8 + config_.key_width;
+  }
+  return n;
+}
+
+void Iblt::EncodeCellBlock(const std::vector<uint32_t>& cells,
+                           ByteWriter* writer) const {
+  // Packed 2-bit count codes, four per byte; unused trailing crumbs stay 0.
+  uint8_t crumbs = 0;
+  int filled = 0;
+  std::vector<uint32_t> escapes;
+  for (size_t ord = 0; ord < cells.size(); ++ord) {
+    const int64_t count = meta_[cells[ord]].count;
+    uint8_t code;
+    if (count == 1) {
+      code = kCountPlusOne;
+    } else if (count == -1) {
+      code = kCountMinusOne;
+    } else if (count == 0) {
+      code = kCountZero;
+    } else {
+      code = kCountEscape;
+      escapes.push_back(static_cast<uint32_t>(ord));
+    }
+    crumbs |= static_cast<uint8_t>(code << (2 * filled));
+    if (++filled == 4) {
+      writer->PutU8(crumbs);
+      crumbs = 0;
+      filled = 0;
+    }
+  }
+  if (filled != 0) writer->PutU8(crumbs);
+  // Escape list: occupied-ordinal + zigzag count per escaped cell. The
+  // ordinals are redundant with the code stream but make each escape entry
+  // self-locating, so the decoder can cross-check them.
+  writer->PutVarint(escapes.size());
+  for (uint32_t ord : escapes) {
+    writer->PutVarint(ord);
+    writer->PutVarint(ZigZag(meta_[cells[ord]].count));
+  }
+  // Checksums are XORs of uniform 64-bit hashes — incompressible; raw.
+  for (uint32_t cell : cells) writer->PutU64(meta_[cell].check);
+  // Key payloads, zero bytes suppressed behind group masks.
+  for (uint32_t cell : cells) {
+    PutMaskedKey(CellKeyBytes(cell), config_.key_width, writer);
+  }
+}
+
+Status Iblt::DecodeCellBlock(ByteReader* reader,
+                             const std::vector<uint32_t>& cells,
+                             bool allow_zero_cells) {
+  const size_t n = cells.size();
+  // Count codes.
+  std::vector<uint8_t> codes(n, kCountZero);
+  for (size_t ord = 0; ord < n; ord += 4) {
+    uint8_t crumbs = 0;
+    if (!reader->GetU8(&crumbs)) {
+      return ParseError("sparse IBLT truncated (count codes)");
+    }
+    const size_t in_byte = std::min<size_t>(4, n - ord);
+    if (in_byte < 4 && (crumbs >> (2 * in_byte)) != 0) {
+      return ParseError("sparse IBLT: count codes past the last cell");
+    }
+    for (size_t b = 0; b < in_byte; ++b) {
+      codes[ord + b] = (crumbs >> (2 * b)) & 0x3;
+    }
+  }
+  // Escape list, cross-checked against the kCountEscape positions: entries
+  // must name exactly those ordinals, in order, with counts that actually
+  // need escaping.
+  uint64_t num_escapes = 0;
+  if (!reader->GetVarint(&num_escapes)) {
+    return ParseError("sparse IBLT truncated (escape count)");
+  }
+  if (num_escapes > n) {
+    return ParseError("sparse IBLT: escape count exceeds occupied cells");
+  }
+  size_t next_escape = 0;  // Scans codes[] for the next kCountEscape.
+  std::vector<int64_t> escaped_counts(n, 0);
+  for (uint64_t e = 0; e < num_escapes; ++e) {
+    uint64_t ord = 0;
+    uint64_t zz = 0;
+    if (!reader->GetVarint(&ord) || !reader->GetVarint(&zz)) {
+      return ParseError("sparse IBLT truncated (escape list)");
+    }
+    if (ord >= n) {
+      return ParseError("sparse IBLT: escape-list index out of range");
+    }
+    while (next_escape < n && codes[next_escape] != kCountEscape) {
+      ++next_escape;
+    }
+    if (next_escape >= n || ord != next_escape) {
+      return ParseError("sparse IBLT: escape-list index mismatch");
+    }
+    const int64_t count = UnZigZag(zz);
+    if (count >= -1 && count <= 1) {
+      return ParseError("sparse IBLT: non-canonical escape count");
+    }
+    escaped_counts[ord] = count;
+    ++next_escape;
+  }
+  for (size_t ord = next_escape; ord < n; ++ord) {
+    if (codes[ord] == kCountEscape) {
+      return ParseError("sparse IBLT: escape code without escape entry");
+    }
+  }
+  // Apply counts.
+  for (size_t ord = 0; ord < n; ++ord) {
+    switch (codes[ord]) {
+      case kCountPlusOne:
+        meta_[cells[ord]].count = 1;
+        break;
+      case kCountMinusOne:
+        meta_[cells[ord]].count = -1;
+        break;
+      case kCountZero:
+        meta_[cells[ord]].count = 0;
+        break;
+      default:
+        meta_[cells[ord]].count = escaped_counts[ord];
+        break;
+    }
+  }
+  // Checks.
+  for (size_t ord = 0; ord < n; ++ord) {
+    if (!reader->GetU64(&meta_[cells[ord]].check)) {
+      return ParseError("sparse IBLT truncated (check)");
+    }
+  }
+  // Keys (group-masked; writes every key byte, so parent values from the
+  // delta path are fully overwritten).
+  for (size_t ord = 0; ord < n; ++ord) {
+    if (!GetMaskedKey(reader, config_.key_width, CellKeyBytes(cells[ord]))) {
+      return ParseError("sparse IBLT truncated or malformed (key mask)");
+    }
+  }
+  if (!allow_zero_cells) {
+    for (size_t ord = 0; ord < n; ++ord) {
+      if (CellIsZero(cells[ord])) {
+        return ParseError("sparse IBLT: occupied cell decoded to zero");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void Iblt::SerializeSparse(ByteWriter* writer) const {
+  std::vector<uint32_t> occupied;
+  std::vector<uint8_t> bitmap((cells_ + 7) / 8, 0);
+  for (size_t i = 0; i < cells_; ++i) {
+    if (!CellIsZero(i)) {
+      occupied.push_back(static_cast<uint32_t>(i));
+      bitmap[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+    }
+  }
+  // Exact sparse-body size, computed before encoding so an oversized body
+  // is never built: bitmap + count crumbs + escapes + checks + masked keys.
+  size_t sparse_size = bitmap.size() + (occupied.size() + 3) / 4;
+  size_t num_escapes = 0;
+  for (size_t ord = 0; ord < occupied.size(); ++ord) {
+    const int64_t count = meta_[occupied[ord]].count;
+    if (count < -1 || count > 1) {
+      ++num_escapes;
+      sparse_size += VarintLen(ord) + VarintLen(ZigZag(count));
+    }
+  }
+  sparse_size += VarintLen(num_escapes) + 8 * occupied.size();
+  for (uint32_t cell : occupied) {
+    sparse_size += MaskedKeyLen(CellKeyBytes(cell), config_.key_width);
+  }
+  if (sparse_size >= DenseSerializedSize()) {
+    // Raw fallback: saturated/incompressible table — dense is no larger.
+    writer->PutU8(kSparseModeRaw);
+    Serialize(writer);
+    return;
+  }
+  writer->PutU8(kSparseModeBitmap);
+  writer->PutBytes(bitmap);
+  EncodeCellBlock(occupied, writer);
+}
+
+void Iblt::SerializeDelta(const Iblt& parent, ByteWriter* writer) const {
+  assert(config_ == parent.config_);
+  writer->PutU8(kSparseModeDelta);
+  std::vector<uint32_t> changed;
+  std::vector<uint8_t> bitmap((cells_ + 7) / 8, 0);
+  for (size_t i = 0; i < cells_; ++i) {
+    const bool same =
+        meta_[i].count == parent.meta_[i].count &&
+        meta_[i].check == parent.meta_[i].check &&
+        std::memcmp(CellLanes(i), parent.CellLanes(i),
+                    8 * lanes_per_key_) == 0;
+    if (!same) {
+      changed.push_back(static_cast<uint32_t>(i));
+      bitmap[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+    }
+  }
+  // An all-zero bitmap is the whole frame: the unchanged-table marker.
+  writer->PutBytes(bitmap);
+  if (changed.empty()) return;
+  EncodeCellBlock(changed, writer);
+}
+
+Result<Iblt> Iblt::DeserializeSparse(ByteReader* reader,
+                                     const IbltConfig& config,
+                                     const TableLineage& lineage) {
+  uint8_t mode = 0;
+  if (!reader->GetU8(&mode)) return ParseError("sparse IBLT truncated (mode)");
+  if (mode == kSparseModeRaw) return Deserialize(reader, config);
+  if (mode != kSparseModeBitmap && mode != kSparseModeDelta) {
+    return ParseError("sparse IBLT: unknown frame mode");
+  }
+  const bool is_delta = mode == kSparseModeDelta;
+  if (is_delta && !lineage.CoversConfig(config)) {
+    return ParseError("sparse IBLT: delta frame without matching lineage");
+  }
+  // Delta starts from a copy of the parent; sparse from an all-zero table.
+  Iblt table = is_delta ? *lineage.parent : Iblt(config);
+  const size_t cells = table.cells_;
+  std::vector<uint8_t> bitmap;
+  if (!reader->GetBytes((cells + 7) / 8, &bitmap)) {
+    return ParseError("sparse IBLT truncated (occupancy bitmap)");
+  }
+  if (cells % 8 != 0 && (bitmap.back() >> (cells % 8)) != 0) {
+    return ParseError("sparse IBLT: occupancy bits past the last cell");
+  }
+  std::vector<uint32_t> marked;
+  for (size_t i = 0; i < cells; ++i) {
+    if (bitmap[i >> 3] & (1u << (i & 7))) {
+      marked.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  if (is_delta && marked.empty()) return table;  // Unchanged-table marker.
+  Status status =
+      table.DecodeCellBlock(reader, marked, /*allow_zero_cells=*/is_delta);
+  if (!status.ok()) return status;
+  return table;
+}
+
+void Iblt::SerializeWith(WireCodec codec, ByteWriter* writer,
+                         const TableLineage& lineage) const {
+  if (codec != WireCodec::kSparse) {
+    Serialize(writer);
+    return;
+  }
+  if (lineage.CoversConfig(config_)) {
+    SerializeDelta(*lineage.parent, writer);
+    return;
+  }
+  SerializeSparse(writer);
+}
+
+Result<Iblt> Iblt::DeserializeWith(WireCodec codec, ByteReader* reader,
+                                   const IbltConfig& config,
+                                   const TableLineage& lineage) {
+  if (codec != WireCodec::kSparse) return Deserialize(reader, config);
+  return DeserializeSparse(reader, config, lineage);
 }
 
 }  // namespace setrec

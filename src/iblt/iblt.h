@@ -49,6 +49,44 @@ struct IbltConfig {
 /// exposed as Iblt::kShardedBatchMinKeys).
 inline constexpr size_t kShardedBatchMinKeysDefault = 1u << 16;
 
+/// Which wire encoding a protocol uses for the IBLT tables it sends. A
+/// WIRE-layer concern only: in-memory tables are identical under every
+/// codec, and both parties must agree on the codec before the first table
+/// crosses the wire (the src/net hello frame negotiates it; see
+/// src/net/README.md for the byte-level formats).
+///
+///  * kDense  — the legacy cell stream (Iblt::Serialize): every cell,
+///    empty or not. Value 0 on the wire so old transcripts and
+///    mixed-version peers keep working.
+///  * kSparse — Iblt::SerializeSparse: occupancy bitmap, 2-bit packed
+///    counts with an escape list, check/key payloads only for occupied
+///    cells, zero bytes of key payloads suppressed behind per-group mask
+///    bytes. Falls back to the dense cell stream per table (a mode byte)
+///    when the sparse form would be larger, so incompressible tables —
+///    8-byte checksums are uniformly random — never expand.
+enum class WireCodec : uint8_t { kDense = 0, kSparse = 1 };
+
+class Iblt;
+
+/// Lightweight parent pointer for delta retransmission across the doubling
+/// protocols' attempts. When a retry re-sends a table whose config is
+/// IDENTICAL to the previous attempt's (same cells, key width, seed), the
+/// sender can ship only the cells that changed relative to that parent
+/// (Iblt::SerializeDelta) instead of the whole table. Non-owning: the
+/// caller keeps the parent table alive for the duration of the encode or
+/// decode call; nothing retains the pointer afterwards.
+struct TableLineage {
+  const Iblt* parent = nullptr;
+
+  /// True when a delta against `parent` can represent a table of `config`:
+  /// a parent exists and its config matches exactly. Both protocol halves
+  /// evaluate this from their own retained previous-attempt table, so the
+  /// decision needs no wire flag — but the frame is still self-describing
+  /// (delta frames carry their own mode byte), so a sender without lineage
+  /// may fall back to a full sparse frame and the receiver still parses it.
+  bool CoversConfig(const IbltConfig& config) const;  // defined after Iblt
+};
+
 /// Runtime tuning for batched cell updates (InsertBatch/EraseBatch and the
 /// multi-table Iblt::ApplyOps pass). A process-wide default is held by
 /// Iblt::batch_options()/set_batch_options(); callers that want different
@@ -334,6 +372,53 @@ class Iblt {
   void Serialize(ByteWriter* writer) const;
   static Result<Iblt> Deserialize(ByteReader* reader, const IbltConfig& config);
 
+  /// Sparse WIRE serialization (WireCodec::kSparse). Emits one mode byte,
+  /// then either the sparse body (occupancy bitmap over non-zero cells,
+  /// counts packed 2 bits each with an escape list for |count| > 1, 8-byte
+  /// checksums and group-masked key bytes only for occupied cells) or — when
+  /// the sparse body would not be smaller — the exact dense cell stream of
+  /// Serialize(). In-memory representation is unchanged; this is purely an
+  /// encoding of the same cells. Byte-level layout: src/net/README.md.
+  ///
+  /// CODEC LIFETIME: the codec choice is per-CONNECTION, not per-table.
+  /// Both halves fix a WireCodec before the first table crosses the wire
+  /// (SsrParams::wire_codec, negotiated by the src/net hello frame) and
+  /// every table of the session uses it; a decoder never sniffs. Within
+  /// kSparse, each frame is self-describing via its mode byte (raw-dense
+  /// fallback, sparse body, or delta), so mode varies per table while the
+  /// codec does not. Like the decode-view lifetime rule above, nothing here
+  /// outlives the call: encode and decode work on complete in-memory tables
+  /// and borrow `lineage.parent` only for the duration of the call.
+  void SerializeSparse(ByteWriter* writer) const;
+  /// Parses a kSparse frame (any mode). Fails closed — kParseError, never a
+  /// partially-initialized table — on every malformed prefix: truncated or
+  /// over-long occupancy bitmap, occupancy bits past the last cell, corrupt
+  /// packed-count crumbs, escape-list index out of range or out of order,
+  /// non-canonical escape values, payload lengths past the end of input,
+  /// cells marked occupied that decode to all-zero, and delta frames when
+  /// `lineage` cannot cover `config`.
+  static Result<Iblt> DeserializeSparse(ByteReader* reader,
+                                        const IbltConfig& config,
+                                        const TableLineage& lineage = {});
+
+  /// Delta retransmission frame: only the cells that differ from
+  /// `parent` (same config required — see TableLineage::CoversConfig),
+  /// as a changed-cell bitmap plus sparse payloads of the new absolute
+  /// cell values. An all-zero bitmap is the unchanged-table marker: four
+  /// bytes on the wire for a verbatim retransmission. Only meaningful
+  /// under WireCodec::kSparse; DeserializeSparse parses it when given the
+  /// same lineage.
+  void SerializeDelta(const Iblt& parent, ByteWriter* writer) const;
+
+  /// Dispatch helpers: the codec-generic entry points protocols call.
+  /// kDense → Serialize/Deserialize, kSparse → SerializeSparse (with an
+  /// optional lineage for delta frames) / DeserializeSparse.
+  void SerializeWith(WireCodec codec, ByteWriter* writer,
+                     const TableLineage& lineage = {}) const;
+  static Result<Iblt> DeserializeWith(WireCodec codec, ByteReader* reader,
+                                      const IbltConfig& config,
+                                      const TableLineage& lineage = {});
+
   /// Fixed-width serialization: every table with the same config produces
   /// the same number of bytes, so serialized tables can themselves be used
   /// as (XOR-able) IBLT keys, as in the IBLT-of-IBLTs constructions.
@@ -396,9 +481,9 @@ class Iblt {
   /// can be exercised deterministically on any machine.
   static int sharded_workers_for_test;
 
-  /// The wide-key lane-XOR backend the runtime dispatch selected ("avx2"
-  /// or "scalar"). Key XOR is bit-identical across backends; only the
-  /// instruction width differs.
+  /// The wide-key lane-XOR backend the runtime dispatch selected
+  /// ("avx512", "avx2" or "scalar"). Key XOR is bit-identical across
+  /// backends; only the instruction width differs.
   static const char* LaneXorBackend();
   /// Test/bench hook: forces the scalar backend (measuring the SIMD delta
   /// on one machine). Not synchronized: flip before spawning threads.
@@ -412,6 +497,19 @@ class Iblt {
   /// function `index` (the one-hash derivation described above).
   size_t CellForIndex(uint64_t bucket_hash, int index) const;
   bool CellIsZero(size_t cell) const;
+
+  /// Shared sparse-codec sections (counts + checks + masked keys for a
+  /// list of cell indices), used by both the full sparse frame and the
+  /// delta frame. `allow_zero_cells` is set on the delta path, where a
+  /// changed cell may legitimately become all-zero.
+  void EncodeCellBlock(const std::vector<uint32_t>& cells,
+                       ByteWriter* writer) const;
+  Status DecodeCellBlock(ByteReader* reader,
+                         const std::vector<uint32_t>& cells,
+                         bool allow_zero_cells);
+  /// Exact byte count Serialize() would emit (the sparse encoder's
+  /// fallback threshold).
+  size_t DenseSerializedSize() const;
 
   uint64_t* CellLanes(size_t cell) {
     return key_lanes_.data() + cell * lanes_per_key_;
@@ -468,6 +566,10 @@ class Iblt {
   HashFamily bucket_family_;
   HashFamily check_family_;
 };
+
+inline bool TableLineage::CoversConfig(const IbltConfig& config) const {
+  return parent != nullptr && parent->config() == config;
+}
 
 }  // namespace setrec
 

@@ -9,7 +9,12 @@
 namespace setrec {
 
 namespace {
-constexpr uint8_t kHelloVersion = 1;
+// Version 1: fields through estimate_slack, implicitly dense tables.
+// Version 2: version 1 fields + one trailing wire-codec byte. We always
+// emit v2; both versions are accepted so pre-codec clients (and recorded
+// v1 transcripts) interoperate — a v1 hello IS the dense negotiation.
+constexpr uint8_t kHelloVersionLegacy = 1;
+constexpr uint8_t kHelloVersion = 2;
 }
 
 Channel::Message MakeHelloMessage(const HelloSpec& spec) {
@@ -25,6 +30,7 @@ Channel::Message MakeHelloMessage(const HelloSpec& spec) {
   writer.PutU64(spec.params.seed);
   writer.PutVarint(static_cast<uint64_t>(spec.params.max_attempts));
   writer.PutU64(std::bit_cast<uint64_t>(spec.params.estimate_slack));
+  writer.PutU8(static_cast<uint8_t>(spec.params.wire_codec));
   return Channel::Message{Party::kBob, writer.Take(), kHelloLabel};
 }
 
@@ -32,7 +38,8 @@ Result<HelloSpec> ParseHelloMessage(const Channel::Message& m) {
   if (!IsHelloMessage(m)) return ParseError("not a hello frame");
   ByteReader reader(m.payload);
   uint8_t version = 0, protocol = 0, has_d = 0;
-  if (!reader.GetU8(&version) || version != kHelloVersion) {
+  if (!reader.GetU8(&version) ||
+      (version != kHelloVersionLegacy && version != kHelloVersion)) {
     return ParseError("hello: unsupported version");
   }
   if (!reader.GetU8(&protocol) || protocol >= kSsrProtocolKindCount) {
@@ -43,14 +50,19 @@ Result<HelloSpec> ParseHelloMessage(const Channel::Message& m) {
   uint64_t set_id = 0, known_d = 0;
   uint64_t max_child_size = 0, max_children = 0, max_differing = 0;
   uint64_t max_attempts = 0, slack_bits = 0;
+  uint8_t codec = static_cast<uint8_t>(WireCodec::kDense);
   if (!reader.GetVarint(&set_id) || !reader.GetU8(&has_d) || has_d > 1 ||
       (has_d == 1 && !reader.GetVarint(&known_d)) ||
       !reader.GetVarint(&max_child_size) || !reader.GetVarint(&max_children) ||
       !reader.GetVarint(&max_differing) || !reader.GetU64(&spec.params.seed) ||
       !reader.GetVarint(&max_attempts) || !reader.GetU64(&slack_bits) ||
+      (version >= kHelloVersion &&
+       (!reader.GetU8(&codec) ||
+        codec > static_cast<uint8_t>(WireCodec::kSparse))) ||
       !reader.empty()) {
     return ParseError("hello: truncated or trailing bytes");
   }
+  spec.params.wire_codec = static_cast<WireCodec>(codec);
   // Bound the client-supplied sizes: they shape server-side IBLT sizes
   // (outer tables are ~O(d_hat) cells of ~O(max_child_size) bytes), and an
   // unchecked hello must not be able to make one connection allocate

@@ -89,7 +89,10 @@ bool ReadMessageFrame(ByteReader* reader, Channel::Message* out);
 /// then one WriteMessageFrame per message — the full Channel::Message, so
 /// a forwarded sub-transcript round-trips without losing sender
 /// attribution. Used by composite protocols that append their own sections
-/// after the sub-transcript.
+/// after the sub-transcript. Codec-agnostic by construction: payloads are
+/// opaque bytes here, so a packed transcript of sparse-codec frames
+/// (WireCodec::kSparse table payloads) round-trips through
+/// Pack/Unpack/SkipPackedTranscript byte-identically, exactly like dense.
 std::vector<uint8_t> PackTranscript(const Channel& sub);
 
 /// Inverse of PackTranscript: parses the packed block at the reader's

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <map>
 #include <vector>
 
@@ -246,6 +247,263 @@ TEST(IbltAdversarialTest, TruncatedFixedCellsRejected) {
     ASSERT_FALSE(restored.ok()) << "cut=" << cut;
     EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
   }
+}
+
+// --- Sparse wire codec (WireCodec::kSparse) adversarial frames. Each test
+// corrupts one section of a valid frame; DeserializeSparse must fail closed
+// with kParseError on every malformed prefix, never return a wrong table.
+
+// A bitmap-mode sparse frame with its section offsets recovered by walking
+// the layout: mode | occupancy bitmap | count crumbs | escape list |
+// 8-byte checks | masked keys. (Escape entries appear whenever hashed
+// keys collide into a shared cell, so the fixture parses the escape
+// section rather than assuming it empty.)
+struct SparseFrameFixture {
+  IbltConfig config;
+  Iblt table;
+  std::vector<uint8_t> bytes;
+  size_t bitmap_size;
+  size_t occupied;
+  size_t crumb_bytes;
+  size_t checks_begin;  // Offset of the first check byte.
+  size_t keys_begin;    // Offset of the first key mask byte.
+
+  explicit SparseFrameFixture(size_t num_keys, uint64_t seed)
+      : config{IbltConfig::ForDifference(num_keys + 4, seed,
+                                         /*key_width=*/8)},
+        table(config) {
+    Rng rng(seed);
+    for (size_t i = 0; i < num_keys; ++i) table.Insert(RandomKey(8, &rng));
+    ByteWriter writer;
+    table.SerializeSparse(&writer);
+    bytes = writer.bytes();
+    EXPECT_EQ(bytes[0], 1) << "fixture must emit a bitmap-mode frame";
+    bitmap_size = (config.PaddedCells() + 7) / 8;
+    occupied = 0;
+    for (size_t i = 0; i < bitmap_size; ++i) {
+      occupied += std::popcount(bytes[1 + i]);
+    }
+    crumb_bytes = (occupied + 3) / 4;
+    size_t off = 1 + bitmap_size + crumb_bytes;
+    uint64_t num_escapes = 0;
+    off = SkipVarint(off, &num_escapes);
+    for (uint64_t e = 0; e < num_escapes; ++e) {
+      off = SkipVarint(off, nullptr);  // Occupied ordinal.
+      off = SkipVarint(off, nullptr);  // Zigzag count.
+    }
+    checks_begin = off;
+    keys_begin = checks_begin + 8 * occupied;
+  }
+
+  // Code of the ord-th occupied cell's 2-bit count crumb.
+  uint8_t CountCode(size_t ord) const {
+    return (bytes[1 + bitmap_size + ord / 4] >> (2 * (ord % 4))) & 0x3;
+  }
+
+  size_t SkipVarint(size_t off, uint64_t* value) const {
+    uint64_t v = 0;
+    int shift = 0;
+    while (bytes[off] & 0x80) {
+      v |= static_cast<uint64_t>(bytes[off] & 0x7f) << shift;
+      shift += 7;
+      ++off;
+    }
+    v |= static_cast<uint64_t>(bytes[off]) << shift;
+    ++off;
+    if (value != nullptr) *value = v;
+    return off;
+  }
+
+  Result<Iblt> Decode(const std::vector<uint8_t>& frame) const {
+    ByteReader reader(frame);
+    return Iblt::DeserializeSparse(&reader, config);
+  }
+};
+
+TEST(IbltSparseAdversarialTest, TruncatedOccupancyBitmapRejected) {
+  SparseFrameFixture fx(9, 101);
+  for (size_t cut = 0; cut <= fx.bitmap_size; ++cut) {
+    std::vector<uint8_t> frame(fx.bytes.begin(), fx.bytes.begin() + cut);
+    Result<Iblt> restored = fx.Decode(frame);
+    ASSERT_FALSE(restored.ok()) << "cut=" << cut;
+    EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(IbltSparseAdversarialTest, EveryProperPrefixRejected) {
+  // The blanket guarantee behind the section-specific tests: no proper
+  // prefix of a valid frame parses, whichever section the cut lands in.
+  SparseFrameFixture fx(11, 202);
+  for (size_t cut = 0; cut < fx.bytes.size(); ++cut) {
+    std::vector<uint8_t> frame(fx.bytes.begin(), fx.bytes.begin() + cut);
+    Result<Iblt> restored = fx.Decode(frame);
+    ASSERT_FALSE(restored.ok()) << "cut=" << cut;
+    EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+  }
+  EXPECT_TRUE(fx.Decode(fx.bytes).ok());
+}
+
+TEST(IbltSparseAdversarialTest, StrayOccupancyBitsRejected) {
+  SparseFrameFixture fx(5, 303);
+  ASSERT_NE(fx.config.PaddedCells() % 8, 0u)
+      << "fixture needs a partial final bitmap byte";
+  std::vector<uint8_t> frame = fx.bytes;
+  frame[fx.bitmap_size] |= 0x80;  // Bit past the last cell.
+  Result<Iblt> restored = fx.Decode(frame);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+}
+
+TEST(IbltSparseAdversarialTest, CorruptPackedCountCrumbsRejected) {
+  SparseFrameFixture fx(9, 404);
+  ASSERT_NE(fx.occupied % 4, 0u)
+      << "fixture needs unused crumbs in the last count byte";
+  // Stray codes past the last occupied cell.
+  std::vector<uint8_t> tail = fx.bytes;
+  tail[1 + fx.bitmap_size + fx.crumb_bytes - 1] |= 0xc0;
+  Result<Iblt> restored = fx.Decode(tail);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+
+  // An escape code (3) injected at a non-escape position desynchronizes
+  // the escape list: either an entry's ordinal no longer matches, or the
+  // extra code is left without an entry. Both must be rejected.
+  std::vector<uint8_t> orphan = fx.bytes;
+  size_t target = fx.occupied;
+  for (size_t ord = 0; ord < fx.occupied; ++ord) {
+    if (fx.CountCode(ord) != 0x3) {
+      orphan[1 + fx.bitmap_size + ord / 4] |=
+          static_cast<uint8_t>(0x3 << (2 * (ord % 4)));
+      target = ord;
+      break;
+    }
+  }
+  ASSERT_LT(target, fx.occupied) << "fixture has a non-escape cell";
+  restored = fx.Decode(orphan);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+}
+
+TEST(IbltSparseAdversarialTest, EscapeListIndexOutOfRangeRejected) {
+  // Build a frame that genuinely has one escape entry (a doubled key makes
+  // |count| = 2 in its cells), then point its ordinal past the occupied
+  // range and at the wrong position.
+  IbltConfig config = IbltConfig::ForDifference(8, 55, /*key_width=*/8);
+  Iblt table(config);
+  Rng rng(55);
+  std::vector<uint8_t> doubled = RandomKey(8, &rng);
+  table.Insert(doubled);
+  table.Insert(doubled);
+  ByteWriter writer;
+  table.SerializeSparse(&writer);
+  std::vector<uint8_t> bytes = writer.bytes();
+  ASSERT_EQ(bytes[0], 1);
+  const size_t bitmap_size = (config.PaddedCells() + 7) / 8;
+  size_t occupied = 0;
+  for (size_t i = 0; i < bitmap_size; ++i) {
+    occupied += std::popcount(bytes[1 + i]);
+  }
+  ASSERT_LT(occupied, 127u) << "single-byte ordinal varints expected";
+  const size_t escape_count_at = 1 + bitmap_size + (occupied + 3) / 4;
+  ASSERT_GT(bytes[escape_count_at], 0) << "fixture must have escapes";
+  const size_t first_ordinal_at = escape_count_at + 1;
+
+  std::vector<uint8_t> out_of_range = bytes;
+  out_of_range[first_ordinal_at] = 0x7f;  // 127 >= occupied: out of range.
+  ByteReader oor_reader(out_of_range);
+  Result<Iblt> restored = Iblt::DeserializeSparse(&oor_reader, config);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+
+  // In range but not the next escape-coded position: index mismatch.
+  std::vector<uint8_t> mismatched = bytes;
+  mismatched[first_ordinal_at] = static_cast<uint8_t>(occupied - 1);
+  ByteReader mismatch_reader(mismatched);
+  restored = Iblt::DeserializeSparse(&mismatch_reader, config);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+}
+
+TEST(IbltSparseAdversarialTest, KeyMaskClaimsMoreThanRemainingRejected) {
+  SparseFrameFixture fx(7, 505);
+  // First key's mask byte claims all 8 payload bytes, but the frame ends
+  // after three of them: payload length > remaining must fail closed.
+  std::vector<uint8_t> frame(fx.bytes.begin(),
+                             fx.bytes.begin() + fx.keys_begin);
+  frame.push_back(0xff);
+  frame.insert(frame.end(), {0x01, 0x02, 0x03});
+  Result<Iblt> restored = fx.Decode(frame);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+}
+
+TEST(IbltSparseAdversarialTest, OccupiedCellDecodingToZeroRejected) {
+  // A bitmap bit whose cell then decodes to all-zero contradicts the
+  // occupancy claim; accepting it would let two encodings of one table
+  // differ on the wire.
+  IbltConfig config;
+  config.cells = 8;
+  config.num_hashes = 4;
+  config.key_width = 8;
+  config.seed = 9;
+  ByteWriter writer;
+  writer.PutU8(1);     // Mode: bitmap.
+  writer.PutU8(0x01);  // Cell 0 claimed occupied.
+  writer.PutU8(0x02);  // Count code kCountZero for it.
+  writer.PutU8(0x00);  // No escapes.
+  writer.PutU64(0);    // Zero check.
+  writer.PutU8(0x00);  // Key mask: all-zero key.
+  ByteReader reader(writer.bytes());
+  Result<Iblt> restored = Iblt::DeserializeSparse(&reader, config);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+}
+
+TEST(IbltSparseAdversarialTest, UnknownModeByteRejected) {
+  SparseFrameFixture fx(4, 606);
+  std::vector<uint8_t> frame = fx.bytes;
+  frame[0] = 3;
+  Result<Iblt> restored = fx.Decode(frame);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+}
+
+TEST(IbltSparseAdversarialTest, DeltaFrameWithoutLineageRejected) {
+  // A delta frame can only be applied against a retained parent of the
+  // same config; without one the decoder must refuse rather than guess.
+  IbltConfig config = IbltConfig::ForDifference(4, 77, /*key_width=*/8);
+  Iblt parent(config);
+  Rng rng(77);
+  parent.Insert(RandomKey(8, &rng));
+  Iblt child = parent;
+  child.Insert(RandomKey(8, &rng));
+  ByteWriter writer;
+  child.SerializeDelta(parent, &writer);
+
+  ByteReader no_lineage(writer.bytes());
+  Result<Iblt> restored = Iblt::DeserializeSparse(&no_lineage, config);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+
+  // Lineage of a DIFFERENT config is just as invalid.
+  IbltConfig other = config;
+  other.seed ^= 1;
+  Iblt other_parent(other);
+  ByteReader wrong_lineage(writer.bytes());
+  restored = Iblt::DeserializeSparse(&wrong_lineage, config,
+                                     TableLineage{&other_parent});
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+
+  // With the real parent the same frame round-trips.
+  ByteReader good(writer.bytes());
+  Result<Iblt> applied =
+      Iblt::DeserializeSparse(&good, config, TableLineage{&parent});
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  ByteWriter a, b;
+  applied.value().SerializeFixed(&a);
+  child.SerializeFixed(&b);
+  EXPECT_EQ(a.bytes(), b.bytes());
 }
 
 TEST(IbltAdversarialTest, CorruptCountVarintRejected) {

@@ -1,0 +1,244 @@
+// Wire-codec negotiation over the hello frame, and mixed-version peers
+// end-to-end: a v1 (pre-codec) hello is the dense negotiation, a v2 hello
+// carries an explicit codec byte, and a sparse-negotiated session over a
+// real socket must produce the exact transcript of the direct sparse
+// Reconcile call while spending fewer wire bytes than its dense twin.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/workload.h"
+#include "net/net_pump.h"
+#include "net/stream_party.h"
+#include "net/wire.h"
+#include "service/sync_service.h"
+
+namespace setrec {
+namespace {
+
+HelloSpec MakeSpec(WireCodec codec) {
+  HelloSpec spec;
+  spec.protocol = SsrProtocolKind::kCascade;
+  spec.set_id = 42;
+  spec.params.max_child_size = 12;
+  spec.params.max_children = 20;
+  spec.params.seed = 777;
+  spec.params.wire_codec = codec;
+  spec.known_d = 5;
+  return spec;
+}
+
+TEST(HelloCodecTest, V2RoundTripsBothCodecs) {
+  for (WireCodec codec : {WireCodec::kDense, WireCodec::kSparse}) {
+    Channel::Message m = MakeHelloMessage(MakeSpec(codec));
+    ASSERT_GE(m.payload.size(), 2u);
+    EXPECT_EQ(m.payload[0], 2) << "hello frames are emitted as version 2";
+    Result<HelloSpec> parsed = ParseHelloMessage(m);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().params.wire_codec, codec);
+    EXPECT_EQ(parsed.value().params, MakeSpec(codec).params);
+    EXPECT_EQ(parsed.value().set_id, 42u);
+  }
+}
+
+// A v1 hello is the v2 frame minus the trailing codec byte, version 1.
+Channel::Message MakeLegacyHello(const HelloSpec& spec) {
+  Channel::Message m = MakeHelloMessage(spec);
+  m.payload[0] = 1;
+  m.payload.pop_back();
+  return m;
+}
+
+TEST(HelloCodecTest, LegacyV1MeansDense) {
+  Channel::Message m = MakeLegacyHello(MakeSpec(WireCodec::kSparse));
+  Result<HelloSpec> parsed = ParseHelloMessage(m);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // The codec byte never made it to the wire: a v1 peer is a dense peer,
+  // whatever the local spec said.
+  EXPECT_EQ(parsed.value().params.wire_codec, WireCodec::kDense);
+}
+
+TEST(HelloCodecTest, MalformedCodecNegotiationRejected) {
+  // Unknown codec value.
+  Channel::Message bad_codec = MakeHelloMessage(MakeSpec(WireCodec::kDense));
+  bad_codec.payload.back() = 2;
+  EXPECT_FALSE(ParseHelloMessage(bad_codec).ok());
+
+  // v1 frame with a trailing codec byte: trailing garbage, not negotiation.
+  Channel::Message v1_extra = MakeHelloMessage(MakeSpec(WireCodec::kDense));
+  v1_extra.payload[0] = 1;
+  EXPECT_FALSE(ParseHelloMessage(v1_extra).ok());
+
+  // v2 frame without its codec byte: truncated.
+  Channel::Message v2_short = MakeHelloMessage(MakeSpec(WireCodec::kDense));
+  v2_short.payload.pop_back();
+  EXPECT_FALSE(ParseHelloMessage(v2_short).ok());
+
+  // Unsupported version.
+  Channel::Message v3 = MakeHelloMessage(MakeSpec(WireCodec::kDense));
+  v3.payload[0] = 3;
+  EXPECT_FALSE(ParseHelloMessage(v3).ok());
+}
+
+struct Fixture {
+  SsrParams params;
+  SetOfSets alice;
+  SetOfSets bob;
+  std::optional<size_t> known_d;
+};
+
+Fixture MakeFixture(SsrProtocolKind kind, WireCodec codec) {
+  SsrWorkloadSpec spec;
+  spec.num_children = 16;
+  spec.child_size = 8;
+  spec.changes = 3;
+  spec.seed = 8800 + static_cast<uint64_t>(kind) * 13;
+  SsrWorkload w = MakeSsrWorkload(spec);
+  Fixture f;
+  f.params.max_child_size = spec.child_size + spec.changes + 2;
+  f.params.max_children = spec.num_children + spec.changes;
+  f.params.seed = spec.seed + 9;
+  f.params.wire_codec = codec;
+  f.alice = std::move(w.alice);
+  f.bob = std::move(w.bob);
+  f.known_d = w.applied_changes;
+  return f;
+}
+
+struct ClientResult {
+  Result<SsrOutcome> outcome = Status::Ok();
+  std::vector<Channel::Message> transcript;
+};
+
+// The sync_client flow, with the hello frame swappable so a test can speak
+// v1 (legacy dense) against the always-v2 server.
+ClientResult RunClient(int fd, SsrProtocolKind kind, uint64_t set_id,
+                       const Fixture& f, bool legacy_hello) {
+  ClientResult result;
+  HelloSpec hello;
+  hello.protocol = kind;
+  hello.set_id = set_id;
+  hello.params = f.params;
+  hello.known_d = f.known_d;
+  Channel::Message frame =
+      legacy_hello ? MakeLegacyHello(hello) : MakeHelloMessage(hello);
+  if (Status s = WriteFrameToFd(fd, frame); !s.ok()) {
+    result.outcome = s;
+    return result;
+  }
+  std::unique_ptr<SetsOfSetsProtocol> protocol =
+      MakeSsrProtocol(kind, f.params);
+  Channel channel;
+  result.outcome =
+      RunBobHalfOverFd(*protocol, f.bob, f.known_d, fd, &channel);
+  result.transcript = channel.transcript();
+  return result;
+}
+
+// One socketpair session against a NetPump-fronted service; returns the
+// client's view plus the server-side session byte count.
+struct SessionRun {
+  ClientResult client;
+  size_t server_bytes = 0;
+};
+
+SessionRun RunSession(SsrProtocolKind kind, const Fixture& f,
+                      bool legacy_hello) {
+  SessionRun run;
+  SyncService service;
+  uint64_t set_id =
+      service.RegisterSharedSet(std::make_shared<SetOfSets>(f.alice));
+  NetPump pump(&service);
+  int sv[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  EXPECT_TRUE(pump.AdoptConnection(sv[0]).ok());
+  std::thread client_thread([&] {
+    run.client = RunClient(sv[1], kind, set_id, f, legacy_hello);
+    ::close(sv[1]);
+  });
+  pump.DrainConnections();
+  client_thread.join();
+  std::vector<SessionResult> results = pump.TakeResults();
+  EXPECT_EQ(results.size(), 1u);
+  EXPECT_EQ(pump.stats().protocol_errors, 0u);
+  if (!results.empty()) {
+    EXPECT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+    run.server_bytes = results[0].stats.bytes;
+  }
+  return run;
+}
+
+void ExpectSameTranscript(const std::vector<Channel::Message>& want,
+                          const std::vector<Channel::Message>& got,
+                          const char* what) {
+  ASSERT_EQ(want.size(), got.size()) << what;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].label, got[i].label) << what << " message " << i;
+    EXPECT_EQ(want[i].payload, got[i].payload) << what << " message " << i;
+  }
+}
+
+class NetCodecInterop : public ::testing::TestWithParam<SsrProtocolKind> {};
+
+TEST_P(NetCodecInterop, SparseSessionMatchesDirectAndBeatsDense) {
+  const SsrProtocolKind kind = GetParam();
+
+  // Direct halves under both codecs (the reference transcripts).
+  const Fixture dense_f = MakeFixture(kind, WireCodec::kDense);
+  const Fixture sparse_f = MakeFixture(kind, WireCodec::kSparse);
+  Channel dense_direct, sparse_direct;
+  Result<SsrOutcome> dense_ref =
+      MakeSsrProtocol(kind, dense_f.params)
+          ->Reconcile(dense_f.alice, dense_f.bob, dense_f.known_d,
+                      &dense_direct);
+  Result<SsrOutcome> sparse_ref =
+      MakeSsrProtocol(kind, sparse_f.params)
+          ->Reconcile(sparse_f.alice, sparse_f.bob, sparse_f.known_d,
+                      &sparse_direct);
+  ASSERT_TRUE(dense_ref.ok()) << dense_ref.status().ToString();
+  ASSERT_TRUE(sparse_ref.ok()) << sparse_ref.status().ToString();
+  // Same protocol, same seeds: both codecs must recover the same set.
+  EXPECT_EQ(sparse_ref.value().recovered, dense_ref.value().recovered);
+  EXPECT_LE(sparse_ref.value().stats.bytes, dense_ref.value().stats.bytes);
+
+  // A sparse-negotiated socket session replays the direct sparse bytes.
+  SessionRun sparse_run = RunSession(kind, sparse_f, /*legacy_hello=*/false);
+  ASSERT_TRUE(sparse_run.client.outcome.ok())
+      << sparse_run.client.outcome.status().ToString();
+  EXPECT_EQ(sparse_run.client.outcome.value().recovered,
+            Canonicalize(sparse_f.alice));
+  ExpectSameTranscript(sparse_direct.transcript(),
+                       sparse_run.client.transcript, "sparse session");
+  EXPECT_EQ(sparse_run.server_bytes, sparse_ref.value().stats.bytes);
+
+  // A v1 (pre-codec) client against the same server negotiates dense and
+  // replays the direct dense bytes — mixed-version interop.
+  SessionRun legacy_run = RunSession(kind, dense_f, /*legacy_hello=*/true);
+  ASSERT_TRUE(legacy_run.client.outcome.ok())
+      << legacy_run.client.outcome.status().ToString();
+  EXPECT_EQ(legacy_run.client.outcome.value().recovered,
+            Canonicalize(dense_f.alice));
+  ExpectSameTranscript(dense_direct.transcript(),
+                       legacy_run.client.transcript, "legacy session");
+  EXPECT_EQ(legacy_run.server_bytes, dense_ref.value().stats.bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, NetCodecInterop,
+                         ::testing::Values(SsrProtocolKind::kNaive,
+                                           SsrProtocolKind::kIblt2,
+                                           SsrProtocolKind::kCascade,
+                                           SsrProtocolKind::kMultiRound),
+                         [](const ::testing::TestParamInfo<SsrProtocolKind>&
+                                info) {
+                           return std::string(
+                               SsrProtocolKindName(info.param));
+                         });
+
+}  // namespace
+}  // namespace setrec

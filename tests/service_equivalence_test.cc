@@ -56,6 +56,7 @@ void ExpectSameTranscript(const std::vector<Channel::Message>& direct,
 struct Case {
   SsrProtocolKind kind;
   bool known_d;
+  WireCodec codec = WireCodec::kDense;
 };
 
 class ServiceEquivalence : public ::testing::TestWithParam<Case> {};
@@ -73,6 +74,7 @@ TEST_P(ServiceEquivalence, TranscriptsAreBitIdentical) {
   params.max_child_size = spec.child_size + spec.changes + 2;
   params.max_children = spec.num_children + spec.changes;
   params.seed = spec.seed + 1000;
+  params.wire_codec = c.codec;
   std::optional<size_t> known_d =
       c.known_d ? std::optional<size_t>(w.applied_changes) : std::nullopt;
 
@@ -116,7 +118,26 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{SsrProtocolKind::kCascade, true},
                       Case{SsrProtocolKind::kCascade, false},
                       Case{SsrProtocolKind::kMultiRound, true},
-                      Case{SsrProtocolKind::kMultiRound, false}));
+                      Case{SsrProtocolKind::kMultiRound, false},
+                      // Same equivalence under the sparse wire codec: the
+                      // memoized Alice messages are the ENCODED frames, so
+                      // cache replays must stay bit-identical per codec.
+                      Case{SsrProtocolKind::kNaive, true,
+                           WireCodec::kSparse},
+                      Case{SsrProtocolKind::kNaive, false,
+                           WireCodec::kSparse},
+                      Case{SsrProtocolKind::kIblt2, true,
+                           WireCodec::kSparse},
+                      Case{SsrProtocolKind::kIblt2, false,
+                           WireCodec::kSparse},
+                      Case{SsrProtocolKind::kCascade, true,
+                           WireCodec::kSparse},
+                      Case{SsrProtocolKind::kCascade, false,
+                           WireCodec::kSparse},
+                      Case{SsrProtocolKind::kMultiRound, true,
+                           WireCodec::kSparse},
+                      Case{SsrProtocolKind::kMultiRound, false,
+                           WireCodec::kSparse}));
 
 TEST(ServiceCacheEquivalence, SharedAliceSessionsReplayIdenticalMessages) {
   // Many clients against one registered server set: later sessions hit the
@@ -184,6 +205,75 @@ TEST(ServiceCacheEquivalence, SharedAliceSessionsReplayIdenticalMessages) {
     DirectRun direct =
         RunDirect(SsrProtocolKind::kIblt2, params, *server_set, bobs[i],
                   spec.changes + 4);
+    ASSERT_TRUE(direct.outcome.ok());
+    EXPECT_EQ(result.recovered, direct.outcome.value().recovered);
+    EXPECT_EQ(result.stats.bytes, direct.outcome.value().stats.bytes);
+    ExpectSameTranscript(direct.transcript, DrainMirror(&client_ends[i]),
+                         result.label.c_str());
+  }
+}
+
+TEST(ServiceCacheEquivalence, MixedCodecSessionsNeverCrossReplay) {
+  // Dense and sparse sessions against ONE registered set, interleaved: the
+  // Alice-message memo keys include the wire codec, so a sparse session
+  // must never be served a cached dense frame (or vice versa) — each
+  // session replays its own codec's direct transcript bit for bit.
+  SsrWorkloadSpec spec;
+  spec.num_children = 20;
+  spec.child_size = 10;
+  spec.changes = 3;
+  spec.seed = 271;
+  SsrWorkload base = MakeSsrWorkload(spec);
+
+  SsrParams params;
+  params.max_child_size = spec.child_size + spec.changes + 2;
+  params.max_children = spec.num_children + spec.changes;
+  params.seed = 3131;
+
+  SyncService service;
+  auto server_set = std::make_shared<SetOfSets>(base.alice);
+  service.RegisterSharedSet(server_set);
+
+  // Codec per submitted session, alternating so both sides get cache hits.
+  const WireCodec codecs[] = {WireCodec::kDense, WireCodec::kSparse,
+                              WireCodec::kDense, WireCodec::kSparse,
+                              WireCodec::kSparse, WireCodec::kDense};
+  constexpr int kClients = 6;
+  std::vector<Endpoint> client_ends;
+  std::vector<SetOfSets> bobs;
+  for (int i = 0; i < kClients; ++i) {
+    SetOfSets bob = *server_set;
+    bob[static_cast<size_t>(i) % bob.size()].push_back(
+        (1ull << 41) + static_cast<uint64_t>(i));
+    bobs.push_back(Canonicalize(std::move(bob)));
+  }
+  for (int i = 0; i < kClients; ++i) {
+    auto [server_end, client_end] = Endpoint::LoopbackPair();
+    client_ends.push_back(std::move(client_end));
+    SessionSpec session;
+    session.label = "mixed" + std::to_string(i);
+    session.protocol = SsrProtocolKind::kIblt2;
+    session.params = params;
+    session.params.wire_codec = codecs[i];
+    session.alice = server_set;
+    session.bob = std::make_shared<SetOfSets>(bobs[i]);
+    session.known_d = spec.changes + 2;
+    session.mirror = std::make_shared<Endpoint>(std::move(server_end));
+    service.Submit(std::move(session));
+  }
+  service.RunToCompletion();
+
+  std::vector<SessionResult> results = service.TakeResults();
+  ASSERT_EQ(results.size(), static_cast<size_t>(kClients));
+  EXPECT_GT(service.stats().cache_hits, 0u);
+  for (const SessionResult& result : results) {
+    const int i = static_cast<int>(result.id - 1);
+    ASSERT_TRUE(result.status.ok())
+        << "client " << i << ": " << result.status.ToString();
+    SsrParams session_params = params;
+    session_params.wire_codec = codecs[i];
+    DirectRun direct = RunDirect(SsrProtocolKind::kIblt2, session_params,
+                                 *server_set, bobs[i], spec.changes + 2);
     ASSERT_TRUE(direct.outcome.ok());
     EXPECT_EQ(result.recovered, direct.outcome.value().recovered);
     EXPECT_EQ(result.stats.bytes, direct.outcome.value().stats.bytes);

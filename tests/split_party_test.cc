@@ -24,10 +24,12 @@ namespace {
 struct Case {
   SsrProtocolKind kind;
   bool known_d;
+  WireCodec codec = WireCodec::kDense;
 
   std::string Name() const {
     return std::string(SsrProtocolKindName(kind)) +
-           (known_d ? "_SSRK" : "_SSRU");
+           (known_d ? "_SSRK" : "_SSRU") +
+           (codec == WireCodec::kSparse ? "_sparse" : "");
   }
 };
 
@@ -49,6 +51,7 @@ Fixture MakeFixture(const Case& c) {
   f.params.max_child_size = spec.child_size + spec.changes + 2;
   f.params.max_children = spec.num_children + spec.changes;
   f.params.seed = spec.seed + 17;
+  f.params.wire_codec = c.codec;
   f.alice = std::move(w.alice);
   f.bob = std::move(w.bob);
   if (c.known_d) f.known_d = w.applied_changes;
@@ -244,7 +247,26 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{SsrProtocolKind::kCascade, true},
                       Case{SsrProtocolKind::kCascade, false},
                       Case{SsrProtocolKind::kMultiRound, true},
-                      Case{SsrProtocolKind::kMultiRound, false}),
+                      Case{SsrProtocolKind::kMultiRound, false},
+                      // The sparse wire codec must hold the same
+                      // half-vs-composed equivalence: the codec reshapes
+                      // table frames, never the protocol state machine.
+                      Case{SsrProtocolKind::kNaive, true,
+                           WireCodec::kSparse},
+                      Case{SsrProtocolKind::kNaive, false,
+                           WireCodec::kSparse},
+                      Case{SsrProtocolKind::kIblt2, true,
+                           WireCodec::kSparse},
+                      Case{SsrProtocolKind::kIblt2, false,
+                           WireCodec::kSparse},
+                      Case{SsrProtocolKind::kCascade, true,
+                           WireCodec::kSparse},
+                      Case{SsrProtocolKind::kCascade, false,
+                           WireCodec::kSparse},
+                      Case{SsrProtocolKind::kMultiRound, true,
+                           WireCodec::kSparse},
+                      Case{SsrProtocolKind::kMultiRound, false,
+                           WireCodec::kSparse}),
     [](const ::testing::TestParamInfo<Case>& info) {
       return info.param.Name();
     });

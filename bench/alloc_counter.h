@@ -22,6 +22,13 @@ inline bool counting = false;
 }  // namespace alloc_counter
 }  // namespace setrec
 
+// GCC pairs the malloc() inside this replacement operator new with the
+// free() in the replacement operator delete once both inline into a caller
+// and reports -Wmismatched-new-delete; the pairing is exactly the intended
+// design for a replaced global allocator, so the diagnostic is suppressed
+// for these definitions only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void* operator new(std::size_t size) {
   if (setrec::alloc_counter::counting) {
     setrec::alloc_counter::count.fetch_add(1, std::memory_order_relaxed);
@@ -34,6 +41,7 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace setrec {
 

@@ -69,7 +69,7 @@ void PartB() {
       "(exact / near / fresh mix)\n");
   std::printf("%6s %6s %6s %8s %10s %24s\n", "docs", "near", "fresh",
               "ok", "bytes", "classified e/n/f");
-  for (size_t docs : {50, 200}) {
+  for (size_t docs : {50u, 200u}) {
     Rng rng(docs);
     SetOfSets bob_docs, alice_docs;
     for (size_t i = 0; i < docs; ++i) {

@@ -48,10 +48,11 @@ Measured<Estimator> Measure(const typename Estimator::Params& params,
     uint64_t est = 0;
     query_s += bench::TimeSeconds([&] { est = alice.Estimate(); });
     ratios.push_back(d == 0 ? (est == 0 ? 1.0 : 99.0)
-                            : static_cast<double>(est) / d);
+                            : static_cast<double>(est) / static_cast<double>(d));
   }
   std::sort(ratios.begin(), ratios.end());
-  return {ratios[ratios.size() / 2], update_s / updates * 1e9,
+  return {ratios[ratios.size() / 2],
+          update_s / static_cast<double>(updates) * 1e9,
           merge_s / 7 * 1e6, query_s / 7 * 1e6};
 }
 
@@ -71,12 +72,12 @@ int main() {
               StrataEstimator(strata_params).SerializedSize(),
               static_cast<double>(
                   StrataEstimator(strata_params).SerializedSize()) /
-                  L0Estimator(l0_params).SerializedSize());
+                  static_cast<double>(L0Estimator(l0_params).SerializedSize()));
 
   std::printf("\n%10s %6s | %10s %10s %10s | %10s %10s %10s\n", "est", "d",
               "med(est/d)", "update_ns", "merge_us", "query_us", "", "");
   const size_t n = 20000;
-  for (size_t d : {4, 16, 64, 256, 1024, 4096}) {
+  for (size_t d : {4u, 16u, 64u, 256u, 1024u, 4096u}) {
     auto l0 = Measure<L0Estimator>(l0_params, n, d);
     std::printf("%10s %6zu | %10.2f %10.1f %10.2f | %10.2f\n", "l0", d,
                 l0.med_ratio, l0.update_ns, l0.merge_us, l0.query_us);

@@ -60,8 +60,8 @@ AmbiguityStats Scan(size_t n, int trials, uint64_t seed, bool print_witness) {
             "  witness at n=%zu trial %d: %zu distinct non-isomorphic\n"
             "  one-edge-each completions agree pairwise (canonical forms:",
             n, trial, matches.size());
-        for (uint64_t m : matches) std::printf(" %llx",
-                                               (unsigned long long)m);
+        for (uint64_t m : matches)
+          std::printf(" %llx", static_cast<unsigned long long>(m));
         std::printf(")\n");
       }
     }
@@ -75,7 +75,7 @@ AmbiguityStats Scan(size_t n, int trials, uint64_t seed, bool print_witness) {
 int main() {
   setrec::bench::Header("E2 / Figure 1", "two-way merge ambiguity");
   std::printf("%4s %8s %10s %10s\n", "n", "trials", "ambiguous", "rate");
-  for (size_t n : {5, 6}) {
+  for (size_t n : {5u, 6u}) {
     auto stats = setrec::Scan(n, 200, 42 + n, n == 5);
     std::printf("%4zu %8d %10d %9.1f%%\n", n, stats.trials, stats.ambiguous,
                 100.0 * stats.ambiguous / stats.trials);

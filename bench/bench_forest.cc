@@ -20,7 +20,7 @@ void Run(size_t n, size_t depth, size_t d) {
   size_t sigma_seen = 0;
   const int trials = 3;
   for (int t = 0; t < trials; ++t) {
-    Rng rng(n + depth * 7 + d * 3 + t);
+    Rng rng(n + depth * 7 + d * 3 + static_cast<size_t>(t));
     RootedForest base = RootedForest::Random(n, depth, 0.15, &rng);
     RootedForest alice = base, bob = base;
     size_t applied = alice.Perturb(d - d / 2, depth, &rng) +
@@ -31,9 +31,9 @@ void Run(size_t n, size_t depth, size_t d) {
     Result<ForestReconcileOutcome> rec(Status(StatusCode::kExhausted, "x"));
     ms += 1e3 * bench::TimeSeconds([&] {
       rec = ForestReconcile(alice, bob, std::max<size_t>(applied, 1), sigma,
-                            5000 + t, &ch);
+                            static_cast<uint64_t>(5000 + t), &ch);
     });
-    HashFamily fam(5000 + t, 0x61687530ull);
+    HashFamily fam(static_cast<uint64_t>(5000 + t), 0x61687530ull);
     if (rec.ok() &&
         AreForestsIsomorphic(rec.value().recovered, alice, fam)) {
       ++success;
@@ -41,7 +41,8 @@ void Run(size_t n, size_t depth, size_t d) {
     }
   }
   std::printf("%7zu %6zu %4zu %8d%% %10zu %10.1f %12zu\n", n, sigma_seen, d,
-              success * 100 / trials, success ? bytes / success : 0,
+              success * 100 / trials,
+              success ? bytes / static_cast<size_t>(success) : 0,
               ms / trials, n * 8);
 }
 
@@ -53,15 +54,15 @@ int main() {
   std::printf("%7s %6s %4s %9s %10s %10s %12s\n", "n", "sigma", "d",
               "success", "bytes", "ms", "raw_B");
   // Sweep d at fixed n, depth.
-  for (size_t d : {1, 2, 4, 8, 16}) {
+  for (size_t d : {1u, 2u, 4u, 8u, 16u}) {
     setrec::Run(2000, 5, d);
   }
   // Sweep sigma at fixed n, d.
-  for (size_t depth : {3, 6, 10, 16}) {
+  for (size_t depth : {3u, 6u, 10u, 16u}) {
     setrec::Run(2000, depth, 4);
   }
   // Sweep n at fixed depth, d.
-  for (size_t n : {500, 2000, 8000}) {
+  for (size_t n : {500u, 2000u, 8000u}) {
     setrec::Run(n, 5, 4);
   }
   std::printf(

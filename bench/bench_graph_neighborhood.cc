@@ -32,9 +32,9 @@ void PartA() {
     int disjoint4 = 0, disjoint8 = 0;
     const int trials = 5;
     for (int t = 0; t < trials; ++t) {
-      Rng rng(c.n * 3 + c.d + t);
+      Rng rng(c.n * 3 + c.d + static_cast<size_t>(t));
       Graph g = Graph::RandomGnp(c.n, c.p, &rng);
-      const uint64_t m = static_cast<uint64_t>(c.p * c.n);
+      const uint64_t m = static_cast<uint64_t>(c.p * static_cast<double>(c.n));
       disjoint4 += AreNeighborhoodsDisjoint(g, m, 4 * c.d + 1);
       disjoint8 += AreNeighborhoodsDisjoint(g, m, 8 * c.d + 1);
     }
@@ -59,7 +59,7 @@ void PartB() {
     double ms = 0;
     const int trials = 3;
     for (int t = 0; t < trials; ++t) {
-      Rng rng(7000 + c.n + t);
+      Rng rng(7000 + c.n + static_cast<size_t>(t));
       Graph base = Graph::RandomGnp(c.n, c.p, &rng);
       Graph alice = base, bob = base;
       alice.Perturb(c.d - c.d / 2, &rng);
@@ -68,8 +68,9 @@ void PartB() {
       Result<GraphReconcileOutcome> rec(Status(StatusCode::kExhausted, "x"));
       ms += 1e3 * bench::TimeSeconds([&] {
         rec = DegreeNeighborhoodReconcile(
-            alice, bob, c.d, static_cast<uint64_t>(c.p * c.n), 7100 + t,
-            &ch);
+            alice, bob, c.d,
+            static_cast<uint64_t>(c.p * static_cast<double>(c.n)),
+            static_cast<uint64_t>(7100 + t), &ch);
       });
       if (rec.ok()) {
         ++success;
@@ -77,7 +78,8 @@ void PartB() {
       }
     }
     std::printf("%6zu %6.2f %4zu %7d%% %12zu %10.1f\n", c.n, c.p, c.d,
-                success * 100 / trials, success ? bytes / success : 0,
+                success * 100 / trials,
+                success ? bytes / static_cast<size_t>(success) : 0,
                 ms / trials);
   }
 }

@@ -21,14 +21,14 @@ void PartA() {
   std::printf("\nPart A: raw G(n,p) separation rate (Definition 5.1)\n");
   std::printf("%6s %6s %4s %4s %14s %10s\n", "n", "p", "d", "h", "thm5.3_h",
               "separated");
-  for (size_t n : {500, 1000, 2000}) {
+  for (size_t n : {500u, 1000u, 2000u}) {
     const double p = 0.5;
-    for (size_t d : {1, 2}) {
-      for (size_t h : {4, 8, 16}) {
+    for (size_t d : {1u, 2u}) {
+      for (size_t h : {4u, 8u, 16u}) {
         int separated = 0;
         const int trials = 10;
         for (int t = 0; t < trials; ++t) {
-          Rng rng(n * 17 + d * 3 + h + t);
+          Rng rng(n * 17 + d * 3 + h + static_cast<size_t>(t));
           Graph g = Graph::RandomGnp(n, p, &rng);
           separated += IsSeparated(g, h, d + 1, 2 * d + 1);
         }
@@ -60,17 +60,18 @@ void PartB() {
       spec.n = c.n;
       spec.h = c.h;
       spec.d = c.d;
-      spec.seed = 900 + t;
+      spec.seed = static_cast<uint64_t>(900 + t);
       Result<Graph> base = MakeSeparatedGraph(spec);
       if (!base.ok()) continue;
-      Rng rng(1000 + t);
+      Rng rng(static_cast<uint64_t>(1000 + t));
       Graph alice = base.value(), bob = base.value();
       alice.Perturb(c.d - c.d / 2, &rng);
       bob.Perturb(c.d / 2, &rng);
       Channel ch;
       Result<GraphReconcileOutcome> rec(Status(StatusCode::kExhausted, "x"));
       ms += 1e3 * bench::TimeSeconds([&] {
-        rec = DegreeOrderingReconcile(alice, bob, c.d, c.h, 1100 + t, &ch);
+        rec = DegreeOrderingReconcile(alice, bob, c.d, c.h,
+                                      static_cast<uint64_t>(1100 + t), &ch);
       });
       if (rec.ok()) {
         ++success;
@@ -80,8 +81,8 @@ void PartB() {
     }
     std::printf("%6zu %4zu %4zu %7d%% %10zu %10.1f %8zu\n", c.n, c.h, c.d,
                 success * 100 / trials,
-                success ? bytes / success : 0, ms / trials,
-                success ? rounds / success : 0);
+                success ? bytes / static_cast<size_t>(success) : 0, ms / trials,
+                success ? rounds / static_cast<size_t>(success) : 0);
   }
 }
 

@@ -37,12 +37,12 @@ double SuccessRate(size_t keys, double cells_per_key, int num_hashes,
   int success = 0;
   for (int t = 0; t < trials; ++t) {
     IbltConfig config;
-    config.cells = static_cast<size_t>(cells_per_key * keys);
+    config.cells = static_cast<size_t>(cells_per_key * static_cast<double>(keys));
     config.num_hashes = num_hashes;
     config.key_width = 8;
-    config.seed = 7000 + t;
+    config.seed = static_cast<uint64_t>(7000 + t);
     Iblt table(config);
-    Rng rng(t * 37 + keys);
+    Rng rng(static_cast<uint64_t>(t * 37) + keys);
     std::vector<uint64_t> elements(keys);
     for (auto& e : elements) e = rng.NextU64();
     table.InsertBatch(elements);
@@ -58,7 +58,7 @@ void DecodeThresholdTable() {
   const double ratios[] = {1.1, 1.2, 1.3, 1.4, 1.6, 2.0, 2.5};
   for (double r : ratios) std::printf(" %7.1f", r);
   std::printf("\n");
-  for (size_t keys : {16, 64, 256, 1024}) {
+  for (size_t keys : {16u, 64u, 256u, 1024u}) {
     for (int k : {3, 4}) {
       std::printf("%8zu %6d", keys, k);
       for (double r : ratios) {
@@ -74,7 +74,7 @@ void DecodeThresholdTable() {
 }
 
 void BM_InsertAndDecode(benchmark::State& state) {
-  const size_t keys = state.range(0);
+  const size_t keys = static_cast<size_t>(state.range(0));
   IbltConfig config = IbltConfig::ForDifference(keys, 99);
   Rng rng(keys);
   std::vector<uint64_t> elements(keys);
@@ -86,12 +86,12 @@ void BM_InsertAndDecode(benchmark::State& state) {
     auto decoded = table.DecodeU64(&scratch);
     benchmark::DoNotOptimize(decoded);
   }
-  state.SetItemsProcessed(state.iterations() * keys);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(keys));
 }
 BENCHMARK(BM_InsertAndDecode)->RangeMultiplier(4)->Range(64, 16384);
 
 void BM_Subtract(benchmark::State& state) {
-  const size_t keys = state.range(0);
+  const size_t keys = static_cast<size_t>(state.range(0));
   IbltConfig config = IbltConfig::ForDifference(keys, 100);
   Iblt a(config), b(config);
   Rng rng(keys + 1);
@@ -103,7 +103,7 @@ void BM_Subtract(benchmark::State& state) {
     Iblt work = a;
     benchmark::DoNotOptimize(work.Subtract(b));
   }
-  state.SetItemsProcessed(state.iterations() * keys);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(keys));
 }
 BENCHMARK(BM_Subtract)->RangeMultiplier(4)->Range(64, 16384);
 

@@ -22,7 +22,7 @@ void Run(size_t n, size_t d) {
   double ms = 0;
   const int trials = 5;
   for (int t = 0; t < trials; ++t) {
-    Rng rng(n * 100 + d * 10 + t);
+    Rng rng(n * 100 + d * 10 + static_cast<size_t>(t));
     Graph base = Graph::RandomGnp(n, 0.4, &rng);
     Graph alice = base, bob = base;
     alice.Perturb(d - d / 2, &rng);
@@ -30,15 +30,20 @@ void Run(size_t n, size_t d) {
     Channel ch;
     Result<Graph> rec(Status(StatusCode::kExhausted, "x"));
     ms += 1e3 * bench::TimeSeconds(
-                    [&] { rec = PolyGraphReconcile(alice, bob, d, t, &ch); });
+                    [&] {
+                      rec = PolyGraphReconcile(alice, bob, d,
+                                               static_cast<uint64_t>(t), &ch);
+                    });
     if (rec.ok() && IsIsomorphic(rec.value(), alice).value()) {
       ++success;
       bytes += ch.total_bytes();
     }
   }
-  const double lower_bound_bits = d * std::log2(static_cast<double>(n));
+  const double lower_bound_bits =
+      static_cast<double>(d) * std::log2(static_cast<double>(n));
   std::printf("%4zu %4zu %8d%% %10zu %12.1f %14.1f\n", n, d,
-              success * 100 / trials, success ? bytes / success : 0,
+              success * 100 / trials,
+              success ? bytes / static_cast<size_t>(success) : 0,
               ms / trials, lower_bound_bits / 8);
 }
 
@@ -50,8 +55,8 @@ int main() {
                         "polynomial graph reconciliation (small graphs)");
   std::printf("%4s %4s %9s %10s %12s %14s\n", "n", "d", "success", "bytes",
               "ms", "Thm4.4_lb_B");
-  for (size_t n : {5, 6, 7}) {
-    for (size_t d : {1, 2}) {
+  for (size_t n : {5u, 6u, 7u}) {
+    for (size_t d : {1u, 2u}) {
       setrec::Run(n, d);
     }
   }

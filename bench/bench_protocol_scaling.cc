@@ -86,25 +86,25 @@ int main() {
 
   std::printf("\nsweep d (s=96, h=96, SSRK):\n");
   HeaderRow();
-  for (size_t d : {1, 2, 4, 8, 16, 32, 64}) {
+  for (size_t d : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
     PrintRow("d", d, RunAll(96, 96, d, true, 10 + d), false);
   }
 
   std::printf("\nsweep h (s=64, d=8, SSRK):\n");
   HeaderRow();
-  for (size_t h : {16, 32, 64, 128, 256, 512}) {
+  for (size_t h : {16u, 32u, 64u, 128u, 256u, 512u}) {
     PrintRow("h", h, RunAll(64, h, 8, true, 100 + h), false);
   }
 
   std::printf("\nsweep s (h=64, d=8, SSRK):\n");
   HeaderRow();
-  for (size_t s : {16, 32, 64, 128, 256, 512}) {
+  for (size_t s : {16u, 32u, 64u, 128u, 256u, 512u}) {
     PrintRow("s", s, RunAll(s, 64, 8, true, 200 + s), false);
   }
 
   std::printf("\nSSRU rounds (s=64, h=64):\n");
   HeaderRow();
-  for (size_t d : {1, 4, 16, 64}) {
+  for (size_t d : {1u, 4u, 16u, 64u}) {
     PrintRow("d", d, RunAll(64, 64, d, false, 300 + d), true);
   }
 

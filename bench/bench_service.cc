@@ -839,7 +839,7 @@ void RunTableSuite() {
               "speedup");
   IbltBatchOptions batch;
   for (int kind = 0; kind < 4; ++kind) {
-    Workload w = MakeWorkload(2000, 48, 8, 2, 21 + kind,
+    Workload w = MakeWorkload(2000, 48, 8, 2, static_cast<uint64_t>(21 + kind),
                               static_cast<SsrProtocolKind>(kind));
     DriverResult direct = RunDirect(w);
     DriverResult service = RunService(w, batch, 1024);

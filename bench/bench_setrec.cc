@@ -69,10 +69,10 @@ int main() {
                         "IBLT vs characteristic polynomial");
   std::printf("%8s %6s %12s %12s %12s %12s %6s\n", "n", "d", "iblt_B",
               "poly_B", "iblt_ms", "poly_ms", "agree");
-  for (size_t d : {2, 8, 32, 128, 256}) {
+  for (size_t d : {2u, 8u, 32u, 128u, 256u}) {
     setrec::Run(20000, d);
   }
-  for (size_t n : {1000, 10000, 100000}) {
+  for (size_t n : {1000u, 10000u, 100000u}) {
     setrec::Run(n, 32);
   }
   std::printf(

@@ -41,7 +41,8 @@ int main() {
   std::printf("synced in %zu rounds, %zu bytes (raw table: %zu bytes, "
               "%.1fx saving)\n",
               channel.rounds(), channel.total_bytes(), raw,
-              static_cast<double>(raw) / channel.total_bytes());
+              static_cast<double>(raw) /
+                  static_cast<double>(channel.total_bytes()));
   std::printf("row multisets equal: %s\n",
               outcome.value().recovered.SameRowsAs(alice) ? "yes" : "NO");
   return 0;

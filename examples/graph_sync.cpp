@@ -44,7 +44,8 @@ int main() {
   std::printf("reconciled in %zu round, %zu bytes "
               "(raw edge list: %zu bytes, %.0fx saving)\n",
               channel.rounds(), channel.total_bytes(), raw_edges_bytes,
-              static_cast<double>(raw_edges_bytes) / channel.total_bytes());
+              static_cast<double>(raw_edges_bytes) /
+                  static_cast<double>(channel.total_bytes()));
   std::printf("recovered graph: %zu edges (Alice has %zu)\n",
               outcome.value().recovered.num_edges(), alice.num_edges());
   return 0;

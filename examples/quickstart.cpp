@@ -52,7 +52,8 @@ int main() {
   for (const ChildSet& child : outcome.value().recovered) {
     std::printf("  {");
     for (size_t i = 0; i < child.size(); ++i) {
-      std::printf("%s%llu", i ? ", " : "", (unsigned long long)child[i]);
+      std::printf("%s%llu", i ? ", " : "",
+                  static_cast<unsigned long long>(child[i]));
     }
     std::printf("}\n");
   }

@@ -5,8 +5,7 @@
 // parent set, verified against the shared demo fixture.
 //
 //   ./build/example_sync_server --listen=tcp:7450 &
-//   ./build/example_sync_client --connect=tcp:127.0.0.1:7450 \
-//       --protocol=cascade --index=3
+//   ./build/example_sync_client --connect=tcp:127.0.0.1:7450 --protocol=cascade --index=3
 //
 // Also speaks unix sockets: --connect=unix:/tmp/setrec.sock
 

@@ -183,9 +183,10 @@ int RunNetSelftest() {
   std::vector<Status> client_status(kSessions, Status::Ok());
   std::thread client([&] {
     for (int i = 0; i < kSessions; ++i) {
+      const size_t slot = static_cast<size_t>(i);
       Result<int> fd = ConnectTcp("127.0.0.1", port.value());
       if (!fd.ok()) {
-        client_status[i] = fd.status();
+        client_status[slot] = fd.status();
         continue;
       }
       // Receive timeout: a wedged server must fail the selftest, not hang
@@ -198,10 +199,10 @@ int RunNetSelftest() {
           static_cast<uint64_t>(i) + 1);
       ::close(fd.value());
       if (!outcome.ok()) {
-        client_status[i] = outcome.status();
+        client_status[slot] = outcome.status();
       } else if (outcome.value().recovered !=
                  Canonicalize(*server_set)) {
-        client_status[i] =
+        client_status[slot] =
             VerificationFailure("client recovery does not match server set");
       }
     }
@@ -223,11 +224,12 @@ int RunNetSelftest() {
 
   bool ok = done == kSessions && server_failed == 0;
   for (int i = 0; i < kSessions; ++i) {
-    if (!client_status[i].ok()) {
+    const size_t slot = static_cast<size_t>(i);
+    if (!client_status[slot].ok()) {
       ok = false;
       std::fprintf(stderr, "client %s failed: %s\n",
                    SsrProtocolKindName(static_cast<SsrProtocolKind>(i)),
-                   client_status[i].ToString().c_str());
+                   client_status[slot].ToString().c_str());
     }
   }
   std::printf("net selftest over 127.0.0.1: %zu/%d sessions ok — %s\n",

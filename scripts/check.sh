@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# One-shot gate driver: runs all four verification lanes (default, asan,
+# tsan, lint — see docs/ANALYSIS.md) and exits non-zero if any fails.
+# Usage: scripts/check.sh [-j N]
+set -u
+
+jobs=$(nproc)
+while getopts "j:" opt; do
+  case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+cd "$(dirname "$0")/.."
+failed=()
+
+run() {
+  local name="$1"
+  shift
+  echo "==> [$name] $*"
+  if ! "$@"; then
+    echo "==> [$name] FAILED"
+    failed+=("$name")
+    return 1
+  fi
+}
+
+lane() {
+  # lane <name> <preset> <test-args...>: configure + build + test; a
+  # failing step skips the rest of the lane but later lanes still run.
+  local name="$1" preset="$2"
+  shift 2
+  run "$name-configure" cmake --preset "$preset" &&
+    run "$name-build" cmake --build --preset "$preset" -j "$jobs" &&
+    run "$name-test" ctest --test-dir "build-$preset" --output-on-failure "$@"
+}
+
+# Lane 1: default build, full test suite.
+run default-configure cmake -B build -S . &&
+  run default-build cmake --build build -j "$jobs" &&
+  run default-test ctest --test-dir build --output-on-failure
+
+# Lane 2: ASan+UBSan over the lifetime-sensitive suites.
+lane asan asan -L 'fast|service'
+
+# Lane 3: TSan over the threaded suites.
+lane tsan tsan -L 'mt|service|net'
+
+# Lane 4: hardened warnings as errors (whole tree) + setrec_lint.
+lane lint lint -L lint
+
+echo
+if [ "${#failed[@]}" -ne 0 ]; then
+  echo "CHECK FAILED: ${failed[*]}"
+  exit 1
+fi
+echo "CHECK OK: default, asan, tsan, lint all green"

@@ -237,7 +237,8 @@ Result<CollectionReconcileOutcome> ReconcileCollections(
 
   Status last = DecodeFailure("no attempts made");
   for (int attempt = 0; attempt < params.max_attempts; ++attempt) {
-    uint64_t seed = DeriveSeed(params.seed, 0x73686174ull + attempt);
+    uint64_t seed =
+        DeriveSeed(params.seed, uint64_t{0x73686174} + static_cast<uint64_t>(attempt));
     Result<AttemptResult> result =
         CollectionAttempt(alice, bob, per_doc_diff, d_hat, seed, channel);
     if (result.ok()) {

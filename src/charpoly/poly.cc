@@ -90,15 +90,15 @@ void Poly::DivMod(const Poly& divisor, Poly* quotient, Poly* remainder) const {
   int dd = divisor.Degree();
   uint64_t lead_inv = gf::Inv(divisor.LeadingCoeff());
   std::vector<uint64_t> quot;
-  if (Degree() >= dd) quot.assign(Degree() - dd + 1, 0);
+  if (Degree() >= dd) quot.assign(static_cast<size_t>(Degree() - dd) + 1, 0);
   for (int i = Degree(); i >= dd; --i) {
-    uint64_t c = rem[i];
+    uint64_t c = rem[static_cast<size_t>(i)];
     if (c == 0) continue;
     uint64_t q = gf::Mul(c, lead_inv);
-    quot[i - dd] = q;
+    quot[static_cast<size_t>(i - dd)] = q;
     for (int j = 0; j <= dd; ++j) {
-      rem[i - dd + j] =
-          gf::Sub(rem[i - dd + j], gf::Mul(q, divisor.coeffs_[j]));
+      const size_t at = static_cast<size_t>(i - dd + j);
+      rem[at] = gf::Sub(rem[at], gf::Mul(q, divisor.coeffs_[static_cast<size_t>(j)]));
     }
   }
   *quotient = Poly(std::move(quot));

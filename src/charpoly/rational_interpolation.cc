@@ -62,21 +62,22 @@ Result<RationalFunction> InterpolateRational(
   // Unknowns: p_0..p_{deg_num-1} (P monic of degree deg_num) then
   // q_0..q_{deg_den-1} (Q monic of degree deg_den). Equation at z_i:
   //   sum_j p_j z^j - f_i sum_j q_j z^j = f_i z^deg_den - z^deg_num.
+  const size_t num_unknowns = static_cast<size_t>(unknowns);
   std::vector<std::vector<uint64_t>> a(
-      unknowns, std::vector<uint64_t>(unknowns, 0));
-  std::vector<uint64_t> b(unknowns, 0);
-  for (int i = 0; i < unknowns; ++i) {
+      num_unknowns, std::vector<uint64_t>(num_unknowns, 0));
+  std::vector<uint64_t> b(num_unknowns, 0);
+  for (size_t i = 0; i < num_unknowns; ++i) {
     uint64_t z = points[i] % gf::kP;
     uint64_t f = values[i] % gf::kP;
     uint64_t zp = 1;
-    for (int j = 0; j < deg_num; ++j) {
+    for (size_t j = 0; j < static_cast<size_t>(deg_num); ++j) {
       a[i][j] = zp;
       zp = gf::Mul(zp, z);
     }
     uint64_t z_num = zp;  // z^deg_num.
     zp = 1;
-    for (int j = 0; j < deg_den; ++j) {
-      a[i][deg_num + j] = gf::Neg(gf::Mul(f, zp));
+    for (size_t j = 0; j < static_cast<size_t>(deg_den); ++j) {
+      a[i][static_cast<size_t>(deg_num) + j] = gf::Neg(gf::Mul(f, zp));
       zp = gf::Mul(zp, z);
     }
     uint64_t z_den = zp;  // z^deg_den.

@@ -80,7 +80,7 @@ Result<std::vector<uint64_t>> FindRoots(const Poly& f, uint64_t seed) {
   }
 
   Rng rng(DeriveSeed(seed, /*tag=*/0x726f6f74ull));  // "root"
-  roots.reserve(deg);
+  roots.reserve(static_cast<size_t>(deg));
   SplitRoots(monic, &rng, &roots);
   if (static_cast<int>(roots.size()) != deg) {
     return VerificationFailure("root splitting did not converge");

@@ -420,7 +420,8 @@ Task<Status> CascadingProtocol::ReconcileAsyncAlice(
       [&](int trial) {
         return DeriveSeed(
             params_.seed,
-            kAttemptTag + (known_d.has_value() ? trial : 1000 + trial));
+            kAttemptTag +
+                static_cast<uint64_t>(known_d.has_value() ? trial : 1000 + trial));
       },
       [&](int, uint64_t seed) {
         size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
@@ -463,7 +464,8 @@ Task<Result<SsrOutcome>> CascadingProtocol::ReconcileAsyncBob(
       [&](int trial) {
         return DeriveSeed(
             params_.seed,
-            kAttemptTag + (known_d.has_value() ? trial : 1000 + trial));
+            kAttemptTag +
+                static_cast<uint64_t>(known_d.has_value() ? trial : 1000 + trial));
       },
       [&](int, uint64_t seed, bool* peer_aborted) {
         size_t d_hat = std::max<size_t>(DHat(d, params_), 1);

@@ -254,7 +254,8 @@ Task<Status> IbltOfIbltsProtocol::ReconcileAsyncAlice(
       [&](int trial) {
         return DeriveSeed(
             params_.seed,
-            kAttemptTag + (known_d.has_value() ? trial : 1000 + trial));
+            kAttemptTag +
+                static_cast<uint64_t>(known_d.has_value() ? trial : 1000 + trial));
       },
       [&](int, uint64_t seed) {
         size_t d_hat = std::max<size_t>(DHat(d, params_), 1);
@@ -293,7 +294,8 @@ Task<Result<SsrOutcome>> IbltOfIbltsProtocol::ReconcileAsyncBob(
       [&](int trial) {
         return DeriveSeed(
             params_.seed,
-            kAttemptTag + (known_d.has_value() ? trial : 1000 + trial));
+            kAttemptTag +
+                static_cast<uint64_t>(known_d.has_value() ? trial : 1000 + trial));
       },
       [&](int, uint64_t seed, bool* peer_aborted) {
         size_t d_hat = std::max<size_t>(DHat(d, params_), 1);

@@ -594,7 +594,10 @@ Task<Status> MultiRoundProtocol::ReconcileAsyncAlice(
   std::optional<Iblt> fp_lineage;  // Previous attempt's fingerprint table.
   co_return co_await RunAliceEndTrials(
       params_.max_attempts,
-      [&](int trial) { return DeriveSeed(params_.seed, kAttemptTag + trial); },
+      [&](int trial) {
+        return DeriveSeed(params_.seed,
+                          kAttemptTag + static_cast<uint64_t>(trial));
+      },
       [&](int, uint64_t seed, AttemptEnd* end) {
         return AttemptAlice(alice, known_d, d_hat, estimated, seed, &next,
                             &fp_lineage, end, channel, ctx);
@@ -652,7 +655,10 @@ Task<Result<SsrOutcome>> MultiRoundProtocol::ReconcileAsyncBob(
   std::optional<Iblt> fp_lineage;  // Previous attempt's fingerprint table.
   co_return co_await RunBobEndTrials(
       channel, params_.max_attempts,
-      [&](int trial) { return DeriveSeed(params_.seed, kAttemptTag + trial); },
+      [&](int trial) {
+        return DeriveSeed(params_.seed,
+                          kAttemptTag + static_cast<uint64_t>(trial));
+      },
       [&](int, uint64_t seed, AttemptEnd* end) {
         return AttemptBob(bob, &d_hat, estimated, seed, &next, &fp_lineage,
                           end, channel, ctx);

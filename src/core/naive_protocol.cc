@@ -217,7 +217,10 @@ Task<Status> NaiveProtocol::ReconcileAsyncAlice(const SetOfSets& alice,
   // construction).
   co_return co_await RunAliceTrials(
       ctx, channel, &next, params_.max_attempts,
-      [&](int trial) { return DeriveSeed(params_.seed, kAttemptTag + trial); },
+      [&](int trial) {
+        return DeriveSeed(params_.seed,
+                          kAttemptTag + static_cast<uint64_t>(trial));
+      },
       [&](int, uint64_t seed) {
         return AttemptAlice(alice, d_hat, estimated, seed, &next, channel,
                             ctx);
@@ -283,7 +286,10 @@ Task<Result<SsrOutcome>> NaiveProtocol::ReconcileAsyncBob(
   // prefix), so his on_retry hook is empty.
   co_return co_await RunBobTrials(
       ctx, channel, &next, params_.max_attempts,
-      [&](int trial) { return DeriveSeed(params_.seed, kAttemptTag + trial); },
+      [&](int trial) {
+        return DeriveSeed(params_.seed,
+                          kAttemptTag + static_cast<uint64_t>(trial));
+      },
       [&](int, uint64_t seed, bool* peer_aborted) {
         return AttemptBob(bob, &d_hat, estimated, seed, &next, peer_aborted,
                           channel, ctx);

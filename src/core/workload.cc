@@ -56,7 +56,7 @@ SsrWorkload MakeSsrWorkload(const SsrWorkloadSpec& spec) {
       size_t pos = rng.UniformU64(child.size());
       uint64_t e = child[pos];
       if (inserted[child_idx].count(e) > 0) continue;  // Would cancel.
-      child.erase(child.begin() + pos);
+      child.erase(child.begin() + static_cast<std::ptrdiff_t>(pos));
       deleted[child_idx].insert(e);
     }
     ++applied;

@@ -31,18 +31,19 @@ L0Estimator::L0Estimator(const Params& params)
     : params_(params),
       words_per_level_((params.buckets_per_level + kFieldsPerWord - 1) /
                        kFieldsPerWord),
-      words_(static_cast<size_t>(params.replicas) * params.num_levels *
-                 words_per_level_,
+      words_(static_cast<size_t>(params.replicas) *
+                 static_cast<size_t>(params.num_levels) * words_per_level_,
              0) {
-  replica_seeds_.reserve(params_.replicas);
+  replica_seeds_.reserve(static_cast<size_t>(params_.replicas));
   for (int r = 0; r < params_.replicas; ++r) {
-    replica_seeds_.push_back(
-        DeriveSeed(params_.seed, 0x6c306573ull + r));  // "l0es"
+    replica_seeds_.push_back(DeriveSeed(
+        params_.seed, uint64_t{0x6c306573} + static_cast<uint64_t>(r)));  // "l0es"
   }
 }
 
 size_t L0Estimator::LevelOffset(int replica, int level) const {
-  return (static_cast<size_t>(replica) * params_.num_levels + level) *
+  return (static_cast<size_t>(replica) * static_cast<size_t>(params_.num_levels) +
+          static_cast<size_t>(level)) *
          words_per_level_;
 }
 
@@ -54,10 +55,11 @@ void L0Estimator::Update(uint64_t x, int side) {
 }
 
 void L0Estimator::UpdateReplica(int r, uint64_t x, uint64_t add) {
-  uint64_t h = Mix64(x ^ replica_seeds_[r]);
+  uint64_t h = Mix64(x ^ replica_seeds_[static_cast<size_t>(r)]);
   int level = std::countr_zero(h | (1ull << (params_.num_levels - 1)));
   uint64_t bucket =
-      Mix64(x ^ (replica_seeds_[r] + 0x9e3779b97f4a7c15ull)) %
+      Mix64(x ^ (replica_seeds_[static_cast<size_t>(r)] +
+                 0x9e3779b97f4a7c15ull)) %
       params_.buckets_per_level;
   size_t word = LevelOffset(r, level) + bucket / kFieldsPerWord;
   size_t shift = 3 * (bucket % kFieldsPerWord);
@@ -120,12 +122,14 @@ uint64_t L0Estimator::EstimateReplica(int replica) const {
 
 uint64_t L0Estimator::Estimate() const {
   std::vector<uint64_t> estimates;
-  estimates.reserve(params_.replicas);
+  estimates.reserve(static_cast<size_t>(params_.replicas));
   for (int r = 0; r < params_.replicas; ++r) {
     estimates.push_back(EstimateReplica(r));
   }
-  std::nth_element(estimates.begin(),
-                   estimates.begin() + estimates.size() / 2, estimates.end());
+  std::nth_element(
+      estimates.begin(),
+      estimates.begin() + static_cast<std::ptrdiff_t>(estimates.size() / 2),
+      estimates.end());
   return estimates[estimates.size() / 2];
 }
 

@@ -12,7 +12,8 @@ IbltConfig StratumConfig(const StrataEstimator::Params& params, int stratum) {
   config.cells = params.cells_per_stratum;
   config.num_hashes = 3;
   config.key_width = 8;
-  config.seed = DeriveSeed(params.seed, 0x73747261ull + stratum);  // "stra"
+  config.seed = DeriveSeed(params.seed,
+                           uint64_t{0x73747261} + static_cast<uint64_t>(stratum));  // "stra"
   return config;
 }
 }  // namespace
@@ -20,7 +21,7 @@ IbltConfig StratumConfig(const StrataEstimator::Params& params, int stratum) {
 StrataEstimator::StrataEstimator(const Params& params)
     : params_(params),
       level_seed_(DeriveSeed(params.seed, /*tag=*/0x6c76736dull)) {  // "lvsm"
-  strata_.reserve(params_.num_strata);
+  strata_.reserve(static_cast<size_t>(params_.num_strata));
   for (int i = 0; i < params_.num_strata; ++i) {
     strata_.emplace_back(StratumConfig(params_, i));
   }
@@ -33,7 +34,7 @@ int StrataEstimator::StratumOf(uint64_t x) const {
 }
 
 void StrataEstimator::Update(uint64_t x, int side) {
-  Iblt& stratum = strata_[StratumOf(x)];
+  Iblt& stratum = strata_[static_cast<size_t>(StratumOf(x))];
   if (side == 1) {
     stratum.InsertU64(x);
   } else {
@@ -46,12 +47,12 @@ void StrataEstimator::UpdateBatch(const uint64_t* xs, size_t n, int side) {
   // batched update (equivalent to n single-element Updates). The partition
   // buckets are members: clear() keeps their capacity, so every batch after
   // the first runs without touching the allocator.
-  batch_scratch_.resize(params_.num_strata);
+  batch_scratch_.resize(static_cast<size_t>(params_.num_strata));
   for (auto& bucket : batch_scratch_) bucket.clear();
   for (size_t j = 0; j < n; ++j) {
-    batch_scratch_[StratumOf(xs[j])].push_back(xs[j]);
+    batch_scratch_[static_cast<size_t>(StratumOf(xs[j]))].push_back(xs[j]);
   }
-  for (int i = 0; i < params_.num_strata; ++i) {
+  for (size_t i = 0; i < batch_scratch_.size(); ++i) {
     if (batch_scratch_[i].empty()) continue;
     if (side == 1) {
       strata_[i].InsertBatch(batch_scratch_[i]);
@@ -67,7 +68,7 @@ Status StrataEstimator::Merge(const StrataEstimator& other) {
       other.params_.seed != params_.seed) {
     return InvalidArgument("strata merge: mismatched params");
   }
-  for (int i = 0; i < params_.num_strata; ++i) {
+  for (size_t i = 0; i < strata_.size(); ++i) {
     Status s = strata_[i].Add(other.strata_[i]);
     if (!s.ok()) return s;
   }
@@ -78,7 +79,8 @@ uint64_t StrataEstimator::Estimate() const {
   uint64_t count = 0;
   DecodeScratch scratch;  // One warm workspace for all per-stratum decodes.
   for (int i = params_.num_strata - 1; i >= 0; --i) {
-    Result<IbltDecodeResult64> decoded = strata_[i].DecodeU64(&scratch);
+    Result<IbltDecodeResult64> decoded =
+        strata_[static_cast<size_t>(i)].DecodeU64(&scratch);
     if (!decoded.ok()) {
       // First undecodable stratum: scale what was recovered above it.
       return count << (i + 1);
@@ -99,7 +101,7 @@ Result<StrataEstimator> StrataEstimator::Deserialize(ByteReader* reader,
     Result<Iblt> table =
         Iblt::DeserializeFixed(reader, StratumConfig(params, i));
     if (!table.ok()) return table.status();
-    est.strata_[i] = std::move(table).value();
+    est.strata_[static_cast<size_t>(i)] = std::move(table).value();
   }
   return est;
 }

@@ -71,13 +71,15 @@ Result<Graph> MakeSeparatedGraph(const SeparatedInstanceSpec& spec) {
   const size_t gap = d + 1;
   std::vector<size_t> anchor_order(h);
   for (size_t i = 0; i < h; ++i) anchor_order[i] = i;
-  std::sort(anchor_order.begin(), anchor_order.end(),
-            [&g](size_t a, size_t b) { return g.Degree(a) > g.Degree(b); });
+  std::sort(anchor_order.begin(), anchor_order.end(), [&g](size_t a, size_t b) {
+    return g.Degree(static_cast<uint32_t>(a)) >
+           g.Degree(static_cast<uint32_t>(b));
+  });
   std::vector<bool> flipped(core, false);
-  size_t prev_degree = g.Degree(anchor_order[0]) + gap;
+  size_t prev_degree = g.Degree(static_cast<uint32_t>(anchor_order[0])) + gap;
   for (size_t rank = 0; rank < h; ++rank) {
     const size_t anchor = anchor_order[rank];
-    const size_t current = g.Degree(anchor);
+    const size_t current = g.Degree(static_cast<uint32_t>(anchor));
     const size_t target = std::min(current, prev_degree - gap);
     size_t to_delete = current - target;
     for (size_t k = 0; k < core && to_delete > 0; ++k) {
@@ -98,7 +100,8 @@ Result<Graph> MakeSeparatedGraph(const SeparatedInstanceSpec& spec) {
   // perturbations on each side.
   size_t max_core_degree = 0;
   for (size_t k = 0; k < core; ++k) {
-    max_core_degree = std::max(max_core_degree, g.Degree(h + k));
+    max_core_degree =
+        std::max(max_core_degree, g.Degree(static_cast<uint32_t>(h + k)));
   }
   if (prev_degree <= max_core_degree + 2 * d + 2) {
     return Exhausted(

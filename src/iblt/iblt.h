@@ -370,7 +370,7 @@ class Iblt {
 
   /// Compact serialization (varint counts) for direct transmission.
   void Serialize(ByteWriter* writer) const;
-  static Result<Iblt> Deserialize(ByteReader* reader, const IbltConfig& config);
+  [[nodiscard]] static Result<Iblt> Deserialize(ByteReader* reader, const IbltConfig& config);
 
   /// Sparse WIRE serialization (WireCodec::kSparse). Emits one mode byte,
   /// then either the sparse body (occupancy bitmap over non-zero cells,
@@ -397,7 +397,7 @@ class Iblt {
   /// non-canonical escape values, payload lengths past the end of input,
   /// cells marked occupied that decode to all-zero, and delta frames when
   /// `lineage` cannot cover `config`.
-  static Result<Iblt> DeserializeSparse(ByteReader* reader,
+  [[nodiscard]] static Result<Iblt> DeserializeSparse(ByteReader* reader,
                                         const IbltConfig& config,
                                         const TableLineage& lineage = {});
 
@@ -415,7 +415,7 @@ class Iblt {
   /// optional lineage for delta frames) / DeserializeSparse.
   void SerializeWith(WireCodec codec, ByteWriter* writer,
                      const TableLineage& lineage = {}) const;
-  static Result<Iblt> DeserializeWith(WireCodec codec, ByteReader* reader,
+  [[nodiscard]] static Result<Iblt> DeserializeWith(WireCodec codec, ByteReader* reader,
                                       const IbltConfig& config,
                                       const TableLineage& lineage = {});
 
@@ -423,7 +423,7 @@ class Iblt {
   /// the same number of bytes, so serialized tables can themselves be used
   /// as (XOR-able) IBLT keys, as in the IBLT-of-IBLTs constructions.
   void SerializeFixed(ByteWriter* writer) const;
-  static Result<Iblt> DeserializeFixed(ByteReader* reader,
+  [[nodiscard]] static Result<Iblt> DeserializeFixed(ByteReader* reader,
                                        const IbltConfig& config);
 
   /// One deferred batch op of a multi-table pass: insert (delta=+1) or

@@ -1,6 +1,5 @@
 #include "net/multi_pump.h"
 
-#include <cassert>
 #include <utility>
 
 namespace setrec {

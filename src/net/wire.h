@@ -34,7 +34,7 @@ inline bool IsHelloMessage(const Channel::Message& m) {
 }
 
 /// Parses a hello frame; kParseError on malformed payload.
-Result<HelloSpec> ParseHelloMessage(const Channel::Message& m);
+[[nodiscard]] Result<HelloSpec> ParseHelloMessage(const Channel::Message& m);
 
 }  // namespace setrec
 

@@ -97,7 +97,8 @@ Result<SetReconcileOutcome> IbltReconcileKnown(
   Status last = DecodeFailure("no attempts made");
   DecodeScratch scratch;
   for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
-    uint64_t seed = DeriveSeed(options.seed, kAttemptTag + attempt);
+    uint64_t seed =
+        DeriveSeed(options.seed, kAttemptTag + static_cast<uint64_t>(attempt));
     Result<SetReconcileOutcome> outcome =
         IbltAttempt(alice, bob, d, seed, channel, &scratch);
     if (outcome.ok()) {
@@ -140,7 +141,8 @@ Result<SetReconcileOutcome> IbltReconcileUnknown(
   Status last = DecodeFailure("no attempts made");
   DecodeScratch scratch;
   for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
-    uint64_t seed = DeriveSeed(options.seed, kAttemptTag + 100 + attempt);
+    uint64_t seed = DeriveSeed(
+        options.seed, kAttemptTag + 100 + static_cast<uint64_t>(attempt));
     Result<SetReconcileOutcome> outcome =
         IbltAttempt(alice, bob, d, seed, channel, &scratch);
     if (outcome.ok()) {

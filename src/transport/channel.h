@@ -25,7 +25,10 @@ inline const char* PartyName(Party p) {
 class Channel {
  public:
   struct Message {
-    Party from;
+    /// Default-initialized so a Message staged inside a mailbox command is
+    /// never copied with an indeterminate sender (GCC -Wuninitialized
+    /// caught SyncService::Command doing exactly that).
+    Party from = Party::kAlice;
     std::vector<uint8_t> payload;
     /// Free-form label ("T1", "estimator", ...) for transcript inspection.
     std::string label;
@@ -83,7 +86,8 @@ void WriteMessageFrame(const Channel::Message& message, ByteWriter* writer);
 
 /// Parses one message frame at the reader's position. Returns false
 /// (consuming an unspecified prefix) on truncated or malformed input.
-bool ReadMessageFrame(ByteReader* reader, Channel::Message* out);
+[[nodiscard]] bool ReadMessageFrame(ByteReader* reader,
+                                    Channel::Message* out);
 
 /// Serializes a sub-transcript into a byte block: a varint message count,
 /// then one WriteMessageFrame per message — the full Channel::Message, so
@@ -98,13 +102,13 @@ std::vector<uint8_t> PackTranscript(const Channel& sub);
 /// Inverse of PackTranscript: parses the packed block at the reader's
 /// current position into messages. Returns false (consuming an unspecified
 /// prefix) on truncated or malformed input.
-bool UnpackTranscript(ByteReader* reader,
-                      std::vector<Channel::Message>* messages);
+[[nodiscard]] bool UnpackTranscript(ByteReader* reader,
+                                    std::vector<Channel::Message>* messages);
 
 /// Advances `reader` past a packed sub-transcript without keeping the
 /// messages — the shape consumers need when the sub-protocol already ran
 /// locally and only the sections after the transcript matter.
-bool SkipPackedTranscript(ByteReader* reader);
+[[nodiscard]] bool SkipPackedTranscript(ByteReader* reader);
 
 }  // namespace setrec
 

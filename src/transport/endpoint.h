@@ -52,10 +52,10 @@ class Endpoint {
   /// this endpoint is unconnected — the message is DROPPED, and the drop is
   /// counted in dropped() so a net-layer disconnect is observable instead
   /// of silent (the SyncService surfaces it as ServiceStats::mirror_drops).
-  bool Send(Channel::Message message);
+  [[nodiscard]] bool Send(Channel::Message message);
 
   /// Dequeues the oldest pending message into `out`; false when idle.
-  bool Poll(Channel::Message* out);
+  [[nodiscard]] bool Poll(Channel::Message* out);
 
   /// Messages waiting in this half's inbox.
   size_t pending() const { return inbox_ ? inbox_->Pending() : 0; }
@@ -113,7 +113,7 @@ class FrameDecoder {
   /// frame prefix proves malformed (bad sender byte, overlong varint, a
   /// length above the frame-size bound) the decoder latches failed() and
   /// returns false forever.
-  bool Next(Channel::Message* out);
+  [[nodiscard]] bool Next(Channel::Message* out);
 
   /// True after a malformed frame was encountered; the stream cannot be
   /// resynchronized.

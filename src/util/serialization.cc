@@ -48,7 +48,9 @@ bool ByteReader::GetU8(uint8_t* v) {
 bool ByteReader::GetU16(uint16_t* v) {
   if (remaining() < 2) return false;
   uint16_t out = 0;
-  for (int i = 0; i < 2; ++i) out |= static_cast<uint16_t>(*data_++) << (8 * i);
+  for (int i = 0; i < 2; ++i) {
+    out = static_cast<uint16_t>(out | (static_cast<uint16_t>(*data_++) << (8 * i)));
+  }
   *v = out;
   return true;
 }

@@ -52,21 +52,24 @@ class ByteReader {
   explicit ByteReader(const std::vector<uint8_t>& data)
       : ByteReader(data.data(), data.size()) {}
 
-  bool GetU8(uint8_t* v);
-  bool GetU16(uint16_t* v);
-  bool GetU32(uint32_t* v);
-  bool GetU64(uint64_t* v);
-  bool GetVarint(uint64_t* v);
-  bool GetBytes(size_t n, std::vector<uint8_t>* out);
+  // Every getter is [[nodiscard]]: a discarded false means a truncated or
+  // hostile input was silently treated as parsed — the exact bug class the
+  // lint gate exists to exclude (see docs/ANALYSIS.md).
+  [[nodiscard]] bool GetU8(uint8_t* v);
+  [[nodiscard]] bool GetU16(uint16_t* v);
+  [[nodiscard]] bool GetU32(uint32_t* v);
+  [[nodiscard]] bool GetU64(uint64_t* v);
+  [[nodiscard]] bool GetVarint(uint64_t* v);
+  [[nodiscard]] bool GetBytes(size_t n, std::vector<uint8_t>* out);
   /// Copies `n` bytes straight into `dst` (no intermediate allocation);
   /// false on truncation, leaving `dst` untouched.
-  bool GetRaw(size_t n, uint8_t* dst);
-  bool GetLengthPrefixed(std::vector<uint8_t>* out);
-  bool GetU64Vector(std::vector<uint64_t>* out);
+  [[nodiscard]] bool GetRaw(size_t n, uint8_t* dst);
+  [[nodiscard]] bool GetLengthPrefixed(std::vector<uint8_t>* out);
+  [[nodiscard]] bool GetU64Vector(std::vector<uint64_t>* out);
 
   /// Advances past `n` bytes without reading them; false on truncation,
   /// leaving the position untouched.
-  bool Skip(size_t n) {
+  [[nodiscard]] bool Skip(size_t n) {
     if (remaining() < n) return false;
     data_ += n;
     return true;

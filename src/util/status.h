@@ -40,8 +40,11 @@ inline constexpr StatusCode kMaxStatusCode = StatusCode::kUnavailable;
 const char* StatusCodeName(StatusCode code);
 
 /// A lightweight success-or-error value. The library does not throw across
-/// public APIs; fallible operations return Status or Result<T>.
-class Status {
+/// public APIs; fallible operations return Status or Result<T>. The type is
+/// [[nodiscard]]: every Status-returning call must be checked (or explicitly
+/// voided), so a dropped protocol failure is a compile error under the lint
+/// preset's -Werror=unused-result.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -88,9 +91,10 @@ inline Status Unavailable(std::string msg) {
 }
 
 /// A value or an error. Accessing value() on an error aborts (assert), so
-/// callers must check ok() first.
+/// callers must check ok() first. [[nodiscard]] like Status: discarding a
+/// Result (Deserialize*, parser returns) is a compile error under -Werror.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT

@@ -73,7 +73,7 @@ class DatabaseReconcileSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(DatabaseReconcileSweep, AllProtocolsRecover) {
   const int kind = GetParam();
-  Rng rng(kind + 10);
+  Rng rng(static_cast<uint64_t>(kind + 10));
   BinaryDatabase bob = BinaryDatabase::Random(60, 48, 0.5, &rng);
   BinaryDatabase alice = bob;
   const size_t d = 8;
@@ -81,7 +81,7 @@ TEST_P(DatabaseReconcileSweep, AllProtocolsRecover) {
 
   SsrParams params;
   params.max_child_size = 50;
-  params.seed = kind + 100;
+  params.seed = static_cast<uint64_t>(kind + 100);
   std::unique_ptr<SetsOfSetsProtocol> protocol;
   switch (kind) {
     case 0: protocol = std::make_unique<NaiveProtocol>(params); break;

@@ -116,10 +116,13 @@ TEST_P(CharPolySweep, TwoSidedDifferences) {
   Rng rng(c.shared * 7 + c.alice_only * 3 + c.bob_only + c.bound);
   std::vector<uint64_t> pool =
       RandomSet(&rng, c.shared + c.alice_only + c.bob_only);
-  std::vector<uint64_t> alice(pool.begin(),
-                              pool.begin() + c.shared + c.alice_only);
-  std::vector<uint64_t> bob(pool.begin(), pool.begin() + c.shared);
-  bob.insert(bob.end(), pool.begin() + c.shared + c.alice_only, pool.end());
+  const auto shared_end =
+      pool.begin() + static_cast<std::ptrdiff_t>(c.shared);
+  const auto alice_end =
+      shared_end + static_cast<std::ptrdiff_t>(c.alice_only);
+  std::vector<uint64_t> alice(pool.begin(), alice_end);
+  std::vector<uint64_t> bob(pool.begin(), shared_end);
+  bob.insert(bob.end(), alice_end, pool.end());
   std::sort(alice.begin(), alice.end());
   std::sort(bob.begin(), bob.end());
 

@@ -25,9 +25,9 @@ TEST(EndpointTest, LoopbackPairDeliversInOrderBothWays) {
   ASSERT_TRUE(server.connected());
   ASSERT_TRUE(client.connected());
 
-  server.Send(Msg(Party::kAlice, "t1", {1, 2, 3}));
-  server.Send(Msg(Party::kAlice, "t2", {4}));
-  client.Send(Msg(Party::kBob, "ack", {9, 9}));
+  ASSERT_TRUE(server.Send(Msg(Party::kAlice, "t1", {1, 2, 3})));
+  ASSERT_TRUE(server.Send(Msg(Party::kAlice, "t2", {4})));
+  ASSERT_TRUE(client.Send(Msg(Party::kBob, "ack", {9, 9})));
 
   EXPECT_EQ(client.pending(), 2u);
   EXPECT_EQ(server.pending(), 1u);
@@ -54,9 +54,10 @@ TEST(EndpointTest, DrainToStreamRoundTripsThroughFrameDecoder) {
   for (int i = 0; i < 5; ++i) {
     Channel::Message m = Msg(i % 2 == 0 ? Party::kAlice : Party::kBob,
                              "label" + std::to_string(i),
-                             std::vector<uint8_t>(i * 7, uint8_t(i)));
+                             std::vector<uint8_t>(static_cast<size_t>(i * 7),
+                                                  static_cast<uint8_t>(i)));
     sent.push_back(m);
-    server.Send(std::move(m));
+    ASSERT_TRUE(server.Send(std::move(m)));
   }
 
   ByteWriter stream;

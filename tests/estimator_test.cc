@@ -45,7 +45,7 @@ template <typename Estimator>
 void ExpectBatchMatchesPerElement(const typename Estimator::Params& params) {
   for (int side : {1, 2}) {
     for (size_t n : {0ul, 1ul, 7ul, 500ul}) {
-      Rng rng(n * 3 + side);
+      Rng rng(n * 3 + static_cast<size_t>(side));
       std::vector<uint64_t> elements(n);
       for (auto& e : elements) e = rng.NextU64();
 
@@ -70,7 +70,7 @@ TEST(L0EstimatorTest, ZeroDifferenceIsZero) {
 TEST(L0EstimatorTest, SmallDifferencesNearExact) {
   L0Estimator::Params params;
   params.seed = 2;
-  for (size_t d : {1, 2, 3, 5, 8}) {
+  for (size_t d : {1u, 2u, 3u, 5u, 8u}) {
     uint64_t est = EstimateDifference<L0Estimator>(params, 2000, d, 100 + d);
     EXPECT_GE(est, d / 2) << d;
     EXPECT_LE(est, 2 * d + 2) << d;
@@ -170,7 +170,7 @@ TEST(StrataEstimatorTest, ZeroDifferenceIsZero) {
 TEST(StrataEstimatorTest, SmallDifferencesNearExact) {
   StrataEstimator::Params params;
   params.seed = 8;
-  for (size_t d : {1, 3, 7}) {
+  for (size_t d : {1u, 3u, 7u}) {
     uint64_t est =
         EstimateDifference<StrataEstimator>(params, 2000, d, 200 + d);
     EXPECT_GE(est, d / 2) << d;

@@ -38,7 +38,7 @@ TEST(GfTest, PowMatchesRepeatedMul) {
   uint64_t base = 123456789;
   uint64_t acc = 1;
   for (int e = 0; e <= 16; ++e) {
-    EXPECT_EQ(gf::Pow(base, e), acc) << "e=" << e;
+    EXPECT_EQ(gf::Pow(base, static_cast<uint64_t>(e)), acc) << "e=" << e;
     acc = gf::Mul(acc, base);
   }
 }

@@ -124,7 +124,7 @@ TEST_P(GnpDegreeSweep, MeanDegreeMatches) {
   Rng rng(static_cast<uint64_t>(p * 1000));
   const size_t n = 400;
   Graph g = Graph::RandomGnp(n, p, &rng);
-  double mean = 2.0 * g.num_edges() / n;
+  double mean = 2.0 * static_cast<double>(g.num_edges()) / static_cast<double>(n);
   EXPECT_NEAR(mean, p * (n - 1), 5 * std::sqrt(p * n));
 }
 

@@ -79,8 +79,8 @@ TEST(HashFamilyTest, BytesHashAvalancheOnSample) {
   HashFamily f(9, 10);
   std::set<uint64_t> outputs;
   std::vector<uint8_t> data(16, 0);
-  for (int i = 0; i < 128; ++i) {
-    data[i / 8] = static_cast<uint8_t>(1 << (i % 8));
+  for (size_t i = 0; i < 128; ++i) {
+    data[i / 8] = static_cast<uint8_t>(1u << (i % 8));
     outputs.insert(f.HashBytes(data));
     data[i / 8] = 0;
   }

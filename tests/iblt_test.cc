@@ -224,9 +224,10 @@ TEST_P(IbltDecodeSweep, DecodesAtSizedCapacity) {
   const int trials = 20;
   for (int trial = 0; trial < trials; ++trial) {
     IbltConfig config =
-        IbltConfig::ForDifference(param.diff, 1000 + trial, param.key_width);
+        IbltConfig::ForDifference(param.diff, static_cast<uint64_t>(1000 + trial),
+                                  param.key_width);
     Iblt table(config);
-    Rng rng(trial * 31 + param.diff);
+    Rng rng(static_cast<uint64_t>(trial) * 31 + param.diff);
     std::set<std::vector<uint8_t>> keys;
     while (keys.size() < param.diff) {
       std::vector<uint8_t> key(param.key_width);

@@ -281,7 +281,7 @@ struct SparseFrameFixture {
     bitmap_size = (config.PaddedCells() + 7) / 8;
     occupied = 0;
     for (size_t i = 0; i < bitmap_size; ++i) {
-      occupied += std::popcount(bytes[1 + i]);
+      occupied += static_cast<size_t>(std::popcount(bytes[1 + i]));
     }
     crumb_bytes = (occupied + 3) / 4;
     size_t off = 1 + bitmap_size + crumb_bytes;
@@ -323,7 +323,9 @@ struct SparseFrameFixture {
 TEST(IbltSparseAdversarialTest, TruncatedOccupancyBitmapRejected) {
   SparseFrameFixture fx(9, 101);
   for (size_t cut = 0; cut <= fx.bitmap_size; ++cut) {
-    std::vector<uint8_t> frame(fx.bytes.begin(), fx.bytes.begin() + cut);
+    std::vector<uint8_t> frame(
+        fx.bytes.begin(),
+        fx.bytes.begin() + static_cast<std::ptrdiff_t>(cut));
     Result<Iblt> restored = fx.Decode(frame);
     ASSERT_FALSE(restored.ok()) << "cut=" << cut;
     EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
@@ -335,7 +337,9 @@ TEST(IbltSparseAdversarialTest, EveryProperPrefixRejected) {
   // prefix of a valid frame parses, whichever section the cut lands in.
   SparseFrameFixture fx(11, 202);
   for (size_t cut = 0; cut < fx.bytes.size(); ++cut) {
-    std::vector<uint8_t> frame(fx.bytes.begin(), fx.bytes.begin() + cut);
+    std::vector<uint8_t> frame(
+        fx.bytes.begin(),
+        fx.bytes.begin() + static_cast<std::ptrdiff_t>(cut));
     Result<Iblt> restored = fx.Decode(frame);
     ASSERT_FALSE(restored.ok()) << "cut=" << cut;
     EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
@@ -401,7 +405,7 @@ TEST(IbltSparseAdversarialTest, EscapeListIndexOutOfRangeRejected) {
   const size_t bitmap_size = (config.PaddedCells() + 7) / 8;
   size_t occupied = 0;
   for (size_t i = 0; i < bitmap_size; ++i) {
-    occupied += std::popcount(bytes[1 + i]);
+    occupied += static_cast<size_t>(std::popcount(bytes[1 + i]));
   }
   ASSERT_LT(occupied, 127u) << "single-byte ordinal varints expected";
   const size_t escape_count_at = 1 + bitmap_size + (occupied + 3) / 4;
@@ -428,8 +432,9 @@ TEST(IbltSparseAdversarialTest, KeyMaskClaimsMoreThanRemainingRejected) {
   SparseFrameFixture fx(7, 505);
   // First key's mask byte claims all 8 payload bytes, but the frame ends
   // after three of them: payload length > remaining must fail closed.
-  std::vector<uint8_t> frame(fx.bytes.begin(),
-                             fx.bytes.begin() + fx.keys_begin);
+  std::vector<uint8_t> frame(
+      fx.bytes.begin(),
+      fx.bytes.begin() + static_cast<std::ptrdiff_t>(fx.keys_begin));
   frame.push_back(0xff);
   frame.insert(frame.end(), {0x01, 0x02, 0x03});
   Result<Iblt> restored = fx.Decode(frame);

@@ -107,7 +107,7 @@ TEST(MultiPumpTest, AdoptedSocketpairsAcrossShards) {
       int sv[2];
       ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
       pump.AdoptConnection(sv[0]);  // Hashed to a pump by connection id.
-      slots.push_back(ClientSlot{kind, sv[1]});
+      slots.push_back(ClientSlot{kind, sv[1], Status::Ok(), Channel{}});
     }
   }
   std::vector<std::thread> clients;

@@ -235,9 +235,9 @@ INSTANTIATE_TEST_SUITE_P(AllProtocols, NetCodecInterop,
                                            SsrProtocolKind::kCascade,
                                            SsrProtocolKind::kMultiRound),
                          [](const ::testing::TestParamInfo<SsrProtocolKind>&
-                                info) {
+                                param_info) {
                            return std::string(
-                               SsrProtocolKindName(info.param));
+                               SsrProtocolKindName(param_info.param));
                          });
 
 }  // namespace

@@ -149,8 +149,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{SsrProtocolKind::kCascade, false},
                       Case{SsrProtocolKind::kMultiRound, true},
                       Case{SsrProtocolKind::kMultiRound, false}),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      return info.param.Name();
+    [](const ::testing::TestParamInfo<Case>& param_info) {
+      return param_info.param.Name();
     });
 
 TEST(NetPumpTcp, ConcurrentClientsOverLoopDevice) {
@@ -173,18 +173,19 @@ TEST(NetPumpTcp, ConcurrentClientsOverLoopDevice) {
   clients.reserve(kClients);
   for (int i = 0; i < kClients; ++i) {
     clients.emplace_back([&, i] {
+      const size_t idx = static_cast<size_t>(i);
       Fixture f = base;
       // Each client drifts independently from the shared server set.
       f.bob[static_cast<size_t>(i) % f.bob.size()].push_back(
-          (1ull << 40) + static_cast<uint64_t>(i));
+          (uint64_t{1} << 40) + static_cast<uint64_t>(i));
       f.bob = Canonicalize(std::move(f.bob));
       f.known_d = 6;
       Result<int> fd = ConnectTcp("127.0.0.1", port.value());
       if (!fd.ok()) {
-        client_results[i].outcome = fd.status();
+        client_results[idx].outcome = fd.status();
         return;
       }
-      client_results[i] = RunClient(fd.value(), kinds[i], set_id, f);
+      client_results[idx] = RunClient(fd.value(), kinds[idx], set_id, f);
       ::close(fd.value());
     });
   }
@@ -201,10 +202,11 @@ TEST(NetPumpTcp, ConcurrentClientsOverLoopDevice) {
   for (std::thread& t : clients) t.join();
   ASSERT_EQ(done, static_cast<size_t>(kClients));
   for (int i = 0; i < kClients; ++i) {
-    ASSERT_TRUE(client_results[i].outcome.ok())
+    const size_t slot = static_cast<size_t>(i);
+    ASSERT_TRUE(client_results[slot].outcome.ok())
         << "client " << i << ": "
-        << client_results[i].outcome.status().ToString();
-    EXPECT_EQ(client_results[i].outcome.value().recovered,
+        << client_results[slot].outcome.status().ToString();
+    EXPECT_EQ(client_results[slot].outcome.value().recovered,
               Canonicalize(base.alice))
         << "client " << i;
   }

@@ -9,7 +9,7 @@ namespace setrec {
 namespace {
 
 Poly RandomPoly(Rng* rng, int degree) {
-  std::vector<uint64_t> coeffs(degree + 1);
+  std::vector<uint64_t> coeffs(static_cast<size_t>(degree + 1));
   for (auto& c : coeffs) c = rng->NextU64() % gf::kP;
   if (coeffs.back() == 0) coeffs.back() = 1;
   return Poly(std::move(coeffs));
@@ -125,7 +125,8 @@ TEST(PolyPowModTest, MatchesRepeatedMultiplication) {
   Poly m = Poly::FromRoots({1, 2, 3});
   Poly direct = Poly::Constant(1);
   for (int e = 0; e <= 10; ++e) {
-    EXPECT_EQ(PolyPowMod(x, e, m), direct.Mod(m)) << "e=" << e;
+    EXPECT_EQ(PolyPowMod(x, static_cast<uint64_t>(e), m), direct.Mod(m))
+        << "e=" << e;
     direct = direct.Mul(x);
   }
 }

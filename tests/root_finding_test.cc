@@ -69,14 +69,15 @@ class FindRootsSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(FindRootsSweep, RandomRootSets) {
   const int degree = GetParam();
-  Rng rng(degree * 17 + 1);
+  Rng rng(static_cast<uint64_t>(degree) * 17 + 1);
   std::set<uint64_t> root_set;
   while (root_set.size() < static_cast<size_t>(degree)) {
     root_set.insert(rng.NextU64() % (1ull << 60));
   }
   std::vector<uint64_t> roots(root_set.begin(), root_set.end());
   Poly p = Poly::FromRoots(roots);
-  Result<std::vector<uint64_t>> found = FindRoots(p, degree);
+  Result<std::vector<uint64_t>> found =
+      FindRoots(p, static_cast<uint64_t>(degree));
   ASSERT_TRUE(found.ok()) << found.status().ToString();
   EXPECT_EQ(Sorted(found.value()), roots);
 }

@@ -103,7 +103,8 @@ TEST(VarintTest, TenthByteOverflowRejected) {
   // Nine continuation bytes put the tenth byte at shift 63, where only one
   // payload bit remains. Any higher payload bit would silently shift off
   // the 64-bit end; the reader must reject instead of truncating.
-  for (uint8_t last : {0x02, 0x40, 0x7e, 0x7f}) {
+  for (uint8_t last :
+       {uint8_t{0x02}, uint8_t{0x40}, uint8_t{0x7e}, uint8_t{0x7f}}) {
     std::vector<uint8_t> bad(10, 0x80);
     bad[9] = last;
     ByteReader r(bad);

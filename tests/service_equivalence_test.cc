@@ -170,7 +170,7 @@ TEST(ServiceCacheEquivalence, SharedAliceSessionsReplayIdenticalMessages) {
       child.erase(child.begin() + (i % static_cast<int>(child.size())));
     }
     bob[(static_cast<size_t>(i) + 3) % bob.size()].push_back(
-        (1ull << 40) + static_cast<uint64_t>(i));
+        (uint64_t{1} << 40) + static_cast<uint64_t>(i));
     bobs.push_back(Canonicalize(std::move(bob)));
   }
 
@@ -182,7 +182,7 @@ TEST(ServiceCacheEquivalence, SharedAliceSessionsReplayIdenticalMessages) {
     session.protocol = SsrProtocolKind::kIblt2;
     session.params = params;
     session.alice = server_set;
-    session.bob = std::make_shared<SetOfSets>(bobs[i]);
+    session.bob = std::make_shared<SetOfSets>(bobs[static_cast<size_t>(i)]);
     session.known_d = spec.changes + 4;
     session.mirror = std::make_shared<Endpoint>(std::move(server_end));
     service.Submit(std::move(session));
@@ -203,12 +203,12 @@ TEST(ServiceCacheEquivalence, SharedAliceSessionsReplayIdenticalMessages) {
     ASSERT_TRUE(result.status.ok())
         << "client " << i << ": " << result.status.ToString();
     DirectRun direct =
-        RunDirect(SsrProtocolKind::kIblt2, params, *server_set, bobs[i],
+        RunDirect(SsrProtocolKind::kIblt2, params, *server_set, bobs[static_cast<size_t>(i)],
                   spec.changes + 4);
     ASSERT_TRUE(direct.outcome.ok());
     EXPECT_EQ(result.recovered, direct.outcome.value().recovered);
     EXPECT_EQ(result.stats.bytes, direct.outcome.value().stats.bytes);
-    ExpectSameTranscript(direct.transcript, DrainMirror(&client_ends[i]),
+    ExpectSameTranscript(direct.transcript, DrainMirror(&client_ends[static_cast<size_t>(i)]),
                          result.label.c_str());
   }
 }
@@ -244,7 +244,7 @@ TEST(ServiceCacheEquivalence, MixedCodecSessionsNeverCrossReplay) {
   for (int i = 0; i < kClients; ++i) {
     SetOfSets bob = *server_set;
     bob[static_cast<size_t>(i) % bob.size()].push_back(
-        (1ull << 41) + static_cast<uint64_t>(i));
+        (uint64_t{1} << 41) + static_cast<uint64_t>(i));
     bobs.push_back(Canonicalize(std::move(bob)));
   }
   for (int i = 0; i < kClients; ++i) {
@@ -256,7 +256,7 @@ TEST(ServiceCacheEquivalence, MixedCodecSessionsNeverCrossReplay) {
     session.params = params;
     session.params.wire_codec = codecs[i];
     session.alice = server_set;
-    session.bob = std::make_shared<SetOfSets>(bobs[i]);
+    session.bob = std::make_shared<SetOfSets>(bobs[static_cast<size_t>(i)]);
     session.known_d = spec.changes + 2;
     session.mirror = std::make_shared<Endpoint>(std::move(server_end));
     service.Submit(std::move(session));
@@ -273,11 +273,11 @@ TEST(ServiceCacheEquivalence, MixedCodecSessionsNeverCrossReplay) {
     SsrParams session_params = params;
     session_params.wire_codec = codecs[i];
     DirectRun direct = RunDirect(SsrProtocolKind::kIblt2, session_params,
-                                 *server_set, bobs[i], spec.changes + 2);
+                                 *server_set, bobs[static_cast<size_t>(i)], spec.changes + 2);
     ASSERT_TRUE(direct.outcome.ok());
     EXPECT_EQ(result.recovered, direct.outcome.value().recovered);
     EXPECT_EQ(result.stats.bytes, direct.outcome.value().stats.bytes);
-    ExpectSameTranscript(direct.transcript, DrainMirror(&client_ends[i]),
+    ExpectSameTranscript(direct.transcript, DrainMirror(&client_ends[static_cast<size_t>(i)]),
                          result.label.c_str());
   }
 }

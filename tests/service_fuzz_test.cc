@@ -74,11 +74,11 @@ TEST(ServiceFuzzTest, HundredsOfInterleavedSessionsAllRecover) {
       spec.child_size = 4 + rng.NextU64() % 8;
       spec.changes = 1 + rng.NextU64() % 4;
       spec.touched_children = (i % 3 == 0) ? 2 : 0;
-      spec.seed = 10'000 + i;
+      spec.seed = static_cast<uint64_t>(10'000 + i);
       SsrWorkload w = MakeSsrWorkload(spec);
       session.params.max_child_size = spec.child_size + spec.changes + 2;
       session.params.max_children = spec.num_children + spec.changes;
-      session.params.seed = 20'000 + i;
+      session.params.seed = static_cast<uint64_t>(20'000 + i);
       session.known_d = (i % 2 == 0)
                             ? std::optional<size_t>(w.applied_changes)
                             : std::nullopt;
@@ -168,11 +168,11 @@ TEST(ServiceFuzzTest, ShardedInterleavedSessionsAllRecover) {
       spec.child_size = 4 + rng.NextU64() % 8;
       spec.changes = 1 + rng.NextU64() % 4;
       spec.touched_children = (i % 3 == 0) ? 2 : 0;
-      spec.seed = 60'000 + i;
+      spec.seed = static_cast<uint64_t>(60'000 + i);
       SsrWorkload w = MakeSsrWorkload(spec);
       session.params.max_child_size = spec.child_size + spec.changes + 2;
       session.params.max_children = spec.num_children + spec.changes;
-      session.params.seed = 70'000 + i;
+      session.params.seed = static_cast<uint64_t>(70'000 + i);
       session.known_d = (i % 2 == 0)
                             ? std::optional<size_t>(w.applied_changes)
                             : std::nullopt;
@@ -218,7 +218,7 @@ TEST(ServiceFuzzTest, BacklogWindowDrainsEverything) {
     spec.num_children = 6;
     spec.child_size = 5;
     spec.changes = 2;
-    spec.seed = 300 + i;
+    spec.seed = static_cast<uint64_t>(300 + i);
     SsrWorkload w = MakeSsrWorkload(spec);
     alices.push_back(w.alice);
     SessionSpec session;
@@ -226,7 +226,7 @@ TEST(ServiceFuzzTest, BacklogWindowDrainsEverything) {
     session.protocol =
         (i % 2 == 0) ? SsrProtocolKind::kNaive : SsrProtocolKind::kCascade;
     session.params.max_child_size = spec.child_size + spec.changes + 2;
-    session.params.seed = 80 + i;
+    session.params.seed = static_cast<uint64_t>(80 + i);
     session.alice = std::make_shared<SetOfSets>(w.alice);
     session.bob = std::make_shared<SetOfSets>(w.bob);
     session.known_d = w.applied_changes;

@@ -27,10 +27,11 @@ Instance MakeInstance(size_t shared, size_t alice_only, size_t bob_only,
   Rng rng(seed);
   std::vector<uint64_t> pool = RandomSet(&rng, shared + alice_only + bob_only);
   Instance inst;
-  inst.alice.assign(pool.begin(), pool.begin() + shared + alice_only);
-  inst.bob.assign(pool.begin(), pool.begin() + shared);
-  inst.bob.insert(inst.bob.end(), pool.begin() + shared + alice_only,
-                  pool.end());
+  const auto shared_end = pool.begin() + static_cast<std::ptrdiff_t>(shared);
+  const auto alice_end = shared_end + static_cast<std::ptrdiff_t>(alice_only);
+  inst.alice.assign(pool.begin(), alice_end);
+  inst.bob.assign(pool.begin(), shared_end);
+  inst.bob.insert(inst.bob.end(), alice_end, pool.end());
   std::sort(inst.alice.begin(), inst.alice.end());
   std::sort(inst.bob.begin(), inst.bob.end());
   inst.diff = alice_only + bob_only;

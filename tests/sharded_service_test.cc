@@ -184,7 +184,7 @@ TEST(ShardedServiceTest, SharedCacheSpansShards) {
   Rng rng(99);
   for (int i = 0; i < kSessions; ++i) {
     SetOfSets bob = *server_set;
-    bob[rng.NextU64() % bob.size()].push_back((1ull << 40) + i);
+    bob[rng.NextU64() % bob.size()].push_back((uint64_t{1} << 40) + static_cast<uint64_t>(i));
     SessionSpec session;
     session.label = "cache" + std::to_string(i);
     session.protocol = SsrProtocolKind::kIblt2;
@@ -252,14 +252,14 @@ TEST(ShardedServiceTest, CrossShardDisconnectAndCancelRaces) {
     w_spec.num_children = 8;
     w_spec.child_size = 5;
     w_spec.changes = 2;
-    w_spec.seed = 900 + i;
+    w_spec.seed = static_cast<uint64_t>(900 + i);
     SsrWorkload w = MakeSsrWorkload(w_spec);
     SessionSpec session;
     session.label = "healthy" + std::to_string(i);
     session.protocol = static_cast<SsrProtocolKind>(rng.NextU64() % 4);
     session.params.max_child_size = w_spec.child_size + 4;
     session.params.max_children = w_spec.num_children + 2;
-    session.params.seed = 1000 + i;
+    session.params.seed = static_cast<uint64_t>(1000 + i);
     session.alice = std::make_shared<SetOfSets>(w.alice);
     session.bob = std::make_shared<SetOfSets>(w.bob);
     session.known_d = w.applied_changes;

@@ -267,8 +267,8 @@ INSTANTIATE_TEST_SUITE_P(
                            WireCodec::kSparse},
                       Case{SsrProtocolKind::kMultiRound, false,
                            WireCodec::kSparse}),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      return info.param.Name();
+    [](const ::testing::TestParamInfo<Case>& param_info) {
+      return param_info.param.Name();
     });
 
 TEST(SplitPartyErrors, InvalidAliceAbortsBothHalvesWithSameStatus) {

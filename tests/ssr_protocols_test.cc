@@ -119,8 +119,8 @@ std::vector<Case> AllCases() {
 
 INSTANTIATE_TEST_SUITE_P(AllProtocols, SsrProtocolSweep,
                          ::testing::ValuesIn(AllCases()),
-                         [](const ::testing::TestParamInfo<Case>& info) {
-                           return info.param.Name();
+                         [](const ::testing::TestParamInfo<Case>& param_info) {
+                           return param_info.param.Name();
                          });
 
 // --- Targeted structural behaviors ---

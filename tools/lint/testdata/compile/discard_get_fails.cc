@@ -1,0 +1,23 @@
+// LINT-TEST-PATH: tools/lint/testdata/compile/discard_get_fails.cc
+// LINT-TEST: expect-clean
+//
+// Negative-compile fixture: discarding a ByteReader getter MUST NOT
+// compile under -Werror=unused-result. ctest runs the compiler on this
+// file with WILL_FAIL so a regression (someone dropping [[nodiscard]])
+// turns the test red. The lint directives above only keep the fixture
+// runner quiet; the teeth are in the compiler invocation.
+
+#include <cstdint>
+
+#include "util/serialization.h"
+
+namespace setrec {
+
+uint32_t ParseSloppily(const uint8_t* data, size_t n) {
+  ByteReader reader(data, n);
+  uint32_t v = 0;
+  reader.GetU32(&v);  // Discarded result: must be a compile error.
+  return v;
+}
+
+}  // namespace setrec

@@ -1,0 +1,21 @@
+// LINT-TEST-PATH: tools/lint/testdata/compile/discard_get_ok.cc
+// LINT-TEST: expect-clean
+//
+// Positive control for the negative-compile fixture: identical include
+// path and flags, but the result is checked — this file must compile. If
+// it stops compiling, the WILL_FAIL test above is failing for the wrong
+// reason (bad include path, broken header), not because [[nodiscard]]
+// worked.
+
+#include <cstdint>
+
+#include "util/serialization.h"
+
+namespace setrec {
+
+bool ParseProperly(const uint8_t* data, size_t n, uint32_t* out) {
+  ByteReader reader(data, n);
+  return reader.GetU32(out);
+}
+
+}  // namespace setrec

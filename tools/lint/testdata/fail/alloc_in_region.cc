@@ -1,0 +1,19 @@
+// LINT-TEST-PATH: src/iblt/fake_kernel.cc
+// LINT-TEST: expect alloc-in-hot-path
+
+#include <cstdint>
+#include <vector>
+
+namespace setrec {
+
+// LINT(alloc-free)
+void XorAndRecord(uint64_t* dst, const uint64_t* src, unsigned long n,
+                  std::vector<uint64_t>* log) {
+  for (unsigned long i = 0; i < n; ++i) {
+    dst[i] ^= src[i];
+    log->push_back(dst[i]);  // BAD: allocates inside the hot region.
+  }
+}
+// LINT(end)
+
+}  // namespace setrec

@@ -1,0 +1,16 @@
+// LINT-TEST-PATH: src/iblt/fake_kernel2.cc
+// LINT-TEST: expect alloc-in-hot-path
+//
+// A LINT(alloc-free) region with no LINT(end): the region silently grows
+// to EOF, so the marker pair itself is enforced.
+
+#include <cstdint>
+
+namespace setrec {
+
+// LINT(alloc-free)
+void XorLanes(uint64_t* dst, const uint64_t* src, unsigned long n) {
+  for (unsigned long i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace setrec

@@ -1,0 +1,18 @@
+// LINT-TEST-PATH: src/util/serialization_extra.cc
+// LINT-TEST: expect parse-assert
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace setrec {
+
+uint32_t MustParseU32(const uint8_t* data, unsigned long n) {
+  if (n < 4) abort();  // BAD: truncated input is a Status, not a SIGABRT.
+  uint32_t v = 0;
+  for (unsigned long i = 0; i < 4; ++i) {
+    v = static_cast<uint32_t>(v | (static_cast<uint32_t>(data[i]) << (8 * i)));
+  }
+  return v;
+}
+
+}  // namespace setrec

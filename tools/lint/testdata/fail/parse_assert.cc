@@ -1,0 +1,16 @@
+// LINT-TEST-PATH: src/net/fake_parser.cc
+// LINT-TEST: expect parse-assert
+//
+// A parser in a wire-parse path that asserts on malformed input: the
+// classic remote-crash (or NDEBUG silent-accept) bug this rule exists for.
+
+#include <cstdint>
+
+namespace setrec {
+
+bool ParseHeader(const uint8_t* data, unsigned long n) {
+  assert(n >= 4);  // BAD: hostile input must fail closed, not trap.
+  return data[0] == 1;
+}
+
+}  // namespace setrec

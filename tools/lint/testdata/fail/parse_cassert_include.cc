@@ -1,0 +1,14 @@
+// LINT-TEST-PATH: src/net/fake_pump.cc
+// LINT-TEST: expect parse-assert
+//
+// Even an unused <cassert> include is banned in wire-parse paths: it is
+// the on-ramp for the next assert() to slip in unnoticed.
+
+#include <cassert>
+#include <cstdint>
+
+namespace setrec {
+
+int PumpOnce(uint32_t budget) { return budget != 0 ? 1 : 0; }
+
+}  // namespace setrec

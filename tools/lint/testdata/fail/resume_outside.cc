@@ -1,0 +1,15 @@
+// LINT-TEST-PATH: src/apps/rogue_driver.cc
+// LINT-TEST: expect resume-outside-driver
+//
+// resume() from outside the whitelisted shard drivers: bypasses the
+// service's parked-wake bookkeeping and risks a double resume (UB).
+
+#include <coroutine>
+
+namespace setrec {
+
+void WakeDirectly(std::coroutine_handle<> h) {
+  if (h && !h.done()) h.resume();  // BAD: route through the service.
+}
+
+}  // namespace setrec

@@ -1,0 +1,25 @@
+// LINT-TEST-PATH: src/service/rogue_cache.h
+// LINT-TEST: expect view-member
+//
+// Storing a borrowed view in a class member: the view dies at the
+// scratch's next decode, the member does not.
+
+#include <cstdint>
+#include <vector>
+
+namespace setrec {
+
+struct IbltKeyView {
+  const uint8_t* data = nullptr;
+  unsigned long size = 0;
+};
+
+class DecodeCache {
+ public:
+  void Remember(const IbltKeyView& v) { last_ = v; }
+
+ private:
+  IbltKeyView last_;  // BAD: outlives the DecodeScratch borrow.
+};
+
+}  // namespace setrec

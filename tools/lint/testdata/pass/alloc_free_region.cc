@@ -1,0 +1,26 @@
+// LINT-TEST-PATH: src/iblt/fake_kernel3.cc
+// LINT-TEST: expect-clean
+//
+// A genuinely allocation-free kernel; the words "new" and "push_back" in
+// comments must not fire, and code outside the region may allocate freely.
+
+#include <cstdint>
+#include <vector>
+
+namespace setrec {
+
+// LINT(alloc-free)
+// Computes the new checksum lane; nothing here may push_back.
+uint64_t MixLane(uint64_t x) {
+  x ^= x >> 33;
+  x *= uint64_t{0xff51afd7ed558ccd};
+  x ^= x >> 33;
+  return x;
+}
+// LINT(end)
+
+void OutsideRegionMayAllocate(std::vector<uint64_t>* out) {
+  out->push_back(MixLane(42));
+}
+
+}  // namespace setrec

@@ -1,0 +1,23 @@
+// LINT-TEST-PATH: src/net/clean_parser.cc
+// LINT-TEST: expect-clean
+//
+// The sanctioned shape for wire-parse code: bounds-checked reads, Status
+// on truncation. Mentions of assert/abort in comments and strings must not
+// trip the token scanner: assert(false); abort();
+
+#include <cstdint>
+
+namespace setrec {
+
+struct FakeStatus {
+  int code = 0;
+  const char* message = "assert( in a string literal is fine";
+};
+
+FakeStatus ParseFrame(const uint8_t* data, unsigned long n) {
+  if (n < 4) return FakeStatus{5, "truncated frame"};  // kParseError.
+  if (data[0] != 1) return FakeStatus{5, "bad version; abort( mention ok"};
+  return FakeStatus{};
+}
+
+}  // namespace setrec

@@ -1,0 +1,15 @@
+// LINT-TEST-PATH: src/core/task.h
+// LINT-TEST: expect-clean
+//
+// Identical resume() call, but in a whitelisted driver file: this is where
+// resumption is *supposed* to live.
+
+#include <coroutine>
+
+namespace setrec {
+
+void DriverStep(std::coroutine_handle<> h) {
+  if (h && !h.done()) h.resume();
+}
+
+}  // namespace setrec

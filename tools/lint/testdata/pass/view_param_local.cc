@@ -1,0 +1,34 @@
+// LINT-TEST-PATH: src/core/fake_encoding.h
+// LINT-TEST: expect-clean
+//
+// The sanctioned uses: views as parameters, locals, and return types —
+// borrows that end with the call. Method declarations mentioning view
+// types are not members.
+
+#include <cstdint>
+#include <vector>
+
+namespace setrec {
+
+struct IbltKeyView {
+  const uint8_t* data = nullptr;
+  unsigned long size = 0;
+};
+
+struct IbltDecodeView;  // Declaration only; defined in the real iblt.h.
+
+class Decoder {
+ public:
+  IbltDecodeView Decode(const std::vector<uint8_t>& bytes);
+  bool Verify(const IbltKeyView& key) const;
+
+ private:
+  std::vector<uint8_t> owned_;  // Owned storage is fine.
+};
+
+inline uint64_t FirstByte(const IbltKeyView& v) {
+  IbltKeyView local = v;  // Local copy inside a function body: fine.
+  return local.size > 0 ? local.data[0] : 0;
+}
+
+}  // namespace setrec

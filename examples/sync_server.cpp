@@ -9,6 +9,7 @@
 //                   forest / shingle sessions sharing the same scheduler.
 //
 //  --listen=tcp:PORT | --listen=unix:PATH  [--serve=N] [--shards=K]
+//                   [--stats-every=N] [--trace-slow=MS]
 //                   REAL remote clients: a src/net/ NetPump accepts
 //                   connections, decodes wire frames, and the service
 //                   hosts only the Alice half of each session against the
@@ -17,6 +18,10 @@
 //                   --shards=K (TCP only) runs the multi-core shape: K
 //                   service shards, one pump thread each, all listening on
 //                   the same port with SO_REUSEPORT.
+//                   --stats-every=N dumps the metrics exposition (the same
+//                   text a "STAT?" wire frame returns) every N served
+//                   sessions; --trace-slow=MS arms the session tracer and
+//                   dumps a span tree for any session slower than MS.
 //
 //  --selftest-net   End-to-end loop-device check: listens on an ephemeral
 //                   TCP port, drives a real client (the sync_client code
@@ -26,6 +31,7 @@
 //
 // Build & run:  ./build/example_sync_server
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +55,8 @@
 #include "net/net_pump.h"
 #include "net/stream_party.h"
 #include "net/wire.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "service/sharded_service.h"
 #include "service/sync_service.h"
 #include "transport/endpoint.h"
@@ -59,10 +67,12 @@ using namespace setrec;
 
 /// The multi-core server: K shards, one pump thread per shard, one
 /// SO_REUSEPORT TCP listener per pump.
-int RunListenSharded(uint16_t want_port, size_t serve_count, size_t shards) {
+int RunListenSharded(uint16_t want_port, size_t serve_count, size_t shards,
+                     size_t stats_every, uint64_t trace_slow_ns) {
   ShardedSyncServiceOptions service_options;
   service_options.shards = shards;
   service_options.spawn_threads = false;  // Pump threads drive the shards.
+  service_options.service.trace_slow_ns = trace_slow_ns;
   ShardedSyncService service(service_options);
   auto server_set = std::make_shared<SetOfSets>(net_demo::MakeServerSet());
   uint64_t set_id = service.RegisterSharedSet(server_set);
@@ -81,7 +91,7 @@ int RunListenSharded(uint16_t want_port, size_t serve_count, size_t shards) {
   std::fflush(stdout);
   pump.Start();
 
-  size_t served = 0, failed = 0;
+  size_t served = 0, failed = 0, last_stats_at = 0;
   while (serve_count == 0 || served < serve_count) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     for (const SessionResult& r : pump.TakeResults()) {
@@ -98,6 +108,20 @@ int RunListenSharded(uint16_t want_port, size_t serve_count, size_t shards) {
       }
       std::fflush(stdout);
     }
+    if (stats_every > 0 && served - last_stats_at >= stats_every) {
+      last_stats_at = served;
+      // Published snapshots: this thread is no shard's driver.
+      obs::ExpositionWriter writer;
+      AppendServiceExposition(service.SnapshotMetrics(),
+                              service.SnapshotStats(), &writer);
+      obs::PumpMetrics merged;
+      for (size_t p = 0; p < pump.pump_count(); ++p) {
+        merged.Merge(pump.pump(p)->SnapshotPumpMetrics());
+      }
+      obs::AppendPumpMetrics(merged, writer);
+      std::fputs(writer.text().c_str(), stdout);
+      std::fflush(stdout);
+    }
   }
   pump.Stop();
   const ServiceStats stats = service.AggregateStats();
@@ -108,8 +132,11 @@ int RunListenSharded(uint16_t want_port, size_t serve_count, size_t shards) {
   return failed == 0 ? 0 : 1;
 }
 
-int RunListen(const std::string& target, size_t serve_count) {
-  SyncService service;
+int RunListen(const std::string& target, size_t serve_count,
+              size_t stats_every, uint64_t trace_slow_ns) {
+  SyncServiceOptions options;
+  options.trace_slow_ns = trace_slow_ns;
+  SyncService service(options);
   auto server_set = std::make_shared<SetOfSets>(net_demo::MakeServerSet());
   uint64_t set_id = service.RegisterSharedSet(server_set);
   NetPump pump(&service);
@@ -141,7 +168,7 @@ int RunListen(const std::string& target, size_t serve_count) {
   }
   std::fflush(stdout);
 
-  size_t served = 0, failed = 0;
+  size_t served = 0, failed = 0, last_stats_at = 0;
   while (serve_count == 0 || served < serve_count) {
     pump.PumpOnce(/*timeout_ms=*/200);
     for (const SessionResult& r : pump.TakeResults()) {
@@ -156,6 +183,16 @@ int RunListen(const std::string& target, size_t serve_count) {
                     static_cast<unsigned long long>(r.id), r.label.c_str(),
                     r.stats.rounds, r.stats.bytes);
       }
+      std::fflush(stdout);
+    }
+    if (stats_every > 0 && served - last_stats_at >= stats_every) {
+      last_stats_at = served;
+      // This thread drives the pump AND the service, so the live metric
+      // blocks are safe to read directly — same path a STAT? frame takes.
+      obs::ExpositionWriter writer;
+      AppendServiceExposition(service.metrics(), service.stats(), &writer);
+      obs::AppendPumpMetrics(pump.pump_metrics(), writer);
+      std::fputs(writer.text().c_str(), stdout);
       std::fflush(stdout);
     }
   }
@@ -181,6 +218,8 @@ int RunNetSelftest() {
 
   constexpr int kSessions = 4;  // One per protocol family.
   std::vector<Status> client_status(kSessions, Status::Ok());
+  Status stat_status = Status::Ok();
+  std::atomic<bool> stat_done{false};
   std::thread client([&] {
     for (int i = 0; i < kSessions; ++i) {
       const size_t slot = static_cast<size_t>(i);
@@ -206,10 +245,36 @@ int RunNetSelftest() {
             VerificationFailure("client recovery does not match server set");
       }
     }
+    // Admin probe: a fresh connection asking STAT? must get the merged
+    // exposition back, and — after the real traffic above — it must carry
+    // non-empty session-latency histograms.
+    Result<int> fd = ConnectTcp("127.0.0.1", port.value());
+    if (fd.ok()) {
+      timeval timeout{30, 0};
+      ::setsockopt(fd.value(), SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                   sizeof(timeout));
+      Result<std::string> stats = QueryStatsOverFd(fd.value());
+      ::close(fd.value());
+      if (!stats.ok()) {
+        stat_status = stats.status();
+      } else if (stats.value().rfind("# setrec-metrics v1", 0) != 0) {
+        stat_status = VerificationFailure("STAT reply missing version line");
+      } else if (stats.value().find("setrec_session_latency_ns") ==
+                 std::string::npos) {
+        stat_status = VerificationFailure(
+            "STAT reply has no session-latency histograms after traffic");
+      }
+    } else {
+      stat_status = fd.status();
+    }
+    stat_done.store(true, std::memory_order_release);
   });
 
   size_t done = 0, server_failed = 0;
-  for (int spins = 0; spins < 30000 && done < kSessions; ++spins) {
+  for (int spins = 0;
+       spins < 30000 &&
+       (done < kSessions || !stat_done.load(std::memory_order_acquire));
+       ++spins) {
     pump.PumpOnce(10);
     for (const SessionResult& r : pump.TakeResults()) {
       ++done;
@@ -223,6 +288,11 @@ int RunNetSelftest() {
   client.join();
 
   bool ok = done == kSessions && server_failed == 0;
+  if (!stat_status.ok()) {
+    ok = false;
+    std::fprintf(stderr, "STAT? probe failed: %s\n",
+                 stat_status.ToString().c_str());
+  }
   for (int i = 0; i < kSessions; ++i) {
     const size_t slot = static_cast<size_t>(i);
     if (!client_status[slot].ok()) {
@@ -248,12 +318,21 @@ int main(int argc, char** argv) {
     if (arg.rfind("--listen=", 0) == 0) {
       size_t serve = 0;
       size_t shards = 1;
+      size_t stats_every = 0;
+      uint64_t trace_slow_ns = 0;
       for (int j = 1; j < argc; ++j) {
         if (std::strncmp(argv[j], "--serve=", 8) == 0) {
           serve = std::strtoull(argv[j] + 8, nullptr, 10);
         }
         if (std::strncmp(argv[j], "--shards=", 9) == 0) {
           shards = std::strtoull(argv[j] + 9, nullptr, 10);
+        }
+        if (std::strncmp(argv[j], "--stats-every=", 14) == 0) {
+          stats_every = std::strtoull(argv[j] + 14, nullptr, 10);
+        }
+        if (std::strncmp(argv[j], "--trace-slow=", 13) == 0) {
+          trace_slow_ns =
+              std::strtoull(argv[j] + 13, nullptr, 10) * 1'000'000ull;
         }
       }
       const std::string target = arg.substr(9);
@@ -266,9 +345,9 @@ int main(int argc, char** argv) {
         return RunListenSharded(
             static_cast<uint16_t>(
                 std::strtoul(target.c_str() + 4, nullptr, 10)),
-            serve, shards);
+            serve, shards, stats_every, trace_slow_ns);
       }
-      return RunListen(target, serve);
+      return RunListen(target, serve, stats_every, trace_slow_ns);
     }
   }
   return RunLoopbackDemo();

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# One-shot gate driver: runs all four verification lanes (default, asan,
-# tsan, lint — see docs/ANALYSIS.md) and exits non-zero if any fails.
+# One-shot gate driver: runs the four verification lanes (default, asan,
+# tsan, lint — see docs/ANALYSIS.md) plus the obs smoke lane
+# (docs/OBSERVABILITY.md) and exits non-zero if any fails.
 # Usage: scripts/check.sh [-j N]
 set -u
 
@@ -41,6 +42,10 @@ run default-configure cmake -B build -S . &&
   run default-build cmake --build build -j "$jobs" &&
   run default-test ctest --test-dir build --output-on-failure
 
+# Lane 1b: obs smoke — bench_service's built-in gate fails on modeled
+# metrics overhead > 2% or any empty hot-path histogram.
+run obs-smoke ./build/bench_service --quick
+
 # Lane 2: ASan+UBSan over the lifetime-sensitive suites.
 lane asan asan -L 'fast|service'
 
@@ -55,4 +60,4 @@ if [ "${#failed[@]}" -ne 0 ]; then
   echo "CHECK FAILED: ${failed[*]}"
   exit 1
 fi
-echo "CHECK OK: default, asan, tsan, lint all green"
+echo "CHECK OK: default, obs-smoke, asan, tsan, lint all green"

@@ -289,6 +289,13 @@ class ProtocolContext {
     (void)index;
     PumpReceives();
   }
+  /// Observability hooks, fired by the shared trial drivers
+  /// (core/split_party.h): a sketch attempt that failed to decode/verify,
+  /// and a protocol round restarted with fresh randomness as a result. The
+  /// inline context ignores them; the service context counts them into its
+  /// per-shard metric block.
+  virtual void OnDecodeFailure() {}
+  virtual void OnRetryRound() {}
 
  protected:
   struct RecvWaiter {

@@ -593,7 +593,7 @@ Task<Status> MultiRoundProtocol::ReconcileAsyncAlice(
   // interleaved with the attempt's own four messages).
   std::optional<Iblt> fp_lineage;  // Previous attempt's fingerprint table.
   co_return co_await RunAliceEndTrials(
-      params_.max_attempts,
+      ctx, params_.max_attempts,
       [&](int trial) {
         return DeriveSeed(params_.seed,
                           kAttemptTag + static_cast<uint64_t>(trial));
@@ -654,7 +654,7 @@ Task<Result<SsrOutcome>> MultiRoundProtocol::ReconcileAsyncBob(
   // Bob's retry state (d_hat) rides on the wire; empty on_retry.
   std::optional<Iblt> fp_lineage;  // Previous attempt's fingerprint table.
   co_return co_await RunBobEndTrials(
-      channel, params_.max_attempts,
+      ctx, channel, params_.max_attempts,
       [&](int trial) {
         return DeriveSeed(params_.seed,
                           kAttemptTag + static_cast<uint64_t>(trial));

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "core/build_context.h"
 #include "core/protocol.h"
 #include "core/task.h"
 #include "transport/channel.h"
@@ -13,8 +14,6 @@
 #include "util/status.h"
 
 namespace setrec {
-
-class ProtocolContext;
 
 // Control frames shared by the split-party halves of every set-of-sets
 // protocol. The one-coroutine simulation could share knowledge for free —
@@ -165,6 +164,7 @@ Task<Status> RunAliceTrials(ProtocolContext* ctx, Channel* channel,
     if (!verdict.ok()) co_return verdict.status();
     if (verdict.value().ok) co_return Status::Ok();
     last = verdict.value().status;
+    ctx->OnRetryRound();
     on_retry();
   }
   co_return Exhausted(exhausted_prefix + last.ToString());
@@ -195,10 +195,12 @@ Task<Result<SsrOutcome>> RunBobTrials(ProtocolContext* ctx, Channel* channel,
       co_return outcome;
     }
     last = recovered.status();
+    ctx->OnDecodeFailure();
     if (last.code() == StatusCode::kParseError) {
       co_return co_await SendAbort(ctx, channel, Party::kBob, last);
     }
     co_await SendVerdict(ctx, channel, Party::kBob, last, next);
+    ctx->OnRetryRound();
     on_retry();
   }
   co_return Exhausted(exhausted_prefix + last.ToString());
@@ -208,7 +210,8 @@ Task<Result<SsrOutcome>> RunBobTrials(ProtocolContext* ctx, Channel* channel,
 /// inside the attempt (multiround): `attempt(trial, seed, end)` reports
 /// how it ended; retriable failures have already crossed the wire.
 template <typename SeedFn, typename AttemptFn, typename RetryFn>
-Task<Status> RunAliceEndTrials(int trials, SeedFn seed_for, AttemptFn attempt,
+Task<Status> RunAliceEndTrials(ProtocolContext* ctx, int trials,
+                               SeedFn seed_for, AttemptFn attempt,
                                RetryFn on_retry,
                                std::string exhausted_prefix) {
   Status last = DecodeFailure("no attempts made");
@@ -219,6 +222,7 @@ Task<Status> RunAliceEndTrials(int trials, SeedFn seed_for, AttemptFn attempt,
     if (end == AttemptEnd::kOk) co_return Status::Ok();
     if (end == AttemptEnd::kTerminal) co_return s;
     last = std::move(s);
+    ctx->OnRetryRound();
     on_retry();
   }
   co_return Exhausted(exhausted_prefix + last.ToString());
@@ -226,7 +230,8 @@ Task<Status> RunAliceEndTrials(int trials, SeedFn seed_for, AttemptFn attempt,
 
 /// Bob-side counterpart of RunAliceEndTrials.
 template <typename SeedFn, typename AttemptFn, typename RetryFn>
-Task<Result<SsrOutcome>> RunBobEndTrials(Channel* channel, int trials,
+Task<Result<SsrOutcome>> RunBobEndTrials(ProtocolContext* ctx,
+                                         Channel* channel, int trials,
                                          SeedFn seed_for, AttemptFn attempt,
                                          RetryFn on_retry,
                                          std::string exhausted_prefix) {
@@ -243,6 +248,8 @@ Task<Result<SsrOutcome>> RunBobEndTrials(Channel* channel, int trials,
       co_return outcome;
     }
     last = recovered.status();
+    ctx->OnDecodeFailure();
+    ctx->OnRetryRound();
     on_retry();
   }
   co_return Exhausted(exhausted_prefix + last.ToString());

@@ -13,6 +13,21 @@ MultiNetPump::MultiNetPump(ShardedSyncService* service,
   for (size_t i = 0; i < n; ++i) {
     pumps_.push_back(
         std::make_unique<NetPump>(service_->shard(i), options_.pump));
+    // Any pump's STAT? answer covers the WHOLE sharded service, merged
+    // from every shard's published snapshot (the handling pump cannot
+    // read foreign shards' live blocks), plus every pump's published
+    // metric block.
+    pumps_.back()->set_stat_exposition([this] {
+      obs::ExpositionWriter writer;
+      AppendServiceExposition(service_->SnapshotMetrics(),
+                              service_->SnapshotStats(), &writer);
+      obs::PumpMetrics merged;
+      for (const std::unique_ptr<NetPump>& pump : pumps_) {
+        merged.Merge(pump->SnapshotPumpMetrics());
+      }
+      obs::AppendPumpMetrics(merged, writer);
+      return writer.Take();
+    });
   }
   // Cross-shard traffic (lease wakes, facade submissions) interrupts the
   // owning pump's poll instead of waiting out its timeout.

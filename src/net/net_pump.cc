@@ -11,9 +11,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <mutex>
 #include <utility>
 
 #include "net/wire.h"
+#include "obs/clock.h"
 #include "util/serialization.h"
 
 namespace setrec {
@@ -52,6 +54,9 @@ struct NetPump::Connection {
   std::vector<uint8_t> outbuf;
   size_t outbuf_off = 0;
   size_t frames_before_session = 0;
+  /// Timestamp of the last protocol frame serialized toward the peer;
+  /// cleared when the peer's answer arrives (per-conn round-trip metric).
+  uint64_t last_send_ns = 0;
   /// Protocol frames delivered since the service last stepped. Strict
   /// half-duplex means an honest client has at most ONE protocol message
   /// in flight (plus the hello); a client streaming frames faster than
@@ -206,8 +211,38 @@ void NetPump::CollectResults() {
   }
 }
 
+void NetPump::HandleStatQuery(Connection* conn) {
+  ++pump_metrics_.stat_requests;
+  std::string text;
+  if (stat_exposition_) {
+    text = stat_exposition_();
+  } else {
+    // Default: this pump's own shard. The pump thread is the service's
+    // driving thread, so the LIVE metric blocks are safe to read here and
+    // fresher than any published snapshot.
+    obs::ExpositionWriter writer;
+    AppendServiceExposition(service_->metrics(), service_->stats(), &writer);
+    obs::AppendPumpMetrics(pump_metrics_, writer);
+    text = writer.Take();
+  }
+  Channel::Message reply{Party::kAlice,
+                         std::vector<uint8_t>(text.begin(), text.end()),
+                         kStatReplyLabel};
+  ByteWriter writer;
+  WriteMessageFrame(reply, &writer);
+  const std::vector<uint8_t>& bytes = writer.bytes();
+  conn->outbuf.insert(conn->outbuf.end(), bytes.begin(), bytes.end());
+  ++stats_.frames_out;
+}
+
 void NetPump::HandleFrame(Connection* conn, Channel::Message message) {
   ++stats_.frames_in;
+  if (IsStatQueryMessage(message)) {
+    // Admin traffic: answered inline, invisible to the session layer (no
+    // pre-hello budget, no flood gate, never delivered to a transcript).
+    HandleStatQuery(conn);
+    return;
+  }
   if (conn->session_id == 0) {
     if (++conn->frames_before_session >
         options_.max_frames_before_session ||
@@ -249,6 +284,11 @@ void NetPump::HandleFrame(Connection* conn, Channel::Message message) {
     FailConnection(conn, /*protocol_error=*/true);
     return;
   }
+  if (conn->last_send_ns != 0) {
+    pump_metrics_.conn_round_trip.Record(obs::NowNanos() -
+                                         conn->last_send_ns);
+    conn->last_send_ns = 0;
+  }
   if (!service_->DeliverRemote(conn->session_id, std::move(message))) {
     FailConnection(conn, /*protocol_error=*/true);
   }
@@ -269,6 +309,7 @@ void NetPump::HandleReadable(Connection* conn) {
         HandleFrame(conn, std::move(message));
       }
       if (conn->decoder.failed() && !conn->closing) {
+        ++pump_metrics_.frame_decode_failures;
         FailConnection(conn, /*protocol_error=*/true);
       }
       if (conn->closing) return;
@@ -294,6 +335,7 @@ void NetPump::DrainMirror(Connection* conn) {
   // the write buffer is full (the ping-pong protocols have at most one
   // message in flight, so the queue stays tiny).
   Channel::Message message;
+  bool wrote = false;
   while (conn->outbuf_pending() < options_.max_outbuf_bytes &&
          conn->mirror_peer->Poll(&message)) {
     ByteWriter writer;
@@ -301,6 +343,12 @@ void NetPump::DrainMirror(Connection* conn) {
     const std::vector<uint8_t>& bytes = writer.bytes();
     conn->outbuf.insert(conn->outbuf.end(), bytes.begin(), bytes.end());
     ++stats_.frames_out;
+    wrote = true;
+  }
+  if (wrote) {
+    conn->last_send_ns = obs::NowNanos();
+    pump_metrics_.outbuf_high_watermark =
+        std::max(pump_metrics_.outbuf_high_watermark, conn->outbuf_pending());
   }
 }
 
@@ -375,6 +423,10 @@ size_t NetPump::PumpOnce(int timeout_ms) {
   if (wake_pipe_[0] >= 0) fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
   int ready = ::poll(fds.data(), fds.size(), timeout_ms);
   if (ready < 0) return 0;  // EINTR et al.; the caller just pumps again.
+  // Duration of the post-poll processing burst (read + step + write), i.e.
+  // how long a wakeup keeps the pump away from poll(2). Timeouts with no
+  // events are not recorded — they measure the timeout, not the pump.
+  const uint64_t wake_start = ready > 0 ? obs::NowNanos() : 0;
 
   size_t handled = 0;
   if (wake_pipe_[0] >= 0 && (fds[wake_index].revents & POLLIN) != 0) {
@@ -447,7 +499,29 @@ size_t NetPump::PumpOnce(int timeout_ms) {
       CloseConnection(i);
     }
   }
+  if (wake_start != 0) {
+    pump_metrics_.poll_wake.Record(obs::NowNanos() - wake_start);
+    metrics_dirty_ = true;
+  }
+  MaybePublishPumpMetrics();
   return handled;
+}
+
+void NetPump::MaybePublishPumpMetrics() {
+  if (!metrics_dirty_) return;
+  const uint64_t now = obs::NowNanos();
+  constexpr uint64_t kPublishIntervalNs = 50'000'000;
+  const bool idle = connections_.empty();
+  if (!idle && now - last_metrics_publish_ns_ < kPublishIntervalNs) return;
+  last_metrics_publish_ns_ = now;
+  metrics_dirty_ = false;
+  std::lock_guard<std::mutex> lock(published_mu_);
+  published_metrics_ = pump_metrics_;
+}
+
+obs::PumpMetrics NetPump::SnapshotPumpMetrics() const {
+  std::lock_guard<std::mutex> lock(published_mu_);
+  return published_metrics_;
 }
 
 void NetPump::DrainConnections(int poll_timeout_ms) {

@@ -2,11 +2,14 @@
 #define SETREC_NET_NET_PUMP_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/sync_service.h"
 #include "transport/endpoint.h"
 #include "util/mpsc_queue.h"
@@ -104,6 +107,23 @@ class NetPump {
   size_t listener_count() const { return listeners_.size(); }
   const NetPumpStats& stats() const { return stats_; }
 
+  /// Live pump metric block. Pump thread only (single-writer, unlocked);
+  /// cross-thread readers use SnapshotPumpMetrics().
+  const obs::PumpMetrics& pump_metrics() const { return pump_metrics_; }
+
+  /// Copy of the published pump-metric snapshot (refreshed by the pump at
+  /// the end of each pass, throttled). Any thread.
+  obs::PumpMetrics SnapshotPumpMetrics() const;
+
+  /// Overrides the text returned to a "STAT?" admin frame. By default the
+  /// pump exposes its own service's metrics plus its own pump block (safe
+  /// live reads: the pump thread IS the service's driving thread); a
+  /// multi-pump installs a merged-across-shards builder here. The hook
+  /// runs on the pump thread.
+  void set_stat_exposition(std::function<std::string()> hook) {
+    stat_exposition_ = std::move(hook);
+  }
+
   /// Results drained from the service while pumping, in completion order
   /// (includes any non-remote sessions the shared service finished).
   std::vector<SessionResult> TakeResults();
@@ -114,6 +134,8 @@ class NetPump {
   void StepService();
   void HandleReadable(Connection* conn);
   void HandleFrame(Connection* conn, Channel::Message message);
+  void HandleStatQuery(Connection* conn);
+  void MaybePublishPumpMetrics();
   void DrainMirror(Connection* conn);
   void FlushWrites(Connection* conn);
   void FailConnection(Connection* conn, bool protocol_error);
@@ -142,6 +164,14 @@ class NetPump {
   std::vector<SessionResult> results_;
   /// Reusable read buffer (the pump is single-threaded).
   std::vector<uint8_t> read_buf_;
+  /// Live metric block, written only by the pump thread (same single-writer
+  /// discipline as stats_); published copies serve cross-thread readers.
+  obs::PumpMetrics pump_metrics_;
+  uint64_t last_metrics_publish_ns_ = 0;
+  bool metrics_dirty_ = false;
+  mutable std::mutex published_mu_;
+  obs::PumpMetrics published_metrics_;
+  std::function<std::string()> stat_exposition_;
 };
 
 }  // namespace setrec

@@ -105,6 +105,32 @@ Status SendHello(int fd, const HelloSpec& spec) {
   return WriteFrameToFd(fd, MakeHelloMessage(spec));
 }
 
+Result<std::string> QueryStatsOverFd(int fd) {
+  if (Status s = WriteFrameToFd(fd, MakeStatQueryMessage()); !s.ok()) {
+    return s;
+  }
+  FrameDecoder decoder;
+  std::vector<uint8_t> buf(64u << 10);
+  for (;;) {
+    ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n == 0) return Unavailable("peer closed before the STAT reply");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable(std::string("read: ") + strerror(errno));
+    }
+    decoder.Feed(buf.data(), static_cast<size_t>(n));
+    Channel::Message message;
+    while (decoder.Next(&message)) {
+      if (IsStatReplyMessage(message)) {
+        return std::string(message.payload.begin(), message.payload.end());
+      }
+      // Any other frame on an admin query is a peer bug.
+      return ParseError("unexpected frame while awaiting STAT reply");
+    }
+    if (decoder.failed()) return ParseError("malformed STAT reply frame");
+  }
+}
+
 Result<SsrOutcome> RunBobHalfOverFd(const SetsOfSetsProtocol& protocol,
                                     const SetOfSets& bob,
                                     std::optional<size_t> known_d, int fd,

@@ -23,6 +23,12 @@ Status WriteFrameToFd(int fd, const Channel::Message& message);
 /// Sends the session hello (see net/wire.h) on a fresh connection.
 Status SendHello(int fd, const HelloSpec& spec);
 
+/// Admin round-trip: sends a "STAT?" frame and blocks for the server's
+/// "STAT" reply, returning its text payload (the versioned exposition —
+/// see docs/OBSERVABILITY.md). Works on a fresh connection (no hello
+/// needed) or interleaved between protocol turns the caller owns.
+Result<std::string> QueryStatsOverFd(int fd);
+
 /// Runs Bob's half of `protocol` over a connected stream: local sends are
 /// framed onto `fd` as they happen, peer frames are read (blocking) and
 /// appended to `*channel`, which ends up holding the full transcript —

@@ -93,4 +93,8 @@ Result<HelloSpec> ParseHelloMessage(const Channel::Message& m) {
   return spec;
 }
 
+Channel::Message MakeStatQueryMessage() {
+  return Channel::Message{Party::kBob, {}, kStatQueryLabel};
+}
+
 }  // namespace setrec

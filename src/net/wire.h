@@ -36,6 +36,25 @@ inline bool IsHelloMessage(const Channel::Message& m) {
 /// Parses a hello frame; kParseError on malformed payload.
 [[nodiscard]] Result<HelloSpec> ParseHelloMessage(const Channel::Message& m);
 
+/// Admin frames: a client (or operator tool) sends a "STAT?" frame at any
+/// point — before a hello, or interleaved with protocol traffic — and the
+/// pump answers immediately with a "STAT" frame whose payload is the
+/// versioned text exposition (see docs/OBSERVABILITY.md). Admin frames are
+/// invisible to the session layer: they never count against the pre-hello
+/// frame budget or the per-step flood gate, and never enter a transcript.
+inline constexpr const char kStatQueryLabel[] = "STAT?";
+inline constexpr const char kStatReplyLabel[] = "STAT";
+
+/// Encodes a stats query frame (label "STAT?", sender Bob, empty payload).
+Channel::Message MakeStatQueryMessage();
+
+inline bool IsStatQueryMessage(const Channel::Message& m) {
+  return m.label == kStatQueryLabel;
+}
+inline bool IsStatReplyMessage(const Channel::Message& m) {
+  return m.label == kStatReplyLabel;
+}
+
 }  // namespace setrec
 
 #endif  // SETREC_NET_WIRE_H_

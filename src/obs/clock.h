@@ -1,0 +1,33 @@
+#ifndef SETREC_OBS_CLOCK_H_
+#define SETREC_OBS_CLOCK_H_
+
+#include <cstdint>
+#include <ctime>
+
+namespace setrec::obs {
+
+/// Monotonic nanosecond timestamp for metric/trace recording. Reads
+/// CLOCK_MONOTONIC via clock_gettime directly rather than std::chrono so the
+/// call is a plain vDSO read: no allocation, no chrono type machinery, safe
+/// inside alloc-free lint regions when routed through SETREC_OBS_NOW().
+inline uint64_t NowNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace setrec::obs
+
+/// SETREC_OBS_NOW(): the sanctioned timestamp sample for hot paths. The
+/// `clock-in-hot-path` lint rule bans direct *_clock::now()/clock_gettime()
+/// calls inside alloc-free lint regions; timestamping there must use this
+/// macro, which compiles to a constant zero when SETREC_OBS_DISABLE is
+/// defined (so a build can prove instrumentation costs nothing).
+#ifdef SETREC_OBS_DISABLE
+#define SETREC_OBS_NOW() (uint64_t{0})
+#else
+#define SETREC_OBS_NOW() (::setrec::obs::NowNanos())
+#endif
+
+#endif  // SETREC_OBS_CLOCK_H_

@@ -1,0 +1,106 @@
+#include "obs/export.h"
+
+namespace setrec::obs {
+
+namespace {
+
+constexpr char kVersionLine[] = "# setrec-metrics v1\n";
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(std::to_string(v));
+}
+
+}  // namespace
+
+ExpositionWriter::ExpositionWriter() : out_(kVersionLine) {}
+
+void ExpositionWriter::Head(std::string_view type, std::string_view name,
+                            std::string_view labels) {
+  out_.append(type);
+  out_.push_back(' ');
+  out_.append(name);
+  out_.push_back('{');
+  out_.append(labels);
+  out_.push_back('}');
+  out_.push_back(' ');
+}
+
+void ExpositionWriter::Counter(std::string_view name, std::string_view labels,
+                               uint64_t value) {
+  Head("counter", name, labels);
+  AppendU64(&out_, value);
+  out_.push_back('\n');
+}
+
+void ExpositionWriter::Gauge(std::string_view name, std::string_view labels,
+                             uint64_t value) {
+  Head("gauge", name, labels);
+  AppendU64(&out_, value);
+  out_.push_back('\n');
+}
+
+void ExpositionWriter::Histogram(std::string_view name,
+                                 std::string_view labels,
+                                 const LatencyHistogram& h) {
+  Head("histogram", name, labels);
+  out_.append("count=");
+  AppendU64(&out_, h.count());
+  out_.append(" sum=");
+  AppendU64(&out_, h.sum());
+  out_.append(" max=");
+  AppendU64(&out_, h.max());
+  out_.append(" p50=");
+  AppendU64(&out_, h.p50());
+  out_.append(" p90=");
+  AppendU64(&out_, h.p90());
+  out_.append(" p99=");
+  AppendU64(&out_, h.p99());
+  out_.append(" p999=");
+  AppendU64(&out_, h.p999());
+  out_.push_back('\n');
+}
+
+void AppendRegistry(const MetricRegistry& reg,
+                    const char* const kind_names[kProtocolKinds],
+                    const char* const codec_names[kWireCodecs],
+                    ExpositionWriter& w) {
+  for (size_t k = 0; k < kProtocolKinds; ++k) {
+    for (size_t c = 0; c < kWireCodecs; ++c) {
+      std::string labels = "proto=\"";
+      labels += kind_names[k];
+      labels += "\",codec=\"";
+      labels += codec_names[c];
+      labels += "\"";
+      if (reg.session_latency[k][c].count() > 0) {
+        w.Histogram("setrec_session_latency_ns", labels,
+                    reg.session_latency[k][c]);
+      }
+      if (reg.round_latency[k][c].count() > 0) {
+        w.Histogram("setrec_round_latency_ns", labels,
+                    reg.round_latency[k][c]);
+      }
+    }
+  }
+  if (reg.opaque_session_latency.count() > 0) {
+    w.Histogram("setrec_session_latency_ns", "proto=\"opaque\"",
+                reg.opaque_session_latency);
+  }
+  w.Histogram("setrec_flush_latency_ns", "", reg.flush_latency);
+  w.Histogram("setrec_flush_occupancy_keys", "", reg.flush_occupancy);
+  w.Histogram("setrec_lease_wait_ns", "", reg.lease_wait);
+  w.Histogram("setrec_lease_hold_ns", "", reg.lease_hold);
+  w.Counter("setrec_decode_failures", "", reg.decode_failures);
+  w.Counter("setrec_retry_rounds", "", reg.retry_rounds);
+}
+
+void AppendPumpMetrics(const PumpMetrics& pm, ExpositionWriter& w) {
+  w.Histogram("setrec_pump_poll_wake_ns", "", pm.poll_wake);
+  w.Histogram("setrec_pump_conn_round_trip_ns", "", pm.conn_round_trip);
+  w.Gauge("setrec_pump_outbuf_high_watermark_bytes", "",
+          pm.outbuf_high_watermark);
+  w.Counter("setrec_pump_frame_decode_failures", "",
+            pm.frame_decode_failures);
+  w.Counter("setrec_pump_stat_requests", "", pm.stat_requests);
+}
+
+}  // namespace setrec::obs

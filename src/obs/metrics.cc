@@ -1,0 +1,69 @@
+#include "obs/metrics.h"
+
+namespace setrec::obs {
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void LatencyHistogram::Reset() { *this = LatencyHistogram{}; }
+
+uint64_t LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based: ceil(q * count), clamped into
+  // [1, count] so q=0 reads the smallest sample and q=1 the largest.
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (static_cast<double>(target) < q * static_cast<double>(count_)) ++target;
+  if (target == 0) target = 1;
+  if (target > count_) target = count_;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i];
+    if (cum >= target) {
+      const uint64_t lo = BucketLowerBound(i);
+      const uint64_t hi =
+          i + 1 < kBuckets ? BucketLowerBound(i + 1) : max_ + 1;
+      uint64_t mid = lo + (hi - lo) / 2;
+      if (mid > max_) mid = max_;
+      return mid;
+    }
+  }
+  return max_;
+}
+
+void MetricRegistry::Merge(const MetricRegistry& other) {
+  for (size_t k = 0; k < kProtocolKinds; ++k) {
+    for (size_t c = 0; c < kWireCodecs; ++c) {
+      session_latency[k][c].Merge(other.session_latency[k][c]);
+      round_latency[k][c].Merge(other.round_latency[k][c]);
+    }
+  }
+  opaque_session_latency.Merge(other.opaque_session_latency);
+  flush_latency.Merge(other.flush_latency);
+  flush_occupancy.Merge(other.flush_occupancy);
+  lease_wait.Merge(other.lease_wait);
+  lease_hold.Merge(other.lease_hold);
+  decode_failures += other.decode_failures;
+  retry_rounds += other.retry_rounds;
+}
+
+void MetricRegistry::Reset() { *this = MetricRegistry{}; }
+
+void PumpMetrics::Merge(const PumpMetrics& other) {
+  poll_wake.Merge(other.poll_wake);
+  conn_round_trip.Merge(other.conn_round_trip);
+  if (other.outbuf_high_watermark > outbuf_high_watermark) {
+    outbuf_high_watermark = other.outbuf_high_watermark;
+  }
+  frame_decode_failures += other.frame_decode_failures;
+  stat_requests += other.stat_requests;
+}
+
+void PumpMetrics::Reset() { *this = PumpMetrics{}; }
+
+}  // namespace setrec::obs

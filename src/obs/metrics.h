@@ -1,0 +1,133 @@
+#ifndef SETREC_OBS_METRICS_H_
+#define SETREC_OBS_METRICS_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace setrec::obs {
+
+/// Fixed-bucket log-linear histogram (HDR-style), sized for nanosecond
+/// latencies but usable for any uint64 value distribution (the planner also
+/// records flush occupancy in keys). Layout: values below 8 get exact unit
+/// buckets; above that each power-of-two octave is split into 4 sub-buckets,
+/// so consecutive bucket bounds differ by at most 25% — quantiles read back
+/// from the histogram land within one bucket of the exact sorted-sample
+/// answer (pinned by tests/obs_metrics_test.cc). 256 buckets cover the full
+/// uint64 range in 2 KiB, so a registry full of histograms is cheap enough
+/// to embed per shard.
+///
+/// Threading: same single-writer discipline as ServiceStats — plain
+/// integers, written only by the owning shard's driver thread; cross-thread
+/// readers go through the owner's published snapshot (see
+/// SyncService::SnapshotPublished), never this live object.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kSubBuckets = 4;  ///< Sub-buckets per octave.
+  static constexpr size_t kBuckets = 256;
+
+  /// Bucket index for `v`: exact below 8, then
+  /// 8 + (octave-1)*4 + sub-bucket. Allocation-free; a handful of ALU ops.
+  static constexpr size_t BucketIndex(uint64_t v) {
+    if (v < 8) return static_cast<size_t>(v);
+    const int shift = 61 - std::countl_zero(v);  // msb - 2, >= 1.
+    const size_t sub = static_cast<size_t>((v >> shift) - 4);
+    return 8 + (static_cast<size_t>(shift) - 1) * kSubBuckets + sub;
+  }
+
+  /// Inclusive lower bound of bucket `index` (inverse of BucketIndex).
+  static constexpr uint64_t BucketLowerBound(size_t index) {
+    if (index < 8) return index;
+    const size_t octave = (index - 8) / kSubBuckets + 1;
+    const size_t sub = (index - 8) % kSubBuckets;
+    return (uint64_t{4} + sub) << octave;
+  }
+
+  /// Records one sample. Allocation-free; safe inside alloc-free lint
+  /// regions.
+  void Record(uint64_t v) {
+    ++buckets_[BucketIndex(v)];
+    ++count_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  /// Element-wise accumulation of `other` into this histogram (shard merge).
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+  uint64_t bucket(size_t index) const { return buckets_[index]; }
+
+  /// Value at quantile `q` in [0, 1]: the midpoint of the bucket holding the
+  /// ceil(q * count)-th sample, clamped to the recorded max. Returns 0 on an
+  /// empty histogram.
+  uint64_t Quantile(double q) const;
+  uint64_t p50() const { return Quantile(0.50); }
+  uint64_t p90() const { return Quantile(0.90); }
+  uint64_t p99() const { return Quantile(0.99); }
+  uint64_t p999() const { return Quantile(0.999); }
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// Label-space dimensions for the per-protocol histograms. The service layer
+/// static_asserts kProtocolKinds == kSsrProtocolKindCount (obs sits below
+/// service in the layer graph and cannot include protocol headers).
+inline constexpr size_t kProtocolKinds = 4;
+inline constexpr size_t kWireCodecs = 2;
+
+/// Per-shard metric block for the service layer: written lock-free by the
+/// shard's single driver thread (exactly like ServiceStats), merged across
+/// shards from published snapshots. All recording is allocation-free.
+struct MetricRegistry {
+  /// End-to-end session latency (StartSession -> FinalizeSession), labelled
+  /// protocol kind x wire codec. Opaque/mirror halves (no local protocol
+  /// run) get their own histogram so they cannot skew per-protocol tails.
+  LatencyHistogram session_latency[kProtocolKinds][kWireCodecs];
+  LatencyHistogram opaque_session_latency;
+  /// Time between consecutive round boundaries (Send parks) of a session.
+  LatencyHistogram round_latency[kProtocolKinds][kWireCodecs];
+  /// Planner flush: wall time of one FlushPlanner pass, and its occupancy
+  /// (total keys across the batched IBLT ops) in keys, not nanoseconds.
+  LatencyHistogram flush_latency;
+  LatencyHistogram flush_occupancy;
+  /// Build-lease contention in SharedServiceCache: how long a parked session
+  /// waited for the lease, and how long holders kept it.
+  LatencyHistogram lease_wait;
+  LatencyHistogram lease_hold;
+  /// Protocol-visible failure counters (cheap, always on).
+  size_t decode_failures = 0;
+  size_t retry_rounds = 0;
+
+  void Merge(const MetricRegistry& other);
+  void Reset();
+};
+
+/// Per-pump metric block for the net layer: written only by the pump thread
+/// that owns the poll loop, merged from published snapshots.
+struct PumpMetrics {
+  /// Wall time of the post-poll processing burst (reads, service step,
+  /// writes) per poll wakeup.
+  LatencyHistogram poll_wake;
+  /// Per-connection round trip: last outbound frame write -> next inbound
+  /// frame on the same connection.
+  LatencyHistogram conn_round_trip;
+  /// High-watermark of any connection's pending outbuf bytes (max-gauge).
+  size_t outbuf_high_watermark = 0;
+  size_t frame_decode_failures = 0;
+  size_t stat_requests = 0;
+
+  void Merge(const PumpMetrics& other);
+  void Reset();
+};
+
+}  // namespace setrec::obs
+
+#endif  // SETREC_OBS_METRICS_H_

@@ -1,0 +1,58 @@
+#include "obs/trace.h"
+
+namespace setrec::obs {
+
+const char* TracePhaseName(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kSession: return "session";
+    case TracePhase::kRoundWait: return "round-wait";
+    case TracePhase::kFlushWait: return "flush-wait";
+    case TracePhase::kLeaseWait: return "lease-wait";
+    case TracePhase::kRecvWait: return "recv-wait";
+  }
+  return "?";
+}
+
+void SessionTracer::Configure(size_t capacity, uint64_t slow_ns) {
+  ring_.assign(capacity, TraceEvent{});
+  next_ = 0;
+  slow_ns_ = slow_ns;
+  dumps_ = 0;
+}
+
+void SessionTracer::OnSessionEnd(uint64_t session_id, uint64_t latency_ns,
+                                 const char* label, std::FILE* out) {
+  if (!enabled() || session_id == 0 || latency_ns < slow_ns_) return;
+  // Oldest surviving event is at next_ (the slot the ring writes next).
+  const size_t n = ring_.size();
+  uint64_t base_ns = 0;
+  bool dumped_any = false;
+  int depth = 0;
+  for (size_t step = 0; step < n; ++step) {
+    TraceEvent& ev = ring_[(next_ + step) % n];
+    if (ev.session_id != session_id) continue;
+    if (!dumped_any) {
+      std::fprintf(out,
+                   "[setrec-trace] session %llu (%s) took %.3f ms "
+                   "(threshold %.3f ms)\n",
+                   static_cast<unsigned long long>(session_id), label,
+                   static_cast<double>(latency_ns) / 1e6,
+                   static_cast<double>(slow_ns_) / 1e6);
+      base_ns = ev.ns;
+      dumped_any = true;
+    }
+    if (!ev.enter && depth > 0) --depth;
+    std::fprintf(out, "  %*s%c %-10s +%.3f ms\n", depth * 2, "",
+                 ev.enter ? '>' : '<', TracePhaseName(ev.phase),
+                 static_cast<double>(ev.ns - base_ns) / 1e6);
+    if (ev.enter) ++depth;
+    ev.session_id = 0;  // Blank: the dump fires once per session.
+  }
+  // No surviving events: either the ring wrapped past this session (size
+  // the ring up — see docs/OBSERVABILITY.md) or this session already
+  // dumped. Either way stay silent, so a dump fires at most once per
+  // session.
+  if (dumped_any) ++dumps_;
+}
+
+}  // namespace setrec::obs

@@ -1,0 +1,75 @@
+#ifndef SETREC_OBS_TRACE_H_
+#define SETREC_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+namespace setrec::obs {
+
+/// Phases a session passes through inside a shard. Enter/exit pairs of the
+/// same phase nest to form the session's span tree.
+enum class TracePhase : uint8_t {
+  kSession = 0,   ///< StartSession -> FinalizeSession.
+  kRoundWait,     ///< Parked on a round boundary (Send deferred).
+  kFlushWait,     ///< Parked on the planner's build barrier.
+  kLeaseWait,     ///< Parked on a SharedServiceCache build lease.
+  kRecvWait,      ///< Parked waiting for a remote frame.
+};
+
+const char* TracePhaseName(TracePhase phase);
+
+struct TraceEvent {
+  uint64_t session_id = 0;  ///< 0 = empty slot.
+  uint64_t ns = 0;          ///< NowNanos() at record time.
+  TracePhase phase = TracePhase::kSession;
+  bool enter = false;
+};
+
+/// Per-shard fixed-capacity ring of trace events, owned and written by the
+/// shard's single driver thread. Recording is a store into a preallocated
+/// slot — zero heap allocations (pinned by tests/obs_trace_test.cc with the
+/// operator-new counter). When a session finishes slower than the
+/// configured threshold, OnSessionEnd dumps its span tree once and blanks
+/// the session's events so a duplicate end cannot dump twice.
+class SessionTracer {
+ public:
+  /// Allocates the ring (the only allocation the tracer ever makes) and
+  /// arms the slow-session threshold; capacity 0 or slow_ns 0 disables.
+  void Configure(size_t capacity, uint64_t slow_ns);
+
+  bool enabled() const { return slow_ns_ > 0 && !ring_.empty(); }
+  uint64_t slow_ns() const { return slow_ns_; }
+  size_t capacity() const { return ring_.size(); }
+  size_t dumps() const { return dumps_; }
+
+  /// Records one phase-boundary event. Callers gate on enabled().
+  void Record(uint64_t session_id, TracePhase phase, bool enter,
+              uint64_t ns) {
+    TraceEvent& slot = ring_[next_];
+    slot.session_id = session_id;
+    slot.ns = ns;
+    slot.phase = phase;
+    slot.enter = enter;
+    ++next_;
+    if (next_ == ring_.size()) next_ = 0;
+  }
+
+  /// Called once per finished session: if `latency_ns` >= the threshold,
+  /// prints the session's surviving span events (oldest first, indented by
+  /// nesting depth) to `out` and blanks them from the ring. `label` is the
+  /// session's human-readable tag (protocol/codec or the spec label).
+  void OnSessionEnd(uint64_t session_id, uint64_t latency_ns,
+                    const char* label, std::FILE* out);
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;
+  uint64_t slow_ns_ = 0;
+  size_t dumps_ = 0;
+};
+
+}  // namespace setrec::obs
+
+#endif  // SETREC_OBS_TRACE_H_

@@ -208,4 +208,20 @@ ServiceStats ShardedSyncService::AggregateStats() const {
   return total;
 }
 
+obs::MetricRegistry ShardedSyncService::SnapshotMetrics() const {
+  obs::MetricRegistry total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->service->SnapshotPublished(&total, nullptr);
+  }
+  return total;
+}
+
+ServiceStats ShardedSyncService::SnapshotStats() const {
+  ServiceStats total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->service->SnapshotPublished(nullptr, &total);
+  }
+  return total;
+}
+
 }  // namespace setrec

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/shared_cache.h"
 #include "service/sync_service.h"
 
@@ -102,8 +103,19 @@ class ShardedSyncService {
 
   /// Sum of per-shard stats. Requires quiescent shards (e.g. after
   /// RunToCompletion) — per-shard stats are written lock-free by their
-  /// driver threads.
+  /// driver threads. Builds the sum into a fresh zeroed struct each call,
+  /// so repeated aggregation of an unchanged service is idempotent.
   ServiceStats AggregateStats() const;
+
+  /// Merged metric registry across all shards, read from each shard's
+  /// PUBLISHED snapshot (mutex-guarded copy refreshed by the shard's own
+  /// driver at step boundaries and forced on idle). Safe to call from any
+  /// thread while shards run; at quiescence it equals the live blocks.
+  obs::MetricRegistry SnapshotMetrics() const;
+
+  /// Published-snapshot counterpart of AggregateStats: safe while shards
+  /// run, converges to AggregateStats at quiescence.
+  ServiceStats SnapshotStats() const;
 
   size_t submitted() const {
     return submitted_.load(std::memory_order_acquire);

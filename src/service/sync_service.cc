@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 #include <limits>
+#include <mutex>
 #include <utility>
 
 #include "core/cascading_protocol.h"
@@ -11,8 +13,15 @@
 #include "core/multiround_protocol.h"
 #include "core/naive_protocol.h"
 #include "hashing/random.h"
+#include "obs/clock.h"
 
 namespace setrec {
+
+// The obs layer sits below the service and cannot see the protocol enums;
+// its histogram axes must track them by hand.
+static_assert(obs::kProtocolKinds ==
+              static_cast<size_t>(kSsrProtocolKindCount));
+static_assert(obs::kWireCodecs == 2);
 
 const char* SsrProtocolKindName(SsrProtocolKind kind) {
   switch (kind) {
@@ -180,8 +189,13 @@ class SyncService::SessionContext final : public ProtocolContext {
   void ReleaseBuildLease(uint64_t key) override;
   void ParkOnLease(uint64_t key, std::coroutine_handle<> handle) override;
   // ParkOnRecv keeps the base behavior (store in the context's waiter
-  // list); the service moves ready waiters onto its scheduler queue from
-  // OnSend / DeliverRemote instead of resuming them nested.
+  // list) plus a trace event; the service moves ready waiters onto its
+  // scheduler queue from OnSend / DeliverRemote instead of resuming them
+  // nested.
+  void ParkOnRecv(const Channel* channel, size_t index,
+                  std::coroutine_handle<> handle) override;
+  void OnDecodeFailure() override { ++service_->metrics_.decode_failures; }
+  void OnRetryRound() override { ++service_->metrics_.retry_rounds; }
 
  private:
   void QueueIbltOp(Iblt::ApplyOp op);
@@ -204,6 +218,15 @@ struct SyncService::Session {
   bool started = false;
   /// Planner ops queued by this session since the last flush.
   size_t ops_pending = 0;
+  /// Observability state (src/obs/): all timestamps are 0 when metrics and
+  /// tracing are off, so recording sites can gate on them.
+  uint64_t start_ns = 0;       ///< StartSession timestamp.
+  uint64_t last_round_ns = 0;  ///< Previous round boundary.
+  uint64_t lease_park_ns = 0;  ///< Set while parked on a build lease.
+  uint64_t lease_held_ns = 0;  ///< Set while holding a build lease.
+  /// Histogram axes, resolved once at start (protocol kind x wire codec).
+  uint8_t kind_idx = 0;
+  uint8_t codec_idx = 0;
 
   bool opaque() const { return spec.alice == nullptr && spec.bob == nullptr; }
 };
@@ -263,11 +286,37 @@ bool SyncService::SessionContext::HasPendingOps() const {
 }
 
 void SyncService::SessionContext::ParkOnFlush(std::coroutine_handle<> handle) {
+  if (service_->tracer_.enabled()) {
+    service_->tracer_.Record(session_->id, obs::TracePhase::kFlushWait, true,
+                             obs::NowNanos());
+  }
   service_->flush_waiters_.push_back(ParkedCoro{session_, handle});
 }
 
 void SyncService::SessionContext::ParkOnRound(std::coroutine_handle<> handle) {
+  if (const uint64_t now = service_->ObsNow(); now != 0) {
+    if (service_->options_.metrics && session_->last_round_ns != 0) {
+      service_->metrics_
+          .round_latency[session_->kind_idx][session_->codec_idx]
+          .Record(now - session_->last_round_ns);
+    }
+    session_->last_round_ns = now;
+    if (service_->tracer_.enabled()) {
+      service_->tracer_.Record(session_->id, obs::TracePhase::kRoundWait,
+                               true, now);
+    }
+  }
   service_->round_waiters_.push_back(ParkedCoro{session_, handle});
+}
+
+void SyncService::SessionContext::ParkOnRecv(const Channel* channel,
+                                             size_t index,
+                                             std::coroutine_handle<> handle) {
+  if (service_->tracer_.enabled()) {
+    service_->tracer_.Record(session_->id, obs::TracePhase::kRecvWait, true,
+                             obs::NowNanos());
+  }
+  ProtocolContext::ParkOnRecv(channel, index, handle);
 }
 
 void SyncService::SessionContext::OnSend(Channel* channel, size_t index) {
@@ -284,11 +333,21 @@ void SyncService::SessionContext::OnSend(Channel* channel, size_t index) {
 
 bool SyncService::SessionContext::TryAcquireBuildLease(uint64_t key) {
   const bool acquired = service_->cache_->TryAcquireLease(key);
-  if (acquired) ++service_->stats_.cache_misses;
+  if (acquired) {
+    ++service_->stats_.cache_misses;
+    if (service_->options_.metrics) {
+      session_->lease_held_ns = obs::NowNanos();
+    }
+  }
   return acquired;
 }
 
 void SyncService::SessionContext::ReleaseBuildLease(uint64_t key) {
+  if (service_->options_.metrics && session_->lease_held_ns != 0) {
+    service_->metrics_.lease_hold.Record(obs::NowNanos() -
+                                         session_->lease_held_ns);
+    session_->lease_held_ns = 0;
+  }
   // Wake the waiters through each owning shard's scheduler queue (never
   // inline, never cross-thread): they re-check the cache and either replay
   // the stored message or contend for the freed lease, in park order.
@@ -303,6 +362,13 @@ void SyncService::SessionContext::ReleaseBuildLease(uint64_t key) {
 
 void SyncService::SessionContext::ParkOnLease(uint64_t key,
                                               std::coroutine_handle<> handle) {
+  if (const uint64_t now = service_->ObsNow(); now != 0) {
+    session_->lease_park_ns = now;
+    if (service_->tracer_.enabled()) {
+      service_->tracer_.Record(session_->id, obs::TracePhase::kLeaseWait,
+                               true, now);
+    }
+  }
   service_->lease_waiters_[key].push_back(ParkedCoro{session_, handle});
   if (!service_->cache_->AddLeaseWaiter(key, service_->shard_id_)) {
     // The builder released between the failed acquire and this park; no
@@ -320,6 +386,9 @@ SyncService::SyncService(SyncServiceOptions options,
   if (cache_ == nullptr) {
     cache_ = std::make_shared<SharedServiceCache>(
         SharedCacheOptions{options_.alice_cache_max_entries});
+  }
+  if (options_.trace_slow_ns > 0) {
+    tracer_.Configure(options_.trace_ring_capacity, options_.trace_slow_ns);
   }
 }
 
@@ -645,6 +714,18 @@ void SyncService::RunOpaqueSession(Session* session) {
 
 void SyncService::StartSession(Session* session) {
   ++stats_.resumes;
+  if (const uint64_t now = ObsNow(); now != 0) {
+    session->start_ns = now;
+    session->last_round_ns = now;
+    if (!session->opaque()) {
+      session->kind_idx = static_cast<uint8_t>(session->spec.protocol);
+      session->codec_idx =
+          session->spec.params.wire_codec == WireCodec::kSparse ? 1 : 0;
+    }
+    if (tracer_.enabled()) {
+      tracer_.Record(session->id, obs::TracePhase::kSession, true, now);
+    }
+  }
   if (session->opaque()) {
     RunOpaqueSession(session);
     return;
@@ -723,6 +804,29 @@ void SyncService::FinalizeSession(Session* session,
   }
   stats_.total_rounds += session->channel.rounds();
   stats_.total_bytes += session->channel.total_bytes();
+  if (const uint64_t now = ObsNow(); now != 0 && session->start_ns != 0) {
+    const uint64_t latency = now - session->start_ns;
+    if (options_.metrics) {
+      if (session->opaque()) {
+        metrics_.opaque_session_latency.Record(latency);
+      } else {
+        metrics_.session_latency[session->kind_idx][session->codec_idx]
+            .Record(latency);
+      }
+    }
+    if (tracer_.enabled()) {
+      tracer_.Record(session->id, obs::TracePhase::kSession, false, now);
+      char label[32];
+      if (session->opaque()) {
+        std::snprintf(label, sizeof label, "opaque");
+      } else {
+        std::snprintf(label, sizeof label, "%s/%s",
+                      SsrProtocolKindName(session->spec.protocol),
+                      session->codec_idx != 0 ? "sparse" : "dense");
+      }
+      tracer_.OnSessionEnd(session->id, latency, label, stderr);
+    }
+  }
   results_.push_back(std::move(result));
   // Swap-remove from the active list; recycle the shell (coroutine frame
   // destroyed by the Task reset, transcript cleared, vector capacity kept).
@@ -743,12 +847,19 @@ void SyncService::FinalizeSession(Session* session,
     finished->channel.Reset();
     finished->started = false;
     finished->ops_pending = 0;
+    finished->start_ns = 0;
+    finished->last_round_ns = 0;
+    finished->lease_park_ns = 0;
+    finished->lease_held_ns = 0;
+    finished->kind_idx = 0;
+    finished->codec_idx = 0;
     session_pool_.push_back(std::move(finished));
   }
 }
 
 void SyncService::FlushPlanner() {
   ++stats_.flushes;
+  const uint64_t flush_start = options_.metrics ? obs::NowNanos() : 0;
   size_t total_keys = 0;
   for (const Iblt::ApplyOp& op : iblt_ops_) total_keys += op.n;
   stats_.flushed_keys += total_keys;
@@ -769,14 +880,25 @@ void SyncService::FlushPlanner() {
   }
   stats_.estimator_jobs += estimator_jobs_.size();
   estimator_jobs_.clear();
+  if (flush_start != 0) {
+    // Latency of the coalesced apply itself; the scatter-back below runs
+    // arbitrary protocol code and would swamp the planner signal.
+    metrics_.flush_latency.Record(obs::NowNanos() - flush_start);
+    metrics_.flush_occupancy.Record(total_keys);
+  }
 
   // Scatter-back: every parked coroutine's sketches are now built; resume
   // them in park order. Resumed coroutines may queue a next build phase
   // (handled by the caller's flush loop) or park at a round boundary.
   std::deque<ParkedCoro> waiters = std::move(flush_waiters_);
   flush_waiters_.clear();
+  const bool trace = tracer_.enabled();
   for (const ParkedCoro& parked : waiters) {
     parked.session->ops_pending = 0;
+    if (trace) {
+      tracer_.Record(parked.session->id, obs::TracePhase::kFlushWait, false,
+                     obs::NowNanos());
+    }
     ResumeParked(parked);
   }
 }
@@ -800,9 +922,11 @@ bool SyncService::Step() {
       ++stats_.remote_rejected;
     }
     deferred_remote_.clear();
+    MaybePublishMetrics(/*idle=*/backlog_.empty());
     return !backlog_.empty();
   }
   ++stats_.steps;
+  publish_dirty_ = true;
 
   // Round waiters first (FIFO fairness), then newly admitted sessions.
   // Drain a snapshot: a coroutine that parks at its next round boundary
@@ -810,6 +934,13 @@ bool SyncService::Step() {
   // contract of SendAwaiter), not be resumed again in this one.
   std::deque<ParkedCoro> round_now = std::move(round_waiters_);
   round_waiters_.clear();
+  if (tracer_.enabled() && !round_now.empty()) {
+    const uint64_t now = obs::NowNanos();
+    for (const ParkedCoro& parked : round_now) {
+      tracer_.Record(parked.session->id, obs::TracePhase::kRoundWait, false,
+                     now);
+    }
+  }
   while (!round_now.empty()) {
     ParkedCoro parked = round_now.front();
     round_now.pop_front();
@@ -834,11 +965,26 @@ bool SyncService::Step() {
     while (!recv_ready_.empty()) {
       ParkedCoro parked = recv_ready_.front();
       recv_ready_.pop_front();
+      if (tracer_.enabled()) {
+        tracer_.Record(parked.session->id, obs::TracePhase::kRecvWait, false,
+                       obs::NowNanos());
+      }
       ResumeParked(parked);
     }
     while (!lease_ready_.empty()) {
       ParkedCoro parked = lease_ready_.front();
       lease_ready_.pop_front();
+      if (const uint64_t now = ObsNow();
+          now != 0 && parked.session->lease_park_ns != 0) {
+        if (options_.metrics) {
+          metrics_.lease_wait.Record(now - parked.session->lease_park_ns);
+        }
+        parked.session->lease_park_ns = 0;
+        if (tracer_.enabled()) {
+          tracer_.Record(parked.session->id, obs::TracePhase::kLeaseWait,
+                         false, now);
+        }
+      }
       ResumeParked(parked);
     }
     if (!flush_waiters_.empty() || !iblt_ops_.empty() ||
@@ -855,7 +1001,67 @@ bool SyncService::Step() {
     }
   }
 
+  MaybePublishMetrics(/*idle=*/active_.empty() && backlog_.empty());
   return !active_.empty() || !backlog_.empty();
+}
+
+void SyncService::MaybePublishMetrics(bool idle) {
+  if (!options_.metrics || !publish_dirty_) return;
+  const uint64_t now = obs::NowNanos();
+  // Throttle mid-burst publishes; an idle shard always flushes so the
+  // published snapshot converges to the live block at quiescence.
+  constexpr uint64_t kPublishIntervalNs = 50'000'000;
+  if (!idle && now - last_publish_ns_ < kPublishIntervalNs) return;
+  last_publish_ns_ = now;
+  publish_dirty_ = false;
+  PublishMetrics();
+}
+
+void SyncService::PublishMetrics() {
+  std::lock_guard<std::mutex> lock(published_mu_);
+  published_metrics_ = metrics_;
+  published_stats_ = stats_;
+}
+
+void SyncService::SnapshotPublished(obs::MetricRegistry* metrics,
+                                    ServiceStats* stats) const {
+  std::lock_guard<std::mutex> lock(published_mu_);
+  if (metrics != nullptr) metrics->Merge(published_metrics_);
+  if (stats != nullptr) stats->Accumulate(published_stats_);
+}
+
+void AppendServiceExposition(const obs::MetricRegistry& metrics,
+                             const ServiceStats& stats,
+                             obs::ExpositionWriter* writer) {
+  static const char* const kKindNames[obs::kProtocolKinds] = {
+      SsrProtocolKindName(SsrProtocolKind::kNaive),
+      SsrProtocolKindName(SsrProtocolKind::kIblt2),
+      SsrProtocolKindName(SsrProtocolKind::kCascade),
+      SsrProtocolKindName(SsrProtocolKind::kMultiRound)};
+  static const char* const kCodecNames[obs::kWireCodecs] = {"dense",
+                                                            "sparse"};
+  obs::AppendRegistry(metrics, kKindNames, kCodecNames, *writer);
+  writer->Counter("setrec_sessions_submitted", "", stats.sessions_submitted);
+  writer->Counter("setrec_sessions_completed", "", stats.sessions_completed);
+  writer->Counter("setrec_sessions_failed", "", stats.sessions_failed);
+  writer->Counter("setrec_sessions_cancelled", "",
+                  stats.sessions_cancelled);
+  writer->Counter("setrec_total_rounds", "", stats.total_rounds);
+  writer->Counter("setrec_total_bytes", "", stats.total_bytes);
+  writer->Counter("setrec_steps", "", stats.steps);
+  writer->Counter("setrec_resumes", "", stats.resumes);
+  writer->Counter("setrec_flushes", "", stats.flushes);
+  writer->Counter("setrec_flushed_keys", "", stats.flushed_keys);
+  writer->Gauge("setrec_max_flush_keys", "", stats.max_flush_keys);
+  writer->Counter("setrec_sharded_flushes", "", stats.sharded_flushes);
+  writer->Counter("setrec_estimator_jobs", "", stats.estimator_jobs);
+  writer->Counter("setrec_cache_hits", "", stats.cache_hits);
+  writer->Counter("setrec_cache_misses", "", stats.cache_misses);
+  writer->Counter("setrec_mirror_drops", "", stats.mirror_drops);
+  writer->Counter("setrec_remote_messages", "", stats.remote_messages);
+  writer->Counter("setrec_remote_rejected", "", stats.remote_rejected);
+  writer->Counter("setrec_cross_shard_lease_wakes", "",
+                  stats.cross_shard_lease_wakes);
 }
 
 void SyncService::RunToCompletion() {

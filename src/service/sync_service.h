@@ -7,6 +7,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -18,6 +19,10 @@
 #include "core/protocol.h"
 #include "core/task.h"
 #include "iblt/iblt.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/shared_cache.h"
 #include "transport/channel.h"
 #include "transport/endpoint.h"
@@ -166,7 +171,26 @@ struct SyncServiceOptions {
   /// Record SessionResult::transcript_hash (the shard-invariance witness;
   /// costs one pass over each finished transcript).
   bool hash_transcripts = false;
+  /// Latency instrumentation (src/obs/): session/round/flush/lease
+  /// histograms recorded along the scheduling paths. Off skips every clock
+  /// read (the bench A/B overhead knob); the cheap decode/retry counters
+  /// stay on either way.
+  bool metrics = true;
+  /// Slow-session tracing: a session whose end-to-end latency reaches this
+  /// threshold dumps its span tree to stderr, once. 0 disables tracing
+  /// entirely (no ring, no event recording).
+  uint64_t trace_slow_ns = 0;
+  /// Per-shard trace-event ring capacity (only used when trace_slow_ns>0).
+  size_t trace_ring_capacity = 4096;
 };
+
+/// Appends the service-layer exposition — the metric registry's histograms
+/// labelled with protocol/codec names plus every ServiceStats counter — to
+/// a `# setrec-metrics v1` text block (obs/export.h). Callers pass merged
+/// or per-shard snapshots; the net layer serves the result for `STAT?`.
+void AppendServiceExposition(const obs::MetricRegistry& metrics,
+                             const ServiceStats& stats,
+                             obs::ExpositionWriter* writer);
 
 /// Order-sensitive 64-bit hash of a transcript (sender byte, label bytes,
 /// payload bytes per message) — equal iff the transcripts are bit-identical
@@ -280,6 +304,24 @@ class SyncService {
   const std::shared_ptr<SharedServiceCache>& cache() const { return cache_; }
   int shard_id() const { return shard_id_; }
 
+  /// Live per-shard metric block — same single-writer discipline as
+  /// stats(): written only by the driving thread; foreign threads must read
+  /// the published snapshot instead.
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+  /// The shard's slow-session tracer (driving thread only).
+  obs::SessionTracer& tracer() { return tracer_; }
+
+  /// Copies the live stats+metrics into the published slot (driving thread
+  /// only). Step() already calls it on a ~50ms throttle and whenever the
+  /// shard settles idle, so the published snapshot is at most ~50ms stale
+  /// while busy and exact once quiescent.
+  void PublishMetrics();
+  /// Thread-safe read of the last published copies (any thread; either out
+  /// pointer may be null). This is the only way a foreign thread may
+  /// observe a running shard's stats/metrics without a data race.
+  void SnapshotPublished(obs::MetricRegistry* metrics,
+                         ServiceStats* stats) const;
+
   /// Finished-session results in completion order; moves them out.
   /// Driving thread only (ShardedSyncService harvests via its own loop).
   std::vector<SessionResult> TakeResults();
@@ -341,9 +383,24 @@ class SyncService {
   /// sessions that were parked on the barrier.
   void FlushPlanner();
   uint64_t IdentityOf(const void* set) const;
+  /// One monotonic timestamp when any observability consumer (metrics or
+  /// tracer) is armed; 0 when both are off, so hot paths skip clock reads.
+  uint64_t ObsNow() const {
+    return options_.metrics || tracer_.enabled() ? obs::NowNanos() : 0;
+  }
+  /// Throttled publish (see PublishMetrics); `idle` forces it so quiescent
+  /// published data equals the live block.
+  void MaybePublishMetrics(bool idle);
 
   SyncServiceOptions options_;
   ServiceStats stats_;
+  obs::MetricRegistry metrics_;
+  obs::SessionTracer tracer_;
+  uint64_t last_publish_ns_ = 0;
+  bool publish_dirty_ = false;
+  mutable std::mutex published_mu_;
+  obs::MetricRegistry published_metrics_;
+  ServiceStats published_stats_;
   std::shared_ptr<SharedServiceCache> cache_;
   int shard_id_ = 0;
   std::function<void(int shard, uint64_t key)> cross_shard_wake_;

@@ -153,6 +153,74 @@ INSTANTIATE_TEST_SUITE_P(
       return param_info.param.Name();
     });
 
+// STAT? is an admin frame: it must answer on a bare connection (no hello,
+// no session), never count against pre-session budgets, and leave the
+// connection usable. Empty session-latency histograms are omitted from the
+// exposition, so the bare query must NOT mention them; after one real
+// session the same (still-open) admin connection must see them populated.
+TEST(NetPumpStats, StatQueryAnswersBareAndReflectsTraffic) {
+  const Fixture f = MakeFixture(SsrProtocolKind::kIblt2, true, 5);
+  SyncService service;
+  uint64_t set_id =
+      service.RegisterSharedSet(std::make_shared<SetOfSets>(f.alice));
+  NetPump pump(&service);
+  int admin[2];
+  int session[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, admin), 0);
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, session), 0);
+  ASSERT_TRUE(pump.AdoptConnection(admin[0]).ok());
+  ASSERT_TRUE(pump.AdoptConnection(session[0]).ok());
+
+  Result<std::string> before = Status::Ok();
+  Result<std::string> after = Status::Ok();
+  size_t after_queries = 0;
+  ClientResult client;
+  std::thread client_thread([&] {
+    before = QueryStatsOverFd(admin[1]);
+    client = RunClient(session[1], SsrProtocolKind::kIblt2, set_id, f);
+    ::close(session[1]);
+    // The client returns once ITS half finishes — the pump may not have
+    // digested the final frame yet, and the exposition is live, not
+    // barriered. Each query forces a full pump round-trip, so poll until
+    // the session shows up finalized.
+    for (after_queries = 0; after_queries < 100; ++after_queries) {
+      after = QueryStatsOverFd(admin[1]);
+      if (!after.ok() || after.value().find("setrec_sessions_completed{} 1") !=
+                             std::string::npos) {
+        break;
+      }
+    }
+    ::close(admin[1]);
+  });
+  pump.DrainConnections();
+  client_thread.join();
+
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(before.value().rfind("# setrec-metrics v1\n", 0), 0u);
+  EXPECT_NE(before.value().find("setrec_pump_stat_requests"),
+            std::string::npos);
+  EXPECT_NE(before.value().find("setrec_sessions_completed{} 0"),
+            std::string::npos);
+  EXPECT_EQ(before.value().find("setrec_session_latency_ns"),
+            std::string::npos);
+
+  ASSERT_TRUE(client.outcome.ok()) << client.outcome.status().ToString();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_NE(after.value().find("setrec_sessions_completed{} 1"),
+            std::string::npos);
+  EXPECT_NE(after.value().find(
+                "setrec_session_latency_ns{proto=\"iblt2\",codec=\"dense\"}"),
+            std::string::npos);
+
+  // Admin traffic is invisible to the session layer: one session, no
+  // protocol errors, and every STAT? hit counted.
+  std::vector<SessionResult> results = pump.TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_EQ(pump.stats().protocol_errors, 0u);
+  EXPECT_EQ(pump.SnapshotPumpMetrics().stat_requests, 2u + after_queries);
+}
+
 TEST(NetPumpTcp, ConcurrentClientsOverLoopDevice) {
   SyncService service;
   // One registered server set shared by all clients (the memoization path).

@@ -1,0 +1,173 @@
+// Tests for the obs layer's LatencyHistogram and MetricRegistry: bucket
+// geometry (log-linear, <= 25% bound ratio), quantile accuracy vs the exact
+// sorted-sample answer (the satellite contract: within one bucket), and
+// element-wise merge semantics the sharded snapshot path relies on.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace setrec::obs {
+namespace {
+
+TEST(LatencyHistogramTest, BucketIndexExactBelowEight) {
+  for (uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(v), v);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketIndexMonotoneAndInverted) {
+  // Sweep exponentially-spaced values plus neighbors across the full range.
+  std::vector<uint64_t> values;
+  for (int shift = 0; shift < 64; ++shift) {
+    const uint64_t base = uint64_t{1} << shift;
+    values.push_back(base - 1);
+    values.push_back(base);
+    values.push_back(base + 1);
+  }
+  values.push_back(UINT64_MAX);
+  std::sort(values.begin(), values.end());
+  size_t prev = 0;
+  for (uint64_t v : values) {
+    const size_t idx = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(idx, LatencyHistogram::kBuckets);
+    EXPECT_GE(idx, prev) << "non-monotone at v=" << v;
+    prev = idx;
+    // v lands inside [lower(idx), lower(idx+1)).
+    EXPECT_LE(LatencyHistogram::BucketLowerBound(idx), v);
+    if (idx < LatencyHistogram::BucketIndex(UINT64_MAX)) {
+      EXPECT_GT(LatencyHistogram::BucketLowerBound(idx + 1), v);
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, ConsecutiveBoundsWithinQuarter) {
+  // Log-linear resolution claim: above the unit buckets, consecutive bucket
+  // lower bounds never differ by more than 25% (checked over the buckets
+  // actually reachable — the top index is BucketIndex(UINT64_MAX)).
+  const size_t top = LatencyHistogram::BucketIndex(UINT64_MAX);
+  for (size_t i = 8; i + 1 <= top; ++i) {
+    const double lo =
+        static_cast<double>(LatencyHistogram::BucketLowerBound(i));
+    const double hi =
+        static_cast<double>(LatencyHistogram::BucketLowerBound(i + 1));
+    EXPECT_LE(hi / lo, 1.25) << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogramTest, CountSumMax) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0u);  // Empty histogram reads zero.
+  h.Record(5);
+  h.Record(100);
+  h.Record(7);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 112u);
+  EXPECT_EQ(h.max(), 100u);
+}
+
+// The satellite contract: histogram quantiles land within one bucket of the
+// exact sorted-vector answer on a known distribution.
+void ExpectQuantilesWithinOneBucket(const std::vector<uint64_t>& samples) {
+  LatencyHistogram h;
+  std::vector<uint64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint64_t v : samples) h.Record(v);
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    const size_t rank = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(sorted.size())));
+    const uint64_t exact = sorted[rank];
+    const uint64_t approx = h.Quantile(q);
+    const auto exact_idx =
+        static_cast<long>(LatencyHistogram::BucketIndex(exact));
+    const auto approx_idx =
+        static_cast<long>(LatencyHistogram::BucketIndex(approx));
+    EXPECT_LE(std::abs(exact_idx - approx_idx), 1)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesMatchSortedUniform) {
+  std::mt19937_64 rng(41);
+  std::uniform_int_distribution<uint64_t> dist(100, 5'000'000);
+  std::vector<uint64_t> samples(20'000);
+  for (uint64_t& v : samples) v = dist(rng);
+  ExpectQuantilesWithinOneBucket(samples);
+}
+
+TEST(LatencyHistogramTest, QuantilesMatchSortedHeavyTail) {
+  // Latency-shaped: lognormal-ish heavy tail spanning several octaves.
+  std::mt19937_64 rng(97);
+  std::lognormal_distribution<double> dist(11.0, 1.5);  // ~60us median.
+  std::vector<uint64_t> samples(20'000);
+  for (uint64_t& v : samples) v = static_cast<uint64_t>(dist(rng)) + 1;
+  ExpectQuantilesWithinOneBucket(samples);
+}
+
+TEST(LatencyHistogramTest, MergeEqualsSingleRecorder) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<uint64_t> dist(1, 1'000'000);
+  LatencyHistogram whole;
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t v = dist(rng);
+    whole.Record(v);
+    (i % 2 == 0 ? a : b).Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.sum(), whole.sum());
+  EXPECT_EQ(a.max(), whole.max());
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    ASSERT_EQ(a.bucket(i), whole.bucket(i)) << "bucket " << i;
+  }
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.Quantile(q), whole.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(MetricRegistryTest, MergeAccumulatesEveryField) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.session_latency[1][0].Record(100);
+  b.session_latency[1][0].Record(200);
+  b.round_latency[3][1].Record(50);
+  a.flush_occupancy.Record(512);
+  b.flush_occupancy.Record(1024);
+  a.decode_failures = 2;
+  b.decode_failures = 3;
+  b.retry_rounds = 7;
+  a.Merge(b);
+  EXPECT_EQ(a.session_latency[1][0].count(), 2u);
+  EXPECT_EQ(a.round_latency[3][1].count(), 1u);
+  EXPECT_EQ(a.flush_occupancy.count(), 2u);
+  EXPECT_EQ(a.flush_occupancy.max(), 1024u);
+  EXPECT_EQ(a.decode_failures, 5u);
+  EXPECT_EQ(a.retry_rounds, 7u);
+}
+
+TEST(PumpMetricsTest, MergeTakesWatermarkMax) {
+  PumpMetrics a;
+  PumpMetrics b;
+  a.outbuf_high_watermark = 4096;
+  b.outbuf_high_watermark = 1024;
+  a.stat_requests = 1;
+  b.stat_requests = 2;
+  b.frame_decode_failures = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.outbuf_high_watermark, 4096u);
+  EXPECT_EQ(a.stat_requests, 3u);
+  EXPECT_EQ(a.frame_decode_failures, 1u);
+}
+
+}  // namespace
+}  // namespace setrec::obs

@@ -1,0 +1,142 @@
+// Tests for the obs SessionTracer ring: wraparound at capacity, the
+// dump-exactly-once contract for slow sessions, and the zero-heap-allocation
+// guarantee on the Record path (measured with the same replaced operator new
+// that backs the decode_allocs_warm bench claim).
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/alloc_counter.h"
+#include "obs/trace.h"
+
+namespace setrec::obs {
+namespace {
+
+// Runs `fn(out)` against an in-memory FILE* and returns what it printed.
+template <typename Fn>
+std::string CaptureDump(Fn&& fn) {
+  char* buf = nullptr;
+  size_t len = 0;
+  std::FILE* out = open_memstream(&buf, &len);
+  EXPECT_NE(out, nullptr);
+  fn(out);
+  std::fclose(out);
+  std::string text(buf, len);
+  std::free(buf);
+  return text;
+}
+
+size_t CountLines(const std::string& text) {
+  size_t n = 0;
+  for (char c : text) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
+TEST(SessionTracerTest, DisabledUntilConfigured) {
+  SessionTracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.Configure(16, 0);  // Threshold 0 keeps it disabled.
+  EXPECT_FALSE(tracer.enabled());
+  tracer.Configure(0, 1000);  // So does an empty ring.
+  EXPECT_FALSE(tracer.enabled());
+  tracer.Configure(16, 1000);
+  EXPECT_TRUE(tracer.enabled());
+}
+
+TEST(SessionTracerTest, DumpContainsSpanTree) {
+  SessionTracer tracer;
+  tracer.Configure(64, 1000);
+  tracer.Record(42, TracePhase::kSession, true, 10'000);
+  tracer.Record(42, TracePhase::kRoundWait, true, 11'000);
+  tracer.Record(42, TracePhase::kRoundWait, false, 15'000);
+  tracer.Record(42, TracePhase::kSession, false, 20'000);
+  const std::string text = CaptureDump([&](std::FILE* out) {
+    tracer.OnSessionEnd(42, 10'000, "iblt2/dense", out);
+  });
+  EXPECT_NE(text.find("session 42"), std::string::npos);
+  EXPECT_NE(text.find("iblt2/dense"), std::string::npos);
+  EXPECT_NE(text.find("> session"), std::string::npos);
+  EXPECT_NE(text.find("> round-wait"), std::string::npos);
+  EXPECT_NE(text.find("< round-wait"), std::string::npos);
+  // Header + 4 events.
+  EXPECT_EQ(CountLines(text), 5u);
+  EXPECT_EQ(tracer.dumps(), 1u);
+}
+
+TEST(SessionTracerTest, BelowThresholdDoesNotDump) {
+  SessionTracer tracer;
+  tracer.Configure(64, 1'000'000);
+  tracer.Record(7, TracePhase::kSession, true, 0);
+  tracer.Record(7, TracePhase::kSession, false, 500);
+  const std::string text = CaptureDump([&](std::FILE* out) {
+    tracer.OnSessionEnd(7, 500, "naive/dense", out);
+  });
+  EXPECT_TRUE(text.empty());
+  EXPECT_EQ(tracer.dumps(), 0u);
+}
+
+TEST(SessionTracerTest, RingWrapsAtCapacity) {
+  SessionTracer tracer;
+  tracer.Configure(8, 1);
+  // 20 events for session 5: only the newest 8 survive the ring.
+  for (uint64_t i = 0; i < 20; ++i) {
+    tracer.Record(5, TracePhase::kRoundWait, i % 2 == 0, 1'000'000 * i);
+  }
+  const std::string text = CaptureDump([&](std::FILE* out) {
+    tracer.OnSessionEnd(5, 1'000'000, "cascade/sparse", out);
+  });
+  // Header + exactly capacity events, oldest first.
+  EXPECT_EQ(CountLines(text), 1u + 8u);
+  // The first surviving event is number 12 (ns=12000) — relative +0.000 and
+  // the last is number 19 at +7.000 ms.
+  EXPECT_NE(text.find("+0.000 ms"), std::string::npos);
+  EXPECT_NE(text.find("+7.000 ms"), std::string::npos);
+}
+
+TEST(SessionTracerTest, DumpFiresExactlyOncePerSession) {
+  SessionTracer tracer;
+  tracer.Configure(32, 1);
+  tracer.Record(9, TracePhase::kSession, true, 0);
+  tracer.Record(9, TracePhase::kSession, false, 5'000'000);
+  const std::string first = CaptureDump([&](std::FILE* out) {
+    tracer.OnSessionEnd(9, 5'000'000, "multiround/dense", out);
+  });
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(tracer.dumps(), 1u);
+  // A duplicate end for the same session finds its events blanked.
+  const std::string second = CaptureDump([&](std::FILE* out) {
+    tracer.OnSessionEnd(9, 5'000'000, "multiround/dense", out);
+  });
+  EXPECT_TRUE(second.empty());
+  EXPECT_EQ(tracer.dumps(), 1u);
+  // Other sessions' events are untouched by the blanking.
+  tracer.Record(10, TracePhase::kSession, true, 0);
+  tracer.Record(10, TracePhase::kSession, false, 2'000'000);
+  const std::string other = CaptureDump([&](std::FILE* out) {
+    tracer.OnSessionEnd(10, 2'000'000, "multiround/dense", out);
+  });
+  EXPECT_FALSE(other.empty());
+  EXPECT_EQ(tracer.dumps(), 2u);
+}
+
+TEST(SessionTracerTest, RecordDoesNotAllocate) {
+  SessionTracer tracer;
+  tracer.Configure(1024, 1'000'000);  // The ring is the only allocation.
+  const size_t allocs = CountAllocs([&] {
+    for (uint64_t i = 0; i < 10'000; ++i) {
+      tracer.Record(i % 17 + 1,
+                    i % 2 == 0 ? TracePhase::kRoundWait
+                               : TracePhase::kFlushWait,
+                    i % 2 == 0, i * 100);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+}  // namespace
+}  // namespace setrec::obs

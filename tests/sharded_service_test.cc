@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -293,6 +294,73 @@ TEST(ShardedServiceTest, CrossShardDisconnectAndCancelRaces) {
   EXPECT_EQ(halves_failed, static_cast<size_t>(kHalves));
   const ServiceStats stats = service.AggregateStats();
   EXPECT_EQ(stats.sessions_cancelled, static_cast<size_t>(kHalves));
+}
+
+// AggregateStats builds its sum into a fresh zeroed struct each call, so
+// re-aggregating an unchanged service must be a no-op — a regression guard
+// against accumulating into a cached member. Equality is checked through
+// the exposition text, which covers every field (including ones added
+// later) without needing an operator==. Also pins the quiescence contract:
+// after RunToCompletion the published snapshots (SnapshotStats /
+// SnapshotMetrics) have caught up with the live aggregate, and the merged
+// session-latency histograms saw every finalized session.
+TEST(ShardedServiceTest, RepeatedAggregationIsIdempotent) {
+  constexpr int kSessions = 48;
+  SsrWorkloadSpec shared_spec;
+  shared_spec.num_children = 12;
+  shared_spec.child_size = 6;
+  shared_spec.seed = 777;
+  auto server_set = std::make_shared<const SetOfSets>(
+      MakeSsrWorkload(shared_spec).alice);
+  const std::vector<SessionInput> inputs =
+      MakeMixedWorkload(kSessions, server_set, /*seed=*/31337);
+
+  ShardedSyncServiceOptions options;
+  options.shards = 2;
+  ShardedSyncService service(options);
+  service.RegisterSharedSet(server_set);
+  for (const SessionInput& input : inputs) service.Submit(input.spec);
+  // Hammer the published snapshots from a foreign thread while the shard
+  // threads run — the cross-thread read path TSan must see racing the
+  // single-writer live counters.
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)service.SnapshotMetrics();
+      (void)service.SnapshotStats();
+    }
+  });
+  service.RunToCompletion();
+  stop.store(true, std::memory_order_release);
+  poller.join();
+  (void)service.TakeResults();
+
+  const ServiceStats first = service.AggregateStats();
+  const ServiceStats second = service.AggregateStats();
+  obs::ExpositionWriter text1, text2;
+  AppendServiceExposition(service.SnapshotMetrics(), first, &text1);
+  AppendServiceExposition(service.SnapshotMetrics(), second, &text2);
+  EXPECT_EQ(text1.text(), text2.text());
+  EXPECT_EQ(first.sessions_submitted, static_cast<size_t>(kSessions));
+  EXPECT_EQ(first.sessions_completed + first.sessions_failed,
+            static_cast<size_t>(kSessions));
+
+  const ServiceStats published = service.SnapshotStats();
+  EXPECT_EQ(published.sessions_submitted, first.sessions_submitted);
+  EXPECT_EQ(published.sessions_completed, first.sessions_completed);
+  EXPECT_EQ(published.sessions_failed, first.sessions_failed);
+  EXPECT_EQ(published.total_rounds, first.total_rounds);
+  EXPECT_EQ(published.total_bytes, first.total_bytes);
+  EXPECT_EQ(published.flushes, first.flushes);
+
+  const obs::MetricRegistry metrics = service.SnapshotMetrics();
+  uint64_t latency_count = metrics.opaque_session_latency.count();
+  for (size_t k = 0; k < obs::kProtocolKinds; ++k) {
+    for (size_t c = 0; c < obs::kWireCodecs; ++c) {
+      latency_count += metrics.session_latency[k][c].count();
+    }
+  }
+  EXPECT_EQ(latency_count, first.sessions_completed + first.sessions_failed);
 }
 
 }  // namespace

@@ -294,6 +294,36 @@ void CheckAllocFreeRegions(const SourceFile& f, std::vector<Violation>* out) {
   }
 }
 
+// Hot paths must not read the clock through std::chrono (type machinery,
+// and a second sanctioned timing idiom to audit) or raw clock_gettime: the
+// obs sampling macro (SETREC_OBS_NOW in src/obs/clock.h) is the one
+// timestamp source inside alloc-free regions — it compiles out under
+// SETREC_OBS_DISABLE, which is what makes "instrumentation costs nothing
+// when off" checkable.
+void CheckClockInRegions(const SourceFile& f, std::vector<Violation>* out) {
+  static const std::regex kClock(
+      R"(\b[A-Za-z_]\w*_clock\s*::\s*now\s*\(|\bclock_gettime\s*\()");
+  bool in_region = false;
+  for (size_t i = 0; i < f.raw.size(); ++i) {
+    if (f.raw[i].find("LINT(alloc-free)") != std::string::npos) {
+      in_region = true;  // Region shape violations are alloc rule's job.
+      continue;
+    }
+    if (f.raw[i].find("LINT(end)") != std::string::npos) {
+      in_region = false;
+      continue;
+    }
+    if (!in_region) continue;
+    if (LineAllows(f.raw[i], "clock-in-hot-path")) continue;
+    if (std::regex_search(f.code[i], kClock)) {
+      out->push_back({f.rel_path, i + 1, "clock-in-hot-path",
+                      "direct clock read inside a LINT(alloc-free) region; "
+                      "sample time through SETREC_OBS_NOW() so disabled "
+                      "builds compile the read out"});
+    }
+  }
+}
+
 // Tracks whether each `{` opens a class/struct body, so member declarations
 // can be told apart from locals and parameters.
 void CheckViewMembers(const SourceFile& f, std::vector<Violation>* out) {
@@ -350,6 +380,7 @@ void LintFile(const SourceFile& f, std::vector<Violation>* out) {
   CheckParseAssert(f, out);
   CheckResumeWhitelist(f, out);
   CheckAllocFreeRegions(f, out);
+  CheckClockInRegions(f, out);
   CheckViewMembers(f, out);
 }
 

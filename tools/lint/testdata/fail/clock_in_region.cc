@@ -1,0 +1,18 @@
+// LINT-TEST-PATH: src/iblt/fake_timed_kernel.cc
+// LINT-TEST: expect clock-in-hot-path
+
+#include <chrono>
+#include <cstdint>
+
+namespace setrec {
+
+// LINT(alloc-free)
+uint64_t TimedMix(uint64_t x) {
+  auto t0 = std::chrono::steady_clock::now();  // BAD: clock read in region.
+  x ^= x >> 33;
+  x *= uint64_t{0xff51afd7ed558ccd};
+  return x ^ static_cast<uint64_t>(t0.time_since_epoch().count());
+}
+// LINT(end)
+
+}  // namespace setrec

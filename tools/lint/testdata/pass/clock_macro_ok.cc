@@ -1,0 +1,31 @@
+// LINT-TEST-PATH: src/iblt/fake_timed_kernel2.cc
+// LINT-TEST: expect-clean
+//
+// Sampling time through the obs macro is the sanctioned idiom inside a
+// hot region: it compiles to nothing under SETREC_OBS_DISABLE. Mentioning
+// steady_clock in a comment must not fire, and direct clock reads outside
+// the region are fine.
+
+#include <chrono>
+#include <cstdint>
+
+#define SETREC_OBS_NOW() uint64_t{0}
+
+namespace setrec {
+
+// LINT(alloc-free)
+// Callers wanting wall time use steady_clock outside the region.
+uint64_t SampledMix(uint64_t x) {
+  const uint64_t t0 = SETREC_OBS_NOW();
+  x ^= x >> 33;
+  x *= uint64_t{0xff51afd7ed558ccd};
+  return x ^ t0;
+}
+// LINT(end)
+
+uint64_t OutsideRegionMayReadClock() {
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace setrec

@@ -9,12 +9,16 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <unistd.h>
 
 #include "core/protocol.h"
 #include "core/workload.h"
 #include "hashing/random.h"
 #include "net/stream_party.h"
 #include "net/wire.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
 #include "service/sync_service.h"
 
 namespace setrec {
@@ -73,6 +77,54 @@ inline Result<SsrOutcome> RunDemoClientSession(int fd, SsrProtocolKind kind,
       MakeSsrProtocol(kind, hello.params);
   Channel channel;
   return RunBobHalfOverFd(*protocol, bob, hello.known_d, fd, &channel);
+}
+
+/// Traced variant for the operator console's --probe: owns the whole
+/// connect→hello→protocol arc so the client timeline has spans for every
+/// leg. The hello carries `trace_id` (a v3 hello), so the server tags its
+/// half of the session with the same id; the caller fetches that half via
+/// QueryTracesOverFd and merges the two (obs/trace_text.h). `tracer` must
+/// have capture armed (SessionTracer::EnableCapture) and `trace_id` must
+/// be nonzero. The demo state is built before the session span opens, so
+/// the span decomposes the session's network wall clock, not the fixture.
+inline Result<SsrOutcome> RunDemoClientSessionTraced(
+    const std::string& host, uint16_t port, SsrProtocolKind kind,
+    uint64_t index, uint64_t trace_id, obs::SessionTracer* tracer) {
+  SetOfSets bob = MakeClientSet(index);
+  HelloSpec hello;
+  hello.protocol = kind;
+  hello.set_id = 1;
+  hello.params = DemoParams();
+  hello.known_d = kDemoKnownD;
+  hello.trace_id = trace_id;
+  std::unique_ptr<SetsOfSetsProtocol> protocol =
+      MakeSsrProtocol(kind, hello.params);
+
+  const uint64_t start = obs::NowNanos();
+  tracer->Record(trace_id, obs::TracePhase::kSession, true, start, trace_id);
+  tracer->Record(trace_id, obs::TracePhase::kConnect, true, obs::NowNanos(),
+                 trace_id);
+  Result<int> fd = ConnectTcp(host, port);
+  tracer->Record(trace_id, obs::TracePhase::kConnect, false, obs::NowNanos(),
+                 trace_id);
+  if (!fd.ok()) return fd.status();
+  tracer->Record(trace_id, obs::TracePhase::kHello, true, obs::NowNanos(),
+                 trace_id);
+  Status hello_sent = SendHello(fd.value(), hello);
+  tracer->Record(trace_id, obs::TracePhase::kHello, false, obs::NowNanos(),
+                 trace_id);
+  if (!hello_sent.ok()) {
+    ::close(fd.value());
+    return hello_sent;
+  }
+  Channel channel;
+  Result<SsrOutcome> outcome = RunBobHalfOverFd(
+      *protocol, bob, hello.known_d, fd.value(), &channel, tracer, trace_id);
+  const uint64_t end = obs::NowNanos();
+  tracer->Record(trace_id, obs::TracePhase::kSession, false, end, trace_id);
+  tracer->OnSessionEnd(trace_id, trace_id, end - start, "client", stderr);
+  ::close(fd.value());
+  return outcome;
 }
 
 }  // namespace net_demo

@@ -18,10 +18,16 @@
 //                   --shards=K (TCP only) runs the multi-core shape: K
 //                   service shards, one pump thread each, all listening on
 //                   the same port with SO_REUSEPORT.
-//                   --stats-every=N dumps the metrics exposition (the same
-//                   text a "STAT?" wire frame returns) every N served
+//                   --stats-every=N prints an interval-delta stats line
+//                   (what changed since the last report, plus the windowed
+//                   rates a "STAT?" frame exposes) every N served
 //                   sessions; --trace-slow=MS arms the session tracer and
-//                   dumps a span tree for any session slower than MS.
+//                   dumps a span tree for any session slower than MS (the
+//                   dump header carries the client's trace id when the
+//                   session was traced, so server log lines join with
+//                   client-side traces). A stall watchdog dumps a shard's
+//                   tracer ring if its driving thread stops stepping for
+//                   2s with mailbox work queued.
 //
 //  --selftest-net   End-to-end loop-device check: listens on an ephemeral
 //                   TCP port, drives a real client (the sync_client code
@@ -57,6 +63,7 @@
 #include "net/wire.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 #include "service/sharded_service.h"
 #include "service/sync_service.h"
 #include "transport/endpoint.h"
@@ -84,6 +91,17 @@ int RunListenSharded(uint16_t want_port, size_t serve_count, size_t shards,
                  port.status().ToString().c_str());
     return 1;
   }
+  // Stall watchdog: a pump thread that stops stepping its shard while the
+  // shard's mailbox holds work is wedged, not idle — dump that shard's
+  // tracer ring so the last recorded events point at where it stuck.
+  obs::StallWatchdog watchdog;
+  for (size_t i = 0; i < service.shard_count(); ++i) {
+    SyncService* shard = service.shard(i);
+    watchdog.Watch({"shard-" + std::to_string(i), &shard->heartbeat(),
+                    [shard] { return shard->HasMailboxWork(); },
+                    &shard->tracer()});
+  }
+  watchdog.Start(/*stall_ns=*/2'000'000'000, /*poll_ms=*/500, stderr);
   std::printf("listening on tcp port %u with %zu shard pumps "
               "(SO_REUSEPORT; shared set id %llu, %zu children)\n",
               port.value(), pump.pump_count(),
@@ -92,6 +110,7 @@ int RunListenSharded(uint16_t want_port, size_t serve_count, size_t shards,
   pump.Start();
 
   size_t served = 0, failed = 0, last_stats_at = 0;
+  ServiceStats last_stats;
   while (serve_count == 0 || served < serve_count) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     for (const SessionResult& r : pump.TakeResults()) {
@@ -110,16 +129,21 @@ int RunListenSharded(uint16_t want_port, size_t serve_count, size_t shards,
     }
     if (stats_every > 0 && served - last_stats_at >= stats_every) {
       last_stats_at = served;
-      // Published snapshots: this thread is no shard's driver.
-      obs::ExpositionWriter writer;
-      AppendServiceExposition(service.SnapshotMetrics(),
-                              service.SnapshotStats(), &writer);
-      obs::PumpMetrics merged;
-      for (size_t p = 0; p < pump.pump_count(); ++p) {
-        merged.Merge(pump.pump(p)->SnapshotPumpMetrics());
-      }
-      obs::AppendPumpMetrics(merged, writer);
-      std::fputs(writer.text().c_str(), stdout);
+      // Interval deltas since the last report (published snapshots: this
+      // thread is no shard's driver), plus the windowed rates every STAT?
+      // answer carries.
+      const ServiceStats now_stats = service.SnapshotStats();
+      const obs::RateRing::Rates rates = service.SnapshotRates();
+      std::printf(
+          "stats: +%zu sessions (+%zu failed) +%zu bytes +%zu rounds | "
+          "windowed %.1f sessions/s %.0f B/s %.2f decode-fails/min\n",
+          now_stats.sessions_completed - last_stats.sessions_completed,
+          now_stats.sessions_failed - last_stats.sessions_failed,
+          now_stats.total_bytes - last_stats.total_bytes,
+          now_stats.total_rounds - last_stats.total_rounds,
+          rates.sessions_per_sec, rates.bytes_per_sec,
+          rates.decode_failures_per_min);
+      last_stats = now_stats;
       std::fflush(stdout);
     }
   }
@@ -140,6 +164,13 @@ int RunListen(const std::string& target, size_t serve_count,
   auto server_set = std::make_shared<SetOfSets>(net_demo::MakeServerSet());
   uint64_t set_id = service.RegisterSharedSet(server_set);
   NetPump pump(&service);
+  // Same stall watchdog as the sharded mode, over the one shard this
+  // thread drives.
+  obs::StallWatchdog watchdog;
+  watchdog.Watch({"shard-0", &service.heartbeat(),
+                  [&service] { return service.HasMailboxWork(); },
+                  &service.tracer()});
+  watchdog.Start(/*stall_ns=*/2'000'000'000, /*poll_ms=*/500, stderr);
 
   if (target.rfind("tcp:", 0) == 0) {
     uint16_t want =
@@ -169,6 +200,7 @@ int RunListen(const std::string& target, size_t serve_count,
   std::fflush(stdout);
 
   size_t served = 0, failed = 0, last_stats_at = 0;
+  ServiceStats last_stats;
   while (serve_count == 0 || served < serve_count) {
     pump.PumpOnce(/*timeout_ms=*/200);
     for (const SessionResult& r : pump.TakeResults()) {
@@ -187,12 +219,21 @@ int RunListen(const std::string& target, size_t serve_count,
     }
     if (stats_every > 0 && served - last_stats_at >= stats_every) {
       last_stats_at = served;
-      // This thread drives the pump AND the service, so the live metric
-      // blocks are safe to read directly — same path a STAT? frame takes.
-      obs::ExpositionWriter writer;
-      AppendServiceExposition(service.metrics(), service.stats(), &writer);
-      obs::AppendPumpMetrics(pump.pump_metrics(), writer);
-      std::fputs(writer.text().c_str(), stdout);
+      // Interval deltas, not cumulative counters. This thread drives the
+      // pump AND the service, so the live blocks (and the live rate ring)
+      // are safe to read directly — same path a STAT? frame takes.
+      const ServiceStats now_stats = service.stats();
+      const obs::RateRing::Rates rates = service.CurrentRates();
+      std::printf(
+          "stats: +%zu sessions (+%zu failed) +%zu bytes +%zu rounds | "
+          "windowed %.1f sessions/s %.0f B/s %.2f decode-fails/min\n",
+          now_stats.sessions_completed - last_stats.sessions_completed,
+          now_stats.sessions_failed - last_stats.sessions_failed,
+          now_stats.total_bytes - last_stats.total_bytes,
+          now_stats.total_rounds - last_stats.total_rounds,
+          rates.sessions_per_sec, rates.bytes_per_sec,
+          rates.decode_failures_per_min);
+      last_stats = now_stats;
       std::fflush(stdout);
     }
   }
@@ -257,12 +298,16 @@ int RunNetSelftest() {
       ::close(fd.value());
       if (!stats.ok()) {
         stat_status = stats.status();
-      } else if (stats.value().rfind("# setrec-metrics v1", 0) != 0) {
+      } else if (stats.value().rfind("# setrec-metrics v2", 0) != 0) {
         stat_status = VerificationFailure("STAT reply missing version line");
       } else if (stats.value().find("setrec_session_latency_ns") ==
                  std::string::npos) {
         stat_status = VerificationFailure(
             "STAT reply has no session-latency histograms after traffic");
+      } else if (stats.value().find("rate setrec_sessions_per_sec") ==
+                 std::string::npos) {
+        stat_status = VerificationFailure(
+            "STAT reply has no windowed rate lines (v2 suffix)");
       }
     } else {
       stat_status = fd.status();

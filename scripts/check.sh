@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # One-shot gate driver: runs the four verification lanes (default, asan,
-# tsan, lint — see docs/ANALYSIS.md) plus the obs smoke lane
-# (docs/OBSERVABILITY.md) and exits non-zero if any fails.
+# tsan, lint — see docs/ANALYSIS.md) plus the obs smoke lanes
+# (bench gate + live distributed-obs probe, docs/OBSERVABILITY.md) and
+# exits non-zero if any fails.
 # Usage: scripts/check.sh [-j N]
 set -u
 
@@ -46,6 +47,60 @@ run default-configure cmake -B build -S . &&
 # metrics overhead > 2% or any empty hot-path histogram.
 run obs-smoke ./build/bench_service --quick
 
+# Lane 1c: distributed-obs smoke — a live server, a plain client session,
+# a traced probe session, and the operator console. Asserts the probe's
+# merged client+server timeline (>= 90% coverage gate inside setrec_stat)
+# and non-empty windowed-rate lines in the v2 exposition.
+distributed_obs() {
+  local log port addr server probe stat rc
+  log=$(mktemp)
+  # --serve higher than the sessions we run: the server must stay up to
+  # answer the probe's TRACE? and the console's STAT?; we kill it after.
+  ./build/example_sync_server --listen=tcp:0 --serve=8 --stats-every=1 \
+    >"$log" 2>&1 &
+  server=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on tcp port \([0-9]*\).*/\1/p' "$log")
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "distributed-obs: server never reported a port:"
+    cat "$log"
+    kill "$server" 2>/dev/null
+    wait "$server" 2>/dev/null
+    rm -f "$log"
+    return 1
+  fi
+  addr="tcp:127.0.0.1:$port"
+  rc=0
+  if ! ./build/example_sync_client --connect="$addr"; then
+    echo "distributed-obs: client session failed"
+    rc=1
+  fi
+  probe=$(./build/setrec_stat --connect="$addr" --probe 2>&1)
+  if [ $? -ne 0 ] || ! echo "$probe" | grep -q "^merged trace id="; then
+    echo "distributed-obs: traced probe failed:"
+    echo "$probe"
+    rc=1
+  fi
+  stat=$(./build/setrec_stat --connect="$addr" --once 2>&1)
+  if [ $? -ne 0 ] \
+      || ! echo "$stat" | grep -q "^# setrec-metrics v2" \
+      || ! echo "$stat" | grep -Eq "^rate setrec_sessions_per_sec\{\} [0-9]"; then
+    echo "distributed-obs: STAT? exposition missing v2 header or rates:"
+    echo "$stat"
+    rc=1
+  fi
+  kill "$server" 2>/dev/null
+  wait "$server" 2>/dev/null
+  rm -f "$log"
+  [ "$rc" -eq 0 ] && echo "distributed-obs: probe merged, rates live"
+  return "$rc"
+}
+run distributed-obs distributed_obs
+
 # Lane 2: ASan+UBSan over the lifetime-sensitive suites.
 lane asan asan -L 'fast|service'
 
@@ -60,4 +115,4 @@ if [ "${#failed[@]}" -ne 0 ]; then
   echo "CHECK FAILED: ${failed[*]}"
   exit 1
 fi
-echo "CHECK OK: default, obs-smoke, asan, tsan, lint all green"
+echo "CHECK OK: default, obs-smoke, distributed-obs, asan, tsan, lint all green"

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace_text.h"
+
 namespace setrec {
 
 MultiNetPump::MultiNetPump(ShardedSyncService* service,
@@ -26,7 +28,14 @@ MultiNetPump::MultiNetPump(ShardedSyncService* service,
         merged.Merge(pump->SnapshotPumpMetrics());
       }
       obs::AppendPumpMetrics(merged, writer);
+      obs::AppendRates(service_->SnapshotRates(), writer);
       return writer.Take();
+    });
+    // Likewise TRACE?: one pump's answer carries every shard's recently
+    // completed traces (the per-shard stores are mutex-guarded).
+    pumps_.back()->set_trace_exposition([this] {
+      return obs::FormatTraceExposition(service_->SnapshotCompletedTraces(),
+                                        "server");
     });
   }
   // Cross-shard traffic (lease wakes, facade submissions) interrupts the

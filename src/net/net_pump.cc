@@ -16,6 +16,7 @@
 
 #include "net/wire.h"
 #include "obs/clock.h"
+#include "obs/trace_text.h"
 #include "util/serialization.h"
 
 namespace setrec {
@@ -75,6 +76,9 @@ NetPump::NetPump(SyncService* service, NetPumpOptions options)
   // (unlikely) pipe failure the pump still works — cross-thread wakes then
   // ride on the caller's poll timeout.
   (void)EnsureWakePipe();
+  // A networked service answers TRACE?, so traced/slow sessions must be
+  // retained even when --trace-slow never armed the tracer's stderr dump.
+  service_->tracer().EnableCapture(service_->options().trace_ring_capacity);
 }
 
 NetPump::~NetPump() {
@@ -211,6 +215,18 @@ void NetPump::CollectResults() {
   }
 }
 
+void NetPump::SendAdminReply(Connection* conn, const char* label,
+                             const std::string& text) {
+  Channel::Message reply{Party::kAlice,
+                         std::vector<uint8_t>(text.begin(), text.end()),
+                         label};
+  ByteWriter writer;
+  WriteMessageFrame(reply, &writer);
+  const std::vector<uint8_t>& bytes = writer.bytes();
+  conn->outbuf.insert(conn->outbuf.end(), bytes.begin(), bytes.end());
+  ++stats_.frames_out;
+}
+
 void NetPump::HandleStatQuery(Connection* conn) {
   ++pump_metrics_.stat_requests;
   std::string text;
@@ -219,20 +235,27 @@ void NetPump::HandleStatQuery(Connection* conn) {
   } else {
     // Default: this pump's own shard. The pump thread is the service's
     // driving thread, so the LIVE metric blocks are safe to read here and
-    // fresher than any published snapshot.
+    // fresher than any published snapshot. Rate lines ride LAST — the v2
+    // suffix a v1 parser never reaches (see obs/export.h version rule).
     obs::ExpositionWriter writer;
     AppendServiceExposition(service_->metrics(), service_->stats(), &writer);
     obs::AppendPumpMetrics(pump_metrics_, writer);
+    obs::AppendRates(service_->CurrentRates(), writer);
     text = writer.Take();
   }
-  Channel::Message reply{Party::kAlice,
-                         std::vector<uint8_t>(text.begin(), text.end()),
-                         kStatReplyLabel};
-  ByteWriter writer;
-  WriteMessageFrame(reply, &writer);
-  const std::vector<uint8_t>& bytes = writer.bytes();
-  conn->outbuf.insert(conn->outbuf.end(), bytes.begin(), bytes.end());
-  ++stats_.frames_out;
+  SendAdminReply(conn, kStatReplyLabel, text);
+}
+
+void NetPump::HandleTraceQuery(Connection* conn) {
+  ++pump_metrics_.trace_requests;
+  std::string text;
+  if (trace_exposition_) {
+    text = trace_exposition_();
+  } else {
+    text = obs::FormatTraceExposition(service_->tracer().SnapshotCompleted(),
+                                      "server");
+  }
+  SendAdminReply(conn, kTraceReplyLabel, text);
 }
 
 void NetPump::HandleFrame(Connection* conn, Channel::Message message) {
@@ -241,6 +264,10 @@ void NetPump::HandleFrame(Connection* conn, Channel::Message message) {
     // Admin traffic: answered inline, invisible to the session layer (no
     // pre-hello budget, no flood gate, never delivered to a transcript).
     HandleStatQuery(conn);
+    return;
+  }
+  if (IsTraceQueryMessage(message)) {
+    HandleTraceQuery(conn);
     return;
   }
   if (conn->session_id == 0) {
@@ -269,6 +296,9 @@ void NetPump::HandleFrame(Connection* conn, Channel::Message message) {
     spec.params = hello.value().params;
     spec.alice = std::move(set);
     spec.known_d = hello.value().known_d;
+    // Trace context from a v3 hello: the service tags its spans with the
+    // client's id so both halves of the session merge into one timeline.
+    spec.trace_id = hello.value().trace_id;
     spec.mirror = std::make_shared<Endpoint>(std::move(server_end));
     conn->mirror_peer = std::make_shared<Endpoint>(std::move(client_end));
     conn->session_id = service_->Submit(std::move(spec));

@@ -124,6 +124,13 @@ class NetPump {
     stat_exposition_ = std::move(hook);
   }
 
+  /// Overrides the text returned to a "TRACE?" admin frame. Default: this
+  /// pump's own service tracer, formatted as `# setrec-trace v1` text; a
+  /// multi-pump installs a merged-across-shards builder. Pump thread.
+  void set_trace_exposition(std::function<std::string()> hook) {
+    trace_exposition_ = std::move(hook);
+  }
+
   /// Results drained from the service while pumping, in completion order
   /// (includes any non-remote sessions the shared service finished).
   std::vector<SessionResult> TakeResults();
@@ -135,6 +142,10 @@ class NetPump {
   void HandleReadable(Connection* conn);
   void HandleFrame(Connection* conn, Channel::Message message);
   void HandleStatQuery(Connection* conn);
+  void HandleTraceQuery(Connection* conn);
+  /// Serializes an admin reply frame into `conn`'s outbuf.
+  void SendAdminReply(Connection* conn, const char* label,
+                      const std::string& text);
   void MaybePublishPumpMetrics();
   void DrainMirror(Connection* conn);
   void FlushWrites(Connection* conn);
@@ -172,6 +183,7 @@ class NetPump {
   mutable std::mutex published_mu_;
   obs::PumpMetrics published_metrics_;
   std::function<std::string()> stat_exposition_;
+  std::function<std::string()> trace_exposition_;
 };
 
 }  // namespace setrec

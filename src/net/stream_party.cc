@@ -13,6 +13,9 @@
 
 #include "core/build_context.h"
 #include "core/task.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/trace_text.h"
 #include "transport/endpoint.h"
 #include "util/serialization.h"
 
@@ -70,10 +73,13 @@ Status WriteAll(int fd, const uint8_t* data, size_t n) {
 }
 
 /// The client-side context: inline semantics (this thread runs exactly one
-/// party), with every local send framed straight onto the stream.
+/// party), with every local send framed straight onto the stream. With a
+/// tracer attached, each blocking frame write becomes a send-wait span.
 class StreamPartyContext final : public InlineContext {
  public:
-  StreamPartyContext(int fd, Party local) : fd_(fd), local_(local) {}
+  StreamPartyContext(int fd, Party local, obs::SessionTracer* tracer,
+                     uint64_t trace_id)
+      : fd_(fd), local_(local), tracer_(tracer), trace_id_(trace_id) {}
 
   const Status& write_status() const { return write_status_; }
 
@@ -82,16 +88,60 @@ class StreamPartyContext final : public InlineContext {
     if (message.from == local_ && write_status_.ok()) {
       ByteWriter writer;
       WriteMessageFrame(message, &writer);
+      Record(obs::TracePhase::kSendWait, /*enter=*/true);
       write_status_ = WriteAll(fd_, writer.bytes().data(), writer.size());
+      Record(obs::TracePhase::kSendWait, /*enter=*/false);
     }
     ProtocolContext::OnSend(channel, index);
+  }
+
+  /// Client spans key on the trace id (the client has no session ids).
+  void Record(obs::TracePhase phase, bool enter) {
+    if (tracer_ != nullptr && tracer_->armed()) {
+      tracer_->Record(trace_id_, phase, enter, obs::NowNanos(), trace_id_);
+    }
   }
 
  private:
   int fd_;
   Party local_;
+  obs::SessionTracer* tracer_;
+  uint64_t trace_id_;
   Status write_status_;
 };
+
+/// Admin replies are operator text, not protocol tables: cap the frame at
+/// a size no honest exposition approaches, so a confused or malicious
+/// peer cannot make a one-shot CLI buffer gigabytes (FrameDecoder fails
+/// the oversized frame and the query returns kParseError).
+constexpr size_t kMaxAdminReplyBytes = 4u << 20;
+
+Result<std::string> QueryAdminOverFd(int fd, const Channel::Message& query,
+                                     const char* reply_label) {
+  if (Status s = WriteFrameToFd(fd, query); !s.ok()) return s;
+  FrameDecoder decoder(kMaxAdminReplyBytes);
+  std::vector<uint8_t> buf(64u << 10);
+  for (;;) {
+    ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n == 0) return Unavailable("peer closed before the admin reply");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable(std::string("read: ") + strerror(errno));
+    }
+    decoder.Feed(buf.data(), static_cast<size_t>(n));
+    Channel::Message message;
+    while (decoder.Next(&message)) {
+      if (message.label == reply_label) {
+        return std::string(message.payload.begin(), message.payload.end());
+      }
+      // Any other frame on an admin query is a peer bug.
+      return ParseError("unexpected frame while awaiting admin reply");
+    }
+    if (decoder.failed()) {
+      return ParseError("oversized or malformed admin reply frame");
+    }
+  }
+}
 
 }  // namespace
 
@@ -106,45 +156,55 @@ Status SendHello(int fd, const HelloSpec& spec) {
 }
 
 Result<std::string> QueryStatsOverFd(int fd) {
-  if (Status s = WriteFrameToFd(fd, MakeStatQueryMessage()); !s.ok()) {
-    return s;
+  Result<std::string> text =
+      QueryAdminOverFd(fd, MakeStatQueryMessage(), kStatReplyLabel);
+  if (!text.ok()) return text;
+  // Fail closed on a version this client cannot claim to understand: a
+  // v3+ server may have changed line semantics anywhere, so "parse the
+  // prefix and hope" is not an option (see obs/export.h version rule).
+  if (!obs::ValidMetricsExpositionHeader(text.value())) {
+    return ParseError("unsupported metrics exposition version");
   }
-  FrameDecoder decoder;
-  std::vector<uint8_t> buf(64u << 10);
-  for (;;) {
-    ssize_t n = ::read(fd, buf.data(), buf.size());
-    if (n == 0) return Unavailable("peer closed before the STAT reply");
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Unavailable(std::string("read: ") + strerror(errno));
-    }
-    decoder.Feed(buf.data(), static_cast<size_t>(n));
-    Channel::Message message;
-    while (decoder.Next(&message)) {
-      if (IsStatReplyMessage(message)) {
-        return std::string(message.payload.begin(), message.payload.end());
-      }
-      // Any other frame on an admin query is a peer bug.
-      return ParseError("unexpected frame while awaiting STAT reply");
-    }
-    if (decoder.failed()) return ParseError("malformed STAT reply frame");
+  return text;
+}
+
+Result<std::string> QueryTracesOverFd(int fd) {
+  Result<std::string> text =
+      QueryAdminOverFd(fd, MakeTraceQueryMessage(), kTraceReplyLabel);
+  if (!text.ok()) return text;
+  if (text.value().rfind(obs::kTraceTextVersionLine, 0) != 0) {
+    return ParseError("unsupported trace exposition version");
   }
+  return text;
 }
 
 Result<SsrOutcome> RunBobHalfOverFd(const SetsOfSetsProtocol& protocol,
                                     const SetOfSets& bob,
                                     std::optional<size_t> known_d, int fd,
-                                    Channel* channel) {
-  StreamPartyContext ctx(fd, Party::kBob);
+                                    Channel* channel,
+                                    obs::SessionTracer* tracer,
+                                    uint64_t trace_id) {
+  StreamPartyContext ctx(fd, Party::kBob, tracer, trace_id);
+  // The compute span opens before the coroutine frame is built: frame
+  // allocation is part of the client's local work, not network waiting.
+  ctx.Record(obs::TracePhase::kCompute, /*enter=*/true);
   Task<Result<SsrOutcome>> task =
       protocol.ReconcileAsyncBob(bob, known_d, channel, &ctx);
   task.Start();
+  ctx.Record(obs::TracePhase::kCompute, /*enter=*/false);
   // The half runs until it parks on a peer message; we then block on the
   // stream, decode arriving frames into the transcript, and pump the
   // parked receive. Strict ping-pong means exactly one side has the turn,
   // so blocking reads cannot deadlock against a live server.
+  //
+  // Each recv-wait span opens at the instant the preceding compute span
+  // closes (one span per server turn, however many reads it takes), so a
+  // preemption at the turn boundary lands inside a span instead of in an
+  // instrumentation gap — the merged timeline's coverage measures real
+  // untraced work, not scheduler luck.
   FrameDecoder decoder;
   std::vector<uint8_t> buf(64u << 10);
+  if (!task.Done()) ctx.Record(obs::TracePhase::kRecvWait, /*enter=*/true);
   while (!task.Done()) {
     if (!ctx.write_status().ok()) {
       ctx.CancelReceives();
@@ -172,7 +232,13 @@ Result<SsrOutcome> RunBobHalfOverFd(const SetsOfSetsProtocol& protocol,
       ctx.CancelReceives();
       return ParseError("malformed frame from peer");
     }
-    if (delivered) ctx.PumpReceives();
+    if (delivered) {
+      ctx.Record(obs::TracePhase::kRecvWait, /*enter=*/false);
+      ctx.Record(obs::TracePhase::kCompute, /*enter=*/true);
+      ctx.PumpReceives();
+      ctx.Record(obs::TracePhase::kCompute, /*enter=*/false);
+      if (!task.Done()) ctx.Record(obs::TracePhase::kRecvWait, /*enter=*/true);
+    }
   }
   // The final send (typically Bob's ok verdict) may have failed after the
   // task completed; success must mean the peer actually got it.

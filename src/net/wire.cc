@@ -10,16 +10,20 @@ namespace setrec {
 
 namespace {
 // Version 1: fields through estimate_slack, implicitly dense tables.
-// Version 2: version 1 fields + one trailing wire-codec byte. We always
-// emit v2; both versions are accepted so pre-codec clients (and recorded
-// v1 transcripts) interoperate — a v1 hello IS the dense negotiation.
+// Version 2: version 1 fields + one trailing wire-codec byte.
+// Version 3: version 2 fields + one trailing u64 trace id (must be
+// nonzero — "absent ⇒ untraced" stays unambiguous). Untraced clients
+// emit v2, byte-identical to a pre-trace client; traced clients emit v3.
+// All three versions are accepted so pre-codec clients (and recorded v1
+// transcripts) interoperate — a v1 hello IS the dense negotiation.
 constexpr uint8_t kHelloVersionLegacy = 1;
 constexpr uint8_t kHelloVersion = 2;
+constexpr uint8_t kHelloVersionTraced = 3;
 }
 
 Channel::Message MakeHelloMessage(const HelloSpec& spec) {
   ByteWriter writer;
-  writer.PutU8(kHelloVersion);
+  writer.PutU8(spec.trace_id != 0 ? kHelloVersionTraced : kHelloVersion);
   writer.PutU8(static_cast<uint8_t>(spec.protocol));
   writer.PutVarint(spec.set_id);
   writer.PutU8(spec.known_d.has_value() ? 1 : 0);
@@ -31,6 +35,7 @@ Channel::Message MakeHelloMessage(const HelloSpec& spec) {
   writer.PutVarint(static_cast<uint64_t>(spec.params.max_attempts));
   writer.PutU64(std::bit_cast<uint64_t>(spec.params.estimate_slack));
   writer.PutU8(static_cast<uint8_t>(spec.params.wire_codec));
+  if (spec.trace_id != 0) writer.PutU64(spec.trace_id);
   return Channel::Message{Party::kBob, writer.Take(), kHelloLabel};
 }
 
@@ -39,7 +44,8 @@ Result<HelloSpec> ParseHelloMessage(const Channel::Message& m) {
   ByteReader reader(m.payload);
   uint8_t version = 0, protocol = 0, has_d = 0;
   if (!reader.GetU8(&version) ||
-      (version != kHelloVersionLegacy && version != kHelloVersion)) {
+      (version != kHelloVersionLegacy && version != kHelloVersion &&
+       version != kHelloVersionTraced)) {
     return ParseError("hello: unsupported version");
   }
   if (!reader.GetU8(&protocol) || protocol >= kSsrProtocolKindCount) {
@@ -59,8 +65,14 @@ Result<HelloSpec> ParseHelloMessage(const Channel::Message& m) {
       (version >= kHelloVersion &&
        (!reader.GetU8(&codec) ||
         codec > static_cast<uint8_t>(WireCodec::kSparse))) ||
+      (version >= kHelloVersionTraced && !reader.GetU64(&spec.trace_id)) ||
       !reader.empty()) {
     return ParseError("hello: truncated or trailing bytes");
+  }
+  // A v3 hello exists only to carry a trace id; zero would make "absent ⇒
+  // untraced" ambiguous, so it is malformed rather than meaning v2.
+  if (version >= kHelloVersionTraced && spec.trace_id == 0) {
+    return ParseError("hello: zero trace id on a traced hello");
   }
   spec.params.wire_codec = static_cast<WireCodec>(codec);
   // Bound the client-supplied sizes: they shape server-side IBLT sizes
@@ -95,6 +107,10 @@ Result<HelloSpec> ParseHelloMessage(const Channel::Message& m) {
 
 Channel::Message MakeStatQueryMessage() {
   return Channel::Message{Party::kBob, {}, kStatQueryLabel};
+}
+
+Channel::Message MakeTraceQueryMessage() {
+  return Channel::Message{Party::kBob, {}, kTraceQueryLabel};
 }
 
 }  // namespace setrec

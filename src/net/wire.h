@@ -21,6 +21,12 @@ struct HelloSpec {
   uint64_t set_id = 0;
   SsrParams params;
   std::optional<size_t> known_d;
+  /// Client-generated trace context. 0 = untraced, and the hello is
+  /// emitted as v2 — identical bytes to a pre-trace client, so trace
+  /// support costs untraced peers nothing. Nonzero ids ride a v3 hello;
+  /// the server tags its spans with the id so both halves of the session
+  /// merge into one timeline (docs/OBSERVABILITY.md).
+  uint64_t trace_id = 0;
 };
 
 inline constexpr const char kHelloLabel[] = "hello";
@@ -53,6 +59,23 @@ inline bool IsStatQueryMessage(const Channel::Message& m) {
 }
 inline bool IsStatReplyMessage(const Channel::Message& m) {
   return m.label == kStatReplyLabel;
+}
+
+/// Second admin frame: "TRACE?" asks for the server's recently completed
+/// session traces (traced sessions and slow ones); the reply is a "TRACE"
+/// frame whose payload is the `# setrec-trace v1` text exposition
+/// (obs/trace_text.h). Same admin-frame rules as STAT?.
+inline constexpr const char kTraceQueryLabel[] = "TRACE?";
+inline constexpr const char kTraceReplyLabel[] = "TRACE";
+
+/// Encodes a trace query frame (label "TRACE?", sender Bob, empty payload).
+Channel::Message MakeTraceQueryMessage();
+
+inline bool IsTraceQueryMessage(const Channel::Message& m) {
+  return m.label == kTraceQueryLabel;
+}
+inline bool IsTraceReplyMessage(const Channel::Message& m) {
+  return m.label == kTraceReplyLabel;
 }
 
 }  // namespace setrec

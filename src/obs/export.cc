@@ -1,16 +1,29 @@
 #include "obs/export.h"
 
+#include <cstdio>
+
 namespace setrec::obs {
 
 namespace {
 
-constexpr char kVersionLine[] = "# setrec-metrics v1\n";
+constexpr char kVersionLine[] = "# setrec-metrics v2\n";
 
 void AppendU64(std::string* out, uint64_t v) {
   out->append(std::to_string(v));
 }
 
 }  // namespace
+
+bool ValidMetricsExpositionHeader(std::string_view text) {
+  // v1 is accepted for old servers; v2 is what this build emits. The
+  // version token must end the line — "v21" is not a known version.
+  for (std::string_view known : {"# setrec-metrics v1", "# setrec-metrics v2"}) {
+    if (text.size() < known.size()) continue;
+    if (text.substr(0, known.size()) != known) continue;
+    if (text.size() == known.size() || text[known.size()] == '\n') return true;
+  }
+  return false;
+}
 
 ExpositionWriter::ExpositionWriter() : out_(kVersionLine) {}
 
@@ -60,6 +73,15 @@ void ExpositionWriter::Histogram(std::string_view name,
   out_.push_back('\n');
 }
 
+void ExpositionWriter::Rate(std::string_view name, std::string_view labels,
+                            double value) {
+  Head("rate", name, labels);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  out_.append(buf);
+  out_.push_back('\n');
+}
+
 void AppendRegistry(const MetricRegistry& reg,
                     const char* const kind_names[kProtocolKinds],
                     const char* const codec_names[kWireCodecs],
@@ -101,6 +123,15 @@ void AppendPumpMetrics(const PumpMetrics& pm, ExpositionWriter& w) {
   w.Counter("setrec_pump_frame_decode_failures", "",
             pm.frame_decode_failures);
   w.Counter("setrec_pump_stat_requests", "", pm.stat_requests);
+  w.Counter("setrec_pump_trace_requests", "", pm.trace_requests);
+}
+
+void AppendRates(const RateRing::Rates& rates, ExpositionWriter& w) {
+  w.Rate("setrec_sessions_per_sec", "", rates.sessions_per_sec);
+  w.Rate("setrec_bytes_per_sec", "", rates.bytes_per_sec);
+  w.Rate("setrec_decode_failures_per_min", "", rates.decode_failures_per_min);
+  w.Rate("setrec_rate_window_seconds", "",
+         static_cast<double>(rates.span_ns) / 1e9);
 }
 
 }  // namespace setrec::obs

@@ -11,14 +11,21 @@ namespace setrec::obs {
 /// Builds the versioned text exposition served by the `STAT?` admin frame
 /// and the --stats-every dump. Line-oriented, machine-greppable:
 ///
-///   # setrec-metrics v1
+///   # setrec-metrics v2
 ///   counter <name>{<labels>} <value>
 ///   gauge <name>{<labels>} <value>
 ///   histogram <name>{<labels>} count=N sum=S max=M p50=V p90=V p99=V p999=V
+///   rate <name>{<labels>} <value>            (v2 and later)
 ///
 /// Labels are a comma-separated key="value" list and may be empty ({}).
 /// Histogram values are in the unit named by the metric suffix (_ns, _keys,
-/// _bytes). The version line is first; parsers must reject other versions.
+/// _bytes). The version line is first; parsers must reject versions they do
+/// not know (ValidMetricsExpositionHeader).
+///
+/// Version rule: a vN+1 exposition only APPENDS line types after the lines
+/// a vN parser understands — v2 is the v1 text plus trailing `rate` lines —
+/// so a v1 consumer keeps working on the shared prefix. Producers must keep
+/// emitting new line types last.
 class ExpositionWriter {
  public:
   ExpositionWriter();
@@ -28,6 +35,8 @@ class ExpositionWriter {
   void Gauge(std::string_view name, std::string_view labels, uint64_t value);
   void Histogram(std::string_view name, std::string_view labels,
                  const LatencyHistogram& h);
+  /// v2: a derived per-time rate, rendered with three decimals.
+  void Rate(std::string_view name, std::string_view labels, double value);
 
   const std::string& text() const { return out_; }
   std::string Take() { return std::move(out_); }
@@ -37,6 +46,10 @@ class ExpositionWriter {
             std::string_view labels);
   std::string out_;
 };
+
+/// True iff `text` starts with a metrics version line this build can parse
+/// (v1 or v2). Consumers of STAT? replies fail closed on anything else.
+bool ValidMetricsExpositionHeader(std::string_view text);
 
 /// Appends every histogram/counter of a (merged) service-layer registry.
 /// `kind_names`/`codec_names` label the protocol x codec axes — the caller
@@ -48,6 +61,10 @@ void AppendRegistry(const MetricRegistry& reg,
 
 /// Appends a (merged) net-layer pump metric block.
 void AppendPumpMetrics(const PumpMetrics& pm, ExpositionWriter& w);
+
+/// Appends the windowed rates. These are `rate` lines — v2 vocabulary — so
+/// per the version rule they must be the LAST block appended.
+void AppendRates(const RateRing::Rates& rates, ExpositionWriter& w);
 
 }  // namespace setrec::obs
 

@@ -62,8 +62,70 @@ void PumpMetrics::Merge(const PumpMetrics& other) {
   }
   frame_decode_failures += other.frame_decode_failures;
   stat_requests += other.stat_requests;
+  trace_requests += other.trace_requests;
 }
 
 void PumpMetrics::Reset() { *this = PumpMetrics{}; }
+
+void RateRing::Advance(uint64_t now_ns, const Sample& cumulative) {
+  if (window_start_ns_ == 0) {
+    // First observation: start the open window here. (A zero clock is
+    // nudged so "unstarted" stays unambiguous.)
+    window_start_ns_ = now_ns != 0 ? now_ns : 1;
+    last_now_ns_ = window_start_ns_;
+    baseline_ = cumulative;
+    current_ = cumulative;
+    return;
+  }
+  current_ = cumulative;
+  if (now_ns > last_now_ns_) last_now_ns_ = now_ns;
+  if (now_ns <= window_start_ns_) return;
+  uint64_t pending = (now_ns - window_start_ns_) / kWindowNs;
+  if (pending > kWindows) {
+    // Idle gap longer than the whole ring: every retained window will be
+    // overwritten anyway, so skip ahead instead of looping.
+    window_start_ns_ += (pending - kWindows) * kWindowNs;
+    pending = kWindows;
+  }
+  for (uint64_t i = 0; i < pending; ++i) {
+    // The first closed window absorbs the full delta since its baseline
+    // (coarse attribution when Advance runs less than once per window);
+    // the rest close empty. Totals — and therefore rates — stay exact.
+    Window w;
+    w.sessions = current_.sessions - baseline_.sessions;
+    w.bytes = current_.bytes - baseline_.bytes;
+    w.decode_failures = current_.decode_failures - baseline_.decode_failures;
+    closed_[next_] = w;
+    next_ = (next_ + 1) % kWindows;
+    if (count_ < kWindows) ++count_;
+    baseline_ = current_;
+    window_start_ns_ += kWindowNs;
+  }
+}
+
+RateRing::Rates RateRing::SnapshotAt(uint64_t now_ns) const {
+  Rates r;
+  if (window_start_ns_ == 0) return r;
+  uint64_t sessions = current_.sessions - baseline_.sessions;
+  uint64_t bytes = current_.bytes - baseline_.bytes;
+  uint64_t failures = current_.decode_failures - baseline_.decode_failures;
+  for (size_t i = 0; i < count_; ++i) {
+    sessions += closed_[i].sessions;
+    bytes += closed_[i].bytes;
+    failures += closed_[i].decode_failures;
+  }
+  uint64_t open_age =
+      now_ns > window_start_ns_ ? now_ns - window_start_ns_ : 0;
+  if (open_age > kWindows * kWindowNs) open_age = kWindows * kWindowNs;
+  const uint64_t span =
+      static_cast<uint64_t>(count_) * kWindowNs + open_age;
+  r.span_ns = span;
+  if (span == 0) return r;
+  const double per_sec = 1e9 / static_cast<double>(span);
+  r.sessions_per_sec = static_cast<double>(sessions) * per_sec;
+  r.bytes_per_sec = static_cast<double>(bytes) * per_sec;
+  r.decode_failures_per_min = static_cast<double>(failures) * per_sec * 60.0;
+  return r;
+}
 
 }  // namespace setrec::obs

@@ -123,9 +123,75 @@ struct PumpMetrics {
   size_t outbuf_high_watermark = 0;
   size_t frame_decode_failures = 0;
   size_t stat_requests = 0;
+  size_t trace_requests = 0;
 
   void Merge(const PumpMetrics& other);
   void Reset();
+};
+
+/// Windowed time series over a shard's cumulative counters: a small ring of
+/// delta-encoded 1-second windows (60 by default ≈ one minute of history),
+/// from which derived rates (sessions/sec, bytes/sec, decode-failures/min)
+/// fall out without ever storing per-event data. Same single-writer
+/// discipline as the registry: the driver Advances it against its live
+/// counters; foreign readers get the published copy (plain arrays, so the
+/// snapshot is a memcpy) and compute rates at their own read time.
+class RateRing {
+ public:
+  static constexpr size_t kWindows = 60;
+  static constexpr uint64_t kWindowNs = 1'000'000'000;
+
+  /// Cumulative counter values at one instant (monotone non-decreasing).
+  struct Sample {
+    uint64_t sessions = 0;
+    uint64_t bytes = 0;
+    uint64_t decode_failures = 0;
+  };
+
+  /// Derived rates over the ring's retained span. Accumulate sums rates
+  /// across shards (each shard's traffic is disjoint).
+  struct Rates {
+    double sessions_per_sec = 0.0;
+    double bytes_per_sec = 0.0;
+    double decode_failures_per_min = 0.0;
+    uint64_t span_ns = 0;  ///< Time the rates are averaged over.
+
+    void Accumulate(const Rates& other) {
+      sessions_per_sec += other.sessions_per_sec;
+      bytes_per_sec += other.bytes_per_sec;
+      decode_failures_per_min += other.decode_failures_per_min;
+      if (other.span_ns > span_ns) span_ns = other.span_ns;
+    }
+  };
+
+  /// Folds the current counter values in at `now_ns`, closing any windows
+  /// the clock has passed. The first call sets the baseline. Owner thread
+  /// only; allocation-free.
+  void Advance(uint64_t now_ns, const Sample& cumulative);
+
+  /// Rates over everything the ring retains, with the open window's age
+  /// measured against `now_ns` (so an idle ring decays toward zero as
+  /// time passes without traffic). Zero rates before two distinct
+  /// instants have been observed.
+  Rates SnapshotAt(uint64_t now_ns) const;
+  Rates Snapshot() const { return SnapshotAt(last_now_ns_); }
+
+  uint64_t last_advance_ns() const { return last_now_ns_; }
+
+ private:
+  struct Window {
+    uint64_t sessions = 0;
+    uint64_t bytes = 0;
+    uint64_t decode_failures = 0;
+  };
+
+  Window closed_[kWindows] = {};  ///< Ring of closed per-window deltas.
+  size_t next_ = 0;               ///< Next closed_ slot to overwrite.
+  size_t count_ = 0;              ///< Closed windows retained (<= kWindows).
+  uint64_t window_start_ns_ = 0;  ///< Open window's start; 0 = unstarted.
+  uint64_t last_now_ns_ = 0;
+  Sample baseline_ = {};          ///< Counter values at the open window start.
+  Sample current_ = {};           ///< Latest counter values seen.
 };
 
 }  // namespace setrec::obs

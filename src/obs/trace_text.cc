@@ -1,0 +1,266 @@
+#include "obs/trace_text.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <utility>
+
+namespace setrec::obs {
+namespace {
+
+bool ParseU64(std::string_view s, uint64_t* out, int base = 10) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const std::from_chars_result r = std::from_chars(first, last, value, base);
+  if (r.ec != std::errc() || r.ptr != last) return false;
+  *out = value;
+  return true;
+}
+
+std::string_view NextLine(std::string_view* rest) {
+  const size_t nl = rest->find('\n');
+  std::string_view line;
+  if (nl == std::string_view::npos) {
+    line = *rest;
+    *rest = {};
+  } else {
+    line = rest->substr(0, nl);
+    *rest = rest->substr(nl + 1);
+  }
+  return line;
+}
+
+}  // namespace
+
+std::string FormatTraceExposition(const std::vector<CompletedTrace>& traces,
+                                  std::string_view side) {
+  std::string out = kTraceTextVersionLine;
+  out += '\n';
+  char buf[160];
+  for (const CompletedTrace& trace : traces) {
+    std::snprintf(buf, sizeof(buf),
+                  "trace id=%016llx session=%llu side=%.*s latency_ns=%llu "
+                  "slow=%d label=",
+                  static_cast<unsigned long long>(trace.trace_id),
+                  static_cast<unsigned long long>(trace.session_id),
+                  static_cast<int>(side.size()), side.data(),
+                  static_cast<unsigned long long>(trace.latency_ns),
+                  trace.slow ? 1 : 0);
+    out += buf;
+    out += trace.label;
+    out += '\n';
+    for (const CompletedTraceEvent& ev : trace.events) {
+      std::snprintf(buf, sizeof(buf), "event %s %s %llu\n",
+                    TracePhaseName(ev.phase), ev.enter ? "enter" : "exit",
+                    static_cast<unsigned long long>(ev.ns));
+      out += buf;
+    }
+    out += "end\n";
+  }
+  return out;
+}
+
+bool TracePhaseFromName(std::string_view name, TracePhase* out) {
+  for (int i = 0; i < kTracePhaseCount; ++i) {
+    const TracePhase phase = static_cast<TracePhase>(i);
+    if (name == TracePhaseName(phase)) {
+      *out = phase;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseTraceExposition(std::string_view text,
+                          std::vector<ParsedTrace>* out) {
+  std::string_view rest = text;
+  if (NextLine(&rest) != kTraceTextVersionLine) return false;
+  ParsedTrace current;
+  bool in_trace = false;
+  while (!rest.empty()) {
+    std::string_view line = NextLine(&rest);
+    if (line.empty()) continue;
+    if (line.rfind("trace ", 0) == 0) {
+      if (in_trace) out->push_back(std::move(current));
+      current = ParsedTrace{};
+      in_trace = true;
+      std::string_view fields = line.substr(6);
+      // `label=` consumes the rest of the line (labels may hold spaces);
+      // everything before it is space-separated key=value pairs.
+      const size_t label_at = fields.find("label=");
+      if (label_at != std::string_view::npos) {
+        current.label = std::string(fields.substr(label_at + 6));
+        fields = fields.substr(0, label_at);
+      }
+      while (!fields.empty()) {
+        const size_t sp = fields.find(' ');
+        std::string_view token = sp == std::string_view::npos
+                                     ? fields
+                                     : fields.substr(0, sp);
+        fields = sp == std::string_view::npos ? std::string_view{}
+                                              : fields.substr(sp + 1);
+        const size_t eq = token.find('=');
+        if (eq == std::string_view::npos) continue;
+        const std::string_view key = token.substr(0, eq);
+        const std::string_view value = token.substr(eq + 1);
+        if (key == "id") {
+          if (!ParseU64(value, &current.trace_id, 16)) return false;
+        } else if (key == "session") {
+          if (!ParseU64(value, &current.session_id)) return false;
+        } else if (key == "latency_ns") {
+          if (!ParseU64(value, &current.latency_ns)) return false;
+        } else if (key == "slow") {
+          current.slow = value == "1";
+        } else if (key == "side") {
+          current.side = std::string(value);
+        }
+        // Unknown keys: skipped, so new fields don't break old readers.
+      }
+    } else if (line.rfind("event ", 0) == 0) {
+      if (!in_trace) return false;
+      std::string_view fields = line.substr(6);
+      const size_t sp1 = fields.find(' ');
+      if (sp1 == std::string_view::npos) return false;
+      const size_t sp2 = fields.find(' ', sp1 + 1);
+      if (sp2 == std::string_view::npos) return false;
+      const std::string_view name = fields.substr(0, sp1);
+      const std::string_view dir = fields.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::string_view ns_text = fields.substr(sp2 + 1);
+      CompletedTraceEvent ev;
+      if (dir == "enter") {
+        ev.enter = true;
+      } else if (dir == "exit") {
+        ev.enter = false;
+      } else {
+        return false;
+      }
+      if (!ParseU64(ns_text, &ev.ns)) return false;
+      // Unknown phase names are skipped (a newer peer may trace phases
+      // this build does not know), but the line shape must still parse.
+      if (TracePhaseFromName(name, &ev.phase)) {
+        current.events.push_back(ev);
+      }
+    } else if (line == "end") {
+      if (!in_trace) return false;
+      out->push_back(std::move(current));
+      current = ParsedTrace{};
+      in_trace = false;
+    }
+    // Unknown line types: skipped for forward compatibility.
+  }
+  if (in_trace) out->push_back(std::move(current));
+  return true;
+}
+
+MergedTimeline MergeTraceTimelines(const ParsedTrace& client,
+                                   const ParsedTrace* server) {
+  MergedTimeline out;
+  uint64_t s_enter = 0;
+  uint64_t s_exit = 0;
+  uint64_t hello_exit = 0;
+  bool have_enter = false;
+  for (const CompletedTraceEvent& ev : client.events) {
+    if (ev.phase == TracePhase::kSession) {
+      if (ev.enter && !have_enter) {
+        s_enter = ev.ns;
+        have_enter = true;
+      }
+      if (!ev.enter) s_exit = ev.ns;
+    } else if (ev.phase == TracePhase::kHello && !ev.enter) {
+      hello_exit = ev.ns;
+    }
+  }
+  if (!have_enter || s_exit <= s_enter) {
+    out.text = "merged trace: client session span missing\n";
+    return out;
+  }
+  const uint64_t wall = s_exit - s_enter;
+
+  // Coverage: union length of the client's non-session spans, clipped to
+  // the session window. The client spans tile the wall clock by design
+  // (connect/hello/send-wait/recv-wait/compute); what they miss is
+  // unaccounted time the trace cannot explain.
+  std::vector<std::pair<uint64_t, uint64_t>> spans;
+  uint64_t open_ns[kTracePhaseCount] = {};
+  bool open[kTracePhaseCount] = {};
+  for (const CompletedTraceEvent& ev : client.events) {
+    if (ev.phase == TracePhase::kSession) continue;
+    const int p = static_cast<int>(ev.phase);
+    if (ev.enter) {
+      open_ns[p] = ev.ns;
+      open[p] = true;
+    } else if (open[p]) {
+      const uint64_t lo = std::max(open_ns[p], s_enter);
+      const uint64_t hi = std::min(ev.ns, s_exit);
+      if (hi > lo) spans.emplace_back(lo, hi);
+      open[p] = false;
+    }
+  }
+  std::sort(spans.begin(), spans.end());
+  uint64_t covered = 0;
+  uint64_t cursor = 0;
+  for (const auto& [lo, hi] : spans) {
+    const uint64_t from = std::max(lo, cursor);
+    if (hi > from) covered += hi - from;
+    cursor = std::max(cursor, hi);
+  }
+  out.coverage = static_cast<double>(covered) / static_cast<double>(wall);
+
+  // Interleave both halves on one time axis. Same-host halves share
+  // CLOCK_MONOTONIC and line up directly; a server half whose timestamps
+  // fall far outside the client window is a foreign clock domain and is
+  // re-based onto the client's hello span (the first instant the server
+  // could have seen the session).
+  struct Line {
+    int64_t ns = 0;
+    bool server = false;
+    bool enter = false;
+    TracePhase phase = TracePhase::kSession;
+  };
+  std::vector<Line> lines;
+  for (const CompletedTraceEvent& ev : client.events) {
+    lines.push_back({static_cast<int64_t>(ev.ns) -
+                         static_cast<int64_t>(s_enter),
+                     false, ev.enter, ev.phase});
+  }
+  if (server != nullptr && !server->events.empty()) {
+    out.has_server = true;
+    const uint64_t srv_first = server->events.front().ns;
+    int64_t shift = -static_cast<int64_t>(s_enter);
+    const uint64_t slack = wall + 1'000'000'000;
+    const bool foreign_clock =
+        srv_first + slack < s_enter || srv_first > s_exit + slack;
+    if (foreign_clock) {
+      const uint64_t anchor = hello_exit != 0 ? hello_exit : s_enter;
+      shift = static_cast<int64_t>(anchor) - static_cast<int64_t>(srv_first) -
+              static_cast<int64_t>(s_enter);
+    }
+    for (const CompletedTraceEvent& ev : server->events) {
+      lines.push_back(
+          {static_cast<int64_t>(ev.ns) + shift, true, ev.enter, ev.phase});
+    }
+  }
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const Line& a, const Line& b) { return a.ns < b.ns; });
+
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "merged trace id=%016llx wall=%.3f ms spans cover %.1f%% "
+                "(%s)\n",
+                static_cast<unsigned long long>(client.trace_id),
+                static_cast<double>(wall) / 1e6, out.coverage * 100.0,
+                out.has_server ? "client+server" : "client only");
+  out.text = buf;
+  for (const Line& line : lines) {
+    std::snprintf(buf, sizeof(buf), "  %+10.3f ms  %-6s %c %s\n",
+                  static_cast<double>(line.ns) / 1e6,
+                  line.server ? "server" : "client", line.enter ? '>' : '<',
+                  TracePhaseName(line.phase));
+    out.text += buf;
+  }
+  return out;
+}
+
+}  // namespace setrec::obs

@@ -1,0 +1,70 @@
+#ifndef SETREC_OBS_TRACE_TEXT_H_
+#define SETREC_OBS_TRACE_TEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace setrec::obs {
+
+/// Text form of a tracer's completed traces — the TRACE? admin frame's
+/// payload and the merge tool's interchange format. Line-oriented:
+///
+///   # setrec-trace v1
+///   trace id=00000000075bcd15 session=42 side=server latency_ns=812345
+///       slow=0 label=iblt2/dense              (one line on the wire)
+///   event session enter 1000
+///   event recv-wait enter 1200
+///   event recv-wait exit 4200
+///   event session exit 5000
+///   end
+///
+/// Unknown `key=value` pairs on a `trace` line are skipped, so fields can
+/// be added without breaking old readers; an unknown version line fails
+/// closed. (The obs layer has no util/status dependency, hence bool.)
+inline constexpr char kTraceTextVersionLine[] = "# setrec-trace v1";
+
+std::string FormatTraceExposition(const std::vector<CompletedTrace>& traces,
+                                  std::string_view side);
+
+struct ParsedTrace {
+  uint64_t trace_id = 0;
+  uint64_t session_id = 0;
+  uint64_t latency_ns = 0;
+  bool slow = false;
+  std::string side;
+  std::string label;
+  std::vector<CompletedTraceEvent> events;
+};
+
+/// Strict version check, forward-compatible field skip. Returns false on
+/// an unknown version, a malformed event line, or an event outside a
+/// trace block; `out` holds every trace parsed before the failure.
+bool ParseTraceExposition(std::string_view text, std::vector<ParsedTrace>* out);
+
+/// Inverse of TracePhaseName. Returns false for unknown names.
+bool TracePhaseFromName(std::string_view name, TracePhase* out);
+
+/// One timeline from a traced session's two halves. `coverage` is the
+/// fraction of the client's session wall clock accounted for by its
+/// non-session spans (connect/hello/send/recv/compute) — the "where did
+/// the time go" number the acceptance gate checks.
+struct MergedTimeline {
+  std::string text;
+  double coverage = 0.0;
+  bool has_server = false;
+};
+
+/// Merges the client half with the server half (nullptr = client-only).
+/// Both halves on one host share CLOCK_MONOTONIC and interleave directly;
+/// a server whose timestamps fall outside the client's session window
+/// (different clock domain) is re-based onto the client's hello span.
+MergedTimeline MergeTraceTimelines(const ParsedTrace& client,
+                                   const ParsedTrace* server);
+
+}  // namespace setrec::obs
+
+#endif  // SETREC_OBS_TRACE_TEXT_H_

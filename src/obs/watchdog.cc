@@ -1,0 +1,73 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/clock.h"
+
+namespace setrec::obs {
+
+void StallWatchdog::Watch(Shard shard) {
+  shards_.push_back(std::move(shard));
+  dumped_at_beat_.push_back(0);
+}
+
+size_t StallWatchdog::CheckOnce(uint64_t now_ns, uint64_t stall_ns,
+                                std::FILE* out) {
+  size_t dumps = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = shards_[i];
+    const uint64_t beat =
+        shard.heartbeat != nullptr ? shard.heartbeat->last() : 0;
+    if (beat == 0) continue;  // Driver never started; nothing to judge.
+    if (now_ns < beat + stall_ns) {
+      dumped_at_beat_[i] = 0;  // Beating: re-arm the episode dump.
+      continue;
+    }
+    // Stale beat alone is just an idle shard; stale + queued work is a
+    // wedged driver.
+    if (!shard.queued_work || !shard.queued_work()) continue;
+    if (dumped_at_beat_[i] == beat) continue;  // Dumped this episode.
+    dumped_at_beat_[i] = beat;
+    std::fprintf(out,
+                 "[setrec-watchdog] shard %s stalled: no heartbeat for "
+                 "%.1f ms with queued work; tracer ring follows\n",
+                 shard.name.c_str(),
+                 static_cast<double>(now_ns - beat) / 1e6);
+    if (shard.tracer != nullptr) {
+      if (shard.tracer->DumpRing(out) == 0) {
+        std::fprintf(out, "  (tracer ring empty)\n");
+      }
+    }
+    ++dumps;
+    stall_dumps_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return dumps;
+}
+
+void StallWatchdog::Start(uint64_t stall_ns, uint64_t poll_ms,
+                          std::FILE* out) {
+  Stop();
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this, stall_ns, poll_ms, out] {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      // Chunked sleep so Stop() is prompt even with slow poll intervals.
+      uint64_t slept = 0;
+      while (slept < poll_ms && !stop_.load(std::memory_order_relaxed)) {
+        const uint64_t chunk = std::min<uint64_t>(poll_ms - slept, 20);
+        std::this_thread::sleep_for(std::chrono::milliseconds(chunk));
+        slept += chunk;
+      }
+      if (stop_.load(std::memory_order_relaxed)) break;
+      CheckOnce(NowNanos(), stall_ns, out);
+    }
+  });
+}
+
+void StallWatchdog::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace setrec::obs

@@ -1,0 +1,77 @@
+#ifndef SETREC_OBS_WATCHDOG_H_
+#define SETREC_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace setrec::obs {
+
+/// One relaxed-atomic timestamp a shard's driver stamps at the top of
+/// every Step. A foreign watchdog thread reads it; relaxed is enough —
+/// the watchdog tolerates any staleness below its threshold.
+struct Heartbeat {
+  std::atomic<uint64_t> last_beat_ns{0};
+
+  void Beat(uint64_t now_ns) {
+    last_beat_ns.store(now_ns, std::memory_order_relaxed);
+  }
+  uint64_t last() const { return last_beat_ns.load(std::memory_order_relaxed); }
+};
+
+/// Detects a driving thread that has stopped beating while work is queued
+/// for it — the "shard wedged with a full mailbox" failure the published
+/// metrics cannot show (they just go stale). On detection it dumps the
+/// shard's tracer ring (the last events the driver recorded before it
+/// stalled) once per stall episode; a fresh beat re-arms the dump.
+///
+/// Checks are driven either by the owner (CheckOnce with an explicit
+/// clock — deterministic, what the unit test uses) or by a background
+/// thread (Start/Stop).
+class StallWatchdog {
+ public:
+  struct Shard {
+    std::string name;
+    const Heartbeat* heartbeat = nullptr;
+    std::function<bool()> queued_work;     ///< Racy hint is fine.
+    const SessionTracer* tracer = nullptr; ///< Optional ring to dump.
+  };
+
+  ~StallWatchdog() { Stop(); }
+
+  /// Registers a shard. Not thread-safe against a running watchdog —
+  /// register everything before Start.
+  void Watch(Shard shard);
+
+  /// One pass over every shard: a shard whose last beat is older than
+  /// `stall_ns` AND reports queued work gets one dump per stall episode.
+  /// Returns the number of dumps this pass. Never-started shards
+  /// (beat 0) are skipped.
+  size_t CheckOnce(uint64_t now_ns, uint64_t stall_ns, std::FILE* out);
+
+  /// Spawns the polling thread. `poll_ms` bounds detection latency.
+  void Start(uint64_t stall_ns, uint64_t poll_ms, std::FILE* out);
+  void Stop();
+
+  size_t stall_dumps() const {
+    return stall_dumps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<Shard> shards_;
+  std::vector<uint64_t> dumped_at_beat_;  ///< Per-shard episode marker.
+  std::atomic<size_t> stall_dumps_{0};
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace setrec::obs
+
+#endif  // SETREC_OBS_WATCHDOG_H_

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/clock.h"
+
 namespace setrec {
 
 ShardedSyncService::ShardedSyncService(ShardedSyncServiceOptions options)
@@ -222,6 +224,26 @@ ServiceStats ShardedSyncService::SnapshotStats() const {
     shard->service->SnapshotPublished(nullptr, &total);
   }
   return total;
+}
+
+obs::RateRing::Rates ShardedSyncService::SnapshotRates() const {
+  const uint64_t now = obs::NowNanos();
+  obs::RateRing::Rates total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total.Accumulate(shard->service->SnapshotRateRing().SnapshotAt(now));
+  }
+  return total;
+}
+
+std::vector<obs::CompletedTrace> ShardedSyncService::SnapshotCompletedTraces()
+    const {
+  std::vector<obs::CompletedTrace> all;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::vector<obs::CompletedTrace> shard_traces =
+        shard->service->tracer().SnapshotCompleted();
+    for (obs::CompletedTrace& t : shard_traces) all.push_back(std::move(t));
+  }
+  return all;
 }
 
 }  // namespace setrec

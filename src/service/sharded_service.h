@@ -117,6 +117,15 @@ class ShardedSyncService {
   /// run, converges to AggregateStats at quiescence.
   ServiceStats SnapshotStats() const;
 
+  /// Windowed rates summed across shards, each shard read from its
+  /// published rate ring and decayed to the same read instant. Any thread.
+  obs::RateRing::Rates SnapshotRates() const;
+
+  /// Recently completed traces (traced or slow sessions) across all
+  /// shards, in shard order. Any thread; each shard's completed store is
+  /// mutex-guarded.
+  std::vector<obs::CompletedTrace> SnapshotCompletedTraces() const;
+
   size_t submitted() const {
     return submitted_.load(std::memory_order_acquire);
   }

@@ -286,9 +286,9 @@ bool SyncService::SessionContext::HasPendingOps() const {
 }
 
 void SyncService::SessionContext::ParkOnFlush(std::coroutine_handle<> handle) {
-  if (service_->tracer_.enabled()) {
+  if (service_->tracer_.armed()) {
     service_->tracer_.Record(session_->id, obs::TracePhase::kFlushWait, true,
-                             obs::NowNanos());
+                             obs::NowNanos(), session_->spec.trace_id);
   }
   service_->flush_waiters_.push_back(ParkedCoro{session_, handle});
 }
@@ -301,9 +301,9 @@ void SyncService::SessionContext::ParkOnRound(std::coroutine_handle<> handle) {
           .Record(now - session_->last_round_ns);
     }
     session_->last_round_ns = now;
-    if (service_->tracer_.enabled()) {
+    if (service_->tracer_.armed()) {
       service_->tracer_.Record(session_->id, obs::TracePhase::kRoundWait,
-                               true, now);
+                               true, now, session_->spec.trace_id);
     }
   }
   service_->round_waiters_.push_back(ParkedCoro{session_, handle});
@@ -312,9 +312,9 @@ void SyncService::SessionContext::ParkOnRound(std::coroutine_handle<> handle) {
 void SyncService::SessionContext::ParkOnRecv(const Channel* channel,
                                              size_t index,
                                              std::coroutine_handle<> handle) {
-  if (service_->tracer_.enabled()) {
+  if (service_->tracer_.armed()) {
     service_->tracer_.Record(session_->id, obs::TracePhase::kRecvWait, true,
-                             obs::NowNanos());
+                             obs::NowNanos(), session_->spec.trace_id);
   }
   ProtocolContext::ParkOnRecv(channel, index, handle);
 }
@@ -364,9 +364,9 @@ void SyncService::SessionContext::ParkOnLease(uint64_t key,
                                               std::coroutine_handle<> handle) {
   if (const uint64_t now = service_->ObsNow(); now != 0) {
     session_->lease_park_ns = now;
-    if (service_->tracer_.enabled()) {
+    if (service_->tracer_.armed()) {
       service_->tracer_.Record(session_->id, obs::TracePhase::kLeaseWait,
-                               true, now);
+                               true, now, session_->spec.trace_id);
     }
   }
   service_->lease_waiters_[key].push_back(ParkedCoro{session_, handle});
@@ -722,8 +722,9 @@ void SyncService::StartSession(Session* session) {
       session->codec_idx =
           session->spec.params.wire_codec == WireCodec::kSparse ? 1 : 0;
     }
-    if (tracer_.enabled()) {
-      tracer_.Record(session->id, obs::TracePhase::kSession, true, now);
+    if (tracer_.armed()) {
+      tracer_.Record(session->id, obs::TracePhase::kSession, true, now,
+                     session->spec.trace_id);
     }
   }
   if (session->opaque()) {
@@ -814,8 +815,9 @@ void SyncService::FinalizeSession(Session* session,
             .Record(latency);
       }
     }
-    if (tracer_.enabled()) {
-      tracer_.Record(session->id, obs::TracePhase::kSession, false, now);
+    if (tracer_.armed()) {
+      tracer_.Record(session->id, obs::TracePhase::kSession, false, now,
+                     session->spec.trace_id);
       char label[32];
       if (session->opaque()) {
         std::snprintf(label, sizeof label, "opaque");
@@ -824,7 +826,8 @@ void SyncService::FinalizeSession(Session* session,
                       SsrProtocolKindName(session->spec.protocol),
                       session->codec_idx != 0 ? "sparse" : "dense");
       }
-      tracer_.OnSessionEnd(session->id, latency, label, stderr);
+      tracer_.OnSessionEnd(session->id, session->spec.trace_id, latency,
+                           label, stderr);
     }
   }
   results_.push_back(std::move(result));
@@ -892,12 +895,12 @@ void SyncService::FlushPlanner() {
   // (handled by the caller's flush loop) or park at a round boundary.
   std::deque<ParkedCoro> waiters = std::move(flush_waiters_);
   flush_waiters_.clear();
-  const bool trace = tracer_.enabled();
+  const bool trace = tracer_.armed();
   for (const ParkedCoro& parked : waiters) {
     parked.session->ops_pending = 0;
     if (trace) {
       tracer_.Record(parked.session->id, obs::TracePhase::kFlushWait, false,
-                     obs::NowNanos());
+                     obs::NowNanos(), parked.session->spec.trace_id);
     }
     ResumeParked(parked);
   }
@@ -913,6 +916,7 @@ bool SyncService::Step() {
   assert(owner_thread_ == std::this_thread::get_id() &&
          "SyncService stepped from a foreign thread");
 #endif
+  heartbeat_.Beat(obs::NowNanos());
   DrainMailbox();
   Admit();
   if (active_.empty()) {
@@ -934,11 +938,11 @@ bool SyncService::Step() {
   // contract of SendAwaiter), not be resumed again in this one.
   std::deque<ParkedCoro> round_now = std::move(round_waiters_);
   round_waiters_.clear();
-  if (tracer_.enabled() && !round_now.empty()) {
+  if (tracer_.armed() && !round_now.empty()) {
     const uint64_t now = obs::NowNanos();
     for (const ParkedCoro& parked : round_now) {
       tracer_.Record(parked.session->id, obs::TracePhase::kRoundWait, false,
-                     now);
+                     now, parked.session->spec.trace_id);
     }
   }
   while (!round_now.empty()) {
@@ -965,9 +969,9 @@ bool SyncService::Step() {
     while (!recv_ready_.empty()) {
       ParkedCoro parked = recv_ready_.front();
       recv_ready_.pop_front();
-      if (tracer_.enabled()) {
+      if (tracer_.armed()) {
         tracer_.Record(parked.session->id, obs::TracePhase::kRecvWait, false,
-                       obs::NowNanos());
+                       obs::NowNanos(), parked.session->spec.trace_id);
       }
       ResumeParked(parked);
     }
@@ -980,9 +984,9 @@ bool SyncService::Step() {
           metrics_.lease_wait.Record(now - parked.session->lease_park_ns);
         }
         parked.session->lease_park_ns = 0;
-        if (tracer_.enabled()) {
+        if (tracer_.armed()) {
           tracer_.Record(parked.session->id, obs::TracePhase::kLeaseWait,
-                         false, now);
+                         false, now, parked.session->spec.trace_id);
         }
       }
       ResumeParked(parked);
@@ -1014,13 +1018,33 @@ void SyncService::MaybePublishMetrics(bool idle) {
   if (!idle && now - last_publish_ns_ < kPublishIntervalNs) return;
   last_publish_ns_ = now;
   publish_dirty_ = false;
+  rate_ring_.Advance(now, CurrentRateSample());
   PublishMetrics();
+}
+
+obs::RateRing::Sample SyncService::CurrentRateSample() const {
+  return obs::RateRing::Sample{
+      static_cast<uint64_t>(stats_.sessions_completed),
+      static_cast<uint64_t>(stats_.total_bytes),
+      static_cast<uint64_t>(metrics_.decode_failures)};
+}
+
+obs::RateRing::Rates SyncService::CurrentRates() {
+  const uint64_t now = obs::NowNanos();
+  rate_ring_.Advance(now, CurrentRateSample());
+  return rate_ring_.SnapshotAt(now);
+}
+
+obs::RateRing SyncService::SnapshotRateRing() const {
+  std::lock_guard<std::mutex> lock(published_mu_);
+  return published_rate_ring_;
 }
 
 void SyncService::PublishMetrics() {
   std::lock_guard<std::mutex> lock(published_mu_);
   published_metrics_ = metrics_;
   published_stats_ = stats_;
+  published_rate_ring_ = rate_ring_;
 }
 
 void SyncService::SnapshotPublished(obs::MetricRegistry* metrics,

@@ -23,6 +23,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "service/shared_cache.h"
 #include "transport/channel.h"
 #include "transport/endpoint.h"
@@ -85,6 +86,11 @@ struct SessionSpec {
   /// peer must be shown. A mirror polled by ANOTHER shard's thread must be
   /// an Endpoint::MailboxPair half (transport/endpoint.h).
   std::shared_ptr<Endpoint> mirror;
+
+  /// Client-propagated trace context (hello v3; 0 = untraced). The shard
+  /// tags every trace event of this session with it, so the server half
+  /// of a traced session is joinable with the client's own spans.
+  uint64_t trace_id = 0;
 };
 
 /// Outcome of a finished session.
@@ -177,17 +183,20 @@ struct SyncServiceOptions {
   /// stay on either way.
   bool metrics = true;
   /// Slow-session tracing: a session whose end-to-end latency reaches this
-  /// threshold dumps its span tree to stderr, once. 0 disables tracing
-  /// entirely (no ring, no event recording).
+  /// threshold dumps its span tree to stderr, once. 0 disables the slow
+  /// dump (the net pump may still arm trace capture for TRACE? — see
+  /// SessionTracer::EnableCapture).
   uint64_t trace_slow_ns = 0;
-  /// Per-shard trace-event ring capacity (only used when trace_slow_ns>0).
+  /// Per-shard trace-event ring capacity (used when trace_slow_ns > 0 or
+  /// when the pump arms capture).
   size_t trace_ring_capacity = 4096;
 };
 
 /// Appends the service-layer exposition — the metric registry's histograms
 /// labelled with protocol/codec names plus every ServiceStats counter — to
-/// a `# setrec-metrics v1` text block (obs/export.h). Callers pass merged
-/// or per-shard snapshots; the net layer serves the result for `STAT?`.
+/// a `# setrec-metrics` text block (obs/export.h). Callers pass merged
+/// or per-shard snapshots; the net layer serves the result for `STAT?`
+/// (appending windowed `rate` lines last — the v2 suffix).
 void AppendServiceExposition(const obs::MetricRegistry& metrics,
                              const ServiceStats& stats,
                              obs::ExpositionWriter* writer);
@@ -308,8 +317,22 @@ class SyncService {
   /// stats(): written only by the driving thread; foreign threads must read
   /// the published snapshot instead.
   const obs::MetricRegistry& metrics() const { return metrics_; }
-  /// The shard's slow-session tracer (driving thread only).
+  /// The shard's session tracer. Recording is driving-thread-only;
+  /// SnapshotCompleted/DumpRing are safe from any thread.
   obs::SessionTracer& tracer() { return tracer_; }
+  const obs::SessionTracer& tracer() const { return tracer_; }
+
+  /// Stamped at the top of every Step by the driving thread — the stall
+  /// watchdog's liveness signal (obs/watchdog.h). Any thread may read.
+  const obs::Heartbeat& heartbeat() const { return heartbeat_; }
+
+  /// Advances the windowed-rate ring against the live counters and returns
+  /// the current rates. Driving thread only (the pump's STAT? handler runs
+  /// on it); foreign threads use SnapshotRateRing.
+  obs::RateRing::Rates CurrentRates();
+  /// Thread-safe copy of the last published rate ring; callers derive
+  /// rates at their own read time with SnapshotAt(NowNanos()).
+  obs::RateRing SnapshotRateRing() const;
 
   /// Copies the live stats+metrics into the published slot (driving thread
   /// only). Step() already calls it on a ~50ms throttle and whenever the
@@ -386,21 +409,26 @@ class SyncService {
   /// One monotonic timestamp when any observability consumer (metrics or
   /// tracer) is armed; 0 when both are off, so hot paths skip clock reads.
   uint64_t ObsNow() const {
-    return options_.metrics || tracer_.enabled() ? obs::NowNanos() : 0;
+    return options_.metrics || tracer_.armed() ? obs::NowNanos() : 0;
   }
   /// Throttled publish (see PublishMetrics); `idle` forces it so quiescent
   /// published data equals the live block.
   void MaybePublishMetrics(bool idle);
+  /// The live cumulative counters the rate ring tracks.
+  obs::RateRing::Sample CurrentRateSample() const;
 
   SyncServiceOptions options_;
   ServiceStats stats_;
   obs::MetricRegistry metrics_;
   obs::SessionTracer tracer_;
+  obs::RateRing rate_ring_;
+  obs::Heartbeat heartbeat_;
   uint64_t last_publish_ns_ = 0;
   bool publish_dirty_ = false;
   mutable std::mutex published_mu_;
   obs::MetricRegistry published_metrics_;
   ServiceStats published_stats_;
+  obs::RateRing published_rate_ring_;
   std::shared_ptr<SharedServiceCache> cache_;
   int shard_id_ = 0;
   std::function<void(int shard, uint64_t key)> cross_shard_wake_;

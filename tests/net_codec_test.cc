@@ -1,8 +1,10 @@
 // Wire-codec negotiation over the hello frame, and mixed-version peers
 // end-to-end: a v1 (pre-codec) hello is the dense negotiation, a v2 hello
-// carries an explicit codec byte, and a sparse-negotiated session over a
-// real socket must produce the exact transcript of the direct sparse
-// Reconcile call while spending fewer wire bytes than its dense twin.
+// carries an explicit codec byte, a v3 hello additionally propagates a
+// trace id (invisible to the protocol bytes), and a sparse-negotiated
+// session over a real socket must produce the exact transcript of the
+// direct sparse Reconcile call while spending fewer wire bytes than its
+// dense twin.
 
 #include <gtest/gtest.h>
 #include <sys/socket.h>
@@ -17,6 +19,7 @@
 #include "net/net_pump.h"
 #include "net/stream_party.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "service/sync_service.h"
 
 namespace setrec {
@@ -79,11 +82,63 @@ TEST(HelloCodecTest, MalformedCodecNegotiationRejected) {
   Channel::Message v2_short = MakeHelloMessage(MakeSpec(WireCodec::kDense));
   v2_short.payload.pop_back();
   EXPECT_FALSE(ParseHelloMessage(v2_short).ok());
+}
 
-  // Unsupported version.
-  Channel::Message v3 = MakeHelloMessage(MakeSpec(WireCodec::kDense));
-  v3.payload[0] = 3;
-  EXPECT_FALSE(ParseHelloMessage(v3).ok());
+HelloSpec MakeTracedSpec(uint64_t trace_id) {
+  HelloSpec spec = MakeSpec(WireCodec::kSparse);
+  spec.trace_id = trace_id;
+  return spec;
+}
+
+TEST(HelloCodecTest, V3CarriesTraceId) {
+  Channel::Message traced = MakeHelloMessage(MakeTracedSpec(0xdeadbeef));
+  EXPECT_EQ(traced.payload[0], 3) << "a nonzero trace id makes a v3 hello";
+  Result<HelloSpec> parsed = ParseHelloMessage(traced);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().trace_id, 0xdeadbeefu);
+  EXPECT_EQ(parsed.value().params.wire_codec, WireCodec::kSparse);
+  EXPECT_EQ(parsed.value().params, MakeTracedSpec(0xdeadbeef).params);
+}
+
+TEST(HelloCodecTest, UntracedHelloIsByteIdenticalToV2) {
+  // The acceptance contract: tracing costs untraced peers zero wire bytes.
+  Channel::Message untraced = MakeHelloMessage(MakeTracedSpec(0));
+  Channel::Message v2 = MakeHelloMessage(MakeSpec(WireCodec::kSparse));
+  EXPECT_EQ(untraced.payload, v2.payload);
+  EXPECT_EQ(untraced.payload[0], 2);
+  // And the traced frame is exactly the v2 frame plus the 8-byte id.
+  Channel::Message traced = MakeHelloMessage(MakeTracedSpec(1));
+  EXPECT_EQ(traced.payload.size(), v2.payload.size() + 8);
+}
+
+TEST(HelloCodecTest, AdversarialTracedHellosRejected) {
+  // v3 frame truncated inside its trace id.
+  Channel::Message truncated = MakeHelloMessage(MakeTracedSpec(0xdeadbeef));
+  truncated.payload.pop_back();
+  EXPECT_FALSE(ParseHelloMessage(truncated).ok());
+
+  // A v2 frame whose version byte claims v3: missing the trace id.
+  Channel::Message missing_id = MakeHelloMessage(MakeSpec(WireCodec::kDense));
+  missing_id.payload[0] = 3;
+  EXPECT_FALSE(ParseHelloMessage(missing_id).ok());
+
+  // v3 with a zero trace id: fails closed, not silently untraced.
+  Channel::Message zero_id = MakeHelloMessage(MakeTracedSpec(0xdeadbeef));
+  for (size_t i = zero_id.payload.size() - 8; i < zero_id.payload.size();
+       ++i) {
+    zero_id.payload[i] = 0;
+  }
+  EXPECT_FALSE(ParseHelloMessage(zero_id).ok());
+
+  // v3 with trailing garbage after the trace id.
+  Channel::Message v3_extra = MakeHelloMessage(MakeTracedSpec(0xdeadbeef));
+  v3_extra.payload.push_back(0x7);
+  EXPECT_FALSE(ParseHelloMessage(v3_extra).ok());
+
+  // Versions beyond v3 are unsupported outright.
+  Channel::Message v4 = MakeHelloMessage(MakeTracedSpec(0xdeadbeef));
+  v4.payload[0] = 4;
+  EXPECT_FALSE(ParseHelloMessage(v4).ok());
 }
 
 struct Fixture {
@@ -117,15 +172,17 @@ struct ClientResult {
 };
 
 // The sync_client flow, with the hello frame swappable so a test can speak
-// v1 (legacy dense) against the always-v2 server.
+// v1 (legacy dense) or v3 (traced) against the server.
 ClientResult RunClient(int fd, SsrProtocolKind kind, uint64_t set_id,
-                       const Fixture& f, bool legacy_hello) {
+                       const Fixture& f, bool legacy_hello,
+                       uint64_t trace_id = 0) {
   ClientResult result;
   HelloSpec hello;
   hello.protocol = kind;
   hello.set_id = set_id;
   hello.params = f.params;
   hello.known_d = f.known_d;
+  hello.trace_id = trace_id;
   Channel::Message frame =
       legacy_hello ? MakeLegacyHello(hello) : MakeHelloMessage(hello);
   if (Status s = WriteFrameToFd(fd, frame); !s.ok()) {
@@ -146,10 +203,11 @@ ClientResult RunClient(int fd, SsrProtocolKind kind, uint64_t set_id,
 struct SessionRun {
   ClientResult client;
   size_t server_bytes = 0;
+  std::vector<obs::CompletedTrace> server_traces;
 };
 
 SessionRun RunSession(SsrProtocolKind kind, const Fixture& f,
-                      bool legacy_hello) {
+                      bool legacy_hello, uint64_t trace_id = 0) {
   SessionRun run;
   SyncService service;
   uint64_t set_id =
@@ -159,7 +217,7 @@ SessionRun RunSession(SsrProtocolKind kind, const Fixture& f,
   EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
   EXPECT_TRUE(pump.AdoptConnection(sv[0]).ok());
   std::thread client_thread([&] {
-    run.client = RunClient(sv[1], kind, set_id, f, legacy_hello);
+    run.client = RunClient(sv[1], kind, set_id, f, legacy_hello, trace_id);
     ::close(sv[1]);
   });
   pump.DrainConnections();
@@ -171,6 +229,7 @@ SessionRun RunSession(SsrProtocolKind kind, const Fixture& f,
     EXPECT_TRUE(results[0].status.ok()) << results[0].status.ToString();
     run.server_bytes = results[0].stats.bytes;
   }
+  run.server_traces = service.tracer().SnapshotCompleted();
   return run;
 }
 
@@ -227,6 +286,39 @@ TEST_P(NetCodecInterop, SparseSessionMatchesDirectAndBeatsDense) {
   ExpectSameTranscript(dense_direct.transcript(),
                        legacy_run.client.transcript, "legacy session");
   EXPECT_EQ(legacy_run.server_bytes, dense_ref.value().stats.bytes);
+}
+
+TEST(TracedHelloInterop, V3SessionMatchesUntracedAndTagsServerTrace) {
+  const SsrProtocolKind kind = SsrProtocolKind::kCascade;
+  const Fixture f = MakeFixture(kind, WireCodec::kSparse);
+
+  SessionRun untraced = RunSession(kind, f, /*legacy_hello=*/false);
+  SessionRun traced =
+      RunSession(kind, f, /*legacy_hello=*/false, /*trace_id=*/0xfeedface);
+  ASSERT_TRUE(untraced.client.outcome.ok())
+      << untraced.client.outcome.status().ToString();
+  ASSERT_TRUE(traced.client.outcome.ok())
+      << traced.client.outcome.status().ToString();
+
+  // Tracing is invisible to the protocol: byte-identical transcripts and
+  // byte counts whether or not the hello carried a trace id.
+  ExpectSameTranscript(untraced.client.transcript, traced.client.transcript,
+                       "traced vs untraced");
+  EXPECT_EQ(untraced.server_bytes, traced.server_bytes);
+
+  // The server tagged its half of the traced session and retained it for
+  // TRACE?; the untraced session left nothing behind.
+  EXPECT_TRUE(untraced.server_traces.empty());
+  ASSERT_EQ(traced.server_traces.size(), 1u);
+  const obs::CompletedTrace& trace = traced.server_traces[0];
+  EXPECT_EQ(trace.trace_id, 0xfeedfaceu);
+  EXPECT_FALSE(trace.slow);
+  ASSERT_FALSE(trace.events.empty());
+  // The session span frames the server half; phases carry the same id.
+  EXPECT_EQ(trace.events.front().phase, obs::TracePhase::kSession);
+  EXPECT_TRUE(trace.events.front().enter);
+  EXPECT_EQ(trace.events.back().phase, obs::TracePhase::kSession);
+  EXPECT_FALSE(trace.events.back().enter);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllProtocols, NetCodecInterop,

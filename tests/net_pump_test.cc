@@ -196,9 +196,14 @@ TEST(NetPumpStats, StatQueryAnswersBareAndReflectsTraffic) {
   client_thread.join();
 
   ASSERT_TRUE(before.ok()) << before.status().ToString();
-  EXPECT_EQ(before.value().rfind("# setrec-metrics v1\n", 0), 0u);
+  EXPECT_EQ(before.value().rfind("# setrec-metrics v2\n", 0), 0u);
   EXPECT_NE(before.value().find("setrec_pump_stat_requests"),
             std::string::npos);
+  // The v2 suffix rule: windowed rate lines are appended after every v1
+  // line type, so a v1 consumer still parses the prefix.
+  const size_t rate_at = before.value().find("rate setrec_sessions_per_sec");
+  ASSERT_NE(rate_at, std::string::npos);
+  EXPECT_GT(rate_at, before.value().find("setrec_pump_stat_requests"));
   EXPECT_NE(before.value().find("setrec_sessions_completed{} 0"),
             std::string::npos);
   EXPECT_EQ(before.value().find("setrec_session_latency_ns"),

@@ -7,10 +7,12 @@
 #include <cstdint>
 #include <cstdlib>
 #include <random>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/export.h"
 #include "obs/metrics.h"
 
 namespace setrec::obs {
@@ -162,11 +164,139 @@ TEST(PumpMetricsTest, MergeTakesWatermarkMax) {
   b.outbuf_high_watermark = 1024;
   a.stat_requests = 1;
   b.stat_requests = 2;
+  b.trace_requests = 4;
   b.frame_decode_failures = 1;
   a.Merge(b);
   EXPECT_EQ(a.outbuf_high_watermark, 4096u);
   EXPECT_EQ(a.stat_requests, 3u);
+  EXPECT_EQ(a.trace_requests, 4u);
   EXPECT_EQ(a.frame_decode_failures, 1u);
+}
+
+constexpr uint64_t kSec = RateRing::kWindowNs;
+
+TEST(RateRingTest, EmptyAndSingleObservationReadZero) {
+  RateRing ring;
+  EXPECT_EQ(ring.SnapshotAt(5 * kSec).sessions_per_sec, 0.0);
+  ring.Advance(10 * kSec, {});  // Baseline only: no span yet.
+  const RateRing::Rates r = ring.SnapshotAt(10 * kSec);
+  EXPECT_EQ(r.span_ns, 0u);
+  EXPECT_EQ(r.sessions_per_sec, 0.0);
+}
+
+TEST(RateRingTest, RatesOverOneSecond) {
+  RateRing ring;
+  ring.Advance(10 * kSec, {0, 0, 0});
+  ring.Advance(11 * kSec, {10, 20'000, 2});
+  const RateRing::Rates r = ring.SnapshotAt(11 * kSec);
+  EXPECT_EQ(r.span_ns, kSec);
+  EXPECT_DOUBLE_EQ(r.sessions_per_sec, 10.0);
+  EXPECT_DOUBLE_EQ(r.bytes_per_sec, 20'000.0);
+  EXPECT_DOUBLE_EQ(r.decode_failures_per_min, 120.0);
+}
+
+TEST(RateRingTest, SubSecondAdvancesLandInTheOpenWindow) {
+  RateRing ring;
+  ring.Advance(10 * kSec, {0, 0, 0});
+  // Four advances inside one window, then read at the half-second mark:
+  // the open window's age is what divides the counts.
+  ring.Advance(10 * kSec + kSec / 4, {5, 500, 0});
+  ring.Advance(10 * kSec + kSec / 2, {10, 1'000, 0});
+  const RateRing::Rates r = ring.SnapshotAt(10 * kSec + kSec / 2);
+  EXPECT_EQ(r.span_ns, kSec / 2);
+  EXPECT_DOUBLE_EQ(r.sessions_per_sec, 20.0);
+}
+
+TEST(RateRingTest, IdleRingDecaysTowardZero) {
+  RateRing ring;
+  ring.Advance(10 * kSec, {0, 0, 0});
+  ring.Advance(11 * kSec, {100, 0, 0});  // One busy second: 100/s.
+  EXPECT_DOUBLE_EQ(ring.SnapshotAt(11 * kSec).sessions_per_sec, 100.0);
+  // Reading later without traffic stretches the open window: the same
+  // 100 sessions over 1 closed + 10 open seconds.
+  EXPECT_NEAR(ring.SnapshotAt(21 * kSec).sessions_per_sec, 100.0 / 11.0,
+              1e-9);
+}
+
+TEST(RateRingTest, WrapKeepsOnlyTheRetainedMinute) {
+  RateRing ring;
+  ring.Advance(0 * kSec + 1, {0, 0, 0});
+  // 100 windows at 60/s each; only the last kWindows survive.
+  for (uint64_t i = 1; i <= 100; ++i) {
+    ring.Advance(i * kSec + 1, {i * 60, 0, 0});
+  }
+  const RateRing::Rates r = ring.SnapshotAt(100 * kSec + 1);
+  EXPECT_EQ(r.span_ns, RateRing::kWindows * kSec);
+  EXPECT_DOUBLE_EQ(r.sessions_per_sec, 60.0);
+}
+
+TEST(RateRingTest, GapLongerThanTheRingSkipsAhead) {
+  RateRing ring;
+  ring.Advance(10 * kSec, {0, 0, 0});
+  ring.Advance(11 * kSec, {600, 0, 0});
+  // A 10-minute silence then one more advance: the busy second fell off
+  // the ring, so the retained minute is all idle and reads zero — a
+  // long-stopped server does not report its last busy second forever.
+  const uint64_t later = 611 * kSec;
+  ring.Advance(later, {600, 0, 0});
+  const RateRing::Rates r = ring.SnapshotAt(later);
+  EXPECT_EQ(r.span_ns, RateRing::kWindows * kSec);
+  EXPECT_DOUBLE_EQ(r.sessions_per_sec, 0.0);
+  // New traffic after the gap shows up immediately in the open window.
+  ring.Advance(later + kSec / 2, {660, 0, 0});
+  EXPECT_GT(ring.SnapshotAt(later + kSec / 2).sessions_per_sec, 0.0);
+}
+
+TEST(RateRingTest, AccumulateSumsAcrossShards) {
+  RateRing::Rates a;
+  a.sessions_per_sec = 5.0;
+  a.bytes_per_sec = 100.0;
+  a.span_ns = 2 * kSec;
+  RateRing::Rates b;
+  b.sessions_per_sec = 7.0;
+  b.decode_failures_per_min = 3.0;
+  b.span_ns = 3 * kSec;
+  a.Accumulate(b);
+  EXPECT_DOUBLE_EQ(a.sessions_per_sec, 12.0);
+  EXPECT_DOUBLE_EQ(a.bytes_per_sec, 100.0);
+  EXPECT_DOUBLE_EQ(a.decode_failures_per_min, 3.0);
+  EXPECT_EQ(a.span_ns, 3 * kSec);  // Longest shard span wins.
+}
+
+TEST(ExpositionTest, HeaderValidationAcceptsKnownVersionsOnly) {
+  EXPECT_TRUE(ValidMetricsExpositionHeader("# setrec-metrics v1\n"));
+  EXPECT_TRUE(ValidMetricsExpositionHeader("# setrec-metrics v2\n"));
+  EXPECT_TRUE(ValidMetricsExpositionHeader("# setrec-metrics v2"));
+  EXPECT_FALSE(ValidMetricsExpositionHeader("# setrec-metrics v3\n"));
+  EXPECT_FALSE(ValidMetricsExpositionHeader("# setrec-metrics v12\n"));
+  EXPECT_FALSE(ValidMetricsExpositionHeader("# setrec-trace v1\n"));
+  EXPECT_FALSE(ValidMetricsExpositionHeader(""));
+  EXPECT_FALSE(ValidMetricsExpositionHeader("counter x{} 1\n"));
+}
+
+TEST(ExpositionTest, V2KeepsTheV1PrefixAndAppendsRates) {
+  ExpositionWriter w;
+  w.Counter("setrec_sessions_completed", "", 4);
+  RateRing::Rates rates;
+  rates.sessions_per_sec = 12.4;
+  rates.bytes_per_sec = 182'333.0;
+  rates.span_ns = 2 * RateRing::kWindowNs;
+  AppendRates(rates, w);
+  const std::string text = w.Take();
+  EXPECT_EQ(text.rfind("# setrec-metrics v2\n", 0), 0u);
+  // The version rule: v1 line types first, `rate` lines strictly after —
+  // a v1 consumer parses the prefix and stops at the first rate line.
+  const size_t counter_at = text.find("counter setrec_sessions_completed{} 4");
+  const size_t rate_at = text.find("rate setrec_sessions_per_sec{} 12.400");
+  ASSERT_NE(counter_at, std::string::npos);
+  ASSERT_NE(rate_at, std::string::npos);
+  EXPECT_LT(counter_at, rate_at);
+  EXPECT_NE(text.find("rate setrec_bytes_per_sec{} 182333.000"),
+            std::string::npos);
+  EXPECT_NE(text.find("rate setrec_decode_failures_per_min{} 0.000"),
+            std::string::npos);
+  EXPECT_NE(text.find("rate setrec_rate_window_seconds{} 2.000"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,226 @@
+// Tests for the trace text exposition (the TRACE? payload): format/parse
+// round-trip, the fail-closed version rule, forward-compatible skipping of
+// unknown keys/phases/lines, adversarial inputs, and the two-halves merge
+// (interleave, foreign-clock rebase, span coverage).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+#include "obs/trace_text.h"
+
+namespace setrec::obs {
+namespace {
+
+CompletedTraceEvent Ev(TracePhase phase, bool enter, uint64_t ns) {
+  CompletedTraceEvent ev;
+  ev.phase = phase;
+  ev.enter = enter;
+  ev.ns = ns;
+  return ev;
+}
+
+CompletedTrace DemoTrace() {
+  CompletedTrace trace;
+  trace.trace_id = 0x75bcd15;
+  trace.session_id = 42;
+  trace.latency_ns = 812'345;
+  trace.slow = true;
+  trace.label = "iblt2/dense extra words";
+  trace.events = {Ev(TracePhase::kSession, true, 1'000),
+                  Ev(TracePhase::kRecvWait, true, 1'200),
+                  Ev(TracePhase::kRecvWait, false, 4'200),
+                  Ev(TracePhase::kSession, false, 813'345)};
+  return trace;
+}
+
+TEST(TraceTextTest, FormatParseRoundTrip) {
+  const std::string text =
+      FormatTraceExposition({DemoTrace(), DemoTrace()}, "server");
+  EXPECT_EQ(text.rfind(kTraceTextVersionLine, 0), 0u);
+  std::vector<ParsedTrace> parsed;
+  ASSERT_TRUE(ParseTraceExposition(text, &parsed));
+  ASSERT_EQ(parsed.size(), 2u);
+  const ParsedTrace& t = parsed[0];
+  EXPECT_EQ(t.trace_id, 0x75bcd15u);
+  EXPECT_EQ(t.session_id, 42u);
+  EXPECT_EQ(t.latency_ns, 812'345u);
+  EXPECT_TRUE(t.slow);
+  EXPECT_EQ(t.side, "server");
+  EXPECT_EQ(t.label, "iblt2/dense extra words");  // Labels may hold spaces.
+  ASSERT_EQ(t.events.size(), 4u);
+  EXPECT_EQ(t.events[1].phase, TracePhase::kRecvWait);
+  EXPECT_TRUE(t.events[1].enter);
+  EXPECT_EQ(t.events[1].ns, 1'200u);
+  EXPECT_FALSE(t.events[2].enter);
+}
+
+TEST(TraceTextTest, EmptyStoreIsJustTheVersionLine) {
+  const std::string text = FormatTraceExposition({}, "server");
+  EXPECT_EQ(text, std::string(kTraceTextVersionLine) + "\n");
+  std::vector<ParsedTrace> parsed;
+  EXPECT_TRUE(ParseTraceExposition(text, &parsed));
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(TraceTextTest, UnknownVersionFailsClosed) {
+  std::vector<ParsedTrace> parsed;
+  EXPECT_FALSE(ParseTraceExposition("# setrec-trace v2\n", &parsed));
+  EXPECT_FALSE(ParseTraceExposition("# setrec-metrics v1\n", &parsed));
+  EXPECT_FALSE(ParseTraceExposition("", &parsed));
+  EXPECT_FALSE(ParseTraceExposition("garbage", &parsed));
+}
+
+TEST(TraceTextTest, UnknownKeysPhasesAndLinesAreSkipped) {
+  const std::string text =
+      "# setrec-trace v1\n"
+      "future-line-type something\n"
+      "trace id=00000000000000ff shape=weird session=7 latency_ns=5 slow=0 "
+      "label=x\n"
+      "event warp-drive enter 100\n"
+      "event session enter 200\n"
+      "event session exit 300\n"
+      "end\n";
+  std::vector<ParsedTrace> parsed;
+  ASSERT_TRUE(ParseTraceExposition(text, &parsed));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].trace_id, 0xffu);
+  EXPECT_EQ(parsed[0].session_id, 7u);
+  // The unknown phase's event is dropped; the known ones survive.
+  ASSERT_EQ(parsed[0].events.size(), 2u);
+  EXPECT_EQ(parsed[0].events[0].phase, TracePhase::kSession);
+}
+
+TEST(TraceTextTest, AdversarialFramesFail) {
+  std::vector<ParsedTrace> parsed;
+  // An event outside any trace block.
+  EXPECT_FALSE(ParseTraceExposition(
+      "# setrec-trace v1\nevent session enter 100\n", &parsed));
+  // end without a trace.
+  EXPECT_FALSE(ParseTraceExposition("# setrec-trace v1\nend\n", &parsed));
+  // Malformed event shapes.
+  EXPECT_FALSE(ParseTraceExposition(
+      "# setrec-trace v1\ntrace id=1 session=1 latency_ns=1 slow=0 label=x\n"
+      "event session sideways 100\nend\n",
+      &parsed));
+  EXPECT_FALSE(ParseTraceExposition(
+      "# setrec-trace v1\ntrace id=1 session=1 latency_ns=1 slow=0 label=x\n"
+      "event session enter notanumber\nend\n",
+      &parsed));
+  EXPECT_FALSE(ParseTraceExposition(
+      "# setrec-trace v1\ntrace id=1 session=1 latency_ns=1 slow=0 label=x\n"
+      "event session\nend\n",
+      &parsed));
+  // Non-numeric trace fields.
+  EXPECT_FALSE(ParseTraceExposition(
+      "# setrec-trace v1\ntrace id=zz session=1 latency_ns=1 slow=0 label=x\n",
+      &parsed));
+  EXPECT_FALSE(ParseTraceExposition(
+      "# setrec-trace v1\ntrace id=1 session=-3 latency_ns=1 slow=0 label=x\n",
+      &parsed));
+}
+
+TEST(TraceTextTest, PhaseNamesRoundTrip) {
+  for (int i = 0; i < kTracePhaseCount; ++i) {
+    const TracePhase phase = static_cast<TracePhase>(i);
+    TracePhase back = TracePhase::kSession;
+    ASSERT_TRUE(TracePhaseFromName(TracePhaseName(phase), &back))
+        << TracePhaseName(phase);
+    EXPECT_EQ(back, phase);
+  }
+  TracePhase out;
+  EXPECT_FALSE(TracePhaseFromName("warp-drive", &out));
+  EXPECT_FALSE(TracePhaseFromName("", &out));
+}
+
+ParsedTrace ClientHalf() {
+  ParsedTrace client;
+  client.trace_id = 0xabc;
+  client.side = "client";
+  // Session 1000..11000 (wall 10000). Non-session spans cover
+  // [1000,2000] connect, [2000,3000] hello, [3000,10500] compute with a
+  // nested recv-wait — union 9500/10000 = 95%.
+  client.events = {Ev(TracePhase::kSession, true, 1'000),
+                   Ev(TracePhase::kConnect, true, 1'000),
+                   Ev(TracePhase::kConnect, false, 2'000),
+                   Ev(TracePhase::kHello, true, 2'000),
+                   Ev(TracePhase::kHello, false, 3'000),
+                   Ev(TracePhase::kCompute, true, 3'000),
+                   Ev(TracePhase::kRecvWait, true, 4'000),
+                   Ev(TracePhase::kRecvWait, false, 8'000),
+                   Ev(TracePhase::kCompute, false, 10'500),
+                   Ev(TracePhase::kSession, false, 11'000)};
+  return client;
+}
+
+TEST(TraceTextTest, MergeClientOnlyCoverage) {
+  const MergedTimeline merged = MergeTraceTimelines(ClientHalf(), nullptr);
+  EXPECT_FALSE(merged.has_server);
+  EXPECT_NEAR(merged.coverage, 0.95, 1e-9);
+  EXPECT_NE(merged.text.find("merged trace id=0000000000000abc"),
+            std::string::npos);
+  EXPECT_NE(merged.text.find("client only"), std::string::npos);
+  EXPECT_NE(merged.text.find("> connect"), std::string::npos);
+}
+
+TEST(TraceTextTest, MergeSameClockInterleaves) {
+  ParsedTrace server;
+  server.trace_id = 0xabc;
+  server.side = "server";
+  server.events = {Ev(TracePhase::kSession, true, 3'500),
+                   Ev(TracePhase::kRecvWait, true, 3'600),
+                   Ev(TracePhase::kRecvWait, false, 9'000),
+                   Ev(TracePhase::kSession, false, 9'500)};
+  const MergedTimeline merged = MergeTraceTimelines(ClientHalf(), &server);
+  EXPECT_TRUE(merged.has_server);
+  EXPECT_NE(merged.text.find("client+server"), std::string::npos);
+  // Same clock domain: the server session enter (3500) lands between the
+  // client compute enter (3000) and the client recv-wait enter (4000).
+  const size_t compute_at = merged.text.find("client > compute");
+  const size_t server_at = merged.text.find("server > session");
+  const size_t recv_at = merged.text.find("client > recv-wait");
+  ASSERT_NE(compute_at, std::string::npos);
+  ASSERT_NE(server_at, std::string::npos);
+  ASSERT_NE(recv_at, std::string::npos);
+  EXPECT_LT(compute_at, server_at);
+  EXPECT_LT(server_at, recv_at);
+}
+
+TEST(TraceTextTest, MergeForeignClockRebasesOntoHello) {
+  ParsedTrace server;
+  server.trace_id = 0xabc;
+  server.side = "server";
+  // Timestamps hours away from the client's window: a different machine.
+  const uint64_t base = 900'000'000'000'000ull;
+  server.events = {Ev(TracePhase::kSession, true, base),
+                   Ev(TracePhase::kRecvWait, true, base + 100),
+                   Ev(TracePhase::kRecvWait, false, base + 5'000),
+                   Ev(TracePhase::kSession, false, base + 6'000)};
+  const MergedTimeline merged = MergeTraceTimelines(ClientHalf(), &server);
+  EXPECT_TRUE(merged.has_server);
+  // Rebased onto the client hello exit (3000 abs = +2.000 us relative):
+  // the server enter lands right at the hello exit — inside the client
+  // timeline — instead of 900 seconds off the chart.
+  const size_t server_at = merged.text.find("server > session");
+  const size_t hello_at = merged.text.find("client < hello");
+  ASSERT_NE(server_at, std::string::npos);
+  ASSERT_NE(hello_at, std::string::npos);
+  EXPECT_LT(hello_at, server_at);
+  EXPECT_EQ(merged.text.find("+900000"), std::string::npos);
+}
+
+TEST(TraceTextTest, MergeWithoutSessionSpanFailsSoft) {
+  ParsedTrace client;
+  client.trace_id = 1;
+  client.events = {Ev(TracePhase::kConnect, true, 100),
+                   Ev(TracePhase::kConnect, false, 200)};
+  const MergedTimeline merged = MergeTraceTimelines(client, nullptr);
+  EXPECT_EQ(merged.coverage, 0.0);
+  EXPECT_NE(merged.text.find("session span missing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace setrec::obs

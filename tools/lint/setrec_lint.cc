@@ -324,6 +324,35 @@ void CheckClockInRegions(const SourceFile& f, std::vector<Violation>* out) {
   }
 }
 
+// Formatting calls allocate (to_string) or burn hundreds of cycles on
+// format parsing (snprintf family) — neither belongs in a region that
+// claims to be allocation-free hot-path code. Observability output paths
+// format AFTER leaving the region (the tracer records raw integers inside
+// it and formats in OnSessionEnd/DumpRing, which run off the hot path).
+void CheckFormatInRegions(const SourceFile& f, std::vector<Violation>* out) {
+  static const std::regex kFormat(
+      R"(\b(snprintf|sprintf|vsnprintf)\s*\(|\bto_string\s*\()");
+  bool in_region = false;
+  for (size_t i = 0; i < f.raw.size(); ++i) {
+    if (f.raw[i].find("LINT(alloc-free)") != std::string::npos) {
+      in_region = true;  // Region shape violations are alloc rule's job.
+      continue;
+    }
+    if (f.raw[i].find("LINT(end)") != std::string::npos) {
+      in_region = false;
+      continue;
+    }
+    if (!in_region) continue;
+    if (LineAllows(f.raw[i], "format-in-hot-path")) continue;
+    if (std::regex_search(f.code[i], kFormat)) {
+      out->push_back({f.rel_path, i + 1, "format-in-hot-path",
+                      "string formatting inside a LINT(alloc-free) region; "
+                      "record raw integers here and format off the hot "
+                      "path (see obs/trace.h)"});
+    }
+  }
+}
+
 // Tracks whether each `{` opens a class/struct body, so member declarations
 // can be told apart from locals and parameters.
 void CheckViewMembers(const SourceFile& f, std::vector<Violation>* out) {
@@ -381,6 +410,7 @@ void LintFile(const SourceFile& f, std::vector<Violation>* out) {
   CheckResumeWhitelist(f, out);
   CheckAllocFreeRegions(f, out);
   CheckClockInRegions(f, out);
+  CheckFormatInRegions(f, out);
   CheckViewMembers(f, out);
 }
 

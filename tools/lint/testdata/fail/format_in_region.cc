@@ -1,0 +1,21 @@
+// LINT-TEST-PATH: src/iblt/fake_formatting_kernel.cc
+// LINT-TEST: expect format-in-hot-path
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace setrec {
+
+// LINT(alloc-free)
+uint64_t LoggedMix(uint64_t x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",  // BAD: format call in region.
+                static_cast<unsigned long long>(x));
+  x ^= x >> 33;
+  x *= uint64_t{0xff51afd7ed558ccd};
+  return x ^ static_cast<uint64_t>(buf[0]);
+}
+// LINT(end)
+
+}  // namespace setrec

@@ -1,0 +1,32 @@
+// LINT-TEST-PATH: src/iblt/fake_formatting_kernel2.cc
+// LINT-TEST: expect-clean
+//
+// The sanctioned shape: the hot region records raw integers; formatting
+// (snprintf, to_string) happens after LINT(end), off the hot path — the
+// tracer's Record/OnSessionEnd split. Mentioning snprintf in a comment
+// inside the region must not fire.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace setrec {
+
+// LINT(alloc-free)
+// Callers wanting text output snprintf the recorded value outside.
+uint64_t RecordedMix(uint64_t x, uint64_t* recorded) {
+  x ^= x >> 33;
+  x *= uint64_t{0xff51afd7ed558ccd};
+  *recorded = x;
+  return x;
+}
+// LINT(end)
+
+std::string FormatRecorded(uint64_t recorded) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(recorded));
+  return std::string(buf) + "/" + std::to_string(recorded);
+}
+
+}  // namespace setrec

@@ -13,8 +13,12 @@
 //   * a sharding-threshold sweep over IbltBatchOptions::sharded_min_keys
 //     (the runtime knob) showing where sharded flushes engage.
 
+#include <fcntl.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
+
+#include <cerrno>
 
 #include <algorithm>
 #include <atomic>
@@ -33,6 +37,7 @@
 #include "hashing/random.h"
 #include "net/multi_pump.h"
 #include "net/net_pump.h"
+#include "net/poller.h"
 #include "net/stream_party.h"
 #include "net/wire.h"
 #include "obs/clock.h"
@@ -391,6 +396,214 @@ NetBenchResult RunShardedNetBench(size_t sessions, size_t shards) {
   r.round_trips_per_sec = static_cast<double>(r.wire_frames) / r.seconds;
   r.sessions_per_sec = static_cast<double>(sessions) / r.seconds;
   return r;
+}
+
+// ---------------------------------------------------------------------
+// --net-scale + the net.scaling JSON section: session latency as the
+// pump carries 512 -> 2k -> 10k concurrent TCP connections.
+//
+// The swarm runs in a forked child, not a thread: RLIMIT_NOFILE here is
+// hard-capped at 20000 and cannot be raised, so one process cannot hold
+// both ends of 10k socketpairs. The child connects N clients and holds
+// them idle pre-hello (the server disables its handshake timeout for
+// this run — idle ballast is the point); a fixed 512-session set then
+// runs the normal hello -> Bob-half path, and exact p50/p99 from the
+// sorted samples come back over a pipe. The parent is the server: one
+// NetPump over TCP, so the poller watches all N fds every wakeup.
+// ---------------------------------------------------------------------
+
+struct NetScalePoint {
+  size_t connections = 0;
+  size_t measured = 0;
+  size_t failed = 0;
+  double seconds = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  size_t protocol_errors = 0;
+  size_t poll_wakeups = 0;
+  double mean_ready_per_wakeup = 0;
+  const char* backend = "";
+};
+
+/// The swarm child's report, sent over its result pipe as raw bytes.
+struct SwarmReport {
+  uint64_t connected = 0;
+  uint64_t failed = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  double seconds = 0;
+};
+
+bool ReadFull(int fd, void* buf, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t r = ::read(fd, static_cast<char*>(buf) + off, n - off);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;
+    off += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+void WriteFull(int fd, const void* buf, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, static_cast<const char*>(buf) + off, n - off);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return;
+    off += static_cast<size_t>(w);
+  }
+}
+
+[[noreturn]] void RunSwarmChild(const Workload& w, size_t connections,
+                                size_t measured, int port_fd, int result_fd) {
+  SwarmReport report{};
+  uint16_t port = 0;
+  if (ReadFull(port_fd, &port, sizeof port)) {
+    ::close(port_fd);
+    std::vector<int> fds;
+    fds.reserve(connections);
+    for (size_t i = 0; i < connections; ++i) {
+      Result<int> fd = ConnectTcp("127.0.0.1", port);
+      if (!fd.ok()) break;  // The parent counts the shortfall as failures.
+      fds.push_back(fd.value());
+    }
+    report.connected = fds.size();
+    std::vector<uint64_t> samples;
+    if (fds.size() == connections) {
+      samples.reserve(measured);
+      const uint64_t swarm_start = obs::NowNanos();
+      for (size_t i = 0; i < measured && i < fds.size(); ++i) {
+        // A wedged server fails the read (and the point), never hangs it.
+        timeval timeout{60, 0};
+        ::setsockopt(fds[i], SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof timeout);
+        const uint64_t start = obs::NowNanos();
+        HelloSpec hello;
+        hello.protocol = w.kinds[i];
+        hello.set_id = 1;
+        hello.params = w.params;
+        hello.known_d = w.known_d;
+        std::unique_ptr<SetsOfSetsProtocol> protocol =
+            MakeSsrProtocol(w.kinds[i], w.params);
+        Channel channel;
+        bool ok = SendHello(fds[i], hello).ok();
+        if (ok) {
+          Result<SsrOutcome> outcome = RunBobHalfOverFd(
+              *protocol, *w.clients[i], w.known_d, fds[i], &channel);
+          ok = outcome.ok();
+        }
+        if (!ok) ++report.failed;
+        samples.push_back(obs::NowNanos() - start);
+      }
+      report.seconds =
+          static_cast<double>(obs::NowNanos() - swarm_start) / 1e9;
+    }
+    std::sort(samples.begin(), samples.end());
+    if (!samples.empty()) {
+      report.p50_ns = samples[samples.size() / 2];
+      report.p99_ns =
+          samples[std::min(samples.size() - 1, (samples.size() * 99) / 100)];
+    }
+    for (int fd : fds) ::close(fd);
+  }
+  WriteFull(result_fd, &report, sizeof report);
+  ::close(result_fd);
+  std::_Exit(0);  // Skip atexit/static destructors inherited from the parent.
+}
+
+NetScalePoint RunNetScalePoint(size_t connections, size_t measured) {
+  NetScalePoint point;
+  point.connections = connections;
+  point.measured = measured;
+  point.failed = connections;  // Until the child reports otherwise.
+  Workload w = MakeWorkload(measured, /*children=*/48, /*child_size=*/8,
+                            /*d=*/2, /*seed=*/77);
+  int port_pipe[2], result_pipe[2];
+  if (::pipe(port_pipe) != 0 || ::pipe(result_pipe) != 0) {
+    std::fprintf(stderr, "bench_service --net-scale: pipe failed\n");
+    return point;
+  }
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t child = ::fork();
+  if (child < 0) {
+    std::fprintf(stderr, "bench_service --net-scale: fork failed\n");
+    return point;
+  }
+  if (child == 0) {
+    ::close(port_pipe[1]);
+    ::close(result_pipe[0]);
+    RunSwarmChild(w, connections, measured, port_pipe[0], result_pipe[1]);
+  }
+  ::close(port_pipe[0]);
+  ::close(result_pipe[1]);
+
+  // The pump is built only after the fork: the child must not inherit the
+  // poller fd or the listener (its fd budget is the N client sockets).
+  SyncService service;
+  service.RegisterSharedSet(w.server);
+  NetPumpOptions options;
+  options.handshake_timeout_ms = 0;  // Idle pre-hello ballast is the point.
+  options.idle_timeout_ms = 0;
+  // The swarm connects thousands of sockets back-to-back; the default
+  // backlog overflows and every overflow costs the child a 1s+ SYN
+  // retransmit. The kernel clamps this to net.core.somaxconn.
+  options.listen_backlog = 4096;
+  NetPump pump(&service, options);
+  Result<uint16_t> port = pump.ListenTcp(0);
+  if (!port.ok()) {
+    std::fprintf(stderr, "bench_service --net-scale: listen failed\n");
+    ::close(port_pipe[1]);
+    ::close(result_pipe[0]);
+    ::waitpid(child, nullptr, 0);
+    return point;
+  }
+  const uint16_t port_value = port.value();
+  WriteFull(port_pipe[1], &port_value, sizeof port_value);
+  ::close(port_pipe[1]);
+
+  // Pump until the child's report arrives (read non-blocking between
+  // passes), with a wall-clock ceiling so a dead child cannot hang us.
+  ::fcntl(result_pipe[0], F_SETFL, O_NONBLOCK);
+  SwarmReport report{};
+  size_t got = 0;
+  const uint64_t deadline = obs::NowNanos() + 300ull * 1'000'000'000;
+  while (got < sizeof report && obs::NowNanos() < deadline) {
+    pump.PumpOnce(10);
+    (void)pump.TakeResults();
+    ssize_t n = ::read(result_pipe[0], reinterpret_cast<char*>(&report) + got,
+                       sizeof report - got);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+    } else if (n == 0 || (n < 0 && errno != EAGAIN && errno != EINTR)) {
+      break;
+    }
+  }
+  ::close(result_pipe[0]);
+  // The child closed every socket: reap them all before reading stats.
+  for (int spin = 0; spin < 2000 && pump.connection_count() > 0; ++spin) {
+    pump.PumpOnce(5);
+    (void)pump.TakeResults();
+  }
+  int wait_status = 0;
+  ::waitpid(child, &wait_status, 0);
+
+  if (got == sizeof report) {
+    point.failed = report.failed + (connections - report.connected);
+  }
+  point.seconds = report.seconds;
+  point.p50_ms = static_cast<double>(report.p50_ns) / 1e6;
+  point.p99_ms = static_cast<double>(report.p99_ns) / 1e6;
+  point.protocol_errors = pump.stats().protocol_errors;
+  point.poll_wakeups = pump.pump_metrics().poll_wakeups;
+  const obs::LatencyHistogram& ready = pump.pump_metrics().ready_per_wakeup;
+  point.mean_ready_per_wakeup =
+      ready.count() > 0
+          ? static_cast<double>(ready.sum()) / static_cast<double>(ready.count())
+          : 0.0;
+  point.backend = PollerKindName(pump.poller_kind());
+  return point;
 }
 
 struct ShardSweepRow {
@@ -773,9 +986,45 @@ int RunJsonSuite() {
       "  \"net\": {\"sessions\": %zu, \"transport\": \"socketpair\", "
       "\"seconds\": %.3f, \"sessions_per_sec\": %.0f,\n"
       "    \"round_trips_per_sec\": %.0f, \"wire_frames\": %zu, "
-      "\"p50_session_ms\": %.3f, \"p99_session_ms\": %.3f},\n",
+      "\"p50_session_ms\": %.3f, \"p99_session_ms\": %.3f,\n",
       net.sessions, net.seconds, net.sessions_per_sec,
       net.round_trips_per_sec, net.wire_frames, net.p50_ms, net.p99_ms);
+  json += buf;
+
+  // Concurrent-connection sweep: the same measured-session set under
+  // growing idle-connection ballast. The headline claim is the flat p99 —
+  // poller cost per wakeup must not grow with watched (quiet) fds.
+  json += "    \"scaling\": [\n";
+  const size_t scale_points[] = {512, 2048, 10240};
+  std::vector<NetScalePoint> scaling;
+  for (size_t connections : scale_points) {
+    scaling.push_back(RunNetScalePoint(connections, /*measured=*/512));
+    const NetScalePoint& p = scaling.back();
+    if (p.failed != 0 || p.protocol_errors != 0) {
+      std::fprintf(stderr,
+                   "bench_service: net scaling failures at %zu connections "
+                   "(%zu failed, %zu protocol errors)\n",
+                   connections, p.failed, p.protocol_errors);
+      return 1;
+    }
+    std::printf("net-scale %5zu conns  p50 %.2fms p99 %.2fms  "
+                "(%s, %.1f ready/wakeup)\n",
+                p.connections, p.p50_ms, p.p99_ms, p.backend,
+                p.mean_ready_per_wakeup);
+    std::snprintf(
+        buf, sizeof buf,
+        "      {\"connections\": %zu, \"measured_sessions\": %zu, "
+        "\"seconds\": %.3f, \"backend\": \"%s\",\n"
+        "       \"p50_session_ms\": %.3f, \"p99_session_ms\": %.3f, "
+        "\"poll_wakeups\": %zu, \"mean_ready_per_wakeup\": %.2f}%s\n",
+        p.connections, p.measured, p.seconds, p.backend, p.p50_ms, p.p99_ms,
+        p.poll_wakeups, p.mean_ready_per_wakeup,
+        connections == scale_points[2] ? "" : ",");
+    json += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "    ],\n    \"p99_flatness_10k_over_512\": %.2f},\n",
+                scaling.back().p99_ms / std::max(0.001, scaling.front().p99_ms));
   json += buf;
 
   // Wire-codec byte accounting at the acceptance workload: the dense
@@ -1004,6 +1253,37 @@ int RunNetSuite() {
   return net.failed == 0 ? 0 : 1;
 }
 
+/// --net-scale=N: one sweep point as a CI gate — N concurrent connections
+/// must carry the measured sessions with zero failures, zero protocol
+/// errors, and a sane p99 (the bound is generous: it catches a poller
+/// melting under fd count, not scheduler noise).
+int RunNetScaleSuite(size_t connections) {
+  bench::Header("service --net-scale",
+                "session latency under concurrent-connection ballast");
+  const size_t measured = std::min<size_t>(connections, 512);
+  NetScalePoint p = RunNetScalePoint(connections, measured);
+  std::printf("connections     %zu (%zu measured sessions, %zu failed)\n",
+              p.connections, p.measured, p.failed);
+  std::printf("backend         %s\n", p.backend);
+  std::printf("latency         p50 %.3f ms, p99 %.3f ms\n", p.p50_ms,
+              p.p99_ms);
+  std::printf("poller          %zu wakeups, %.2f mean ready fds/wakeup\n",
+              p.poll_wakeups, p.mean_ready_per_wakeup);
+  std::printf("protocol errors %zu\n", p.protocol_errors);
+  const double kP99CeilingMs = 500.0;
+  if (p.failed != 0 || p.protocol_errors != 0) {
+    std::fprintf(stderr, "bench_service --net-scale: FAILED (errors)\n");
+    return 1;
+  }
+  if (p.p99_ms > kP99CeilingMs) {
+    std::fprintf(stderr,
+                 "bench_service --net-scale: FAILED (p99 %.1f ms > %.0f ms)\n",
+                 p.p99_ms, kP99CeilingMs);
+    return 1;
+  }
+  return 0;
+}
+
 void RunTableSuite() {
   bench::Header("service", "sessions/sec: direct loop vs SyncService");
   std::printf("%-22s %10s %10s %8s\n", "workload", "direct/s", "service/s",
@@ -1057,6 +1337,15 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--check-bytes=", 14) == 0) {
       return setrec::RunCheckBytes(argv[i] + 14);
+    }
+    if (std::strncmp(argv[i], "--net-scale=", 12) == 0) {
+      const long connections = std::strtol(argv[i] + 12, nullptr, 10);
+      if (connections < 1 || connections > 16000) {
+        std::fprintf(stderr, "bench_service: bad --net-scale value "
+                             "(fd budget tops out near 16k)\n");
+        return 1;
+      }
+      return setrec::RunNetScaleSuite(static_cast<size_t>(connections));
     }
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       const long shards = std::strtol(argv[i] + 9, nullptr, 10);

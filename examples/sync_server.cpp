@@ -9,7 +9,7 @@
 //                   forest / shingle sessions sharing the same scheduler.
 //
 //  --listen=tcp:PORT | --listen=unix:PATH  [--serve=N] [--shards=K]
-//                   [--stats-every=N] [--trace-slow=MS]
+//                   [--stats-every=N] [--trace-slow=MS] [--poller=KIND]
 //                   REAL remote clients: a src/net/ NetPump accepts
 //                   connections, decodes wire frames, and the service
 //                   hosts only the Alice half of each session against the
@@ -28,6 +28,9 @@
 //                   client-side traces). A stall watchdog dumps a shard's
 //                   tracer ring if its driving thread stops stepping for
 //                   2s with mailbox work queued.
+//                   --poller=auto|poll|epoll|io_uring selects the pump's
+//                   readiness backend (auto = SETREC_POLLER env, else
+//                   epoll on Linux, else poll).
 //
 //  --selftest-net   End-to-end loop-device check: listens on an ephemeral
 //                   TCP port, drives a real client (the sync_client code
@@ -75,7 +78,8 @@ using namespace setrec;
 /// The multi-core server: K shards, one pump thread per shard, one
 /// SO_REUSEPORT TCP listener per pump.
 int RunListenSharded(uint16_t want_port, size_t serve_count, size_t shards,
-                     size_t stats_every, uint64_t trace_slow_ns) {
+                     size_t stats_every, uint64_t trace_slow_ns,
+                     PollerKind poller) {
   ShardedSyncServiceOptions service_options;
   service_options.shards = shards;
   service_options.spawn_threads = false;  // Pump threads drive the shards.
@@ -84,7 +88,9 @@ int RunListenSharded(uint16_t want_port, size_t serve_count, size_t shards,
   auto server_set = std::make_shared<SetOfSets>(net_demo::MakeServerSet());
   uint64_t set_id = service.RegisterSharedSet(server_set);
 
-  MultiNetPump pump(&service);
+  MultiNetPumpOptions pump_options;
+  pump_options.pump.poller = poller;
+  MultiNetPump pump(&service, pump_options);
   Result<uint16_t> port = pump.ListenTcp(want_port);
   if (!port.ok()) {
     std::fprintf(stderr, "listen failed: %s\n",
@@ -97,14 +103,24 @@ int RunListenSharded(uint16_t want_port, size_t serve_count, size_t shards,
   obs::StallWatchdog watchdog;
   for (size_t i = 0; i < service.shard_count(); ++i) {
     SyncService* shard = service.shard(i);
-    watchdog.Watch({"shard-" + std::to_string(i), &shard->heartbeat(),
+    // The pump's heartbeat (stamped every poller return) is the liveness
+    // signal — it keeps beating through idle stretches where the shard
+    // never steps; its away-from-poll p99 is printed in the stall banner.
+    NetPump* shard_pump = pump.pump(i);
+    watchdog.Watch({"shard-" + std::to_string(i), &shard_pump->heartbeat(),
                     [shard] { return shard->HasMailboxWork(); },
-                    &shard->tracer()});
+                    &shard->tracer(),
+                    [shard_pump] {
+                      return shard_pump->SnapshotPumpMetrics()
+                          .away_from_poll.p99();
+                    }});
   }
   watchdog.Start(/*stall_ns=*/2'000'000'000, /*poll_ms=*/500, stderr);
   std::printf("listening on tcp port %u with %zu shard pumps "
-              "(SO_REUSEPORT; shared set id %llu, %zu children)\n",
+              "(SO_REUSEPORT; poller %s; shared set id %llu, %zu "
+              "children)\n",
               port.value(), pump.pump_count(),
+              PollerKindName(pump.pump(0)->poller_kind()),
               static_cast<unsigned long long>(set_id), server_set->size());
   std::fflush(stdout);
   pump.Start();
@@ -157,19 +173,27 @@ int RunListenSharded(uint16_t want_port, size_t serve_count, size_t shards,
 }
 
 int RunListen(const std::string& target, size_t serve_count,
-              size_t stats_every, uint64_t trace_slow_ns) {
+              size_t stats_every, uint64_t trace_slow_ns,
+              PollerKind poller) {
   SyncServiceOptions options;
   options.trace_slow_ns = trace_slow_ns;
   SyncService service(options);
   auto server_set = std::make_shared<SetOfSets>(net_demo::MakeServerSet());
   uint64_t set_id = service.RegisterSharedSet(server_set);
-  NetPump pump(&service);
+  NetPumpOptions pump_options;
+  pump_options.poller = poller;
+  NetPump pump(&service, pump_options);
+  std::printf("poller backend: %s\n", PollerKindName(pump.poller_kind()));
   // Same stall watchdog as the sharded mode, over the one shard this
-  // thread drives.
+  // thread drives; the pump heartbeat beats on every poller return and
+  // the away-from-poll p99 lands in the stall banner.
   obs::StallWatchdog watchdog;
-  watchdog.Watch({"shard-0", &service.heartbeat(),
+  watchdog.Watch({"shard-0", &pump.heartbeat(),
                   [&service] { return service.HasMailboxWork(); },
-                  &service.tracer()});
+                  &service.tracer(),
+                  [&pump] {
+                    return pump.SnapshotPumpMetrics().away_from_poll.p99();
+                  }});
   watchdog.Start(/*stall_ns=*/2'000'000'000, /*poll_ms=*/500, stderr);
 
   if (target.rfind("tcp:", 0) == 0) {
@@ -245,11 +269,14 @@ int RunListen(const std::string& target, size_t serve_count,
   return failed == 0 ? 0 : 1;
 }
 
-int RunNetSelftest() {
+int RunNetSelftest(PollerKind poller) {
   SyncService service;
   auto server_set = std::make_shared<SetOfSets>(net_demo::MakeServerSet());
   service.RegisterSharedSet(server_set);
-  NetPump pump(&service);
+  NetPumpOptions pump_options;
+  pump_options.poller = poller;
+  NetPump pump(&service, pump_options);
+  std::printf("poller backend: %s\n", PollerKindName(pump.poller_kind()));
   Result<uint16_t> port = pump.ListenTcp(0);
   if (!port.ok()) {
     std::fprintf(stderr, "listen failed: %s\n",
@@ -359,12 +386,26 @@ int RunLoopbackDemo();
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--selftest-net") return RunNetSelftest();
+    if (arg == "--selftest-net") {
+      PollerKind poller = PollerKind::kAuto;
+      for (int j = 1; j < argc; ++j) {
+        if (std::strncmp(argv[j], "--poller=", 9) == 0) {
+          Result<PollerKind> kind = ParsePollerKind(argv[j] + 9);
+          if (!kind.ok()) {
+            std::fprintf(stderr, "--poller needs auto|poll|epoll|io_uring\n");
+            return 2;
+          }
+          poller = kind.value();
+        }
+      }
+      return RunNetSelftest(poller);
+    }
     if (arg.rfind("--listen=", 0) == 0) {
       size_t serve = 0;
       size_t shards = 1;
       size_t stats_every = 0;
       uint64_t trace_slow_ns = 0;
+      PollerKind poller = PollerKind::kAuto;
       for (int j = 1; j < argc; ++j) {
         if (std::strncmp(argv[j], "--serve=", 8) == 0) {
           serve = std::strtoull(argv[j] + 8, nullptr, 10);
@@ -379,6 +420,15 @@ int main(int argc, char** argv) {
           trace_slow_ns =
               std::strtoull(argv[j] + 13, nullptr, 10) * 1'000'000ull;
         }
+        if (std::strncmp(argv[j], "--poller=", 9) == 0) {
+          Result<PollerKind> kind = ParsePollerKind(argv[j] + 9);
+          if (!kind.ok()) {
+            std::fprintf(stderr,
+                         "--poller needs auto|poll|epoll|io_uring\n");
+            return 2;
+          }
+          poller = kind.value();
+        }
       }
       const std::string target = arg.substr(9);
       if (shards > 1) {
@@ -390,9 +440,9 @@ int main(int argc, char** argv) {
         return RunListenSharded(
             static_cast<uint16_t>(
                 std::strtoul(target.c_str() + 4, nullptr, 10)),
-            serve, shards, stats_every, trace_slow_ns);
+            serve, shards, stats_every, trace_slow_ns, poller);
       }
-      return RunListen(target, serve, stats_every, trace_slow_ns);
+      return RunListen(target, serve, stats_every, trace_slow_ns, poller);
     }
   }
   return RunLoopbackDemo();

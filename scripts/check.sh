@@ -101,6 +101,11 @@ distributed_obs() {
 }
 run distributed-obs distributed_obs
 
+# Lane 1d: net-scale smoke — the server end of 2k concurrent connections
+# (client swarm in a forked child; see bench_service.cc) must finish its
+# measured sessions with zero failures/protocol errors and a bounded p99.
+run net-scale ./build/bench_service --net-scale=2000
+
 # Lane 2: ASan+UBSan over the lifetime-sensitive suites.
 lane asan asan -L 'fast|service'
 
@@ -115,4 +120,4 @@ if [ "${#failed[@]}" -ne 0 ]; then
   echo "CHECK FAILED: ${failed[*]}"
   exit 1
 fi
-echo "CHECK OK: default, obs-smoke, distributed-obs, asan, tsan, lint all green"
+echo "CHECK OK: default, obs-smoke, distributed-obs, net-scale, asan, tsan, lint all green"

@@ -60,12 +60,28 @@ Result<uint16_t> MultiNetPump::ListenTcp(uint16_t port) {
   return bound;
 }
 
-void MultiNetPump::AdoptConnection(int fd) {
-  // Connections hash to shards by a dense connection id (the balls-into-
-  // bins placement the ISSUE's choice-memory reference motivates: ids are
-  // uniform, so shard load stays balanced with no coordination).
-  const uint64_t id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
-  pumps_[static_cast<size_t>(id % pumps_.size())]->AdoptConnectionAsync(fd);
+size_t MultiNetPump::AdoptConnection(int fd) {
+  // Load-aware placement: full scan for the shard with the cheapest load
+  // signal (live sessions + undrained mailbox). The scan starts at a
+  // rotating offset so equal-load shards round-robin instead of piling
+  // onto shard 0; relaxed reads are fine — a one-command skew cannot
+  // misroute by more than it already costs. Replaces the old dense-id
+  // hash, which kept CONNECTION counts balanced but ignored how expensive
+  // each shard's sessions actually are.
+  const uint64_t salt = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  const size_t n = pumps_.size();
+  size_t best = static_cast<size_t>(salt % n);
+  uint64_t best_load = service_->LoadOf(best).total();
+  for (size_t step = 1; step < n && best_load > 0; ++step) {
+    const size_t i = static_cast<size_t>((salt + step) % n);
+    const uint64_t load = service_->LoadOf(i).total();
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  pumps_[best]->AdoptConnectionAsync(fd);
+  return best;
 }
 
 void MultiNetPump::Start() {
@@ -130,6 +146,9 @@ NetPumpStats MultiNetPump::AggregateStats() const {
     total.bytes_in += s.bytes_in;
     total.bytes_out += s.bytes_out;
     total.backpressure_stalls += s.backpressure_stalls;
+    total.handshake_timeouts += s.handshake_timeouts;
+    total.idle_timeouts += s.idle_timeouts;
+    total.admissions_rejected += s.admissions_rejected;
   }
   return total;
 }

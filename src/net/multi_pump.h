@@ -53,8 +53,12 @@ class MultiNetPump {
   /// listener) with SO_REUSEPORT; returns the bound port.
   Result<uint16_t> ListenTcp(uint16_t port);
 
-  /// Routes an already-connected fd to a pump by connection id.
-  void AdoptConnection(int fd);
+  /// Routes an already-connected fd to the pump whose shard currently
+  /// carries the least load (in-flight sessions + undrained mailbox
+  /// commands, via ShardedSyncService::LoadOf), ties broken by a rotating
+  /// counter so equal-load shards still round-robin. Returns the chosen
+  /// pump index (tests assert placement).
+  size_t AdoptConnection(int fd);
 
   /// Spawns one thread per pump. Idempotent.
   void Start();

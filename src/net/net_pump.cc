@@ -4,7 +4,6 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -27,6 +26,28 @@ namespace {
 /// honest maximum (one in-flight protocol message).
 constexpr size_t kMaxFramesPerStep = 4;
 
+// Poller token space: 0 is the wake pipe, small integers are listeners,
+// and connections draw monotonically from kConnTokenBase up (tokens are
+// never reused, so a recycled fd number can't alias a stale registration
+// or a stale timer).
+constexpr uint64_t kWakeToken = 0;
+constexpr uint64_t kListenerTokenBase = 1;
+constexpr uint64_t kConnTokenBase = uint64_t{1} << 16;
+
+// Timer-wheel user_data: (connection token << 2) | type. Accept-resume
+// carries no token.
+constexpr uint64_t kTimerHandshake = 0;
+constexpr uint64_t kTimerIdle = 1;
+constexpr uint64_t kTimerShedLinger = 2;
+constexpr uint64_t kTimerAcceptResume = 3;
+
+/// Accept token bucket window (see NetPumpOptions::accept_rate_per_sec).
+constexpr uint64_t kAcceptWindowNs = 100'000'000;
+
+/// How long a shed connection may linger flushing its busy frame before
+/// the wheel force-closes it (a peer that never reads must not pin a fd).
+constexpr uint64_t kShedLingerNs = 1'000'000'000;
+
 Status SetNonBlocking(int fd) {
   int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
@@ -42,12 +63,21 @@ Status SetNonBlocking(int fd) {
 /// outgoing byte buffer.
 struct NetPump::Connection {
   int fd = -1;
+  /// Poller registration token and key into NetPump::connections_.
+  uint64_t token = 0;
+  /// Interest mask currently registered with the poller.
+  uint32_t interest = 0;
   FrameDecoder decoder;
   /// The pump-held half of the session's mirror pair; null before hello.
   std::shared_ptr<Endpoint> mirror_peer;
   uint64_t session_id = 0;
   bool session_done = false;
   bool closing = false;
+  /// Admission control refused this connection: it carries only a busy
+  /// frame and closes once it flushes (or the linger timer fires).
+  bool shedding = false;
+  /// In this pass's touched_ work list.
+  bool touched = false;
   /// Peer sent EOF. Judged only after the service has consumed every frame
   /// that arrived before it: an EOF behind the final verdict is a clean
   /// goodbye, an EOF with the session still live is a disconnect.
@@ -64,25 +94,40 @@ struct NetPump::Connection {
   /// the session consumes them is flooding, and gets dropped before its
   /// transcript can grow without bound.
   size_t frames_since_step = 0;
+  // Wheel timers (0 = not armed). Handshake runs hello-less connections
+  // out of town; idle reaps byte-silent sessions; shed linger bounds how
+  // long a refused connection may hold its fd.
+  TimerWheel::TimerId handshake_timer = 0;
+  TimerWheel::TimerId idle_timer = 0;
+  TimerWheel::TimerId shed_timer = 0;
 
   explicit Connection(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
   size_t outbuf_pending() const { return outbuf.size() - outbuf_off; }
 };
 
 NetPump::NetPump(SyncService* service, NetPumpOptions options)
-    : service_(service), options_(options) {
+    : service_(service),
+      options_(options),
+      poller_(MakePoller(options.poller)),
+      wheel_(obs::NowNanos()),
+      next_token_(kConnTokenBase) {
   // Eager self-pipe: Wake()/AdoptConnectionAsync may be called from any
   // thread, so the fds must exist before the pump is shared. On the
   // (unlikely) pipe failure the pump still works — cross-thread wakes then
   // ride on the caller's poll timeout.
   (void)EnsureWakePipe();
+  if (wake_pipe_[0] >= 0) {
+    (void)poller_->Add(wake_pipe_[0], Poller::kRead, kWakeToken);
+  }
+  pump_metrics_.poller_backends |=
+      1u << static_cast<uint32_t>(poller_->kind());
   // A networked service answers TRACE?, so traced/slow sessions must be
   // retained even when --trace-slow never armed the tracer's stderr dump.
   service_->tracer().EnableCapture(service_->options().trace_ring_capacity);
 }
 
 NetPump::~NetPump() {
-  for (const std::unique_ptr<Connection>& conn : connections_) {
+  for (const auto& [token, conn] : connections_) {
     if (conn->fd >= 0) ::close(conn->fd);
   }
   for (int fd : listeners_) ::close(fd);
@@ -155,6 +200,12 @@ Result<uint16_t> NetPump::ListenTcp(uint16_t port) {
     ::close(fd);
     return err;
   }
+  if (Status s = poller_->Add(fd, Poller::kRead,
+                              kListenerTokenBase + listeners_.size());
+      !s.ok()) {
+    ::close(fd);
+    return s;
+  }
   listeners_.push_back(fd);
   return static_cast<uint16_t>(ntohs(addr.sin_port));
 }
@@ -179,6 +230,12 @@ Status NetPump::ListenUnix(const std::string& path) {
     ::close(fd);
     return s;
   }
+  if (Status s = poller_->Add(fd, Poller::kRead,
+                              kListenerTokenBase + listeners_.size());
+      !s.ok()) {
+    ::close(fd);
+    return s;
+  }
   listeners_.push_back(fd);
   unix_paths_.push_back(path);
   return Status::Ok();
@@ -186,11 +243,163 @@ Status NetPump::ListenUnix(const std::string& path) {
 
 Status NetPump::AdoptConnection(int fd) {
   if (Status s = SetNonBlocking(fd); !s.ok()) return s;
-  auto conn = std::make_unique<Connection>(options_.max_frame_bytes);
+  auto owned = std::make_unique<Connection>(options_.max_frame_bytes);
+  Connection* conn = owned.get();
   conn->fd = fd;
-  connections_.push_back(std::move(conn));
+  conn->token = next_token_++;
+  // Load-aware admission: over the cap, the connection exists only to
+  // carry an explicit "busy, retry-after" frame — cheaper for everyone
+  // than an accept-queue stall the client can't distinguish from loss.
+  const bool shed =
+      options_.admission_max_sessions != 0 &&
+      connections_.size() - shed_live_ >= options_.admission_max_sessions;
+  const uint32_t interest = shed ? Poller::kWrite : Poller::kRead;
+  if (Status s = poller_->Add(fd, interest, conn->token); !s.ok()) {
+    return s;  // Caller still owns (and closes) the fd.
+  }
+  conn->interest = interest;
+  connections_.emplace(conn->token, std::move(owned));
   ++stats_.accepted;
+  if (shed) {
+    StartShed(conn);
+  } else {
+    ArmHandshakeTimer(conn);
+  }
+  Touch(conn);
   return Status::Ok();
+}
+
+void NetPump::Touch(Connection* conn) {
+  if (conn->touched) return;
+  conn->touched = true;
+  touched_.push_back(conn);
+}
+
+void NetPump::StartShed(Connection* conn) {
+  conn->shedding = true;
+  ++shed_live_;
+  ByteWriter writer;
+  WriteMessageFrame(MakeBusyMessage(options_.busy_retry_after_ms), &writer);
+  const std::vector<uint8_t>& bytes = writer.bytes();
+  conn->outbuf.insert(conn->outbuf.end(), bytes.begin(), bytes.end());
+  ++stats_.frames_out;
+  ++stats_.admissions_rejected;
+  ++pump_metrics_.admissions_rejected;
+  metrics_dirty_ = true;
+  conn->shed_timer =
+      wheel_.Schedule(kShedLingerNs, (conn->token << 2) | kTimerShedLinger);
+}
+
+void NetPump::ArmHandshakeTimer(Connection* conn) {
+  if (options_.handshake_timeout_ms == 0) return;
+  if (conn->handshake_timer != 0) wheel_.Cancel(conn->handshake_timer);
+  conn->handshake_timer =
+      wheel_.Schedule(uint64_t{options_.handshake_timeout_ms} * 1'000'000,
+                      (conn->token << 2) | kTimerHandshake);
+}
+
+void NetPump::RearmIdleTimer(Connection* conn) {
+  if (options_.idle_timeout_ms == 0 || conn->session_id == 0 ||
+      conn->closing) {
+    return;
+  }
+  if (conn->idle_timer != 0) wheel_.Cancel(conn->idle_timer);
+  conn->idle_timer =
+      wheel_.Schedule(uint64_t{options_.idle_timeout_ms} * 1'000'000,
+                      (conn->token << 2) | kTimerIdle);
+}
+
+void NetPump::OnTimer(uint64_t data) {
+  const uint64_t type = data & 3u;
+  if (type == kTimerAcceptResume) {
+    ResumeListeners();
+    return;
+  }
+  auto it = connections_.find(data >> 2);
+  if (it == connections_.end()) return;  // Raced a close; stale fire.
+  Connection* conn = it->second.get();
+  switch (type) {
+    case kTimerHandshake:
+      conn->handshake_timer = 0;
+      if (!conn->closing && conn->session_id == 0 && !conn->shedding) {
+        ++stats_.handshake_timeouts;
+        ++pump_metrics_.handshake_timeouts;
+        metrics_dirty_ = true;
+        FailConnection(conn, /*protocol_error=*/false);
+      }
+      break;
+    case kTimerIdle:
+      conn->idle_timer = 0;
+      if (!conn->closing) {
+        ++stats_.idle_timeouts;
+        ++pump_metrics_.idle_timeouts;
+        metrics_dirty_ = true;
+        FailConnection(conn, /*protocol_error=*/false);
+      }
+      break;
+    case kTimerShedLinger:
+      conn->shed_timer = 0;
+      if (!conn->closing) {
+        conn->closing = true;
+        Touch(conn);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+bool NetPump::AcceptBudgetOk(uint64_t now_ns) {
+  if (options_.accept_rate_per_sec == 0) return true;
+  if (now_ns - accept_window_start_ns_ >= kAcceptWindowNs) {
+    accept_window_start_ns_ = now_ns;
+    accept_budget_ =
+        std::max<uint64_t>(1, options_.accept_rate_per_sec / 10);
+  }
+  if (accept_budget_ == 0) return false;
+  --accept_budget_;
+  return true;
+}
+
+void NetPump::PauseListeners() {
+  if (listeners_paused_) return;
+  listeners_paused_ = true;
+  for (size_t i = 0; i < listeners_.size(); ++i) {
+    (void)poller_->Modify(listeners_[i], 0, kListenerTokenBase + i);
+  }
+}
+
+void NetPump::ResumeListeners() {
+  if (!listeners_paused_) return;
+  listeners_paused_ = false;
+  for (size_t i = 0; i < listeners_.size(); ++i) {
+    (void)poller_->Modify(listeners_[i], Poller::kRead,
+                          kListenerTokenBase + i);
+  }
+}
+
+void NetPump::AcceptFrom(size_t index) {
+  if (index >= listeners_.size()) return;
+  for (;;) {
+    const uint64_t now = obs::NowNanos();
+    if (!AcceptBudgetOk(now)) {
+      // Budget exhausted: park the listeners and let the wheel re-enable
+      // them at the window boundary. The kernel backlog absorbs the burst.
+      PauseListeners();
+      const uint64_t elapsed = now - accept_window_start_ns_;
+      const uint64_t delay =
+          elapsed >= kAcceptWindowNs ? 1 : kAcceptWindowNs - elapsed;
+      wheel_.Schedule(delay, kTimerAcceptResume);
+      return;
+    }
+    int fd = ::accept(listeners_[index], nullptr, nullptr);
+    if (fd < 0) {
+      // Refund the unconsumed budget token.
+      if (options_.accept_rate_per_sec != 0) ++accept_budget_;
+      return;
+    }
+    if (!AdoptConnection(fd).ok()) ::close(fd);
+  }
 }
 
 void NetPump::StepService() {
@@ -209,6 +418,9 @@ void NetPump::CollectResults() {
     auto it = by_session_.find(result.id);
     if (it != by_session_.end()) {
       it->second->session_done = true;
+      // The finish phase must see this connection even though no fd event
+      // woke it: its final frames sit in the mirror.
+      Touch(it->second);
       by_session_.erase(it);
     }
     results_.push_back(std::move(result));
@@ -263,11 +475,15 @@ void NetPump::HandleFrame(Connection* conn, Channel::Message message) {
   if (IsStatQueryMessage(message)) {
     // Admin traffic: answered inline, invisible to the session layer (no
     // pre-hello budget, no flood gate, never delivered to a transcript).
+    // It IS liveness though: an operator console holding a hello-less
+    // connection open must not be reaped as a handshake straggler.
     HandleStatQuery(conn);
+    if (conn->session_id == 0) ArmHandshakeTimer(conn);
     return;
   }
   if (IsTraceQueryMessage(message)) {
     HandleTraceQuery(conn);
+    if (conn->session_id == 0) ArmHandshakeTimer(conn);
     return;
   }
   if (conn->session_id == 0) {
@@ -303,6 +519,13 @@ void NetPump::HandleFrame(Connection* conn, Channel::Message message) {
     conn->mirror_peer = std::make_shared<Endpoint>(std::move(client_end));
     conn->session_id = service_->Submit(std::move(spec));
     by_session_.emplace(conn->session_id, conn);
+    // Hello completed: the handshake clock retires and the idle clock
+    // takes over the connection's lifecycle.
+    if (conn->handshake_timer != 0) {
+      wheel_.Cancel(conn->handshake_timer);
+      conn->handshake_timer = 0;
+    }
+    RearmIdleTimer(conn);
     return;
   }
   if (conn->session_done) {
@@ -325,6 +548,7 @@ void NetPump::HandleFrame(Connection* conn, Channel::Message message) {
 }
 
 void NetPump::HandleReadable(Connection* conn) {
+  if (conn->shedding) return;  // Shed connections only flush and close.
   // One reusable read buffer for the whole (single-threaded) pump — no
   // per-wakeup allocation.
   std::vector<uint8_t>& buf = read_buf_;
@@ -333,6 +557,7 @@ void NetPump::HandleReadable(Connection* conn) {
     ssize_t n = ::read(conn->fd, buf.data(), buf.size());
     if (n > 0) {
       stats_.bytes_in += static_cast<size_t>(n);
+      RearmIdleTimer(conn);
       conn->decoder.Feed(buf.data(), static_cast<size_t>(n));
       Channel::Message message;
       while (!conn->closing && conn->decoder.Next(&message)) {
@@ -383,26 +608,36 @@ void NetPump::DrainMirror(Connection* conn) {
 }
 
 void NetPump::FlushWrites(Connection* conn) {
+  bool wrote = false;
   while (conn->outbuf_pending() > 0) {
-    ssize_t n = ::write(conn->fd, conn->outbuf.data() + conn->outbuf_off,
-                        conn->outbuf_pending());
+    // MSG_NOSIGNAL: a client that vanished mid-flush must surface as
+    // EPIPE (handled by FailConnection below), not SIGPIPE the pump.
+    ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->outbuf_off,
+                       conn->outbuf_pending(), MSG_NOSIGNAL);
     if (n > 0) {
       conn->outbuf_off += static_cast<size_t>(n);
       stats_.bytes_out += static_cast<size_t>(n);
+      wrote = true;
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     FailConnection(conn, /*protocol_error=*/false);
     return;
   }
-  conn->outbuf.clear();
-  conn->outbuf_off = 0;
+  if (conn->outbuf_pending() == 0) {
+    conn->outbuf.clear();
+    conn->outbuf_off = 0;
+  }
+  // Outbound progress is liveness too: a client slowly consuming a large
+  // table is not idle.
+  if (wrote) RearmIdleTimer(conn);
 }
 
 void NetPump::FailConnection(Connection* conn, bool protocol_error) {
   if (conn->closing) return;
   conn->closing = true;
+  Touch(conn);
   if (protocol_error) ++stats_.protocol_errors;
   if (conn->session_id != 0 && !conn->session_done) {
     ++stats_.disconnects;
@@ -416,119 +651,142 @@ void NetPump::FailConnection(Connection* conn, bool protocol_error) {
   CollectResults();
 }
 
-void NetPump::CloseConnection(size_t index) {
-  Connection* conn = connections_[index].get();
+void NetPump::CloseConnection(Connection* conn) {
+  if (conn->handshake_timer != 0) wheel_.Cancel(conn->handshake_timer);
+  if (conn->idle_timer != 0) wheel_.Cancel(conn->idle_timer);
+  if (conn->shed_timer != 0) wheel_.Cancel(conn->shed_timer);
   if (conn->session_id != 0) by_session_.erase(conn->session_id);
+  if (conn->shedding && shed_live_ > 0) --shed_live_;
+  (void)poller_->Remove(conn->fd);
   if (conn->fd >= 0) ::close(conn->fd);
   ++stats_.closed;
-  connections_.erase(connections_.begin() + static_cast<ptrdiff_t>(index));
+  connections_.erase(conn->token);  // Frees conn.
+}
+
+void NetPump::UpdateInterest(Connection* conn) {
+  uint32_t want = 0;
+  if (!conn->closing) {
+    if (conn->outbuf_pending() > 0) want |= Poller::kWrite;
+    const bool gated = conn->outbuf_pending() >= options_.max_outbuf_bytes;
+    if (gated) ++stats_.backpressure_stalls;
+    if (!gated && !conn->eof && !conn->shedding) want |= Poller::kRead;
+  }
+  if (want != conn->interest) {
+    if (poller_->Modify(conn->fd, want, conn->token).ok()) {
+      conn->interest = want;
+    }
+  }
 }
 
 size_t NetPump::PumpOnce(int timeout_ms) {
   // Adopt fds handed off by other threads (multi-pump distribution) before
-  // building the poll set, so they are watched this very pass.
+  // waiting, so they are watched this very pass.
   adopt_queue_.DrainInto([this](int&& fd) {
     if (!AdoptConnection(fd).ok()) ::close(fd);
   });
-  std::vector<pollfd> fds;
-  fds.reserve(listeners_.size() + connections_.size() + 1);
-  for (int fd : listeners_) fds.push_back(pollfd{fd, POLLIN, 0});
-  for (const std::unique_ptr<Connection>& conn : connections_) {
-    short events = 0;
-    if (conn->outbuf_pending() >= options_.max_outbuf_bytes) {
-      ++stats_.backpressure_stalls;  // Input-gated until the client reads.
-    } else if (!conn->closing && !conn->eof) {
-      events |= POLLIN;
-    }
-    if (conn->outbuf_pending() > 0) events |= POLLOUT;
-    fds.push_back(pollfd{conn->fd, events, 0});
+  // Clamp the wait to the wheel's next deadline so timeouts fire on time;
+  // and don't block at all if work is already queued (a direct
+  // AdoptConnection outside the loop leaves its connection touched).
+  const uint64_t now = obs::NowNanos();
+  int wait_ms = timeout_ms;
+  const uint64_t deadline = wheel_.NextDeadlineNs();
+  if (deadline != TimerWheel::kNoDeadline) {
+    const uint64_t delta_ms =
+        deadline > now ? (deadline - now + 999'999) / 1'000'000 : 0;
+    const int clamped = delta_ms > (uint64_t{1} << 30)
+                            ? (1 << 30)
+                            : static_cast<int>(delta_ms);
+    if (wait_ms < 0 || clamped < wait_ms) wait_ms = clamped;
   }
-  // Connections accepted below are appended to connections_ and must not
-  // be matched against this pass's pollfd array.
-  const size_t polled_connections = connections_.size();
-  // The wake pipe rides last: a foreign thread's Wake() (shard mailbox
-  // push, adopted fd, shutdown) interrupts a long poll instead of waiting
-  // out the timeout.
-  size_t wake_index = fds.size();
-  if (wake_pipe_[0] >= 0) fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
-  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-  if (ready < 0) return 0;  // EINTR et al.; the caller just pumps again.
-  // Duration of the post-poll processing burst (read + step + write), i.e.
-  // how long a wakeup keeps the pump away from poll(2). Timeouts with no
-  // events are not recorded — they measure the timeout, not the pump.
-  const uint64_t wake_start = ready > 0 ? obs::NowNanos() : 0;
+  if (!touched_.empty()) wait_ms = 0;
+  // Satellite fix (was: "timeouts with no events are not recorded"): the
+  // away histogram covers EVERY gap between leaving the poller and
+  // re-entering it, so a pump stalled in processing is always visible.
+  if (away_mark_ns_ != 0) {
+    pump_metrics_.away_from_poll.Record(now - away_mark_ns_);
+    metrics_dirty_ = true;
+  }
+  events_.clear();
+  Result<size_t> waited = poller_->Wait(wait_ms, &events_);
+  const size_t ready = waited.ok() ? waited.value() : 0;
+  const uint64_t wake_ns = obs::NowNanos();
+  away_mark_ns_ = wake_ns;
+  heartbeat_.Beat(wake_ns);
+  ++pump_metrics_.poll_wakeups;
+  pump_metrics_.ready_per_wakeup.Record(ready);
+  // poll_wake keeps its original meaning: the processing burst after a
+  // wakeup WITH events (timeout-only passes measure the timeout).
+  const uint64_t wake_start = ready > 0 ? wake_ns : 0;
 
   size_t handled = 0;
-  if (wake_pipe_[0] >= 0 && (fds[wake_index].revents & POLLIN) != 0) {
-    ++handled;
-    uint8_t drain[64];
-    while (::read(wake_pipe_[0], drain, sizeof drain) > 0) {
-    }
-  }
-  // Accept new connections.
-  for (size_t i = 0; i < listeners_.size(); ++i) {
-    if ((fds[i].revents & POLLIN) == 0) continue;
-    ++handled;
-    for (;;) {
-      int fd = ::accept(listeners_[i], nullptr, nullptr);
-      if (fd < 0) break;
-      if (!AdoptConnection(fd).ok()) ::close(fd);
-    }
-  }
-  // Feed readable connections (index into connections_ is stable here:
-  // closes happen at the end of the pass).
-  for (size_t i = 0; i < polled_connections; ++i) {
-    const pollfd& pfd = fds[listeners_.size() + i];
-    Connection* conn = connections_[i].get();
-    if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+  for (const PollerEvent& event : events_) {
+    if (event.token == kWakeToken) {
       ++handled;
+      uint8_t drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof drain) > 0) {
+      }
+      continue;
+    }
+    if (event.token < kConnTokenBase) {
+      ++handled;
+      AcceptFrom(static_cast<size_t>(event.token - kListenerTokenBase));
+      continue;
+    }
+    auto it = connections_.find(event.token);
+    if (it == connections_.end()) continue;  // Closed earlier this pass.
+    Connection* conn = it->second.get();
+    Touch(conn);
+    ++handled;
+    if (event.hangup) {
       // Drain whatever the peer wrote before hanging up; the EOF verdict
       // is passed after the service digests it.
-      if (pfd.revents & POLLIN) HandleReadable(conn);
+      if (event.readable) HandleReadable(conn);
       conn->eof = true;
       continue;
     }
-    if (pfd.revents & POLLIN) {
-      ++handled;
-      HandleReadable(conn);
-    }
+    if (event.readable) HandleReadable(conn);
+    // Writable-only events: the finish phase flushes every touched conn.
   }
+  // Fire due timers: handshake/idle reaps, shed lingers, accept refills.
+  wheel_.Advance(obs::NowNanos(), [this](uint64_t data) { OnTimer(data); });
+  pump_metrics_.timers_fired = wheel_.fired();
+  pump_metrics_.timer_cascades = wheel_.cascades();
 
   // Advance the sessions fed above, then serialize their output.
   StepService();
-  for (const std::unique_ptr<Connection>& conn : connections_) {
+  // Live sessions can produce output regardless of which fds woke us
+  // (lease releases, cross-shard mailbox work), so they always join the
+  // pass. Pre-hello idlers never do — per-pass cost is O(events + live
+  // sessions + fired timers), independent of total connection count.
+  for (const auto& [id, conn] : by_session_) Touch(conn);
+
+  // Finish phase. Index loop: FailConnection/CollectResults may append
+  // newly-affected connections mid-walk and they must finish too.
+  for (size_t i = 0; i < touched_.size(); ++i) {
+    Connection* conn = touched_[i];
     conn->frames_since_step = 0;
-  }
-  // Now judge EOFs: a peer that hung up while its session is still live
-  // disconnected mid-protocol.
-  for (const std::unique_ptr<Connection>& conn : connections_) {
-    if (conn->eof && !conn->closing && conn->session_id != 0 &&
-        !conn->session_done) {
-      FailConnection(conn.get(), /*protocol_error=*/false);
-    } else if (conn->eof && !conn->closing && conn->session_id == 0) {
-      // Connected and left without ever completing a hello.
-      FailConnection(conn.get(), /*protocol_error=*/false);
+    // Judge EOFs now that the service digested everything before them: a
+    // peer gone with its session live (or never opened) is a disconnect.
+    if (conn->eof && !conn->closing &&
+        (conn->session_id == 0 || !conn->session_done)) {
+      FailConnection(conn, /*protocol_error=*/false);
     }
-  }
-  for (size_t i = 0; i < connections_.size(); ++i) {
-    Connection* conn = connections_[i].get();
     if (!conn->closing) DrainMirror(conn);
     FlushWrites(conn);
-  }
-  // Close finished connections whose output is fully flushed (or failed
-  // ones immediately).
-  for (size_t i = connections_.size(); i-- > 0;) {
-    Connection* conn = connections_[i].get();
     const bool drained =
         conn->outbuf_pending() == 0 &&
         (conn->mirror_peer == nullptr || conn->mirror_peer->pending() == 0);
     // An EOF'd-but-done connection still flushes: the peer may have
     // half-closed (shutdown(SHUT_WR)) and be waiting to read the final
     // frames; a dead peer fails the write and closes via `closing`.
-    if (conn->closing || (conn->session_done && drained)) {
-      CloseConnection(i);
+    if (conn->closing || ((conn->session_done || conn->shedding) && drained)) {
+      CloseConnection(conn);
+    } else {
+      UpdateInterest(conn);
+      conn->touched = false;
     }
   }
+  touched_.clear();
   if (wake_start != 0) {
     pump_metrics_.poll_wake.Record(obs::NowNanos() - wake_start);
     metrics_dirty_ = true;

@@ -1,0 +1,349 @@
+// The io_uring backend, over raw syscalls (the container has no liburing;
+// <linux/io_uring.h> plus io_uring_setup/io_uring_enter is all we need).
+//
+// Design: level-triggered emulation on ONESHOT IORING_OP_POLL_ADD. Each
+// arm gets a fresh backend-internal id as its SQE user_data; the backend
+// keeps fd -> {caller token, interest, current id} and id -> fd maps. A
+// CQE whose id is not the fd's CURRENT id is stale (the registration was
+// modified or removed while the completion was in flight) and is dropped
+// on the floor — this makes Modify/Remove race-free without tracking
+// in-flight cancellations: IORING_OP_POLL_REMOVE is fire-and-forget, and
+// re-arming can never double-deliver under an old mask. After a genuine
+// completion the fd re-arms with its current interest, restoring
+// level-triggered semantics for the pump.
+//
+// Wait blocks in io_uring_enter(GETEVENTS) with an EXT_ARG timespec
+// timeout (-ETIME simply means "nothing completed"). Ring memory is the
+// kernel's single-mmap layout; head/tail are synchronized with
+// std::atomic_ref acquire/release, matching the kernel's protocol.
+
+#include "net/poller.h"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define SETREC_HAVE_URING 1
+#endif
+
+#ifdef SETREC_HAVE_URING
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+#endif
+
+namespace setrec {
+namespace internal {
+
+#ifdef SETREC_HAVE_URING
+namespace {
+
+int SysUringSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags, const void* arg, size_t arg_size) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, arg, arg_size));
+}
+
+/// SQE user_data for POLL_REMOVE ops; their CQEs carry no event.
+constexpr uint64_t kCancelData = ~uint64_t{0};
+
+constexpr unsigned kSqEntries = 1024;
+
+class UringPoller final : public Poller {
+ public:
+  static std::unique_ptr<Poller> Create() {
+    io_uring_params params{};
+    // A CQ far larger than the SQ: every armed poll can complete while we
+    // are away from the ring, and dropped CQEs would mean lost wakeups.
+    params.flags = IORING_SETUP_CQSIZE;
+    params.cq_entries = 4 * kSqEntries;
+    const int ring_fd = SysUringSetup(kSqEntries, &params);
+    if (ring_fd < 0) return nullptr;
+    constexpr uint32_t kNeeded =
+        IORING_FEAT_SINGLE_MMAP | IORING_FEAT_NODROP | IORING_FEAT_EXT_ARG;
+    if ((params.features & kNeeded) != kNeeded) {
+      ::close(ring_fd);
+      return nullptr;  // Pre-5.11 kernel: MakePoller falls back to epoll.
+    }
+    auto poller = std::make_unique<UringPoller>(ring_fd, params);
+    if (!poller->MapRings()) return nullptr;
+    return poller;
+  }
+
+  UringPoller(int ring_fd, const io_uring_params& params)
+      : ring_fd_(ring_fd), params_(params) {}
+
+  ~UringPoller() override {
+    if (ring_ptr_ != nullptr) ::munmap(ring_ptr_, ring_len_);
+    if (sqes_ptr_ != nullptr) {
+      ::munmap(sqes_ptr_, params_.sq_entries * sizeof(io_uring_sqe));
+    }
+    ::close(ring_fd_);
+  }
+
+  PollerKind kind() const override { return PollerKind::kUring; }
+
+  Status Add(int fd, uint32_t interest, uint64_t token) override {
+    if (registrations_.count(fd) != 0) {
+      return InvalidArgument("poller: fd already registered");
+    }
+    Registration reg;
+    reg.token = token;
+    reg.interest = interest;
+    registrations_.emplace(fd, reg);
+    return Arm(fd);
+  }
+
+  Status Modify(int fd, uint32_t interest, uint64_t token) override {
+    auto it = registrations_.find(fd);
+    if (it == registrations_.end()) {
+      return InvalidArgument("poller: fd not registered");
+    }
+    Registration& reg = it->second;
+    reg.token = token;
+    if (reg.interest == interest) return Status::Ok();
+    reg.interest = interest;
+    Disarm(&reg);
+    return Arm(fd);
+  }
+
+  Status Remove(int fd) override {
+    auto it = registrations_.find(fd);
+    if (it == registrations_.end()) {
+      return InvalidArgument("poller: fd not registered");
+    }
+    Disarm(&it->second);
+    registrations_.erase(it);
+    return Status::Ok();
+  }
+
+  Result<size_t> Wait(int timeout_ms, std::vector<PollerEvent>* out) override {
+    if (Status s = Flush(); !s.ok()) return s;
+    size_t appended = Reap(out);
+    if (appended > 0 || timeout_ms == 0) {
+      if (Status s = Flush(); !s.ok()) return s;  // Submit re-arms.
+      return appended;
+    }
+    __kernel_timespec ts{};
+    io_uring_getevents_arg arg{};
+    unsigned flags = IORING_ENTER_GETEVENTS;
+    const void* arg_ptr = nullptr;
+    size_t arg_size = 0;
+    if (timeout_ms > 0) {
+      ts.tv_sec = timeout_ms / 1000;
+      ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+      arg.ts = reinterpret_cast<uint64_t>(&ts);
+      flags |= IORING_ENTER_EXT_ARG;
+      arg_ptr = &arg;
+      arg_size = sizeof(arg);
+    }
+    const int rc = SysUringEnter(ring_fd_, 0, 1, flags, arg_ptr, arg_size);
+    if (rc < 0 && errno != ETIME && errno != EINTR) {
+      return Unavailable(std::string("io_uring_enter: ") + strerror(errno));
+    }
+    appended = Reap(out);
+    if (Status s = Flush(); !s.ok()) return s;  // Re-arm before returning.
+    return appended;
+  }
+
+  bool MapRings() {
+    const size_t sq_len =
+        params_.sq_off.array + params_.sq_entries * sizeof(uint32_t);
+    const size_t cq_len =
+        params_.cq_off.cqes + params_.cq_entries * sizeof(io_uring_cqe);
+    ring_len_ = sq_len > cq_len ? sq_len : cq_len;
+    void* const failed =
+        reinterpret_cast<void*>(static_cast<intptr_t>(-1));  // MAP_FAILED
+    ring_ptr_ = ::mmap(nullptr, ring_len_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (ring_ptr_ == failed) {
+      ring_ptr_ = nullptr;
+      return false;
+    }
+    sqes_ptr_ = ::mmap(nullptr, params_.sq_entries * sizeof(io_uring_sqe),
+                       PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                       ring_fd_, IORING_OFF_SQES);
+    if (sqes_ptr_ == failed) {
+      sqes_ptr_ = nullptr;
+      return false;
+    }
+    char* const ring = static_cast<char*>(ring_ptr_);
+    sq_head_ = reinterpret_cast<uint32_t*>(ring + params_.sq_off.head);
+    sq_tail_ = reinterpret_cast<uint32_t*>(ring + params_.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<uint32_t*>(ring + params_.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<uint32_t*>(ring + params_.sq_off.array);
+    cq_head_ = reinterpret_cast<uint32_t*>(ring + params_.cq_off.head);
+    cq_tail_ = reinterpret_cast<uint32_t*>(ring + params_.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<uint32_t*>(ring + params_.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(ring + params_.cq_off.cqes);
+    sqes_ = static_cast<io_uring_sqe*>(sqes_ptr_);
+    return true;
+  }
+
+ private:
+  struct Registration {
+    uint64_t token = 0;
+    uint32_t interest = 0;
+    /// user_data of the currently armed POLL_ADD; 0 when disarmed.
+    uint64_t armed_id = 0;
+  };
+
+  /// Queues a oneshot POLL_ADD for the fd's current interest under a
+  /// fresh id. Interest 0 arms nothing (nothing to report).
+  Status Arm(int fd) {
+    Registration& reg = registrations_[fd];
+    if (reg.interest == 0) return Status::Ok();
+    reg.armed_id = next_id_++;
+    fd_of_id_[reg.armed_id] = fd;
+    io_uring_sqe* sqe = NextSqe();
+    if (sqe == nullptr) return Unavailable("io_uring: submission ring stuck");
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = fd;
+    int events = 0;
+    if ((reg.interest & kRead) != 0) events |= POLLIN;
+    if ((reg.interest & kWrite) != 0) events |= POLLOUT;
+    sqe->poll_events = static_cast<uint16_t>(events);
+    sqe->user_data = reg.armed_id;
+    return Status::Ok();
+  }
+
+  /// Forgets the current arm (stale CQEs for it will be dropped) and asks
+  /// the kernel to cancel it; -ENOENT on the cancel is expected when the
+  /// poll already completed.
+  void Disarm(Registration* reg) {
+    if (reg->armed_id == 0) return;
+    fd_of_id_.erase(reg->armed_id);
+    io_uring_sqe* sqe = NextSqe();
+    if (sqe != nullptr) {
+      sqe->opcode = IORING_OP_POLL_REMOVE;
+      sqe->fd = -1;
+      sqe->addr = reg->armed_id;
+      sqe->user_data = kCancelData;
+    }
+    reg->armed_id = 0;
+  }
+
+  /// Claims the next SQE slot, flushing the ring first if it is full.
+  io_uring_sqe* NextSqe() {
+    std::atomic_ref<uint32_t> head(*sq_head_);
+    std::atomic_ref<uint32_t> tail(*sq_tail_);
+    if (tail.load(std::memory_order_relaxed) -
+            head.load(std::memory_order_acquire) >=
+        params_.sq_entries) {
+      if (Status s = Flush(); !s.ok()) return nullptr;
+    }
+    const uint32_t slot = tail.load(std::memory_order_relaxed);
+    const uint32_t index = slot & sq_mask_;
+    io_uring_sqe* sqe = &sqes_[index];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sq_array_[index] = index;
+    tail.store(slot + 1, std::memory_order_release);
+    ++unsubmitted_;
+    return sqe;
+  }
+
+  Status Flush() {
+    while (unsubmitted_ > 0) {
+      const int rc = SysUringEnter(ring_fd_, unsubmitted_, 0, 0, nullptr, 0);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Unavailable(std::string("io_uring_enter(submit): ") +
+                           strerror(errno));
+      }
+      unsubmitted_ -= static_cast<unsigned>(rc);
+    }
+    return Status::Ok();
+  }
+
+  size_t Reap(std::vector<PollerEvent>* out) {
+    std::atomic_ref<uint32_t> head_ref(*cq_head_);
+    std::atomic_ref<uint32_t> tail_ref(*cq_tail_);
+    uint32_t head = head_ref.load(std::memory_order_relaxed);
+    const uint32_t tail = tail_ref.load(std::memory_order_acquire);
+    size_t appended = 0;
+    for (; head != tail; ++head) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      const uint64_t id = cqe.user_data;
+      if (id == kCancelData) continue;
+      auto it = fd_of_id_.find(id);
+      if (it == fd_of_id_.end()) continue;  // Stale: modified/removed arm.
+      const int fd = it->second;
+      fd_of_id_.erase(it);
+      Registration& reg = registrations_[fd];
+      reg.armed_id = 0;
+      PollerEvent event;
+      event.token = reg.token;
+      if (cqe.res >= 0) {
+        // The CQE is a snapshot from arm time; the caller may have drained
+        // the fd since (oneshot completions queue while we are away from
+        // the ring). Re-sample so the emulation stays level-triggered
+        // instead of replaying stale readiness.
+        pollfd probe{};
+        probe.fd = fd;
+        if ((reg.interest & kRead) != 0) probe.events |= POLLIN;
+        if ((reg.interest & kWrite) != 0) probe.events |= POLLOUT;
+        const int live = ::poll(&probe, 1, 0);
+        if (live == 0) {  // No longer ready: drop the stale CQE, re-arm.
+          if (Status s = Arm(fd); !s.ok()) break;
+          continue;
+        }
+        const uint32_t revents = live > 0 ? static_cast<uint32_t>(probe.revents)
+                                          : static_cast<uint32_t>(cqe.res);
+        event.readable = (revents & POLLIN) != 0;
+        event.writable = (revents & POLLOUT) != 0;
+        event.hangup = (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      } else {
+        event.hangup = true;  // The poll itself failed: surface as hangup.
+      }
+      out->push_back(event);
+      ++appended;
+      if (Status s = Arm(fd); !s.ok()) break;  // Oneshot fired: re-arm.
+    }
+    head_ref.store(head, std::memory_order_release);
+    return appended;
+  }
+
+  int ring_fd_;
+  io_uring_params params_;
+  void* ring_ptr_ = nullptr;
+  size_t ring_len_ = 0;
+  void* sqes_ptr_ = nullptr;
+  uint32_t* sq_head_ = nullptr;
+  uint32_t* sq_tail_ = nullptr;
+  uint32_t sq_mask_ = 0;
+  uint32_t* sq_array_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  uint32_t* cq_head_ = nullptr;
+  uint32_t* cq_tail_ = nullptr;
+  uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  unsigned unsubmitted_ = 0;
+  uint64_t next_id_ = 1;
+  std::unordered_map<int, Registration> registrations_;
+  std::unordered_map<uint64_t, int> fd_of_id_;
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> MakeUringPoller() { return UringPoller::Create(); }
+
+#else  // !SETREC_HAVE_URING
+
+std::unique_ptr<Poller> MakeUringPoller() { return nullptr; }
+
+#endif
+
+}  // namespace internal
+}  // namespace setrec

@@ -78,6 +78,25 @@ inline bool IsTraceReplyMessage(const Channel::Message& m) {
   return m.label == kTraceReplyLabel;
 }
 
+/// Load-shed frame: when admission control refuses a connection, the pump
+/// sends "BUSY" (pre-hello — it replaces the session, so it is the only
+/// frame the client will ever see on that connection) and closes. The
+/// payload is a version byte (1) plus a varint retry hint in milliseconds;
+/// clients with --retry-busy back off for retry_after_ms plus jitter and
+/// redial. Sender is Alice: the frame originates server-side.
+inline constexpr const char kBusyLabel[] = "BUSY";
+
+Channel::Message MakeBusyMessage(uint32_t retry_after_ms);
+
+inline bool IsBusyMessage(const Channel::Message& m) {
+  return m.label == kBusyLabel;
+}
+
+/// Parses a busy frame's retry hint; kParseError on anything but a
+/// well-formed v1 payload (unknown version or trailing bytes fail closed,
+/// same rule as every other parser in this file).
+[[nodiscard]] Result<uint32_t> ParseBusyMessage(const Channel::Message& m);
+
 }  // namespace setrec
 
 #endif  // SETREC_NET_WIRE_H_

@@ -124,6 +124,28 @@ void AppendPumpMetrics(const PumpMetrics& pm, ExpositionWriter& w) {
             pm.frame_decode_failures);
   w.Counter("setrec_pump_stat_requests", "", pm.stat_requests);
   w.Counter("setrec_pump_trace_requests", "", pm.trace_requests);
+  w.Histogram("setrec_pump_away_from_poll_ns", "", pm.away_from_poll);
+  w.Histogram("setrec_pump_ready_fds_per_wakeup", "", pm.ready_per_wakeup);
+  w.Counter("setrec_pump_poll_wakeups", "", pm.poll_wakeups);
+  w.Counter("setrec_pump_timer_cascades", "", pm.timer_cascades);
+  w.Counter("setrec_pump_timers_fired", "", pm.timers_fired);
+  w.Counter("setrec_pump_handshake_timeouts", "", pm.handshake_timeouts);
+  w.Counter("setrec_pump_idle_timeouts", "", pm.idle_timeouts);
+  w.Counter("setrec_pump_admissions_rejected", "", pm.admissions_rejected);
+  // One labeled gauge per backend the merged pumps ran on ("poll",
+  // "epoll", "io_uring") — new NAMES of an existing line type, so this
+  // stays within the v2 exposition contract.
+  // Bit positions follow PollerKind (net/poller.h); names are duplicated
+  // here so obs stays below net in the layering.
+  static constexpr const char* kBackendNames[] = {nullptr, "poll", "epoll",
+                                                  "io_uring"};
+  for (uint32_t kind = 1; kind <= 3; ++kind) {
+    if ((pm.poller_backends & (1u << kind)) == 0) continue;
+    std::string labels = "backend=\"";
+    labels += kBackendNames[kind];
+    labels += "\"";
+    w.Gauge("setrec_pump_poller_backend", labels, 1);
+  }
 }
 
 void AppendRates(const RateRing::Rates& rates, ExpositionWriter& w) {

@@ -60,9 +60,18 @@ void PumpMetrics::Merge(const PumpMetrics& other) {
   if (other.outbuf_high_watermark > outbuf_high_watermark) {
     outbuf_high_watermark = other.outbuf_high_watermark;
   }
+  away_from_poll.Merge(other.away_from_poll);
+  ready_per_wakeup.Merge(other.ready_per_wakeup);
   frame_decode_failures += other.frame_decode_failures;
   stat_requests += other.stat_requests;
   trace_requests += other.trace_requests;
+  poll_wakeups += other.poll_wakeups;
+  timer_cascades += other.timer_cascades;
+  timers_fired += other.timers_fired;
+  handshake_timeouts += other.handshake_timeouts;
+  idle_timeouts += other.idle_timeouts;
+  admissions_rejected += other.admissions_rejected;
+  poller_backends |= other.poller_backends;
 }
 
 void PumpMetrics::Reset() { *this = PumpMetrics{}; }

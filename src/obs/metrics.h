@@ -119,11 +119,33 @@ struct PumpMetrics {
   /// Per-connection round trip: last outbound frame write -> next inbound
   /// frame on the same connection.
   LatencyHistogram conn_round_trip;
+  /// Wall time AWAY from the poller: Wait return -> next Wait entry.
+  /// Unlike poll_wake this records every pass, including timer-only
+  /// wakeups with zero ready fds, so a pump stalled in processing is
+  /// visible even when no peer is talking (StallWatchdog prints its p99).
+  LatencyHistogram away_from_poll;
+  /// Ready fds reported per poller wakeup (a count, not nanoseconds; the
+  /// log-linear buckets are exact in the small-count range that matters).
+  LatencyHistogram ready_per_wakeup;
   /// High-watermark of any connection's pending outbuf bytes (max-gauge).
   size_t outbuf_high_watermark = 0;
   size_t frame_decode_failures = 0;
   size_t stat_requests = 0;
   size_t trace_requests = 0;
+  /// Poller Wait calls that returned (readiness, timeout, or wake pipe).
+  size_t poll_wakeups = 0;
+  /// Timer-wheel internals: boundary cascades and timers fired.
+  size_t timer_cascades = 0;
+  size_t timers_fired = 0;
+  /// Connections reaped for never completing a hello in time.
+  size_t handshake_timeouts = 0;
+  /// Established connections reaped for byte-level silence.
+  size_t idle_timeouts = 0;
+  /// Connections shed with a busy frame by load-aware admission.
+  size_t admissions_rejected = 0;
+  /// Bitmask of PollerKind values (1 << kind) the pump(s) ran on; merged
+  /// snapshots can span shards on different backends, hence a set.
+  uint32_t poller_backends = 0;
 
   void Merge(const PumpMetrics& other);
   void Reset();

@@ -35,6 +35,13 @@ size_t StallWatchdog::CheckOnce(uint64_t now_ns, uint64_t stall_ns,
                  "%.1f ms with queued work; tracer ring follows\n",
                  shard.name.c_str(),
                  static_cast<double>(now_ns - beat) / 1e6);
+    if (shard.away_p99_ns) {
+      // A large away-p99 means the driver habitually spends long bursts
+      // outside its poller (slow sessions, giant writes) — the stall is
+      // likely one such burst. A tiny p99 points at the scheduler/kernel.
+      std::fprintf(out, "  away-from-poll p99: %.3f ms\n",
+                   static_cast<double>(shard.away_p99_ns()) / 1e6);
+    }
     if (shard.tracer != nullptr) {
       if (shard.tracer->DumpRing(out) == 0) {
         std::fprintf(out, "  (tracer ring empty)\n");

@@ -42,6 +42,10 @@ class StallWatchdog {
     const Heartbeat* heartbeat = nullptr;
     std::function<bool()> queued_work;     ///< Racy hint is fine.
     const SessionTracer* tracer = nullptr; ///< Optional ring to dump.
+    /// Optional: p99 of the driver's time away from its poller, in ns
+    /// (PumpMetrics::away_from_poll). Printed in the stall banner so the
+    /// dump distinguishes "wedged mid-pass" from "never scheduled".
+    std::function<uint64_t()> away_p99_ns;
   };
 
   ~StallWatchdog() { Stop(); }

@@ -63,6 +63,20 @@ class ShardedSyncService {
   SyncService* shard(size_t i) { return shards_[i]->service.get(); }
   const SharedServiceCache& cache() const { return *cache_; }
 
+  /// Cheap load signal for shard `i`: in-flight sessions plus undrained
+  /// mailbox commands. Any thread; relaxed reads — the admission router
+  /// (MultiNetPump) only needs shards ordered roughly right, and a one-
+  /// command skew cannot misroute by more than it already costs.
+  struct ShardLoad {
+    uint64_t live_sessions = 0;
+    uint64_t mailbox_depth = 0;
+    uint64_t total() const { return live_sessions + mailbox_depth; }
+  };
+  ShardLoad LoadOf(size_t i) const {
+    const SyncService& service = *shards_[i]->service;
+    return ShardLoad{service.LiveLoad(), service.MailboxDepth()};
+  }
+
   /// Registers `set` in the shared cache: every shard resolves the same
   /// identity, and Alice-message memoization spans shards.
   uint64_t RegisterSharedSet(std::shared_ptr<const SetOfSets> set);

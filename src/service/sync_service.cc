@@ -438,6 +438,7 @@ void SyncService::SubmitPreassigned(uint64_t id, SessionSpec spec) {
       break;
   }
   ++stats_.sessions_submitted;
+  live_load_.fetch_add(1, std::memory_order_relaxed);
   backlog_.push_back(PendingSession{id, std::move(spec)});
 }
 
@@ -446,6 +447,7 @@ void SyncService::EnqueueSubmit(uint64_t id, SessionSpec spec) {
   cmd.kind = Command::Kind::kSubmit;
   cmd.id = id;
   cmd.spec = std::move(spec);
+  mailbox_depth_.fetch_add(1, std::memory_order_relaxed);
   mailbox_.Push(std::move(cmd));
 }
 
@@ -454,6 +456,7 @@ void SyncService::EnqueueRemote(uint64_t id, Channel::Message message) {
   cmd.kind = Command::Kind::kRemote;
   cmd.id = id;
   cmd.message = std::move(message);
+  mailbox_depth_.fetch_add(1, std::memory_order_relaxed);
   mailbox_.Push(std::move(cmd));
 }
 
@@ -462,6 +465,7 @@ void SyncService::EnqueueCancel(uint64_t id, Status reason) {
   cmd.kind = Command::Kind::kCancel;
   cmd.id = id;
   cmd.status = std::move(reason);
+  mailbox_depth_.fetch_add(1, std::memory_order_relaxed);
   mailbox_.Push(std::move(cmd));
 }
 
@@ -469,11 +473,12 @@ void SyncService::EnqueueLeaseWake(uint64_t key) {
   Command cmd;
   cmd.kind = Command::Kind::kLeaseWake;
   cmd.id = key;
+  mailbox_depth_.fetch_add(1, std::memory_order_relaxed);
   mailbox_.Push(std::move(cmd));
 }
 
 void SyncService::DrainMailbox() {
-  mailbox_.DrainInto([this](Command&& cmd) {
+  const size_t drained = mailbox_.DrainInto([this](Command&& cmd) {
     switch (cmd.kind) {
       case Command::Kind::kSubmit:
         SubmitPreassigned(cmd.id, std::move(cmd.spec));
@@ -497,6 +502,9 @@ void SyncService::DrainMailbox() {
         break;
     }
   });
+  if (drained > 0) {
+    mailbox_depth_.fetch_sub(drained, std::memory_order_relaxed);
+  }
 }
 
 bool SyncService::RetryDeferredRemote() {
@@ -609,6 +617,7 @@ bool SyncService::CancelSession(uint64_t id, Status reason) {
       result.status = std::move(reason);
       ++stats_.sessions_failed;
       ++stats_.sessions_cancelled;
+      live_load_.fetch_sub(1, std::memory_order_relaxed);
       results_.push_back(std::move(result));
       backlog_.erase(pending);
       pending_remote_.erase(id);
@@ -782,6 +791,7 @@ void SyncService::WakeLease(uint64_t key) {
 
 void SyncService::FinalizeSession(Session* session,
                                   Result<SsrOutcome> outcome) {
+  live_load_.fetch_sub(1, std::memory_order_relaxed);
   SessionResult result;
   result.id = session->id;
   result.label = std::move(session->spec.label);

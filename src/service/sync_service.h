@@ -301,6 +301,20 @@ class SyncService {
   /// True when the mailbox has queued commands (racy hint for drivers).
   bool HasMailboxWork() const { return !mailbox_.Empty(); }
 
+  // --- Load signal (any thread; relaxed reads of driver-side counters) --
+  // The admission router's view of how busy this shard is. Both are cheap
+  // approximations, not synchronization points: an argmin router only
+  // needs the ordering between shards to be roughly right.
+
+  /// Sessions submitted but not yet finalized (backlog + active).
+  uint64_t LiveLoad() const {
+    return live_load_.load(std::memory_order_relaxed);
+  }
+  /// Commands pushed to the cross-thread mailbox and not yet drained.
+  uint64_t MailboxDepth() const {
+    return mailbox_depth_.load(std::memory_order_relaxed);
+  }
+
   /// One scheduler tick; returns true while sessions remain (in flight or
   /// backlogged).
   bool Step();
@@ -492,6 +506,13 @@ class SyncService {
   /// threads may allocate concurrently.
   std::atomic<uint64_t> next_session_id_{1};
   uint64_t id_stride_ = 1;
+
+  // Load-signal counters (see LiveLoad/MailboxDepth). live_load_ moves
+  // only on the driving thread (submit/finalize) but is read cross-thread
+  // by the admission router; mailbox_depth_ is bumped by producers and
+  // debited by the drain, so it is genuinely multi-writer.
+  std::atomic<uint64_t> live_load_{0};
+  std::atomic<uint64_t> mailbox_depth_{0};
 };
 
 }  // namespace setrec

@@ -1,0 +1,342 @@
+#ifndef SETREC_UTIL_TIMER_WHEEL_H_
+#define SETREC_UTIL_TIMER_WHEEL_H_
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace setrec {
+
+/// Hashed hierarchical timer wheel: O(1) schedule/cancel, amortized-O(1)
+/// advance, built for the net pump's per-connection timeouts (idle,
+/// handshake-incomplete) and accept-rate refills — tens of thousands of
+/// mostly-cancelled timers, where a heap's O(log n) per op and its
+/// tombstone problem both hurt.
+///
+/// Four levels of 256 slots at a power-of-two tick (~1 ms by default):
+/// level 0 resolves single ticks over a 256-tick window (~270 ms), each
+/// higher level covers 256x more at 256x coarser grain (level 3 reaches
+/// ~52 days). Timers land in the coarsest level that still resolves their
+/// deadline; when the wheel's cursor crosses a 256-tick boundary the next
+/// coarser slot CASCADES — its timers re-hash into finer levels. A timer
+/// therefore fires within one tick of its deadline, never early.
+///
+/// Semantics:
+///  * Schedule() is relative to the last Advance() instant; a zero delay
+///    rounds up to one tick (fires on the next Advance that crosses it).
+///  * Advance(now, fire) fires every timer whose deadline <= now. The
+///    callback may freely Schedule() and Cancel() (re-arm patterns), but
+///    must not call Advance() reentrantly.
+///  * Cancel() returns false once the timer has fired or was already
+///    cancelled (ids are generation-checked, so a recycled slot cannot be
+///    cancelled through a stale id). Timers due in the SAME Advance batch
+///    cannot cancel each other — by the time callbacks run, the whole
+///    batch is committed as fired.
+///
+/// Not thread-safe: owned by one driver thread, like everything else on
+/// the pump's hot path.
+class TimerWheel {
+ public:
+  /// 0 is never a valid id (Schedule always returns nonzero).
+  using TimerId = uint64_t;
+
+  static constexpr size_t kSlotBits = 8;
+  static constexpr size_t kSlots = size_t{1} << kSlotBits;
+  static constexpr size_t kLevels = 4;
+  /// ~1.05 ms. Ticks must be a power of two (division by shift).
+  static constexpr uint64_t kDefaultTickNs = uint64_t{1} << 20;
+  static constexpr uint64_t kNoDeadline =
+      std::numeric_limits<uint64_t>::max();
+
+  explicit TimerWheel(uint64_t now_ns = 0,
+                      uint64_t tick_ns = kDefaultTickNs)
+      : tick_shift_(static_cast<uint32_t>(
+            std::countr_zero(std::bit_ceil(tick_ns)))),
+        start_ns_(now_ns) {
+    for (auto& level : slots_) level.fill(-1);
+    for (auto& level : occupancy_) level.fill(0);
+  }
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Arms a timer `delay_ns` after the last Advance instant, carrying
+  /// `user_data` back to the fire callback. Delays round UP to the next
+  /// tick (so zero-delay means "next tick", never "this instant").
+  TimerId Schedule(uint64_t delay_ns, uint64_t user_data) {
+    uint64_t ticks = (delay_ns >> tick_shift_) +
+                     ((delay_ns & (TickNs() - 1)) != 0 ? 1 : 0);
+    if (ticks == 0) ticks = 1;
+    const int32_t index = AllocNode();
+    Node& node = nodes_[static_cast<size_t>(index)];
+    node.expiry_tick = current_tick_ + ticks;
+    node.user_data = user_data;
+    Link(index);
+    ++pending_;
+    return MakeId(index);
+  }
+
+  /// Disarms `id`. True iff the timer was still pending (it will not
+  /// fire); false if it already fired, was cancelled, or `id` is stale.
+  bool Cancel(TimerId id) {
+    if (id == 0) return false;
+    const uint64_t slot_part = id & 0xffffffffull;
+    if (slot_part == 0 || slot_part > nodes_.size()) return false;
+    const size_t index = static_cast<size_t>(slot_part - 1);
+    Node& node = nodes_[index];
+    if (!node.linked || node.generation != static_cast<uint32_t>(id >> 32)) {
+      return false;
+    }
+    Unlink(static_cast<int32_t>(index));
+    FreeNode(static_cast<int32_t>(index));
+    --pending_;
+    return true;
+  }
+
+  /// Fires every timer with deadline <= `now_ns`, invoking
+  /// `fire(user_data)` for each; returns the number fired. Time must not
+  /// run backwards (an earlier `now_ns` is a no-op).
+  template <typename Fire>
+  size_t Advance(uint64_t now_ns, Fire&& fire) {
+    if (now_ns <= start_ns_) return 0;
+    const uint64_t target = (now_ns - start_ns_) >> tick_shift_;
+    size_t fired = 0;
+    while (current_tick_ < target) {
+      const uint64_t window_last = current_tick_ | (kSlots - 1);
+      const uint64_t stop = target < window_last ? target : window_last;
+      // Jump slot-to-slot inside the 256-tick window: only occupied
+      // slots cost anything, so an idle wheel advances over hours of
+      // wall time in a handful of bitmap scans.
+      for (;;) {
+        const int next = NextOccupied(
+            0, static_cast<size_t>((current_tick_ & (kSlots - 1)) + 1),
+            static_cast<size_t>(stop & (kSlots - 1)));
+        if (next < 0) break;
+        current_tick_ =
+            (current_tick_ & ~uint64_t{kSlots - 1}) +
+            static_cast<uint64_t>(next);
+        fired += FireSlot(0, static_cast<size_t>(next), fire);
+      }
+      current_tick_ = stop;
+      if (current_tick_ == window_last && current_tick_ < target) {
+        ++current_tick_;  // Cross into the next 256-tick window.
+        fired += Cascade(fire);
+        // Level-0 slot 0 holds exactly the timers due AT this boundary
+        // tick (a level-0 link with expiry ≡ 0 mod 256 can only mean the
+        // next boundary); the in-window scan below starts at slot 1 and
+        // would never reach them.
+        fired += FireSlot(0, 0, fire);
+      }
+    }
+    return fired;
+  }
+
+  /// Absolute ns deadline of the soonest pending timer, conservatively:
+  /// if the soonest timer lives in a coarser level, this returns the next
+  /// cascade boundary instead (one spurious wakeup per 256 ticks, never a
+  /// late fire). kNoDeadline when nothing is pending.
+  uint64_t NextDeadlineNs() const {
+    if (pending_ == 0) return kNoDeadline;
+    const int next = NextOccupied(
+        0, static_cast<size_t>((current_tick_ & (kSlots - 1)) + 1),
+        kSlots - 1);
+    const uint64_t tick =
+        next >= 0 ? (current_tick_ & ~uint64_t{kSlots - 1}) +
+                        static_cast<uint64_t>(next)
+                  : (current_tick_ | (kSlots - 1)) + 1;
+    return start_ns_ + (tick << tick_shift_);
+  }
+
+  uint64_t TickNs() const { return uint64_t{1} << tick_shift_; }
+  size_t pending() const { return pending_; }
+  uint64_t fired() const { return fired_; }
+  /// Boundary crossings that re-hashed a coarser slot (the obs layer
+  /// exports the delta as setrec_pump_timer_cascades).
+  uint64_t cascades() const { return cascades_; }
+
+ private:
+  struct Node {
+    uint64_t expiry_tick = 0;
+    uint64_t user_data = 0;
+    uint32_t generation = 0;
+    bool linked = false;
+    int32_t prev = -1;  ///< Previous node index, or -1 at the list head.
+    int32_t next = -1;
+    /// Owning slot (level * kSlots + slot) while linked; -1 otherwise.
+    int32_t slot = -1;
+  };
+
+  TimerId MakeId(int32_t index) const {
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    return (static_cast<uint64_t>(node.generation) << 32) |
+           (static_cast<uint64_t>(index) + 1);
+  }
+
+  int32_t AllocNode() {
+    if (!free_.empty()) {
+      const int32_t index = free_.back();
+      free_.pop_back();
+      return index;
+    }
+    nodes_.emplace_back();
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  void FreeNode(int32_t index) {
+    Node& node = nodes_[static_cast<size_t>(index)];
+    node.linked = false;
+    node.slot = -1;
+    ++node.generation;  // Invalidate outstanding ids.
+    free_.push_back(index);
+  }
+
+  void Link(int32_t index) {
+    Node& node = nodes_[static_cast<size_t>(index)];
+    const uint64_t delta = node.expiry_tick - current_tick_;
+    size_t level;
+    if (delta < (uint64_t{1} << kSlotBits)) {
+      level = 0;
+    } else if (delta < (uint64_t{1} << (2 * kSlotBits))) {
+      level = 1;
+    } else if (delta < (uint64_t{1} << (3 * kSlotBits))) {
+      level = 2;
+    } else {
+      level = 3;
+      const uint64_t horizon = uint64_t{1} << (4 * kSlotBits);
+      if (delta >= horizon) {
+        node.expiry_tick = current_tick_ + horizon - 1;
+      }
+    }
+    const size_t slot = static_cast<size_t>(
+        (node.expiry_tick >> (level * kSlotBits)) & (kSlots - 1));
+    const int32_t head = slots_[level][slot];
+    node.prev = -1;
+    node.next = head;
+    if (head >= 0) nodes_[static_cast<size_t>(head)].prev = index;
+    slots_[level][slot] = index;
+    node.slot = static_cast<int32_t>(level * kSlots + slot);
+    node.linked = true;
+    occupancy_[level][slot >> 6] |= uint64_t{1} << (slot & 63);
+  }
+
+  void Unlink(int32_t index) {
+    Node& node = nodes_[static_cast<size_t>(index)];
+    const size_t level = static_cast<size_t>(node.slot) / kSlots;
+    const size_t slot = static_cast<size_t>(node.slot) % kSlots;
+    if (node.prev >= 0) {
+      nodes_[static_cast<size_t>(node.prev)].next = node.next;
+    } else {
+      slots_[level][slot] = node.next;
+    }
+    if (node.next >= 0) {
+      nodes_[static_cast<size_t>(node.next)].prev = node.prev;
+    }
+    if (slots_[level][slot] < 0) {
+      occupancy_[level][slot >> 6] &= ~(uint64_t{1} << (slot & 63));
+    }
+    node.linked = false;
+    node.slot = -1;
+  }
+
+  /// Detaches `slots_[level][slot]` wholesale. Returns the old head.
+  int32_t Detach(size_t level, size_t slot) {
+    const int32_t head = slots_[level][slot];
+    slots_[level][slot] = -1;
+    occupancy_[level][slot >> 6] &= ~(uint64_t{1} << (slot & 63));
+    return head;
+  }
+
+  /// Fires every node in a level-0 slot. The whole batch is committed
+  /// (freed) BEFORE any callback runs, so callbacks may Schedule/Cancel
+  /// without corrupting the walk.
+  template <typename Fire>
+  size_t FireSlot(size_t level, size_t slot, Fire&& fire) {
+    fire_scratch_.clear();
+    int32_t cursor = Detach(level, slot);
+    while (cursor >= 0) {
+      Node& node = nodes_[static_cast<size_t>(cursor)];
+      const int32_t next = node.next;
+      fire_scratch_.push_back(node.user_data);
+      node.linked = false;  // Detached; FreeNode re-checks nothing.
+      FreeNode(cursor);
+      cursor = next;
+    }
+    pending_ -= fire_scratch_.size();
+    fired_ += fire_scratch_.size();
+    for (const uint64_t user_data : fire_scratch_) fire(user_data);
+    return fire_scratch_.size();
+  }
+
+  /// Re-hashes coarser slots after the cursor crossed a 256-tick
+  /// boundary; a re-hashed timer already at/past its deadline fires now.
+  template <typename Fire>
+  size_t Cascade(Fire&& fire) {
+    size_t fired = 0;
+    for (size_t level = 1; level < kLevels; ++level) {
+      const size_t slot = static_cast<size_t>(
+          (current_tick_ >> (level * kSlotBits)) & (kSlots - 1));
+      if (slots_[level][slot] >= 0) {
+        ++cascades_;
+        fire_scratch_.clear();
+        int32_t cursor = Detach(level, slot);
+        std::vector<int32_t>& relink = cascade_scratch_;
+        relink.clear();
+        while (cursor >= 0) {
+          Node& node = nodes_[static_cast<size_t>(cursor)];
+          const int32_t next = node.next;
+          node.linked = false;
+          if (node.expiry_tick <= current_tick_) {
+            fire_scratch_.push_back(node.user_data);
+            FreeNode(cursor);
+          } else {
+            relink.push_back(cursor);
+          }
+          cursor = next;
+        }
+        for (const int32_t index : relink) Link(index);
+        pending_ -= fire_scratch_.size();
+        fired_ += fire_scratch_.size();
+        fired += fire_scratch_.size();
+        for (const uint64_t user_data : fire_scratch_) fire(user_data);
+      }
+      // A coarser level only turns over when this one wrapped to slot 0.
+      if (slot != 0) break;
+    }
+    return fired;
+  }
+
+  /// Smallest occupied slot index in [from, to] of `level`, or -1.
+  int NextOccupied(size_t level, size_t from, size_t to) const {
+    if (from > to) return -1;
+    for (size_t word = from >> 6; word <= (to >> 6); ++word) {
+      uint64_t bits = occupancy_[level][word];
+      if (word == (from >> 6)) bits &= ~uint64_t{0} << (from & 63);
+      if (bits == 0) continue;
+      const size_t slot =
+          (word << 6) + static_cast<size_t>(std::countr_zero(bits));
+      return slot <= to ? static_cast<int>(slot) : -1;
+    }
+    return -1;
+  }
+
+  uint32_t tick_shift_;
+  uint64_t start_ns_;
+  uint64_t current_tick_ = 0;
+  size_t pending_ = 0;
+  uint64_t fired_ = 0;
+  uint64_t cascades_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> free_;
+  std::array<std::array<int32_t, kSlots>, kLevels> slots_;
+  std::array<std::array<uint64_t, kSlots / 64>, kLevels> occupancy_;
+  /// Reused per FireSlot/Cascade batch (no per-fire allocation once warm).
+  std::vector<uint64_t> fire_scratch_;
+  std::vector<int32_t> cascade_scratch_;
+};
+
+}  // namespace setrec
+
+#endif  // SETREC_UTIL_TIMER_WHEEL_H_

@@ -12,8 +12,10 @@
 #include <atomic>
 #include <csignal>
 #include <cstdint>
+#include <iomanip>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -223,93 +225,108 @@ TEST(TraceQuery, TracedTcpSessionMergesIntoOneTimeline) {
   Result<uint16_t> port = pump.ListenTcp(0);
   ASSERT_TRUE(port.ok()) << port.status().ToString();
 
-  constexpr uint64_t kTraceId = 0x5eed1234;
-  obs::SessionTracer tracer;
-  tracer.EnableCapture(1024);
-  Result<std::string> server_text = Status::Ok();
-  Result<SsrOutcome> outcome = Status::Ok();
-  std::atomic<bool> client_done{false};
-  std::thread client_thread([&] {
-    // The client half, instrumented like setrec_stat --probe.
-    const uint64_t start = obs::NowNanos();
-    tracer.Record(kTraceId, obs::TracePhase::kSession, true, start, kTraceId);
-    Result<int> fd = ConnectTcp("127.0.0.1", port.value());
-    if (!fd.ok()) {
-      outcome = fd.status();
-      return;
-    }
-    HelloSpec hello;
-    hello.protocol = SsrProtocolKind::kCascade;
-    hello.set_id = set_id;
-    hello.params = f.params;
-    hello.known_d = f.known_d;
-    hello.trace_id = kTraceId;
-    tracer.Record(kTraceId, obs::TracePhase::kHello, true, obs::NowNanos(),
-                  kTraceId);
-    Status hello_sent = SendHello(fd.value(), hello);
-    tracer.Record(kTraceId, obs::TracePhase::kHello, false, obs::NowNanos(),
-                  kTraceId);
-    if (!hello_sent.ok()) {
-      outcome = hello_sent;
-      ::close(fd.value());
-      return;
-    }
-    Channel channel;
-    outcome = RunBobHalfOverFd(*MakeSsrProtocol(hello.protocol, f.params),
-                               f.bob, f.known_d, fd.value(), &channel,
-                               &tracer, kTraceId);
-    const uint64_t end = obs::NowNanos();
-    tracer.Record(kTraceId, obs::TracePhase::kSession, false, end, kTraceId);
-    tracer.OnSessionEnd(kTraceId, kTraceId, end - start, "client", nullptr);
-    ::close(fd.value());
-    // Fetch the server half over a second connection; poll for finalize.
-    for (int i = 0; i < 100; ++i) {
-      Result<int> admin_fd = ConnectTcp("127.0.0.1", port.value());
-      if (!admin_fd.ok()) {
-        server_text = admin_fd.status();
+  // Preemption on a loaded one-core box (TSan especially) opens real
+  // wall-clock gaps no span covers, so a single run can land under the
+  // coverage bar with nothing wrong. Retry a fresh traced session like
+  // setrec_stat --probe does; the strict 90% gate lives in the smoke
+  // lane (scripts/check.sh) where the box is quiet.
+  obs::MergedTimeline merged;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const uint64_t trace_id = 0x5eed1234u + static_cast<uint64_t>(attempt);
+    std::ostringstream id_text;
+    id_text << "id=" << std::hex << std::setw(16) << std::setfill('0')
+            << trace_id;
+    obs::SessionTracer tracer;
+    tracer.EnableCapture(1024);
+    Result<std::string> server_text = Status::Ok();
+    Result<SsrOutcome> outcome = Status::Ok();
+    std::atomic<bool> client_done{false};
+    std::thread client_thread([&] {
+      // The client half, instrumented like setrec_stat --probe.
+      const uint64_t start_ns = obs::NowNanos();
+      tracer.Record(trace_id, obs::TracePhase::kSession, true, start_ns,
+                    trace_id);
+      Result<int> fd = ConnectTcp("127.0.0.1", port.value());
+      if (!fd.ok()) {
+        outcome = fd.status();
+        client_done.store(true);
         return;
       }
-      server_text = QueryTracesOverFd(admin_fd.value());
-      ::close(admin_fd.value());
-      if (!server_text.ok() ||
-          server_text.value().find("id=000000005eed1234") !=
-              std::string::npos) {
-        break;
+      HelloSpec hello;
+      hello.protocol = SsrProtocolKind::kCascade;
+      hello.set_id = set_id;
+      hello.params = f.params;
+      hello.known_d = f.known_d;
+      hello.trace_id = trace_id;
+      tracer.Record(trace_id, obs::TracePhase::kHello, true, obs::NowNanos(),
+                    trace_id);
+      Status hello_sent = SendHello(fd.value(), hello);
+      tracer.Record(trace_id, obs::TracePhase::kHello, false, obs::NowNanos(),
+                    trace_id);
+      if (!hello_sent.ok()) {
+        outcome = hello_sent;
+        ::close(fd.value());
+        client_done.store(true);
+        return;
       }
+      Channel channel;
+      outcome = RunBobHalfOverFd(*MakeSsrProtocol(hello.protocol, f.params),
+                                 f.bob, f.known_d, fd.value(), &channel,
+                                 &tracer, trace_id);
+      const uint64_t end_ns = obs::NowNanos();
+      tracer.Record(trace_id, obs::TracePhase::kSession, false, end_ns,
+                    trace_id);
+      tracer.OnSessionEnd(trace_id, trace_id, end_ns - start_ns, "client",
+                          nullptr);
+      ::close(fd.value());
+      // Fetch the server half over a second connection; poll for finalize.
+      for (int i = 0; i < 100; ++i) {
+        Result<int> admin_fd = ConnectTcp("127.0.0.1", port.value());
+        if (!admin_fd.ok()) {
+          server_text = admin_fd.status();
+          break;
+        }
+        server_text = QueryTracesOverFd(admin_fd.value());
+        ::close(admin_fd.value());
+        if (!server_text.ok() ||
+            server_text.value().find(id_text.str()) != std::string::npos) {
+          break;
+        }
+      }
+      client_done.store(true);
+    });
+    // Serve until the client is done: the connection set is transiently
+    // empty between the session fd closing and the admin reconnects, so
+    // DrainConnections alone would return too early.
+    while (!client_done.load()) {
+      pump.PumpOnce(10);
     }
-    client_done.store(true);
-  });
-  // Serve until the client is done: the connection set is transiently
-  // empty between the session fd closing and the admin reconnects, so
-  // DrainConnections alone would return too early.
-  while (!client_done.load()) {
-    pump.PumpOnce(10);
-  }
-  pump.DrainConnections();
-  client_thread.join();
-  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
-  ASSERT_TRUE(server_text.ok()) << server_text.status().ToString();
+    pump.DrainConnections();
+    client_thread.join();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_TRUE(server_text.ok()) << server_text.status().ToString();
 
-  // Round-trip the client half through the same text codec, then merge.
-  std::vector<obs::ParsedTrace> client_traces;
-  ASSERT_TRUE(obs::ParseTraceExposition(
-      obs::FormatTraceExposition(tracer.SnapshotCompleted(), "client"),
-      &client_traces));
-  ASSERT_EQ(client_traces.size(), 1u);
-  std::vector<obs::ParsedTrace> server_traces;
-  ASSERT_TRUE(obs::ParseTraceExposition(server_text.value(), &server_traces));
-  const obs::ParsedTrace* server = nullptr;
-  for (const obs::ParsedTrace& t : server_traces) {
-    if (t.trace_id == kTraceId) server = &t;
-  }
-  ASSERT_NE(server, nullptr) << server_text.value();
+    // Round-trip the client half through the same text codec, then merge.
+    std::vector<obs::ParsedTrace> client_traces;
+    ASSERT_TRUE(obs::ParseTraceExposition(
+        obs::FormatTraceExposition(tracer.SnapshotCompleted(), "client"),
+        &client_traces));
+    ASSERT_EQ(client_traces.size(), 1u);
+    std::vector<obs::ParsedTrace> server_traces;
+    ASSERT_TRUE(
+        obs::ParseTraceExposition(server_text.value(), &server_traces));
+    const obs::ParsedTrace* server = nullptr;
+    for (const obs::ParsedTrace& t : server_traces) {
+      if (t.trace_id == trace_id) server = &t;
+    }
+    ASSERT_NE(server, nullptr) << server_text.value();
 
-  const obs::MergedTimeline merged =
-      obs::MergeTraceTimelines(client_traces[0], server);
+    merged = obs::MergeTraceTimelines(client_traces[0], server);
+    if (merged.has_server && merged.coverage > 0.5) break;
+  }
+  // Both halves interleave on one axis; an attempt clearing the bar
+  // proves the propagation + clock-rebase pipeline end to end.
   EXPECT_TRUE(merged.has_server);
-  // Both halves interleave on one axis. The 90% gate lives in the smoke
-  // lane (scripts/check.sh) where the box is quiet; here any real
-  // coverage plus both sides present proves the pipeline.
   EXPECT_GT(merged.coverage, 0.5) << merged.text;
   EXPECT_NE(merged.text.find("client > hello"), std::string::npos);
   EXPECT_NE(merged.text.find("server > session"), std::string::npos);

@@ -35,7 +35,7 @@ std::string CaptureDump(Fn&& fn) {
 TEST(StallWatchdogTest, NeverStartedShardIsSkipped) {
   Heartbeat hb;  // Beat 0: the driver has not run yet.
   StallWatchdog dog;
-  dog.Watch({"shard-0", &hb, [] { return true; }, nullptr});
+  dog.Watch({"shard-0", &hb, [] { return true; }, nullptr, {}});
   const std::string text = CaptureDump([&](std::FILE* out) {
     EXPECT_EQ(dog.CheckOnce(10'000 * kMs, 100 * kMs, out), 0u);
   });
@@ -47,7 +47,7 @@ TEST(StallWatchdogTest, FreshBeatDoesNotFire) {
   Heartbeat hb;
   hb.Beat(1'000 * kMs);
   StallWatchdog dog;
-  dog.Watch({"shard-0", &hb, [] { return true; }, nullptr});
+  dog.Watch({"shard-0", &hb, [] { return true; }, nullptr, {}});
   const std::string text = CaptureDump([&](std::FILE* out) {
     EXPECT_EQ(dog.CheckOnce(1'050 * kMs, 100 * kMs, out), 0u);
   });
@@ -58,7 +58,7 @@ TEST(StallWatchdogTest, StaleBeatWithoutQueuedWorkIsIdleNotStalled) {
   Heartbeat hb;
   hb.Beat(1'000 * kMs);
   StallWatchdog dog;
-  dog.Watch({"shard-0", &hb, [] { return false; }, nullptr});
+  dog.Watch({"shard-0", &hb, [] { return false; }, nullptr, {}});
   const std::string text = CaptureDump([&](std::FILE* out) {
     EXPECT_EQ(dog.CheckOnce(9'999 * kMs, 100 * kMs, out), 0u);
   });
@@ -73,7 +73,7 @@ TEST(StallWatchdogTest, StallDumpsRingOncePerEpisode) {
   tracer.Record(7, TracePhase::kFlushWait, true, 999 * kMs, /*trace_id=*/0xe);
   StallWatchdog dog;
   bool queued = true;
-  dog.Watch({"shard-3", &hb, [&queued] { return queued; }, &tracer});
+  dog.Watch({"shard-3", &hb, [&queued] { return queued; }, &tracer, {}});
 
   const std::string first = CaptureDump([&](std::FILE* out) {
     EXPECT_EQ(dog.CheckOnce(2'000 * kMs, 100 * kMs, out), 1u);
@@ -108,7 +108,7 @@ TEST(StallWatchdogTest, EmptyRingSaysSo) {
   hb.Beat(1'000 * kMs);
   SessionTracer tracer;  // Unconfigured: nothing to dump.
   StallWatchdog dog;
-  dog.Watch({"shard-0", &hb, [] { return true; }, &tracer});
+  dog.Watch({"shard-0", &hb, [] { return true; }, &tracer, {}});
   const std::string text = CaptureDump([&](std::FILE* out) {
     EXPECT_EQ(dog.CheckOnce(2'000 * kMs, 100 * kMs, out), 1u);
   });
@@ -121,8 +121,8 @@ TEST(StallWatchdogTest, ChecksEveryShardIndependently) {
   Heartbeat fresh_hb;
   fresh_hb.Beat(1'999 * kMs);
   StallWatchdog dog;
-  dog.Watch({"stalled", &stalled_hb, [] { return true; }, nullptr});
-  dog.Watch({"fresh", &fresh_hb, [] { return true; }, nullptr});
+  dog.Watch({"stalled", &stalled_hb, [] { return true; }, nullptr, {}});
+  dog.Watch({"fresh", &fresh_hb, [] { return true; }, nullptr, {}});
   const std::string text = CaptureDump([&](std::FILE* out) {
     EXPECT_EQ(dog.CheckOnce(2'000 * kMs, 100 * kMs, out), 1u);
   });

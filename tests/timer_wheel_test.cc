@@ -1,0 +1,245 @@
+// The hashed timer wheel under its tricky regimes: sub-tick rounding,
+// cancel/fire id hygiene across slab reuse, cascade correctness at every
+// level boundary, the conservative NextDeadlineNs contract, and a
+// randomized differential check against a sorted-map reference.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "util/timer_wheel.h"
+
+namespace setrec {
+namespace {
+
+constexpr uint64_t kTick = TimerWheel::kDefaultTickNs;
+
+TEST(TimerWheelTest, ZeroDelayFiresOnNextTickNotBefore) {
+  TimerWheel wheel;
+  std::vector<uint64_t> fired;
+  wheel.Schedule(0, 7);
+  // Sub-tick advance: the zero-delay timer rounded up to one tick, so it
+  // must NOT fire yet.
+  EXPECT_EQ(wheel.Advance(kTick - 1, [&](uint64_t d) { fired.push_back(d); }),
+            0u);
+  EXPECT_TRUE(fired.empty());
+  EXPECT_EQ(wheel.Advance(kTick, [&](uint64_t d) { fired.push_back(d); }), 1u);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 7u);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, SubTickDelaysRoundUp) {
+  TimerWheel wheel;
+  std::vector<uint64_t> fired;
+  wheel.Schedule(1, 1);          // 1 ns -> 1 tick
+  wheel.Schedule(kTick, 2);      // exactly 1 tick
+  wheel.Schedule(kTick + 1, 3);  // just over -> 2 ticks
+  wheel.Advance(kTick, [&](uint64_t d) { fired.push_back(d); });
+  std::sort(fired.begin(), fired.end());
+  EXPECT_EQ(fired, (std::vector<uint64_t>{1, 2}));
+  wheel.Advance(2 * kTick, [&](uint64_t d) { fired.push_back(d); });
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired.back(), 3u);
+}
+
+TEST(TimerWheelTest, CancelPreventsFireAndReturnsTrueOnce) {
+  TimerWheel wheel;
+  TimerWheel::TimerId id = wheel.Schedule(5 * kTick, 42);
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_TRUE(wheel.Cancel(id));
+  EXPECT_FALSE(wheel.Cancel(id)) << "second cancel must report 'too late'";
+  EXPECT_EQ(wheel.pending(), 0u);
+  size_t count = 0;
+  wheel.Advance(16 * kTick, [&](uint64_t) { ++count; });
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(TimerWheelTest, CancelAfterFireReturnsFalse) {
+  TimerWheel wheel;
+  TimerWheel::TimerId id = wheel.Schedule(kTick, 1);
+  size_t count = 0;
+  wheel.Advance(2 * kTick, [&](uint64_t) { ++count; });
+  EXPECT_EQ(count, 1u);
+  EXPECT_FALSE(wheel.Cancel(id));
+}
+
+TEST(TimerWheelTest, StaleIdCannotCancelRecycledSlot) {
+  TimerWheel wheel;
+  TimerWheel::TimerId first = wheel.Schedule(kTick, 1);
+  wheel.Advance(2 * kTick, [](uint64_t) {});
+  // The freed node is recycled for the next timer; the old id carries a
+  // stale generation and must not disarm the new occupant.
+  TimerWheel::TimerId second = wheel.Schedule(kTick, 2);
+  EXPECT_FALSE(wheel.Cancel(first));
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_TRUE(wheel.Cancel(second));
+  EXPECT_EQ(wheel.Cancel(0), false) << "0 is the reserved null id";
+}
+
+TEST(TimerWheelTest, FiresExactlyAtLevelOneBoundary) {
+  // 256 ticks is the first deadline that cannot live in level 0 at
+  // schedule time: it must cascade at the window boundary and fire there.
+  TimerWheel wheel;
+  std::vector<uint64_t> fired;
+  wheel.Schedule(256 * kTick, 1);
+  wheel.Advance(255 * kTick, [&](uint64_t d) { fired.push_back(d); });
+  EXPECT_TRUE(fired.empty());
+  EXPECT_EQ(wheel.cascades(), 0u);
+  wheel.Advance(256 * kTick, [&](uint64_t d) { fired.push_back(d); });
+  EXPECT_EQ(fired, (std::vector<uint64_t>{1}));
+  EXPECT_GE(wheel.cascades(), 1u);
+}
+
+TEST(TimerWheelTest, CascadePreservesSubWindowPrecision) {
+  // A timer at 256+3 ticks cascades into level 0 at the boundary and must
+  // then fire at its exact tick, not at the boundary.
+  TimerWheel wheel;
+  std::vector<uint64_t> fired;
+  wheel.Schedule(259 * kTick, 9);
+  wheel.Advance(258 * kTick, [&](uint64_t d) { fired.push_back(d); });
+  EXPECT_TRUE(fired.empty());
+  wheel.Advance(259 * kTick, [&](uint64_t d) { fired.push_back(d); });
+  EXPECT_EQ(fired, (std::vector<uint64_t>{9}));
+}
+
+TEST(TimerWheelTest, LevelTwoBoundaryCascades) {
+  // 65536 ticks lives in level 2; one Advance jumps the whole span and
+  // must land the fire without losing the timer in any cascade.
+  TimerWheel wheel;
+  std::vector<uint64_t> fired;
+  wheel.Schedule(65536 * kTick, 5);
+  wheel.Schedule((65536 + 17) * kTick, 6);
+  wheel.Advance(65535 * kTick, [&](uint64_t d) { fired.push_back(d); });
+  EXPECT_TRUE(fired.empty());
+  wheel.Advance(65536 * kTick, [&](uint64_t d) { fired.push_back(d); });
+  EXPECT_EQ(fired, (std::vector<uint64_t>{5}));
+  wheel.Advance((65536 + 17) * kTick, [&](uint64_t d) { fired.push_back(d); });
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1], 6u);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, CancelSurvivesCascadeRelink) {
+  // Cancelling a timer AFTER it cascaded to a finer level must still work:
+  // the node index (and thus the id) is stable across relinks.
+  TimerWheel wheel;
+  TimerWheel::TimerId id = wheel.Schedule(300 * kTick, 1);
+  wheel.Advance(270 * kTick, [](uint64_t) { FAIL() << "fired early"; });
+  EXPECT_TRUE(wheel.Cancel(id));
+  size_t count = 0;
+  wheel.Advance(512 * kTick, [&](uint64_t) { ++count; });
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(TimerWheelTest, NextDeadlineExactInWindowConservativeBeyond) {
+  TimerWheel wheel;
+  EXPECT_EQ(wheel.NextDeadlineNs(), TimerWheel::kNoDeadline);
+  wheel.Schedule(10 * kTick, 1);
+  EXPECT_EQ(wheel.NextDeadlineNs(), 10 * kTick);
+  wheel.Advance(10 * kTick, [](uint64_t) {});
+  EXPECT_EQ(wheel.NextDeadlineNs(), TimerWheel::kNoDeadline);
+  // A far timer: the reported deadline is the next cascade boundary —
+  // never LATER than the true deadline.
+  wheel.Schedule(1000 * kTick, 2);
+  EXPECT_EQ(wheel.NextDeadlineNs(), 256 * kTick);
+  EXPECT_LE(wheel.NextDeadlineNs(), (10 + 1000) * kTick);
+}
+
+TEST(TimerWheelTest, FireCallbackMayRearm) {
+  // The pump's idle timeout re-arms from inside the fire callback; the
+  // wheel must survive Schedule() mid-batch and fire the new timer later.
+  TimerWheel wheel;
+  size_t fires = 0;
+  wheel.Schedule(kTick, 1);
+  wheel.Advance(kTick, [&](uint64_t) {
+    ++fires;
+    wheel.Schedule(kTick, 2);
+  });
+  EXPECT_EQ(fires, 1u);
+  EXPECT_EQ(wheel.pending(), 1u);
+  wheel.Advance(2 * kTick, [&](uint64_t d) {
+    ++fires;
+    EXPECT_EQ(d, 2u);
+  });
+  EXPECT_EQ(fires, 2u);
+}
+
+TEST(TimerWheelTest, NonZeroEpochAndHorizonClamp) {
+  // The pump seeds the wheel with a live monotonic timestamp, and a
+  // ludicrous delay clamps to the wheel horizon instead of wrapping.
+  const uint64_t epoch = 123456789;
+  TimerWheel wheel(epoch);
+  std::vector<uint64_t> fired;
+  wheel.Schedule(2 * kTick, 1);
+  wheel.Advance(epoch + kTick, [&](uint64_t d) { fired.push_back(d); });
+  EXPECT_TRUE(fired.empty());
+  wheel.Advance(epoch + 2 * kTick, [&](uint64_t d) { fired.push_back(d); });
+  EXPECT_EQ(fired, (std::vector<uint64_t>{1}));
+
+  TimerWheel far;
+  TimerWheel::TimerId id =
+      far.Schedule(~uint64_t{0} / 2, 3);  // Beyond the 2^32-tick horizon.
+  EXPECT_EQ(far.pending(), 1u);
+  EXPECT_TRUE(far.Cancel(id));
+}
+
+TEST(TimerWheelTest, DifferentialAgainstSortedMapReference) {
+  // Random schedule/cancel/advance trace: the wheel must fire exactly the
+  // reference set, each timer no earlier than its deadline and within one
+  // tick after the Advance that covers it.
+  std::mt19937_64 rng(20260808);
+  TimerWheel wheel;
+  std::multimap<uint64_t, uint64_t> reference;  // deadline_ns -> key
+  std::map<uint64_t, TimerWheel::TimerId> live;  // key -> id
+  uint64_t now = 0;
+  uint64_t next_key = 1;
+  std::vector<uint64_t> fired;
+  for (int step = 0; step < 4000; ++step) {
+    const uint64_t action = rng() % 10;
+    if (action < 6) {
+      const uint64_t delay = rng() % (700 * kTick);
+      const uint64_t key = next_key++;
+      live[key] = wheel.Schedule(delay, key);
+      uint64_t ticks = (delay + kTick - 1) / kTick;
+      if (ticks == 0) ticks = 1;
+      // Schedule is relative to the wheel cursor: floor(now / tick).
+      const uint64_t due = (now / kTick + ticks) * kTick;
+      reference.emplace(due, key);
+    } else if (action < 8 && !live.empty()) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng() % live.size()));
+      EXPECT_TRUE(wheel.Cancel(it->second));
+      for (auto ref = reference.begin(); ref != reference.end(); ++ref) {
+        if (ref->second == it->first) {
+          reference.erase(ref);
+          break;
+        }
+      }
+      live.erase(it);
+    } else {
+      now += rng() % (90 * kTick);
+      fired.clear();
+      wheel.Advance(now, [&](uint64_t key) { fired.push_back(key); });
+      std::vector<uint64_t> expected;
+      // The wheel fires by tick, so everything due by floor(now/tick).
+      const uint64_t frontier = (now / kTick) * kTick;
+      while (!reference.empty() && reference.begin()->first <= frontier) {
+        expected.push_back(reference.begin()->second);
+        live.erase(reference.begin()->second);
+        reference.erase(reference.begin());
+      }
+      std::sort(fired.begin(), fired.end());
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(fired, expected) << "divergence at step " << step;
+    }
+  }
+  EXPECT_EQ(wheel.pending(), reference.size());
+}
+
+}  // namespace
+}  // namespace setrec

@@ -353,6 +353,29 @@ void CheckFormatInRegions(const SourceFile& f, std::vector<Violation>* out) {
   }
 }
 
+// Readiness syscalls live behind the Poller interface (net/poller.h):
+// exactly the files under src/net/poller* may touch ::poll, epoll, or
+// io_uring. Anything else polling raw fds bypasses the backend matrix —
+// it would work on the developer's box and break under SETREC_POLLER
+// steering (how the ctest `net` label runs every suite per backend).
+const char* const kPollerBackendPrefix = "src/net/poller";
+
+void CheckRawPoll(const SourceFile& f, std::vector<Violation>* out) {
+  if (f.rel_path.rfind(kPollerBackendPrefix, 0) == 0) return;
+  static const std::regex kRawPoll(
+      R"(::\s*poll\s*\(|\bepoll_(create1?|ctl|wait|pwait2?)\s*\()"
+      R"(|\bio_uring_(setup|enter|register)\b|__NR_io_uring)");
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    if (LineAllows(f.raw[i], "raw-poll")) continue;
+    if (std::regex_search(f.code[i], kRawPoll)) {
+      out->push_back({f.rel_path, i + 1, "raw-poll",
+                      "raw readiness syscall outside src/net/poller_*; go "
+                      "through the Poller interface (net/poller.h) so the "
+                      "backend matrix stays the only readiness layer"});
+    }
+  }
+}
+
 // Tracks whether each `{` opens a class/struct body, so member declarations
 // can be told apart from locals and parameters.
 void CheckViewMembers(const SourceFile& f, std::vector<Violation>* out) {
@@ -411,6 +434,7 @@ void LintFile(const SourceFile& f, std::vector<Violation>* out) {
   CheckAllocFreeRegions(f, out);
   CheckClockInRegions(f, out);
   CheckFormatInRegions(f, out);
+  CheckRawPoll(f, out);
   CheckViewMembers(f, out);
 }
 

@@ -1,0 +1,10 @@
+// LINT-TEST-PATH: src/net/net_pump.cc
+// LINT-TEST: expect raw-poll
+//
+// The pump must go through the Poller interface; a direct epoll_wait here
+// would bypass SETREC_POLLER steering and the backend matrix tests.
+
+int Pump() {
+  int n = epoll_wait(3, nullptr, 16, 10);
+  return n;
+}

@@ -1,0 +1,15 @@
+// LINT-TEST-PATH: src/net/poller_epoll.cc
+// LINT-TEST: expect-clean
+//
+// Backend files under src/net/poller* ARE the sanctioned home for raw
+// readiness syscalls; every form the rule knows must pass here.
+
+int Backend() {
+  int ep = epoll_create1(0);
+  epoll_ctl(ep, 1, 3, nullptr);
+  int n = epoll_wait(ep, nullptr, 16, -1);
+  struct pollfd* fds = nullptr;
+  n += ::poll(fds, 1, 0);
+  n += static_cast<int>(::syscall(__NR_io_uring_setup, 8, nullptr));
+  return n;
+}
